@@ -1,0 +1,61 @@
+"""Ablation — the idle-detector threshold.
+
+The paper fixes a 100 ms timer-based idleness threshold (§4.1).  This
+ablation sweeps it: a hair-trigger scrubber reclaims redundancy faster
+(lower unprotected fraction) but risks colliding with the next burst; a
+sluggish one leaves data exposed longer.  Mean I/O time should be nearly
+flat — scrubbing is background work — while exposure rises with the
+threshold.
+"""
+
+from conftest import BENCH_DURATION_S, BENCH_SEED, run_once
+
+from repro.harness import format_table, run_experiment
+from repro.policy import BaselineAfraidPolicy
+
+WORKLOAD = "cello-usr"
+THRESHOLDS_S = (0.010, 0.050, 0.100, 0.500, 2.000)
+
+
+def compute():
+    results = {}
+    for threshold in THRESHOLDS_S:
+        results[threshold] = run_experiment(
+            WORKLOAD,
+            BaselineAfraidPolicy(),
+            duration_s=BENCH_DURATION_S,
+            seed=BENCH_SEED,
+            idle_threshold_s=threshold,
+        )
+    return results
+
+
+def test_ablation_idle_threshold(benchmark, report):
+    results = run_once(benchmark, compute)
+
+    rows = [
+        [
+            f"{threshold * 1e3:.0f} ms",
+            f"{result.mean_io_time_ms:.2f}",
+            f"{result.unprotected_fraction:.1%}",
+            f"{result.mean_parity_lag_bytes / 1024:.1f}",
+            str(result.stripes_scrubbed),
+        ]
+        for threshold, result in results.items()
+    ]
+    report(
+        format_table(
+            ["idle threshold", "mean I/O ms", "unprot time", "mean lag KB", "scrubbed"],
+            rows,
+            title=f"Ablation: idle-detection threshold on {WORKLOAD} (paper default: 100 ms)",
+        )
+    )
+
+    exposures = [results[threshold].unprotected_fraction for threshold in THRESHOLDS_S]
+    # Exposure grows with the threshold (each pause before scrubbing is
+    # pure additional vulnerability).
+    assert exposures[0] < exposures[-1]
+    assert all(later >= earlier * 0.9 for earlier, later in zip(exposures, exposures[1:]))
+    # Performance stays essentially flat: parity rebuilds are background.
+    means = [results[threshold].io_time.mean for threshold in THRESHOLDS_S]
+    assert max(means) / min(means) < 1.5

@@ -1,0 +1,123 @@
+"""Extension benches — the §2 comparator and the §5 RAID 6 refinement.
+
+Two extra columns for the paper's story:
+
+* **parity logging** [Stodolsky93]: keeps full redundancy, but its small
+  write still pre-reads old data (2 foreground I/Os vs AFRAID's 1) and
+  its batched log reclaims interfere with the foreground;
+* **AFRAID-on-RAID 6**: a RAID 6 small write costs 6 I/Os; deferring Q
+  gives immediate single-failure tolerance at 4 I/Os; deferring both is
+  the full AFRAID bet at 1 I/O.
+"""
+
+from conftest import BENCH_SEED, run_once
+
+from repro.array import build_array
+from repro.array.request import ArrayRequest
+from repro.disk import IoKind, hp_c3325
+from repro.ext.parity_logging import ParityLogConfig, ParityLoggingArray
+from repro.ext.raid6_afraid import DeferralMode, Raid6AfraidArray
+from repro.harness import format_table
+from repro.policy import AlwaysRaid5Policy, BaselineAfraidPolicy
+from repro.sim import Simulator
+from repro.traces import make_trace
+
+DURATION_S = 30.0
+WORKLOAD = "cello-usr"
+
+
+def replay_on(array, sim, stats_fn):
+    trace = make_trace(
+        WORKLOAD,
+        duration_s=DURATION_S,
+        address_space_sectors=array.layout.total_data_sectors,
+        seed=BENCH_SEED,
+    )
+    completions = []
+
+    def feeder():
+        for record in trace:
+            if record.time_s > sim.now:
+                yield sim.timeout(record.time_s - sim.now)
+            completions.append(
+                array.submit(
+                    ArrayRequest(record.kind, record.offset_sectors, record.nsectors)
+                )
+            )
+
+    proc = sim.process(feeder())
+    sim.run_until_triggered(proc)
+    for event in completions:
+        if not event.processed:
+            sim.run_until_triggered(event)
+    return stats_fn(array)
+
+
+def compute():
+    results = {}
+
+    sim = Simulator()
+    results["raid5"] = replay_on(
+        build_array(sim, AlwaysRaid5Policy()), sim, lambda a: a.stats.mean_io_time
+    )
+    sim = Simulator()
+    results["parity-logging"] = replay_on(
+        ParityLoggingArray(
+            sim,
+            [hp_c3325(sim, name=f"pl{i}") for i in range(5)],
+            stripe_unit_sectors=16,
+            config=ParityLogConfig(),
+        ),
+        sim,
+        lambda a: a.mean_io_time,
+    )
+    sim = Simulator()
+    results["afraid"] = replay_on(
+        build_array(sim, BaselineAfraidPolicy()), sim, lambda a: a.stats.mean_io_time
+    )
+    for mode in DeferralMode:
+        sim = Simulator()
+        results[f"raid6/{mode.value}"] = replay_on(
+            Raid6AfraidArray(
+                sim,
+                [hp_c3325(sim, name=f"r6{i}") for i in range(6)],
+                stripe_unit_sectors=16,
+                mode=mode,
+            ),
+            sim,
+            lambda a: a.mean_io_time,
+        )
+    return results
+
+
+def test_ext_comparators(benchmark, report):
+    results = run_once(benchmark, compute)
+
+    order = ["raid5", "parity-logging", "afraid", "raid6/raid6", "raid6/defer_q", "raid6/defer_both"]
+    redundancy = {
+        "raid5": "always 1-failure",
+        "parity-logging": "always 1-failure",
+        "afraid": "frequently 1-failure",
+        "raid6/raid6": "always 2-failure",
+        "raid6/defer_q": "always 1, frequently 2",
+        "raid6/defer_both": "frequently 2-failure",
+    }
+    rows = [
+        [name, f"{results[name] * 1e3:.2f}", redundancy[name]]
+        for name in order
+    ]
+    report(
+        format_table(
+            ["model", "mean I/O ms", "redundancy guarantee"],
+            rows,
+            title=f"Extensions: comparators on {WORKLOAD} ({DURATION_S:g}s)",
+        )
+    )
+
+    # §2's positioning: AFRAID < parity logging < RAID 5 under write load.
+    assert results["afraid"] < results["parity-logging"] < results["raid5"] * 1.05
+    # §5's ladder: each deferred syndrome buys performance.
+    assert results["raid6/defer_both"] < results["raid6/defer_q"]
+    assert results["raid6/defer_q"] < results["raid6/raid6"]
+    # Full RAID 6 pays more than RAID 5 for its second syndrome.
+    assert results["raid6/raid6"] > results["raid5"] * 0.9

@@ -1,0 +1,79 @@
+"""Figure 4 — per-trace mean I/O time across the policy spectrum.
+
+The paper's reading of this figure: highly bursty workloads (snake,
+hplajw, cello-usr) show relatively little change in mean I/O time as the
+MTTDL_x target tightens — they have enough idle time that the policy
+rarely needs to revert to RAID 5 — while workloads with fewer idle
+periods and more writes (AS400-1, ATT) decline smoothly across the whole
+range between RAID 5 and pure AFRAID.
+"""
+
+from conftest import BENCH_DURATION_S, BENCH_SEED, run_once
+
+from repro.harness import (
+    DEFAULT_MTTDL_TARGETS,
+    format_table,
+    policy_ladder,
+    run_policy_grid,
+)
+from repro.traces import workload_names
+
+BURSTY = ("hplajw", "snake", "cello-usr", "AS400-4")
+BUSY = ("ATT", "AS400-1", "netware")
+
+
+def compute():
+    workloads = workload_names()
+    ladder = policy_ladder(targets=DEFAULT_MTTDL_TARGETS)
+    labels = [entry.label for entry in ladder]
+    grid = run_policy_grid(workloads, ladder, duration_s=BENCH_DURATION_S, seed=BENCH_SEED)
+    return workloads, labels, grid
+
+
+def test_figure4_policy_spectrum(benchmark, report):
+    workloads, labels, grid = run_once(benchmark, compute)
+
+    rows = []
+    for workload in workloads:
+        rows.append(
+            [workload]
+            + [f"{grid[(workload, label)].mean_io_time_ms:.1f}" for label in labels]
+        )
+    report(
+        format_table(
+            ["workload"] + labels,
+            rows,
+            title=(
+                "Figure 4: mean I/O time (ms) per trace across the policy spectrum, "
+                "RAID 5 (left, most available) to RAID 0 (right, fastest)"
+            ),
+        )
+    )
+
+    for workload in workloads:
+        series = [grid[(workload, label)].io_time.mean for label in labels]
+        # The endpoints bracket the spectrum for every trace.
+        assert series[-1] <= series[0], workload  # raid0 faster than raid5
+        # No intermediate policy is meaningfully faster than RAID 0 or
+        # slower than RAID 5 (10% tolerance for queueing noise).
+        fastest, slowest = min(series), max(series)
+        assert fastest >= series[-2] * 0.65, workload  # nothing far below afraid
+        assert slowest <= series[0] * 1.35, workload
+
+    # Bursty traces: the loose end of the MTTDL_x range performs within a
+    # small factor of pure AFRAID (little need to revert), where the busy
+    # traces still sit at RAID 5 speed there.
+    loose_labels = [label for label in labels if label.startswith("MTTDL_")][-2:]
+    for workload in BURSTY:
+        afraid_mean = grid[(workload, "afraid")].io_time.mean
+        for label in loose_labels:
+            assert grid[(workload, label)].io_time.mean <= 2.75 * afraid_mean, (workload, label)
+
+    # Busy traces: the spectrum spans a large performance range, with the
+    # tight end near RAID 5 and the loose end near AFRAID.
+    for workload in BUSY:
+        raid5_mean = grid[(workload, "raid5")].io_time.mean
+        afraid_mean = grid[(workload, "afraid")].io_time.mean
+        assert raid5_mean / afraid_mean > 3.0, workload
+        tight = grid[(workload, labels[1])].io_time.mean  # tightest MTTDL_x
+        assert tight > 0.5 * raid5_mean, workload

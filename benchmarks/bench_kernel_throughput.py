@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the simulation kernel itself.
+
+Not a paper experiment — these track the substrate's own performance so
+regressions in the event loop, process machinery, or disk model show up
+in CI.  Unlike the experiment benches (deterministic, run once), these
+use pytest-benchmark's normal multi-round timing.
+"""
+
+from repro.disk import DiskIO, IoKind, toy_disk
+from repro.sched import DiskDriver
+from repro.sim import AllOf, Simulator
+
+
+def pure_timeouts(n=20_000):
+    sim = Simulator()
+    for i in range(n):
+        sim.timeout(i * 1e-4)
+    sim.run()
+    return sim.now
+
+
+def process_chains(n_processes=500, hops=20):
+    sim = Simulator()
+
+    def hopper():
+        for _ in range(hops):
+            yield sim.timeout(0.001)
+        return True
+
+    processes = [sim.process(hopper()) for _ in range(n_processes)]
+    sim.run()
+    return sum(1 for process in processes if process.value)
+
+
+def disk_io_storm(n_ios=2000):
+    sim = Simulator()
+    disk = toy_disk(sim, cylinders=256)
+    driver = DiskDriver(sim, disk)
+    events = [
+        driver.submit(DiskIO(IoKind.READ, (i * 37) % (disk.geometry.total_sectors - 8), 8))
+        for i in range(n_ios)
+    ]
+    sim.run_until_triggered(AllOf(sim, events))
+    return driver.stats.completed
+
+
+def test_kernel_timeout_throughput(benchmark):
+    result = benchmark(pure_timeouts)
+    assert result > 0
+
+
+def test_kernel_process_throughput(benchmark):
+    completed = benchmark(process_chains)
+    assert completed == 500
+
+
+def test_disk_stack_throughput(benchmark):
+    completed = benchmark(disk_io_storm)
+    assert completed == 2000

@@ -1,0 +1,59 @@
+"""Table 1 — assumed reliability values, plus the §3.1 figures derived
+from them (the 4x10^9-hour / 475,000-year RAID 5 MTTDL and the NVRAM-loss
+window argument)."""
+
+import pytest
+from conftest import run_once
+
+from repro.availability import (
+    TABLE_1,
+    loss_probability,
+    mdlr_raid_catastrophic,
+    raid5_mttdl_catastrophic,
+)
+from repro.harness import format_quantity, format_table
+
+HOURS_PER_YEAR = 24 * 365.25
+
+
+def compute():
+    params = TABLE_1
+    raid5 = raid5_mttdl_catastrophic(5, params.mttf_disk_h, params.mttr_h)
+    return {
+        "rows": params.rows(),
+        "raid5_mttdl_h": raid5,
+        "raid5_years": raid5 / HOURS_PER_YEAR,
+        "catastrophic_mdlr": mdlr_raid_catastrophic(5, params.disk_bytes, raid5),
+        "p_loss_3yr_at_1m_h": loss_probability(1.0e6, 3 * HOURS_PER_YEAR),
+        # §3.1's NVRAM-failure window: a ~10-minute full rebuild at 5 MB/s
+        # during which an unexpected single-disk failure loses data.
+        "nvram_window_mttdl_h": _nvram_window_mttdl(params),
+    }
+
+
+def _nvram_window_mttdl(params):
+    rebuild_h = (params.disk_bytes / 5e6) / 3600.0  # ~0.11 h to re-read one disk
+    nvram_mttf_h = 500e3
+    disk_failure_rate_per_h = 5 / params.mttf_disk_h
+    # Rate of (NVRAM failure) x P(disk failure inside the rebuild window):
+    return 1.0 / ((1.0 / nvram_mttf_h) * (disk_failure_rate_per_h * rebuild_h))
+
+
+def test_table1_parameters(benchmark, report):
+    result = run_once(benchmark, compute)
+
+    lines = [format_table(["Parameter", "Value"], result["rows"], title="Table 1: values assumed for calculations")]
+    lines.append("")
+    lines.append("Derived (section 3.1):")
+    lines.append(f"  eq.(1) 5-disk RAID 5 MTTDL     = {format_quantity(result['raid5_mttdl_h'], ' h')}"
+                 f"  (~{result['raid5_years']:,.0f} years; paper: ~4e9 h / 475,000 years)")
+    lines.append(f"  eq.(3) catastrophic MDLR       = {result['catastrophic_mdlr']:.2f} B/h (paper: ~0.8)")
+    lines.append(f"  P(loss in 3 yr @ 1M h MTTDL)   = {result['p_loss_3yr_at_1m_h']:.1%} (paper: 2.6%)")
+    lines.append(f"  NVRAM-loss window MTTDL        = {format_quantity(result['nvram_window_mttdl_h'], ' h')}"
+                 f" (paper: > 1e11 h, 'safely ignored')")
+    report("\n".join(lines))
+
+    assert result["raid5_mttdl_h"] == pytest.approx(4.17e9, rel=0.05)
+    assert result["catastrophic_mdlr"] == pytest.approx(0.8, rel=0.05)
+    assert result["p_loss_3yr_at_1m_h"] == pytest.approx(0.026, rel=0.1)
+    assert result["nvram_window_mttdl_h"] > 1e11

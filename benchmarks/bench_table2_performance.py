@@ -1,0 +1,83 @@
+"""Table 2 / Figure 2 — relative performance of AFRAID, RAID 5 and RAID 0.
+
+Per workload: mean I/O time under RAID 0, baseline AFRAID, two MTTDL_x
+points, and RAID 5, plus each model's speedup over RAID 5.  The paper's
+headline: baseline AFRAID achieved a geometric-mean 4.1x speedup over
+RAID 5 across its traces, vs 4.2x for RAID 0 — i.e. AFRAID delivers
+essentially unprotected-array performance.
+"""
+
+from conftest import BENCH_DURATION_S, BENCH_SEED, run_once
+
+from repro.harness import PolicyLadderEntry, format_table, run_policy_grid
+from repro.metrics import geometric_mean
+from repro.policy import AlwaysRaid5Policy, BaselineAfraidPolicy, MttdlTargetPolicy, NeverScrubPolicy
+from repro.traces import workload_names
+
+LADDER = [
+    PolicyLadderEntry("raid0", NeverScrubPolicy),
+    PolicyLadderEntry("afraid", BaselineAfraidPolicy),
+    PolicyLadderEntry("MTTDL_1e7", lambda: MttdlTargetPolicy(1.0e7)),
+    PolicyLadderEntry("MTTDL_1e6", lambda: MttdlTargetPolicy(1.0e6)),
+    PolicyLadderEntry("raid5", AlwaysRaid5Policy),
+]
+LABELS = [entry.label for entry in LADDER]
+
+
+def compute():
+    workloads = workload_names()
+    grid = run_policy_grid(workloads, LADDER, duration_s=BENCH_DURATION_S, seed=BENCH_SEED)
+    return workloads, grid
+
+
+def test_table2_performance(benchmark, report):
+    workloads, grid = run_once(benchmark, compute)
+
+    rows = []
+    for workload in workloads:
+        raid5_mean = grid[(workload, "raid5")].io_time.mean
+        row = [workload, str(grid[(workload, "raid5")].nrequests)]
+        for label in LABELS:
+            row.append(f"{grid[(workload, label)].mean_io_time_ms:.1f}")
+        row.append(f"{raid5_mean / grid[(workload, 'afraid')].io_time.mean:.1f}x")
+        rows.append(row)
+
+    speedups = {
+        label: geometric_mean(
+            [
+                grid[(workload, "raid5")].io_time.mean / grid[(workload, label)].io_time.mean
+                for workload in workloads
+            ]
+        )
+        for label in LABELS
+    }
+    rows.append(
+        ["geo-mean speedup", ""]
+        + [f"{speedups[label]:.2f}x" for label in LABELS]
+        + [""]
+    )
+
+    report(
+        format_table(
+            ["workload", "reqs"] + [f"{label} ms" for label in LABELS] + ["afraid vs raid5"],
+            rows,
+            title=(
+                "Table 2 / Figure 2: mean I/O time per workload "
+                f"({BENCH_DURATION_S:g}s traces; paper geo-means: RAID0 4.2x, AFRAID 4.1x)"
+            ),
+        )
+    )
+
+    # Shape assertions (the paper's qualitative results):
+    # 1. AFRAID ~= RAID 0, far ahead of RAID 5 in the geometric mean.
+    assert speedups["afraid"] > 2.5
+    assert speedups["afraid"] / speedups["raid0"] > 0.90
+    # 2. The MTTDL_x ladder sits between RAID 5 and pure AFRAID.
+    assert 1.0 <= speedups["MTTDL_1e6"] <= speedups["afraid"]
+    assert speedups["MTTDL_1e7"] <= speedups["MTTDL_1e6"] * 1.05
+    # 3. AFRAID beats RAID 5 on every single workload.
+    for workload in workloads:
+        assert (
+            grid[(workload, "afraid")].io_time.mean
+            < grid[(workload, "raid5")].io_time.mean
+        ), workload

@@ -1,0 +1,98 @@
+"""Table 4 — mean time to data loss per workload and policy.
+
+The paper's findings, all asserted below:
+
+* baseline AFRAID is uniformly better than an unprotected array, with a
+  geometric-mean disk-related MTTDL several times RAID 0's;
+* the MTTDL_x policy's achieved disk-related MTTDL is never more than 5%
+  below its target;
+* overall MTTDL is capped by the 2M-hour support components for
+  everything except baseline AFRAID under the busiest workloads.
+"""
+
+from conftest import BENCH_DURATION_S, BENCH_SEED, run_once
+
+from repro.availability import CONSERVATIVE_SUPPORT, TABLE_1, raid5_mttdl_catastrophic
+from repro.harness import PolicyLadderEntry, format_quantity, format_table, run_policy_grid
+from repro.metrics import geometric_mean
+from repro.policy import AlwaysRaid5Policy, BaselineAfraidPolicy, MttdlTargetPolicy, NeverScrubPolicy
+from repro.traces import workload_names
+
+TARGETS = (1.0e7, 1.0e6)
+LADDER = [
+    PolicyLadderEntry("raid0", NeverScrubPolicy),
+    PolicyLadderEntry("afraid", BaselineAfraidPolicy),
+    PolicyLadderEntry("MTTDL_1e7", lambda: MttdlTargetPolicy(TARGETS[0])),
+    PolicyLadderEntry("MTTDL_1e6", lambda: MttdlTargetPolicy(TARGETS[1])),
+    PolicyLadderEntry("raid5", AlwaysRaid5Policy),
+]
+LABELS = [entry.label for entry in LADDER]
+
+
+def compute():
+    workloads = workload_names()
+    grid = run_policy_grid(workloads, LADDER, duration_s=BENCH_DURATION_S, seed=BENCH_SEED)
+    return workloads, grid
+
+
+def test_table4_mttdl(benchmark, report):
+    workloads, grid = run_once(benchmark, compute)
+
+    rows = []
+    for workload in workloads:
+        row = [workload]
+        for label in LABELS:
+            row.append(format_quantity(grid[(workload, label)].mttdl_disk_h))
+        row.append(format_quantity(grid[(workload, "afraid")].mttdl_overall_h))
+        rows.append(row)
+    geo = {
+        label: geometric_mean([grid[(w, label)].mttdl_disk_h for w in workloads])
+        for label in LABELS
+        if label != "raid5"  # raid5's disk MTTDL is a constant 4.17e9
+    }
+    rows.append(
+        ["geo-mean"]
+        + [format_quantity(geo[label]) if label in geo else "4.2e+09" for label in LABELS]
+        + [""]
+    )
+
+    report(
+        format_table(
+            ["workload"] + [f"{label} (h)" for label in LABELS] + ["afraid overall (h)"],
+            rows,
+            title="Table 4: disk-related MTTDL per workload and policy",
+        )
+    )
+
+    raid5_value = raid5_mttdl_catastrophic(5, TABLE_1.mttf_disk_h, TABLE_1.mttr_h)
+    for workload in workloads:
+        afraid = grid[(workload, "afraid")]
+        raid0 = grid[(workload, "raid0")]
+        # Paper: "even the baseline AFRAID design is uniformly better than
+        # an unprotected disk array".
+        assert afraid.mttdl_disk_h >= raid0.mttdl_disk_h * 0.999, workload
+        # Paper: "the disk-related MTTDL was never more than 5% below its
+        # target" (a target above RAID 5's own value is unreachable by
+        # definition, but none of ours is).
+        for target, label in zip(TARGETS, ("MTTDL_1e7", "MTTDL_1e6")):
+            achieved = grid[(workload, label)].mttdl_disk_h
+            assert achieved >= 0.95 * min(target, raid5_value), (workload, label)
+
+    # Paper: AFRAID's geometric-mean MTTDL is several times RAID 0's
+    # (4.3x in the paper) and within an order of magnitude of RAID 5's
+    # support-capped overall value.
+    assert geo["afraid"] / geo["raid0"] > 2.0
+    overall_ratio = geometric_mean(
+        [
+            grid[(w, "afraid")].mttdl_overall_h / grid[(w, "raid5")].mttdl_overall_h
+            for w in workloads
+        ]
+    )
+    assert 0.15 < overall_ratio < 1.0
+    # Paper: support components limit overall MTTDL to ~2M hours for all
+    # but baseline AFRAID on the busiest workloads.
+    for workload in workloads:
+        assert grid[(workload, "raid5")].mttdl_overall_h > 0.99 * CONSERVATIVE_SUPPORT.mttdl_h
+        # A 1e7-hour disk target leaves overall MTTDL support-dominated:
+        # combine(1e7, 2e6) = 1.67e6 hours.
+        assert grid[(workload, "MTTDL_1e7")].mttdl_overall_h >= 1.2e6, workload

@@ -1,0 +1,41 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it to the terminal (bypassing pytest's capture), so running
+
+    pytest benchmarks/ --benchmark-only
+
+produces the full paper-style report alongside the timing table.  The
+benches also assert the *shape* of each result — who wins, by roughly
+what factor — so they double as regression tests for the reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: One simulated duration for all trace-driven benches, long enough for
+#: dozens of burst/idle cycles on every catalog workload.
+BENCH_DURATION_S = 60.0
+BENCH_SEED = 1
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print a paper-style table straight to the terminal."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Simulation benches are deterministic and heavy; repeating them adds
+    nothing but wall-clock, so every bench uses a single round.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

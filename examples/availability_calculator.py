@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Walk through Section 3's availability arithmetic, number by number.
+
+Every figure the paper quotes in its availability analysis, recomputed
+from the Table 1 constants: the 475,000-year RAID 5 MTTDL, the 0.8 B/h
+catastrophic MDLR, the 4 KB/h support-hardware loss rate, the PrestoServe
+comparison, and the external-power story.  Run it to sanity-check the
+models — or edit the constants to explore your own array.
+"""
+
+from repro.availability import (
+    CONSERVATIVE_SUPPORT,
+    GIBSON_SUPPORT,
+    MAINS_ONLY,
+    PRESTOSERVE,
+    TABLE_1,
+    WITH_UPS,
+    afraid_mttdl,
+    combine_mttdl,
+    loss_probability,
+    mdlr_raid_catastrophic,
+    mdlr_unprotected,
+    raid5_mttdl_catastrophic,
+)
+from repro.availability.lifetime import loss_probability_years
+from repro.availability.models import single_disk_mdlr
+from repro.harness import format_table
+
+HOURS_PER_YEAR = 24 * 365.25
+
+
+def main():
+    params = TABLE_1
+    ndisks = 5
+
+    print("Table 1 — assumed values:")
+    print(format_table(["parameter", "value"], params.rows()))
+
+    print("\nSection 3.1 — mean time to first data loss:")
+    raid5 = raid5_mttdl_catastrophic(ndisks, params.mttf_disk_h, params.mttr_h)
+    print(f"  eq.(1) 5-disk RAID 5 MTTDL = {raid5:.2e} h = {raid5 / HOURS_PER_YEAR:,.0f} years")
+    print(f"  (the paper: '~4.10^9 hours, or about 475,000 years')")
+
+    print("\nSection 3.2 — mean data loss rate:")
+    catastrophic = mdlr_raid_catastrophic(ndisks, params.disk_bytes, raid5)
+    print(f"  eq.(3) catastrophic MDLR = {catastrophic:.2f} bytes/hour (paper: ~0.8)")
+    for lag_kb in (8, 64, 1024):
+        rate = mdlr_unprotected(ndisks, lag_kb * 1024, params.mttf_disk_h)
+        print(f"  eq.(4) with a {lag_kb:5d} KB mean parity lag: {rate:8.4f} bytes/hour")
+
+    print("\nSection 3.3 — support components dominate:")
+    rows = [
+        ["2M-hour support (Table 1)", f"{CONSERVATIVE_SUPPORT.mdlr(ndisks, params.disk_bytes) / 1000:.1f} KB/h"],
+        ["150k-hour support [Gibson93]", f"{GIBSON_SUPPORT.mdlr(ndisks, params.disk_bytes) / 1000:.1f} KB/h"],
+        ["one bare 2 GB disk (1M h)", f"{single_disk_mdlr(params.disk_bytes, 1e6) / 1000:.1f} KB/h"],
+    ]
+    print(format_table(["failure source", "MDLR"], rows))
+
+    print("\nSection 3.4 — the NVRAM yardstick:")
+    print(f"  PrestoServe ({PRESTOSERVE.mttf_h:.0f} h MTTF, 1 MB dirty): "
+          f"{PRESTOSERVE.mdlr:.0f} bytes/hour —")
+    print("  single-copy NVRAM users already accept more risk than AFRAID's parity lag.")
+
+    print("\nSection 3.5 — external power:")
+    print(f"  mains only: MTTDL {MAINS_ONLY.mttdl_h:.0f} h "
+          f"(write duty cycle {MAINS_ONLY.write_duty_cycle:.0%})")
+    print(f"  with a 200k-hour UPS: MTTDL {WITH_UPS.mttdl_h:.2e} h")
+
+    print("\nSection 3.6 — how much availability is enough?")
+    rows = []
+    for fraction in (0.0, 0.01, 0.05, 0.10, 0.25, 0.50, 1.00):
+        disk_mttdl = afraid_mttdl(ndisks, params.mttf_disk_h, params.mttr_h, fraction)
+        overall = combine_mttdl(disk_mttdl, CONSERVATIVE_SUPPORT.mttdl_h)
+        rows.append(
+            [
+                f"{fraction:.0%}",
+                f"{disk_mttdl:.2e}",
+                f"{overall:.2e}",
+                f"{loss_probability_years(overall, 3.0):.2%}",
+            ]
+        )
+    print(
+        format_table(
+            ["unprotected time", "disk MTTDL h", "overall MTTDL h", "P(loss in 3 yr)"],
+            rows,
+        )
+    )
+    print("\nReading the last column top to bottom: even generous exposure moves the")
+    print("3-year loss probability only slightly — support hardware was the limit all along.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Failure injection: what a disk death actually costs under each model.
+
+Runs a write burst against AFRAID and RAID 5 arrays carrying *real data*
+(the functional twin), kills a disk at the worst possible moment — right
+after the burst, before any idle time — and reports exactly which bytes
+were lost, checking the measurement against the paper's §3.2 loss model.
+Also demonstrates the NVRAM marking-memory failure path: the array marks
+everything and rebuilds parity across all stripes.
+"""
+
+from repro.array import ArrayRequest, toy_array
+from repro.blocks import DataLostError
+from repro.disk import IoKind
+from repro.faults import FaultInjector, predicted_loss_bytes
+from repro.policy import AlwaysRaid5Policy, BaselineAfraidPolicy
+from repro.sim import AllOf, Simulator
+
+
+def payload(array, nsectors, seed):
+    return bytes((seed * 71 + i) % 256 for i in range(nsectors * array.sector_bytes))
+
+
+def burst_then_kill(policy, idle_threshold_s, kill_delay_s, label):
+    sim = Simulator()
+    array = toy_array(sim, policy=policy, idle_threshold_s=idle_threshold_s)
+    injector = FaultInjector(sim, array)
+
+    # A burst of writes across several stripes, each carrying real bytes.
+    stride = array.layout.stripe_data_sectors
+    events = []
+    for stripe in range(6):
+        data = payload(array, 4, seed=stripe)
+        events.append(
+            array.submit(ArrayRequest(IoKind.WRITE, stripe * stride, 4, data=data))
+        )
+    sim.run_until_triggered(AllOf(sim, events))
+
+    predicted = predicted_loss_bytes(array, failed_disk=0)
+    injector.fail_disk_at(disk=0, at_time=sim.now + kill_delay_s)
+    sim.run(until=sim.now + kill_delay_s + 1.0)
+    report = injector.reports[0]
+
+    print(f"\n{label}:")
+    print(f"  dirty stripes when disk 0 died: {report.dirty_stripes_at_failure}")
+    print(f"  predicted loss (sec. 3.2 model): {predicted} bytes")
+    print(f"  actual loss (functional twin):   {report.lost_data_bytes} bytes")
+
+    # Show which reads survive: clean stripes reconstruct through parity.
+    recovered = lost = 0
+    for stripe in range(6):
+        try:
+            array.functional.read(stripe * stride, 4)
+            recovered += 1
+        except DataLostError:
+            lost += 1
+    print(f"  readable after failure: {recovered}/6 bursts ({lost} unrecoverable)")
+    return report
+
+
+def nvram_failure_demo():
+    print("\n=== NVRAM marking-memory failure (paper section 3.1) ===")
+    sim = Simulator()
+    array = toy_array(sim, ndisks=3, stripe_unit_sectors=4, with_functional=False)
+    injector = FaultInjector(sim, array)
+    injector.fail_mark_memory_at(at_time=0.5)
+    sim.run(until=0.5 + 1e-6)
+    print(f"  marks lost: array conservatively marks all {array.dirty_stripe_count} stripes")
+    sim.run(until=180.0)
+    print(f"  after background rebuild: {array.dirty_stripe_count} dirty stripes, "
+          f"{array.stats.stripes_scrubbed} scrubbed")
+
+
+def main():
+    print("=== Single disk failure immediately after a write burst ===")
+    burst_then_kill(
+        AlwaysRaid5Policy(), idle_threshold_s=0.1, kill_delay_s=0.01,
+        label="RAID 5 (parity always fresh: nothing to lose)",
+    )
+    burst_then_kill(
+        BaselineAfraidPolicy(), idle_threshold_s=1e9, kill_delay_s=0.01,
+        label="AFRAID, failure wins the race (scrubber never ran)",
+    )
+    burst_then_kill(
+        BaselineAfraidPolicy(), idle_threshold_s=0.05, kill_delay_s=5.0,
+        label="AFRAID, idle time first (scrubber wins the race)",
+    )
+    nvram_failure_demo()
+    print("\nThe exposure is real but bounded — one stripe unit per dirty stripe —")
+    print("and it exists only in the window between a write burst and the next idle period.")
+
+
+if __name__ == "__main__":
+    main()

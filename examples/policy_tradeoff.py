@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The AFRAID dial: sweep MTTDL_x targets on one workload (paper Figure 4).
+
+For a chosen workload, runs the full policy ladder — RAID 5, a series of
+MTTDL_x targets from tight to loose, baseline AFRAID, RAID 0 — and prints
+mean I/O time against delivered availability, plus an ASCII rendering of
+the trade-off curve.
+
+Usage: python policy_tradeoff.py [workload] [duration_s]
+"""
+
+import sys
+
+from repro.harness import format_table, policy_ladder, run_policy_grid, tradeoff_curve
+
+
+def ascii_curve(points, width=60, height=12):
+    """Plot relative performance (x) vs relative availability (y)."""
+    xs = [point.relative_performance for point in points]
+    ys = [point.relative_availability for point in points]
+    x_max = max(xs) * 1.05
+    grid = [[" "] * (width + 1) for _ in range(height + 1)]
+    for point in points:
+        column = int(point.relative_performance / x_max * width)
+        row = height - int(min(point.relative_availability, 1.0) * height)
+        grid[row][column] = "o"
+    lines = ["availability (rel. to RAID 5)"]
+    for row_index, row in enumerate(grid):
+        label = f"{1.0 - row_index / height:4.1f} |"
+        lines.append(label + "".join(row))
+    lines.append("      " + "-" * (width + 1))
+    lines.append(f"      1.0{'performance (rel. to RAID 5)':^{width - 12}}{x_max:.1f}")
+    return "\n".join(lines)
+
+
+def main():
+    workload = sys.argv[1] if len(sys.argv) > 1 else "AS400-1"
+    duration = float(sys.argv[2]) if len(sys.argv) > 2 else 25.0
+
+    ladder = policy_ladder()
+    labels = [entry.label for entry in ladder]
+    print(f"running {len(ladder)} policies on {workload} ({duration:g} s each)...")
+    grid = run_policy_grid([workload], ladder, duration_s=duration, seed=42)
+
+    rows = []
+    for label in labels:
+        result = grid[(workload, label)]
+        rows.append(
+            [
+                label,
+                f"{result.mean_io_time_ms:.2f}",
+                f"{result.unprotected_fraction:.1%}",
+                f"{result.mttdl_disk_h:.2e}",
+                f"{result.stripes_scrubbed}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["policy", "mean I/O ms", "unprot time", "disk MTTDL h", "scrubbed"],
+            rows,
+            title=f"{workload}: the availability/performance ladder",
+        )
+    )
+
+    points = tradeoff_curve(grid, [workload], labels)
+    print()
+    print(ascii_curve(points))
+    print("\nEach 'o' is one policy; moving right trades availability for speed.")
+
+
+if __name__ == "__main__":
+    main()

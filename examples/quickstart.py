@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: the small-update problem, and how AFRAID removes it.
+
+Builds the paper's testbed (5 spin-synchronised HP C3325 drives, 8 KB
+stripe units) twice — once as a traditional RAID 5, once as an AFRAID —
+issues the same 8 KB write to each, and shows where the time and the disk
+I/Os went.  Then it lets the AFRAID array go idle so the background
+scrubber restores full redundancy, and prints the availability cost of
+the exposure window.
+"""
+
+from repro.array import ArrayRequest, paper_array, raid5_array
+from repro.availability import TABLE_1, afraid_mttdl, raid5_mttdl_catastrophic
+from repro.disk import IoKind
+from repro.sim import Simulator
+
+
+def small_write(sim, array, label):
+    request = ArrayRequest(IoKind.WRITE, offset_sectors=10_000, nsectors=16)  # 8 KB
+    done = array.submit(request)
+    sim.run_until_triggered(done)
+    stats = array.stats
+    print(f"\n{label}:")
+    print(f"  write completed in {request.io_time * 1e3:6.2f} ms")
+    print(
+        f"  disk I/Os: {stats.preread_ios} pre-reads, "
+        f"{stats.foreground_data_writes} data writes, "
+        f"{stats.foreground_parity_writes} parity writes "
+        f"(total {stats.foreground_disk_ios})"
+    )
+    return request.io_time
+
+
+def main():
+    print("=== The small-update problem (paper Figure 1) ===")
+
+    sim = Simulator()
+    raid5 = raid5_array(sim, name="raid5")
+    t_raid5 = small_write(sim, raid5, "RAID 5 (read old data, read old parity, write both)")
+
+    sim2 = Simulator()
+    afraid = paper_array(sim2, name="afraid")
+    t_afraid = small_write(sim2, afraid, "AFRAID (write the data, mark the stripe)")
+
+    print(f"\n  speedup: {t_raid5 / t_afraid:.1f}x for this single quiet-array write")
+    print(f"  dirty stripes after the AFRAID write: {afraid.dirty_stripe_count}")
+
+    print("\n=== Idle-time parity rebuild ===")
+    sim2.run(until=sim2.now + 1.0)  # 100 ms idle threshold, then the scrub
+    print(f"  after 1 s of idleness: dirty stripes = {afraid.dirty_stripe_count}, "
+          f"stripes scrubbed = {afraid.stats.stripes_scrubbed}")
+
+    afraid.finalize()
+    tracker = afraid.lag_tracker
+    print(f"  the stripe was unprotected for {tracker.unprotected_time * 1e3:.0f} ms "
+          f"({tracker.unprotected_fraction:.1%} of the run)")
+
+    print("\n=== What that exposure costs (Section 3) ===")
+    params = TABLE_1
+    raid5_mttdl = raid5_mttdl_catastrophic(5, params.mttf_disk_h, params.mttr_h)
+    exposed = afraid_mttdl(5, params.mttf_disk_h, params.mttr_h, tracker.unprotected_fraction)
+    print(f"  RAID 5 disk-related MTTDL: {raid5_mttdl:.2e} hours")
+    print(f"  AFRAID disk-related MTTDL at this exposure: {exposed:.2e} hours")
+    print(f"  ... both dwarfed by the ~{params.mttdl_support_h:.0e}-hour support hardware limit,")
+    print("  which is the paper's point: the redundancy being traded away was surplus.")
+
+
+if __name__ == "__main__":
+    main()

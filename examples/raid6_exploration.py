@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""AFRAID on RAID 6 — the paper's §5 refinement, end to end.
+
+Part 1 uses the byte-accurate dual-parity array: writes real data with
+each deferral choice, kills two disks, and shows exactly when recovery
+succeeds (both syndromes fresh), partially holds (one deferred), or fails
+(both deferred, caught before the rebuild).
+
+Part 2 uses the timing model: the same small write costs 6, 4, or 1 disk
+I/Os depending on how many syndrome updates are deferred, and a burst
+shows what that does to mean I/O time.
+"""
+
+from repro.array.request import ArrayRequest
+from repro.disk import IoKind, hp_c3325
+from repro.ext.raid6_afraid import DeferralMode, Raid6AfraidArray
+from repro.ext.raid6_blocks import Raid6DataLostError, Raid6FunctionalArray
+from repro.layout import Raid6Layout
+from repro.sim import AllOf, Simulator
+
+
+def functional_demo():
+    print("=== Part 1: real bytes, real Reed-Solomon recovery ===")
+    layout = Raid6Layout(ndisks=6, stripe_unit_sectors=8, disk_sectors=64)
+    for label, update_p, update_q in [
+        ("both syndromes fresh (RAID 6)", True, True),
+        ("Q deferred (partial redundancy)", True, False),
+        ("both deferred (AFRAID exposure)", False, False),
+    ]:
+        array = Raid6FunctionalArray(layout, sector_bytes=64)
+        data = bytes(range(256)) * 2  # 8 sectors x 64 B
+        array.write(0, data, update_p=update_p, update_q=update_q)
+        level = array.redundancy_level(0)
+        # Kill two of the stripe's data disks.
+        array.fail_disk(layout.data_disk(0, 0))
+        array.fail_disk(layout.data_disk(0, 2))
+        try:
+            recovered = array.read(0, 8) == data
+            verdict = "recovered both lost units" if recovered else "WRONG DATA"
+        except Raid6DataLostError as exc:
+            verdict = f"lost: {exc}"
+        print(f"  {label}: tolerates {level} failure(s) -> after 2 failures: {verdict}")
+
+
+def timing_demo():
+    print("\n=== Part 2: what each deferral level costs ===")
+    print(f"  {'mode':<12} {'I/Os/write':>10} {'quiet write':>12} {'burst mean':>11}")
+    for mode in DeferralMode:
+        sim = Simulator()
+        disks = [hp_c3325(sim, name=f"d{i}") for i in range(6)]
+        array = Raid6AfraidArray(sim, disks, stripe_unit_sectors=16, mode=mode,
+                                 idle_threshold_s=1e9)
+        request = ArrayRequest(IoKind.WRITE, 0, 16)
+        done = array.submit(request)
+        sim.run_until_triggered(done)
+        quiet_ms = request.io_time * 1e3
+        ios = array.disk_ios
+
+        events = [array.submit(ArrayRequest(IoKind.WRITE, i * 64, 16)) for i in range(30)]
+        sim.run_until_triggered(AllOf(sim, events))
+        print(f"  {mode.value:<12} {ios:>10} {quiet_ms:>10.2f}ms {array.mean_io_time * 1e3:>9.2f}ms")
+
+    print("\nDeferring Q keeps every write single-failure-safe at 2/3 of the")
+    print("RAID 6 cost; deferring both is the full AFRAID bet on idle time.")
+
+
+if __name__ == "__main__":
+    functional_demo()
+    timing_demo()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The normal route is ``pip install -e .``, but this environment has no
+network and no ``wheel`` package, so PEP 660 editable builds fail.
+``python setup.py develop`` (driven by the metadata in pyproject.toml)
+works offline and is what the test/bench instructions use here.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Array controllers: RAID 5, AFRAID, and the RAID 0 model.
+
+One controller class, :class:`~repro.array.controller.DiskArray`, serves
+all three models — exactly as in the paper, where "almost all of the code
+was the same between the various array models" and RAID 0 was "an AFRAID
+that simply never did parity updates" (§4.1).  The differences live in the
+:mod:`repro.policy` object plugged in:
+
+* :class:`~repro.policy.AlwaysRaid5Policy` — traditional RAID 5,
+* :class:`~repro.policy.BaselineAfraidPolicy` — the AFRAID baseline,
+* :class:`~repro.policy.MttdlTargetPolicy` — the tunable MTTDL_x ladder,
+* :class:`~repro.policy.NeverScrubPolicy` — the RAID 0 datapoint.
+
+The :mod:`repro.array.factory` helpers assemble complete arrays (disks,
+drivers, cache, marks, idle detector) in the paper's configuration.
+"""
+
+from repro.array.cache import ByteBudget, ReadCache
+from repro.array.controller import ArrayStats, DiskArray
+from repro.array.factory import build_array, paper_array, raid0_array, raid5_array, toy_array
+from repro.array.request import ArrayRequest
+
+__all__ = [
+    "ArrayRequest",
+    "ArrayStats",
+    "ByteBudget",
+    "DiskArray",
+    "ReadCache",
+    "build_array",
+    "paper_array",
+    "raid0_array",
+    "raid5_array",
+    "toy_array",
+]

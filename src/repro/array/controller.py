@@ -1,0 +1,773 @@
+"""The array controller servicing client requests over member disks.
+
+Faithful to the paper's §4.1 configuration:
+
+* host-level C-LOOK queueing over logical addresses; FCFS back-end drivers;
+* at most ``ndisks`` client requests concurrently active inside the array;
+* a 256 KB write-through staging area and a 256 KB read cache, no readahead;
+* spin-synchronised member disks (equal spindle phase);
+* requests are never preempted once started; multiple writes to the same
+  stripe may proceed in parallel, but block while that stripe's parity is
+  being rebuilt;
+* AFRAID writes mark stripes in NVRAM *before* the data lands; the
+  background scrubber rebuilds parity in idle periods, preemptible between
+  stripes (not within one);
+* RAID 5 writes use read-modify-write for small updates, reconstruct-write
+  for writes to stripes with stale parity, and a no-preread fast path for
+  full-stripe writes.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing
+
+from repro.array.cache import ByteBudget, ReadCache
+from repro.array.request import ArrayRequest
+from repro.availability import ParityLagTracker, ReliabilityParams
+from repro.disk import DiskIO, IoKind, MechanicalDisk
+from repro.idle import IdleDetector
+from repro.layout import Raid5Layout
+from repro.layout.base import ExtentRun
+from repro.nvram import MarkMemory
+from repro.policy import ParityPolicy, WriteMode
+from repro.sched import ClookScheduler, DiskDriver, FcfsScheduler
+from repro.sim import AllOf, Event, Resource, Simulator
+
+if typing.TYPE_CHECKING:  # pragma: no cover - optional functional twin
+    from repro.blocks import FunctionalArray
+
+
+@dataclasses.dataclass
+class ArrayStats:
+    """Cumulative controller counters."""
+
+    reads_completed: int = 0
+    writes_completed: int = 0
+    io_times: list[float] = dataclasses.field(default_factory=list)
+    # Disk I/Os by purpose:
+    foreground_data_reads: int = 0
+    foreground_data_writes: int = 0
+    preread_ios: int = 0  # old-data + old-parity reads of the RMW protocol
+    foreground_parity_writes: int = 0
+    reconstruct_reads: int = 0  # reads serving a RAID 5 write to a dirty stripe
+    scrub_data_reads: int = 0
+    scrub_parity_writes: int = 0
+    stripes_scrubbed: int = 0
+
+    @property
+    def completed(self) -> int:
+        return self.reads_completed + self.writes_completed
+
+    @property
+    def mean_io_time(self) -> float:
+        return sum(self.io_times) / len(self.io_times) if self.io_times else 0.0
+
+    @property
+    def foreground_disk_ios(self) -> int:
+        """Disk I/Os in (or caused by) the client critical path."""
+        return (
+            self.foreground_data_reads
+            + self.foreground_data_writes
+            + self.preread_ios
+            + self.foreground_parity_writes
+            + self.reconstruct_reads
+        )
+
+
+class DiskArray:
+    """A RAID 5 / AFRAID / RAID 0 array; the model is chosen by ``policy``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        disks: list[MechanicalDisk],
+        stripe_unit_sectors: int,
+        policy: ParityPolicy,
+        read_cache_bytes: int = 256 * 1024,
+        write_staging_bytes: int = 256 * 1024,
+        idle_threshold_s: float = 0.100,
+        cache_hit_latency_s: float = 0.0002,
+        write_policy: str = "writethrough",
+        nvram_ack_latency_s: float = 0.0002,
+        params: ReliabilityParams | None = None,
+        functional: "FunctionalArray | None" = None,
+        bits_per_stripe: int = 1,
+        host_scheduler: ClookScheduler | None = None,
+        name: str = "array",
+    ) -> None:
+        if len(disks) < 3:
+            raise ValueError(f"need >= 3 disks for RAID 5, got {len(disks)}")
+        self.sim = sim
+        self.disks = list(disks)
+        self.policy = policy
+        self.params = params if params is not None else ReliabilityParams()
+        self.functional = functional
+        self.name = name
+        self.cache_hit_latency_s = cache_hit_latency_s
+        if write_policy not in ("writethrough", "writeback"):
+            raise ValueError(f"write_policy must be writethrough|writeback, got {write_policy!r}")
+        #: "writethrough" (the paper's §4.1 configuration): a write
+        #: completes once it is on disk.  "writeback": the write completes
+        #: when it reaches the NVRAM staging area (single-copy NVRAM
+        #: semantics, §3.4) and is flushed to disk in the background —
+        #: the PrestoServe-style configuration the paper compares against.
+        self.write_policy = write_policy
+        self.nvram_ack_latency_s = nvram_ack_latency_s
+
+        self.sector_bytes = disks[0].geometry.sector_bytes
+        usable_sectors = min(disk.geometry.total_sectors for disk in disks)
+        self.layout = Raid5Layout(len(disks), stripe_unit_sectors, usable_sectors)
+        self.unit_bytes = stripe_unit_sectors * self.sector_bytes
+
+        self.drivers = [
+            DiskDriver(sim, disk, FcfsScheduler(), name=f"{name}.be{index}")
+            for index, disk in enumerate(self.disks)
+        ]
+        self.slots = Resource(sim, capacity=len(disks), name=f"{name}.slots")
+        self.read_cache = ReadCache(read_cache_bytes, self.unit_bytes, self.sector_bytes)
+        self.staging = ByteBudget(sim, write_staging_bytes, name=f"{name}.staging")
+        self.marks = MarkMemory(self.layout.nstripes, bits_per_stripe=bits_per_stripe)
+        self.detector = IdleDetector(sim, threshold_s=idle_threshold_s)
+        self.lag_tracker = ParityLagTracker(start_time=sim.now)
+        #: Dirty bytes behind the single-copy NVRAM (writeback mode only):
+        #: the §3.4 vulnerable-data quantity for the NVRAM MDLR comparison.
+        self.nvram_dirty_tracker = ParityLagTracker(start_time=sim.now)
+        self._nvram_dirty_bytes = 0
+        self.stats = ArrayStats()
+
+        # The paper's host driver uses C-LOOK; any IoScheduler works here
+        # (the scheduler-comparison ablation swaps in FCFS / SSTF / LOOK).
+        self._host_queue = host_scheduler if host_scheduler is not None else ClookScheduler()
+        self._host_pumping = False
+        self._clook_position = 0
+        self._rebuilding: dict[int, Event] = {}
+        self._scrub_running = False
+        self._force_scrub = False
+        self._finished = False
+        self._degraded_disk: int | None = None
+
+        self.detector.on_idle.append(self._on_idle)
+        policy.attach(self)
+
+    # -- ArrayView protocol (what policies see) -------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def ndisks(self) -> int:
+        return len(self.disks)
+
+    @property
+    def dirty_stripe_count(self) -> int:
+        return len(self.marks.marked_stripes)
+
+    @property
+    def is_idle(self) -> bool:
+        return self.detector.is_idle
+
+    def unprotected_fraction_so_far(self) -> float:
+        return self.lag_tracker.snapshot_unprotected_fraction(self.sim.now)
+
+    def idle_fraction_so_far(self) -> float:
+        return self.detector.idle_fraction()
+
+    def request_scrub(self, force: bool = False) -> None:
+        """Ask for background parity rebuilding (``force``: even if busy)."""
+        if force:
+            self._force_scrub = True
+        self._ensure_scrubber()
+
+    # -- derived figures --------------------------------------------------------------
+
+    @property
+    def parity_lag_bytes(self) -> float:
+        """Current unredundant non-parity data (the paper's parity lag)."""
+        per_mark = (
+            self.layout.data_units_per_stripe * self.unit_bytes / self.marks.bits_per_stripe
+        )
+        return self.marks.count * per_mark
+
+    @property
+    def data_capacity_bytes(self) -> int:
+        return self.layout.total_data_sectors * self.sector_bytes
+
+    # -- client API ------------------------------------------------------------------------
+
+    def submit(self, request: ArrayRequest) -> Event:
+        """Hand ``request`` to the host driver; event fires at completion.
+
+        The event's value is the request itself (with times stamped and,
+        when a functional store is attached, read payloads filled in).
+        """
+        if self._finished:
+            raise RuntimeError(f"{self.name} has been finalised")
+        if request.offset_sectors + request.nsectors > self.layout.total_data_sectors:
+            raise ValueError(
+                f"request [{request.offset_sectors}, +{request.nsectors}) exceeds "
+                f"array data capacity of {self.layout.total_data_sectors} sectors"
+            )
+        if request.submit_time is not None:
+            raise ValueError("request was already submitted")
+        request.submit_time = self.sim.now
+        self.detector.activity_started()
+        done = self.sim.event(name=f"{self.name}.done")
+        self._host_queue.push((request, done), request.offset_sectors)
+        if not self._host_pumping:
+            self._host_pumping = True
+            self.sim.process(self._host_pump(), name=f"{self.name}.host_pump")
+        return done
+
+    def finalize(self) -> None:
+        """Close the parity-lag (and NVRAM-dirty) integrals at the current time."""
+        if not self._finished:
+            self._finished = True
+            self.lag_tracker.finish(self.sim.now)
+            self.nvram_dirty_tracker.finish(self.sim.now)
+
+    def drain(self) -> Event:
+        """An event that fires once no client work is queued or in flight."""
+        done = self.sim.event(name=f"{self.name}.drained")
+        if self.detector.is_idle and not self._host_queue:
+            done.succeed()
+        else:
+            self.detector.on_idle.append(lambda: done.succeed() if not done.triggered else None)
+        return done
+
+    # -- host-side dispatch --------------------------------------------------------------------
+
+    def _host_pump(self):
+        try:
+            while self._host_queue:
+                yield self.slots.acquire()
+                (request, done), position = self._host_queue.pop(self._clook_position)
+                self._clook_position = position
+                self.sim.process(self._service(request, done), name=f"{self.name}.service")
+        finally:
+            self._host_pumping = False
+
+    def _service(self, request: ArrayRequest, done: Event):
+        request.dispatch_time = self.sim.now
+        try:
+            if request.is_write and self.write_policy == "writeback":
+                # Completes `done` early (at NVRAM ack), then keeps the
+                # slot and detector accounting until the flush lands.
+                yield from self._service_write_writeback(request, done)
+            elif request.is_write:
+                yield from self._service_write(request)
+            else:
+                yield from self._service_read(request)
+        except BaseException as exc:
+            self.slots.release()
+            self.detector.activity_ended()
+            if done.triggered:
+                raise  # client already acked: the background flush failed
+            done.fail(exc)
+            return
+        self.slots.release()
+        self.detector.activity_ended()
+        if done.triggered:
+            return  # writeback: acked at NVRAM time
+        request.complete_time = self.sim.now
+        if request.is_write:
+            self.stats.writes_completed += 1
+        else:
+            self.stats.reads_completed += 1
+        self.stats.io_times.append(request.io_time)
+        done.succeed(request)
+
+    # -- degraded-mode state (used by repro.ext.rebuild) -----------------------------------------------
+
+    @property
+    def degraded_disk(self) -> int | None:
+        """The failed member the array is currently operating without."""
+        return self._degraded_disk
+
+    def enter_degraded(self, disk: int) -> None:
+        """Operate without member ``disk``: reads reconstruct through
+        parity, writes take the degraded (reconstruct-style) path."""
+        if not 0 <= disk < self.ndisks:
+            raise ValueError(f"disk {disk} out of range")
+        if self._degraded_disk is not None:
+            raise RuntimeError("already degraded; double failures lose data")
+        self._degraded_disk = disk
+
+    def leave_degraded(self) -> None:
+        """A replacement disk is fully rebuilt: resume normal operation."""
+        self._degraded_disk = None
+
+    # -- reads ---------------------------------------------------------------------------------------
+
+    def _service_read(self, request: ArrayRequest):
+        if self.read_cache.lookup(request.offset_sectors, request.nsectors):
+            yield self.sim.timeout(self.cache_hit_latency_s)
+        else:
+            events = []
+            for run in self.layout.map_extent(request.offset_sectors, request.nsectors):
+                if run.disk == self._degraded_disk:
+                    events.extend(self._submit_degraded_read(run))
+                else:
+                    events.append(
+                        self.drivers[run.disk].submit(DiskIO(IoKind.READ, run.disk_lba, run.nsectors))
+                    )
+                    self.stats.foreground_data_reads += 1
+            yield AllOf(self.sim, events)
+            self.read_cache.insert(request.offset_sectors, request.nsectors)
+        if self.functional is not None:
+            request.result_data = self.functional.read(request.offset_sectors, request.nsectors)
+
+    def _submit_degraded_read(self, run: ExtentRun) -> list[Event]:
+        """Reconstruct a run on the failed disk: read the same extent of
+        every surviving data unit plus parity, xor on the fly."""
+        stripe = run.stripe
+        in_unit = run.disk_lba - stripe * self.layout.stripe_unit_sectors
+        events = []
+        for unit in self.layout.data_units(stripe):
+            if unit.disk == self._degraded_disk:
+                continue
+            events.append(
+                self.drivers[unit.disk].submit(
+                    DiskIO(IoKind.READ, unit.disk_lba + in_unit, run.nsectors)
+                )
+            )
+            self.stats.reconstruct_reads += 1
+        parity = self.layout.parity_unit(stripe)
+        if parity.disk != self._degraded_disk:
+            events.append(
+                self.drivers[parity.disk].submit(
+                    DiskIO(IoKind.READ, parity.disk_lba + in_unit, run.nsectors)
+                )
+            )
+            self.stats.reconstruct_reads += 1
+        return events
+
+    # -- writes -----------------------------------------------------------------------------------------
+
+    def _service_write(self, request: ArrayRequest):
+        """Write-through: complete once the data (and any parity work the
+        mode requires) is on disk."""
+        nbytes = request.nsectors * self.sector_bytes
+        yield self.staging.reserve(nbytes)
+        try:
+            yield from self._perform_write(request)
+        finally:
+            self.staging.release(nbytes)
+        self.read_cache.insert(request.offset_sectors, request.nsectors)
+
+    def _service_write_writeback(self, request: ArrayRequest, done: Event):
+        """Write-back: ack at NVRAM speed, flush to disk in the background.
+
+        This is the single-copy-NVRAM configuration of §3.4: until the
+        flush lands, ``nbytes`` of client data exist only in the staging
+        NVRAM — `nvram_dirty_tracker` integrates that exposure so the
+        PrestoServe-style MDLR comparison can be computed from a run.
+        """
+        nbytes = request.nsectors * self.sector_bytes
+        yield self.staging.reserve(nbytes)
+        self._nvram_dirty_changed(+nbytes)
+        yield self.sim.timeout(self.nvram_ack_latency_s)
+        request.complete_time = self.sim.now
+        self.stats.writes_completed += 1
+        self.stats.io_times.append(request.io_time)
+        done.succeed(request)
+        try:
+            yield from self._perform_write(request)
+        finally:
+            self.staging.release(nbytes)
+            self._nvram_dirty_changed(-nbytes)
+        self.read_cache.insert(request.offset_sectors, request.nsectors)
+
+    def _nvram_dirty_changed(self, delta: int) -> None:
+        self._nvram_dirty_bytes += delta
+        if not self._finished:
+            self.nvram_dirty_tracker.record(self.sim.now, self._nvram_dirty_bytes)
+
+    def _perform_write(self, request: ArrayRequest):
+        """The disk-side work of a write, independent of ack policy."""
+        runs_by_stripe = self._group_runs(request)
+        # Block while any target stripe's parity rebuild is in flight.
+        for stripe in list(runs_by_stripe):
+            while stripe in self._rebuilding:
+                yield self._rebuilding[stripe]
+        if self._degraded_disk is not None:
+            yield from self._write_degraded(request, runs_by_stripe)
+        else:
+            mode = self.policy.write_mode(tuple(runs_by_stripe))
+            if mode is WriteMode.AFRAID:
+                yield from self._write_afraid(request, runs_by_stripe)
+            else:
+                yield from self._write_raid5(request, runs_by_stripe)
+
+    def _group_runs(self, request: ArrayRequest) -> dict[int, list[ExtentRun]]:
+        grouped: dict[int, list[ExtentRun]] = collections.defaultdict(list)
+        for run in self.layout.map_extent(request.offset_sectors, request.nsectors):
+            grouped[run.stripe].append(run)
+        return dict(grouped)
+
+    def _payload(self, request: ArrayRequest) -> bytes:
+        if request.data is not None:
+            return request.data
+        return bytes(request.nsectors * self.sector_bytes)
+
+    def _write_afraid(self, request: ArrayRequest, runs_by_stripe: dict[int, list[ExtentRun]]):
+        """The AFRAID write: mark first, then one data write per run."""
+        newly_marked = False
+        for stripe, runs in runs_by_stripe.items():
+            for run in runs:
+                for sub_unit in self._sub_units_of(run):
+                    newly_marked |= self.marks.mark(stripe, sub_unit)
+        if newly_marked:
+            self._lag_changed()
+        events = []
+        for runs in runs_by_stripe.values():
+            for run in runs:
+                events.append(
+                    self.drivers[run.disk].submit(DiskIO(IoKind.WRITE, run.disk_lba, run.nsectors))
+                )
+                self.stats.foreground_data_writes += 1
+        yield AllOf(self.sim, events)
+        if self.functional is not None:
+            self.functional.write(
+                request.offset_sectors, self._payload(request), update_parity=False
+            )
+        self.policy.on_stripes_marked()
+
+    def _sub_units_of(self, run: ExtentRun) -> range:
+        """The marking sub-units a run overlaps (always {0} with 1 bit).
+
+        Sub-units divide the stripe-unit *height* (§5): with M bits per
+        stripe, bit k covers rows [k·U/M, (k+1)·U/M) of every unit in the
+        stripe, so a rebuild touches only that horizontal slice.
+        """
+        bits = self.marks.bits_per_stripe
+        if bits == 1:
+            return range(0, 1)
+        unit_sectors = self.layout.stripe_unit_sectors
+        start_in_unit = run.disk_lba - run.stripe * unit_sectors
+        end_in_unit = start_in_unit + run.nsectors - 1
+        span = unit_sectors / bits
+        first = min(int(start_in_unit / span), bits - 1)
+        last = min(int(end_in_unit / span), bits - 1)
+        return range(first, last + 1)
+
+    def _sub_unit_extent(self, sub_unit: int) -> tuple[int, int]:
+        """(start sector within the unit, sector count) of one sub-unit."""
+        bits = self.marks.bits_per_stripe
+        unit_sectors = self.layout.stripe_unit_sectors
+        start = sub_unit * unit_sectors // bits
+        end = (sub_unit + 1) * unit_sectors // bits
+        return start, max(1, end - start)
+
+    def _write_raid5(self, request: ArrayRequest, runs_by_stripe: dict[int, list[ExtentRun]]):
+        """RAID 5 semantics: parity leaves this write consistent."""
+        stripe_procs = [
+            self.sim.process(self._write_raid5_stripe(stripe, runs), name=f"{self.name}.r5w")
+            for stripe, runs in runs_by_stripe.items()
+        ]
+        yield AllOf(self.sim, stripe_procs)
+        if self.functional is not None:
+            self.functional.write(
+                request.offset_sectors, self._payload(request), update_parity=False
+            )
+            for stripe in runs_by_stripe:
+                self.functional.scrub_stripe(stripe)
+
+    def _write_raid5_stripe(self, stripe: int, runs: list[ExtentRun]):
+        unit_sectors = self.layout.stripe_unit_sectors
+        covered = sum(run.nsectors for run in runs)
+        full_stripe = covered == self.layout.stripe_data_sectors
+        parity = self.layout.parity_unit(stripe)
+        was_dirty = self.marks.is_marked(stripe)
+
+        if full_stripe:
+            # Large-write optimisation: parity computes from the new data
+            # alone; no pre-reads.
+            writes = self._submit_data_writes(runs)
+            writes.append(
+                self.drivers[parity.disk].submit(DiskIO(IoKind.WRITE, parity.disk_lba, unit_sectors))
+            )
+            self.stats.foreground_parity_writes += 1
+            yield AllOf(self.sim, writes)
+        elif was_dirty:
+            # Parity is stale: a read-modify-write would seal in garbage.
+            # Reconstruct instead: read the data units not fully overwritten,
+            # then write the new data and a freshly computed parity unit.
+            covered_units = {
+                run.unit_index for run in runs if run.nsectors == unit_sectors
+            }
+            reads = []
+            for unit in self.layout.data_units(stripe):
+                if unit.unit_index in covered_units:
+                    continue
+                reads.append(
+                    self.drivers[unit.disk].submit(DiskIO(IoKind.READ, unit.disk_lba, unit_sectors))
+                )
+                self.stats.reconstruct_reads += 1
+            if reads:
+                yield AllOf(self.sim, reads)
+            writes = self._submit_data_writes(runs)
+            writes.append(
+                self.drivers[parity.disk].submit(DiskIO(IoKind.WRITE, parity.disk_lba, unit_sectors))
+            )
+            self.stats.foreground_parity_writes += 1
+            yield AllOf(self.sim, writes)
+        else:
+            # The classic small-update path (Figure 1): read old data and
+            # old parity, then write new data and new parity — all in the
+            # critical path of the client write.
+            lo = min(run.disk_lba - stripe * unit_sectors for run in runs)
+            hi = max(run.disk_lba - stripe * unit_sectors + run.nsectors for run in runs)
+            parity_lba = parity.disk_lba + lo
+            parity_span = hi - lo
+            reads = []
+            for run in runs:
+                reads.append(
+                    self.drivers[run.disk].submit(DiskIO(IoKind.READ, run.disk_lba, run.nsectors))
+                )
+                self.stats.preread_ios += 1
+            reads.append(
+                self.drivers[parity.disk].submit(DiskIO(IoKind.READ, parity_lba, parity_span))
+            )
+            self.stats.preread_ios += 1
+            yield AllOf(self.sim, reads)
+            writes = self._submit_data_writes(runs)
+            writes.append(
+                self.drivers[parity.disk].submit(DiskIO(IoKind.WRITE, parity_lba, parity_span))
+            )
+            self.stats.foreground_parity_writes += 1
+            yield AllOf(self.sim, writes)
+
+        if was_dirty:
+            self.marks.clear_stripe(stripe)
+            self._lag_changed()
+
+    def _write_degraded(self, request: ArrayRequest, runs_by_stripe: dict[int, list[ExtentRun]]):
+        """Writes while a member disk is missing.
+
+        Parity must absorb the write immediately (there is no disk to
+        defer to), so every stripe takes a reconstruct-style update: read
+        the surviving data units, then write the surviving data runs and
+        — when the parity disk is alive — a freshly computed parity unit.
+        Data destined for the failed disk is represented only by parity
+        until the rebuild completes.
+        """
+        unit_sectors = self.layout.stripe_unit_sectors
+        failed = self._degraded_disk
+        for stripe, runs in runs_by_stripe.items():
+            parity = self.layout.parity_unit(stripe)
+            reads = []
+            for unit in self.layout.data_units(stripe):
+                if unit.disk == failed:
+                    continue
+                reads.append(
+                    self.drivers[unit.disk].submit(DiskIO(IoKind.READ, unit.disk_lba, unit_sectors))
+                )
+                self.stats.reconstruct_reads += 1
+            if parity.disk != failed:
+                reads.append(
+                    self.drivers[parity.disk].submit(
+                        DiskIO(IoKind.READ, parity.disk_lba, unit_sectors)
+                    )
+                )
+                self.stats.reconstruct_reads += 1
+            if reads:
+                yield AllOf(self.sim, reads)
+            writes = self._submit_data_writes([run for run in runs if run.disk != failed])
+            if parity.disk != failed:
+                writes.append(
+                    self.drivers[parity.disk].submit(
+                        DiskIO(IoKind.WRITE, parity.disk_lba, unit_sectors)
+                    )
+                )
+                self.stats.foreground_parity_writes += 1
+            if writes:
+                yield AllOf(self.sim, writes)
+            if self.marks.is_marked(stripe) and parity.disk != failed:
+                self.marks.clear_stripe(stripe)
+                self._lag_changed()
+
+    def _submit_data_writes(self, runs: list[ExtentRun]) -> list[Event]:
+        events = []
+        for run in runs:
+            events.append(
+                self.drivers[run.disk].submit(DiskIO(IoKind.WRITE, run.disk_lba, run.nsectors))
+            )
+            self.stats.foreground_data_writes += 1
+        return events
+
+    # -- background parity scrubbing --------------------------------------------------------------------
+
+    def _on_idle(self) -> None:
+        if self.marks.count and self.policy.may_scrub_now():
+            self._ensure_scrubber()
+
+    def _ensure_scrubber(self) -> None:
+        if not self._scrub_running and self.marks.count:
+            self._scrub_running = True
+            self.sim.process(self._scrub_loop(), name=f"{self.name}.scrubber")
+
+    def _may_scrub_more(self) -> bool:
+        if self._degraded_disk is not None:
+            # Parity cannot be made whole without the failed member; the
+            # rebuild manager restores redundancy instead.
+            return False
+        if self._force_scrub or self.policy.scrub_despite_load():
+            return True
+        return self.detector.is_idle and self.policy.may_scrub_now()
+
+    def _next_scrub_target(self) -> tuple[int, int] | None:
+        """Oldest (stripe, sub_unit) mark the policy allows scrubbing."""
+        for stripe, sub_unit in self.marks.marks_in_order():
+            if self.policy.should_scrub_stripe(stripe):
+                return stripe, sub_unit
+        return None
+
+    def _scrub_loop(self):
+        try:
+            while self.marks.count and self._may_scrub_more():
+                target = self._next_scrub_target()
+                if target is None:
+                    break  # only policy-excluded (e.g. RAID 0 region) debt left
+                stripe, sub_unit = target
+                if self.marks.bits_per_stripe == 1:
+                    yield from self._scrub_stripe(stripe)
+                else:
+                    yield from self._scrub_sub_unit(stripe, sub_unit)
+        finally:
+            self._scrub_running = False
+            if self._next_scrub_target() is None:
+                self._force_scrub = False
+
+    def _scrub_stripe(self, stripe: int):
+        """Rebuild one stripe's parity: read all data units, write parity.
+
+        Not preemptible once started (§4.1: requests run to completion);
+        client writes to this stripe wait on the barrier event.
+        """
+        if stripe in self._rebuilding:
+            # Someone else (scrubber vs. commit) is already rebuilding it.
+            yield self._rebuilding[stripe]
+            return
+        if not self.marks.is_marked(stripe):
+            return  # already clean
+        barrier = self.sim.event(name=f"{self.name}.rebuild.{stripe}")
+        self._rebuilding[stripe] = barrier
+        try:
+            unit_sectors = self.layout.stripe_unit_sectors
+            reads = []
+            for unit in self.layout.data_units(stripe):
+                reads.append(
+                    self.drivers[unit.disk].submit(DiskIO(IoKind.READ, unit.disk_lba, unit_sectors))
+                )
+                self.stats.scrub_data_reads += 1
+            yield AllOf(self.sim, reads)
+            parity = self.layout.parity_unit(stripe)
+            yield self.drivers[parity.disk].submit(
+                DiskIO(IoKind.WRITE, parity.disk_lba, unit_sectors)
+            )
+            self.stats.scrub_parity_writes += 1
+            self.marks.clear_stripe(stripe)
+            self._lag_changed()
+            self.stats.stripes_scrubbed += 1
+            if self.functional is not None:
+                self.functional.scrub_stripe(stripe)
+        finally:
+            del self._rebuilding[stripe]
+            barrier.succeed()
+
+    # -- paritypoints (§5 / [Cormen93]) -------------------------------------------------------------------
+
+    def commit(self, offset_sectors: int, nsectors: int) -> Event:
+        """Make an extent durable-redundant *now* — a paritypoint.
+
+        The §5 refinement ("the host could then actively request that a
+        set of stripes be made redundant, analogous to the traditional
+        database commit operation"): every dirty stripe the extent
+        touches is scrubbed in the foreground, regardless of idleness.
+        The returned event fires once all touched stripes are redundant.
+        """
+        if self._degraded_disk is not None:
+            raise RuntimeError("cannot commit while degraded: rebuild the failed disk first")
+        stripes = list(self.layout.stripes_touched(offset_sectors, nsectors))
+        done = self.sim.event(name=f"{self.name}.commit")
+
+        def committer():
+            for stripe in stripes:
+                if stripe in self._rebuilding:
+                    yield self._rebuilding[stripe]  # scrubber already on it
+                if self.marks.is_marked(stripe):
+                    yield from self._scrub_stripe(stripe)
+            return len(stripes)
+
+        proc = self.sim.process(committer(), name=f"{self.name}.committer")
+        proc.add_callback(lambda event: done.succeed(event.value) if event.ok else done.fail(event.exception))
+        return done
+
+    # -- NVRAM failure recovery (§3.1) --------------------------------------------------------------------
+
+    def recover_mark_memory(self) -> None:
+        """Recover from a marking-memory failure.
+
+        The array can no longer tell which stripes were unprotected, so it
+        conservatively marks *every* stripe and rebuilds parity across the
+        whole array (the paper: ~10 minutes for 2 GB disks at 5 MB/s),
+        proceeding in parallel with continued use.
+        """
+        self.marks.recover()
+        for stripe in range(self.layout.nstripes):
+            for sub_unit in range(self.marks.bits_per_stripe):
+                self.marks.mark(stripe, sub_unit)
+        self._lag_changed()
+        self.request_scrub(force=True)
+
+    def _scrub_sub_unit(self, stripe: int, sub_unit: int):
+        """Rebuild one horizontal slice of a stripe's parity (§5: M bits
+        per stripe ⇒ rebuilds read only 1/M of each unit)."""
+        if stripe in self._rebuilding:
+            yield self._rebuilding[stripe]
+            return
+        if not self.marks.is_marked(stripe, sub_unit):
+            return
+        barrier = self.sim.event(name=f"{self.name}.rebuild.{stripe}.{sub_unit}")
+        self._rebuilding[stripe] = barrier
+        try:
+            start, nsectors = self._sub_unit_extent(sub_unit)
+            unit_base = stripe * self.layout.stripe_unit_sectors
+            reads = []
+            for unit in self.layout.data_units(stripe):
+                reads.append(
+                    self.drivers[unit.disk].submit(
+                        DiskIO(IoKind.READ, unit_base + start, nsectors)
+                    )
+                )
+                self.stats.scrub_data_reads += 1
+            yield AllOf(self.sim, reads)
+            parity = self.layout.parity_unit(stripe)
+            yield self.drivers[parity.disk].submit(
+                DiskIO(IoKind.WRITE, unit_base + start, nsectors)
+            )
+            self.stats.scrub_parity_writes += 1
+            self.marks.clear(stripe, sub_unit)
+            self._lag_changed()
+            if not self.marks.is_marked(stripe):
+                self.stats.stripes_scrubbed += 1
+                if self.functional is not None:
+                    self.functional.scrub_stripe(stripe)
+        finally:
+            del self._rebuilding[stripe]
+            barrier.succeed()
+
+    # -- parity-lag bookkeeping ------------------------------------------------------------------------------
+
+    def _lag_changed(self) -> None:
+        if not self._finished:
+            self.lag_tracker.record(self.sim.now, self.parity_lag_bytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DiskArray {self.name!r} {self.ndisks} disks, policy={self.policy.describe()}, "
+            f"{self.dirty_stripe_count} dirty stripes>"
+        )

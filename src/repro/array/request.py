@@ -1,0 +1,64 @@
+"""Client-visible array requests.
+
+I/O time is measured as in §4.1: from the moment the request is given to
+the (host) device driver to the moment the array completes it — including
+any time queued in the driver.  That is the fairest figure for an
+open-queueing, trace-driven workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.disk import IoKind
+
+
+@dataclasses.dataclass
+class ArrayRequest:
+    """One logical read or write against the array's data address space."""
+
+    kind: IoKind
+    offset_sectors: int
+    nsectors: int
+    sync: bool = False  # no special action is taken for sync writes (§4.1)
+    data: bytes | None = None  # real payload, when a functional store is attached
+    tag: typing.Any = None
+
+    # Stamped by the controller:
+    submit_time: float | None = None  # handed to the host driver
+    dispatch_time: float | None = None  # admitted into the array
+    complete_time: float | None = None
+    result_data: bytes | None = None  # read payload, when functional
+
+    def __post_init__(self) -> None:
+        if self.offset_sectors < 0:
+            raise ValueError(f"offset must be >= 0, got {self.offset_sectors}")
+        if self.nsectors < 1:
+            raise ValueError(f"nsectors must be >= 1, got {self.nsectors}")
+        if self.data is not None and self.kind is not IoKind.WRITE:
+            raise ValueError("only writes carry payload data")
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is IoKind.WRITE
+
+    @property
+    def io_time(self) -> float:
+        """Driver-to-completion latency (the paper's reported metric)."""
+        if self.submit_time is None or self.complete_time is None:
+            raise RuntimeError("request has not completed")
+        return self.complete_time - self.submit_time
+
+    @property
+    def queue_time(self) -> float:
+        """Time spent in the host driver queue before admission."""
+        if self.submit_time is None or self.dispatch_time is None:
+            raise RuntimeError("request has not been dispatched")
+        return self.dispatch_time - self.submit_time
+
+    def __repr__(self) -> str:
+        return (
+            f"<ArrayRequest {self.kind.value} {self.nsectors} sectors @ {self.offset_sectors}"
+            f"{' sync' if self.sync else ''}>"
+        )

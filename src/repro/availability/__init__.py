@@ -1,0 +1,60 @@
+"""Analytic availability models — Section 3 of the paper.
+
+Two complementary metrics:
+
+* **MTTDL** — mean time to (any) data loss, eqs. (1)–(2c);
+* **MDLR** — mean data-loss *rate* in bytes/hour, eqs. (3)–(5), which
+  weighs each failure mode by how much data it destroys.
+
+Plus the support-component, NVRAM, and external-power models of §3.3–3.5,
+and the :class:`~repro.availability.lag.ParityLagTracker` that turns a
+simulation's dirty-stripe history into the ``Tunprot`` and mean-parity-lag
+quantities those equations consume.
+
+Unless stated otherwise, times are in **hours** and data in **bytes**
+(matching the paper's units); the simulation-side tracker works in seconds
+and the harness converts.
+"""
+
+from repro.availability.lag import ParityLagTracker
+from repro.availability.lifetime import loss_probability, mttdl_from_loss_probability
+from repro.availability.models import (
+    afraid_mdlr,
+    afraid_mttdl,
+    afraid_mttdl_raid_component,
+    afraid_mttdl_unprotected,
+    combine_mttdl,
+    mdlr_raid_catastrophic,
+    mdlr_unprotected,
+    raid0_mttdl,
+    raid5_mttdl_catastrophic,
+)
+from repro.availability.nvram_model import NvramModel, PRESTOSERVE
+from repro.availability.params import ReliabilityParams, TABLE_1
+from repro.availability.power import PowerModel, MAINS_ONLY, WITH_UPS
+from repro.availability.support import SupportModel, CONSERVATIVE_SUPPORT, GIBSON_SUPPORT
+
+__all__ = [
+    "CONSERVATIVE_SUPPORT",
+    "GIBSON_SUPPORT",
+    "MAINS_ONLY",
+    "NvramModel",
+    "PRESTOSERVE",
+    "ParityLagTracker",
+    "PowerModel",
+    "ReliabilityParams",
+    "SupportModel",
+    "TABLE_1",
+    "WITH_UPS",
+    "afraid_mdlr",
+    "afraid_mttdl",
+    "afraid_mttdl_raid_component",
+    "afraid_mttdl_unprotected",
+    "combine_mttdl",
+    "loss_probability",
+    "mdlr_raid_catastrophic",
+    "mdlr_unprotected",
+    "mttdl_from_loss_probability",
+    "raid0_mttdl",
+    "raid5_mttdl_catastrophic",
+]

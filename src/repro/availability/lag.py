@@ -1,0 +1,114 @@
+"""Parity-lag accounting: turning a dirty-stripe history into §3's inputs.
+
+*Parity lag* (the paper's term) is the amount of unredundant non-parity
+data in the array at an instant, in bytes.  The tracker integrates it over
+simulated time to produce:
+
+* ``mean_parity_lag_bytes`` — the time-weighted average, eq. (4)'s input;
+* ``unprotected_fraction`` — Tunprot/Ttotal, eq. (2a)'s input;
+* peak lag and total unprotected time, for reporting.
+
+The array controller calls :meth:`record` whenever the number of dirty
+stripes changes; :meth:`finish` closes the integral at the horizon.
+"""
+
+from __future__ import annotations
+
+
+class ParityLagTracker:
+    """Time-weighted integral of parity lag over a simulation run."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._start = start_time
+        self._last_time = start_time
+        self._last_lag = 0.0
+        self._lag_integral = 0.0  # byte·seconds
+        self._unprotected_time = 0.0  # seconds with lag > 0
+        self._peak_lag = 0.0
+        self._finished_at: float | None = None
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(self, time: float, lag_bytes: float) -> None:
+        """The parity lag changed to ``lag_bytes`` at ``time``."""
+        if self._finished_at is not None:
+            raise RuntimeError("tracker already finished")
+        if time < self._last_time:
+            raise ValueError(f"time went backwards: {time} < {self._last_time}")
+        if lag_bytes < 0:
+            raise ValueError(f"lag cannot be negative, got {lag_bytes}")
+        self._accumulate(time)
+        self._last_lag = lag_bytes
+        self._peak_lag = max(self._peak_lag, lag_bytes)
+
+    def finish(self, time: float) -> None:
+        """Close the integrals at the end of the observation window."""
+        if self._finished_at is not None:
+            raise RuntimeError("tracker already finished")
+        if time < self._last_time:
+            raise ValueError(f"time went backwards: {time} < {self._last_time}")
+        self._accumulate(time)
+        self._finished_at = time
+
+    def _accumulate(self, time: float) -> None:
+        elapsed = time - self._last_time
+        if elapsed > 0:
+            self._lag_integral += self._last_lag * elapsed
+            if self._last_lag > 0:
+                self._unprotected_time += elapsed
+        self._last_time = time
+
+    # -- results ----------------------------------------------------------------------
+
+    @property
+    def total_time(self) -> float:
+        """Observation window so far (seconds)."""
+        end = self._finished_at if self._finished_at is not None else self._last_time
+        return end - self._start
+
+    @property
+    def unprotected_time(self) -> float:
+        """Tunprot: seconds during which some data was unredundant."""
+        return self._unprotected_time
+
+    @property
+    def unprotected_fraction(self) -> float:
+        """Tunprot / Ttotal (0 if no time has passed)."""
+        total = self.total_time
+        return self._unprotected_time / total if total > 0 else 0.0
+
+    @property
+    def mean_parity_lag_bytes(self) -> float:
+        """Time-weighted mean lag over the whole window."""
+        total = self.total_time
+        return self._lag_integral / total if total > 0 else 0.0
+
+    @property
+    def peak_parity_lag_bytes(self) -> float:
+        return self._peak_lag
+
+    @property
+    def current_lag_bytes(self) -> float:
+        return self._last_lag
+
+    def snapshot_unprotected_fraction(self, now: float) -> float:
+        """Tunprot/Ttotal as of ``now`` without mutating the tracker.
+
+        The MTTDL_x policy polls this continuously to decide whether the
+        availability target is still being met.
+        """
+        if now < self._last_time:
+            raise ValueError("time went backwards")
+        total = now - self._start
+        if total <= 0:
+            return 0.0
+        unprotected = self._unprotected_time
+        if self._last_lag > 0:
+            unprotected += now - self._last_time
+        return unprotected / total
+
+    def __repr__(self) -> str:
+        return (
+            f"<ParityLagTracker mean={self.mean_parity_lag_bytes:.1f}B "
+            f"unprot={self.unprotected_fraction:.3f} peak={self._peak_lag:.0f}B>"
+        )

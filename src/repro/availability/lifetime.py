@@ -1,0 +1,40 @@
+"""Lifetime loss probabilities.
+
+MTTDL figures are failure *rates* in disguise, not lifetime promises — a
+point the paper makes explicitly (§3.2).  For an exponential process the
+chance of at least one loss during a deployment of length T is
+``1 − exp(−T/MTTDL)``; e.g. a 1M-hour MTTDL is a 2.6% chance of loss over
+a typical 3-year array life.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.availability.params import HOURS_PER_YEAR
+
+
+def loss_probability(mttdl_h: float, lifetime_h: float) -> float:
+    """P(≥1 data loss during ``lifetime_h``) for an exponential process."""
+    if mttdl_h <= 0:
+        raise ValueError("MTTDL must be positive")
+    if lifetime_h < 0:
+        raise ValueError("lifetime must be >= 0")
+    if mttdl_h == float("inf"):
+        return 0.0
+    return 1.0 - math.exp(-lifetime_h / mttdl_h)
+
+
+def loss_probability_years(mttdl_h: float, years: float = 3.0) -> float:
+    """Convenience wrapper: lifetime given in years (default: the paper's
+    typical 3-year array life)."""
+    return loss_probability(mttdl_h, years * HOURS_PER_YEAR)
+
+
+def mttdl_from_loss_probability(probability: float, lifetime_h: float) -> float:
+    """Invert :func:`loss_probability`: what MTTDL yields this lifetime risk?"""
+    if not 0.0 < probability < 1.0:
+        raise ValueError("probability must be in (0, 1)")
+    if lifetime_h <= 0:
+        raise ValueError("lifetime must be positive")
+    return -lifetime_h / math.log(1.0 - probability)

@@ -1,0 +1,171 @@
+"""Equations (1)–(5): disk-related MTTDL and MDLR for RAID 5 and AFRAID.
+
+Conventions: an array has ``ndisks = N + 1`` member disks (N data-equivalent
+plus one parity-equivalent).  Times in hours, data in bytes, rates in
+bytes/hour.  All MTTDL contributions combine as *rates* (harmonically),
+since independent failure processes add their rates.
+"""
+
+from __future__ import annotations
+
+
+def _check_ndisks(ndisks: int) -> int:
+    if ndisks < 2:
+        raise ValueError(f"an array needs >= 2 disks, got {ndisks}")
+    return ndisks - 1  # N
+
+
+def raid5_mttdl_catastrophic(ndisks: int, mttf_disk_h: float, mttr_h: float) -> float:
+    """Eq. (1): MTTDL of an N+1-disk RAID 5 to a *double* disk failure.
+
+    ``MTTDL = MTTFdisk² / (N · (N+1) · MTTR)``
+    """
+    n = _check_ndisks(ndisks)
+    if mttf_disk_h <= 0 or mttr_h <= 0:
+        raise ValueError("mttf and mttr must be positive")
+    return mttf_disk_h**2 / (n * (n + 1) * mttr_h)
+
+
+def raid0_mttdl(ndisks: int, mttf_disk_h: float) -> float:
+    """MTTDL of an unprotected array: the first disk failure loses data.
+
+    With ``ndisks`` independent exponential failure processes the aggregate
+    rate is ndisks/MTTF.
+    """
+    if ndisks < 1:
+        raise ValueError(f"need >= 1 disk, got {ndisks}")
+    if mttf_disk_h <= 0:
+        raise ValueError("mttf must be positive")
+    return mttf_disk_h / ndisks
+
+
+def afraid_mttdl_unprotected(
+    ndisks: int, mttf_disk_h: float, unprotected_fraction: float
+) -> float:
+    """Eq. (2a): the MTTDL contribution while unprotected data exists.
+
+    ``unprotected_fraction`` is Tunprot/Ttotal, measured from a workload.
+    ``MTTDL = (Ttotal/Tunprot) · MTTFdisk / (N+1)``.  Conservative: any
+    single-disk failure during an unprotected period counts as data loss.
+    Returns +inf when the array was never unprotected.
+    """
+    n = _check_ndisks(ndisks)
+    if not 0.0 <= unprotected_fraction <= 1.0:
+        raise ValueError(f"unprotected_fraction must be in [0, 1], got {unprotected_fraction}")
+    if unprotected_fraction == 0.0:
+        return float("inf")
+    return (1.0 / unprotected_fraction) * mttf_disk_h / (n + 1)
+
+
+def afraid_mttdl_raid_component(
+    raid5_mttdl_h: float, unprotected_fraction: float
+) -> float:
+    """Eq. (2b): the double-failure contribution, for the protected time.
+
+    ``MTTDL = Ttotal/(Ttotal − Tunprot) · MTTDL_RAID_catastrophic``.
+    Returns +inf when the array is *always* unprotected (no RAID exposure).
+    """
+    if not 0.0 <= unprotected_fraction <= 1.0:
+        raise ValueError(f"unprotected_fraction must be in [0, 1], got {unprotected_fraction}")
+    if unprotected_fraction == 1.0:
+        return float("inf")
+    return raid5_mttdl_h / (1.0 - unprotected_fraction)
+
+
+def combine_mttdl(*mttdls: float) -> float:
+    """Eq. (2c) generalised: combine independent contributions harmonically.
+
+    MTTDLs are inverse rates; independent processes add rates:
+    ``1/MTTDL = Σ 1/MTTDLᵢ``.  Infinite contributions drop out.
+    """
+    if not mttdls:
+        raise ValueError("need at least one MTTDL")
+    rate = 0.0
+    for mttdl in mttdls:
+        if mttdl <= 0:
+            raise ValueError(f"MTTDL values must be positive, got {mttdl}")
+        if mttdl != float("inf"):
+            rate += 1.0 / mttdl
+    return float("inf") if rate == 0.0 else 1.0 / rate
+
+
+def afraid_mttdl(
+    ndisks: int,
+    mttf_disk_h: float,
+    mttr_h: float,
+    unprotected_fraction: float,
+) -> float:
+    """Eq. (2c): overall disk-related AFRAID MTTDL for a measured workload."""
+    unprot = afraid_mttdl_unprotected(ndisks, mttf_disk_h, unprotected_fraction)
+    raid = afraid_mttdl_raid_component(
+        raid5_mttdl_catastrophic(ndisks, mttf_disk_h, mttr_h), unprotected_fraction
+    )
+    return combine_mttdl(unprot, raid)
+
+
+def mdlr_raid_catastrophic(
+    ndisks: int, disk_bytes: int, raid_mttdl_h: float
+) -> float:
+    """Eq. (3): data-loss rate of the double-disk-failure catastrophe.
+
+    ``MDLR = 2·Vdisk · N/(N+1) / MTTDL`` — two disks of contents go, of
+    which the N/(N+1) fraction was data rather than parity.
+    """
+    n = _check_ndisks(ndisks)
+    if disk_bytes < 0:
+        raise ValueError("disk_bytes must be >= 0")
+    if raid_mttdl_h <= 0:
+        raise ValueError("MTTDL must be positive")
+    return 2.0 * disk_bytes * (n / (n + 1)) / raid_mttdl_h
+
+
+def mdlr_unprotected(
+    ndisks: int, mean_parity_lag_bytes: float, mttf_disk_h: float
+) -> float:
+    """Eq. (4): data-loss rate from single-disk failures over dirty stripes.
+
+    ``MDLR = (mean_parity_lag / N) · (N+1)/MTTFdisk`` — on average a 1/N
+    share of the unprotected data sits on whichever disk dies, and the
+    array's total disk-failure rate is (N+1)/MTTF.
+    """
+    n = _check_ndisks(ndisks)
+    if mean_parity_lag_bytes < 0:
+        raise ValueError("parity lag must be >= 0")
+    if mttf_disk_h <= 0:
+        raise ValueError("mttf must be positive")
+    return (mean_parity_lag_bytes / n) * (n + 1) / mttf_disk_h
+
+
+def afraid_mdlr(
+    ndisks: int,
+    disk_bytes: int,
+    mttf_disk_h: float,
+    mttr_h: float,
+    mean_parity_lag_bytes: float,
+) -> float:
+    """Eq. (5): total disk-related AFRAID data-loss rate."""
+    catastrophic = mdlr_raid_catastrophic(
+        ndisks, disk_bytes, raid5_mttdl_catastrophic(ndisks, mttf_disk_h, mttr_h)
+    )
+    return catastrophic + mdlr_unprotected(ndisks, mean_parity_lag_bytes, mttf_disk_h)
+
+
+def mdlr_whole_array_loss(
+    ndisks: int, disk_bytes: int, mttdl_h: float
+) -> float:
+    """MDLR of a failure mode that destroys the whole array's data.
+
+    Used for the support-hardware contribution (§3.3): the array holds
+    ``N·Vdisk`` bytes of data (the rest is parity).
+    """
+    n = _check_ndisks(ndisks)
+    if mttdl_h <= 0:
+        raise ValueError("MTTDL must be positive")
+    return n * disk_bytes / mttdl_h
+
+
+def single_disk_mdlr(disk_bytes: int, mttf_disk_h: float) -> float:
+    """MDLR of one unprotected disk — §3.6's 2–4 KB/hour yardstick."""
+    if mttf_disk_h <= 0:
+        raise ValueError("mttf must be positive")
+    return disk_bytes / mttf_disk_h

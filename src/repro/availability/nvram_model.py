@@ -1,0 +1,45 @@
+"""NVRAM reliability (§3.4).
+
+Single-copy NVRAM write caches (e.g. the PrestoServe card) hold dirty data
+behind one battery: their MDLR gives the yardstick against which AFRAID's
+temporary parity lag should be judged.  The paper's point: PrestoServe-class
+NVRAM already loses ~67 bytes/hour in expectation — more than AFRAID's
+unprotected-data contribution under almost every workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class NvramModel:
+    """A single-copy NVRAM staging memory."""
+
+    name: str
+    mttf_h: float
+    vulnerable_bytes: int  # dirty data resident behind the single point of failure
+
+    def __post_init__(self) -> None:
+        if self.mttf_h <= 0:
+            raise ValueError("mttf must be positive")
+        if self.vulnerable_bytes < 0:
+            raise ValueError("vulnerable_bytes must be >= 0")
+
+    @property
+    def mdlr(self) -> float:
+        """Expected loss rate in bytes/hour: vulnerable data × failure rate."""
+        return self.vulnerable_bytes / self.mttf_h
+
+
+#: §3.4: the popular PrestoServe card — 15k-hour MTTF [Neary91], 1 MB of
+#: vulnerable data ⇒ ~67 bytes/hour.
+PRESTOSERVE = NvramModel(name="PrestoServe", mttf_h=15.0e3, vulnerable_bytes=10**6)
+
+#: §3.4: lithium-cell SRAM, the most reliable (and expensive) NVRAM class.
+LITHIUM_SRAM = NvramModel(name="Li-cell SRAM", mttf_h=500.0e3, vulnerable_bytes=10**6)
+
+#: AFRAID's own marking memory: one bit per stripe — 3 KB per GB stored.
+#: Its failure loses no data outright (parity is rebuilt array-wide), so
+#: vulnerable_bytes is 0; see §3.1 for the double-failure window analysis.
+AFRAID_MARK_MEMORY = NvramModel(name="AFRAID mark memory", mttf_h=500.0e3, vulnerable_bytes=0)

@@ -1,0 +1,60 @@
+"""Table 1: the reliability constants assumed throughout the paper."""
+
+from __future__ import annotations
+
+import dataclasses
+
+HOURS_PER_YEAR = 24.0 * 365.25
+GB = 10**9
+KB = 10**3
+
+
+@dataclasses.dataclass(frozen=True)
+class ReliabilityParams:
+    """The paper's Table 1, plus the derived effective disk MTTF.
+
+    ``mttf_disk_raw_h`` is the manufacturer's figure; the paper folds the
+    failure-prediction coverage factor C in as
+    ``MTTFdisk = MTTFdisk-raw / (1 − C)`` — predicted failures (a fraction
+    C of all failures) can be repaired pre-emptively and so do not count
+    as *unexpected*.
+    """
+
+    mttf_disk_raw_h: float = 1.0e6  # disk mean time to failure (raw)
+    mttdl_support_h: float = 2.0e6  # support hardware mean time to data loss
+    coverage: float = 0.5  # disk failure-prediction coverage C
+    mttr_h: float = 48.0  # mean time to repair
+    stripe_unit_bytes: int = 8 * 2**10  # stripe unit size S = 8 KB
+    disk_bytes: int = 2 * GB  # size of disk, Vdisk = 2 GB
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coverage < 1.0:
+            raise ValueError(f"coverage must be in [0, 1), got {self.coverage}")
+        for name in ("mttf_disk_raw_h", "mttdl_support_h", "mttr_h"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.stripe_unit_bytes < 1 or self.disk_bytes < 1:
+            raise ValueError("sizes must be positive")
+
+    @property
+    def mttf_disk_h(self) -> float:
+        """Effective MTTF for *unexpected* disk failures: raw / (1 − C)."""
+        return self.mttf_disk_raw_h / (1.0 - self.coverage)
+
+    def rows(self) -> list[tuple[str, str]]:
+        """(parameter, value) pairs in the paper's Table 1 order."""
+        return [
+            ("disk mean time to failure MTTFdisk-raw", f"{self.mttf_disk_raw_h / 1e6:g}M hours"),
+            (
+                "support hardware mean time to data loss MTTDLsupport",
+                f"{self.mttdl_support_h / 1e6:g}M hours",
+            ),
+            ("disk failure-prediction coverage (C)", f"{self.coverage:g}"),
+            ("mean time to repair (MTTR)", f"{self.mttr_h:g} hours"),
+            ("stripe unit size (S)", f"{self.stripe_unit_bytes // 2**10}KB"),
+            ("size of disk (Vdisk)", f"{self.disk_bytes / GB:g}GB"),
+        ]
+
+
+#: The exact values of the paper's Table 1.
+TABLE_1 = ReliabilityParams()

@@ -1,0 +1,21 @@
+"""Functional (real-bytes) array models.
+
+The timing simulation in :mod:`repro.array` moves no actual data.  This
+package is its correctness twin: a :class:`~repro.blocks.store.BlockStore`
+holds real bytes per member disk, and
+:class:`~repro.blocks.functional.FunctionalArray` layers real xor parity,
+degraded-mode reconstruction, deferred-parity (AFRAID) writes, stripe
+scrubbing, and post-failure loss accounting on top.  Tests use it to verify
+the invariants the paper's design rests on; the fault-injection experiments
+use it to measure exactly which bytes a failure destroys.
+"""
+
+from repro.blocks.functional import DataLostError, FunctionalArray
+from repro.blocks.store import BlockStore, StoreDiskFailedError
+
+__all__ = [
+    "BlockStore",
+    "DataLostError",
+    "FunctionalArray",
+    "StoreDiskFailedError",
+]

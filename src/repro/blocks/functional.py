@@ -1,0 +1,175 @@
+"""A byte-accurate RAID 5 / AFRAID array over a :class:`BlockStore`.
+
+This model executes the *logic* of the array — xor parity maintenance,
+deferred-parity writes, stripe scrubbing, degraded-mode reconstruction —
+with real data, independent of timing.  The properties the paper's
+availability analysis assumes are all checkable here:
+
+* after a scrub, parity equals the xor of the stripe's data units;
+* with one failed disk, every *clean* stripe reconstructs perfectly;
+* with one failed disk, each *dirty* stripe loses exactly the one stripe
+  unit that lived on the failed disk (no loss if that unit was parity) —
+  the quantity eq. (4)'s MDLR_unprotected integrates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blocks.store import BlockStore, StoreDiskFailedError
+from repro.layout.raid5 import Raid5Layout
+
+
+class DataLostError(Exception):
+    """The requested data is unrecoverable (failed disk + stale parity)."""
+
+
+class FunctionalArray:
+    """Real-bytes left-symmetric RAID 5 with optionally deferred parity."""
+
+    def __init__(self, layout: Raid5Layout, sector_bytes: int = 512) -> None:
+        self.layout = layout
+        self.sector_bytes = sector_bytes
+        striped_sectors = layout.nstripes * layout.stripe_unit_sectors
+        self.store = BlockStore(layout.ndisks, striped_sectors, sector_bytes)
+        self._dirty: set[int] = set()
+
+    # -- dirty-stripe (parity lag) bookkeeping ------------------------------------
+
+    @property
+    def dirty_stripes(self) -> frozenset[int]:
+        """Stripes whose on-disk parity is stale (the NVRAM mark set)."""
+        return frozenset(self._dirty)
+
+    @property
+    def parity_lag_bytes(self) -> int:
+        """Unredundant non-parity data right now: the paper's *parity lag*."""
+        unit_bytes = self.layout.stripe_unit_sectors * self.sector_bytes
+        return len(self._dirty) * self.layout.data_units_per_stripe * unit_bytes
+
+    # -- writes ----------------------------------------------------------------------
+
+    def write(self, logical_sector: int, data: bytes, update_parity: bool = True) -> None:
+        """Write ``data`` at ``logical_sector``.
+
+        ``update_parity=True`` is RAID 5 semantics: parity is updated via
+        the read-modify-write identity (new parity = old parity ⊕ old data
+        ⊕ new data) and the stripe stays clean.  ``update_parity=False`` is
+        the AFRAID write: data lands, parity goes stale, the stripe is
+        marked dirty.
+        """
+        buffer = np.frombuffer(bytes(data), dtype=np.uint8)
+        if buffer.size % self.sector_bytes != 0:
+            raise ValueError("write must be a whole number of sectors")
+        nsectors = buffer.size // self.sector_bytes
+        offset = 0
+        for run in self.layout.map_extent(logical_sector, nsectors):
+            run_bytes = run.nsectors * self.sector_bytes
+            new_data = buffer[offset : offset + run_bytes]
+            if update_parity and run.stripe not in self._dirty:
+                old_data = self.store.read(run.disk, run.disk_lba, run.nsectors)
+                parity_unit = self.layout.parity_unit(run.stripe)
+                in_unit = run.disk_lba - parity_unit.disk_lba  # offset within the stripe unit
+                parity_lba = parity_unit.disk_lba + in_unit
+                old_parity = self.store.read(parity_unit.disk, parity_lba, run.nsectors)
+                self.store.write(parity_unit.disk, parity_lba, old_parity ^ old_data ^ new_data)
+                self.store.write(run.disk, run.disk_lba, new_data)
+            else:
+                # AFRAID write, or a RAID 5 write to an already-dirty stripe
+                # (parity is stale anyway; only a scrub can fix it).
+                self.store.write(run.disk, run.disk_lba, new_data)
+                self._dirty.add(run.stripe)
+            offset += run_bytes
+
+    # -- reads -------------------------------------------------------------------------
+
+    def read(self, logical_sector: int, nsectors: int) -> bytes:
+        """Read ``nsectors``; reconstructs through a single failed disk.
+
+        Raises :class:`DataLostError` where reconstruction is impossible
+        (the stripe was dirty, or more than one disk is gone).
+        """
+        pieces: list[np.ndarray] = []
+        for run in self.layout.map_extent(logical_sector, nsectors):
+            try:
+                pieces.append(self.store.read(run.disk, run.disk_lba, run.nsectors))
+            except StoreDiskFailedError:
+                pieces.append(self._reconstruct_run(run))
+        return b"".join(piece.tobytes() for piece in pieces)
+
+    def _reconstruct_run(self, run) -> np.ndarray:
+        if run.stripe in self._dirty:
+            raise DataLostError(
+                f"stripe {run.stripe} was unredundant when disk {run.disk} failed"
+            )
+        parity_unit = self.layout.parity_unit(run.stripe)
+        in_unit = run.disk_lba - parity_unit.disk_lba
+        try:
+            result = self.store.read(
+                parity_unit.disk, parity_unit.disk_lba + in_unit, run.nsectors
+            )
+            for unit in self.layout.data_units(run.stripe):
+                if unit.disk == run.disk:
+                    continue
+                result ^= self.store.read(unit.disk, unit.disk_lba + in_unit, run.nsectors)
+        except StoreDiskFailedError as exc:
+            raise DataLostError(f"multiple failures cover stripe {run.stripe}") from exc
+        return result
+
+    # -- parity maintenance ---------------------------------------------------------------
+
+    def scrub_stripe(self, stripe: int) -> None:
+        """Rebuild parity for ``stripe`` from its data units; clear its mark.
+
+        This is the AFRAID background parity update: read every data unit,
+        xor them, overwrite the parity unit.
+        """
+        parity_unit = self.layout.parity_unit(stripe)
+        nsectors = self.layout.stripe_unit_sectors
+        parity = np.zeros(nsectors * self.sector_bytes, dtype=np.uint8)
+        for unit in self.layout.data_units(stripe):
+            parity ^= self.store.read(unit.disk, unit.disk_lba, nsectors)
+        self.store.write(parity_unit.disk, parity_unit.disk_lba, parity)
+        self._dirty.discard(stripe)
+
+    def scrub_all(self) -> int:
+        """Scrub every dirty stripe (the mark-memory-failure recovery path:
+        call with ``force_all``-style iteration by the caller if the marks
+        themselves were lost).  Returns the number of stripes scrubbed."""
+        dirty = sorted(self._dirty)
+        for stripe in dirty:
+            self.scrub_stripe(stripe)
+        return len(dirty)
+
+    def parity_consistent(self, stripe: int) -> bool:
+        """True if on-disk parity equals the xor of the stripe's data."""
+        parity_unit = self.layout.parity_unit(stripe)
+        nsectors = self.layout.stripe_unit_sectors
+        expected = np.zeros(nsectors * self.sector_bytes, dtype=np.uint8)
+        for unit in self.layout.data_units(stripe):
+            expected ^= self.store.read(unit.disk, unit.disk_lba, nsectors)
+        actual = self.store.read(parity_unit.disk, parity_unit.disk_lba, nsectors)
+        return bool(np.array_equal(expected, actual))
+
+    # -- failure accounting ----------------------------------------------------------------
+
+    def fail_disk(self, disk: int) -> None:
+        """Destroy a member disk."""
+        self.store.fail(disk)
+
+    def lost_data_bytes(self, failed_disk: int) -> int:
+        """Bytes of *data* (not parity) unrecoverable after ``failed_disk`` died.
+
+        Exactly the paper's single-disk-failure loss: one stripe unit per
+        dirty stripe — unless the failed disk held that stripe's parity
+        unit, in which case nothing is lost (§3.2).
+        """
+        unit_bytes = self.layout.stripe_unit_sectors * self.sector_bytes
+        lost = 0
+        for stripe in self._dirty:
+            if self.layout.parity_disk(stripe) != failed_disk:
+                lost += unit_bytes
+        return lost
+
+    def __repr__(self) -> str:
+        return f"<FunctionalArray {self.layout!r}, {len(self._dirty)} dirty stripes>"

@@ -1,0 +1,95 @@
+"""A byte-accurate block store: one array of sectors per member disk."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StoreDiskFailedError(Exception):
+    """A read or write touched a failed member disk."""
+
+
+class BlockStore:
+    """Real bytes for ``ndisks`` disks of ``sectors`` sectors each.
+
+    All contents start zeroed — which conveniently makes every stripe's xor
+    parity consistent at time zero, mirroring a freshly initialised array.
+    """
+
+    def __init__(self, ndisks: int, sectors: int, sector_bytes: int = 512) -> None:
+        if ndisks < 1:
+            raise ValueError(f"need >= 1 disk, got {ndisks}")
+        if sectors < 1:
+            raise ValueError(f"need >= 1 sector, got {sectors}")
+        if sector_bytes < 1:
+            raise ValueError(f"sector_bytes must be positive, got {sector_bytes}")
+        self.ndisks = ndisks
+        self.sectors = sectors
+        self.sector_bytes = sector_bytes
+        self._surfaces = [np.zeros(sectors * sector_bytes, dtype=np.uint8) for _ in range(ndisks)]
+        self._failed = [False] * ndisks
+
+    # -- failure state ----------------------------------------------------------
+
+    def fail(self, disk: int) -> None:
+        """Destroy ``disk``: contents are lost, accesses raise."""
+        self._check_disk(disk)
+        self._failed[disk] = True
+        # Scribble over the surface so any buggy path that still reads it
+        # produces visibly wrong data rather than stale-but-plausible bytes.
+        self._surfaces[disk][:] = 0xDE
+
+    def is_failed(self, disk: int) -> bool:
+        self._check_disk(disk)
+        return self._failed[disk]
+
+    @property
+    def failed_disks(self) -> list[int]:
+        return [disk for disk, failed in enumerate(self._failed) if failed]
+
+    def replace(self, disk: int) -> None:
+        """Swap in a fresh (zeroed) drive for a failed slot."""
+        self._check_disk(disk)
+        self._surfaces[disk] = np.zeros(self.sectors * self.sector_bytes, dtype=np.uint8)
+        self._failed[disk] = False
+
+    # -- data access -----------------------------------------------------------------
+
+    def read(self, disk: int, lba: int, nsectors: int) -> np.ndarray:
+        """Copy ``nsectors`` starting at ``lba`` off ``disk``."""
+        self._check_extent(disk, lba, nsectors)
+        if self._failed[disk]:
+            raise StoreDiskFailedError(f"disk {disk} has failed")
+        start = lba * self.sector_bytes
+        end = start + nsectors * self.sector_bytes
+        return self._surfaces[disk][start:end].copy()
+
+    def write(self, disk: int, lba: int, data: np.ndarray | bytes) -> None:
+        """Write ``data`` (a whole number of sectors) at ``lba`` on ``disk``."""
+        buffer = np.frombuffer(bytes(data), dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else data
+        if buffer.size % self.sector_bytes != 0:
+            raise ValueError(
+                f"write must be whole sectors: {buffer.size} bytes with {self.sector_bytes}-byte sectors"
+            )
+        nsectors = buffer.size // self.sector_bytes
+        self._check_extent(disk, lba, nsectors)
+        if self._failed[disk]:
+            raise StoreDiskFailedError(f"disk {disk} has failed")
+        start = lba * self.sector_bytes
+        self._surfaces[disk][start : start + buffer.size] = buffer
+
+    # -- validation ----------------------------------------------------------------------
+
+    def _check_disk(self, disk: int) -> None:
+        if not 0 <= disk < self.ndisks:
+            raise ValueError(f"disk {disk} out of range [0, {self.ndisks})")
+
+    def _check_extent(self, disk: int, lba: int, nsectors: int) -> None:
+        self._check_disk(disk)
+        if nsectors < 1:
+            raise ValueError(f"nsectors must be >= 1, got {nsectors}")
+        if lba < 0 or lba + nsectors > self.sectors:
+            raise ValueError(f"extent [{lba}, {lba + nsectors}) outside disk of {self.sectors} sectors")
+
+    def __repr__(self) -> str:
+        return f"<BlockStore {self.ndisks} x {self.sectors} sectors, failed={self.failed_disks}>"

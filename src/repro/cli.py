@@ -1,0 +1,194 @@
+"""Command-line interface: run experiments and print paper-style tables.
+
+Installed as ``afraid-sim``::
+
+    afraid-sim workloads                     # list the trace catalog
+    afraid-sim run cello-usr --policy afraid --duration 30
+    afraid-sim compare ATT --duration 20     # RAID 0 / AFRAID / RAID 5
+    afraid-sim availability --fraction 0.05  # Section 3 calculator
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.availability import (
+    CONSERVATIVE_SUPPORT,
+    TABLE_1,
+    afraid_mttdl,
+    loss_probability,
+    combine_mttdl,
+    raid5_mttdl_catastrophic,
+)
+from repro.harness import format_quantity, format_table, run_experiment
+from repro.policy import (
+    AlwaysRaid5Policy,
+    BaselineAfraidPolicy,
+    MttdlTargetPolicy,
+    NeverScrubPolicy,
+    ParityPolicy,
+)
+from repro.traces import CATALOG, workload_names
+
+
+def _make_policy(name: str, mttdl_target: float | None) -> ParityPolicy:
+    if name == "afraid":
+        return BaselineAfraidPolicy()
+    if name == "raid5":
+        return AlwaysRaid5Policy()
+    if name == "raid0":
+        return NeverScrubPolicy()
+    if name == "mttdl":
+        if mttdl_target is None:
+            raise SystemExit("--policy mttdl requires --mttdl-target HOURS")
+        return MttdlTargetPolicy(mttdl_target)
+    raise SystemExit(f"unknown policy {name!r}")
+
+
+def _result_rows(result) -> list[list[str]]:
+    return [
+        ["requests", str(result.nrequests)],
+        ["mean I/O time", f"{result.mean_io_time_ms:.2f} ms"],
+        ["95th percentile", f"{result.io_time.p95 * 1e3:.2f} ms"],
+        ["unprotected time", f"{result.unprotected_fraction:.1%}"],
+        ["mean parity lag", f"{result.mean_parity_lag_bytes / 1024:.1f} KB"],
+        ["stripes scrubbed", str(result.stripes_scrubbed)],
+        ["disk MTTDL", format_quantity(result.mttdl_disk_h, " h")],
+        ["overall MTTDL", format_quantity(result.mttdl_overall_h, " h")],
+        ["MDLR (unprotected)", f"{result.mdlr_unprotected_bytes_per_h:.3f} B/h"],
+        ["MDLR (overall)", format_quantity(result.mdlr_overall_bytes_per_h, " B/h")],
+    ]
+
+
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    rows = [
+        [name, f"{CATALOG[name].write_fraction:.0%}", CATALOG[name].description]
+        for name in workload_names()
+    ]
+    print(format_table(["workload", "writes", "description"], rows))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    policy = _make_policy(args.policy, args.mttdl_target)
+    result = run_experiment(args.workload, policy, duration_s=args.duration, seed=args.seed)
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    title = f"{args.workload} under {policy.describe()} ({args.duration:g}s, seed {args.seed})"
+    print(format_table(["metric", "value"], _result_rows(result), title=title))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    results = {}
+    for name in ("raid0", "afraid", "raid5"):
+        results[name] = run_experiment(
+            args.workload, _make_policy(name, None), duration_s=args.duration, seed=args.seed
+        )
+    raid5_mean = results["raid5"].io_time.mean
+    for name in ("raid0", "afraid", "raid5"):
+        result = results[name]
+        rows.append(
+            [
+                name,
+                f"{result.mean_io_time_ms:.2f}",
+                f"{raid5_mean / result.io_time.mean:.2f}x",
+                f"{result.unprotected_fraction:.1%}",
+                format_quantity(result.mttdl_disk_h),
+            ]
+        )
+    print(
+        format_table(
+            ["model", "mean I/O (ms)", "vs RAID5", "unprot time", "disk MTTDL (h)"],
+            rows,
+            title=f"{args.workload}, {args.duration:g}s, seed {args.seed}",
+        )
+    )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.traces import analyze, make_trace, read_trace_csv
+
+    if args.workload.endswith(".csv"):
+        trace = read_trace_csv(args.workload)
+    else:
+        trace = make_trace(args.workload, duration_s=args.duration, seed=args.seed)
+    report = analyze(trace, gap_threshold_s=args.gap)
+    print(format_table(["property", "value"], report.rows(), title=f"trace: {report.name}"))
+    return 0
+
+
+def cmd_availability(args: argparse.Namespace) -> int:
+    params = TABLE_1
+    raid5 = raid5_mttdl_catastrophic(args.ndisks, params.mttf_disk_h, params.mttr_h)
+    afraid = afraid_mttdl(args.ndisks, params.mttf_disk_h, params.mttr_h, args.fraction)
+    overall = combine_mttdl(afraid, CONSERVATIVE_SUPPORT.mttdl_h)
+    lifetime_h = args.years * 24 * 365.25
+    rows = [
+        ["RAID 5 disk MTTDL (eq. 1)", format_quantity(raid5, " h")],
+        [f"AFRAID disk MTTDL @ {args.fraction:.1%} exposure", format_quantity(afraid, " h")],
+        ["support MTTDL (Table 1)", format_quantity(CONSERVATIVE_SUPPORT.mttdl_h, " h")],
+        ["overall MTTDL", format_quantity(overall, " h")],
+        [
+            f"P(loss in {args.years:g} years)",
+            f"{loss_probability(overall, lifetime_h):.2%}",
+        ],
+    ]
+    print(format_table(["quantity", "value"], rows, title=f"{args.ndisks}-disk array"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="afraid-sim",
+        description="AFRAID (USENIX 1996) reproduction: trace-driven array simulation",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("workloads", help="list the workload catalog").set_defaults(
+        handler=cmd_workloads
+    )
+
+    run_parser = commands.add_parser("run", help="run one workload under one policy")
+    run_parser.add_argument("workload", choices=workload_names())
+    run_parser.add_argument("--policy", default="afraid", choices=["afraid", "raid5", "raid0", "mttdl"])
+    run_parser.add_argument("--mttdl-target", type=float, default=None, help="hours, for --policy mttdl")
+    run_parser.add_argument("--duration", type=float, default=30.0, help="trace duration (simulated s)")
+    run_parser.add_argument("--seed", type=int, default=42)
+    run_parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    run_parser.set_defaults(handler=cmd_run)
+
+    compare_parser = commands.add_parser("compare", help="RAID 0 vs AFRAID vs RAID 5 on one workload")
+    compare_parser.add_argument("workload", choices=workload_names())
+    compare_parser.add_argument("--duration", type=float, default=20.0)
+    compare_parser.add_argument("--seed", type=int, default=42)
+    compare_parser.set_defaults(handler=cmd_compare)
+
+    analyze_parser = commands.add_parser("analyze", help="characterise a workload (catalog name or trace CSV)")
+    analyze_parser.add_argument("workload", help="catalog name, or a path ending in .csv")
+    analyze_parser.add_argument("--duration", type=float, default=60.0)
+    analyze_parser.add_argument("--seed", type=int, default=42)
+    analyze_parser.add_argument("--gap", type=float, default=0.1, help="burst-splitting gap (s)")
+    analyze_parser.set_defaults(handler=cmd_analyze)
+
+    avail_parser = commands.add_parser("availability", help="Section 3 analytic calculator")
+    avail_parser.add_argument("--ndisks", type=int, default=5)
+    avail_parser.add_argument("--fraction", type=float, default=0.05, help="unprotected-time fraction")
+    avail_parser.add_argument("--years", type=float, default=3.0)
+    avail_parser.set_defaults(handler=cmd_availability)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

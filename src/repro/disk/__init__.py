@@ -1,0 +1,39 @@
+"""Mechanical disk models.
+
+This package replaces the calibrated Pantheon disk models of
+[Ruemmler94] ("An introduction to disk drive modeling").  A
+:class:`~repro.disk.disk.MechanicalDisk` combines:
+
+* :class:`~repro.disk.geometry.DiskGeometry` — zoned cylinders/heads/sectors
+  and LBA ↔ physical mapping,
+* :class:`~repro.disk.seek.SeekModel` — the a+b·√d short-seek / linear
+  long-seek curve,
+* rotational position as a pure function of simulated time (so arrays built
+  from disks with equal phase are *spin-synchronised*, as in the paper),
+* per-track transfer with head/cylinder switches hidden by track skew,
+* a fixed per-command controller overhead.
+
+The :func:`~repro.disk.models.hp_c3325` factory instantiates the HP C3325
+2 GB 5400 RPM drive the paper's arrays are built from.
+"""
+
+from repro.disk.disk import DiskFailedError, DiskIO, DiskStats, IoKind, MechanicalDisk, ServiceBreakdown
+from repro.disk.geometry import DiskGeometry, Zone
+from repro.disk.models import c3325_geometry, c3325_seek_model, hp_c3325, toy_disk
+from repro.disk.seek import SeekModel
+
+__all__ = [
+    "DiskFailedError",
+    "DiskGeometry",
+    "DiskIO",
+    "DiskStats",
+    "IoKind",
+    "MechanicalDisk",
+    "SeekModel",
+    "ServiceBreakdown",
+    "Zone",
+    "c3325_geometry",
+    "c3325_seek_model",
+    "hp_c3325",
+    "toy_disk",
+]

@@ -1,0 +1,339 @@
+"""The mechanical disk: seek + rotation + transfer timing, one I/O at a time.
+
+The model follows [Ruemmler94]: a fixed controller overhead per command, the
+seek curve from :mod:`repro.disk.seek`, rotational latency computed from the
+absolute rotational position (a pure function of simulated time, so equal
+``spindle_phase`` values give the spin-synchronised arrays the paper
+simulates), and per-track media transfer where head/cylinder switches along
+a long access are hidden by track/cylinder skew.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.seek import SeekModel
+from repro.sim import Event, Simulator
+
+
+class IoKind(enum.Enum):
+    """Direction of a disk access."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class DiskFailedError(Exception):
+    """An I/O was issued to (or in flight on) a failed disk."""
+
+
+@dataclasses.dataclass(frozen=True)
+class DiskIO:
+    """One physical disk access: ``nsectors`` starting at ``lba``."""
+
+    kind: IoKind
+    lba: int
+    nsectors: int
+    tag: typing.Any = None
+
+    def __post_init__(self) -> None:
+        if self.lba < 0:
+            raise ValueError(f"lba must be >= 0, got {self.lba}")
+        if self.nsectors < 1:
+            raise ValueError(f"nsectors must be >= 1, got {self.nsectors}")
+
+    @property
+    def last_lba(self) -> int:
+        return self.lba + self.nsectors - 1
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceBreakdown:
+    """Where the time of one disk access went."""
+
+    overhead: float
+    seek: float
+    rotational_latency: float
+    transfer: float
+
+    @property
+    def total(self) -> float:
+        return self.overhead + self.seek + self.rotational_latency + self.transfer
+
+
+@dataclasses.dataclass
+class DiskStats:
+    """Cumulative per-disk counters."""
+
+    reads: int = 0
+    writes: int = 0
+    sectors_read: int = 0
+    sectors_written: int = 0
+    busy_time: float = 0.0
+    seek_time: float = 0.0
+    rotational_latency: float = 0.0
+    transfer_time: float = 0.0
+    readahead_hits: int = 0
+
+    @property
+    def ios(self) -> int:
+        return self.reads + self.writes
+
+
+class MechanicalDisk:
+    """A single spindle that services one :class:`DiskIO` at a time.
+
+    Queueing lives in the back-end device driver (:mod:`repro.sched`); the
+    disk itself refuses overlapping commands.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        geometry: DiskGeometry,
+        seek_model: SeekModel,
+        rpm: float,
+        controller_overhead_s: float = 0.0005,
+        head_switch_s: float = 0.001,
+        spindle_phase: float = 0.0,
+        immediate_report: bool = False,
+        readahead_segments: int = 0,
+        name: str = "disk",
+    ) -> None:
+        """``immediate_report`` and ``readahead_segments`` enable the
+        drive-level caches [Ruemmler94] describes.  Both default off —
+        the paper's configuration disables immediate reporting (writes
+        are write-through to media) and relies on host caches instead of
+        drive read-ahead (§4.1)."""
+        if rpm <= 0:
+            raise ValueError(f"rpm must be positive, got {rpm}")
+        if not 0.0 <= spindle_phase < 1.0:
+            raise ValueError(f"spindle_phase must be in [0, 1), got {spindle_phase}")
+        if readahead_segments < 0:
+            raise ValueError("readahead_segments must be >= 0")
+        self.sim = sim
+        self.geometry = geometry
+        self.seek_model = seek_model
+        self.rpm = rpm
+        self.rotation_period = 60.0 / rpm
+        self.controller_overhead_s = controller_overhead_s
+        self.head_switch_s = head_switch_s
+        self.spindle_phase = spindle_phase
+        self.immediate_report = immediate_report
+        self.readahead_segments = readahead_segments
+        self.name = name
+        self.stats = DiskStats()
+        self._current_cylinder = 0
+        self._current_head = 0
+        self._busy_until = 0.0
+        self._failed = False
+        # Read-ahead cache: LRU list of (first_lba, last_lba) segments,
+        # newest last.  A segment is the tail of a track the drive kept
+        # streaming after a host read finished.
+        self._segments: list[tuple[int, int]] = []
+
+    # -- state -------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """True while a command occupies the mechanism."""
+        return self.sim.now < self._busy_until
+
+    @property
+    def busy_until(self) -> float:
+        """When the mechanism finishes its current command."""
+        return self._busy_until
+
+    @property
+    def failed(self) -> bool:
+        return self._failed
+
+    @property
+    def current_cylinder(self) -> int:
+        return self._current_cylinder
+
+    def fail(self) -> None:
+        """Mark the disk failed: all subsequent accesses error."""
+        self._failed = True
+
+    def repair(self) -> None:
+        """Return a failed disk to service (contents are NOT restored)."""
+        self._failed = False
+
+    # -- rotational position -------------------------------------------------------
+
+    def rotational_fraction(self, at_time: float) -> float:
+        """Fraction of a revolution completed at ``at_time`` (0 ≤ f < 1)."""
+        return (at_time / self.rotation_period + self.spindle_phase) % 1.0
+
+    # -- timing ---------------------------------------------------------------------
+
+    def compute_service(self, io: DiskIO, start_time: float) -> ServiceBreakdown:
+        """Compute the full service-time breakdown, without side effects."""
+        segments = list(self.geometry.track_segments(io.lba, io.nsectors))
+        first_addr = segments[0][0]
+        seek = self.seek_model.seek_time(abs(first_addr.cylinder - self._current_cylinder))
+        if seek == 0.0 and first_addr.head != self._current_head:
+            seek = self.head_switch_s  # pure head switch, no arm motion
+        clock = start_time + self.controller_overhead_s + seek
+
+        rotational_latency = 0.0
+        transfer = 0.0
+        previous_cylinder = first_addr.cylinder
+        for index, (addr, run) in enumerate(segments):
+            sector_period = self.rotation_period / addr.sectors_per_track
+            if index == 0:
+                target_fraction = addr.sector / addr.sectors_per_track
+                now_fraction = self.rotational_fraction(clock)
+                wait = ((target_fraction - now_fraction) % 1.0) * self.rotation_period
+                rotational_latency += wait
+                clock += wait
+            else:
+                skew = (
+                    self.geometry.cylinder_skew
+                    if addr.cylinder != previous_cylinder
+                    else self.geometry.track_skew
+                )
+                skew_time = skew * sector_period
+                if self.head_switch_s <= skew_time:
+                    switch_cost = skew_time
+                else:
+                    # Skew too small to hide the switch: we miss the first
+                    # sector and pay a full extra revolution.
+                    switch_cost = skew_time + self.rotation_period
+                transfer += switch_cost
+                clock += switch_cost
+            run_time = run * sector_period
+            transfer += run_time
+            clock += run_time
+            previous_cylinder = addr.cylinder
+        return ServiceBreakdown(
+            overhead=self.controller_overhead_s,
+            seek=seek,
+            rotational_latency=rotational_latency,
+            transfer=transfer,
+        )
+
+    def execute(self, io: DiskIO) -> Event:
+        """Service ``io`` now; returns an event firing at completion.
+
+        The caller (a back-end driver) must not overlap commands.
+        """
+        if self._failed:
+            failure = self.sim.event(name=f"{self.name}.failed_io")
+            failure.fail(DiskFailedError(f"{self.name} has failed"))
+            return failure
+        if self.busy:
+            raise RuntimeError(f"{self.name} is busy until t={self._busy_until:.6f}")
+
+        if io.kind is IoKind.READ and self._readahead_hit(io):
+            # Served from the drive's segment buffer: overhead only.
+            self.stats.reads += 1
+            self.stats.sectors_read += io.nsectors
+            self.stats.readahead_hits += 1
+            breakdown = ServiceBreakdown(
+                overhead=self.controller_overhead_s, seek=0.0,
+                rotational_latency=0.0, transfer=0.0,
+            )
+            done = self.sim.event(name=f"{self.name}.cached_read@{io.lba}")
+            self.sim.timeout(breakdown.total).add_callback(
+                lambda _event: self._complete(done, breakdown)
+            )
+            return done
+
+        breakdown = self.compute_service(io, self.sim.now)
+        # Update mechanical state to the end of the access.
+        last_addr, last_run = None, 0
+        for last_addr, last_run in self.geometry.track_segments(io.lba, io.nsectors):
+            pass
+        assert last_addr is not None
+        self._current_cylinder = last_addr.cylinder
+        self._current_head = last_addr.head
+        self._busy_until = self.sim.now + breakdown.total
+
+        stats = self.stats
+        if io.kind is IoKind.READ:
+            stats.reads += 1
+            stats.sectors_read += io.nsectors
+        else:
+            stats.writes += 1
+            stats.sectors_written += io.nsectors
+        stats.busy_time += breakdown.total
+        stats.seek_time += breakdown.seek
+        stats.rotational_latency += breakdown.rotational_latency
+        stats.transfer_time += breakdown.transfer
+
+        if io.kind is IoKind.READ:
+            self._record_readahead(io)
+        else:
+            self._invalidate_segments(io)
+
+        done = self.sim.event(name=f"{self.name}.{io.kind.value}@{io.lba}")
+        if io.kind is IoKind.WRITE and self.immediate_report:
+            # Immediate reporting: the host sees completion as soon as
+            # the data is in the drive buffer; the mechanism stays busy
+            # until the media write really finishes.
+            report_after = self.controller_overhead_s
+        else:
+            report_after = breakdown.total
+        completion = self.sim.timeout(report_after)
+        completion.add_callback(lambda _event: self._complete(done, breakdown))
+        return done
+
+    # -- drive-level caches ----------------------------------------------------------
+
+    def _readahead_hit(self, io: DiskIO) -> bool:
+        if not self.readahead_segments:
+            return False
+        for index, (first, last) in enumerate(self._segments):
+            if first <= io.lba and io.last_lba <= last:
+                # LRU refresh.
+                self._segments.append(self._segments.pop(index))
+                return True
+        return False
+
+    def _record_readahead(self, io: DiskIO) -> None:
+        """After a media read the drive keeps streaming to the end of the
+        track; remember that tail (plus the read itself) as a segment."""
+        if not self.readahead_segments:
+            return
+        addr = self.geometry.lba_to_physical(io.last_lba)
+        track_end = io.last_lba + (addr.sectors_per_track - 1 - addr.sector)
+        self._segments.append((io.lba, track_end))
+        while len(self._segments) > self.readahead_segments:
+            self._segments.pop(0)
+
+    def _invalidate_segments(self, io: DiskIO) -> None:
+        """Writes invalidate overlapping read-ahead segments."""
+        if not self._segments:
+            return
+        self._segments = [
+            (first, last)
+            for first, last in self._segments
+            if last < io.lba or first > io.last_lba
+        ]
+
+    def _complete(self, done: Event, breakdown: ServiceBreakdown) -> None:
+        if self._failed:
+            done.fail(DiskFailedError(f"{self.name} failed mid-flight"))
+        else:
+            done.succeed(breakdown)
+
+    # -- derived figures ----------------------------------------------------------
+
+    def sustained_read_rate(self) -> float:
+        """Bytes/second streaming from the media, averaged over zones."""
+        total_bytes = 0
+        total_time = 0.0
+        for zone in self.geometry.zones:
+            track_bytes = zone.sectors_per_track * self.geometry.sector_bytes
+            tracks = zone.cylinders * self.geometry.heads
+            total_bytes += track_bytes * tracks
+            total_time += self.rotation_period * tracks
+        return total_bytes / total_time
+
+    def __repr__(self) -> str:
+        return f"<MechanicalDisk {self.name!r} {self.geometry!r} @{self.rpm:g} rpm>"

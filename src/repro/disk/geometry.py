@@ -1,0 +1,172 @@
+"""Zoned disk geometry and logical-to-physical address mapping.
+
+Modern (well, 1995-modern) drives record more sectors on outer tracks than
+inner ones.  Geometry is described as a list of :class:`Zone` bands, each a
+run of cylinders sharing a sectors-per-track count.  Logical block addresses
+(LBAs) map to (cylinder, head, sector) in the conventional order: all
+sectors of a track, all tracks (heads) of a cylinder, all cylinders of a
+zone, zones outermost-first.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Zone:
+    """A band of cylinders sharing one sectors-per-track count."""
+
+    cylinders: int
+    sectors_per_track: int
+
+    def __post_init__(self) -> None:
+        if self.cylinders < 1:
+            raise ValueError(f"zone must span >= 1 cylinder, got {self.cylinders}")
+        if self.sectors_per_track < 1:
+            raise ValueError(f"zone needs >= 1 sector/track, got {self.sectors_per_track}")
+
+
+@dataclasses.dataclass(frozen=True)
+class PhysicalAddress:
+    """A decoded LBA: which cylinder, head and sector holds the block."""
+
+    cylinder: int
+    head: int
+    sector: int
+    sectors_per_track: int
+
+
+class DiskGeometry:
+    """Immutable zoned geometry with LBA ↔ physical mapping.
+
+    Parameters
+    ----------
+    heads:
+        Number of recording surfaces (tracks per cylinder).
+    zones:
+        Outermost-first zone list.
+    sector_bytes:
+        Bytes per sector (512 throughout the paper era).
+    track_skew / cylinder_skew:
+        Sector offsets applied between consecutive tracks/cylinders so a
+        sequential transfer keeps streaming after a head or cylinder switch.
+        Expressed in sectors of the local zone.
+    """
+
+    def __init__(
+        self,
+        heads: int,
+        zones: list[Zone] | tuple[Zone, ...],
+        sector_bytes: int = 512,
+        track_skew: int = 8,
+        cylinder_skew: int = 16,
+    ) -> None:
+        if heads < 1:
+            raise ValueError(f"need >= 1 head, got {heads}")
+        if not zones:
+            raise ValueError("need >= 1 zone")
+        if sector_bytes < 1:
+            raise ValueError(f"sector_bytes must be positive, got {sector_bytes}")
+        if track_skew < 0 or cylinder_skew < 0:
+            raise ValueError("skews must be >= 0")
+        self.heads = heads
+        self.zones = tuple(zones)
+        self.sector_bytes = sector_bytes
+        self.track_skew = track_skew
+        self.cylinder_skew = cylinder_skew
+
+        # Cumulative cylinder / LBA starts per zone, for O(log z) lookup.
+        self._zone_first_cyl: list[int] = []
+        self._zone_first_lba: list[int] = []
+        cylinder = 0
+        lba = 0
+        for zone in self.zones:
+            self._zone_first_cyl.append(cylinder)
+            self._zone_first_lba.append(lba)
+            cylinder += zone.cylinders
+            lba += zone.cylinders * heads * zone.sectors_per_track
+        self.cylinders = cylinder
+        self.total_sectors = lba
+
+    # -- capacity -------------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Formatted capacity in bytes."""
+        return self.total_sectors * self.sector_bytes
+
+    # -- zone lookup -----------------------------------------------------------
+
+    def zone_of_cylinder(self, cylinder: int) -> Zone:
+        """The zone containing ``cylinder``."""
+        if not 0 <= cylinder < self.cylinders:
+            raise ValueError(f"cylinder {cylinder} out of range [0, {self.cylinders})")
+        index = bisect.bisect_right(self._zone_first_cyl, cylinder) - 1
+        return self.zones[index]
+
+    def sectors_per_track_at(self, cylinder: int) -> int:
+        """Sectors per track on ``cylinder``."""
+        return self.zone_of_cylinder(cylinder).sectors_per_track
+
+    # -- address mapping ---------------------------------------------------------
+
+    def lba_to_physical(self, lba: int) -> PhysicalAddress:
+        """Decode an LBA into cylinder/head/sector."""
+        if not 0 <= lba < self.total_sectors:
+            raise ValueError(f"lba {lba} out of range [0, {self.total_sectors})")
+        index = bisect.bisect_right(self._zone_first_lba, lba) - 1
+        zone = self.zones[index]
+        offset = lba - self._zone_first_lba[index]
+        sectors_per_cylinder = self.heads * zone.sectors_per_track
+        cylinder = self._zone_first_cyl[index] + offset // sectors_per_cylinder
+        within = offset % sectors_per_cylinder
+        head = within // zone.sectors_per_track
+        sector = within % zone.sectors_per_track
+        return PhysicalAddress(cylinder, head, sector, zone.sectors_per_track)
+
+    def physical_to_lba(self, cylinder: int, head: int, sector: int) -> int:
+        """Encode cylinder/head/sector back into an LBA."""
+        if not 0 <= head < self.heads:
+            raise ValueError(f"head {head} out of range [0, {self.heads})")
+        index = bisect.bisect_right(self._zone_first_cyl, cylinder) - 1
+        if index < 0 or cylinder >= self.cylinders:
+            raise ValueError(f"cylinder {cylinder} out of range [0, {self.cylinders})")
+        zone = self.zones[index]
+        if not 0 <= sector < zone.sectors_per_track:
+            raise ValueError(f"sector {sector} out of range for zone with {zone.sectors_per_track} spt")
+        offset = (cylinder - self._zone_first_cyl[index]) * self.heads * zone.sectors_per_track
+        return self._zone_first_lba[index] + offset + head * zone.sectors_per_track + sector
+
+    def cylinder_of(self, lba: int) -> int:
+        """Just the cylinder number of ``lba`` (seek-distance helper)."""
+        return self.lba_to_physical(lba).cylinder
+
+    # -- track iteration ------------------------------------------------------------
+
+    def track_segments(self, lba: int, nsectors: int):
+        """Split ``[lba, lba + nsectors)`` into per-track runs.
+
+        Yields ``(physical_address_of_first_sector, run_length)`` tuples in
+        order, so transfer-time computation can account for each head or
+        cylinder switch along a long sequential access.
+        """
+        if nsectors < 1:
+            raise ValueError(f"nsectors must be >= 1, got {nsectors}")
+        if lba + nsectors > self.total_sectors:
+            raise ValueError("access extends past end of disk")
+        remaining = nsectors
+        position = lba
+        while remaining > 0:
+            addr = self.lba_to_physical(position)
+            run = min(remaining, addr.sectors_per_track - addr.sector)
+            yield addr, run
+            position += run
+            remaining -= run
+
+    def __repr__(self) -> str:
+        return (
+            f"<DiskGeometry {self.cylinders} cyls x {self.heads} heads, "
+            f"{len(self.zones)} zones, {self.capacity_bytes / 2**30:.2f} GiB>"
+        )

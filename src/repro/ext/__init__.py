@@ -1,0 +1,38 @@
+"""Extensions: the paper's §2 comparator and §5 refinements.
+
+* :mod:`repro.ext.gf256` / :mod:`repro.ext.raid6_blocks` — GF(2⁸)
+  arithmetic and a byte-accurate P+Q (Reed-Solomon) dual-parity array,
+  the substrate for combining AFRAID with RAID 6 (§5).
+* :mod:`repro.ext.raid6_afraid` — the timing model of AFRAID-on-RAID 6:
+  defer neither, one, or both parity updates per write.
+* :mod:`repro.ext.parity_logging` — the parity-logging array of
+  [Stodolsky93], the paper's closest prior solution (§2), for head-to-head
+  comparison benches.
+* :mod:`repro.ext.policies` — §5 policy refinements: per-region
+  redundancy flags, the conservative-start auto-switch, and a
+  [Golding95]-predictor-driven scrub gate.
+* :mod:`repro.ext.rebuild` — degraded-mode operation and background
+  rebuild onto a spare after a disk failure (the standard RAID machinery
+  §2 notes AFRAID inherits).
+"""
+
+from repro.ext.gf256 import GF256
+from repro.ext.parity_logging import ParityLogConfig, ParityLoggingArray
+from repro.ext.policies import AdaptiveStartPolicy, PredictiveScrubPolicy, RegionMap, RegionPolicy
+from repro.ext.raid6_afraid import DeferralMode, Raid6AfraidArray
+from repro.ext.raid6_blocks import Raid6FunctionalArray
+from repro.ext.rebuild import RebuildManager
+
+__all__ = [
+    "AdaptiveStartPolicy",
+    "DeferralMode",
+    "GF256",
+    "ParityLogConfig",
+    "ParityLoggingArray",
+    "PredictiveScrubPolicy",
+    "Raid6AfraidArray",
+    "Raid6FunctionalArray",
+    "RebuildManager",
+    "RegionMap",
+    "RegionPolicy",
+]

@@ -1,0 +1,221 @@
+"""Parity logging [Stodolsky93] — the paper's closest prior comparator (§2).
+
+A parity-logging array keeps full redundancy at all times, but moves the
+parity *write* out of the small-update critical path:
+
+1. foreground: read old data, write new data (2 I/Os — AFRAID needs 1);
+   the xor of old and new data (the *parity-update image*) goes into an
+   NVRAM fill buffer;
+2. when a fill buffer is full, it is appended to an on-disk log region
+   with one large sequential write (cheap per image);
+3. when the log region fills, it is *reclaimed*: the log and the parity
+   region are read sequentially, the images are applied, and the parity
+   region is rewritten — a burst of large I/Os that can interfere with
+   foreground traffic, which is exactly the behaviour the paper contrasts
+   with AFRAID's preemptible stripe-at-a-time scrub.
+
+The model reserves a log region at the end of each disk (images are
+logged on the disk that holds the target stripe's parity, so a reclaim is
+a single-disk sequential sweep).  NVRAM exhaustion applies back-pressure
+to writers, mirroring the "log fills up" failure mode the paper discusses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.array.request import ArrayRequest
+from repro.disk import DiskIO, IoKind, MechanicalDisk
+from repro.idle import IdleDetector
+from repro.layout import Raid5Layout
+from repro.sched import DiskDriver, FcfsScheduler
+from repro.sim import AllOf, Event, Resource, Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class ParityLogConfig:
+    """Sizing knobs for the log hierarchy."""
+
+    nvram_buffer_bytes: int = 64 * 1024  # fill buffer per parity disk
+    log_region_bytes: int = 1024 * 1024  # on-disk log per disk
+    #: Parity bytes re-read/re-written per log byte during reclaim (the
+    #: images of a full log usually touch a comparable span of parity).
+    reclaim_parity_ratio: float = 1.0
+
+
+@dataclasses.dataclass
+class ParityLogStats:
+    writes: int = 0
+    reads: int = 0
+    log_flushes: int = 0
+    reclaims: int = 0
+    foreground_ios: int = 0
+    background_ios: int = 0
+
+
+class ParityLoggingArray:
+    """Timing model of a parity-logging RAID 5."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        disks: list[MechanicalDisk],
+        stripe_unit_sectors: int,
+        config: ParityLogConfig | None = None,
+        idle_threshold_s: float = 0.100,
+        name: str = "plog",
+    ) -> None:
+        if len(disks) < 3:
+            raise ValueError(f"need >= 3 disks, got {len(disks)}")
+        self.sim = sim
+        self.disks = list(disks)
+        self.config = config if config is not None else ParityLogConfig()
+        self.name = name
+        self.sector_bytes = disks[0].geometry.sector_bytes
+
+        # Reserve the log region at the end of every disk.
+        log_sectors = -(-self.config.log_region_bytes // self.sector_bytes)
+        usable = min(disk.geometry.total_sectors for disk in disks) - log_sectors
+        if usable < stripe_unit_sectors:
+            raise ValueError("log region leaves no room for data")
+        self.layout = Raid5Layout(len(disks), stripe_unit_sectors, usable)
+        self._log_base_lba = self.layout.nstripes * stripe_unit_sectors
+
+        self.drivers = [
+            DiskDriver(sim, disk, FcfsScheduler(), name=f"{name}.be{index}")
+            for index, disk in enumerate(disks)
+        ]
+        self.slots = Resource(sim, capacity=len(disks), name=f"{name}.slots")
+        self.detector = IdleDetector(sim, threshold_s=idle_threshold_s)
+        self.stats = ParityLogStats()
+        self.io_times: list[float] = []
+
+        # Per parity disk: bytes buffered in NVRAM and bytes in the on-disk log.
+        self._nvram_fill = [0] * len(disks)
+        self._log_fill = [0] * len(disks)
+        self._maintenance_running = [False] * len(disks)
+        # Like AFRAID's scrubber, drain pending log work in idle periods
+        # (the paper suggests exactly this extension for parity logging).
+        self.detector.on_idle.append(self._on_idle)
+
+    # -- client API ---------------------------------------------------------------------
+
+    def submit(self, request: ArrayRequest) -> Event:
+        if request.offset_sectors + request.nsectors > self.layout.total_data_sectors:
+            raise ValueError("request exceeds array data capacity")
+        request.submit_time = self.sim.now
+        self.detector.activity_started()
+        done = self.sim.event(name=f"{self.name}.done")
+        self.sim.process(self._service(request, done), name=f"{self.name}.service")
+        return done
+
+    def _service(self, request: ArrayRequest, done: Event):
+        yield self.slots.acquire()
+        try:
+            if request.is_write:
+                yield from self._write(request)
+            else:
+                yield from self._read(request)
+        except BaseException as exc:
+            self.slots.release()
+            self.detector.activity_ended()
+            done.fail(exc)
+            return
+        self.slots.release()
+        request.complete_time = self.sim.now
+        self.io_times.append(request.io_time)
+        self.stats.writes += request.is_write
+        self.stats.reads += not request.is_write
+        self.detector.activity_ended()
+        done.succeed(request)
+
+    def _read(self, request: ArrayRequest):
+        events = []
+        for run in self.layout.map_extent(request.offset_sectors, request.nsectors):
+            events.append(self.drivers[run.disk].submit(DiskIO(IoKind.READ, run.disk_lba, run.nsectors)))
+            self.stats.foreground_ios += 1
+        yield AllOf(self.sim, events)
+
+    def _write(self, request: ArrayRequest):
+        runs = self.layout.map_extent(request.offset_sectors, request.nsectors)
+        # Critical path: read old data, write new data (no parity I/O).
+        reads = []
+        for run in runs:
+            reads.append(self.drivers[run.disk].submit(DiskIO(IoKind.READ, run.disk_lba, run.nsectors)))
+            self.stats.foreground_ios += 1
+        yield AllOf(self.sim, reads)
+        writes = []
+        for run in runs:
+            writes.append(self.drivers[run.disk].submit(DiskIO(IoKind.WRITE, run.disk_lba, run.nsectors)))
+            self.stats.foreground_ios += 1
+        yield AllOf(self.sim, writes)
+
+        # Buffer one parity-update image per run in the parity disk's NVRAM
+        # fill buffer; back-pressure when the buffer is full.
+        for run in runs:
+            parity_disk = self.layout.parity_disk(run.stripe)
+            image_bytes = run.nsectors * self.sector_bytes
+            while self._nvram_fill[parity_disk] + image_bytes > self.config.nvram_buffer_bytes:
+                yield from self._flush_log(parity_disk)
+            self._nvram_fill[parity_disk] += image_bytes
+
+    # -- log maintenance -----------------------------------------------------------------
+
+    def _on_idle(self) -> None:
+        for disk in range(len(self.disks)):
+            if self._nvram_fill[disk] and not self._maintenance_running[disk]:
+                self._maintenance_running[disk] = True
+                self.sim.process(self._idle_flush(disk), name=f"{self.name}.flush{disk}")
+
+    def _idle_flush(self, disk: int):
+        try:
+            yield from self._flush_log(disk)
+        finally:
+            self._maintenance_running[disk] = False
+
+    def _flush_log(self, disk: int):
+        """Append the NVRAM fill buffer to the on-disk log (one big write)."""
+        fill = self._nvram_fill[disk]
+        if fill == 0:
+            return
+        self._nvram_fill[disk] = 0
+        nsectors = max(1, fill // self.sector_bytes)
+        lba = self._log_base_lba + (self._log_fill[disk] // self.sector_bytes)
+        yield self.drivers[disk].submit(DiskIO(IoKind.WRITE, lba, nsectors))
+        self.stats.background_ios += 1
+        self.stats.log_flushes += 1
+        self._log_fill[disk] += fill
+        if self._log_fill[disk] >= self.config.log_region_bytes:
+            yield from self._reclaim(disk)
+
+    def _reclaim(self, disk: int):
+        """Apply a full log to the parity region: the expensive batch.
+
+        Sequential read of the log, sequential read of the covered parity
+        span, then a sequential rewrite of that span — all on one disk,
+        and all competing with foreground I/O on it.
+        """
+        log_bytes = self._log_fill[disk]
+        self._log_fill[disk] = 0
+        log_sectors = max(1, log_bytes // self.sector_bytes)
+        parity_sectors = max(1, int(log_sectors * self.config.reclaim_parity_ratio))
+        parity_lba = 0  # parity units of this disk start at its low LBAs
+        yield self.drivers[disk].submit(DiskIO(IoKind.READ, self._log_base_lba, log_sectors))
+        yield self.drivers[disk].submit(
+            DiskIO(IoKind.READ, parity_lba, min(parity_sectors, self._log_base_lba))
+        )
+        yield self.drivers[disk].submit(
+            DiskIO(IoKind.WRITE, parity_lba, min(parity_sectors, self._log_base_lba))
+        )
+        self.stats.background_ios += 3
+        self.stats.reclaims += 1
+
+    @property
+    def mean_io_time(self) -> float:
+        return sum(self.io_times) / len(self.io_times) if self.io_times else 0.0
+
+    @property
+    def pending_log_bytes(self) -> int:
+        """Parity debt parked in NVRAM + on-disk logs (fully redundant,
+        unlike AFRAID's parity lag — but it must eventually be applied)."""
+        return sum(self._nvram_fill) + sum(self._log_fill)

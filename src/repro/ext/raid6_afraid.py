@@ -1,0 +1,231 @@
+"""AFRAID on RAID 6 — the timing model of the paper's §5 refinement.
+
+A RAID 6 small write normally pays an even higher penalty than RAID 5:
+six disk I/Os (read old data, old P, old Q; write all three back).  The
+refinement defers either or both syndrome updates:
+
+* ``DeferralMode.NONE``       — plain RAID 6: 6 I/Os, always 2-failure-safe;
+* ``DeferralMode.DEFER_Q``    — 4 I/Os, immediately 1-failure-safe, fully
+  redundant after the background Q rebuild;
+* ``DeferralMode.DEFER_BOTH`` — 1 I/O, AFRAID-style exposure until the
+  background rebuild refreshes both syndromes.
+
+This controller is a deliberately lean exploratory model (no array cache
+or staging budget — both would affect all modes identically); it reuses
+the production disks, drivers, idle detector and NVRAM mark memories, and
+reports the same mean-I/O-time and exposure metrics as the main stack so
+the modes can be laid side by side in a bench.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.array.request import ArrayRequest
+from repro.availability import ParityLagTracker
+from repro.disk import DiskIO, IoKind, MechanicalDisk
+from repro.idle import IdleDetector
+from repro.layout.raid6 import Raid6Layout
+from repro.nvram import MarkMemory
+from repro.sched import DiskDriver, FcfsScheduler
+from repro.sim import AllOf, Event, Resource, Simulator
+
+
+class DeferralMode(enum.Enum):
+    """Which syndrome updates a client write defers."""
+
+    NONE = "raid6"
+    DEFER_Q = "defer_q"
+    DEFER_BOTH = "defer_both"
+
+
+class Raid6AfraidArray:
+    """A P+Q array whose write path defers 0, 1, or 2 syndrome updates."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        disks: list[MechanicalDisk],
+        stripe_unit_sectors: int,
+        mode: DeferralMode = DeferralMode.DEFER_Q,
+        idle_threshold_s: float = 0.100,
+        name: str = "raid6",
+    ) -> None:
+        if len(disks) < 4:
+            raise ValueError(f"RAID 6 needs >= 4 disks, got {len(disks)}")
+        self.sim = sim
+        self.disks = list(disks)
+        self.mode = mode
+        self.name = name
+        self.sector_bytes = disks[0].geometry.sector_bytes
+        usable = min(disk.geometry.total_sectors for disk in disks)
+        self.layout = Raid6Layout(len(disks), stripe_unit_sectors, usable)
+        self.unit_bytes = stripe_unit_sectors * self.sector_bytes
+        self.drivers = [
+            DiskDriver(sim, disk, FcfsScheduler(), name=f"{name}.be{index}")
+            for index, disk in enumerate(disks)
+        ]
+        self.slots = Resource(sim, capacity=len(disks), name=f"{name}.slots")
+        self.detector = IdleDetector(sim, threshold_s=idle_threshold_s)
+        self.stale_p = MarkMemory(self.layout.nstripes)
+        self.stale_q = MarkMemory(self.layout.nstripes)
+        #: Bytes in stripes with BOTH syndromes stale (single-failure risk).
+        self.exposure_tracker = ParityLagTracker(start_time=sim.now)
+        #: Bytes in stripes below full two-failure redundancy.
+        self.degraded_tracker = ParityLagTracker(start_time=sim.now)
+        self.io_times: list[float] = []
+        self.disk_ios = 0
+        self.stripes_scrubbed = 0
+        self._scrub_running = False
+        self._finished = False
+        self.detector.on_idle.append(self._on_idle)
+
+    # -- exposure bookkeeping -----------------------------------------------------------
+
+    def _stripe_bytes(self) -> int:
+        return self.layout.data_units_per_stripe * self.unit_bytes
+
+    def _record_exposure(self) -> None:
+        if self._finished:
+            return
+        both = set(self.stale_p.marked_stripes) & set(self.stale_q.marked_stripes)
+        either = set(self.stale_p.marked_stripes) | set(self.stale_q.marked_stripes)
+        self.exposure_tracker.record(self.sim.now, len(both) * self._stripe_bytes())
+        self.degraded_tracker.record(self.sim.now, len(either) * self._stripe_bytes())
+
+    def finalize(self) -> None:
+        if not self._finished:
+            self._finished = True
+            self.exposure_tracker.finish(self.sim.now)
+            self.degraded_tracker.finish(self.sim.now)
+
+    # -- client API ------------------------------------------------------------------------
+
+    def submit(self, request: ArrayRequest) -> Event:
+        """Service one request; the event fires at completion."""
+        if request.offset_sectors + request.nsectors > self.layout.total_data_sectors:
+            raise ValueError("request exceeds array data capacity")
+        request.submit_time = self.sim.now
+        self.detector.activity_started()
+        done = self.sim.event(name=f"{self.name}.done")
+        self.sim.process(self._service(request, done), name=f"{self.name}.service")
+        return done
+
+    def _service(self, request: ArrayRequest, done: Event):
+        yield self.slots.acquire()
+        try:
+            if request.is_write:
+                yield from self._write(request)
+            else:
+                yield from self._read(request)
+        except BaseException as exc:
+            self.slots.release()
+            self.detector.activity_ended()
+            done.fail(exc)
+            return
+        self.slots.release()
+        request.complete_time = self.sim.now
+        self.io_times.append(request.io_time)
+        self.detector.activity_ended()
+        done.succeed(request)
+
+    def _read(self, request: ArrayRequest):
+        events = []
+        for run in self.layout.map_extent(request.offset_sectors, request.nsectors):
+            events.append(self.drivers[run.disk].submit(DiskIO(IoKind.READ, run.disk_lba, run.nsectors)))
+            self.disk_ios += 1
+        yield AllOf(self.sim, events)
+
+    def _write(self, request: ArrayRequest):
+        runs = self.layout.map_extent(request.offset_sectors, request.nsectors)
+        stripes = sorted({run.stripe for run in runs})
+        defer_p = self.mode is DeferralMode.DEFER_BOTH
+        defer_q = self.mode is not DeferralMode.NONE
+
+        # Mark deferred syndromes stale *before* data lands.
+        for stripe in stripes:
+            if defer_p:
+                self.stale_p.mark(stripe)
+            if defer_q:
+                self.stale_q.mark(stripe)
+        if defer_p or defer_q:
+            self._record_exposure()
+
+        unit_sectors = self.layout.stripe_unit_sectors
+        if not defer_p or not defer_q:
+            # Read-modify-write pre-reads: old data always, plus each
+            # syndrome being freshened in the foreground.
+            reads = []
+            for run in runs:
+                reads.append(self.drivers[run.disk].submit(DiskIO(IoKind.READ, run.disk_lba, run.nsectors)))
+                self.disk_ios += 1
+            for stripe in stripes:
+                if not defer_p:
+                    p = self.layout.parity_unit(stripe)
+                    reads.append(self.drivers[p.disk].submit(DiskIO(IoKind.READ, p.disk_lba, unit_sectors)))
+                    self.disk_ios += 1
+                if not defer_q:
+                    q = self.layout.parity_q_unit(stripe)
+                    reads.append(self.drivers[q.disk].submit(DiskIO(IoKind.READ, q.disk_lba, unit_sectors)))
+                    self.disk_ios += 1
+            yield AllOf(self.sim, reads)
+
+        writes = []
+        for run in runs:
+            writes.append(self.drivers[run.disk].submit(DiskIO(IoKind.WRITE, run.disk_lba, run.nsectors)))
+            self.disk_ios += 1
+        for stripe in stripes:
+            if not defer_p:
+                p = self.layout.parity_unit(stripe)
+                writes.append(self.drivers[p.disk].submit(DiskIO(IoKind.WRITE, p.disk_lba, unit_sectors)))
+                self.disk_ios += 1
+            if not defer_q:
+                q = self.layout.parity_q_unit(stripe)
+                writes.append(self.drivers[q.disk].submit(DiskIO(IoKind.WRITE, q.disk_lba, unit_sectors)))
+                self.disk_ios += 1
+        yield AllOf(self.sim, writes)
+
+    # -- background syndrome rebuilding ---------------------------------------------------------
+
+    def _on_idle(self) -> None:
+        if (self.stale_p.count or self.stale_q.count) and not self._scrub_running:
+            self._scrub_running = True
+            self.sim.process(self._scrub_loop(), name=f"{self.name}.scrubber")
+
+    def _scrub_loop(self):
+        try:
+            while (self.stale_p.count or self.stale_q.count) and self.detector.is_idle:
+                oldest_q = self.stale_q.oldest()
+                oldest_p = self.stale_p.oldest()
+                stripe = (oldest_p or oldest_q)[0]
+                yield from self._scrub_stripe(stripe)
+        finally:
+            self._scrub_running = False
+
+    def _scrub_stripe(self, stripe: int):
+        """Read the stripe's data units, rewrite whichever syndromes are stale."""
+        unit_sectors = self.layout.stripe_unit_sectors
+        reads = []
+        for unit in self.layout.data_units(stripe):
+            reads.append(self.drivers[unit.disk].submit(DiskIO(IoKind.READ, unit.disk_lba, unit_sectors)))
+            self.disk_ios += 1
+        yield AllOf(self.sim, reads)
+        writes = []
+        if self.stale_p.is_marked(stripe):
+            p = self.layout.parity_unit(stripe)
+            writes.append(self.drivers[p.disk].submit(DiskIO(IoKind.WRITE, p.disk_lba, unit_sectors)))
+            self.disk_ios += 1
+        if self.stale_q.is_marked(stripe):
+            q = self.layout.parity_q_unit(stripe)
+            writes.append(self.drivers[q.disk].submit(DiskIO(IoKind.WRITE, q.disk_lba, unit_sectors)))
+            self.disk_ios += 1
+        if writes:
+            yield AllOf(self.sim, writes)
+        self.stale_p.clear_stripe(stripe)
+        self.stale_q.clear_stripe(stripe)
+        self.stripes_scrubbed += 1
+        self._record_exposure()
+
+    @property
+    def mean_io_time(self) -> float:
+        return sum(self.io_times) / len(self.io_times) if self.io_times else 0.0

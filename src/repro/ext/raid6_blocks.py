@@ -1,0 +1,199 @@
+"""A byte-accurate P+Q (RAID 6) array with optionally deferred parity.
+
+The functional substrate for the paper's §5 refinement: "The AFRAID
+technique could be combined with the RAID 6 parity scheme to delay either
+or both parity-block updates: if only one was deferred, partial redundancy
+protection would be available immediately, and full redundancy once the
+parity-rebuild happened for the other parity block."
+
+Tracks P-staleness and Q-staleness per stripe independently, so every
+redundancy state the refinement creates is representable:
+
+* both fresh   — survives any two disk failures;
+* one stale    — survives any single disk failure (partial redundancy);
+* both stale   — new data in the stripe is unprotected (AFRAID exposure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blocks.store import BlockStore, StoreDiskFailedError
+from repro.ext.gf256 import GF256
+from repro.layout.raid6 import Raid6Layout
+
+
+class Raid6DataLostError(Exception):
+    """More failures than the surviving syndromes can repair."""
+
+
+class Raid6FunctionalArray:
+    """Real-bytes RAID 6 with independently deferrable P and Q."""
+
+    def __init__(self, layout: Raid6Layout, sector_bytes: int = 512) -> None:
+        self.layout = layout
+        self.sector_bytes = sector_bytes
+        striped_sectors = layout.nstripes * layout.stripe_unit_sectors
+        self.store = BlockStore(layout.ndisks, striped_sectors, sector_bytes)
+        self._stale_p: set[int] = set()
+        self._stale_q: set[int] = set()
+
+    # -- state ------------------------------------------------------------------------
+
+    @property
+    def stale_p_stripes(self) -> frozenset[int]:
+        return frozenset(self._stale_p)
+
+    @property
+    def stale_q_stripes(self) -> frozenset[int]:
+        return frozenset(self._stale_q)
+
+    def redundancy_level(self, stripe: int) -> int:
+        """How many simultaneous disk failures this stripe tolerates now."""
+        return 2 - (stripe in self._stale_p) - (stripe in self._stale_q)
+
+    # -- writes ------------------------------------------------------------------------
+
+    def write(self, logical_sector: int, data: bytes, update_p: bool = True, update_q: bool = True) -> None:
+        """Write ``data``; freshen P and/or Q per the deferral flags.
+
+        Updated syndromes are recomputed from the whole stripe (the
+        reconstruct-write path — simple and always correct, including when
+        the stripe was already stale).
+        """
+        buffer = np.frombuffer(bytes(data), dtype=np.uint8)
+        if buffer.size % self.sector_bytes != 0:
+            raise ValueError("write must be a whole number of sectors")
+        nsectors = buffer.size // self.sector_bytes
+        offset = 0
+        touched: list[int] = []
+        for run in self.layout.map_extent(logical_sector, nsectors):
+            run_bytes = run.nsectors * self.sector_bytes
+            self.store.write(run.disk, run.disk_lba, buffer[offset : offset + run_bytes])
+            offset += run_bytes
+            if run.stripe not in touched:
+                touched.append(run.stripe)
+        for stripe in touched:
+            if update_p:
+                self._rebuild_p(stripe)
+            else:
+                self._stale_p.add(stripe)
+            if update_q:
+                self._rebuild_q(stripe)
+            else:
+                self._stale_q.add(stripe)
+
+    # -- scrubbing ----------------------------------------------------------------------
+
+    def scrub_stripe(self, stripe: int, rebuild_p: bool = True, rebuild_q: bool = True) -> None:
+        """Background rebuild of the stale syndrome(s) of ``stripe``."""
+        if rebuild_p:
+            self._rebuild_p(stripe)
+        if rebuild_q:
+            self._rebuild_q(stripe)
+
+    def _data_units(self, stripe: int) -> list[np.ndarray]:
+        nsectors = self.layout.stripe_unit_sectors
+        return [
+            self.store.read(unit.disk, unit.disk_lba, nsectors)
+            for unit in self.layout.data_units(stripe)
+        ]
+
+    def _rebuild_p(self, stripe: int) -> None:
+        units = self._data_units(stripe)
+        p = np.zeros_like(units[0])
+        for unit in units:
+            p ^= unit
+        parity = self.layout.parity_unit(stripe)
+        self.store.write(parity.disk, parity.disk_lba, p)
+        self._stale_p.discard(stripe)
+
+    def _rebuild_q(self, stripe: int) -> None:
+        units = self._data_units(stripe)
+        _p, q = GF256.syndromes(units)
+        q_unit = self.layout.parity_q_unit(stripe)
+        self.store.write(q_unit.disk, q_unit.disk_lba, q)
+        self._stale_q.discard(stripe)
+
+    # -- reads with recovery ------------------------------------------------------------------
+
+    def fail_disk(self, disk: int) -> None:
+        self.store.fail(disk)
+
+    def read(self, logical_sector: int, nsectors: int) -> bytes:
+        """Read, reconstructing through up to two failures where possible."""
+        pieces = []
+        for run in self.layout.map_extent(logical_sector, nsectors):
+            try:
+                piece = self.store.read(run.disk, run.disk_lba, run.nsectors)
+            except StoreDiskFailedError:
+                unit = self._recover_unit(run.stripe, run.unit_index)
+                in_unit = run.disk_lba - run.stripe * self.layout.stripe_unit_sectors
+                start = in_unit * self.sector_bytes
+                piece = unit[start : start + run.nsectors * self.sector_bytes]
+            pieces.append(piece)
+        return b"".join(piece.tobytes() for piece in pieces)
+
+    def _recover_unit(self, stripe: int, unit_index: int) -> np.ndarray:
+        """Reconstruct one whole (lost) data unit of ``stripe``."""
+        nsectors = self.layout.stripe_unit_sectors
+        survivors: list[tuple[int, np.ndarray]] = []
+        lost_indices: list[int] = []
+        for unit in self.layout.data_units(stripe):
+            try:
+                survivors.append(
+                    (unit.unit_index, self.store.read(unit.disk, unit.disk_lba, nsectors))
+                )
+            except StoreDiskFailedError:
+                lost_indices.append(unit.unit_index)
+        p = self._read_syndrome(stripe, use_q=False)
+        q = self._read_syndrome(stripe, use_q=True)
+
+        if len(lost_indices) == 1:
+            if p is not None:
+                result = p.copy()
+                for _index, unit in survivors:
+                    result ^= unit
+                return result
+            if q is not None:
+                return GF256.recover_one_from_q(q, survivors, unit_index)
+            raise Raid6DataLostError(
+                f"stripe {stripe}: lost a data unit with both syndromes unavailable"
+            )
+        if len(lost_indices) == 2:
+            if p is None or q is None:
+                if p is not None:
+                    detail = "only P is available"
+                elif q is not None:
+                    detail = "only Q is available"
+                else:
+                    detail = "neither syndrome is available"
+                raise Raid6DataLostError(f"stripe {stripe}: two data units lost and {detail}")
+            a, b = lost_indices
+            d_a, d_b = GF256.recover_two(p, q, survivors, a, b)
+            return d_a if unit_index == a else d_b
+        raise Raid6DataLostError(f"stripe {stripe}: {len(lost_indices)} data units lost")
+
+    def _read_syndrome(self, stripe: int, use_q: bool) -> np.ndarray | None:
+        """A syndrome usable for recovery, or None (failed disk or stale)."""
+        stale = self._stale_q if use_q else self._stale_p
+        if stripe in stale:
+            return None
+        unit = self.layout.parity_q_unit(stripe) if use_q else self.layout.parity_unit(stripe)
+        try:
+            return self.store.read(unit.disk, unit.disk_lba, self.layout.stripe_unit_sectors)
+        except StoreDiskFailedError:
+            return None
+
+    # -- verification ---------------------------------------------------------------------------
+
+    def syndromes_consistent(self, stripe: int) -> tuple[bool, bool]:
+        """(P consistent?, Q consistent?) against the current data."""
+        units = self._data_units(stripe)
+        expected_p, expected_q = GF256.syndromes(units)
+        parity = self.layout.parity_unit(stripe)
+        q_unit = self.layout.parity_q_unit(stripe)
+        nsectors = self.layout.stripe_unit_sectors
+        actual_p = self.store.read(parity.disk, parity.disk_lba, nsectors)
+        actual_q = self.store.read(q_unit.disk, q_unit.disk_lba, nsectors)
+        return bool(np.array_equal(expected_p, actual_p)), bool(np.array_equal(expected_q, actual_q))

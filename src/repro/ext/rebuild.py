@@ -1,0 +1,140 @@
+"""Degraded-mode rebuild onto a spare disk.
+
+Section 2 of the paper notes that "all the well-known techniques that
+have been developed for performing stripe rebuilds in a recently repaired
+disk array can be applied to the problem of rebuilding the parity in
+AFRAID" — and conversely, an AFRAID array needs the standard machinery
+too: when a member dies, the array runs degraded (reads reconstruct
+through parity) while a background sweep regenerates the lost disk's
+contents onto a spare, stripe by stripe, optionally yielding to
+foreground traffic between stripes ([Muntz90, Holland92] style).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.array.controller import DiskArray
+from repro.disk import DiskIO, IoKind, MechanicalDisk
+from repro.sched import DiskDriver, FcfsScheduler
+from repro.sim import AllOf, Event, Simulator
+
+
+@dataclasses.dataclass
+class RebuildStats:
+    stripes_rebuilt: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def duration_s(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class RebuildManager:
+    """Coordinates failure handling and spare rebuild for one array."""
+
+    def __init__(self, sim: Simulator, array: DiskArray, yield_to_foreground: bool = True) -> None:
+        self.sim = sim
+        self.array = array
+        #: Pause between stripes while clients are active (rebuild still
+        #: makes progress in every idle moment; set False for a flat-out
+        #: sweep that competes with the foreground).
+        self.yield_to_foreground = yield_to_foreground
+        self.stats = RebuildStats()
+
+    def fail_and_rebuild(self, disk_index: int, spare: MechanicalDisk) -> Event:
+        """Kill member ``disk_index`` and rebuild it onto ``spare``.
+
+        Returns an event that fires when the array is whole again (the
+        spare installed as the new member, degraded mode left).  Any
+        stripes that were dirty at failure time have already lost their
+        vulnerable unit (AFRAID's exposure); the rebuild regenerates what
+        parity can express.
+        """
+        array = self.array
+        if spare.geometry.total_sectors < array.layout.disk_sectors:
+            raise ValueError("spare is smaller than the failed member")
+        array.disks[disk_index].fail()
+        if array.functional is not None:
+            array.functional.fail_disk(disk_index)
+        array.enter_degraded(disk_index)
+        done = self.sim.event(name=f"{array.name}.rebuilt")
+        self.sim.process(self._rebuild(disk_index, spare, done), name=f"{array.name}.rebuild")
+        return done
+
+    def _rebuild(self, disk_index: int, spare: MechanicalDisk, done: Event):
+        array = self.array
+        spare_driver = DiskDriver(self.sim, spare, FcfsScheduler(), name=f"{array.name}.spare")
+        unit_sectors = array.layout.stripe_unit_sectors
+        self.stats.started_at = self.sim.now
+
+        for stripe in range(array.layout.nstripes):
+            if self.yield_to_foreground:
+                while not array.detector.is_idle:
+                    # Re-check shortly after the array drains.
+                    yield self.sim.timeout(array.detector.threshold_s)
+            # Read every surviving unit of the stripe (data + parity live
+            # on the survivors; the lost unit is their xor).
+            reads = []
+            for member in range(array.ndisks):
+                if member == disk_index:
+                    continue
+                reads.append(
+                    array.drivers[member].submit(
+                        DiskIO(IoKind.READ, stripe * unit_sectors, unit_sectors)
+                    )
+                )
+            yield AllOf(self.sim, reads)
+            yield spare_driver.submit(DiskIO(IoKind.WRITE, stripe * unit_sectors, unit_sectors))
+            self.stats.stripes_rebuilt += 1
+
+        # Install the spare as the new member.
+        array.disks[disk_index] = spare
+        array.drivers[disk_index] = spare_driver
+        if array.functional is not None:
+            self._rebuild_functional(disk_index)
+        array.leave_degraded()
+        if array.marks.count:
+            # Parity debt accrued before/during the failure: now that the
+            # array is whole again, let the scrubber drain it.
+            array.request_scrub(force=True)
+        self.stats.finished_at = self.sim.now
+        done.succeed(self.stats)
+
+    def _rebuild_functional(self, disk_index: int) -> None:
+        """Regenerate the replaced disk's bytes in the functional twin.
+
+        Clean stripes reconstruct their lost unit exactly (while the
+        failed disk is still marked failed, so reads take the parity
+        path); stripes that were dirty at failure time lost that unit for
+        good — it comes back zero-filled and parity is recomputed, so the
+        twin stays internally consistent for later failures.
+        """
+        functional = self.array.functional
+        assert functional is not None
+        layout = functional.layout
+        nsectors = layout.stripe_unit_sectors
+
+        # Phase 1: reconstruct what parity can express, before replacing.
+        recovered: dict[int, bytes] = {}  # disk_lba -> unit contents
+        needs_parity_rebuild: list[int] = []
+        for stripe in range(layout.nstripes):
+            if stripe in functional.dirty_stripes:
+                needs_parity_rebuild.append(stripe)  # lost unit unrecoverable
+                continue
+            parity = layout.parity_unit(stripe)
+            if parity.disk == disk_index:
+                needs_parity_rebuild.append(stripe)  # only parity was lost
+                continue
+            for unit in layout.data_units(stripe):
+                if unit.disk == disk_index:
+                    logical = layout.logical_sector_of_unit(stripe, unit.unit_index)
+                    recovered[unit.disk_lba] = functional.read(logical, nsectors)
+
+        # Phase 2: install the fresh disk and write everything back.
+        functional.store.replace(disk_index)
+        for disk_lba, data in recovered.items():
+            functional.store.write(disk_index, disk_lba, data)
+        for stripe in needs_parity_rebuild:
+            functional.scrub_stripe(stripe)

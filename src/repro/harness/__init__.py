@@ -1,0 +1,36 @@
+"""The experiment harness: trace replay, experiments, sweeps, tables.
+
+This is the layer every benchmark drives: it assembles a fresh simulator +
+array + policy, replays a workload open-loop (§4.1), and reduces the run
+to the paper's metrics — mean I/O time, parity-lag statistics, and the
+derived MTTDL / MDLR figures.
+"""
+
+from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.figures import ascii_bars, ascii_scatter, ascii_series
+from repro.harness.replay import gather, replay_trace
+from repro.harness.sweeps import (
+    DEFAULT_MTTDL_TARGETS,
+    PolicyLadderEntry,
+    policy_ladder,
+    run_policy_grid,
+    tradeoff_curve,
+)
+from repro.harness.tables import format_quantity, format_table
+
+__all__ = [
+    "DEFAULT_MTTDL_TARGETS",
+    "ExperimentResult",
+    "PolicyLadderEntry",
+    "ascii_bars",
+    "ascii_scatter",
+    "ascii_series",
+    "format_quantity",
+    "format_table",
+    "gather",
+    "policy_ladder",
+    "replay_trace",
+    "run_experiment",
+    "run_policy_grid",
+    "tradeoff_curve",
+]

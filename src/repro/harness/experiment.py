@@ -1,0 +1,199 @@
+"""One experiment = one (workload, policy) cell of the paper's tables."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.array.factory import PAPER_NDISKS, PAPER_STRIPE_UNIT_SECTORS, build_array
+from repro.availability import (
+    CONSERVATIVE_SUPPORT,
+    ReliabilityParams,
+    TABLE_1,
+    afraid_mttdl,
+    combine_mttdl,
+    mdlr_raid_catastrophic,
+    mdlr_unprotected,
+    raid5_mttdl_catastrophic,
+)
+from repro.disk import hp_c3325
+from repro.harness.replay import replay_trace
+from repro.metrics import Summary
+from repro.policy import ParityPolicy
+from repro.sim import Simulator
+from repro.traces import Trace, make_trace
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentResult:
+    """Everything one run contributes to the paper's tables and figures."""
+
+    workload: str
+    policy: str
+    ndisks: int
+    nrequests: int
+    reads: int
+    writes: int
+    io_time: Summary
+    horizon_s: float
+    # Scrubbing activity:
+    stripes_scrubbed: int
+    dirty_at_end: int
+    # Exposure (inputs to §3's equations):
+    unprotected_fraction: float
+    mean_parity_lag_bytes: float
+    peak_parity_lag_bytes: float
+    # Derived availability:
+    params: ReliabilityParams
+    mttdl_disk_h: float
+    mdlr_unprotected_bytes_per_h: float
+    mdlr_disk_bytes_per_h: float
+    mttdl_overall_h: float
+    mdlr_overall_bytes_per_h: float
+
+    @property
+    def mean_io_time_ms(self) -> float:
+        return self.io_time.mean * 1e3
+
+    def speedup_over(self, other: "ExperimentResult") -> float:
+        """How much faster this run's mean I/O time is than ``other``'s."""
+        return other.io_time.mean / self.io_time.mean
+
+    def availability_ratio_to(self, other: "ExperimentResult") -> float:
+        """Disk-related MTTDL relative to ``other`` (1.0 = equal)."""
+        if other.mttdl_disk_h == float("inf"):
+            return 0.0 if self.mttdl_disk_h != float("inf") else 1.0
+        return self.mttdl_disk_h / other.mttdl_disk_h
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable flat view of the result.
+
+        Infinities are rendered as the string ``"inf"`` so the output is
+        strict-JSON safe; everything else is plain numbers/strings.
+        """
+
+        def jsonable(value):
+            if isinstance(value, float) and value == float("inf"):
+                return "inf"
+            return value
+
+        payload = {
+            "workload": self.workload,
+            "policy": self.policy,
+            "ndisks": self.ndisks,
+            "nrequests": self.nrequests,
+            "reads": self.reads,
+            "writes": self.writes,
+            "horizon_s": self.horizon_s,
+            "mean_io_time_s": self.io_time.mean,
+            "median_io_time_s": self.io_time.median,
+            "p95_io_time_s": self.io_time.p95,
+            "max_io_time_s": self.io_time.maximum,
+            "stripes_scrubbed": self.stripes_scrubbed,
+            "dirty_at_end": self.dirty_at_end,
+            "unprotected_fraction": self.unprotected_fraction,
+            "mean_parity_lag_bytes": self.mean_parity_lag_bytes,
+            "peak_parity_lag_bytes": self.peak_parity_lag_bytes,
+            "mttdl_disk_h": self.mttdl_disk_h,
+            "mdlr_unprotected_bytes_per_h": self.mdlr_unprotected_bytes_per_h,
+            "mdlr_disk_bytes_per_h": self.mdlr_disk_bytes_per_h,
+            "mttdl_overall_h": self.mttdl_overall_h,
+            "mdlr_overall_bytes_per_h": self.mdlr_overall_bytes_per_h,
+        }
+        return {key: jsonable(value) for key, value in payload.items()}
+
+
+def derive_availability(
+    ndisks: int,
+    unprotected_fraction: float,
+    mean_parity_lag_bytes: float,
+    params: ReliabilityParams,
+) -> tuple[float, float, float, float, float]:
+    """Reduce measured exposure to (MTTDL_disk, MDLR_unprot, MDLR_disk,
+    MTTDL_overall, MDLR_overall) via eqs. (2c), (4), (5) + support.
+
+    The single eq.-(2c) formula covers all three array models: a RAID 5
+    run measures zero exposure (the unprotected term drops out, leaving
+    eq. (1)); a never-scrubbed RAID 0 run measures exposure near 1.
+    """
+    mttdl_disk = afraid_mttdl(ndisks, params.mttf_disk_h, params.mttr_h, unprotected_fraction)
+    raid_mttdl = raid5_mttdl_catastrophic(ndisks, params.mttf_disk_h, params.mttr_h)
+    mdlr_unprot = mdlr_unprotected(ndisks, mean_parity_lag_bytes, params.mttf_disk_h)
+    mdlr_disk = mdlr_raid_catastrophic(ndisks, params.disk_bytes, raid_mttdl) + mdlr_unprot
+    mttdl_overall = combine_mttdl(mttdl_disk, CONSERVATIVE_SUPPORT.mttdl_h)
+    mdlr_overall = mdlr_disk + CONSERVATIVE_SUPPORT.mdlr(ndisks, params.disk_bytes)
+    return mttdl_disk, mdlr_unprot, mdlr_disk, mttdl_overall, mdlr_overall
+
+
+def run_experiment(
+    workload: str | Trace,
+    policy: ParityPolicy,
+    duration_s: float = 40.0,
+    seed: int = 42,
+    ndisks: int = PAPER_NDISKS,
+    stripe_unit_sectors: int = PAPER_STRIPE_UNIT_SECTORS,
+    disk_factory=hp_c3325,
+    idle_threshold_s: float = 0.100,
+    params: ReliabilityParams = TABLE_1,
+    extra_settle_s: float = 0.0,
+) -> ExperimentResult:
+    """Run one (workload, policy) experiment from a clean simulator.
+
+    ``workload`` is a catalog name (a trace is generated to fit the
+    array's data capacity) or a pre-built :class:`Trace`.  ``policy`` must
+    be a fresh instance — policies carry per-run state.
+    """
+    sim = Simulator()
+    array = build_array(
+        sim,
+        policy,
+        ndisks=ndisks,
+        stripe_unit_sectors=stripe_unit_sectors,
+        disk_factory=disk_factory,
+        idle_threshold_s=idle_threshold_s,
+        params=params,
+        name=policy.describe(),
+    )
+    if isinstance(workload, Trace):
+        trace = workload
+    else:
+        trace = make_trace(
+            workload,
+            duration_s=duration_s,
+            address_space_sectors=array.layout.total_data_sectors,
+            seed=seed,
+        )
+    outcome = replay_trace(sim, array, trace, extra_settle_s=extra_settle_s)
+    if outcome.failures:
+        raise RuntimeError(
+            f"{len(outcome.failures)} requests failed during a fault-free run: "
+            f"{outcome.failures[0]!r}"
+        )
+
+    tracker = array.lag_tracker
+    mttdl_disk, mdlr_unprot, mdlr_disk, mttdl_overall, mdlr_overall = derive_availability(
+        ndisks=array.ndisks,
+        unprotected_fraction=tracker.unprotected_fraction,
+        mean_parity_lag_bytes=tracker.mean_parity_lag_bytes,
+        params=params,
+    )
+    return ExperimentResult(
+        workload=trace.name,
+        policy=policy.describe(),
+        ndisks=array.ndisks,
+        nrequests=len(outcome.requests),
+        reads=array.stats.reads_completed,
+        writes=array.stats.writes_completed,
+        io_time=Summary.of(outcome.io_times),
+        horizon_s=outcome.horizon_s,
+        stripes_scrubbed=array.stats.stripes_scrubbed,
+        dirty_at_end=array.dirty_stripe_count,
+        unprotected_fraction=tracker.unprotected_fraction,
+        mean_parity_lag_bytes=tracker.mean_parity_lag_bytes,
+        peak_parity_lag_bytes=tracker.peak_parity_lag_bytes,
+        params=params,
+        mttdl_disk_h=mttdl_disk,
+        mdlr_unprotected_bytes_per_h=mdlr_unprot,
+        mdlr_disk_bytes_per_h=mdlr_disk,
+        mttdl_overall_h=mttdl_overall,
+        mdlr_overall_bytes_per_h=mdlr_overall,
+    )

@@ -1,0 +1,110 @@
+"""ASCII rendering of the paper's figures for terminal reports.
+
+The benchmark harness is terminal-only, so Figures 2-4 are rendered as
+monospace charts: a scatter for the trade-off curve and grouped series
+for per-trace comparisons.
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+def ascii_scatter(
+    points: typing.Sequence[tuple[float, float, str]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Plot labelled (x, y) points; first character of each label marks it.
+
+    Axes start at 0 and auto-scale to the data (with 5% headroom).
+    Collisions keep the earliest point's marker.
+    """
+    if not points:
+        raise ValueError("nothing to plot")
+    x_max = max(x for x, _y, _label in points) * 1.05 or 1.0
+    y_max = max(y for _x, y, _label in points) * 1.05 or 1.0
+    grid = [[" "] * (width + 1) for _ in range(height + 1)]
+    legend: list[str] = []
+    for x, y, label in points:
+        column = min(int(x / x_max * width), width)
+        row = height - min(int(y / y_max * height), height)
+        marker = label[0] if label else "o"
+        if grid[row][column] == " ":
+            grid[row][column] = marker
+        legend.append(f"{marker}={label}")
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(y_label)
+    for row_index, row in enumerate(grid):
+        value = y_max * (height - row_index) / height
+        lines.append(f"{value:8.2f} |" + "".join(row))
+    lines.append(" " * 9 + "-" * (width + 2))
+    lines.append(f"{'0':>10}{x_label:^{width - 8}}{x_max:.2f}")
+    lines.append("  " + "  ".join(dict.fromkeys(legend)))
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    rows: typing.Sequence[tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart: one labelled bar per row, linear scale."""
+    if not rows:
+        raise ValueError("nothing to plot")
+    peak = max(value for _label, value in rows)
+    if peak <= 0:
+        raise ValueError("need at least one positive value")
+    label_width = max(len(label) for label, _value in rows)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for label, value in rows:
+        bar = "#" * max(1, int(value / peak * width)) if value > 0 else ""
+        lines.append(f"{label:<{label_width}} |{bar:<{width}} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    x_labels: typing.Sequence[str],
+    series: dict[str, typing.Sequence[float]],
+    width: int = 64,
+    height: int = 14,
+    y_label: str = "",
+    title: str | None = None,
+) -> str:
+    """Several named series over a shared categorical x axis."""
+    if not series:
+        raise ValueError("nothing to plot")
+    n = len(x_labels)
+    for name, values in series.items():
+        if len(values) != n:
+            raise ValueError(f"series {name!r} has {len(values)} points, expected {n}")
+    y_max = max(max(values) for values in series.values()) * 1.05 or 1.0
+    grid = [[" "] * width for _ in range(height + 1)]
+    for name, values in series.items():
+        marker = name[0]
+        for index, value in enumerate(values):
+            column = int(index / max(1, n - 1) * (width - 1))
+            row = height - min(int(value / y_max * height), height)
+            grid[row][column] = marker
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(y_label)
+    for row_index, row in enumerate(grid):
+        value = y_max * (height - row_index) / height
+        lines.append(f"{value:8.1f} |" + "".join(row))
+    lines.append(" " * 9 + "-" * (width + 1))
+    edge_labels = f"{x_labels[0]} ... {x_labels[-1]}"
+    lines.append(" " * 10 + edge_labels)
+    lines.append("  " + "  ".join(f"{name[0]}={name}" for name in series))
+    return "\n".join(lines)

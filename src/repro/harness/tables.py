@@ -1,0 +1,52 @@
+"""Monospace table rendering for the paper-style benchmark reports."""
+
+from __future__ import annotations
+
+import typing
+
+
+def format_table(
+    headers: typing.Sequence[str],
+    rows: typing.Sequence[typing.Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table (first column left-, rest right-aligned)."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(row: typing.Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(row):
+            if index == 0:
+                parts.append(cell.ljust(widths[index]))
+            else:
+                parts.append(cell.rjust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_quantity(value: float, unit: str = "") -> str:
+    """Human-scale rendering: 4.17e9 → '4.2e9', 0.0123 → '0.012'."""
+    if value == float("inf"):
+        text = "inf"
+    elif value == 0:
+        text = "0"
+    elif abs(value) >= 1e5 or abs(value) < 1e-3:
+        text = f"{value:.1e}"
+    elif abs(value) >= 100:
+        text = f"{value:.0f}"
+    else:
+        text = f"{value:.3g}"
+    return f"{text}{unit}"

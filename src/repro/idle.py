@@ -1,0 +1,145 @@
+"""Idle-period detection ([Golding95], "Idleness is not sloth").
+
+The paper's default configuration uses a timer-based detector with a
+100 ms threshold: the array is declared idle once it has been *completely*
+idle (no queued or in-flight client requests) for 100 ms, at which point
+the background parity scrubber may start.  Any new client activity
+immediately cancels the pending declaration.
+
+:class:`MovingAverageIdlePredictor` is the [Golding95]-style idle-duration
+predictor; the paper's baseline ignores its output (§4.1), but the
+extension experiments can consult it to skip idle periods predicted to be
+too short to complete a stripe rebuild.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim import Simulator
+
+
+class IdleDetector:
+    """Timer-based idleness detection over an activity count.
+
+    Components report ``activity_started()`` / ``activity_ended()``; when
+    the count sits at zero for ``threshold_s``, every ``on_idle`` callback
+    fires.  Callbacks also fire again after each subsequent busy→idle
+    transition (not periodically while idle).
+    """
+
+    def __init__(self, sim: Simulator, threshold_s: float = 0.100) -> None:
+        if threshold_s < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold_s}")
+        self.sim = sim
+        self.threshold_s = threshold_s
+        self.on_idle: list[typing.Callable[[], None]] = []
+        self.on_busy: list[typing.Callable[[], None]] = []
+        self._outstanding = 0
+        self._generation = 0
+        self._created_at = sim.now
+        self._last_idle_start = sim.now  # when the count last dropped to 0
+        self._last_busy_start: float | None = None
+        self._idle_periods: list[float] = []
+        # The detector starts idle: arm the initial declaration.
+        self._arm()
+
+    # -- activity reporting -----------------------------------------------------------
+
+    def activity_started(self) -> None:
+        """A client request entered the system (queued or in service)."""
+        self._outstanding += 1
+        self._generation += 1  # cancels any pending idle declaration
+        if self._outstanding == 1:
+            idle_span = self.sim.now - self._last_idle_start
+            if idle_span > 0:
+                self._idle_periods.append(idle_span)
+            self._last_busy_start = self.sim.now
+            for callback in self.on_busy:
+                callback()
+
+    def activity_ended(self) -> None:
+        """A client request left the system."""
+        if self._outstanding <= 0:
+            raise RuntimeError("activity_ended() without matching activity_started()")
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            self._last_idle_start = self.sim.now
+            self._arm()
+
+    # -- state -----------------------------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding
+
+    @property
+    def is_idle(self) -> bool:
+        """True when no client work is queued or in flight."""
+        return self._outstanding == 0
+
+    @property
+    def idle_for(self) -> float:
+        """Seconds since the system went idle (0 while busy)."""
+        if not self.is_idle:
+            return 0.0
+        return self.sim.now - self._last_idle_start
+
+    @property
+    def observed_idle_periods(self) -> list[float]:
+        """Completed idle-period durations, oldest first."""
+        return list(self._idle_periods)
+
+    def total_idle_time(self) -> float:
+        """Cumulative idle seconds since the detector was created
+        (includes the currently running idle span, if any)."""
+        total = sum(self._idle_periods)
+        if self.is_idle:
+            total += self.sim.now - self._last_idle_start
+        return total
+
+    def idle_fraction(self) -> float:
+        """Fraction of the detector's lifetime spent completely idle."""
+        lifetime = self.sim.now - self._created_at
+        return self.total_idle_time() / lifetime if lifetime > 0 else 1.0
+
+    # -- internals ----------------------------------------------------------------------------
+
+    def _arm(self) -> None:
+        generation = self._generation
+        check = self.sim.timeout(self.threshold_s, name="idle.check")
+        check.add_callback(lambda _event: self._declare(generation))
+
+    def _declare(self, generation: int) -> None:
+        if generation != self._generation or self._outstanding != 0:
+            return  # activity intervened; declaration cancelled
+        for callback in self.on_idle:
+            callback()
+
+
+class MovingAverageIdlePredictor:
+    """Exponentially-weighted moving average of idle-period durations.
+
+    ``predict()`` estimates how long the *current* idle period will last,
+    based on history.  [Golding95] evaluates a family of such predictors;
+    the EWMA is their simple, effective baseline.
+    """
+
+    def __init__(self, detector: IdleDetector, alpha: float = 0.3, initial_s: float = 1.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.detector = detector
+        self.alpha = alpha
+        self._estimate = initial_s
+        self._consumed = 0
+        detector.on_busy.append(self._on_busy)
+
+    def _on_busy(self) -> None:
+        periods = self.detector.observed_idle_periods
+        for duration in periods[self._consumed :]:
+            self._estimate = self.alpha * duration + (1.0 - self.alpha) * self._estimate
+        self._consumed = len(periods)
+
+    def predict(self) -> float:
+        """Predicted remaining duration of the current idle period."""
+        return self._estimate

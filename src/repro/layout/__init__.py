@@ -1,0 +1,24 @@
+"""Data layouts: how array-logical addresses map onto member disks.
+
+The paper uses a left-symmetric RAID 5 layout (§2, last paragraph) with an
+8 KB stripe unit.  :class:`~repro.layout.raid5.Raid5Layout` implements it;
+:class:`~repro.layout.raid0.Raid0Layout` is plain striping (provided for
+completeness — the paper's RAID 0 datapoint is actually an AFRAID that
+never scrubs, which reuses the RAID 5 layout); and
+:class:`~repro.layout.raid6.Raid6Layout` is the P+Q extension discussed in
+§5 of the paper.
+"""
+
+from repro.layout.base import ExtentRun, StripeUnit, UnitKind
+from repro.layout.raid0 import Raid0Layout
+from repro.layout.raid5 import Raid5Layout
+from repro.layout.raid6 import Raid6Layout
+
+__all__ = [
+    "ExtentRun",
+    "Raid0Layout",
+    "Raid5Layout",
+    "Raid6Layout",
+    "StripeUnit",
+    "UnitKind",
+]

@@ -1,0 +1,59 @@
+"""Shared layout types.
+
+Terminology (matching the paper): a *stripe* is one row of *stripe units*
+across all disks; the stripe unit ("stripe depth") is 8 KB in the paper's
+configuration.  For RAID 5, each stripe holds N data units plus one parity
+unit on an array of N+1 disks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class UnitKind(enum.Enum):
+    """What a stripe unit on some disk holds."""
+
+    DATA = "data"
+    PARITY = "parity"
+    PARITY_Q = "parity_q"  # second parity of RAID 6
+
+
+@dataclasses.dataclass(frozen=True)
+class StripeUnit:
+    """One stripe unit's physical placement."""
+
+    stripe: int
+    kind: UnitKind
+    unit_index: int  # data-unit ordinal within the stripe; 0 for parity units
+    disk: int
+    disk_lba: int  # first sector of the unit on that disk
+
+
+@dataclasses.dataclass(frozen=True)
+class ExtentRun:
+    """A contiguous piece of a logical extent landing on one disk.
+
+    ``logical_sector`` is where this run starts in array-logical space;
+    the run never crosses a stripe-unit boundary.
+    """
+
+    stripe: int
+    unit_index: int
+    disk: int
+    disk_lba: int  # first sector of the run on the disk
+    nsectors: int
+    logical_sector: int
+
+
+def check_layout_args(ndisks: int, stripe_unit_sectors: int, disk_sectors: int, min_disks: int) -> None:
+    """Validate common layout constructor arguments."""
+    if ndisks < min_disks:
+        raise ValueError(f"need >= {min_disks} disks, got {ndisks}")
+    if stripe_unit_sectors < 1:
+        raise ValueError(f"stripe unit must be >= 1 sector, got {stripe_unit_sectors}")
+    if disk_sectors < stripe_unit_sectors:
+        raise ValueError(
+            f"disk ({disk_sectors} sectors) smaller than one stripe unit ({stripe_unit_sectors})"
+        )

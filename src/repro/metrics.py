@@ -1,0 +1,74 @@
+"""Summary statistics for experiment results.
+
+The paper reports mean I/O times per trace and *geometric* means across
+traces (the right mean for ratios — §4.2's "geometric mean of 4.1 times").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: typing.Sequence[float]) -> "Summary":
+        if not values:
+            return cls(count=0, mean=0.0, median=0.0, p95=0.0, minimum=0.0, maximum=0.0)
+        ordered = sorted(values)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            median=percentile(ordered, 50.0, presorted=True),
+            p95=percentile(ordered, 95.0, presorted=True),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+        )
+
+
+def percentile(values: typing.Sequence[float], q: float, presorted: bool = False) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = list(values) if presorted else sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def geometric_mean(values: typing.Sequence[float]) -> float:
+    """The geometric mean; every value must be positive."""
+    if not values:
+        raise ValueError("geometric mean of empty sample")
+    total = 0.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geometric mean needs positive values, got {value}")
+        total += math.log(value)
+    return math.exp(total / len(values))
+
+
+def ratio_summary(numerators: typing.Sequence[float], denominators: typing.Sequence[float]) -> float:
+    """Geometric mean of pairwise ratios (the paper's cross-trace speedups)."""
+    if len(numerators) != len(denominators):
+        raise ValueError("ratio series must have equal length")
+    return geometric_mean([n / d for n, d in zip(numerators, denominators)])

@@ -1,0 +1,149 @@
+"""The AFRAID marking memory: one NVRAM bit per (sub-)stripe.
+
+A write marks the target stripes *unredundant*; the background scrubber
+clears the mark once parity is rebuilt.  Re-marking a marked stripe does
+nothing (§1.1).  Marks are kept in insertion order so the scrubber
+processes the longest-unprotected stripe first.
+
+The §5 refinement is supported too: with ``bits_per_stripe = M > 1`` each
+stripe is tracked in M sub-units, so a small write dirties only 1/M of the
+stripe and the rebuild reads proportionally less.
+
+Cost check (§1.1): one bit per stripe on a 5-wide array with 8 KB stripe
+units is 1 bit per 32 KB of data — ~3 bits per 100 KB, or ~3 KB of NVRAM
+per GB stored, matching the paper's figure (:meth:`MarkMemory.size_bits`).
+"""
+
+from __future__ import annotations
+
+
+class MarkMemoryFailedError(Exception):
+    """The marking memory was accessed after failing."""
+
+
+class MarkMemory:
+    """Per-stripe (or per-sub-unit) unredundant marks."""
+
+    def __init__(self, nstripes: int, bits_per_stripe: int = 1) -> None:
+        if nstripes < 1:
+            raise ValueError(f"need >= 1 stripe, got {nstripes}")
+        if bits_per_stripe < 1:
+            raise ValueError(f"need >= 1 bit per stripe, got {bits_per_stripe}")
+        self.nstripes = nstripes
+        self.bits_per_stripe = bits_per_stripe
+        # dict used as an insertion-ordered set of (stripe, sub_unit).
+        self._marks: dict[tuple[int, int], None] = {}
+        self._failed = False
+
+    # -- marking -------------------------------------------------------------------
+
+    def mark(self, stripe: int, sub_unit: int = 0) -> bool:
+        """Mark a (sub-)stripe unredundant.  Returns True if newly marked."""
+        self._check_alive()
+        self._check_key(stripe, sub_unit)
+        key = (stripe, sub_unit)
+        if key in self._marks:
+            return False
+        self._marks[key] = None
+        return True
+
+    def clear(self, stripe: int, sub_unit: int = 0) -> bool:
+        """Clear a mark after its parity was rebuilt.  True if it was set."""
+        self._check_alive()
+        self._check_key(stripe, sub_unit)
+        key = (stripe, sub_unit)
+        if key in self._marks:
+            del self._marks[key]
+            return True
+        return False
+
+    def clear_stripe(self, stripe: int) -> int:
+        """Clear every sub-unit mark of ``stripe``; returns how many."""
+        self._check_alive()
+        keys = [key for key in self._marks if key[0] == stripe]
+        for key in keys:
+            del self._marks[key]
+        return len(keys)
+
+    # -- queries ----------------------------------------------------------------------
+
+    def is_marked(self, stripe: int, sub_unit: int | None = None) -> bool:
+        """Is the stripe (or one sub-unit of it) marked?"""
+        self._check_alive()
+        if sub_unit is not None:
+            return (stripe, sub_unit) in self._marks
+        return any(key[0] == stripe for key in self._marks)
+
+    @property
+    def count(self) -> int:
+        """Number of set marks."""
+        self._check_alive()
+        return len(self._marks)
+
+    @property
+    def marked_stripes(self) -> list[int]:
+        """Distinct marked stripes, oldest mark first."""
+        self._check_alive()
+        seen: dict[int, None] = {}
+        for stripe, _sub in self._marks:
+            seen.setdefault(stripe)
+        return list(seen)
+
+    def oldest(self) -> tuple[int, int] | None:
+        """The longest-standing (stripe, sub_unit) mark, or None."""
+        self._check_alive()
+        return next(iter(self._marks), None)
+
+    def marks_in_order(self) -> list[tuple[int, int]]:
+        """All (stripe, sub_unit) marks, oldest first."""
+        self._check_alive()
+        return list(self._marks)
+
+    def marks_of(self, stripe: int) -> list[int]:
+        """Sub-units of ``stripe`` currently marked, oldest first."""
+        self._check_alive()
+        return [sub for s, sub in self._marks if s == stripe]
+
+    # -- sizing (the paper's cost argument) ----------------------------------------------
+
+    @property
+    def size_bits(self) -> int:
+        """NVRAM footprint: nstripes × bits_per_stripe."""
+        return self.nstripes * self.bits_per_stripe
+
+    # -- failure ------------------------------------------------------------------------
+
+    @property
+    def failed(self) -> bool:
+        return self._failed
+
+    def fail(self) -> None:
+        """Lose the marking memory.
+
+        The recovery procedure (§1.1) is the *array's* job: rebuild parity
+        for every stripe, since it can no longer tell which were dirty.
+        Until :meth:`recover` is called, accesses raise.
+        """
+        self._failed = True
+        self._marks.clear()
+
+    def recover(self) -> None:
+        """Bring a replacement marking memory online (all marks clear)."""
+        self._failed = False
+        self._marks.clear()
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self._failed:
+            raise MarkMemoryFailedError("marking memory has failed")
+
+    def _check_key(self, stripe: int, sub_unit: int) -> None:
+        if not 0 <= stripe < self.nstripes:
+            raise ValueError(f"stripe {stripe} out of range [0, {self.nstripes})")
+        if not 0 <= sub_unit < self.bits_per_stripe:
+            raise ValueError(f"sub_unit {sub_unit} out of range [0, {self.bits_per_stripe})")
+
+    def __repr__(self) -> str:
+        state = "FAILED" if self._failed else f"{len(self._marks)} marks"
+        return f"<MarkMemory {self.nstripes} stripes x {self.bits_per_stripe} bits, {state}>"

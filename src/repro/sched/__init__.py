@@ -1,0 +1,21 @@
+"""I/O schedulers and device drivers.
+
+The paper's configuration (§4.1): the *host* device driver orders client
+requests with C-LOOK over the array's logical address space, while the
+*back-end* drivers inside the array feed each disk FCFS.  This package
+provides both queue disciplines (plus SSTF and LOOK for comparison
+experiments) and the :class:`~repro.sched.driver.DiskDriver` pump that
+serialises commands onto one :class:`~repro.disk.MechanicalDisk`.
+"""
+
+from repro.sched.driver import DiskDriver
+from repro.sched.queues import ClookScheduler, FcfsScheduler, IoScheduler, LookScheduler, SstfScheduler
+
+__all__ = [
+    "ClookScheduler",
+    "DiskDriver",
+    "FcfsScheduler",
+    "IoScheduler",
+    "LookScheduler",
+    "SstfScheduler",
+]

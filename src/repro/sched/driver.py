@@ -1,0 +1,95 @@
+"""The back-end device driver: a queue pump in front of one disk.
+
+The driver accepts :class:`~repro.disk.DiskIO` submissions at any time,
+orders them with its queue discipline (FCFS in the paper's configuration),
+and keeps the disk busy with one command at a time.  Completion events
+carry the :class:`~repro.disk.ServiceBreakdown`; if the disk fails, queued
+and in-flight commands fail with :class:`~repro.disk.DiskFailedError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.disk import DiskFailedError, DiskIO, MechanicalDisk
+from repro.sched.queues import FcfsScheduler, IoScheduler
+from repro.sim import Event, Simulator
+
+
+@dataclasses.dataclass
+class DriverStats:
+    """Cumulative per-driver counters."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    queue_time: float = 0.0  # time spent waiting in the driver queue
+
+    @property
+    def mean_queue_time(self) -> float:
+        done = self.completed + self.failed
+        return self.queue_time / done if done else 0.0
+
+
+class DiskDriver:
+    """Serialises :class:`DiskIO` commands onto one mechanical disk."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        disk: MechanicalDisk,
+        scheduler: IoScheduler | None = None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.disk = disk
+        self.scheduler: IoScheduler = scheduler if scheduler is not None else FcfsScheduler()
+        self.name = name or f"driver({disk.name})"
+        self.stats = DriverStats()
+        self._pumping = False
+
+    @property
+    def queued(self) -> int:
+        """Commands waiting in the driver queue (excludes the one in service)."""
+        return len(self.scheduler)
+
+    @property
+    def busy(self) -> bool:
+        """True while the pump is draining the queue or a command is in service."""
+        return self._pumping
+
+    def submit(self, io: DiskIO) -> Event:
+        """Queue ``io``; the returned event fires at completion.
+
+        The event's value is the :class:`~repro.disk.ServiceBreakdown`; it
+        fails with :class:`DiskFailedError` if the disk dies first.
+        """
+        completion = self.sim.event(name=f"{self.name}.done@{io.lba}")
+        self.stats.submitted += 1
+        self.scheduler.push((io, completion, self.sim.now), io.lba)
+        if not self._pumping:
+            self._pumping = True
+            self.sim.process(self._pump(), name=f"{self.name}.pump")
+        return completion
+
+    def _pump(self):
+        try:
+            while self.scheduler:
+                head = self.disk.geometry.physical_to_lba(self.disk.current_cylinder, 0, 0)
+                (io, completion, submit_time), _position = self.scheduler.pop(head)
+                self.stats.queue_time += self.sim.now - submit_time
+                try:
+                    breakdown = yield self.disk.execute(io)
+                except DiskFailedError as exc:
+                    self.stats.failed += 1
+                    completion.fail(exc)
+                else:
+                    self.stats.completed += 1
+                    completion.succeed(breakdown)
+                    # With immediate reporting, completion fires before the
+                    # media write finishes; wait out the mechanism before
+                    # issuing the next command.
+                    while self.disk.busy:
+                        yield self.sim.timeout(self.disk.busy_until - self.sim.now)
+        finally:
+            self._pumping = False

@@ -1,0 +1,171 @@
+"""Queue disciplines for I/O scheduling.
+
+Each scheduler holds ``(item, position)`` pairs and pops the next item given
+the current head position.  Position is an abstract non-negative integer —
+a logical block address at the host level, a cylinder or LBA at the disk
+level.  Ties (equal positions) are always broken FIFO so behaviour is
+deterministic.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+import collections
+import typing
+
+T = typing.TypeVar("T")
+
+
+class IoScheduler(abc.ABC, typing.Generic[T]):
+    """Interface shared by all queue disciplines."""
+
+    @abc.abstractmethod
+    def push(self, item: T, position: int) -> None:
+        """Enqueue ``item`` keyed at ``position``."""
+
+    @abc.abstractmethod
+    def pop(self, head_position: int) -> tuple[T, int]:
+        """Dequeue and return ``(item, position)`` given the head position."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of queued items."""
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class FcfsScheduler(IoScheduler[T]):
+    """First-come first-served: arrival order, positions ignored.
+
+    This is the paper's back-end discipline inside the array.
+    """
+
+    def __init__(self) -> None:
+        self._queue: collections.deque[tuple[T, int]] = collections.deque()
+
+    def push(self, item: T, position: int) -> None:
+        self._queue.append((item, position))
+
+    def pop(self, head_position: int) -> tuple[T, int]:
+        if not self._queue:
+            raise IndexError("pop from empty scheduler")
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class _SortedQueue(typing.Generic[T]):
+    """A position-sorted queue with FIFO tie-breaking, built on bisect."""
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[int, int, T]] = []  # (position, seq, item)
+        self._sequence = 0
+
+    def insert(self, item: T, position: int) -> None:
+        self._sequence += 1
+        bisect.insort(self._entries, (position, self._sequence, item))
+
+    def pop_index(self, index: int) -> tuple[T, int]:
+        position, _seq, item = self._entries.pop(index)
+        return item, position
+
+    def first_at_or_after(self, position: int) -> int | None:
+        """Index of the first entry with position >= ``position``, else None."""
+        index = bisect.bisect_left(self._entries, (position, 0, None))  # type: ignore[arg-type]
+        return index if index < len(self._entries) else None
+
+    def last_at_or_before(self, position: int) -> int | None:
+        """Index of the last entry with position <= ``position``, else None."""
+        index = bisect.bisect_right(self._entries, (position, float("inf"), None)) - 1  # type: ignore[arg-type]
+        return index if index >= 0 else None
+
+    def positions(self) -> list[int]:
+        return [position for position, _seq, _item in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ClookScheduler(IoScheduler[T]):
+    """Circular LOOK: sweep upward; on running out, jump to the lowest.
+
+    This is the paper's host-driver discipline [Worthington94a].
+    """
+
+    def __init__(self) -> None:
+        self._sorted: _SortedQueue[T] = _SortedQueue()
+
+    def push(self, item: T, position: int) -> None:
+        self._sorted.insert(item, position)
+
+    def pop(self, head_position: int) -> tuple[T, int]:
+        if not self._sorted:
+            raise IndexError("pop from empty scheduler")
+        index = self._sorted.first_at_or_after(head_position)
+        if index is None:
+            index = 0  # wrap around to the lowest position
+        return self._sorted.pop_index(index)
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+
+class SstfScheduler(IoScheduler[T]):
+    """Shortest seek time first: pop the entry nearest the head."""
+
+    def __init__(self) -> None:
+        self._sorted: _SortedQueue[T] = _SortedQueue()
+
+    def push(self, item: T, position: int) -> None:
+        self._sorted.insert(item, position)
+
+    def pop(self, head_position: int) -> tuple[T, int]:
+        if not self._sorted:
+            raise IndexError("pop from empty scheduler")
+        above = self._sorted.first_at_or_after(head_position)
+        below = self._sorted.last_at_or_before(head_position)
+        if above is None:
+            assert below is not None
+            return self._sorted.pop_index(below)
+        if below is None:
+            return self._sorted.pop_index(above)
+        positions = self._sorted.positions()
+        if positions[above] - head_position < head_position - positions[below]:
+            return self._sorted.pop_index(above)
+        return self._sorted.pop_index(below)
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+
+class LookScheduler(IoScheduler[T]):
+    """Elevator (LOOK): sweep up, then down, reversing at the extremes."""
+
+    def __init__(self) -> None:
+        self._sorted: _SortedQueue[T] = _SortedQueue()
+        self._ascending = True
+
+    def push(self, item: T, position: int) -> None:
+        self._sorted.insert(item, position)
+
+    def pop(self, head_position: int) -> tuple[T, int]:
+        if not self._sorted:
+            raise IndexError("pop from empty scheduler")
+        if self._ascending:
+            index = self._sorted.first_at_or_after(head_position)
+            if index is None:
+                self._ascending = False
+                index = self._sorted.last_at_or_before(head_position)
+        else:
+            index = self._sorted.last_at_or_before(head_position)
+            if index is None:
+                self._ascending = True
+                index = self._sorted.first_at_or_after(head_position)
+        assert index is not None
+        return self._sorted.pop_index(index)
+
+    def __len__(self) -> int:
+        return len(self._sorted)

@@ -1,0 +1,118 @@
+"""The simulator: event heap, clock, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process, ProcessGenerator
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Time is a float in **seconds**.  Events scheduled for the same instant
+    are dispatched in schedule order.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> def hello(sim):
+    ...     yield sim.timeout(1.5)
+    ...     return sim.now
+    >>> proc = sim.process(hello(sim))
+    >>> sim.run()
+    >>> proc.value
+    1.5
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._trace: typing.Callable[[float, Event], None] | None = None
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factories --------------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a pending event that some component will trigger later."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: typing.Any = None, name: str = "") -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    # -- scheduling (kernel internal, used by Event) ---------------------------
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            raise RuntimeError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+
+    # -- run loop ---------------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Dispatch the single next event."""
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        if self._trace is not None:
+            self._trace(when, event)
+        event._dispatch()
+        if event._exception is not None and not getattr(event, "defused", False):
+            # An event failed and nothing is positioned to handle it (any
+            # waiter attached before dispatch has run by now and either
+            # handled it or re-failed; a failure with no handler at all must
+            # not pass silently).
+            if event.callbacks is None and not event._handled:
+                raise event._exception
+
+    def run(self, until: float | None = None) -> None:
+        """Run until the queue empties or simulated time passes ``until``.
+
+        When ``until`` is given, the clock is left at exactly ``until`` even
+        if the last event fired earlier (so time-weighted statistics can
+        close their integrals at the horizon).
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"cannot run backwards: now={self._now}, until={until}")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def run_until_triggered(self, event: Event, limit: float = float("inf")) -> typing.Any:
+        """Run until ``event`` triggers; return its value.
+
+        Raises ``RuntimeError`` if the queue drains or ``limit`` passes first.
+        """
+        while not event.triggered or not event.processed:
+            if not self._queue or self._queue[0][0] > limit:
+                raise RuntimeError(f"simulation ended before {event!r} triggered")
+            self.step()
+        return event.value
+
+    # -- debugging ---------------------------------------------------------------
+
+    def set_trace(self, callback: typing.Callable[[float, Event], None] | None) -> None:
+        """Install a hook called as ``callback(time, event)`` on every dispatch."""
+        self._trace = callback

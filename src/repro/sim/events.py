@@ -1,0 +1,222 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence.  It starts *pending*, becomes
+*triggered* when :meth:`Event.succeed` or :meth:`Event.fail` is called, and
+its callbacks are dispatched by the simulator at the current simulated time.
+Processes wait on events by yielding them.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.core import Simulator
+
+# Sentinel distinguishing "no value yet" from a legitimate None value.
+_PENDING = object()
+
+
+class EventFailed(Exception):
+    """Raised inside a process when the event it waited on failed."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.  An event may only be used with the simulator
+        that created it.
+    name:
+        Optional label used in ``repr`` and simulator traces.
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "callbacks",
+        "defused",
+        "_value",
+        "_exception",
+        "_scheduled",
+        "_handled",
+    )
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.callbacks: list[typing.Callable[[Event], None]] | None = []
+        #: Set True to allow a failure with no listeners to pass silently.
+        self.defused = False
+        self._value: typing.Any = _PENDING
+        self._exception: BaseException | None = None
+        self._scheduled = False
+        self._handled = False
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value or an exception."""
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once the simulator has dispatched the event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully (not failed)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> typing.Any:
+        """The success value.  Raises if the event is pending or failed."""
+        if self._exception is not None:
+            raise self._exception
+        if self._value is _PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered")
+        return self._value
+
+    @property
+    def exception(self) -> BaseException | None:
+        """The failure exception, or None."""
+        return self._exception
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: typing.Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with a failure.
+
+        A process waiting on the event sees ``exception`` raised at its
+        ``yield`` expression.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self.sim._schedule_event(self)
+        return self
+
+    # -- callback plumbing ----------------------------------------------------
+
+    def add_callback(self, callback: typing.Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is dispatched.
+
+        If the event has already been processed the callback runs
+        immediately, so late listeners never miss the occurrence.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _dispatch(self) -> None:
+        """Run and clear the callback list (simulator internal)."""
+        callbacks, self.callbacks = self.callbacks, None
+        self._handled = bool(callbacks)
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: typing.Any = None, name: str = "") -> None:
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(sim, name=name or f"timeout({delay:g})")
+        self.delay = delay
+        self._value = value
+        sim._schedule_event(self, delay=delay)
+
+
+class _Condition(Event):
+    """Base for events composed of several child events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: typing.Iterable[Event], name: str) -> None:
+        super().__init__(sim, name=name)
+        self.events: tuple[Event, ...] = tuple(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise ValueError("all composed events must share one simulator")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed(self._collect())
+        else:
+            for event in self.events:
+                event.add_callback(self._on_child)
+
+    def _collect(self) -> list[typing.Any]:
+        return [event._value for event in self.events if event.triggered and event.ok]
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired.
+
+    The value is the list of child values in construction order.  If any
+    child fails, the condition fails with that child's exception (first
+    failure wins).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: typing.Iterable[Event], name: str = "all_of") -> None:
+        super().__init__(sim, events, name)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            assert event._exception is not None
+            self.fail(event._exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([child._value for child in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event fires, with that child's value.
+
+    A failing first child fails the condition.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: typing.Iterable[Event], name: str = "any_of") -> None:
+        super().__init__(sim, events, name)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            assert event._exception is not None
+            self.fail(event._exception)
+        else:
+            self.succeed(event._value)

@@ -1,0 +1,73 @@
+"""Counted resources with FIFO wait queues.
+
+The array controller uses a :class:`Resource` to cap the number of client
+requests concurrently active inside the array (the paper limits this to the
+number of physical disks).
+"""
+
+from __future__ import annotations
+
+import collections
+
+from repro.sim.core import Simulator
+from repro.sim.events import Event
+
+
+class Resource:
+    """A counted resource: ``capacity`` slots, FIFO granting order.
+
+    Usage inside a process::
+
+        yield resource.acquire()
+        try:
+            ...  # hold one slot
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: collections.deque[Event] = collections.deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of slots currently held."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Number of free slots."""
+        return self.capacity - self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of acquirers waiting for a slot."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that fires once a slot is held by the caller."""
+        grant = Event(self.sim, name=f"{self.name}.grant")
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            grant.succeed()
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Release one held slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"{self.name}: release() without acquire()")
+        if self._waiters:
+            # Hand the slot directly to the next waiter; in_use is unchanged.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+    def __repr__(self) -> str:
+        return f"<Resource {self.name!r} {self._in_use}/{self.capacity} used, {self.queued} queued>"

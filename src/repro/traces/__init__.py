@@ -1,0 +1,50 @@
+"""Workloads: trace records, trace file I/O, and synthetic generators.
+
+The paper drives its simulations with ten proprietary block-level traces
+(hplajw, snake, cello-usr, cello-news, netware, ATT, AS400-1..4).  Those
+traces are not redistributable, so this package provides seeded synthetic
+generators parameterised from their published characterisations
+([Ruemmler93] and the paper's own workload descriptions).  What AFRAID's
+results depend on — and what the generators therefore reproduce per
+workload — is:
+
+* **burstiness**: requests arrive in bursts separated by idle gaps whose
+  durations are heavy-tailed (the paper's whole premise is that real
+  workloads leave enough idle time to rebuild parity);
+* **write intensity**: the fraction of accesses that are writes at the
+  *disk* level (high, since host buffer caches absorb most reads);
+* **load level**: from a single user's trickle (hplajw) to a
+  database-load benchmark that nearly saturates the array (netware, ATT);
+* **locality**: a mix of sequential runs, hot-spot accesses, and uniform
+  traffic.
+
+See :data:`repro.traces.catalog.CATALOG` for the ten named workloads.
+"""
+
+from repro.traces.analysis import TraceReport, analyze
+from repro.traces.catalog import CATALOG, WorkloadSpec, workload_names, make_trace
+from repro.traces.records import Trace, TraceRecord
+from repro.traces.synthetic import BurstyWorkloadGenerator, BurstyWorkloadParams
+from repro.traces.trace_io import (
+    read_trace_binary,
+    read_trace_csv,
+    write_trace_binary,
+    write_trace_csv,
+)
+
+__all__ = [
+    "TraceReport",
+    "analyze",
+    "BurstyWorkloadGenerator",
+    "BurstyWorkloadParams",
+    "CATALOG",
+    "Trace",
+    "TraceRecord",
+    "WorkloadSpec",
+    "make_trace",
+    "read_trace_binary",
+    "read_trace_csv",
+    "workload_names",
+    "write_trace_binary",
+    "write_trace_csv",
+]

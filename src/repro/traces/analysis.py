@@ -1,0 +1,145 @@
+"""Trace characterisation — the [Ruemmler93] measurements, in miniature.
+
+The paper's premise rests on measurable workload properties: burstiness
+(idle gaps between bursts), write intensity, and load level.  This module
+computes them for any :class:`~repro.traces.records.Trace`, whether
+synthetic or converted from a real capture, so workloads can be compared
+against the catalog's intent and against each other.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.metrics import Summary, percentile
+from repro.traces.records import Trace
+
+
+@dataclasses.dataclass(frozen=True)
+class BurstAnalysis:
+    """Bursts found by splitting the trace at gaps > ``gap_threshold_s``."""
+
+    gap_threshold_s: float
+    n_bursts: int
+    burst_sizes: Summary  # requests per burst
+    burst_spans: Summary  # seconds from first to last request of a burst
+    idle_gaps: Summary  # seconds between bursts
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of time inside bursts (roughly: how busy the device is)."""
+        busy = self.burst_spans.mean * self.n_bursts
+        idle = self.idle_gaps.mean * max(0, self.n_bursts - 1)
+        total = busy + idle
+        return busy / total if total > 0 else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceReport:
+    """The full characterisation of one trace."""
+
+    name: str
+    n_requests: int
+    duration_s: float
+    write_fraction: float
+    mean_iops: float
+    request_bytes: Summary
+    interarrival_s: Summary
+    bursts: BurstAnalysis
+    sequential_fraction: float
+    footprint_sectors: int
+
+    def rows(self) -> list[tuple[str, str]]:
+        return [
+            ("requests", str(self.n_requests)),
+            ("duration", f"{self.duration_s:.1f} s"),
+            ("write fraction", f"{self.write_fraction:.1%}"),
+            ("mean rate", f"{self.mean_iops:.1f} IOPS"),
+            ("mean request", f"{self.request_bytes.mean / 1024:.1f} KB"),
+            ("median interarrival", f"{self.interarrival_s.median * 1e3:.1f} ms"),
+            ("bursts (gap > threshold)", str(self.bursts.n_bursts)),
+            ("mean burst size", f"{self.bursts.burst_sizes.mean:.1f} requests"),
+            ("mean idle gap", f"{self.bursts.idle_gaps.mean:.2f} s"),
+            ("p95 idle gap", f"{self.bursts.idle_gaps.p95:.2f} s"),
+            ("duty cycle", f"{self.bursts.duty_cycle:.1%}"),
+            ("sequential fraction", f"{self.sequential_fraction:.1%}"),
+            ("address footprint", f"{self.footprint_sectors * 512 / 2**20:.1f} MiB"),
+        ]
+
+
+def find_bursts(trace: Trace, gap_threshold_s: float = 0.1) -> BurstAnalysis:
+    """Split the trace into bursts at idle gaps above the threshold.
+
+    The default threshold matches the paper's 100 ms idle-detector timer,
+    so "number of idle gaps" here is "number of scrub opportunities".
+    """
+    if not len(trace):
+        raise ValueError("empty trace")
+    sizes: list[float] = []
+    spans: list[float] = []
+    gaps: list[float] = []
+    burst_start = trace[0].time_s
+    previous = trace[0].time_s
+    count = 1
+    for record in list(trace)[1:]:
+        gap = record.time_s - previous
+        if gap > gap_threshold_s:
+            sizes.append(count)
+            spans.append(previous - burst_start)
+            gaps.append(gap)
+            burst_start = record.time_s
+            count = 1
+        else:
+            count += 1
+        previous = record.time_s
+    sizes.append(count)
+    spans.append(previous - burst_start)
+    return BurstAnalysis(
+        gap_threshold_s=gap_threshold_s,
+        n_bursts=len(sizes),
+        burst_sizes=Summary.of(sizes),
+        burst_spans=Summary.of(spans),
+        idle_gaps=Summary.of(gaps) if gaps else Summary.of([0.0]),
+    )
+
+
+def sequential_fraction(trace: Trace) -> float:
+    """Fraction of requests starting exactly where the previous ended."""
+    if len(trace) < 2:
+        return 0.0
+    sequential = 0
+    for earlier, later in zip(trace, list(trace)[1:]):
+        if later.offset_sectors == earlier.offset_sectors + earlier.nsectors:
+            sequential += 1
+    return sequential / (len(trace) - 1)
+
+
+def analyze(trace: Trace, gap_threshold_s: float = 0.1) -> TraceReport:
+    """Produce the full characterisation report for ``trace``."""
+    if not len(trace):
+        raise ValueError("empty trace")
+    records = list(trace)
+    interarrivals = [b.time_s - a.time_s for a, b in zip(records, records[1:])]
+    touched: set[int] = set()
+    for record in records:
+        first_block = record.offset_sectors // 8
+        last_block = (record.offset_sectors + record.nsectors - 1) // 8
+        touched.update(range(first_block, last_block + 1))
+    return TraceReport(
+        name=trace.name,
+        n_requests=len(records),
+        duration_s=trace.duration_s,
+        write_fraction=trace.write_fraction,
+        mean_iops=trace.mean_iops,
+        request_bytes=Summary.of([record.nbytes for record in records]),
+        interarrival_s=Summary.of(interarrivals) if interarrivals else Summary.of([0.0]),
+        bursts=find_bursts(trace, gap_threshold_s),
+        sequential_fraction=sequential_fraction(trace),
+        footprint_sectors=len(touched) * 8,
+    )
+
+
+def compare(traces: typing.Sequence[Trace], gap_threshold_s: float = 0.1) -> list[TraceReport]:
+    """Characterise several traces for side-by-side comparison."""
+    return [analyze(trace, gap_threshold_s) for trace in traces]

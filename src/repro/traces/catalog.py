@@ -1,0 +1,206 @@
+"""The ten named workloads of the paper's evaluation (§4.1), as synthetic
+generator parameterisations.
+
+The real traces are proprietary; each spec below encodes the published
+characterisation of its namesake — how bursty it is, how write-heavy, and
+how hard it drives the array.  Rates are scaled to a 5-disk array of
+late-90s drives (tens of IOPS sustained; a RAID 5 small write costs ~4
+disk I/Os, so write-heavy specs above ~40 IOPS will saturate RAID 5 while
+leaving AFRAID headroom — the regime the paper studies).
+
+Sources: [Ruemmler93] for hplajw / snake / cello (it characterises those
+three systems in detail); the paper's own §4.1 one-liners for netware,
+ATT, and the AS400 set ("intensive database-loading benchmark",
+"production telephone-company database system", "four production AS400
+systems", with ATT and AS400-1 called out in §4.4 as the workloads with
+the fewest idle periods and most write traffic).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.traces.records import Trace
+from repro.traces.synthetic import BurstyWorkloadGenerator, BurstyWorkloadParams
+
+#: Data capacity of the paper's 5-disk array: 4 data-equivalents x 2 GB.
+PAPER_ADDRESS_SPACE_SECTORS = 4 * (2 * 10**9) // 512
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """A named workload: description plus generator knobs (minus scale)."""
+
+    name: str
+    description: str
+    write_fraction: float
+    requests_per_burst_mean: float
+    within_burst_gap_s: float
+    idle_gap_mean_s: float
+    idle_gap_sigma: float
+    large_fraction: float = 0.10
+    sequential_fraction: float = 0.30
+    hotspot_fraction: float = 0.40
+    sync_fraction: float = 0.10
+
+    def params(
+        self,
+        duration_s: float,
+        address_space_sectors: int = PAPER_ADDRESS_SPACE_SECTORS,
+    ) -> BurstyWorkloadParams:
+        """Bind the spec to a duration and an address space."""
+        return BurstyWorkloadParams(
+            name=self.name,
+            duration_s=duration_s,
+            address_space_sectors=address_space_sectors,
+            write_fraction=self.write_fraction,
+            requests_per_burst_mean=self.requests_per_burst_mean,
+            within_burst_gap_s=self.within_burst_gap_s,
+            idle_gap_mean_s=self.idle_gap_mean_s,
+            idle_gap_sigma=self.idle_gap_sigma,
+            large_fraction=self.large_fraction,
+            sequential_fraction=self.sequential_fraction,
+            hotspot_fraction=self.hotspot_fraction,
+            sync_fraction=self.sync_fraction,
+        )
+
+
+CATALOG: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in [
+        WorkloadSpec(
+            name="hplajw",
+            description="single-user HP-UX workstation (email, document editing): "
+            "a light trickle with long idle gaps",
+            write_fraction=0.70,
+            requests_per_burst_mean=8,
+            within_burst_gap_s=0.01,
+            idle_gap_mean_s=8.0,
+            idle_gap_sigma=1.6,
+        ),
+        WorkloadSpec(
+            name="snake",
+            description="HP-UX file server for a Berkeley workstation cluster: "
+            "bursty, moderate load",
+            write_fraction=0.55,
+            requests_per_burst_mean=20,
+            within_burst_gap_s=0.008,
+            idle_gap_mean_s=5.0,
+            idle_gap_sigma=1.4,
+        ),
+        WorkloadSpec(
+            name="cello-usr",
+            description="cello timesharing system, root//usr//users disks: "
+            "bursty program-development traffic",
+            write_fraction=0.60,
+            requests_per_burst_mean=24,
+            within_burst_gap_s=0.007,
+            idle_gap_mean_s=4.0,
+            idle_gap_sigma=1.4,
+        ),
+        WorkloadSpec(
+            name="cello-news",
+            description="cello's Usenet news disk: half of the system's I/Os, "
+            "write-heavy with shorter gaps",
+            write_fraction=0.80,
+            requests_per_burst_mean=24,
+            within_burst_gap_s=0.007,
+            idle_gap_mean_s=0.8,
+            idle_gap_sigma=1.2,
+            hotspot_fraction=0.55,
+        ),
+        WorkloadSpec(
+            name="netware",
+            description="intensive database-loading benchmark on a Novell "
+            "NetWare server: sustained, write-dominated, few gaps",
+            write_fraction=0.85,
+            requests_per_burst_mean=20,
+            within_burst_gap_s=0.009,
+            idle_gap_mean_s=0.15,
+            idle_gap_sigma=0.8,
+            large_fraction=0.25,
+            sequential_fraction=0.50,
+        ),
+        WorkloadSpec(
+            name="ATT",
+            description="production telephone-company database (one copy of a "
+            "mirrored set): heavy writes, few idle periods",
+            write_fraction=0.75,
+            requests_per_burst_mean=26,
+            within_burst_gap_s=0.008,
+            idle_gap_mean_s=0.25,
+            idle_gap_sigma=0.9,
+            hotspot_fraction=0.55,
+        ),
+        WorkloadSpec(
+            name="AS400-1",
+            description="production IBM AS400 #1: the busiest of the four — "
+            "few idle periods, much write traffic",
+            write_fraction=0.65,
+            requests_per_burst_mean=26,
+            within_burst_gap_s=0.008,
+            idle_gap_mean_s=0.35,
+            idle_gap_sigma=1.0,
+        ),
+        WorkloadSpec(
+            name="AS400-2",
+            description="production IBM AS400 #2: moderate commercial load",
+            write_fraction=0.60,
+            requests_per_burst_mean=20,
+            within_burst_gap_s=0.008,
+            idle_gap_mean_s=2.0,
+            idle_gap_sigma=1.2,
+        ),
+        WorkloadSpec(
+            name="AS400-3",
+            description="production IBM AS400 #3: lighter commercial load",
+            write_fraction=0.55,
+            requests_per_burst_mean=16,
+            within_burst_gap_s=0.009,
+            idle_gap_mean_s=3.2,
+            idle_gap_sigma=1.3,
+        ),
+        WorkloadSpec(
+            name="AS400-4",
+            description="production IBM AS400 #4: the lightest of the four",
+            write_fraction=0.50,
+            requests_per_burst_mean=10,
+            within_burst_gap_s=0.01,
+            idle_gap_mean_s=3.0,
+            idle_gap_sigma=1.4,
+        ),
+    ]
+}
+
+
+def workload_names() -> list[str]:
+    """The ten workloads, in the paper's presentation order."""
+    return list(CATALOG)
+
+
+def make_trace(
+    name: str,
+    duration_s: float = 60.0,
+    address_space_sectors: int = PAPER_ADDRESS_SPACE_SECTORS,
+    seed: int = 42,
+) -> Trace:
+    """Generate the named workload's trace.
+
+    The seed is combined with the workload name so different workloads
+    never share a random stream even with the same seed argument.
+    """
+    if name not in CATALOG:
+        raise KeyError(f"unknown workload {name!r}; choose from {workload_names()}")
+    spec = CATALOG[name]
+    params = spec.params(duration_s, address_space_sectors)
+    derived_seed = (hash_name(name) * 1_000_003 + seed) % 2**63
+    return BurstyWorkloadGenerator(params, seed=derived_seed).generate()
+
+
+def hash_name(name: str) -> int:
+    """A stable (non-salted) string hash, so seeds survive interpreter runs."""
+    value = 0
+    for char in name:
+        value = (value * 131 + ord(char)) % 2**31
+    return value

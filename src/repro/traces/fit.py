@@ -1,0 +1,103 @@
+"""Fit synthetic-generator parameters to a measured trace.
+
+The inverse of :mod:`repro.traces.synthetic`: given any trace (e.g. one
+converted from a real capture), estimate the
+:class:`~repro.traces.synthetic.BurstyWorkloadParams` whose generator
+would produce statistically similar traffic.  This is how a user adapts
+the reproduction to *their* workload: analyze → fit → generate at any
+duration or address-space scale.
+
+The estimators are deliberately simple method-of-moments fits; the
+round-trip tests in ``tests/traces/test_fit.py`` quantify how well a
+fitted generator reproduces the source statistics.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+from repro.metrics import percentile
+from repro.traces.analysis import find_bursts, sequential_fraction
+from repro.traces.records import Trace
+from repro.traces.synthetic import BurstyWorkloadParams
+
+
+def fit_workload(
+    trace: Trace,
+    gap_threshold_s: float = 0.1,
+    address_space_sectors: int | None = None,
+    name: str | None = None,
+) -> BurstyWorkloadParams:
+    """Estimate generator parameters from ``trace``."""
+    if len(trace) < 4:
+        raise ValueError("need at least 4 requests to fit a workload")
+    records = list(trace)
+    bursts = find_bursts(trace, gap_threshold_s)
+
+    # Arrival process.
+    intra_gaps = [
+        later.time_s - earlier.time_s
+        for earlier, later in zip(records, records[1:])
+        if later.time_s - earlier.time_s <= gap_threshold_s
+    ]
+    within_gap = statistics.mean(intra_gaps) if intra_gaps else gap_threshold_s / 2
+    idle_gaps = [gap for gap in trace.idle_gaps(gap_threshold_s)]
+    if idle_gaps:
+        idle_mean = statistics.mean(idle_gaps)
+        logs = [math.log(gap) for gap in idle_gaps]
+        sigma = statistics.pstdev(logs) if len(logs) > 1 else 1.0
+    else:
+        idle_mean = gap_threshold_s
+        sigma = 1.0
+
+    # Sizes: split at twice the median into a small and a large class.
+    sizes = sorted(record.nsectors for record in records)
+    small = int(percentile(sizes, 50, presorted=True))
+    large_cutoff = 2 * small
+    large_sizes = [size for size in sizes if size >= large_cutoff]
+    if large_sizes:
+        large = int(percentile(large_sizes, 50))
+        large_fraction = len(large_sizes) / len(sizes)
+    else:
+        large = max(small * 4, small + 1)
+        large_fraction = 0.0
+
+    # Locality: sequential runs measured directly; the hot-spot share is
+    # the traffic fraction landing in the densest tenth of touched blocks.
+    hot_fraction = _hotspot_fraction(records)
+
+    space = address_space_sectors
+    if space is None:
+        space = max(record.offset_sectors + record.nsectors for record in records)
+        space = max(space, large + 1)
+
+    return BurstyWorkloadParams(
+        name=name or f"fit({trace.name})",
+        duration_s=trace.duration_s,
+        address_space_sectors=space,
+        write_fraction=trace.write_fraction,
+        requests_per_burst_mean=max(1.0, bursts.burst_sizes.mean),
+        within_burst_gap_s=max(0.0, within_gap),
+        idle_gap_mean_s=idle_mean,
+        idle_gap_sigma=max(0.1, min(sigma, 3.0)),
+        small_size_sectors=max(1, small),
+        large_size_sectors=max(large, small + 1),
+        large_fraction=min(1.0, large_fraction),
+        sequential_fraction=min(1.0, sequential_fraction(trace)),
+        hotspot_fraction=min(1.0, hot_fraction),
+        sync_fraction=sum(1 for r in records if r.sync) / len(records),
+    )
+
+
+def _hotspot_fraction(records) -> float:
+    """Share of accesses hitting the densest 10% of touched 4 KB blocks."""
+    counts: dict[int, int] = {}
+    for record in records:
+        block = record.offset_sectors // 8
+        counts[block] = counts.get(block, 0) + 1
+    if not counts:
+        return 0.0
+    ordered = sorted(counts.values(), reverse=True)
+    top = max(1, len(ordered) // 10)
+    return sum(ordered[:top]) / len(records)

@@ -1,0 +1,94 @@
+"""Trace records: the block-level I/O log format everything replays."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.disk import IoKind
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One traced I/O: when, what direction, where, and how much."""
+
+    time_s: float
+    kind: IoKind
+    offset_sectors: int
+    nsectors: int
+    sync: bool = False
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"time must be >= 0, got {self.time_s}")
+        if self.offset_sectors < 0:
+            raise ValueError(f"offset must be >= 0, got {self.offset_sectors}")
+        if self.nsectors < 1:
+            raise ValueError(f"nsectors must be >= 1, got {self.nsectors}")
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is IoKind.WRITE
+
+    @property
+    def nbytes(self) -> int:
+        return self.nsectors * 512
+
+
+class Trace:
+    """An ordered sequence of records plus identifying metadata."""
+
+    def __init__(self, name: str, records: typing.Sequence[TraceRecord], duration_s: float | None = None) -> None:
+        self.name = name
+        self.records = list(records)
+        for earlier, later in zip(self.records, self.records[1:]):
+            if later.time_s < earlier.time_s:
+                raise ValueError(f"trace {name!r} is not time-ordered")
+        last = self.records[-1].time_s if self.records else 0.0
+        self.duration_s = duration_s if duration_s is not None else last
+        if self.duration_s < last:
+            raise ValueError("declared duration is shorter than the trace")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> typing.Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self.records[index]
+
+    # -- summary statistics (used by tests and the harness report) ---------------
+
+    @property
+    def write_fraction(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(1 for record in self.records if record.is_write) / len(self.records)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(record.nbytes for record in self.records)
+
+    @property
+    def mean_request_bytes(self) -> float:
+        return self.total_bytes / len(self.records) if self.records else 0.0
+
+    @property
+    def mean_iops(self) -> float:
+        return len(self.records) / self.duration_s if self.duration_s > 0 else 0.0
+
+    def idle_gaps(self, threshold_s: float = 0.0) -> list[float]:
+        """Inter-arrival gaps longer than ``threshold_s`` (burstiness probe)."""
+        gaps = []
+        for earlier, later in zip(self.records, self.records[1:]):
+            gap = later.time_s - earlier.time_s
+            if gap > threshold_s:
+                gaps.append(gap)
+        return gaps
+
+    def __repr__(self) -> str:
+        return (
+            f"<Trace {self.name!r}: {len(self.records)} ios over {self.duration_s:.1f}s, "
+            f"{self.write_fraction:.0%} writes>"
+        )

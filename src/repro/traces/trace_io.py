@@ -1,0 +1,122 @@
+"""Reading and writing traces: a trivial CSV format and a compact binary one.
+
+CSV (one header line, then one line per record) — for hand conversion of
+externally captured traces:
+
+    time_s,op,offset_sectors,nsectors,sync
+    0.001250,W,12345,16,0
+
+``op`` is ``R`` or ``W``; ``sync`` is 0/1.
+
+Binary (``.bin``) — for large captures: a 16-byte header (magic
+``AFRD``, version, record count) followed by fixed 24-byte records
+(f64 time, u64 offset, u32 nsectors, u16 flags, u16 pad), little-endian.
+Fixed-size records, parsed without any string handling.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+import struct
+import typing
+
+from repro.disk import IoKind
+from repro.traces.records import Trace, TraceRecord
+
+_HEADER = ["time_s", "op", "offset_sectors", "nsectors", "sync"]
+_OP_TO_KIND = {"R": IoKind.READ, "W": IoKind.WRITE}
+_KIND_TO_OP = {IoKind.READ: "R", IoKind.WRITE: "W"}
+
+
+def write_trace_csv(trace: Trace, path: str | pathlib.Path) -> None:
+    """Write ``trace`` to ``path`` in the CSV trace format."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for record in trace:
+            writer.writerow(
+                [
+                    f"{record.time_s:.6f}",
+                    _KIND_TO_OP[record.kind],
+                    record.offset_sectors,
+                    record.nsectors,
+                    int(record.sync),
+                ]
+            )
+
+
+def read_trace_csv(path: str | pathlib.Path, name: str | None = None) -> Trace:
+    """Read a trace written by :func:`write_trace_csv` (or hand-converted)."""
+    path = pathlib.Path(path)
+    records: list[TraceRecord] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != _HEADER:
+            raise ValueError(f"{path}: unexpected header {header!r}")
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            try:
+                time_s, op, offset, nsectors, sync = row
+                records.append(
+                    TraceRecord(
+                        time_s=float(time_s),
+                        kind=_OP_TO_KIND[op],
+                        offset_sectors=int(offset),
+                        nsectors=int(nsectors),
+                        sync=bool(int(sync)),
+                    )
+                )
+            except (ValueError, KeyError) as exc:
+                raise ValueError(f"{path}:{line_number}: bad record {row!r}") from exc
+    return Trace(name if name is not None else path.stem, records)
+
+
+_BIN_MAGIC = b"AFRD"
+_BIN_VERSION = 1
+_BIN_HEADER = struct.Struct("<4sIQ")  # magic, version, record count
+_BIN_RECORD = struct.Struct("<dQIHH")  # time, offset, nsectors, flags, pad
+_FLAG_WRITE = 0x1
+_FLAG_SYNC = 0x2
+
+
+def write_trace_binary(trace: Trace, path: str | pathlib.Path) -> None:
+    """Write ``trace`` in the compact binary format."""
+    with open(path, "wb") as handle:
+        handle.write(_BIN_HEADER.pack(_BIN_MAGIC, _BIN_VERSION, len(trace)))
+        for record in trace:
+            flags = (_FLAG_WRITE if record.is_write else 0) | (_FLAG_SYNC if record.sync else 0)
+            handle.write(
+                _BIN_RECORD.pack(record.time_s, record.offset_sectors, record.nsectors, flags, 0)
+            )
+
+
+def read_trace_binary(path: str | pathlib.Path, name: str | None = None) -> Trace:
+    """Read a trace written by :func:`write_trace_binary`."""
+    path = pathlib.Path(path)
+    with open(path, "rb") as handle:
+        header = handle.read(_BIN_HEADER.size)
+        if len(header) != _BIN_HEADER.size:
+            raise ValueError(f"{path}: truncated header")
+        magic, version, count = _BIN_HEADER.unpack(header)
+        if magic != _BIN_MAGIC:
+            raise ValueError(f"{path}: not an AFRD trace (magic {magic!r})")
+        if version != _BIN_VERSION:
+            raise ValueError(f"{path}: unsupported version {version}")
+        payload = handle.read(count * _BIN_RECORD.size)
+    if len(payload) != count * _BIN_RECORD.size:
+        raise ValueError(f"{path}: truncated records ({len(payload)} bytes for {count} records)")
+    records = []
+    for time_s, offset, nsectors, flags, _pad in _BIN_RECORD.iter_unpack(payload):
+        records.append(
+            TraceRecord(
+                time_s=time_s,
+                kind=IoKind.WRITE if flags & _FLAG_WRITE else IoKind.READ,
+                offset_sectors=offset,
+                nsectors=nsectors,
+                sync=bool(flags & _FLAG_SYNC),
+            )
+        )
+    return Trace(name if name is not None else path.stem, records)

@@ -1,0 +1,93 @@
+"""Tests for the read cache and write staging budget."""
+
+import pytest
+
+from repro.array import ByteBudget, ReadCache
+from repro.sim import Simulator
+
+
+class TestReadCache:
+    def test_line_size_validation(self):
+        with pytest.raises(ValueError):
+            ReadCache(capacity_bytes=1024, line_bytes=100, sector_bytes=512)
+
+    def test_miss_then_hit(self):
+        cache = ReadCache(capacity_bytes=8192, line_bytes=4096, sector_bytes=512)
+        assert not cache.lookup(0, 8)
+        cache.insert(0, 8)
+        assert cache.lookup(0, 8)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_partial_residency_is_a_miss(self):
+        cache = ReadCache(capacity_bytes=8192, line_bytes=4096, sector_bytes=512)
+        cache.insert(0, 8)  # line 0
+        assert not cache.lookup(0, 16)  # needs lines 0 and 1
+
+    def test_lru_eviction(self):
+        cache = ReadCache(capacity_bytes=8192, line_bytes=4096, sector_bytes=512)  # 2 lines
+        cache.insert(0, 8)  # line 0
+        cache.insert(8, 8)  # line 1
+        cache.insert(16, 8)  # line 2 evicts line 0
+        assert not cache.lookup(0, 8)
+        assert cache.lookup(8, 8)
+        assert cache.lookup(16, 8)
+
+    def test_lookup_refreshes_lru(self):
+        cache = ReadCache(capacity_bytes=8192, line_bytes=4096, sector_bytes=512)
+        cache.insert(0, 8)
+        cache.insert(8, 8)
+        cache.lookup(0, 8)  # refresh line 0
+        cache.insert(16, 8)  # must evict line 1, not line 0
+        assert cache.lookup(0, 8)
+        assert not cache.lookup(8, 8)
+
+    def test_zero_capacity_never_hits(self):
+        cache = ReadCache(capacity_bytes=0, line_bytes=4096, sector_bytes=512)
+        cache.insert(0, 8)
+        assert not cache.lookup(0, 8)
+        assert cache.stats.hit_rate == 0.0
+
+
+class TestByteBudget:
+    def test_immediate_grant(self):
+        sim = Simulator()
+        budget = ByteBudget(sim, capacity_bytes=1000)
+        grant = budget.reserve(400)
+        assert grant.triggered
+        assert budget.in_use == 400
+        assert budget.available == 600
+
+    def test_backpressure_and_fifo(self):
+        sim = Simulator()
+        budget = ByteBudget(sim, capacity_bytes=1000)
+        order = []
+
+        def writer(tag, nbytes, hold):
+            yield budget.reserve(nbytes)
+            order.append((tag, sim.now))
+            yield sim.timeout(hold)
+            budget.release(nbytes)
+
+        sim.process(writer("a", 800, 1.0))
+        sim.process(writer("b", 600, 1.0))  # must wait for a
+        sim.process(writer("c", 100, 1.0))  # FIFO: waits behind b even though it fits
+        sim.run()
+        assert [tag for tag, _time in order] == ["a", "b", "c"]
+        assert order[1][1] == pytest.approx(1.0)
+
+    def test_oversized_request_clamped(self):
+        sim = Simulator()
+        budget = ByteBudget(sim, capacity_bytes=1000)
+        grant = budget.reserve(5000)  # clamped to 1000, proceeds alone
+        assert grant.triggered
+        assert budget.in_use == 1000
+        budget.release(5000)  # symmetric clamp
+        assert budget.in_use == 0
+
+    def test_over_release_rejected(self):
+        sim = Simulator()
+        budget = ByteBudget(sim, capacity_bytes=1000)
+        budget.reserve(100)
+        with pytest.raises(RuntimeError):
+            budget.release(200)

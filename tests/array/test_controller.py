@@ -1,0 +1,268 @@
+"""Tests for the array controller: AFRAID, RAID 5, and RAID 0 behaviour."""
+
+import pytest
+
+from repro.array import toy_array
+from repro.array.request import ArrayRequest
+from repro.disk import IoKind
+from repro.policy import (
+    AlwaysRaid5Policy,
+    BaselineAfraidPolicy,
+    DirtyStripeThresholdPolicy,
+    EagerScrubPolicy,
+    NeverScrubPolicy,
+)
+from repro.sim import AllOf, Simulator
+
+
+def submit_and_run(sim, array, request):
+    done = array.submit(request)
+    return sim.run_until_triggered(done)
+
+
+def write(offset, nsectors, data=None):
+    return ArrayRequest(IoKind.WRITE, offset, nsectors, data=data)
+
+
+def read(offset, nsectors):
+    return ArrayRequest(IoKind.READ, offset, nsectors)
+
+
+def payload(array, nsectors, seed=1):
+    return bytes((seed * 41 + i) % 256 for i in range(nsectors * array.sector_bytes))
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestValidation:
+    def test_out_of_range_request_rejected(self, sim):
+        array = toy_array(sim)
+        with pytest.raises(ValueError):
+            array.submit(read(array.layout.total_data_sectors, 1))
+
+    def test_resubmission_rejected(self, sim):
+        array = toy_array(sim)
+        request = read(0, 1)
+        array.submit(request)
+        with pytest.raises(ValueError):
+            array.submit(request)
+
+    def test_needs_three_disks(self, sim):
+        with pytest.raises(ValueError):
+            toy_array(sim, ndisks=2)
+
+
+class TestAfraidWrites:
+    def test_small_write_is_one_disk_io(self, sim):
+        """The headline: AFRAID reduces the 4 I/Os of RAID 5 to 1."""
+        array = toy_array(sim, with_functional=False)
+        submit_and_run(sim, array, write(0, 8))  # half a stripe unit
+        assert array.stats.foreground_data_writes == 1
+        assert array.stats.preread_ios == 0
+        assert array.stats.foreground_parity_writes == 0
+
+    def test_write_marks_stripe_dirty(self, sim):
+        array = toy_array(sim, with_functional=False, idle_threshold_s=1e9)
+        submit_and_run(sim, array, write(0, 4))
+        assert array.dirty_stripe_count == 1
+        assert array.parity_lag_bytes == (
+            array.layout.data_units_per_stripe * array.unit_bytes
+        )
+
+    def test_functional_twin_sees_deferred_write(self, sim):
+        array = toy_array(sim, idle_threshold_s=1e9)
+        data = payload(array, 4)
+        submit_and_run(sim, array, write(0, 4, data=data))
+        assert array.functional.read(0, 4) == data
+        assert 0 in array.functional.dirty_stripes
+
+    def test_scrubber_runs_in_idle_period(self, sim):
+        array = toy_array(sim, idle_threshold_s=0.05)
+        submit_and_run(sim, array, write(0, 4, data=payload(array, 4)))
+        sim.run(until=sim.now + 1.0)  # give the idle detector time to fire
+        assert array.dirty_stripe_count == 0
+        assert array.stats.stripes_scrubbed == 1
+        assert array.functional.parity_consistent(0)
+
+    def test_scrub_costs_data_reads_plus_parity_write(self, sim):
+        array = toy_array(sim, idle_threshold_s=0.05, with_functional=False)
+        submit_and_run(sim, array, write(0, 4))
+        sim.run(until=sim.now + 1.0)
+        assert array.stats.scrub_data_reads == array.layout.data_units_per_stripe
+        assert array.stats.scrub_parity_writes == 1
+
+    def test_raid0_policy_never_scrubs(self, sim):
+        array = toy_array(sim, policy=NeverScrubPolicy(), idle_threshold_s=0.05, with_functional=False)
+        submit_and_run(sim, array, write(0, 4))
+        sim.run(until=sim.now + 2.0)
+        assert array.dirty_stripe_count == 1
+        assert array.stats.stripes_scrubbed == 0
+
+
+class TestRaid5Writes:
+    def test_small_write_is_four_disk_ios(self, sim):
+        array = toy_array(sim, policy=AlwaysRaid5Policy(), with_functional=False)
+        submit_and_run(sim, array, write(0, 8))
+        assert array.stats.preread_ios == 2  # old data + old parity
+        assert array.stats.foreground_data_writes == 1
+        assert array.stats.foreground_parity_writes == 1
+
+    def test_no_stripe_goes_dirty(self, sim):
+        array = toy_array(sim, policy=AlwaysRaid5Policy())
+        submit_and_run(sim, array, write(0, 8, data=payload(array, 8)))
+        assert array.dirty_stripe_count == 0
+        assert array.functional.parity_consistent(0)
+
+    def test_full_stripe_write_skips_prereads(self, sim):
+        array = toy_array(sim, policy=AlwaysRaid5Policy(), with_functional=False)
+        full = array.layout.stripe_data_sectors
+        submit_and_run(sim, array, write(0, full))
+        assert array.stats.preread_ios == 0
+        assert array.stats.foreground_parity_writes == 1
+        assert array.stats.foreground_data_writes == array.layout.data_units_per_stripe
+
+    def test_raid5_slower_than_afraid_for_small_writes(self, sim):
+        afraid = toy_array(sim, name="afraid", with_functional=False, idle_threshold_s=1e9)
+        t_afraid = submit_and_run(sim, afraid, write(0, 8)).io_time
+        raid5 = toy_array(sim, name="raid5", policy=AlwaysRaid5Policy(), with_functional=False)
+        t_raid5 = submit_and_run(sim, raid5, write(0, 8)).io_time
+        assert t_raid5 > 1.5 * t_afraid
+
+    def test_write_to_dirty_stripe_reconstructs(self, sim):
+        """A policy flip mid-debt must not seal stale parity in."""
+        array = toy_array(sim, policy=DirtyStripeThresholdPolicy(max_dirty_stripes=1000))
+        # First write dirty (AFRAID mode under this policy), then force
+        # RAID 5 semantics by writing with an AlwaysRaid5Policy swap.
+        submit_and_run(sim, array, write(0, 4, data=payload(array, 4)))
+        assert 0 in array.functional.dirty_stripes
+        array.policy = AlwaysRaid5Policy()
+        array.policy.attach(array)
+        submit_and_run(sim, array, write(4, 4, data=payload(array, 4, seed=2)))
+        assert array.dirty_stripe_count == 0
+        assert array.functional.parity_consistent(0)
+        assert array.stats.reconstruct_reads > 0
+
+
+class TestReads:
+    def test_read_hits_disks_then_cache(self, sim):
+        array = toy_array(sim, with_functional=False)
+        submit_and_run(sim, array, read(0, 8))
+        first_reads = array.stats.foreground_data_reads
+        assert first_reads >= 1
+        result = submit_and_run(sim, array, read(0, 8))
+        assert array.stats.foreground_data_reads == first_reads  # cache hit
+        assert array.read_cache.stats.hits == 1
+        assert result.io_time < 0.001
+
+    def test_read_returns_written_data(self, sim):
+        array = toy_array(sim)
+        data = payload(array, 8, seed=3)
+        submit_and_run(sim, array, write(32, 8, data=data))
+        result = submit_and_run(sim, array, read(32, 8))
+        assert result.result_data == data
+
+    def test_read_spanning_stripes(self, sim):
+        array = toy_array(sim)
+        span = array.layout.stripe_data_sectors + 8
+        data = payload(array, span, seed=4)
+        submit_and_run(sim, array, write(0, span, data=data))
+        result = submit_and_run(sim, array, read(0, span))
+        assert result.result_data == data
+
+
+class TestConcurrencyAndScheduling:
+    def test_admission_capped_at_ndisks(self, sim):
+        array = toy_array(sim, with_functional=False, idle_threshold_s=1e9)
+        for i in range(12):
+            array.submit(read(i * 64, 32))
+        sim.run(until=1e-4)
+        assert array.slots.in_use <= array.ndisks
+
+    def test_many_concurrent_requests_complete(self, sim):
+        array = toy_array(sim, with_functional=False, idle_threshold_s=1e9)
+        events = [array.submit(write(i * 16, 8)) for i in range(20)]
+        sim.run_until_triggered(AllOf(sim, events))
+        assert array.stats.completed == 20
+
+    def test_io_time_includes_queueing(self, sim):
+        array = toy_array(sim, with_functional=False, idle_threshold_s=1e9)
+        events = [array.submit(read(i * 128, 64)) for i in range(10)]
+        sim.run_until_triggered(AllOf(sim, events))
+        times = sorted(array.stats.io_times)
+        assert times[-1] > 2 * times[0]  # later requests queued behind earlier
+
+
+class TestScrubberForeground:
+    def test_scrub_preempted_between_stripes_by_new_work(self, sim):
+        """Scrubbing stops between stripes when a client request arrives."""
+        array = toy_array(sim, idle_threshold_s=0.05, with_functional=False)
+        # Dirty many stripes.
+        stride = array.layout.stripe_data_sectors
+        events = [array.submit(write(stripe * stride, 4)) for stripe in range(10)]
+        sim.run_until_triggered(AllOf(sim, events))
+
+        def client_burst():
+            # Arrive just as the scrubber gets going.
+            yield sim.timeout(0.06)
+            yield array.submit(read(0, 4))
+
+        proc = sim.process(client_burst())
+        sim.run_until_triggered(proc)
+        # Not everything was scrubbed in one go (the burst preempted it) ...
+        # but once idle again, the scrubber finishes the debt.
+        sim.run(until=sim.now + 5.0)
+        assert array.dirty_stripe_count == 0
+        assert array.stats.stripes_scrubbed == 10
+
+    def test_eager_policy_scrubs_despite_load(self, sim):
+        array = toy_array(sim, policy=EagerScrubPolicy(), idle_threshold_s=1e9, with_functional=False)
+        done = array.submit(write(0, 4))
+        sim.run_until_triggered(done)
+        sim.run(until=sim.now + 1.0)
+        assert array.dirty_stripe_count == 0  # scrubbed without any idle declaration
+
+    def test_threshold_policy_bounds_dirty_stripes(self, sim):
+        array = toy_array(
+            sim,
+            policy=DirtyStripeThresholdPolicy(max_dirty_stripes=3),
+            idle_threshold_s=1e9,  # idle path disabled: only the force path runs
+            with_functional=False,
+        )
+        stride = array.layout.stripe_data_sectors
+        events = [array.submit(write(stripe * stride, 4)) for stripe in range(8)]
+        sim.run_until_triggered(AllOf(sim, events))
+        sim.run(until=sim.now + 5.0)
+        # The forced scrub drained the debt even though idle never fired.
+        assert array.dirty_stripe_count == 0
+
+
+class TestAvailabilityAccounting:
+    def test_lag_tracker_integrates_exposure(self, sim):
+        array = toy_array(sim, idle_threshold_s=0.05, with_functional=False)
+        submit_and_run(sim, array, write(0, 4))
+        sim.run(until=sim.now + 1.0)  # scrub happens
+        array.finalize()
+        tracker = array.lag_tracker
+        assert tracker.peak_parity_lag_bytes > 0
+        assert 0 < tracker.unprotected_fraction < 1
+        assert tracker.current_lag_bytes == 0
+
+    def test_raid5_has_zero_exposure(self, sim):
+        array = toy_array(sim, policy=AlwaysRaid5Policy(), with_functional=False)
+        submit_and_run(sim, array, write(0, 8))
+        array.finalize()
+        assert array.lag_tracker.unprotected_fraction == 0.0
+        assert array.lag_tracker.mean_parity_lag_bytes == 0.0
+
+
+class TestMarkMemoryRecovery:
+    def test_recovery_marks_everything_then_scrubs(self, sim):
+        array = toy_array(sim, ndisks=3, stripe_unit_sectors=4, with_functional=False)
+        array.marks.fail()
+        array.recover_mark_memory()
+        assert array.dirty_stripe_count == array.layout.nstripes
+        sim.run(until=sim.now + 60.0)
+        assert array.dirty_stripe_count == 0

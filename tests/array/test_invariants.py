@@ -1,0 +1,126 @@
+"""Runtime invariants of the array controller, monitored during whole runs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.array import toy_array
+from repro.array.request import ArrayRequest
+from repro.disk import IoKind
+from repro.harness import gather
+from repro.policy import AlwaysRaid5Policy, BaselineAfraidPolicy, MttdlTargetPolicy
+from repro.sim import Simulator
+
+workload_strategy = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(min_value=0, max_value=600),
+        st.integers(min_value=1, max_value=16),
+        st.floats(min_value=0.0, max_value=0.1),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def drive(sim, array, requests):
+    events = []
+
+    def client():
+        for is_write, offset_basis, nsectors, think in requests:
+            offset = offset_basis % (array.layout.total_data_sectors - nsectors)
+            if think:
+                yield sim.timeout(think)
+            kind = IoKind.WRITE if is_write else IoKind.READ
+            events.append(array.submit(ArrayRequest(kind, offset, nsectors)))
+
+    proc = sim.process(client())
+    sim.run_until_triggered(proc)
+    return sim.run_until_triggered(gather(sim, events))
+
+
+class TestAdmissionInvariant:
+    @given(requests=workload_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_slots_never_exceed_ndisks(self, requests):
+        sim = Simulator()
+        array = toy_array(sim, with_functional=False, idle_threshold_s=0.05)
+        peak = [0]
+        sim.set_trace(lambda _t, _e: peak.__setitem__(0, max(peak[0], array.slots.in_use)))
+        outcomes = drive(sim, array, requests)
+        assert all(ok for ok, _v in outcomes)
+        assert peak[0] <= array.ndisks
+
+
+class TestAccountingInvariants:
+    @given(requests=workload_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_stats_conserve_requests(self, requests):
+        sim = Simulator()
+        array = toy_array(sim, with_functional=False, idle_threshold_s=0.05)
+        drive(sim, array, requests)
+        n_writes = sum(1 for is_write, *_rest in requests if is_write)
+        assert array.stats.writes_completed == n_writes
+        assert array.stats.completed == len(requests)
+        assert len(array.stats.io_times) == len(requests)
+        assert all(time >= 0 for time in array.stats.io_times)
+
+    @given(requests=workload_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_lag_bounded_by_capacity(self, requests):
+        sim = Simulator()
+        array = toy_array(sim, with_functional=False, idle_threshold_s=1e9)
+        drive(sim, array, requests)
+        assert 0 <= array.dirty_stripe_count <= array.layout.nstripes
+        max_lag = array.layout.nstripes * array.layout.data_units_per_stripe * array.unit_bytes
+        assert 0 <= array.parity_lag_bytes <= max_lag
+
+    @given(requests=workload_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_raid5_never_accumulates_debt(self, requests):
+        sim = Simulator()
+        array = toy_array(sim, policy=AlwaysRaid5Policy(), with_functional=False)
+        drive(sim, array, requests)
+        assert array.dirty_stripe_count == 0
+        assert array.parity_lag_bytes == 0
+
+
+class TestPolicyInvariants:
+    @given(requests=workload_strategy, target=st.sampled_from([1e6, 1e7]))
+    @settings(max_examples=15, deadline=None)
+    def test_mttdl_policy_respects_target_on_any_workload(self, requests, target):
+        """Over a long enough window the policy always meets its target.
+
+        The window matters: the policy cannot foresee the *first* AFRAID
+        write, so a ~0.2 s exposure is unavoidable and dominates very
+        short observations (the paper's one-day traces amortise it; we
+        measure over >= 60 s).  Targets must also be reachable at all —
+        a 1e9-hour target needs exposure fractions no 60 s window can
+        demonstrate, which is why it is not in the sample set.
+        """
+        sim = Simulator()
+        policy = MttdlTargetPolicy(target)
+        array = toy_array(sim, policy=policy, with_functional=False, idle_threshold_s=0.05)
+        drive(sim, array, requests)
+        sim.run(until=max(sim.now + 1.0, 60.0))
+        array.finalize()
+        from repro.availability import TABLE_1, afraid_mttdl
+
+        achieved = afraid_mttdl(
+            array.ndisks,
+            TABLE_1.mttf_disk_h,
+            TABLE_1.mttr_h,
+            array.lag_tracker.unprotected_fraction,
+        )
+        assert achieved >= 0.95 * target
+
+    @given(requests=workload_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_afraid_and_raid5_serve_identical_data_counts(self, requests):
+        results = {}
+        for label, policy_cls in (("afraid", BaselineAfraidPolicy), ("raid5", AlwaysRaid5Policy)):
+            sim = Simulator()
+            array = toy_array(sim, policy=policy_cls(), with_functional=False)
+            drive(sim, array, requests)
+            results[label] = array.stats.completed
+        assert results["afraid"] == results["raid5"]

@@ -1,0 +1,129 @@
+"""Tests for the §5 sub-stripe marking refinement (M bits per stripe).
+
+With M bits, a small write dirties only the horizontal slice it touched,
+and the background rebuild reads 1/M of each data unit instead of whole
+units — cheaper scrubs for the same protection.
+"""
+
+import pytest
+
+from repro.array import toy_array
+from repro.array.request import ArrayRequest
+from repro.disk import IoKind
+from repro.policy import BaselineAfraidPolicy
+from repro.sim import Simulator
+
+
+def write(offset, nsectors=2, data=None):
+    return ArrayRequest(IoKind.WRITE, offset, nsectors, data=data)
+
+
+def payload(array, nsectors, seed=1):
+    return bytes((seed * 67 + i) % 256 for i in range(nsectors * array.sector_bytes))
+
+
+def make_array(sim, bits, **kwargs):
+    return toy_array(
+        sim,
+        policy=BaselineAfraidPolicy(),
+        stripe_unit_sectors=8,
+        bits_per_stripe=bits,
+        **kwargs,
+    )
+
+
+class TestMarking:
+    def test_small_write_marks_one_sub_unit(self):
+        sim = Simulator()
+        array = make_array(sim, bits=4, with_functional=False, idle_threshold_s=1e9)
+        done = array.submit(write(0, 2))  # rows 0-1 of an 8-sector unit: slice 0
+        sim.run_until_triggered(done)
+        assert array.marks.marks_of(0) == [0]
+        assert array.marks.count == 1
+
+    def test_write_spanning_slices_marks_each(self):
+        sim = Simulator()
+        array = make_array(sim, bits=4, with_functional=False, idle_threshold_s=1e9)
+        done = array.submit(write(1, 4))  # rows 1-4: slices 0,1,2
+        sim.run_until_triggered(done)
+        assert array.marks.marks_of(0) == [0, 1, 2]
+
+    def test_lag_is_proportional_to_marked_slices(self):
+        sim = Simulator()
+        array = make_array(sim, bits=4, with_functional=False, idle_threshold_s=1e9)
+        done = array.submit(write(0, 2))
+        sim.run_until_triggered(done)
+        per_slice = array.layout.data_units_per_stripe * array.unit_bytes / 4
+        assert array.parity_lag_bytes == pytest.approx(per_slice)
+
+
+class TestSlicedScrub:
+    def test_scrub_reads_only_the_slice(self):
+        sim = Simulator()
+        coarse = make_array(sim, bits=1, with_functional=False, idle_threshold_s=0.05)
+        done = coarse.submit(write(0, 2))
+        sim.run_until_triggered(done)
+        sim.run(until=sim.now + 1.0)
+        coarse_sectors = sum(d.stats.sectors_read for d in coarse.disks)
+
+        sim2 = Simulator()
+        fine = make_array(sim2, bits=4, with_functional=False, idle_threshold_s=0.05)
+        done = fine.submit(write(0, 2))
+        sim2.run_until_triggered(done)
+        sim2.run(until=sim2.now + 1.0)
+        fine_sectors = sum(d.stats.sectors_read for d in fine.disks)
+
+        assert coarse.dirty_stripe_count == 0
+        assert fine.dirty_stripe_count == 0
+        # The fine-grained rebuild read ~1/4 of the data the coarse one did.
+        assert fine_sectors <= coarse_sectors / 2
+
+    def test_functional_parity_consistent_after_all_slices_scrubbed(self):
+        sim = Simulator()
+        array = make_array(sim, bits=4, idle_threshold_s=0.05)
+        data = payload(array, 8, seed=2)
+        done = array.submit(write(0, 8, data=data))  # touches all 4 slices of unit 0
+        sim.run_until_triggered(done)
+        sim.run(until=sim.now + 2.0)
+        assert array.marks.count == 0
+        assert array.functional.parity_consistent(0)
+        assert array.functional.read(0, 8) == data
+
+    def test_mark_memory_recovery_marks_all_slices(self):
+        sim = Simulator()
+        array = make_array(sim, bits=2, with_functional=False, ndisks=3)
+        array.marks.fail()
+        array.recover_mark_memory()
+        assert array.marks.count == array.layout.nstripes * 2
+        sim.run(until=sim.now + 120.0)
+        assert array.marks.count == 0
+
+
+class TestCommitParitypoint:
+    def test_commit_scrubs_touched_stripes_immediately(self):
+        sim = Simulator()
+        array = toy_array(sim, idle_threshold_s=1e9, with_functional=False)
+        done = array.submit(write(0, 4))
+        sim.run_until_triggered(done)
+        assert array.dirty_stripe_count == 1
+        committed = array.commit(0, 4)
+        count = sim.run_until_triggered(committed)
+        assert count == 1
+        assert array.dirty_stripe_count == 0
+
+    def test_commit_of_clean_extent_is_trivial(self):
+        sim = Simulator()
+        array = toy_array(sim, idle_threshold_s=1e9, with_functional=False)
+        committed = array.commit(0, 16)
+        sim.run_until_triggered(committed)
+        assert array.stats.stripes_scrubbed == 0
+
+    def test_commit_functional_consistency(self):
+        sim = Simulator()
+        array = toy_array(sim, idle_threshold_s=1e9)
+        data = payload(array, 4, seed=3)
+        done = array.submit(write(0, 4, data=data))
+        sim.run_until_triggered(done)
+        assert not array.functional.parity_consistent(0)
+        sim.run_until_triggered(array.commit(0, 4))
+        assert array.functional.parity_consistent(0)

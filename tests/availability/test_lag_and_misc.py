@@ -1,0 +1,163 @@
+"""Tests for the parity-lag tracker, lifetime math, support, NVRAM, power."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.availability import (
+    NvramModel,
+    ParityLagTracker,
+    PowerModel,
+    loss_probability,
+    mttdl_from_loss_probability,
+)
+from repro.availability.support import SupportComponent, SupportModel, TYPICAL_COMPONENTS
+
+
+class TestParityLagTracker:
+    def test_starts_clean(self):
+        tracker = ParityLagTracker()
+        tracker.finish(10.0)
+        assert tracker.mean_parity_lag_bytes == 0.0
+        assert tracker.unprotected_fraction == 0.0
+        assert tracker.total_time == 10.0
+
+    def test_constant_lag(self):
+        tracker = ParityLagTracker()
+        tracker.record(0.0, 100.0)
+        tracker.finish(10.0)
+        assert tracker.mean_parity_lag_bytes == pytest.approx(100.0)
+        assert tracker.unprotected_fraction == pytest.approx(1.0)
+
+    def test_half_window_exposure(self):
+        tracker = ParityLagTracker()
+        tracker.record(0.0, 0.0)
+        tracker.record(5.0, 200.0)
+        tracker.finish(10.0)
+        assert tracker.mean_parity_lag_bytes == pytest.approx(100.0)
+        assert tracker.unprotected_fraction == pytest.approx(0.5)
+        assert tracker.unprotected_time == pytest.approx(5.0)
+
+    def test_peak_tracked(self):
+        tracker = ParityLagTracker()
+        tracker.record(0.0, 10.0)
+        tracker.record(1.0, 500.0)
+        tracker.record(2.0, 0.0)
+        tracker.finish(10.0)
+        assert tracker.peak_parity_lag_bytes == 500.0
+
+    def test_time_cannot_go_backwards(self):
+        tracker = ParityLagTracker()
+        tracker.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            tracker.record(4.0, 2.0)
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(ValueError):
+            ParityLagTracker().record(0.0, -1.0)
+
+    def test_finish_is_terminal(self):
+        tracker = ParityLagTracker()
+        tracker.finish(1.0)
+        with pytest.raises(RuntimeError):
+            tracker.record(2.0, 1.0)
+        with pytest.raises(RuntimeError):
+            tracker.finish(2.0)
+
+    def test_snapshot_does_not_mutate(self):
+        tracker = ParityLagTracker()
+        tracker.record(0.0, 100.0)
+        fraction = tracker.snapshot_unprotected_fraction(10.0)
+        assert fraction == pytest.approx(1.0)
+        tracker.record(10.0, 0.0)
+        tracker.finish(20.0)
+        assert tracker.unprotected_fraction == pytest.approx(0.5)
+
+    def test_nonzero_start_time(self):
+        tracker = ParityLagTracker(start_time=100.0)
+        tracker.record(100.0, 50.0)
+        tracker.finish(110.0)
+        assert tracker.total_time == pytest.approx(10.0)
+        assert tracker.mean_parity_lag_bytes == pytest.approx(50.0)
+
+    @given(
+        changes=st.lists(
+            st.tuples(
+                st.floats(min_value=0.001, max_value=10.0),  # dt
+                st.floats(min_value=0.0, max_value=1e6),  # new lag
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_mean_lag_bounded_by_peak(self, changes):
+        tracker = ParityLagTracker()
+        time = 0.0
+        for dt, lag in changes:
+            time += dt
+            tracker.record(time, lag)
+        tracker.finish(time + 1.0)
+        assert 0.0 <= tracker.mean_parity_lag_bytes <= tracker.peak_parity_lag_bytes + 1e-9
+        assert 0.0 <= tracker.unprotected_fraction <= 1.0
+
+
+class TestLifetime:
+    def test_probability_monotone_in_lifetime(self):
+        assert loss_probability(1e6, 1000) < loss_probability(1e6, 10_000)
+
+    def test_infinite_mttdl_never_loses(self):
+        assert loss_probability(float("inf"), 1e9) == 0.0
+
+    def test_inverse_roundtrip(self):
+        mttdl = mttdl_from_loss_probability(0.026, 26_298)
+        assert loss_probability(mttdl, 26_298) == pytest.approx(0.026, rel=1e-9)
+
+    @given(
+        mttdl=st.floats(min_value=1e3, max_value=1e12),
+        lifetime=st.floats(min_value=1.0, max_value=1e6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_probability_in_unit_interval(self, mttdl, lifetime):
+        assert 0.0 <= loss_probability(mttdl, lifetime) <= 1.0
+
+
+class TestSupportModel:
+    def test_lumped_or_itemised_exclusive(self):
+        with pytest.raises(ValueError):
+            SupportModel()
+        with pytest.raises(ValueError):
+            SupportModel(components=[], mttdl_h=1e6)
+
+    def test_component_mttdl_scales_with_loss_fraction(self):
+        component = SupportComponent("psu", mttf_h=100e3, data_loss_fraction=0.1)
+        assert component.mttdl_h == pytest.approx(1e6)
+
+    def test_itemised_model_combines(self):
+        model = SupportModel(
+            components=[
+                SupportComponent("a", mttf_h=2e6),
+                SupportComponent("b", mttf_h=2e6),
+            ]
+        )
+        assert model.mttdl_h == pytest.approx(1e6)
+
+    def test_typical_components_are_support_limited(self):
+        """The itemised example lands in the 'hundreds of k to a few M
+        hours' band §3.3 quotes for real products."""
+        assert 2e5 < TYPICAL_COMPONENTS.mttdl_h < 5e6
+
+
+class TestNvramAndPower:
+    def test_nvram_validation(self):
+        with pytest.raises(ValueError):
+            NvramModel("bad", mttf_h=0, vulnerable_bytes=1)
+
+    def test_power_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel("bad", mttf_power_h=100, write_duty_cycle=0.0)
+
+    def test_write_duty_cycle_scales_mttdl(self):
+        light = PowerModel("light", mttf_power_h=4300, write_duty_cycle=0.05)
+        heavy = PowerModel("heavy", mttf_power_h=4300, write_duty_cycle=0.59)
+        assert light.mttdl_h > heavy.mttdl_h

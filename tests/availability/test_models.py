@@ -1,0 +1,126 @@
+"""Tests for eqs. (1)-(5) and the combination rules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.availability import (
+    TABLE_1,
+    afraid_mdlr,
+    afraid_mttdl,
+    afraid_mttdl_raid_component,
+    afraid_mttdl_unprotected,
+    combine_mttdl,
+    mdlr_raid_catastrophic,
+    mdlr_unprotected,
+    raid0_mttdl,
+    raid5_mttdl_catastrophic,
+)
+
+
+class TestEquation1:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            raid5_mttdl_catastrophic(1, 1e6, 48)
+        with pytest.raises(ValueError):
+            raid5_mttdl_catastrophic(5, -1, 48)
+
+    def test_formula(self):
+        # 5 disks: N=4. MTTF²/(4*5*48)
+        assert raid5_mttdl_catastrophic(5, 1e6, 48.0) == pytest.approx(1e12 / 960)
+
+    def test_improves_quadratically_with_mttf(self):
+        assert raid5_mttdl_catastrophic(5, 2e6, 48.0) == pytest.approx(
+            4 * raid5_mttdl_catastrophic(5, 1e6, 48.0)
+        )
+
+    def test_more_disks_lower_mttdl(self):
+        assert raid5_mttdl_catastrophic(12, 1e6, 48.0) < raid5_mttdl_catastrophic(5, 1e6, 48.0)
+
+
+class TestEquation2:
+    def test_never_unprotected_is_infinite(self):
+        assert afraid_mttdl_unprotected(5, 2e6, 0.0) == float("inf")
+
+    def test_always_unprotected_equals_raid0(self):
+        assert afraid_mttdl_unprotected(5, 2e6, 1.0) == pytest.approx(raid0_mttdl(5, 2e6))
+
+    def test_2a_scales_inversely_with_exposure(self):
+        tenth = afraid_mttdl_unprotected(5, 2e6, 0.1)
+        fifth = afraid_mttdl_unprotected(5, 2e6, 0.2)
+        assert tenth == pytest.approx(2 * fifth)
+
+    def test_2b_never_unprotected_is_pure_raid(self):
+        assert afraid_mttdl_raid_component(4e9, 0.0) == pytest.approx(4e9)
+
+    def test_2b_always_unprotected_is_infinite(self):
+        assert afraid_mttdl_raid_component(4e9, 1.0) == float("inf")
+
+    def test_2c_between_raid0_and_raid5(self):
+        mttf = TABLE_1.mttf_disk_h
+        for fraction in (0.001, 0.01, 0.1, 0.5, 0.9):
+            overall = afraid_mttdl(5, mttf, 48.0, fraction)
+            assert raid0_mttdl(5, mttf) < overall < raid5_mttdl_catastrophic(5, mttf, 48.0)
+
+    @given(fraction=st.floats(min_value=1e-6, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_2c_monotone_in_exposure(self, fraction):
+        mttf = TABLE_1.mttf_disk_h
+        smaller = afraid_mttdl(5, mttf, 48.0, fraction * 0.5)
+        larger = afraid_mttdl(5, mttf, 48.0, fraction)
+        assert larger <= smaller
+
+
+class TestCombine:
+    def test_single_value_identity(self):
+        assert combine_mttdl(5e6) == pytest.approx(5e6)
+
+    def test_harmonic_sum(self):
+        assert combine_mttdl(2e6, 2e6) == pytest.approx(1e6)
+
+    def test_infinite_drops_out(self):
+        assert combine_mttdl(float("inf"), 3e6) == pytest.approx(3e6)
+
+    def test_all_infinite(self):
+        assert combine_mttdl(float("inf"), float("inf")) == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_mttdl()
+
+    @given(values=st.lists(st.floats(min_value=1e3, max_value=1e9), min_size=2, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_combined_below_minimum(self, values):
+        assert combine_mttdl(*values) <= min(values) + 1e-6
+
+
+class TestMdlr:
+    def test_eq3_formula(self):
+        # 5 disks x 2 GB, MTTDL 4.0e9 h: 2*2e9*(4/5)/4e9 = 0.8 bytes/h
+        assert mdlr_raid_catastrophic(5, 2 * 10**9, 4.0e9) == pytest.approx(0.8)
+
+    def test_eq4_formula(self):
+        # lag 1 MB, 5 disks, 2M h: (1e6/4)*(5/2e6) = 0.625 bytes/h
+        assert mdlr_unprotected(5, 1e6, 2e6) == pytest.approx(0.625)
+
+    def test_eq4_zero_lag_zero_rate(self):
+        assert mdlr_unprotected(5, 0.0, 2e6) == 0.0
+
+    def test_eq5_sums_components(self):
+        params = TABLE_1
+        total = afraid_mdlr(5, params.disk_bytes, params.mttf_disk_h, params.mttr_h, 1e6)
+        raid = mdlr_raid_catastrophic(
+            5,
+            params.disk_bytes,
+            raid5_mttdl_catastrophic(5, params.mttf_disk_h, params.mttr_h),
+        )
+        unprot = mdlr_unprotected(5, 1e6, params.mttf_disk_h)
+        assert total == pytest.approx(raid + unprot)
+
+    @given(lag=st.floats(min_value=0, max_value=1e9))
+    @settings(max_examples=50, deadline=None)
+    def test_eq5_monotone_in_lag(self, lag):
+        params = TABLE_1
+        base = afraid_mdlr(5, params.disk_bytes, params.mttf_disk_h, params.mttr_h, lag)
+        more = afraid_mdlr(5, params.disk_bytes, params.mttf_disk_h, params.mttr_h, lag + 1.0)
+        assert more >= base

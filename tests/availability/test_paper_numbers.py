@@ -1,0 +1,109 @@
+"""Cross-checks against the numbers the paper itself reports in Section 3.
+
+Each test quotes the paper's figure and verifies our implementation
+reproduces it from the Table 1 constants.
+"""
+
+import pytest
+
+from repro.availability import (
+    MAINS_ONLY,
+    PRESTOSERVE,
+    TABLE_1,
+    WITH_UPS,
+    loss_probability,
+    mdlr_raid_catastrophic,
+    raid5_mttdl_catastrophic,
+)
+from repro.availability.lifetime import loss_probability_years
+from repro.availability.models import single_disk_mdlr
+from repro.availability.support import CONSERVATIVE_SUPPORT, GIBSON_SUPPORT
+
+
+class TestSection31:
+    def test_5_disk_raid5_mttdl_is_4e9_hours(self):
+        """'With a 5-disk array ... a theoretical MTTDL of ~4.10^9 hours'."""
+        mttdl = raid5_mttdl_catastrophic(5, TABLE_1.mttf_disk_h, TABLE_1.mttr_h)
+        assert mttdl == pytest.approx(4.17e9, rel=0.05)
+
+    def test_which_is_about_475k_years(self):
+        mttdl = raid5_mttdl_catastrophic(5, TABLE_1.mttf_disk_h, TABLE_1.mttr_h)
+        years = mttdl / (24 * 365.25)
+        assert years == pytest.approx(475_000, rel=0.05)
+
+    def test_coverage_factor_doubles_mttf(self):
+        """MTTFdisk = MTTFdisk-raw / (1 - C) with C = 0.5."""
+        assert TABLE_1.mttf_disk_h == pytest.approx(2.0e6)
+
+
+class TestSection32:
+    def test_raid5_catastrophic_mdlr_08_bytes_per_hour(self):
+        """'The RAID 5 array we considered earlier would have a MDLR of
+        ~0.8 bytes/hour from this failure mode.'"""
+        mttdl = raid5_mttdl_catastrophic(5, TABLE_1.mttf_disk_h, TABLE_1.mttr_h)
+        mdlr = mdlr_raid_catastrophic(5, TABLE_1.disk_bytes, mttdl)
+        assert mdlr == pytest.approx(0.8, rel=0.05)
+
+
+class TestSection33:
+    def test_support_2m_hours_gives_4kb_per_hour(self):
+        """'With a 2M hour MTTDL, our 5-disk array would suffer a MDLR of
+        4.0KB/hour.'"""
+        assert CONSERVATIVE_SUPPORT.mdlr(5, TABLE_1.disk_bytes) == pytest.approx(4000, rel=0.01)
+
+    def test_gibson_150k_hours_gives_53kb_per_hour(self):
+        """'using the 150k hour figure from [Gibson93] would increase this
+        to 53KB/hour.'"""
+        assert GIBSON_SUPPORT.mdlr(5, TABLE_1.disk_bytes) == pytest.approx(53_333, rel=0.01)
+
+
+class TestSection34:
+    def test_prestoserve_mdlr_67_bytes_per_hour(self):
+        """'the popular PrestoServe card has a predicted MTTF of 15k hours;
+        with 1MB of vulnerable data, this corresponds to an MDLR of 67
+        bytes/hour.'"""
+        assert PRESTOSERVE.mdlr == pytest.approx(66.7, rel=0.01)
+
+
+class TestSection35:
+    def test_mains_power_43k_hours(self):
+        """'a 10% write duty cycle on a 5-disk RAID 5 gives a MTTDL of only
+        43k hours due to external power failures.'"""
+        assert MAINS_ONLY.mttdl_h == pytest.approx(43_000, rel=0.01)
+
+    def test_ups_restores_2m_hours(self):
+        """'a high-grade ups with an MTTF of 200k hours and a 10% write duty
+        cycle returns the MTTDL ... to 2M hours.'"""
+        assert WITH_UPS.mttdl_h == pytest.approx(2.0e6, rel=0.01)
+
+
+class TestSection36AndIntro:
+    def test_1m_hours_is_2_6_percent_over_3_years(self):
+        """'An aggregate MTTDL of a million hours (114 years) translates
+        into only a 2.6% likelihood of any data loss at all during a
+        typical 3-year array lifetime.'"""
+        assert loss_probability_years(1.0e6, years=3.0) == pytest.approx(0.026, abs=0.002)
+
+    def test_1m_hours_is_114_years(self):
+        assert 1.0e6 / (24 * 365.25) == pytest.approx(114, rel=0.01)
+
+    def test_modern_disk_lifetime_failure_3_to_5_percent(self):
+        """'a lifetime expected failure likelihood of 3-5%' for 0.5-1M hour
+        disks over ~26k hours."""
+        assert 0.025 < loss_probability(1.0e6, 26_000) < 0.05
+        assert 0.03 < loss_probability(0.5e6, 26_000) < 0.06
+
+    def test_single_disk_mdlr_2_to_4_kb_per_hour(self):
+        """'If it held 2GB, its mean data loss rate would be 2-4KB/hour.'"""
+        assert single_disk_mdlr(TABLE_1.disk_bytes, 1.0e6) == pytest.approx(2000, rel=0.01)
+        assert single_disk_mdlr(TABLE_1.disk_bytes, 0.5e6) == pytest.approx(4000, rel=0.01)
+
+
+class TestTable1Rows:
+    def test_rows_render(self):
+        rows = TABLE_1.rows()
+        assert len(rows) == 6
+        rendered = dict(rows)
+        assert rendered["disk mean time to failure MTTFdisk-raw"] == "1M hours"
+        assert rendered["stripe unit size (S)"] == "8KB"
+        assert rendered["size of disk (Vdisk)"] == "2GB"

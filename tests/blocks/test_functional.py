@@ -1,0 +1,219 @@
+"""Tests for the byte-accurate RAID 5 / AFRAID functional array.
+
+These verify the invariants the paper's availability analysis rests on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocks import DataLostError, FunctionalArray
+from repro.layout import Raid5Layout
+
+SECTOR = 32  # small sectors keep hypothesis cases fast
+
+
+def make_array(ndisks=5, unit=4, disk_sectors=40):
+    layout = Raid5Layout(ndisks=ndisks, stripe_unit_sectors=unit, disk_sectors=disk_sectors)
+    return FunctionalArray(layout, sector_bytes=SECTOR)
+
+
+def payload(nsectors, seed=1):
+    return bytes((seed * 37 + i) % 256 for i in range(nsectors * SECTOR))
+
+
+class TestRaid5Semantics:
+    def test_fresh_array_is_fully_consistent(self):
+        array = make_array()
+        assert all(array.parity_consistent(s) for s in range(array.layout.nstripes))
+        assert array.parity_lag_bytes == 0
+
+    def test_write_read_roundtrip(self):
+        array = make_array()
+        data = payload(4)
+        array.write(10, data)
+        assert array.read(10, 4) == data
+
+    def test_raid5_write_keeps_parity_consistent(self):
+        array = make_array()
+        array.write(3, payload(6))
+        for stripe in array.layout.stripes_touched(3, 6):
+            assert array.parity_consistent(stripe)
+        assert array.parity_lag_bytes == 0
+
+    def test_partial_unit_rmw_parity(self):
+        """The read-modify-write identity handles sub-unit writes."""
+        array = make_array()
+        array.write(0, payload(16, seed=2))  # fill stripe 0 completely
+        array.write(1, payload(1, seed=9))  # overwrite one sector mid-unit
+        assert array.parity_consistent(0)
+        assert array.read(1, 1) == payload(1, seed=9)
+
+    def test_clean_stripe_survives_single_disk_failure(self):
+        array = make_array()
+        data = payload(16, seed=3)
+        array.write(0, data)  # whole stripe 0
+        array.fail_disk(array.layout.data_disk(0, 1))
+        assert array.read(0, 16) == data  # reconstructed through parity
+
+    def test_parity_disk_failure_loses_nothing(self):
+        array = make_array()
+        data = payload(16, seed=4)
+        array.write(0, data)
+        array.fail_disk(array.layout.parity_disk(0))
+        assert array.read(0, 16) == data
+        assert array.lost_data_bytes(array.layout.parity_disk(0)) == 0
+
+
+class TestAfraidSemantics:
+    def test_deferred_write_marks_stripe_dirty(self):
+        array = make_array()
+        array.write(0, payload(2), update_parity=False)
+        assert array.dirty_stripes == frozenset({0})
+        assert not array.parity_consistent(0)
+        unit_bytes = array.layout.stripe_unit_sectors * SECTOR
+        assert array.parity_lag_bytes == array.layout.data_units_per_stripe * unit_bytes
+
+    def test_remarking_dirty_stripe_is_idempotent(self):
+        array = make_array()
+        array.write(0, payload(2), update_parity=False)
+        array.write(4, payload(2, seed=2), update_parity=False)  # same stripe, different unit
+        assert array.dirty_stripes == frozenset({0})
+
+    def test_scrub_restores_consistency(self):
+        array = make_array()
+        array.write(0, payload(2), update_parity=False)
+        array.scrub_stripe(0)
+        assert array.dirty_stripes == frozenset()
+        assert array.parity_consistent(0)
+
+    def test_scrub_all(self):
+        array = make_array()
+        array.write(0, payload(2), update_parity=False)
+        array.write(16, payload(2), update_parity=False)
+        assert array.scrub_all() == 2
+        assert array.parity_lag_bytes == 0
+
+    def test_dirty_stripe_loses_exactly_one_unit_on_failure(self):
+        """The paper's §3.2 loss unit: one stripe unit per dirty stripe."""
+        array = make_array()
+        array.write(0, payload(2), update_parity=False)
+        victim = array.layout.data_disk(0, 3)  # a data disk of stripe 0
+        array.fail_disk(victim)
+        unit_bytes = array.layout.stripe_unit_sectors * SECTOR
+        assert array.lost_data_bytes(victim) == unit_bytes
+
+    def test_dirty_stripe_read_through_failure_raises(self):
+        array = make_array()
+        array.write(0, payload(2), update_parity=False)
+        victim = array.layout.data_disk(0, 0)
+        array.fail_disk(victim)
+        with pytest.raises(DataLostError):
+            array.read(0, 2)
+
+    def test_unwritten_data_in_dirty_stripe_is_also_at_risk(self):
+        """'Any write to a stripe unprotects it all' — including old data."""
+        array = make_array()
+        old = payload(16, seed=5)
+        array.write(0, old)  # stripe 0 written redundantly
+        array.write(0, payload(2, seed=6), update_parity=False)  # dirty unit 0
+        # A *different* unit of the same stripe is now vulnerable too:
+        victim = array.layout.data_disk(0, 2)
+        array.fail_disk(victim)
+        with pytest.raises(DataLostError):
+            array.read(8, 2)  # unit 2's data, untouched by the recent write
+
+    def test_scrub_before_failure_saves_data(self):
+        array = make_array()
+        data = payload(2, seed=7)
+        array.write(0, data, update_parity=False)
+        array.scrub_stripe(0)
+        victim = array.layout.data_disk(0, 0)
+        array.fail_disk(victim)
+        assert array.read(0, 2) == data
+
+    def test_raid5_write_to_dirty_stripe_stays_dirty(self):
+        """Parity already stale: an RMW write cannot repair it."""
+        array = make_array()
+        array.write(0, payload(2), update_parity=False)
+        array.write(4, payload(2, seed=8), update_parity=True)
+        assert 0 in array.dirty_stripes
+        assert not array.parity_consistent(0)
+
+
+class TestHypothesisInvariants:
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=150),  # logical sector
+                st.integers(min_value=1, max_value=10),  # sectors
+                st.booleans(),  # update parity?
+                st.integers(min_value=0, max_value=255),  # payload seed
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scrub_all_always_restores_full_consistency(self, writes):
+        array = make_array()
+        for logical, nsectors, update_parity, seed in writes:
+            logical = min(logical, array.layout.total_data_sectors - nsectors)
+            array.write(logical, payload(nsectors, seed=seed), update_parity=update_parity)
+        array.scrub_all()
+        assert array.parity_lag_bytes == 0
+        assert all(array.parity_consistent(s) for s in range(array.layout.nstripes))
+
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=150),
+                st.integers(min_value=1, max_value=10),
+                st.booleans(),
+                st.integers(min_value=0, max_value=255),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        victim=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_clean_stripes_always_reconstruct(self, writes, victim):
+        """After any write mix + full scrub, any single failure loses nothing."""
+        array = make_array()
+        expected = {}
+        for logical, nsectors, update_parity, seed in writes:
+            logical = min(logical, array.layout.total_data_sectors - nsectors)
+            data = payload(nsectors, seed=seed)
+            array.write(logical, data, update_parity=update_parity)
+            for i in range(nsectors):
+                expected[logical + i] = data[i * SECTOR : (i + 1) * SECTOR]
+        array.scrub_all()
+        array.fail_disk(victim)
+        for sector, data in expected.items():
+            assert array.read(sector, 1) == data
+        assert array.lost_data_bytes(victim) == 0
+
+    @given(
+        dirty_writes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),  # stripe
+                st.integers(min_value=0, max_value=255),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        victim=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_loss_formula_matches_paper(self, dirty_writes, victim):
+        """lost = unit_bytes x |{dirty stripes whose parity is NOT on victim}|."""
+        array = make_array()
+        for stripe, seed in dirty_writes:
+            logical = stripe * array.layout.stripe_data_sectors
+            array.write(logical, payload(1, seed=seed), update_parity=False)
+        dirty = array.dirty_stripes
+        array.fail_disk(victim)
+        unit_bytes = array.layout.stripe_unit_sectors * SECTOR
+        expected = unit_bytes * sum(1 for s in dirty if array.layout.parity_disk(s) != victim)
+        assert array.lost_data_bytes(victim) == expected

@@ -1,0 +1,80 @@
+"""Tests for the raw block store."""
+
+import numpy as np
+import pytest
+
+from repro.blocks import BlockStore, StoreDiskFailedError
+
+
+class TestValidation:
+    def test_constructor_bounds(self):
+        with pytest.raises(ValueError):
+            BlockStore(ndisks=0, sectors=10)
+        with pytest.raises(ValueError):
+            BlockStore(ndisks=1, sectors=0)
+
+    def test_extent_bounds(self):
+        store = BlockStore(ndisks=2, sectors=10, sector_bytes=16)
+        with pytest.raises(ValueError):
+            store.read(0, 9, 2)
+        with pytest.raises(ValueError):
+            store.read(2, 0, 1)
+        with pytest.raises(ValueError):
+            store.read(0, 0, 0)
+
+    def test_partial_sector_write_rejected(self):
+        store = BlockStore(ndisks=1, sectors=10, sector_bytes=16)
+        with pytest.raises(ValueError):
+            store.write(0, 0, b"short")
+
+
+class TestDataPath:
+    def test_starts_zeroed(self):
+        store = BlockStore(ndisks=2, sectors=4, sector_bytes=8)
+        assert bytes(store.read(1, 0, 4)) == bytes(32)
+
+    def test_write_read_roundtrip(self):
+        store = BlockStore(ndisks=2, sectors=4, sector_bytes=8)
+        payload = bytes(range(16))
+        store.write(0, 1, payload)
+        assert bytes(store.read(0, 1, 2)) == payload
+        # Neighbours untouched.
+        assert bytes(store.read(0, 0, 1)) == bytes(8)
+        assert bytes(store.read(0, 3, 1)) == bytes(8)
+
+    def test_accepts_numpy(self):
+        store = BlockStore(ndisks=1, sectors=2, sector_bytes=4)
+        store.write(0, 0, np.full(4, 7, dtype=np.uint8))
+        assert bytes(store.read(0, 0, 1)) == b"\x07\x07\x07\x07"
+
+    def test_read_returns_copy(self):
+        store = BlockStore(ndisks=1, sectors=1, sector_bytes=4)
+        first = store.read(0, 0, 1)
+        first[:] = 0xFF
+        assert bytes(store.read(0, 0, 1)) == bytes(4)
+
+
+class TestFailure:
+    def test_failed_disk_raises(self):
+        store = BlockStore(ndisks=2, sectors=4, sector_bytes=8)
+        store.fail(1)
+        assert store.is_failed(1)
+        assert store.failed_disks == [1]
+        with pytest.raises(StoreDiskFailedError):
+            store.read(1, 0, 1)
+        with pytest.raises(StoreDiskFailedError):
+            store.write(1, 0, bytes(8))
+
+    def test_other_disks_unaffected(self):
+        store = BlockStore(ndisks=2, sectors=4, sector_bytes=8)
+        store.write(0, 0, bytes([1] * 8))
+        store.fail(1)
+        assert bytes(store.read(0, 0, 1)) == bytes([1] * 8)
+
+    def test_replace_gives_fresh_zeroed_disk(self):
+        store = BlockStore(ndisks=1, sectors=2, sector_bytes=4)
+        store.write(0, 0, b"\x01\x02\x03\x04")
+        store.fail(0)
+        store.replace(0)
+        assert not store.is_failed(0)
+        assert bytes(store.read(0, 0, 1)) == bytes(4)

@@ -1,0 +1,109 @@
+"""Tests for the optional drive-level caches (immediate report, read-ahead)."""
+
+import pytest
+
+from repro.disk import DiskIO, IoKind, MechanicalDisk
+from repro.disk.models import c3325_geometry, c3325_seek_model
+from repro.sched import DiskDriver
+from repro.sim import Simulator
+
+
+def make_disk(sim, **kwargs):
+    return MechanicalDisk(
+        sim=sim,
+        geometry=c3325_geometry(),
+        seek_model=c3325_seek_model(),
+        rpm=5400.0,
+        controller_overhead_s=0.0007,
+        head_switch_s=0.0008,
+        **kwargs,
+    )
+
+
+def run_io(sim, disk, io):
+    done = disk.execute(io)
+    return sim.run_until_triggered(done)
+
+
+class TestImmediateReport:
+    def test_write_completes_at_overhead_time(self):
+        sim = Simulator()
+        disk = make_disk(sim, immediate_report=True)
+        start = sim.now
+        run_io(sim, disk, DiskIO(IoKind.WRITE, 10_000, 16))
+        assert sim.now - start == pytest.approx(disk.controller_overhead_s)
+        # The mechanism is still writing the media.
+        assert disk.busy
+
+    def test_reads_unaffected(self):
+        sim = Simulator()
+        disk = make_disk(sim, immediate_report=True)
+        breakdown = run_io(sim, disk, DiskIO(IoKind.READ, 10_000, 16))
+        assert sim.now == pytest.approx(breakdown.total)
+
+    def test_disabled_by_default(self):
+        sim = Simulator()
+        disk = make_disk(sim)
+        start = sim.now
+        breakdown = run_io(sim, disk, DiskIO(IoKind.WRITE, 10_000, 16))
+        assert sim.now - start == pytest.approx(breakdown.total)
+        assert not disk.busy
+
+    def test_driver_waits_for_mechanism(self):
+        """Back-to-back immediate-report writes cannot overlap on media."""
+        sim = Simulator()
+        disk = make_disk(sim, immediate_report=True)
+        driver = DiskDriver(sim, disk)
+        for i in range(3):
+            driver.submit(DiskIO(IoKind.WRITE, i * 5000, 16))
+        sim.run()
+        assert driver.stats.completed == 3
+        assert disk.stats.writes == 3
+
+
+class TestReadAhead:
+    def test_sequential_reread_hits_segment(self):
+        sim = Simulator()
+        disk = make_disk(sim, readahead_segments=2)
+        run_io(sim, disk, DiskIO(IoKind.READ, 10_000, 16))
+        # The rest of the track is now buffered; the next sequential read
+        # costs only command overhead.
+        start = sim.now
+        run_io(sim, disk, DiskIO(IoKind.READ, 10_016, 16))
+        assert sim.now - start == pytest.approx(disk.controller_overhead_s)
+        assert disk.stats.readahead_hits == 1
+
+    def test_random_read_misses(self):
+        sim = Simulator()
+        disk = make_disk(sim, readahead_segments=2)
+        run_io(sim, disk, DiskIO(IoKind.READ, 10_000, 16))
+        run_io(sim, disk, DiskIO(IoKind.READ, 2_000_000, 16))
+        assert disk.stats.readahead_hits == 0
+
+    def test_write_invalidates_overlapping_segment(self):
+        sim = Simulator()
+        disk = make_disk(sim, readahead_segments=2)
+        run_io(sim, disk, DiskIO(IoKind.READ, 10_000, 16))
+        run_io(sim, disk, DiskIO(IoKind.WRITE, 10_016, 16))
+        start = sim.now
+        run_io(sim, disk, DiskIO(IoKind.READ, 10_016, 16))
+        assert sim.now - start > disk.controller_overhead_s * 2  # media access
+        assert disk.stats.readahead_hits == 0
+
+    def test_lru_eviction(self):
+        sim = Simulator()
+        disk = make_disk(sim, readahead_segments=1)
+        run_io(sim, disk, DiskIO(IoKind.READ, 10_000, 16))
+        run_io(sim, disk, DiskIO(IoKind.READ, 2_000_000, 16))  # evicts the first
+        start = sim.now
+        run_io(sim, disk, DiskIO(IoKind.READ, 10_016, 16))
+        assert sim.now - start > disk.controller_overhead_s * 2
+
+    def test_disabled_by_default(self):
+        sim = Simulator()
+        disk = make_disk(sim)
+        run_io(sim, disk, DiskIO(IoKind.READ, 10_000, 16))
+        start = sim.now
+        run_io(sim, disk, DiskIO(IoKind.READ, 10_016, 16))
+        assert sim.now - start > disk.controller_overhead_s * 2
+        assert disk.stats.readahead_hits == 0

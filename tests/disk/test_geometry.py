@@ -1,0 +1,149 @@
+"""Unit and property tests for zoned disk geometry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk import DiskGeometry, Zone, c3325_geometry
+
+
+def simple_geometry():
+    return DiskGeometry(
+        heads=2,
+        zones=[Zone(cylinders=4, sectors_per_track=8), Zone(cylinders=4, sectors_per_track=4)],
+        sector_bytes=512,
+    )
+
+
+class TestValidation:
+    def test_zone_needs_positive_cylinders(self):
+        with pytest.raises(ValueError):
+            Zone(cylinders=0, sectors_per_track=8)
+
+    def test_zone_needs_positive_spt(self):
+        with pytest.raises(ValueError):
+            Zone(cylinders=1, sectors_per_track=0)
+
+    def test_needs_heads(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(heads=0, zones=[Zone(1, 8)])
+
+    def test_needs_zones(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(heads=1, zones=[])
+
+
+class TestCapacity:
+    def test_total_sectors(self):
+        geometry = simple_geometry()
+        # zone 0: 4 cyl * 2 heads * 8 spt = 64; zone 1: 4 * 2 * 4 = 32
+        assert geometry.total_sectors == 96
+        assert geometry.capacity_bytes == 96 * 512
+        assert geometry.cylinders == 8
+
+    def test_c3325_is_about_2gb(self):
+        geometry = c3325_geometry()
+        assert 1.9e9 < geometry.capacity_bytes < 2.1e9
+
+
+class TestMapping:
+    def test_lba_zero_is_origin(self):
+        addr = simple_geometry().lba_to_physical(0)
+        assert (addr.cylinder, addr.head, addr.sector) == (0, 0, 0)
+
+    def test_track_boundary(self):
+        geometry = simple_geometry()
+        addr = geometry.lba_to_physical(8)  # first sector of second track
+        assert (addr.cylinder, addr.head, addr.sector) == (0, 1, 0)
+
+    def test_cylinder_boundary(self):
+        geometry = simple_geometry()
+        addr = geometry.lba_to_physical(16)  # 2 heads * 8 spt sectors per cylinder
+        assert (addr.cylinder, addr.head, addr.sector) == (1, 0, 0)
+
+    def test_zone_boundary(self):
+        geometry = simple_geometry()
+        addr = geometry.lba_to_physical(64)  # first sector of the inner zone
+        assert (addr.cylinder, addr.head, addr.sector) == (4, 0, 0)
+        assert addr.sectors_per_track == 4
+
+    def test_out_of_range_lba(self):
+        geometry = simple_geometry()
+        with pytest.raises(ValueError):
+            geometry.lba_to_physical(96)
+        with pytest.raises(ValueError):
+            geometry.lba_to_physical(-1)
+
+    def test_physical_validation(self):
+        geometry = simple_geometry()
+        with pytest.raises(ValueError):
+            geometry.physical_to_lba(0, 2, 0)  # no such head
+        with pytest.raises(ValueError):
+            geometry.physical_to_lba(8, 0, 0)  # no such cylinder
+        with pytest.raises(ValueError):
+            geometry.physical_to_lba(4, 0, 4)  # inner zone has 4 spt
+
+    def test_sectors_per_track_at(self):
+        geometry = simple_geometry()
+        assert geometry.sectors_per_track_at(0) == 8
+        assert geometry.sectors_per_track_at(4) == 4
+
+
+class TestRoundTrip:
+    @given(lba=st.integers(min_value=0, max_value=95))
+    @settings(max_examples=96, deadline=None)
+    def test_small_geometry_bijection(self, lba):
+        geometry = simple_geometry()
+        addr = geometry.lba_to_physical(lba)
+        assert geometry.physical_to_lba(addr.cylinder, addr.head, addr.sector) == lba
+
+    @given(lba=st.integers(min_value=0))
+    @settings(max_examples=200, deadline=None)
+    def test_c3325_bijection(self, lba):
+        geometry = c3325_geometry()
+        lba = lba % geometry.total_sectors
+        addr = geometry.lba_to_physical(lba)
+        assert geometry.physical_to_lba(addr.cylinder, addr.head, addr.sector) == lba
+
+    def test_mapping_is_monotone_in_cylinder(self):
+        """Increasing LBA never decreases the cylinder number."""
+        geometry = c3325_geometry()
+        step = geometry.total_sectors // 1000
+        previous = -1
+        for lba in range(0, geometry.total_sectors, step):
+            cylinder = geometry.cylinder_of(lba)
+            assert cylinder >= previous
+            previous = cylinder
+
+
+class TestTrackSegments:
+    def test_single_track_run(self):
+        geometry = simple_geometry()
+        segments = list(geometry.track_segments(2, 3))
+        assert len(segments) == 1
+        addr, run = segments[0]
+        assert (addr.sector, run) == (2, 3)
+
+    def test_run_crossing_tracks(self):
+        geometry = simple_geometry()
+        segments = list(geometry.track_segments(6, 6))  # sectors 6,7 then 0..3 of next track
+        assert [(a.head, a.sector, n) for a, n in segments] == [(0, 6, 2), (1, 0, 4)]
+
+    def test_run_crossing_zones(self):
+        geometry = simple_geometry()
+        segments = list(geometry.track_segments(62, 4))
+        # last 2 sectors of outer zone's final track, then 2 sectors at 4 spt
+        assert [(a.cylinder, a.sectors_per_track, n) for a, n in segments] == [
+            (3, 8, 2),
+            (4, 4, 2),
+        ]
+
+    def test_lengths_sum(self):
+        geometry = c3325_geometry()
+        total = sum(run for _addr, run in geometry.track_segments(12345, 5000))
+        assert total == 5000
+
+    def test_past_end_rejected(self):
+        geometry = simple_geometry()
+        with pytest.raises(ValueError):
+            list(geometry.track_segments(90, 10))

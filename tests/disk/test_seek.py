@@ -1,0 +1,60 @@
+"""Tests for the seek-time model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk import SeekModel, c3325_geometry, c3325_seek_model
+
+
+class TestFit:
+    def test_anchor_points(self):
+        model = SeekModel.fit(0.002, 0.009, 0.018, cylinders=4000)
+        assert model.seek_time(0) == 0.0
+        assert model.seek_time(1) == pytest.approx(0.002, rel=1e-6)
+        third = (4000 - 1) // 3
+        assert model.seek_time(third) == pytest.approx(0.009, rel=0.02)
+        assert model.seek_time(3999) == pytest.approx(0.018, rel=1e-6)
+
+    def test_requires_ordered_anchors(self):
+        with pytest.raises(ValueError):
+            SeekModel.fit(0.010, 0.009, 0.018, cylinders=4000)
+
+    def test_requires_realistic_cylinder_count(self):
+        with pytest.raises(ValueError):
+            SeekModel.fit(0.002, 0.009, 0.018, cylinders=4)
+
+    def test_negative_distance_rejected(self):
+        model = SeekModel.fit(0.002, 0.009, 0.018, cylinders=4000)
+        with pytest.raises(ValueError):
+            model.seek_time(-1)
+
+
+class TestShape:
+    @given(d=st.integers(min_value=1, max_value=4015))
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_nondecreasing(self, d):
+        model = c3325_seek_model()
+        assert model.seek_time(d) <= model.seek_time(d + 1) + 1e-12
+
+    @given(d=st.integers(min_value=0, max_value=4015))
+    @settings(max_examples=200, deadline=None)
+    def test_nonnegative_and_bounded(self, d):
+        model = c3325_seek_model()
+        t = model.seek_time(d)
+        assert 0.0 <= t <= 0.030  # nothing takes more than 30 ms
+
+    def test_short_seeks_are_concave(self):
+        """sqrt branch: marginal cost of extra distance shrinks."""
+        model = c3325_seek_model()
+        deltas = [model.seek_time(d + 1) - model.seek_time(d) for d in range(1, 50)]
+        assert all(later <= earlier + 1e-12 for earlier, later in zip(deltas, deltas[1:]))
+
+
+class TestCalibration:
+    def test_mean_seek_near_datasheet_average(self):
+        """Uniform-random seeks should average near the quoted 9.5 ms."""
+        geometry = c3325_geometry()
+        model = c3325_seek_model()
+        mean = model.mean_seek_time(geometry.cylinders)
+        assert 0.006 < mean < 0.012

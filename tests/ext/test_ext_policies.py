@@ -1,0 +1,183 @@
+"""Tests for the §5 policy refinements."""
+
+import pytest
+
+from repro.array import toy_array
+from repro.array.request import ArrayRequest
+from repro.disk import IoKind
+from repro.ext.policies import (
+    AdaptiveStartPolicy,
+    PredictiveScrubPolicy,
+    RegionMap,
+    RegionPolicy,
+    RegionRedundancy,
+)
+from repro.sim import AllOf, Simulator
+
+
+def write(offset, nsectors=4):
+    return ArrayRequest(IoKind.WRITE, offset, nsectors)
+
+
+class TestRegionMap:
+    def test_lookup(self):
+        region_map = RegionMap(
+            [
+                (0, RegionRedundancy.RAID5),
+                (10, RegionRedundancy.AFRAID),
+                (20, RegionRedundancy.RAID0),
+            ]
+        )
+        assert region_map.redundancy_of(0) is RegionRedundancy.RAID5
+        assert region_map.redundancy_of(9) is RegionRedundancy.RAID5
+        assert region_map.redundancy_of(10) is RegionRedundancy.AFRAID
+        assert region_map.redundancy_of(25) is RegionRedundancy.RAID0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegionMap([])
+        with pytest.raises(ValueError):
+            RegionMap([(5, RegionRedundancy.RAID5)])  # stripe 0 uncovered
+        with pytest.raises(ValueError):
+            RegionMap([(0, RegionRedundancy.RAID5), (0, RegionRedundancy.RAID0)])
+
+    def test_uniform(self):
+        region_map = RegionMap.uniform(RegionRedundancy.AFRAID)
+        assert region_map.redundancy_of(12345) is RegionRedundancy.AFRAID
+
+
+class TestRegionPolicy:
+    def make_array(self, sim):
+        region_map = RegionMap(
+            [
+                (0, RegionRedundancy.RAID5),
+                (4, RegionRedundancy.AFRAID),
+                (8, RegionRedundancy.RAID0),
+            ]
+        )
+        return toy_array(sim, policy=RegionPolicy(region_map), with_functional=False,
+                         idle_threshold_s=0.05)
+
+    def test_raid5_region_writes_maintain_parity(self):
+        sim = Simulator()
+        array = self.make_array(sim)
+        done = array.submit(write(0))  # stripe 0: RAID5 region
+        sim.run_until_triggered(done)
+        assert array.dirty_stripe_count == 0
+        assert array.stats.preread_ios > 0
+
+    def test_afraid_region_writes_defer(self):
+        sim = Simulator()
+        array = self.make_array(sim)
+        offset = 5 * array.layout.stripe_data_sectors  # stripe 5: AFRAID region
+        done = array.submit(write(offset))
+        sim.run_until_triggered(done)
+        assert array.dirty_stripe_count == 1
+        sim.run(until=sim.now + 1.0)
+        assert array.dirty_stripe_count == 0  # scrubbed in idle time
+
+    def test_raid0_region_never_scrubbed(self):
+        sim = Simulator()
+        array = self.make_array(sim)
+        offset = 9 * array.layout.stripe_data_sectors  # stripe 9: RAID0 region
+        done = array.submit(write(offset))
+        sim.run_until_triggered(done)
+        sim.run(until=sim.now + 5.0)
+        assert array.dirty_stripe_count == 1  # deliberately unredundant
+        assert array.stats.stripes_scrubbed == 0
+
+    def test_mixed_write_takes_strictest_mode(self):
+        sim = Simulator()
+        array = self.make_array(sim)
+        # Spans the last RAID5 stripe (3) and the first AFRAID stripe (4).
+        offset = 4 * array.layout.stripe_data_sectors - 4
+        done = array.submit(write(offset, 8))
+        sim.run_until_triggered(done)
+        assert array.dirty_stripe_count == 0  # RAID5 semantics applied
+
+
+class TestAdaptiveStart:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveStartPolicy(idle_fraction_needed=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveStartPolicy(observation_s=-1)
+
+    def test_starts_conservative_then_switches(self):
+        sim = Simulator()
+        policy = AdaptiveStartPolicy(idle_fraction_needed=0.5, observation_s=1.0)
+        array = toy_array(sim, policy=policy, with_functional=False, idle_threshold_s=0.05)
+
+        # Early write: still observing -> RAID 5 semantics.
+        done = array.submit(write(0))
+        sim.run_until_triggered(done)
+        assert array.stats.preread_ios > 0
+        assert array.dirty_stripe_count == 0
+
+        # A mostly idle workload follows; after the observation window the
+        # policy trusts the idle time and defers parity.
+        sim.run(until=5.0)
+        before = array.stats.preread_ios
+        done = array.submit(write(64))
+        sim.run_until_triggered(done)
+        assert array.stats.preread_ios == before  # AFRAID write now
+        assert array.dirty_stripe_count == 1
+
+    def test_busy_workload_stays_raid5(self):
+        sim = Simulator()
+        policy = AdaptiveStartPolicy(idle_fraction_needed=0.9, observation_s=0.5)
+        array = toy_array(sim, policy=policy, with_functional=False, idle_threshold_s=0.05)
+
+        def hammer():
+            for i in range(60):
+                yield array.submit(write((i * 16) % 512))
+
+        proc = sim.process(hammer())
+        sim.run_until_triggered(proc)
+        # The array was busy nearly continuously: no switch to AFRAID.
+        assert array.dirty_stripe_count == 0
+
+
+class TestPredictiveScrub:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredictiveScrubPolicy(stripe_scrub_estimate_s=0)
+
+    def test_requires_detector(self):
+        policy = PredictiveScrubPolicy()
+        with pytest.raises(TypeError):
+            policy.attach(object())
+
+    def test_holds_off_when_idle_periods_predicted_short(self):
+        sim = Simulator()
+        policy = PredictiveScrubPolicy(stripe_scrub_estimate_s=0.5, alpha=1.0)
+        array = toy_array(sim, policy=policy, with_functional=False, idle_threshold_s=0.01)
+
+        def choppy_client():
+            # Train the predictor on ~50 ms idle periods (< 0.5 s estimate).
+            for i in range(10):
+                done = array.submit(write((i * 16) % 512))
+                yield done
+                yield sim.timeout(0.05)
+
+        proc = sim.process(choppy_client())
+        sim.run_until_triggered(proc)
+        sim.run(until=sim.now + 0.2)
+        # Idle periods are predicted too short for a rebuild: debt remains.
+        assert array.dirty_stripe_count > 0
+
+    def test_scrubs_when_idle_periods_predicted_long(self):
+        sim = Simulator()
+        policy = PredictiveScrubPolicy(stripe_scrub_estimate_s=0.02, alpha=1.0)
+        array = toy_array(sim, policy=policy, with_functional=False, idle_threshold_s=0.01)
+
+        def relaxed_client():
+            for i in range(4):
+                done = array.submit(write((i * 16) % 512))
+                yield done
+                yield sim.timeout(1.0)  # long idle periods
+
+        proc = sim.process(relaxed_client())
+        sim.run_until_triggered(proc)
+        sim.run(until=sim.now + 2.0)
+        assert array.dirty_stripe_count == 0

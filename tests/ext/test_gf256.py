@@ -1,0 +1,134 @@
+"""Tests for GF(2^8) arithmetic and Reed-Solomon recovery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ext.gf256 import GF256
+
+byte = st.integers(min_value=0, max_value=255)
+nonzero_byte = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldAxioms:
+    @given(a=byte, b=byte)
+    @settings(max_examples=200, deadline=None)
+    def test_mul_commutative(self, a, b):
+        assert GF256.mul(a, b) == GF256.mul(b, a)
+
+    @given(a=byte, b=byte, c=byte)
+    @settings(max_examples=200, deadline=None)
+    def test_mul_associative(self, a, b, c):
+        assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+
+    @given(a=byte, b=byte, c=byte)
+    @settings(max_examples=200, deadline=None)
+    def test_distributive(self, a, b, c):
+        left = GF256.mul(a, GF256.add(b, c))
+        right = GF256.add(GF256.mul(a, b), GF256.mul(a, c))
+        assert left == right
+
+    @given(a=byte)
+    @settings(max_examples=100, deadline=None)
+    def test_identities(self, a):
+        assert GF256.mul(a, 1) == a
+        assert GF256.mul(a, 0) == 0
+        assert GF256.add(a, a) == 0  # characteristic 2
+
+    @given(a=nonzero_byte)
+    @settings(max_examples=255, deadline=None)
+    def test_inverse(self, a):
+        assert GF256.mul(a, GF256.inv(a)) == 1
+
+    @given(a=byte, b=nonzero_byte)
+    @settings(max_examples=200, deadline=None)
+    def test_division_roundtrip(self, a, b):
+        assert GF256.mul(GF256.div(a, b), b) == a
+
+    def test_zero_division(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.inv(0)
+        with pytest.raises(ZeroDivisionError):
+            GF256.div(1, 0)
+
+    def test_generator_has_full_order(self):
+        """g generates the whole multiplicative group (order 255)."""
+        seen = set()
+        value = 1
+        for _ in range(255):
+            seen.add(value)
+            value = GF256.mul(value, GF256.generator)
+        assert len(seen) == 255
+        assert value == 1  # g^255 = 1
+
+
+class TestVectorOps:
+    @given(coefficient=byte, data=st.binary(min_size=1, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_mul_bytes_matches_scalar(self, coefficient, data):
+        array = np.frombuffer(data, dtype=np.uint8)
+        result = GF256.mul_bytes(coefficient, array)
+        expected = [GF256.mul(coefficient, int(value)) for value in array]
+        assert list(result) == expected
+
+    def test_mul_bytes_type_check(self):
+        with pytest.raises(TypeError):
+            GF256.mul_bytes(3, np.zeros(4, dtype=np.uint16))
+
+
+def random_units(seed, n_units=4, size=32):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 256, size=size, dtype=np.uint8) for _ in range(n_units)]
+
+
+class TestSyndromesAndRecovery:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_p_is_xor(self, seed):
+        units = random_units(seed)
+        p, _q = GF256.syndromes(units)
+        expected = units[0] ^ units[1] ^ units[2] ^ units[3]
+        assert np.array_equal(p, expected)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000), missing=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=50, deadline=None)
+    def test_recover_one_from_q(self, seed, missing):
+        units = random_units(seed)
+        _p, q = GF256.syndromes(units)
+        survivors = [(i, u) for i, u in enumerate(units) if i != missing]
+        recovered = GF256.recover_one_from_q(q, survivors, missing)
+        assert np.array_equal(recovered, units[missing])
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        pair=st.tuples(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_recover_two(self, seed, pair):
+        a, b = pair
+        if a == b:
+            return
+        units = random_units(seed)
+        p, q = GF256.syndromes(units)
+        survivors = [(i, u) for i, u in enumerate(units) if i not in (a, b)]
+        d_a, d_b = GF256.recover_two(p, q, survivors, a, b)
+        assert np.array_equal(d_a, units[a])
+        assert np.array_equal(d_b, units[b])
+
+    def test_recover_two_same_index_rejected(self):
+        units = random_units(1)
+        p, q = GF256.syndromes(units)
+        with pytest.raises(ValueError):
+            GF256.recover_two(p, q, [], 1, 1)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_many_units(self, seed):
+        """Recovery works for wide stripes too (16 data units)."""
+        units = random_units(seed, n_units=16)
+        p, q = GF256.syndromes(units)
+        survivors = [(i, u) for i, u in enumerate(units) if i not in (3, 11)]
+        d3, d11 = GF256.recover_two(p, q, survivors, 3, 11)
+        assert np.array_equal(d3, units[3])
+        assert np.array_equal(d11, units[11])

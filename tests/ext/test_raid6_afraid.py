@@ -1,0 +1,127 @@
+"""Tests for the AFRAID-on-RAID 6 timing model."""
+
+import pytest
+
+from repro.array.request import ArrayRequest
+from repro.disk import IoKind, toy_disk
+from repro.ext.raid6_afraid import DeferralMode, Raid6AfraidArray
+from repro.sim import Simulator
+
+
+def make_array(sim, mode, idle_threshold_s=0.05, ndisks=6):
+    disks = [toy_disk(sim, name=f"d{i}") for i in range(ndisks)]
+    return Raid6AfraidArray(sim, disks, stripe_unit_sectors=8, mode=mode, idle_threshold_s=idle_threshold_s)
+
+
+def small_write(sim, array, offset=0):
+    request = ArrayRequest(IoKind.WRITE, offset, 4)
+    done = array.submit(request)
+    sim.run_until_triggered(done)
+    return request
+
+
+class TestWriteCosts:
+    def test_full_raid6_small_write_is_six_ios(self):
+        sim = Simulator()
+        array = make_array(sim, DeferralMode.NONE)
+        small_write(sim, array)
+        # read old data + old P + old Q, write data + P + Q
+        assert array.disk_ios == 6
+
+    def test_defer_q_is_four_ios(self):
+        sim = Simulator()
+        array = make_array(sim, DeferralMode.DEFER_Q, idle_threshold_s=1e9)
+        small_write(sim, array)
+        assert array.disk_ios == 4
+
+    def test_defer_both_is_one_io(self):
+        sim = Simulator()
+        array = make_array(sim, DeferralMode.DEFER_BOTH, idle_threshold_s=1e9)
+        small_write(sim, array)
+        assert array.disk_ios == 1
+
+    def test_latency_ordering_quiet(self):
+        """On a quiet array the P/Q I/Os run in parallel on other disks,
+        so NONE ~= DEFER_Q in latency; deferring both skips the pre-read
+        phase entirely and is strictly faster."""
+        times = {}
+        for mode in DeferralMode:
+            sim = Simulator()
+            array = make_array(sim, mode, idle_threshold_s=1e9)
+            times[mode] = small_write(sim, array).io_time
+        assert times[DeferralMode.DEFER_BOTH] < times[DeferralMode.DEFER_Q]
+        assert times[DeferralMode.DEFER_Q] <= times[DeferralMode.NONE] + 1e-9
+
+    def test_latency_ordering_under_load(self):
+        """Under a burst the extra syndrome I/Os cost real queueing time."""
+        means = {}
+        for mode in DeferralMode:
+            sim = Simulator()
+            array = make_array(sim, mode, idle_threshold_s=1e9)
+            from repro.sim import AllOf
+
+            events = [
+                array.submit(ArrayRequest(IoKind.WRITE, i * 32, 4)) for i in range(24)
+            ]
+            sim.run_until_triggered(AllOf(sim, events))
+            means[mode] = array.mean_io_time
+        assert means[DeferralMode.DEFER_BOTH] < means[DeferralMode.DEFER_Q]
+        assert means[DeferralMode.DEFER_Q] < means[DeferralMode.NONE]
+
+
+class TestRedundancyStates:
+    def test_none_mode_never_stale(self):
+        sim = Simulator()
+        array = make_array(sim, DeferralMode.NONE)
+        small_write(sim, array)
+        assert array.stale_p.count == 0
+        assert array.stale_q.count == 0
+
+    def test_defer_q_partial_redundancy(self):
+        sim = Simulator()
+        array = make_array(sim, DeferralMode.DEFER_Q, idle_threshold_s=1e9)
+        small_write(sim, array)
+        assert array.stale_p.count == 0
+        assert array.stale_q.count == 1
+
+    def test_defer_both_full_exposure(self):
+        sim = Simulator()
+        array = make_array(sim, DeferralMode.DEFER_BOTH, idle_threshold_s=1e9)
+        small_write(sim, array)
+        assert array.stale_p.count == 1
+        assert array.stale_q.count == 1
+
+    def test_scrubber_restores_both(self):
+        sim = Simulator()
+        array = make_array(sim, DeferralMode.DEFER_BOTH, idle_threshold_s=0.05)
+        small_write(sim, array)
+        sim.run(until=sim.now + 1.0)
+        assert array.stale_p.count == 0
+        assert array.stale_q.count == 0
+        assert array.stripes_scrubbed == 1
+
+    def test_exposure_trackers_distinguish_levels(self):
+        sim = Simulator()
+        array = make_array(sim, DeferralMode.DEFER_Q, idle_threshold_s=0.05)
+        small_write(sim, array)
+        sim.run(until=sim.now + 1.0)
+        array.finalize()
+        # Q-stale time counts as degraded-but-not-exposed:
+        assert array.degraded_tracker.unprotected_fraction > 0
+        assert array.exposure_tracker.unprotected_fraction == 0.0
+
+
+class TestReads:
+    def test_read_costs_data_ios_only(self):
+        sim = Simulator()
+        array = make_array(sim, DeferralMode.NONE)
+        request = ArrayRequest(IoKind.READ, 0, 4)
+        done = array.submit(request)
+        sim.run_until_triggered(done)
+        assert array.disk_ios == 1
+
+    def test_out_of_range_rejected(self):
+        sim = Simulator()
+        array = make_array(sim, DeferralMode.NONE)
+        with pytest.raises(ValueError):
+            array.submit(ArrayRequest(IoKind.READ, array.layout.total_data_sectors, 1))

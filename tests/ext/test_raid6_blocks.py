@@ -1,0 +1,145 @@
+"""Tests for the byte-accurate dual-parity (RAID 6) functional array."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ext.raid6_blocks import Raid6DataLostError, Raid6FunctionalArray
+from repro.layout import Raid6Layout
+
+SECTOR = 32
+
+
+def make_array(ndisks=6, unit=4, disk_sectors=40):
+    layout = Raid6Layout(ndisks=ndisks, stripe_unit_sectors=unit, disk_sectors=disk_sectors)
+    return Raid6FunctionalArray(layout, sector_bytes=SECTOR)
+
+
+def payload(nsectors, seed=1):
+    return bytes((seed * 53 + i) % 256 for i in range(nsectors * SECTOR))
+
+
+class TestBasics:
+    def test_write_read_roundtrip(self):
+        array = make_array()
+        data = payload(6)
+        array.write(3, data)
+        assert array.read(3, 6) == data
+
+    def test_fresh_write_keeps_both_syndromes(self):
+        array = make_array()
+        array.write(0, payload(4))
+        p_ok, q_ok = array.syndromes_consistent(0)
+        assert p_ok and q_ok
+        assert array.redundancy_level(0) == 2
+
+    def test_defer_q_leaves_p_fresh(self):
+        array = make_array()
+        array.write(0, payload(4), update_q=False)
+        p_ok, q_ok = array.syndromes_consistent(0)
+        assert p_ok and not q_ok
+        assert array.redundancy_level(0) == 1
+        assert 0 in array.stale_q_stripes
+
+    def test_defer_both_is_afraid_exposure(self):
+        array = make_array()
+        array.write(0, payload(4), update_p=False, update_q=False)
+        assert array.redundancy_level(0) == 0
+        assert 0 in array.stale_p_stripes
+        assert 0 in array.stale_q_stripes
+
+    def test_scrub_restores_full_redundancy(self):
+        array = make_array()
+        array.write(0, payload(4), update_p=False, update_q=False)
+        array.scrub_stripe(0)
+        assert array.redundancy_level(0) == 2
+        assert array.syndromes_consistent(0) == (True, True)
+
+
+class TestSingleFailure:
+    def test_data_disk_failure_recovers_via_p(self):
+        array = make_array()
+        data = payload(8, seed=2)
+        array.write(0, data)
+        array.fail_disk(array.layout.data_disk(0, 1))
+        assert array.read(0, 8) == data
+
+    def test_data_disk_failure_recovers_via_q_when_p_disk_also_lost(self):
+        array = make_array()
+        data = payload(8, seed=3)
+        array.write(0, data)
+        array.fail_disk(array.layout.parity_disk(0))
+        array.fail_disk(array.layout.data_disk(0, 0))
+        assert array.read(0, 8) == data
+
+    def test_partial_redundancy_survives_one_failure(self):
+        """Defer-Q mode: immediately single-failure tolerant (the §5 point)."""
+        array = make_array()
+        data = payload(4, seed=4)
+        array.write(0, data, update_q=False)
+        array.fail_disk(array.layout.data_disk(0, 0))
+        assert array.read(0, 4) == data
+
+
+class TestDoubleFailure:
+    def test_two_data_disks_recover_via_p_and_q(self):
+        array = make_array()
+        data = payload(16, seed=5)  # full stripe 0 (4 data units x 4 sectors)
+        array.write(0, data)
+        array.fail_disk(array.layout.data_disk(0, 1))
+        array.fail_disk(array.layout.data_disk(0, 3))
+        assert array.read(0, 16) == data
+
+    def test_double_failure_with_stale_q_loses_data(self):
+        array = make_array()
+        array.write(0, payload(16, seed=6), update_q=False)
+        array.fail_disk(array.layout.data_disk(0, 1))
+        array.fail_disk(array.layout.data_disk(0, 3))
+        with pytest.raises(Raid6DataLostError):
+            array.read(0, 16)
+
+    def test_double_failure_after_scrub_recovers(self):
+        array = make_array()
+        data = payload(16, seed=7)
+        array.write(0, data, update_q=False)
+        array.scrub_stripe(0)
+        array.fail_disk(array.layout.data_disk(0, 1))
+        array.fail_disk(array.layout.data_disk(0, 3))
+        assert array.read(0, 16) == data
+
+    def test_triple_failure_is_fatal(self):
+        array = make_array()
+        array.write(0, payload(16, seed=8))
+        for index in (0, 1, 2):
+            array.fail_disk(array.layout.data_disk(0, index))
+        with pytest.raises(Raid6DataLostError):
+            array.read(0, 4)
+
+
+class TestHypothesis:
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100),
+                st.integers(min_value=1, max_value=8),
+                st.integers(min_value=0, max_value=255),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        victims=st.sets(st.integers(min_value=0, max_value=5), min_size=2, max_size=2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_two_failures_recoverable_when_fresh(self, writes, victims):
+        array = make_array()
+        expected = {}
+        for logical, nsectors, seed in writes:
+            logical = min(logical, array.layout.total_data_sectors - nsectors)
+            data = payload(nsectors, seed=seed)
+            array.write(logical, data)
+            for i in range(nsectors):
+                expected[logical + i] = data[i * SECTOR : (i + 1) * SECTOR]
+        for victim in victims:
+            array.fail_disk(victim)
+        for sector, data in expected.items():
+            assert array.read(sector, 1) == data

@@ -1,0 +1,94 @@
+"""Tests for fault injection against the functional twin."""
+
+import pytest
+
+from repro.array import toy_array
+from repro.array.request import ArrayRequest
+from repro.disk import IoKind
+from repro.faults import FaultInjector, predicted_loss_bytes
+from repro.policy import AlwaysRaid5Policy, NeverScrubPolicy
+from repro.sim import Simulator
+
+
+def write(offset, nsectors):
+    return ArrayRequest(IoKind.WRITE, offset, nsectors)
+
+
+class TestDiskFailure:
+    def test_failure_with_clean_array_loses_nothing(self):
+        sim = Simulator()
+        array = toy_array(sim, policy=AlwaysRaid5Policy())
+        injector = FaultInjector(sim, array)
+        done = array.submit(write(0, 8))
+        sim.run_until_triggered(done)
+        injector.fail_disk_at(disk=1, at_time=sim.now + 1.0)
+        sim.run(until=sim.now + 2.0)
+        report = injector.reports[0]
+        assert report.dirty_stripes_at_failure == 0
+        assert report.lost_data_bytes == 0
+        assert not report.any_loss
+
+    def test_failure_with_dirty_stripes_loses_units(self):
+        sim = Simulator()
+        array = toy_array(sim, policy=NeverScrubPolicy())  # exposure never drains
+        injector = FaultInjector(sim, array)
+        stride = array.layout.stripe_data_sectors
+        for stripe in range(4):
+            done = array.submit(write(stripe * stride, 4))
+            sim.run_until_triggered(done)
+        predicted = predicted_loss_bytes(array, failed_disk=0)
+        injector.fail_disk_at(disk=0, at_time=sim.now + 0.5)
+        sim.run(until=sim.now + 1.0)
+        report = injector.reports[0]
+        assert report.dirty_stripes_at_failure == 4
+        assert report.lost_data_bytes == predicted
+        assert report.any_loss
+        # At most one unit per dirty stripe, and not every stripe has its
+        # parity on disk 0, so loss is in (0, 4] units.
+        assert 0 < report.lost_data_bytes <= 4 * array.unit_bytes
+
+    def test_parity_disk_failure_loses_nothing(self):
+        sim = Simulator()
+        array = toy_array(sim, policy=NeverScrubPolicy())
+        done = array.submit(write(0, 4))  # dirties stripe 0
+        sim.run_until_triggered(done)
+        parity_disk = array.layout.parity_disk(0)
+        injector = FaultInjector(sim, array)
+        injector.fail_disk_at(disk=parity_disk, at_time=sim.now + 0.5)
+        sim.run(until=sim.now + 1.0)
+        assert injector.reports[0].lost_data_bytes == 0
+
+    def test_scrub_before_failure_prevents_loss(self):
+        sim = Simulator()
+        array = toy_array(sim, idle_threshold_s=0.05)  # baseline AFRAID
+        done = array.submit(write(0, 4))
+        sim.run_until_triggered(done)
+        injector = FaultInjector(sim, array)
+        injector.fail_disk_at(disk=0, at_time=sim.now + 5.0)  # plenty of idle time
+        sim.run(until=sim.now + 6.0)
+        report = injector.reports[0]
+        assert report.dirty_stripes_at_failure == 0
+        assert report.lost_data_bytes == 0
+
+    def test_validation(self):
+        sim = Simulator()
+        array = toy_array(sim)
+        injector = FaultInjector(sim, array)
+        with pytest.raises(ValueError):
+            injector.fail_disk_at(disk=99, at_time=1.0)
+        sim.run(until=10.0)
+        with pytest.raises(ValueError):
+            injector.fail_disk_at(disk=0, at_time=5.0)
+
+
+class TestMarkMemoryFailure:
+    def test_failure_triggers_whole_array_rebuild(self):
+        sim = Simulator()
+        array = toy_array(sim, ndisks=3, stripe_unit_sectors=4, with_functional=False)
+        injector = FaultInjector(sim, array)
+        injector.fail_mark_memory_at(at_time=1.0)
+        sim.run(until=1.0 + 1e-6)
+        assert array.dirty_stripe_count == array.layout.nstripes
+        sim.run(until=120.0)
+        assert array.dirty_stripe_count == 0
+        assert array.stats.stripes_scrubbed == array.layout.nstripes

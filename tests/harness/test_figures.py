@@ -1,0 +1,69 @@
+"""Tests for the ASCII figure renderers."""
+
+import pytest
+
+from repro.harness.figures import ascii_bars, ascii_scatter, ascii_series
+
+
+class TestScatter:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([])
+
+    def test_renders_points_and_legend(self):
+        text = ascii_scatter(
+            [(1.0, 1.0, "raid5"), (4.0, 0.4, "afraid")],
+            title="tradeoff",
+            x_label="perf",
+            y_label="avail",
+        )
+        assert "tradeoff" in text
+        assert "r=raid5" in text
+        assert "a=afraid" in text
+        assert text.count("r") >= 1
+        assert "perf" in text
+
+    def test_axes_scale_to_data(self):
+        text = ascii_scatter([(10.0, 100.0, "p")])
+        assert "10.50" in text  # x max with 5% headroom
+        assert "105.00" in text  # y max
+
+
+class TestBars:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars([("a", 0.0)])
+
+    def test_bars_proportional(self):
+        text = ascii_bars([("big", 100.0), ("small", 25.0)], width=40, unit="ms")
+        lines = text.splitlines()
+        big_line = next(line for line in lines if line.startswith("big"))
+        small_line = next(line for line in lines if line.startswith("small"))
+        assert big_line.count("#") == 40
+        assert 8 <= small_line.count("#") <= 12
+        assert "100ms" in big_line
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series(["a", "b"], {"s": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series(["a"], {})
+
+    def test_renders_markers_per_series(self):
+        text = ascii_series(
+            ["raid5", "afraid", "raid0"],
+            {"ATT": [160.0, 20.0, 19.0], "hplajw": [58.0, 18.0, 19.0]},
+            title="figure 4",
+        )
+        assert "figure 4" in text
+        assert "A=ATT" in text
+        assert "h=hplajw" in text
+        assert "raid5 ... raid0" in text

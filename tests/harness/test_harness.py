@@ -1,0 +1,189 @@
+"""Tests for trace replay, experiments, sweeps, and table rendering."""
+
+import pytest
+
+from repro.array import toy_array
+from repro.disk import IoKind, toy_disk
+from repro.harness import (
+    ExperimentResult,
+    format_quantity,
+    format_table,
+    gather,
+    policy_ladder,
+    replay_trace,
+    run_experiment,
+    run_policy_grid,
+    tradeoff_curve,
+)
+from repro.policy import AlwaysRaid5Policy, BaselineAfraidPolicy, NeverScrubPolicy
+from repro.sim import Simulator
+from repro.traces import Trace, TraceRecord
+
+
+def tiny_trace(n=20, gap=0.05, write_every=2, duration=None):
+    records = []
+    for i in range(n):
+        records.append(
+            TraceRecord(
+                time_s=i * gap,
+                kind=IoKind.WRITE if i % write_every == 0 else IoKind.READ,
+                offset_sectors=(i * 16) % 1000,
+                nsectors=8,
+            )
+        )
+    return Trace("tiny", records, duration_s=duration if duration is not None else n * gap + 1.0)
+
+
+class TestGather:
+    def test_empty(self):
+        sim = Simulator()
+        done = gather(sim, [])
+        assert done.triggered
+        assert done.value == []
+
+    def test_collects_successes_and_failures_in_order(self):
+        sim = Simulator()
+        ok = sim.timeout(1.0, value="fine")
+        bad = sim.event()
+        bad.fail(ValueError("broken"))
+        done = gather(sim, [ok, bad])
+        results = sim.run_until_triggered(done)
+        assert results[0] == (True, "fine")
+        assert results[1][0] is False
+        assert isinstance(results[1][1], ValueError)
+
+
+class TestReplay:
+    def test_replays_all_requests(self):
+        sim = Simulator()
+        array = toy_array(sim, with_functional=False)
+        outcome = replay_trace(sim, array, tiny_trace())
+        assert len(outcome.requests) == 20
+        assert len(outcome.completed) == 20
+        assert not outcome.failures
+        assert array.stats.completed == 20
+
+    def test_open_loop_timing(self):
+        """Arrivals follow trace timestamps, not completions."""
+        sim = Simulator()
+        array = toy_array(sim, with_functional=False)
+        trace = tiny_trace(n=10, gap=0.5)
+        outcome = replay_trace(sim, array, trace)
+        submit_times = [request.submit_time for request in outcome.requests]
+        assert submit_times == pytest.approx([i * 0.5 for i in range(10)])
+
+    def test_horizon_covers_trace_duration(self):
+        sim = Simulator()
+        array = toy_array(sim, with_functional=False)
+        trace = tiny_trace(n=4, gap=0.01, duration=30.0)
+        outcome = replay_trace(sim, array, trace)
+        assert outcome.horizon_s == pytest.approx(30.0)
+        assert sim.now == pytest.approx(30.0)
+
+    def test_finalizes_lag_tracker(self):
+        sim = Simulator()
+        array = toy_array(sim, with_functional=False)
+        replay_trace(sim, array, tiny_trace())
+        # Tracker closed: further updates rejected by the tracker itself.
+        assert array.lag_tracker.total_time > 0
+
+
+class TestRunExperiment:
+    def test_returns_complete_result(self):
+        result = run_experiment(
+            "hplajw",
+            BaselineAfraidPolicy(),
+            duration_s=8.0,
+            seed=3,
+            ndisks=5,
+            stripe_unit_sectors=8,
+            disk_factory=toy_disk,
+        )
+        assert isinstance(result, ExperimentResult)
+        assert result.workload == "hplajw"
+        assert result.policy == "afraid"
+        assert result.nrequests == result.reads + result.writes
+        assert result.io_time.mean > 0
+        assert 0.0 <= result.unprotected_fraction <= 1.0
+        assert result.mttdl_disk_h > 0
+        assert result.mttdl_overall_h <= 2.0e6  # capped by support
+
+    def test_accepts_prebuilt_trace(self):
+        result = run_experiment(
+            tiny_trace(),
+            BaselineAfraidPolicy(),
+            ndisks=5,
+            stripe_unit_sectors=8,
+            disk_factory=toy_disk,
+        )
+        assert result.workload == "tiny"
+        assert result.nrequests == 20
+
+    def test_raid5_measures_zero_exposure(self):
+        result = run_experiment(
+            tiny_trace(),
+            AlwaysRaid5Policy(),
+            disk_factory=toy_disk,
+            stripe_unit_sectors=8,
+        )
+        assert result.unprotected_fraction == 0.0
+        assert result.mdlr_unprotected_bytes_per_h == 0.0
+        assert result.mttdl_disk_h == pytest.approx(4.17e9, rel=0.05)
+
+    def test_afraid_faster_than_raid5_on_write_trace(self):
+        trace = tiny_trace(n=30, gap=0.02, write_every=1)
+        afraid = run_experiment(trace, BaselineAfraidPolicy(), disk_factory=toy_disk, stripe_unit_sectors=8)
+        trace2 = tiny_trace(n=30, gap=0.02, write_every=1)
+        raid5 = run_experiment(trace2, AlwaysRaid5Policy(), disk_factory=toy_disk, stripe_unit_sectors=8)
+        assert afraid.speedup_over(raid5) > 1.3
+        assert raid5.availability_ratio_to(afraid) >= 1.0
+
+
+class TestSweeps:
+    def test_ladder_structure(self):
+        ladder = policy_ladder(targets=(1e9, 1e7))
+        labels = [entry.label for entry in ladder]
+        assert labels[0] == "raid5"
+        assert labels[-1] == "raid0"
+        assert labels[-2] == "afraid"
+        assert "MTTDL_1e+09" in labels
+        # Tighter targets come first.
+        assert labels.index("MTTDL_1e+09") < labels.index("MTTDL_1e+07")
+
+    def test_grid_and_tradeoff(self):
+        ladder = policy_ladder(targets=(1e8,))
+        grid = run_policy_grid(
+            ["hplajw"],
+            ladder,
+            duration_s=6.0,
+            seed=2,
+            disk_factory=toy_disk,
+            stripe_unit_sectors=8,
+        )
+        assert len(grid) == len(ladder)
+        points = tradeoff_curve(grid, ["hplajw"], [entry.label for entry in ladder])
+        by_label = {point.label: point for point in points}
+        assert by_label["raid5"].relative_performance == pytest.approx(1.0)
+        assert by_label["raid5"].relative_availability == pytest.approx(1.0)
+        assert by_label["afraid"].relative_performance >= 1.0
+        assert by_label["afraid"].relative_availability <= 1.0
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert lines[2].startswith("-")
+        assert lines[3].startswith("a")
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_format_quantity(self):
+        assert format_quantity(float("inf")) == "inf"
+        assert format_quantity(0) == "0"
+        assert format_quantity(4.17e9, " h") == "4.2e+09 h"
+        assert format_quantity(42.5) == "42.5"

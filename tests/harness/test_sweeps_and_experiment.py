@@ -1,0 +1,94 @@
+"""Tests for sweep construction and availability derivation internals."""
+
+import pytest
+
+from repro.availability import CONSERVATIVE_SUPPORT, TABLE_1, raid5_mttdl_catastrophic
+from repro.harness.experiment import derive_availability
+from repro.harness.sweeps import DEFAULT_MTTDL_TARGETS, TradeoffPoint, policy_ladder, tradeoff_curve
+from repro.policy import MttdlTargetPolicy
+
+
+class TestDeriveAvailability:
+    def test_zero_exposure_reduces_to_raid5(self):
+        mttdl, mdlr_unprot, mdlr_disk, mttdl_overall, mdlr_overall = derive_availability(
+            ndisks=5, unprotected_fraction=0.0, mean_parity_lag_bytes=0.0, params=TABLE_1
+        )
+        assert mttdl == pytest.approx(
+            raid5_mttdl_catastrophic(5, TABLE_1.mttf_disk_h, TABLE_1.mttr_h)
+        )
+        assert mdlr_unprot == 0.0
+        assert mdlr_disk == pytest.approx(0.768, rel=0.05)  # eq.(3) only
+        assert mttdl_overall == pytest.approx(CONSERVATIVE_SUPPORT.mttdl_h, rel=0.01)
+
+    def test_full_exposure_is_raid0(self):
+        mttdl, *_rest = derive_availability(
+            ndisks=5, unprotected_fraction=1.0, mean_parity_lag_bytes=1e6, params=TABLE_1
+        )
+        assert mttdl == pytest.approx(TABLE_1.mttf_disk_h / 5, rel=1e-6)
+
+    def test_overall_never_exceeds_support(self):
+        for fraction in (0.0, 0.01, 0.3, 1.0):
+            *_rest, mttdl_overall, _mdlr = derive_availability(
+                ndisks=5, unprotected_fraction=fraction, mean_parity_lag_bytes=0.0, params=TABLE_1
+            )
+            assert mttdl_overall <= CONSERVATIVE_SUPPORT.mttdl_h
+
+    def test_mdlr_overall_includes_support(self):
+        *_rest, mdlr_overall = derive_availability(
+            ndisks=5, unprotected_fraction=0.1, mean_parity_lag_bytes=0.0, params=TABLE_1
+        )
+        assert mdlr_overall >= CONSERVATIVE_SUPPORT.mdlr(5, TABLE_1.disk_bytes)
+
+
+class TestPolicyLadder:
+    def test_default_targets_descend(self):
+        assert list(DEFAULT_MTTDL_TARGETS) == sorted(DEFAULT_MTTDL_TARGETS, reverse=True)
+
+    def test_factories_produce_fresh_policies(self):
+        ladder = policy_ladder(targets=(1e7,))
+        entry = next(e for e in ladder if e.label.startswith("MTTDL"))
+        first, second = entry.factory(), entry.factory()
+        assert first is not second
+        assert isinstance(first, MttdlTargetPolicy)
+        assert first.target_h == 1e7
+
+    def test_endpoints_optional(self):
+        ladder = policy_ladder(targets=(1e7,), include_raid5=False, include_raid0=False)
+        labels = [entry.label for entry in ladder]
+        assert "raid5" not in labels
+        assert "raid0" not in labels
+        assert labels[-1] == "afraid"
+
+
+class StubResult:
+    def __init__(self, mean_io, mttdl_overall, mttdl_disk=1e6):
+        class IoTime:
+            def __init__(self, mean):
+                self.mean = mean
+
+        self.io_time = IoTime(mean_io)
+        self.mttdl_overall_h = mttdl_overall
+        self.mttdl_disk_h = mttdl_disk
+
+
+class TestTradeoffCurve:
+    def test_normalises_to_baseline(self):
+        grid = {
+            ("w", "raid5"): StubResult(0.100, 2.0e6),
+            ("w", "afraid"): StubResult(0.025, 1.0e6),
+        }
+        points = tradeoff_curve(grid, ["w"], ["raid5", "afraid"])
+        by_label = {point.label: point for point in points}
+        assert by_label["raid5"] == TradeoffPoint("raid5", 1.0, 1.0)
+        assert by_label["afraid"].relative_performance == pytest.approx(4.0)
+        assert by_label["afraid"].relative_availability == pytest.approx(0.5)
+
+    def test_geometric_mean_across_workloads(self):
+        grid = {
+            ("a", "raid5"): StubResult(0.1, 2.0e6),
+            ("a", "x"): StubResult(0.1, 2.0e6),  # 1x on workload a
+            ("b", "raid5"): StubResult(0.1, 2.0e6),
+            ("b", "x"): StubResult(0.025, 2.0e6),  # 4x on workload b
+        }
+        points = tradeoff_curve(grid, ["a", "b"], ["x"])
+        assert points[0].relative_performance == pytest.approx(2.0)  # sqrt(1*4)

@@ -1,0 +1,132 @@
+"""Tests for the idle detector and idle-period predictor."""
+
+import pytest
+
+from repro.idle import IdleDetector, MovingAverageIdlePredictor
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestIdleDetector:
+    def test_fires_after_threshold_from_start(self, sim):
+        detector = IdleDetector(sim, threshold_s=0.1)
+        fired = []
+        detector.on_idle.append(lambda: fired.append(sim.now))
+        sim.run(until=1.0)
+        assert fired == [pytest.approx(0.1)]
+
+    def test_activity_cancels_pending_declaration(self, sim):
+        detector = IdleDetector(sim, threshold_s=0.1)
+        fired = []
+        detector.on_idle.append(lambda: fired.append(sim.now))
+
+        def client():
+            yield sim.timeout(0.05)  # before the 100 ms declaration
+            detector.activity_started()
+            yield sim.timeout(0.5)
+            detector.activity_ended()
+
+        sim.process(client())
+        sim.run(until=1.0)
+        # Only the post-activity declaration fires, at 0.55 + 0.1.
+        assert fired == [pytest.approx(0.65)]
+
+    def test_redeclares_after_each_busy_period(self, sim):
+        detector = IdleDetector(sim, threshold_s=0.1)
+        fired = []
+        detector.on_idle.append(lambda: fired.append(round(sim.now, 6)))
+
+        def client():
+            for start in (1.0, 2.0):
+                yield sim.timeout(start - sim.now)
+                detector.activity_started()
+                yield sim.timeout(0.2)
+                detector.activity_ended()
+
+        sim.process(client())
+        sim.run(until=3.0)
+        assert fired == [0.1, pytest.approx(1.3), pytest.approx(2.3)]
+
+    def test_overlapping_activity_counts(self, sim):
+        detector = IdleDetector(sim, threshold_s=0.1)
+        fired = []
+        detector.on_idle.append(lambda: fired.append(sim.now))
+
+        def clients():
+            yield sim.timeout(0.01)
+            detector.activity_started()
+            detector.activity_started()
+            yield sim.timeout(0.3)
+            detector.activity_ended()  # one still outstanding
+            yield sim.timeout(0.3)
+            detector.activity_ended()
+
+        sim.process(clients())
+        sim.run(until=1.0)
+        assert fired == [pytest.approx(0.71)]
+        assert detector.is_idle
+
+    def test_unbalanced_end_raises(self, sim):
+        detector = IdleDetector(sim, threshold_s=0.1)
+        with pytest.raises(RuntimeError):
+            detector.activity_ended()
+
+    def test_idle_for(self, sim):
+        detector = IdleDetector(sim, threshold_s=0.1)
+
+        def script():
+            detector.activity_started()
+            yield sim.timeout(0.5)
+            detector.activity_ended()
+            yield sim.timeout(0.25)
+
+        proc = sim.process(script())
+        sim.run_until_triggered(proc)
+        assert detector.idle_for == pytest.approx(0.25)
+
+    def test_busy_callbacks_and_observed_periods(self, sim):
+        detector = IdleDetector(sim, threshold_s=0.1)
+        busy_at = []
+        detector.on_busy.append(lambda: busy_at.append(sim.now))
+
+        def client():
+            yield sim.timeout(1.0)
+            detector.activity_started()
+            yield sim.timeout(0.1)
+            detector.activity_ended()
+            yield sim.timeout(2.0)
+            detector.activity_started()
+            detector.activity_ended()
+
+        sim.process(client())
+        sim.run()
+        assert busy_at == [pytest.approx(1.0), pytest.approx(3.1)]
+        periods = detector.observed_idle_periods
+        assert periods[0] == pytest.approx(1.0)  # initial idle span
+        assert periods[1] == pytest.approx(2.0)
+
+
+class TestPredictor:
+    def test_converges_to_constant_periods(self, sim):
+        detector = IdleDetector(sim, threshold_s=0.01)
+        predictor = MovingAverageIdlePredictor(detector, alpha=0.5, initial_s=0.0)
+
+        def client():
+            for _ in range(8):
+                yield sim.timeout(2.0)  # 2 s idle periods
+                detector.activity_started()
+                yield sim.timeout(0.1)
+                detector.activity_ended()
+
+        sim.process(client())
+        sim.run()
+        assert predictor.predict() == pytest.approx(2.0, rel=0.05)
+
+    def test_alpha_validation(self, sim):
+        detector = IdleDetector(sim)
+        with pytest.raises(ValueError):
+            MovingAverageIdlePredictor(detector, alpha=0.0)

@@ -1,0 +1,93 @@
+"""Tests for the NVRAM marking memory."""
+
+import pytest
+
+from repro.nvram import MarkMemory, MarkMemoryFailedError
+
+
+class TestMarking:
+    def test_mark_and_query(self):
+        memory = MarkMemory(nstripes=10)
+        assert memory.mark(3)
+        assert memory.is_marked(3)
+        assert not memory.is_marked(4)
+        assert memory.count == 1
+
+    def test_remark_is_noop(self):
+        """'attempting to re-mark an already-marked stripe does nothing'."""
+        memory = MarkMemory(nstripes=10)
+        assert memory.mark(3)
+        assert not memory.mark(3)
+        assert memory.count == 1
+
+    def test_clear(self):
+        memory = MarkMemory(nstripes=10)
+        memory.mark(3)
+        assert memory.clear(3)
+        assert not memory.is_marked(3)
+        assert not memory.clear(3)  # already clear
+
+    def test_insertion_order_preserved(self):
+        memory = MarkMemory(nstripes=10)
+        for stripe in (7, 2, 9):
+            memory.mark(stripe)
+        assert memory.marked_stripes == [7, 2, 9]
+        assert memory.oldest() == (7, 0)
+
+    def test_bounds(self):
+        memory = MarkMemory(nstripes=10)
+        with pytest.raises(ValueError):
+            memory.mark(10)
+        with pytest.raises(ValueError):
+            memory.mark(-1)
+        with pytest.raises(ValueError):
+            memory.mark(0, sub_unit=1)  # only 1 bit per stripe by default
+
+
+class TestSubStripeMarks:
+    def test_sub_units_tracked_independently(self):
+        memory = MarkMemory(nstripes=4, bits_per_stripe=4)
+        memory.mark(1, sub_unit=0)
+        memory.mark(1, sub_unit=2)
+        assert memory.is_marked(1)
+        assert memory.is_marked(1, sub_unit=0)
+        assert not memory.is_marked(1, sub_unit=1)
+        assert memory.marks_of(1) == [0, 2]
+
+    def test_clear_stripe_clears_all_sub_units(self):
+        memory = MarkMemory(nstripes=4, bits_per_stripe=4)
+        memory.mark(1, sub_unit=0)
+        memory.mark(1, sub_unit=3)
+        memory.mark(2, sub_unit=1)
+        assert memory.clear_stripe(1) == 2
+        assert not memory.is_marked(1)
+        assert memory.is_marked(2)
+
+
+class TestSizing:
+    def test_paper_cost_figure(self):
+        """~3 KB of mark memory per GB stored for a 5-wide, 8 KB-unit array."""
+        data_per_stripe = 4 * 8 * 1024  # 4 data units x 8 KB
+        stripes_per_gb = 10**9 // data_per_stripe
+        memory = MarkMemory(nstripes=stripes_per_gb)
+        assert 2000 < memory.size_bits / 8 < 4500  # ≈3.8 KB/GB
+
+
+class TestFailure:
+    def test_failed_memory_raises(self):
+        memory = MarkMemory(nstripes=4)
+        memory.mark(0)
+        memory.fail()
+        assert memory.failed
+        with pytest.raises(MarkMemoryFailedError):
+            memory.mark(1)
+        with pytest.raises(MarkMemoryFailedError):
+            _ = memory.count
+
+    def test_recovery_clears_marks(self):
+        memory = MarkMemory(nstripes=4)
+        memory.mark(0)
+        memory.fail()
+        memory.recover()
+        assert memory.count == 0
+        assert memory.mark(1)

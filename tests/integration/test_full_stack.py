@@ -1,0 +1,208 @@
+"""Integration tests: the timing model and the functional twin together.
+
+These drive the whole stack — kernel, disks, drivers, cache, marks, idle
+detection, scrubber, policies — and check end-to-end invariants the unit
+tests cannot see.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.array import toy_array
+from repro.array.request import ArrayRequest
+from repro.disk import IoKind
+from repro.harness import gather, run_experiment
+from repro.policy import AlwaysRaid5Policy, BaselineAfraidPolicy, NeverScrubPolicy
+from repro.sim import Simulator
+
+
+def payload(array, nsectors, seed):
+    return bytes((seed * 97 + i) % 256 for i in range(nsectors * array.sector_bytes))
+
+
+request_strategy = st.lists(
+    st.tuples(
+        st.booleans(),  # write?
+        st.integers(min_value=0, max_value=500),  # offset basis
+        st.integers(min_value=1, max_value=12),  # sectors
+        st.integers(min_value=0, max_value=255),  # payload seed
+        st.floats(min_value=0.0, max_value=0.2),  # think time before submit
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestTimingFunctionalAgreement:
+    @given(requests=request_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_data_integrity_and_scrub_convergence(self, requests):
+        """After any request mix + idle time: every byte reads back, every
+        stripe's parity is consistent, and the parity debt is zero."""
+        sim = Simulator()
+        array = toy_array(sim, idle_threshold_s=0.05)
+        expected: dict[int, bytes] = {}
+        events = []
+        in_flight: list[tuple[int, int, object]] = []  # (offset, nsectors, event)
+
+        def overlaps(offset, nsectors):
+            return [
+                event
+                for start, count, event in in_flight
+                if offset < start + count and start < offset + nsectors
+            ]
+
+        def client():
+            for is_write, offset_basis, nsectors, seed, think in requests:
+                offset = offset_basis % (array.layout.total_data_sectors - nsectors)
+                if think:
+                    yield sim.timeout(think)
+                if is_write:
+                    # Overlapping concurrent writes have no defined order
+                    # (the host queue may legally reorder them), so the
+                    # oracle serialises them the way a correct client would.
+                    for event in overlaps(offset, nsectors):
+                        if not event.processed:
+                            yield event
+                    data = payload(array, nsectors, seed)
+                    for i in range(nsectors):
+                        expected[offset + i] = data[
+                            i * array.sector_bytes : (i + 1) * array.sector_bytes
+                        ]
+                    request = ArrayRequest(IoKind.WRITE, offset, nsectors, data=data)
+                else:
+                    request = ArrayRequest(IoKind.READ, offset, nsectors)
+                event = array.submit(request)
+                if is_write:
+                    in_flight.append((offset, nsectors, event))
+                events.append(event)
+
+        proc = sim.process(client())
+        sim.run_until_triggered(proc)
+        outcomes = sim.run_until_triggered(gather(sim, events))
+        assert all(ok for ok, _value in outcomes)
+
+        sim.run(until=sim.now + 5.0)  # plenty of idle time to scrub
+        assert array.dirty_stripe_count == 0
+        assert array.parity_lag_bytes == 0
+        assert all(
+            array.functional.parity_consistent(stripe)
+            for stripe in range(array.layout.nstripes)
+        )
+        for sector, data in expected.items():
+            assert array.functional.read(sector, 1) == data
+
+    @given(requests=request_strategy, victim=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=15, deadline=None)
+    def test_loss_prediction_matches_ground_truth(self, requests, victim):
+        """At any instant, the §3.2 loss model equals the functional
+        twin's actual unrecoverable bytes."""
+        from repro.faults import predicted_loss_bytes
+
+        sim = Simulator()
+        array = toy_array(sim, policy=NeverScrubPolicy())
+        events = []
+
+        def client():
+            for is_write, offset_basis, nsectors, seed, think in requests:
+                offset = offset_basis % (array.layout.total_data_sectors - nsectors)
+                kind = IoKind.WRITE if is_write else IoKind.READ
+                data = payload(array, nsectors, seed) if is_write else None
+                events.append(array.submit(ArrayRequest(kind, offset, nsectors, data=data)))
+                yield sim.timeout(0.001)
+
+        proc = sim.process(client())
+        sim.run_until_triggered(proc)
+        sim.run_until_triggered(gather(sim, events))
+
+        predicted = predicted_loss_bytes(array, victim)
+        actual = array.functional.lost_data_bytes(victim)
+        assert predicted == actual
+
+
+class TestDeterminism:
+    def test_identical_experiments_identical_results(self):
+        from repro.disk import toy_disk
+
+        def run():
+            return run_experiment(
+                "snake",
+                BaselineAfraidPolicy(),
+                duration_s=10.0,
+                seed=7,
+                disk_factory=toy_disk,
+                stripe_unit_sectors=8,
+            )
+
+        first = run()
+        second = run()
+        assert first.io_time.mean == second.io_time.mean
+        assert first.unprotected_fraction == second.unprotected_fraction
+        assert first.stripes_scrubbed == second.stripes_scrubbed
+        assert first.nrequests == second.nrequests
+
+    def test_different_seeds_differ(self):
+        from repro.disk import toy_disk
+
+        first = run_experiment("snake", BaselineAfraidPolicy(), duration_s=10.0, seed=7,
+                               disk_factory=toy_disk, stripe_unit_sectors=8)
+        second = run_experiment("snake", BaselineAfraidPolicy(), duration_s=10.0, seed=8,
+                                disk_factory=toy_disk, stripe_unit_sectors=8)
+        assert first.io_time.mean != second.io_time.mean
+
+
+class TestCrossModelInvariants:
+    @pytest.mark.parametrize("workload", ["snake", "cello-news"])
+    def test_model_ordering_on_real_workloads(self, workload):
+        from repro.disk import toy_disk
+
+        results = {}
+        for label, policy_cls in (
+            ("raid0", NeverScrubPolicy),
+            ("afraid", BaselineAfraidPolicy),
+            ("raid5", AlwaysRaid5Policy),
+        ):
+            results[label] = run_experiment(
+                workload, policy_cls(), duration_s=15.0, seed=5,
+                disk_factory=toy_disk, stripe_unit_sectors=8,
+            )
+        # Identical request streams:
+        counts = {result.nrequests for result in results.values()}
+        assert len(counts) == 1
+        # Performance ordering (with a little scheduling noise allowed
+        # between afraid and raid0):
+        assert results["afraid"].io_time.mean < results["raid5"].io_time.mean
+        assert results["afraid"].io_time.mean < 1.35 * results["raid0"].io_time.mean
+        # Exposure ordering:
+        assert results["raid5"].unprotected_fraction == 0.0
+        assert results["afraid"].unprotected_fraction <= results["raid0"].unprotected_fraction
+        # Availability ordering:
+        assert (
+            results["raid5"].mttdl_disk_h
+            >= results["afraid"].mttdl_disk_h
+            >= results["raid0"].mttdl_disk_h
+        )
+
+    def test_all_requests_complete_under_saturation(self):
+        """Open-loop overload: the array falls behind but loses nothing."""
+        sim = Simulator()
+        array = toy_array(sim, with_functional=False, idle_threshold_s=1e9)
+        events = []
+
+        def flood():
+            for i in range(200):
+                events.append(
+                    array.submit(ArrayRequest(IoKind.WRITE, (i * 16) % 1024, 8))
+                )
+                yield sim.timeout(0.0005)  # far faster than service rate
+
+        proc = sim.process(flood())
+        sim.run_until_triggered(proc)
+        outcomes = sim.run_until_triggered(gather(sim, events))
+        assert len(outcomes) == 200
+        assert all(ok for ok, _value in outcomes)
+        assert array.stats.completed == 200
+        # Queueing really happened:
+        times = array.stats.io_times
+        assert max(times) > 5 * min(times)

@@ -1,0 +1,49 @@
+"""Seed robustness of the headline result.
+
+The benchmarks pin one seed; this test checks the qualitative claim —
+AFRAID ≈ RAID 0 ≫ RAID 5 in the cross-workload geometric mean — holds
+across random seeds and a reduced workload sample, so the reproduction
+is not an artifact of one lucky trace draw.
+"""
+
+import pytest
+
+from repro.harness import run_experiment
+from repro.metrics import geometric_mean
+from repro.policy import AlwaysRaid5Policy, BaselineAfraidPolicy, NeverScrubPolicy
+
+# A light / medium / heavy sample of the catalog keeps runtime modest.
+WORKLOADS = ("hplajw", "cello-usr", "ATT")
+
+
+@pytest.mark.parametrize("seed", [3, 17])
+def test_headline_shape_across_seeds(seed):
+    speedups_afraid = []
+    speedups_raid0 = []
+    for workload in WORKLOADS:
+        results = {
+            label: run_experiment(workload, policy_cls(), duration_s=30.0, seed=seed)
+            for label, policy_cls in (
+                ("raid0", NeverScrubPolicy),
+                ("afraid", BaselineAfraidPolicy),
+                ("raid5", AlwaysRaid5Policy),
+            )
+        }
+        raid5_mean = results["raid5"].io_time.mean
+        speedups_afraid.append(raid5_mean / results["afraid"].io_time.mean)
+        speedups_raid0.append(raid5_mean / results["raid0"].io_time.mean)
+        # Per-workload: AFRAID always beats RAID 5 and tracks RAID 0.
+        assert speedups_afraid[-1] > 1.5, workload
+        assert (
+            results["afraid"].io_time.mean < 1.35 * results["raid0"].io_time.mean
+        ), workload
+        # Exposure ordering holds for every seed.
+        assert results["raid5"].unprotected_fraction == 0.0
+        assert (
+            results["afraid"].unprotected_fraction
+            <= results["raid0"].unprotected_fraction + 1e-9
+        ), workload
+
+    # Cross-workload geometric means: several-fold, AFRAID ~ RAID 0.
+    assert geometric_mean(speedups_afraid) > 2.0
+    assert geometric_mean(speedups_afraid) > 0.85 * geometric_mean(speedups_raid0)

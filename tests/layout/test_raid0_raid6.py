@@ -1,0 +1,79 @@
+"""Tests for the RAID 0 and RAID 6 layouts."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout import Raid0Layout, Raid6Layout, UnitKind
+
+
+class TestRaid0:
+    def test_round_robin_striping(self):
+        layout = Raid0Layout(ndisks=4, stripe_unit_sectors=4, disk_sectors=40)
+        assert layout.locate(0).disk == 0
+        assert layout.locate(4).disk == 1
+        assert layout.locate(8).disk == 2
+        assert layout.locate(12).disk == 3
+        assert layout.locate(16).disk == 0
+        assert layout.locate(16).stripe == 1
+
+    def test_all_capacity_is_data(self):
+        layout = Raid0Layout(ndisks=4, stripe_unit_sectors=4, disk_sectors=40)
+        assert layout.total_data_sectors == 4 * 40
+
+    def test_extent_covers(self):
+        layout = Raid0Layout(ndisks=4, stripe_unit_sectors=4, disk_sectors=40)
+        runs = layout.map_extent(2, 8)
+        assert sum(r.nsectors for r in runs) == 8
+        assert [r.disk for r in runs] == [0, 1, 2]
+
+    @given(logical=st.integers(min_value=0), nsectors=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=150, deadline=None)
+    def test_runs_partition_extent(self, logical, nsectors):
+        layout = Raid0Layout(ndisks=3, stripe_unit_sectors=4, disk_sectors=400)
+        logical = logical % (layout.total_data_sectors - 32)
+        runs = layout.map_extent(logical, nsectors)
+        position = logical
+        for run in runs:
+            assert run.logical_sector == position
+            position += run.nsectors
+        assert position == logical + nsectors
+
+
+class TestRaid6:
+    def test_needs_four_disks(self):
+        with pytest.raises(ValueError):
+            Raid6Layout(ndisks=3, stripe_unit_sectors=4, disk_sectors=40)
+
+    def test_two_parity_units_per_stripe(self):
+        layout = Raid6Layout(ndisks=6, stripe_unit_sectors=4, disk_sectors=40)
+        assert layout.data_units_per_stripe == 4
+        p = layout.parity_unit(0)
+        q = layout.parity_q_unit(0)
+        assert p.kind is UnitKind.PARITY
+        assert q.kind is UnitKind.PARITY_Q
+        assert p.disk != q.disk
+
+    def test_parity_rotates(self):
+        layout = Raid6Layout(ndisks=6, stripe_unit_sectors=4, disk_sectors=48)
+        p_disks = [layout.parity_disk(s) for s in range(6)]
+        assert sorted(p_disks) == list(range(6))
+
+    @given(stripe=st.integers(min_value=0, max_value=9))
+    @settings(max_examples=60, deadline=None)
+    def test_data_avoids_both_parity_disks(self, stripe):
+        layout = Raid6Layout(ndisks=6, stripe_unit_sectors=4, disk_sectors=40)
+        p = layout.parity_disk(stripe)
+        q = layout.parity_q_disk(stripe)
+        data_disks = [layout.data_disk(stripe, i) for i in range(layout.data_units_per_stripe)]
+        assert p not in data_disks
+        assert q not in data_disks
+        assert len(set(data_disks)) == layout.data_units_per_stripe
+
+    @given(logical=st.integers(min_value=0), nsectors=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=100, deadline=None)
+    def test_runs_partition_extent(self, logical, nsectors):
+        layout = Raid6Layout(ndisks=6, stripe_unit_sectors=4, disk_sectors=400)
+        logical = logical % (layout.total_data_sectors - 32)
+        runs = layout.map_extent(logical, nsectors)
+        assert sum(r.nsectors for r in runs) == nsectors

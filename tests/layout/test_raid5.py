@@ -1,0 +1,161 @@
+"""Tests for the left-symmetric RAID 5 layout."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout import Raid5Layout, UnitKind
+
+
+def small_layout(ndisks=5, unit=4, disk_sectors=40):
+    return Raid5Layout(ndisks=ndisks, stripe_unit_sectors=unit, disk_sectors=disk_sectors)
+
+
+class TestValidation:
+    def test_needs_three_disks(self):
+        with pytest.raises(ValueError):
+            Raid5Layout(ndisks=2, stripe_unit_sectors=4, disk_sectors=40)
+
+    def test_needs_positive_unit(self):
+        with pytest.raises(ValueError):
+            Raid5Layout(ndisks=5, stripe_unit_sectors=0, disk_sectors=40)
+
+    def test_disk_fits_one_unit(self):
+        with pytest.raises(ValueError):
+            Raid5Layout(ndisks=5, stripe_unit_sectors=64, disk_sectors=40)
+
+
+class TestStructure:
+    def test_counts(self):
+        layout = small_layout()
+        assert layout.data_units_per_stripe == 4
+        assert layout.stripe_data_sectors == 16
+        assert layout.nstripes == 10
+        assert layout.total_data_sectors == 160
+
+    def test_parity_rotates_left(self):
+        layout = small_layout()
+        assert [layout.parity_disk(s) for s in range(6)] == [4, 3, 2, 1, 0, 4]
+
+    def test_left_symmetric_data_placement(self):
+        """Stripe 1: parity on disk 3, data D0..D3 on disks 4,0,1,2."""
+        layout = small_layout()
+        assert [layout.data_disk(1, i) for i in range(4)] == [4, 0, 1, 2]
+
+    def test_sequential_units_hit_distinct_disks(self):
+        """Left-symmetric: consecutive data units never collide on a disk
+        within one stripe, and parity is on none of them."""
+        layout = small_layout()
+        for stripe in range(layout.nstripes):
+            disks = [layout.data_disk(stripe, i) for i in range(4)]
+            assert len(set(disks)) == 4
+            assert layout.parity_disk(stripe) not in disks
+
+    def test_parity_unit_lba(self):
+        layout = small_layout()
+        unit = layout.parity_unit(3)
+        assert unit.kind is UnitKind.PARITY
+        assert unit.disk_lba == 12  # stripe 3 * 4 sectors/unit
+
+
+class TestMapping:
+    def test_locate_first_sector(self):
+        layout = small_layout()
+        unit = layout.locate(0)
+        assert (unit.stripe, unit.unit_index, unit.disk, unit.disk_lba) == (0, 0, 0, 0)
+
+    def test_locate_crosses_stripes(self):
+        layout = small_layout()
+        unit = layout.locate(16)  # first sector of stripe 1 = data unit 0 on disk 4
+        assert (unit.stripe, unit.unit_index, unit.disk) == (1, 0, 4)
+
+    def test_map_extent_single_unit(self):
+        layout = small_layout()
+        runs = layout.map_extent(1, 2)
+        assert len(runs) == 1
+        assert (runs[0].disk, runs[0].disk_lba, runs[0].nsectors) == (0, 1, 2)
+
+    def test_map_extent_crossing_units(self):
+        layout = small_layout()
+        runs = layout.map_extent(2, 4)  # last 2 sectors of unit 0, first 2 of unit 1
+        assert [(r.disk, r.disk_lba, r.nsectors) for r in runs] == [(0, 2, 2), (1, 0, 2)]
+
+    def test_map_extent_crossing_stripes(self):
+        layout = small_layout()
+        runs = layout.map_extent(14, 4)  # end of stripe 0, start of stripe 1
+        assert [r.stripe for r in runs] == [0, 1]
+        assert runs[1].disk == 4  # stripe 1 data unit 0 is on disk 4
+
+    def test_stripes_touched(self):
+        layout = small_layout()
+        assert list(layout.stripes_touched(0, 1)) == [0]
+        assert list(layout.stripes_touched(14, 4)) == [0, 1]
+        assert list(layout.stripes_touched(0, 160)) == list(range(10))
+
+    def test_out_of_range(self):
+        layout = small_layout()
+        with pytest.raises(ValueError):
+            layout.locate(160)
+        with pytest.raises(ValueError):
+            layout.map_extent(159, 2)
+
+
+class TestInverse:
+    def test_logical_of_parity(self):
+        layout = small_layout()
+        unit = layout.logical_of(4, 0)  # stripe 0 parity lives on disk 4
+        assert unit.kind is UnitKind.PARITY
+        assert unit.stripe == 0
+
+    def test_logical_of_data(self):
+        layout = small_layout()
+        unit = layout.logical_of(0, 0)
+        assert unit.kind is UnitKind.DATA
+        assert unit.unit_index == 0
+
+    @given(
+        stripe=st.integers(min_value=0, max_value=9),
+        unit_index=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_forward_inverse_consistency(self, stripe, unit_index):
+        layout = small_layout()
+        disk = layout.data_disk(stripe, unit_index)
+        unit = layout.logical_of(disk, stripe * layout.stripe_unit_sectors)
+        assert unit.kind is UnitKind.DATA
+        assert unit.stripe == stripe
+        assert unit.unit_index == unit_index
+
+
+class TestProperties:
+    @given(
+        logical=st.integers(min_value=0),
+        nsectors=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_extent_runs_cover_exactly(self, logical, nsectors):
+        layout = small_layout(ndisks=5, unit=4, disk_sectors=400)
+        logical = logical % (layout.total_data_sectors - 64)
+        runs = layout.map_extent(logical, nsectors)
+        assert sum(r.nsectors for r in runs) == nsectors
+        # Logical coverage is contiguous and ordered.
+        position = logical
+        for run in runs:
+            assert run.logical_sector == position
+            position += run.nsectors
+
+    @given(logical=st.integers(min_value=0))
+    @settings(max_examples=200, deadline=None)
+    def test_every_sector_lands_on_nonparity_disk(self, logical):
+        layout = small_layout(ndisks=5, unit=4, disk_sectors=400)
+        logical = logical % layout.total_data_sectors
+        unit = layout.locate(logical)
+        assert unit.disk != layout.parity_disk(unit.stripe)
+
+    @given(ndisks=st.integers(min_value=3, max_value=12))
+    @settings(max_examples=10, deadline=None)
+    def test_parity_balanced_across_disks(self, ndisks):
+        """Over ndisks consecutive stripes, every disk holds parity once."""
+        layout = Raid5Layout(ndisks=ndisks, stripe_unit_sectors=4, disk_sectors=4 * ndisks * 3)
+        parity_disks = [layout.parity_disk(s) for s in range(ndisks)]
+        assert sorted(parity_disks) == list(range(ndisks))

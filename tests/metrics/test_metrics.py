@@ -1,0 +1,88 @@
+"""Tests for summary statistics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import Summary, geometric_mean, percentile, ratio_summary
+
+
+class TestSummary:
+    def test_empty(self):
+        summary = Summary.of([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_basic(self):
+        summary = Summary.of([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+
+    @given(values=st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_ordering_invariants(self, values):
+        summary = Summary.of(values)
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.median <= summary.p95 + 1e-9
+        # Tolerate one ulp of float summation error around the extremes.
+        slack = 1e-9 * max(1.0, summary.maximum)
+        assert summary.minimum - slack <= summary.mean <= summary.maximum + slack
+
+
+class TestPercentile:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 50) == pytest.approx(5.0)
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    @given(values=st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_by_extremes(self, values):
+        mean = geometric_mean(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+    @given(values=st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_log_linearity(self, values):
+        doubled = [2.0 * value for value in values]
+        assert geometric_mean(doubled) == pytest.approx(2.0 * geometric_mean(values), rel=1e-9)
+
+
+class TestRatioSummary:
+    def test_paper_style_speedup(self):
+        raid5 = [40.0, 80.0, 120.0]
+        afraid = [10.0, 20.0, 30.0]
+        assert ratio_summary(raid5, afraid) == pytest.approx(4.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ratio_summary([1.0], [1.0, 2.0])

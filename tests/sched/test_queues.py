@@ -1,0 +1,124 @@
+"""Tests for the queue disciplines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import ClookScheduler, FcfsScheduler, LookScheduler, SstfScheduler
+
+
+def drain(scheduler, head=0, follow_head=True):
+    """Pop everything, optionally moving the head to each popped position."""
+    order = []
+    position = head
+    while scheduler:
+        item, popped_position = scheduler.pop(position)
+        order.append(item)
+        if follow_head:
+            position = popped_position
+    return order
+
+
+class TestFcfs:
+    def test_arrival_order(self):
+        scheduler = FcfsScheduler()
+        for i, position in enumerate([50, 10, 90, 30]):
+            scheduler.push(f"io{i}", position)
+        assert drain(scheduler) == ["io0", "io1", "io2", "io3"]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            FcfsScheduler().pop(0)
+
+    def test_len_and_bool(self):
+        scheduler = FcfsScheduler()
+        assert not scheduler
+        scheduler.push("a", 1)
+        assert len(scheduler) == 1
+        assert scheduler
+
+
+class TestClook:
+    def test_sweeps_upward_then_wraps(self):
+        scheduler = ClookScheduler()
+        for item, position in [("a", 50), ("b", 10), ("c", 90), ("d", 30)]:
+            scheduler.push(item, position)
+        # head at 40: sweep up (50, 90), wrap to bottom (10, 30)
+        assert drain(scheduler, head=40) == ["a", "c", "b", "d"]
+
+    def test_exact_head_position_served_first(self):
+        scheduler = ClookScheduler()
+        scheduler.push("here", 40)
+        scheduler.push("above", 60)
+        assert drain(scheduler, head=40) == ["here", "above"]
+
+    def test_ties_fifo(self):
+        scheduler = ClookScheduler()
+        scheduler.push("first", 10)
+        scheduler.push("second", 10)
+        assert drain(scheduler, head=0) == ["first", "second"]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            ClookScheduler().pop(0)
+
+    @given(positions=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_single_sweep_visits_all_without_reversing(self, positions):
+        """Popping with a following head yields at most one wrap-around."""
+        scheduler = ClookScheduler()
+        for i, position in enumerate(positions):
+            scheduler.push(i, position)
+        popped = []
+        head = 0
+        while scheduler:
+            _item, position = scheduler.pop(head)
+            popped.append(position)
+            head = position
+        descents = sum(1 for a, b in zip(popped, popped[1:]) if b < a)
+        assert descents <= 1
+        assert sorted(popped) == sorted(positions)
+
+
+class TestSstf:
+    def test_picks_nearest(self):
+        scheduler = SstfScheduler()
+        for item, position in [("far", 100), ("near", 55), ("also", 10)]:
+            scheduler.push(item, position)
+        item, _ = scheduler.pop(50)
+        assert item == "near"
+
+    def test_below_only(self):
+        scheduler = SstfScheduler()
+        scheduler.push("below", 5)
+        item, _ = scheduler.pop(50)
+        assert item == "below"
+
+    @given(
+        positions=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=40),
+        head=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_first_pop_is_globally_nearest(self, positions, head):
+        scheduler = SstfScheduler()
+        for i, position in enumerate(positions):
+            scheduler.push(i, position)
+        _item, position = scheduler.pop(head)
+        assert abs(position - head) == min(abs(p - head) for p in positions)
+
+
+class TestLook:
+    def test_reverses_at_extremes(self):
+        scheduler = LookScheduler()
+        for item, position in [("a", 10), ("b", 60), ("c", 90), ("d", 40)]:
+            scheduler.push(item, position)
+        # head at 50 ascending: 60, 90, then reverse: 40, 10
+        assert drain(scheduler, head=50) == ["b", "c", "d", "a"]
+
+    @given(positions=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_serves_everything(self, positions):
+        scheduler = LookScheduler()
+        for i, position in enumerate(positions):
+            scheduler.push(i, position)
+        assert len(drain(scheduler, head=500)) == len(positions)

@@ -1,0 +1,168 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Simulator, Timeout
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestEvent:
+    def test_starts_pending(self, sim):
+        event = sim.event("e")
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_sets_value(self, sim):
+        event = sim.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_value_before_trigger_raises(self, sim):
+        event = sim.event()
+        with pytest.raises(RuntimeError):
+            _ = event.value
+
+    def test_double_succeed_raises(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_fail_then_succeed_raises(self, sim):
+        event = sim.event()
+        event.defused = True
+        event.fail(ValueError("boom"))
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_fail_requires_exception_instance(self, sim):
+        event = sim.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_fail_records_exception(self, sim):
+        event = sim.event()
+        event.defused = True
+        boom = ValueError("boom")
+        event.fail(boom)
+        assert not event.ok
+        assert event.exception is boom
+        with pytest.raises(ValueError):
+            _ = event.value
+
+    def test_callbacks_run_at_dispatch_not_trigger(self, sim):
+        event = sim.event()
+        seen = []
+        event.add_callback(lambda e: seen.append(sim.now))
+        event.succeed()
+        assert seen == []  # not yet dispatched
+        sim.run()
+        assert seen == [0.0]
+
+    def test_late_callback_runs_immediately(self, sim):
+        event = sim.event()
+        event.succeed("x")
+        sim.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+    def test_unhandled_failure_surfaces_in_run(self, sim):
+        event = sim.event()
+        event.fail(RuntimeError("nobody listening"))
+        with pytest.raises(RuntimeError, match="nobody listening"):
+            sim.run()
+
+    def test_defused_failure_passes_silently(self, sim):
+        event = sim.event()
+        event.defused = True
+        event.fail(RuntimeError("ignored"))
+        sim.run()  # does not raise
+
+
+class TestTimeout:
+    def test_fires_after_delay(self, sim):
+        fired = []
+        sim.timeout(2.5).add_callback(lambda e: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.5]
+
+    def test_carries_value(self, sim):
+        timeout = sim.timeout(1.0, value="done")
+        sim.run()
+        assert timeout.value == "done"
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-0.1)
+
+    def test_zero_delay_fires_now(self, sim):
+        fired = []
+        sim.timeout(0.0).add_callback(lambda e: fired.append(sim.now))
+        sim.run()
+        assert fired == [0.0]
+
+    def test_is_an_event(self, sim):
+        assert isinstance(sim.timeout(1.0), Event)
+        assert isinstance(sim.timeout(1.0), Timeout)
+
+
+class TestAllOf:
+    def test_fires_when_all_fire(self, sim):
+        timeouts = [sim.timeout(t, value=t) for t in (3.0, 1.0, 2.0)]
+        combined = AllOf(sim, timeouts)
+        fired = []
+        combined.add_callback(lambda e: fired.append((sim.now, e.value)))
+        sim.run()
+        assert fired == [(3.0, [3.0, 1.0, 2.0])]  # values in construction order
+
+    def test_empty_fires_immediately(self, sim):
+        combined = AllOf(sim, [])
+        sim.run()
+        assert combined.triggered
+        assert combined.value == []
+
+    def test_child_failure_fails_condition(self, sim):
+        good = sim.timeout(1.0)
+        bad = sim.event()
+        combined = AllOf(sim, [good, bad])
+        combined.defused = True
+        bad.fail(ValueError("child failed"))
+        sim.run()
+        assert not combined.ok
+        assert isinstance(combined.exception, ValueError)
+
+    def test_mixed_simulators_rejected(self, sim):
+        other = Simulator()
+        with pytest.raises(ValueError):
+            AllOf(sim, [sim.timeout(1.0), other.timeout(1.0)])
+
+
+class TestAnyOf:
+    def test_fires_on_first(self, sim):
+        combined = AnyOf(sim, [sim.timeout(5.0, value="slow"), sim.timeout(1.0, value="fast")])
+        fired = []
+        combined.add_callback(lambda e: fired.append((sim.now, e.value)))
+        sim.run()
+        assert fired == [(1.0, "fast")]
+
+    def test_only_fires_once(self, sim):
+        combined = AnyOf(sim, [sim.timeout(1.0), sim.timeout(2.0)])
+        count = []
+        combined.add_callback(lambda e: count.append(1))
+        sim.run()
+        assert len(count) == 1
+
+    def test_first_failure_fails_condition(self, sim):
+        bad = sim.event()
+        combined = AnyOf(sim, [bad, sim.timeout(10.0)])
+        combined.defused = True
+        bad.fail(ValueError("first"))
+        sim.run()
+        assert not combined.ok

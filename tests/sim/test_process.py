@@ -1,0 +1,271 @@
+"""Unit tests for coroutine processes."""
+
+import pytest
+
+from repro.sim import AllOf, Interrupt, Process, ProcessKilled, Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestBasics:
+    def test_process_runs_and_returns(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            yield sim.timeout(2.0)
+            return "finished"
+
+        proc = sim.process(body())
+        sim.run()
+        assert sim.now == 3.0
+        assert proc.value == "finished"
+
+    def test_process_is_event_waitable(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            return 7
+
+        def parent():
+            value = yield sim.process(child())
+            return value * 2
+
+        parent_proc = sim.process(parent())
+        sim.run()
+        assert parent_proc.value == 14
+
+    def test_process_receives_event_value(self, sim):
+        def body():
+            value = yield sim.timeout(1.0, value="payload")
+            return value
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.value == "payload"
+
+    def test_starts_at_current_time_without_advancing(self, sim):
+        times = []
+
+        def body():
+            times.append(sim.now)
+            yield sim.timeout(0.5)
+
+        def spawner():
+            yield sim.timeout(3.0)
+            sim.process(body())
+
+        sim.process(spawner())
+        sim.run()
+        assert times == [3.0]
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_yielding_non_event_fails_process(self, sim):
+        def body():
+            yield 42  # not an Event
+
+        proc = sim.process(body())
+        proc.defused = True
+        sim.run()
+        assert isinstance(proc.exception, TypeError)
+
+    def test_is_alive(self, sim):
+        def body():
+            yield sim.timeout(5.0)
+
+        proc = sim.process(body())
+        assert proc.is_alive
+        sim.run()
+        assert not proc.is_alive
+
+
+class TestFailurePropagation:
+    def test_failed_event_raises_inside_process(self, sim):
+        trigger = sim.event()
+
+        def body():
+            try:
+                yield trigger
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        proc = sim.process(body())
+        trigger.fail(ValueError("boom"))
+        sim.run()
+        assert proc.value == "caught boom"
+
+    def test_uncaught_exception_fails_process(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            raise RuntimeError("died")
+
+        proc = sim.process(body())
+        proc.defused = True
+        sim.run()
+        assert isinstance(proc.exception, RuntimeError)
+
+    def test_uncaught_exception_surfaces_in_run(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            raise RuntimeError("unwatched crash")
+
+        sim.process(body())
+        with pytest.raises(RuntimeError, match="unwatched crash"):
+            sim.run()
+
+    def test_failure_propagates_to_waiting_parent(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            raise ValueError("child died")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except ValueError:
+                return "handled"
+
+        proc = sim.process(parent())
+        sim.run()
+        assert proc.value == "handled"
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_process_early(self, sim):
+        def body():
+            try:
+                yield sim.timeout(100.0)
+                return "slept"
+            except Interrupt as interrupt:
+                return ("interrupted", sim.now, interrupt.cause)
+
+        proc = sim.process(body())
+
+        def interrupter():
+            yield sim.timeout(2.0)
+            proc.interrupt("new work arrived")
+
+        sim.process(interrupter())
+        sim.run()
+        assert proc.value == ("interrupted", 2.0, "new work arrived")
+
+    def test_original_event_firing_after_interrupt_is_ignored(self, sim):
+        resumes = []
+
+        def body():
+            try:
+                yield sim.timeout(10.0)
+            except Interrupt:
+                resumes.append(("interrupt", sim.now))
+            yield sim.timeout(50.0)
+            resumes.append(("done", sim.now))
+
+        proc = sim.process(body())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            proc.interrupt()
+
+        sim.process(interrupter())
+        sim.run()
+        # The abandoned 10 s timeout (fires at 10.0) must not resume the body.
+        assert resumes == [("interrupt", 1.0), ("done", 51.0)]
+
+    def test_interrupting_finished_process_is_noop(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            return "ok"
+
+        proc = sim.process(body())
+        sim.run()
+        proc.interrupt()  # must not raise
+        assert proc.value == "ok"
+
+    def test_unhandled_interrupt_fails_process(self, sim):
+        def body():
+            yield sim.timeout(100.0)
+
+        proc = sim.process(body())
+        proc.defused = True
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            proc.interrupt()
+
+        sim.process(interrupter())
+        sim.run()
+        assert isinstance(proc.exception, Interrupt)
+
+
+class TestKill:
+    def test_kill_stops_process(self, sim):
+        reached = []
+
+        def body():
+            yield sim.timeout(10.0)
+            reached.append("end")
+
+        proc = sim.process(body())
+        proc.defused = True
+
+        def killer():
+            yield sim.timeout(1.0)
+            proc.kill()
+
+        sim.process(killer())
+        sim.run()
+        assert reached == []
+        assert isinstance(proc.exception, ProcessKilled)
+
+    def test_kill_runs_finally_blocks(self, sim):
+        cleaned = []
+
+        def body():
+            try:
+                yield sim.timeout(10.0)
+            finally:
+                cleaned.append(True)
+
+        proc = sim.process(body())
+        proc.defused = True
+
+        def killer():
+            yield sim.timeout(1.0)
+            proc.kill()
+
+        sim.process(killer())
+        sim.run()
+        assert cleaned == [True]
+
+
+class TestComposition:
+    def test_parallel_fanout_with_allof(self, sim):
+        """The RAID 5 pattern: issue several I/Os, wait for all."""
+
+        def disk_io(latency):
+            yield sim.timeout(latency)
+            return latency
+
+        def controller():
+            ios = [sim.process(disk_io(t)) for t in (3.0, 1.0, 2.0)]
+            results = yield AllOf(sim, ios)
+            return results
+
+        proc = sim.process(controller())
+        sim.run()
+        assert sim.now == 3.0
+        assert proc.value == [3.0, 1.0, 2.0]
+
+    def test_many_processes_interleave_deterministically(self, sim):
+        order = []
+
+        def body(tag, delay):
+            yield sim.timeout(delay)
+            order.append(tag)
+
+        for tag in "abc":
+            sim.process(body(tag, 1.0))  # identical delays: FIFO tie-break
+        sim.run()
+        assert order == ["a", "b", "c"]

@@ -1,0 +1,88 @@
+"""Unit tests for the counted Resource."""
+
+import pytest
+
+from repro.sim import Resource, Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+def test_capacity_validation(sim):
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_immediate_grant_when_free(sim):
+    resource = Resource(sim, capacity=2)
+    grant = resource.acquire()
+    assert grant.triggered
+    assert resource.in_use == 1
+    assert resource.available == 1
+
+
+def test_waiters_queue_in_fifo_order(sim):
+    resource = Resource(sim, capacity=1)
+    order = []
+
+    def worker(tag, hold):
+        yield resource.acquire()
+        try:
+            order.append((tag, sim.now))
+            yield sim.timeout(hold)
+        finally:
+            resource.release()
+
+    for tag, hold in (("a", 5.0), ("b", 1.0), ("c", 1.0)):
+        sim.process(worker(tag, hold))
+    sim.run()
+    assert order == [("a", 0.0), ("b", 5.0), ("c", 6.0)]
+
+
+def test_release_without_acquire_raises(sim):
+    resource = Resource(sim, capacity=1)
+    with pytest.raises(RuntimeError):
+        resource.release()
+
+
+def test_queued_counter(sim):
+    resource = Resource(sim, capacity=1)
+
+    def holder():
+        yield resource.acquire()
+        yield sim.timeout(10.0)
+        resource.release()
+
+    def waiter():
+        yield resource.acquire()
+        resource.release()
+
+    sim.process(holder())
+    sim.process(waiter())
+    sim.process(waiter())
+    sim.run(until=1.0)
+    assert resource.in_use == 1
+    assert resource.queued == 2
+    sim.run()
+    assert resource.in_use == 0
+    assert resource.queued == 0
+
+
+def test_full_capacity_utilisation(sim):
+    """With capacity k and n > k equal jobs, makespan is ceil(n/k) * job."""
+    resource = Resource(sim, capacity=3)
+    done = []
+
+    def worker():
+        yield resource.acquire()
+        yield sim.timeout(2.0)
+        resource.release()
+        done.append(sim.now)
+
+    for _ in range(7):
+        sim.process(worker())
+    sim.run()
+    assert len(done) == 7
+    assert max(done) == pytest.approx(6.0)  # ceil(7/3) = 3 waves of 2 s

@@ -1,0 +1,84 @@
+"""Tests for the afraid-sim command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.traces import make_trace, write_trace_csv
+
+
+class TestWorkloads:
+    def test_lists_all_ten(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("hplajw", "snake", "cello-usr", "cello-news", "netware",
+                     "ATT", "AS400-1", "AS400-2", "AS400-3", "AS400-4"):
+            assert name in out
+
+
+class TestRun:
+    def test_afraid_run(self, capsys):
+        assert main(["run", "hplajw", "--duration", "5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "mean I/O time" in out
+        assert "disk MTTDL" in out
+
+    def test_mttdl_policy_needs_target(self):
+        with pytest.raises(SystemExit):
+            main(["run", "hplajw", "--policy", "mttdl", "--duration", "5"])
+
+    def test_mttdl_policy_with_target(self, capsys):
+        assert main(["run", "hplajw", "--policy", "mttdl", "--mttdl-target", "1e7",
+                     "--duration", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "MTTDL_1e+07" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nosuch"])
+
+    def test_json_output_parses(self, capsys):
+        import json
+
+        assert main(["run", "AS400-4", "--duration", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "AS400-4"
+        assert payload["policy"] == "afraid"
+        assert payload["mean_io_time_s"] > 0
+        assert 0.0 <= payload["unprotected_fraction"] <= 1.0
+
+
+class TestCompare:
+    def test_three_models(self, capsys):
+        assert main(["compare", "AS400-4", "--duration", "8", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        for model in ("raid0", "afraid", "raid5"):
+            assert model in out
+        assert "vs RAID5" in out
+
+
+class TestAnalyze:
+    def test_catalog_workload(self, capsys):
+        assert main(["analyze", "snake", "--duration", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "write fraction" in out
+        assert "duty cycle" in out
+
+    def test_csv_file(self, tmp_path, capsys):
+        path = tmp_path / "capture.csv"
+        write_trace_csv(make_trace("AS400-3", duration_s=10.0, seed=4), path)
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "capture" in out
+
+
+class TestAvailability:
+    def test_calculator(self, capsys):
+        assert main(["availability", "--fraction", "0.1", "--years", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "RAID 5 disk MTTDL" in out
+        assert "P(loss in 3 years)" in out
+
+    def test_reproduces_eq1(self, capsys):
+        main(["availability", "--fraction", "0.0"])
+        out = capsys.readouterr().out
+        assert "4.2e+09 h" in out

@@ -1,0 +1,79 @@
+"""Smoke tests: every shipped example runs clean and says what it should.
+
+Examples are deliverables too — these keep them working as the library
+evolves.  Each runs in-process via runpy with small arguments.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, name, argv=()):
+    monkeypatch.setattr(sys, "argv", [name, *argv])
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py")
+    assert "small-update problem" in out
+    assert "total 4" in out  # RAID 5 critical-path I/Os
+    assert "total 1" in out  # AFRAID
+    assert "dirty stripes = 0" in out  # scrubbed after idle
+
+
+def test_trace_replay(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "trace_replay.py", ["snake", "8"])
+    assert "raid0" in out and "afraid" in out and "raid5" in out
+    assert "faster than RAID 5" in out
+
+
+def test_policy_tradeoff(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "policy_tradeoff.py", ["AS400-3", "8"])
+    assert "availability/performance ladder" in out
+    assert "MTTDL_" in out
+
+
+def test_failure_injection(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "failure_injection.py")
+    assert "predicted loss" in out
+    assert "actual loss" in out
+    assert "scrubber wins the race" in out
+
+
+def test_availability_calculator(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "availability_calculator.py")
+    assert "475," in out  # the 475,000-year figure
+    assert "67 bytes/hour" in out  # PrestoServe
+
+
+def test_raid6_exploration(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "raid6_exploration.py")
+    assert "recovered both lost units" in out
+    assert "defer_both" in out
+
+
+def test_fit_your_workload(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "fit_your_workload.py", ["AS400-4", "15"])
+    assert "fitted:" in out
+    assert "what each policy would deliver" in out
+
+
+def test_every_example_is_covered():
+    """If someone adds an example, this suite must grow with it."""
+    shipped = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    covered = {
+        "quickstart.py",
+        "trace_replay.py",
+        "policy_tradeoff.py",
+        "failure_injection.py",
+        "availability_calculator.py",
+        "raid6_exploration.py",
+        "fit_your_workload.py",
+    }
+    assert shipped == covered

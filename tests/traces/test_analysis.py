@@ -1,0 +1,81 @@
+"""Tests for trace characterisation."""
+
+import pytest
+
+from repro.disk import IoKind
+from repro.traces import Trace, TraceRecord, make_trace
+from repro.traces.analysis import analyze, compare, find_bursts, sequential_fraction
+
+
+def burst_trace():
+    """Two clean bursts of 3 requests, 2 s apart."""
+    records = []
+    for burst_start in (0.0, 2.0):
+        for i in range(3):
+            records.append(
+                TraceRecord(burst_start + i * 0.01, IoKind.WRITE, i * 8, 8)
+            )
+    return Trace("bursts", records, duration_s=3.0)
+
+
+class TestFindBursts:
+    def test_counts_bursts_and_gaps(self):
+        analysis = find_bursts(burst_trace(), gap_threshold_s=0.1)
+        assert analysis.n_bursts == 2
+        assert analysis.burst_sizes.mean == pytest.approx(3.0)
+        assert analysis.idle_gaps.mean == pytest.approx(2.0 - 0.02)
+
+    def test_single_burst(self):
+        records = [TraceRecord(i * 0.01, IoKind.READ, 0, 8) for i in range(5)]
+        analysis = find_bursts(Trace("one", records), gap_threshold_s=0.1)
+        assert analysis.n_bursts == 1
+        assert analysis.idle_gaps.mean == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            find_bursts(Trace("empty", []))
+
+    def test_duty_cycle_bounded(self):
+        analysis = find_bursts(burst_trace())
+        assert 0.0 <= analysis.duty_cycle <= 1.0
+
+
+class TestSequentialFraction:
+    def test_fully_sequential(self):
+        records = [TraceRecord(i * 0.01, IoKind.READ, i * 8, 8) for i in range(5)]
+        assert sequential_fraction(Trace("seq", records)) == 1.0
+
+    def test_fully_random(self):
+        records = [
+            TraceRecord(0.0, IoKind.READ, 0, 8),
+            TraceRecord(0.1, IoKind.READ, 100, 8),
+            TraceRecord(0.2, IoKind.READ, 5000, 8),
+        ]
+        assert sequential_fraction(Trace("rand", records)) == 0.0
+
+    def test_short_trace(self):
+        assert sequential_fraction(Trace("tiny", [TraceRecord(0, IoKind.READ, 0, 8)])) == 0.0
+
+
+class TestAnalyze:
+    def test_report_fields(self):
+        report = analyze(burst_trace())
+        assert report.name == "bursts"
+        assert report.n_requests == 6
+        assert report.write_fraction == 1.0
+        assert report.footprint_sectors == 24  # 3 distinct 8-sector blocks
+        assert len(report.rows()) == 13
+
+    def test_catalog_traces_match_their_descriptions(self):
+        """The analyzer confirms the catalog's intent: hplajw idles far
+        more than ATT, and ATT drives far more IOPS."""
+        hplajw = analyze(make_trace("hplajw", duration_s=60.0, seed=3))
+        att = analyze(make_trace("ATT", duration_s=60.0, seed=3))
+        assert hplajw.bursts.idle_gaps.mean > 4 * att.bursts.idle_gaps.mean
+        assert att.mean_iops > 4 * hplajw.mean_iops
+        assert att.write_fraction > 0.6
+
+    def test_compare_returns_one_report_per_trace(self):
+        traces = [make_trace(name, duration_s=10.0, seed=1) for name in ("snake", "AS400-2")]
+        reports = compare(traces)
+        assert [report.name for report in reports] == ["snake", "AS400-2"]

@@ -1,0 +1,75 @@
+"""Tests for the compact binary trace format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces import make_trace, read_trace_binary, write_trace_binary
+
+
+class TestRoundTrip:
+    def test_exact_roundtrip(self, tmp_path):
+        trace = make_trace("cello-news", duration_s=10.0, seed=5)
+        path = tmp_path / "t.bin"
+        write_trace_binary(trace, path)
+        loaded = read_trace_binary(path, name=trace.name)
+        assert len(loaded) == len(trace)
+        for original, reloaded in zip(trace, loaded):
+            assert reloaded.time_s == original.time_s  # f64: bit-exact
+            assert reloaded.kind == original.kind
+            assert reloaded.offset_sectors == original.offset_sectors
+            assert reloaded.nsectors == original.nsectors
+            assert reloaded.sync == original.sync
+
+    def test_empty_trace(self, tmp_path):
+        from repro.traces import Trace
+
+        path = tmp_path / "empty.bin"
+        write_trace_binary(Trace("empty", []), path)
+        assert len(read_trace_binary(path)) == 0
+
+    def test_size_is_exactly_header_plus_records(self, tmp_path):
+        trace = make_trace("ATT", duration_s=20.0, seed=5)
+        binary_path = tmp_path / "t.bin"
+        write_trace_binary(trace, binary_path)
+        assert binary_path.stat().st_size == 16 + 24 * len(trace)
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=10, deadline=None)
+    def test_any_catalog_trace_roundtrips(self, seed, tmp_path_factory):
+        trace = make_trace("snake", duration_s=5.0, seed=seed)
+        path = tmp_path_factory.mktemp("bin") / "t.bin"
+        write_trace_binary(trace, path)
+        loaded = read_trace_binary(path)
+        assert [r.offset_sectors for r in loaded] == [r.offset_sectors for r in trace]
+
+
+class TestValidation:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOPE" + bytes(12))
+        with pytest.raises(ValueError, match="magic"):
+            read_trace_binary(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"AF")
+        with pytest.raises(ValueError, match="truncated header"):
+            read_trace_binary(path)
+
+    def test_truncated_records(self, tmp_path):
+        trace = make_trace("AS400-4", duration_s=5.0, seed=1)
+        path = tmp_path / "t.bin"
+        write_trace_binary(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(ValueError, match="truncated records"):
+            read_trace_binary(path)
+
+    def test_unsupported_version(self, tmp_path):
+        import struct
+
+        path = tmp_path / "future.bin"
+        path.write_bytes(struct.pack("<4sIQ", b"AFRD", 99, 0))
+        with pytest.raises(ValueError, match="version"):
+            read_trace_binary(path)

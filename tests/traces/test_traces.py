@@ -1,0 +1,188 @@
+"""Tests for trace records, CSV I/O, and the synthetic generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk import IoKind
+from repro.traces import (
+    BurstyWorkloadGenerator,
+    BurstyWorkloadParams,
+    CATALOG,
+    Trace,
+    TraceRecord,
+    make_trace,
+    read_trace_csv,
+    workload_names,
+    write_trace_csv,
+)
+
+SPACE = 2_000_000  # sectors
+
+
+def simple_params(**overrides):
+    defaults = dict(
+        name="test",
+        duration_s=30.0,
+        address_space_sectors=SPACE,
+        write_fraction=0.6,
+        requests_per_burst_mean=8,
+        within_burst_gap_s=0.01,
+        idle_gap_mean_s=0.5,
+        idle_gap_sigma=1.2,
+    )
+    defaults.update(overrides)
+    return BurstyWorkloadParams(**defaults)
+
+
+class TestRecords:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecord(-1.0, IoKind.READ, 0, 1)
+        with pytest.raises(ValueError):
+            TraceRecord(0.0, IoKind.READ, -1, 1)
+        with pytest.raises(ValueError):
+            TraceRecord(0.0, IoKind.READ, 0, 0)
+
+    def test_trace_must_be_time_ordered(self):
+        records = [
+            TraceRecord(1.0, IoKind.READ, 0, 8),
+            TraceRecord(0.5, IoKind.READ, 8, 8),
+        ]
+        with pytest.raises(ValueError):
+            Trace("bad", records)
+
+    def test_summary_statistics(self):
+        records = [
+            TraceRecord(0.0, IoKind.WRITE, 0, 8),
+            TraceRecord(1.0, IoKind.READ, 8, 16),
+            TraceRecord(5.0, IoKind.WRITE, 0, 8),
+        ]
+        trace = Trace("t", records, duration_s=10.0)
+        assert trace.write_fraction == pytest.approx(2 / 3)
+        assert trace.total_bytes == 32 * 512
+        assert trace.mean_iops == pytest.approx(0.3)
+        assert trace.idle_gaps(threshold_s=2.0) == [4.0]
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        trace = make_trace("snake", duration_s=5.0, address_space_sectors=SPACE, seed=7)
+        path = tmp_path / "snake.csv"
+        write_trace_csv(trace, path)
+        loaded = read_trace_csv(path)
+        assert loaded.name == "snake"
+        assert len(loaded) == len(trace)
+        for original, reloaded in zip(trace, loaded):
+            assert reloaded.kind == original.kind
+            assert reloaded.offset_sectors == original.offset_sectors
+            assert reloaded.nsectors == original.nsectors
+            assert reloaded.sync == original.sync
+            assert reloaded.time_s == pytest.approx(original.time_s, abs=1e-6)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope\n")
+        with pytest.raises(ValueError):
+            read_trace_csv(path)
+
+    def test_bad_record_reported_with_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time_s,op,offset_sectors,nsectors,sync\n0.0,X,0,8,0\n")
+        with pytest.raises(ValueError, match=":2"):
+            read_trace_csv(path)
+
+
+class TestGenerator:
+    def test_deterministic_for_seed(self):
+        a = BurstyWorkloadGenerator(simple_params(), seed=1).generate()
+        b = BurstyWorkloadGenerator(simple_params(), seed=1).generate()
+        assert len(a) == len(b)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_different_seeds_differ(self):
+        a = BurstyWorkloadGenerator(simple_params(), seed=1).generate()
+        b = BurstyWorkloadGenerator(simple_params(), seed=2).generate()
+        assert any(x != y for x, y in zip(a, b))
+
+    def test_respects_duration(self):
+        trace = BurstyWorkloadGenerator(simple_params(duration_s=10.0), seed=3).generate()
+        assert trace.duration_s == 10.0
+        assert all(record.time_s < 10.0 for record in trace)
+
+    def test_addresses_in_range_and_aligned(self):
+        trace = BurstyWorkloadGenerator(simple_params(), seed=4).generate()
+        for record in trace:
+            assert 0 <= record.offset_sectors
+            assert record.offset_sectors + record.nsectors <= SPACE
+            assert record.offset_sectors % record.nsectors == 0
+
+    def test_write_fraction_close_to_target(self):
+        trace = BurstyWorkloadGenerator(simple_params(duration_s=120.0), seed=5).generate()
+        assert len(trace) > 200
+        assert trace.write_fraction == pytest.approx(0.6, abs=0.08)
+
+    def test_burstiness_produces_long_gaps(self):
+        """Bursty workloads must have gaps well above the 100 ms idle threshold."""
+        trace = BurstyWorkloadGenerator(simple_params(duration_s=60.0), seed=6).generate()
+        long_gaps = trace.idle_gaps(threshold_s=0.1)
+        assert len(long_gaps) > 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simple_params(write_fraction=1.5)
+        with pytest.raises(ValueError):
+            simple_params(duration_s=0)
+        with pytest.raises(ValueError):
+            simple_params(requests_per_burst_mean=0.5)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_any_seed_yields_valid_trace(self, seed):
+        trace = BurstyWorkloadGenerator(simple_params(duration_s=5.0), seed=seed).generate()
+        previous = 0.0
+        for record in trace:
+            assert record.time_s >= previous
+            previous = record.time_s
+            assert record.offset_sectors + record.nsectors <= SPACE
+
+
+class TestCatalog:
+    def test_ten_workloads(self):
+        # hplajw, snake, cello x2, netware, ATT, AS400 x4
+        assert len(workload_names()) == 10
+        assert workload_names()[0] == "hplajw"
+
+    def test_all_specs_generate(self):
+        for name in workload_names():
+            trace = make_trace(name, duration_s=5.0, address_space_sectors=SPACE, seed=1)
+            assert len(trace) >= 1, name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            make_trace("nosuch")
+
+    def test_load_ordering_matches_descriptions(self):
+        """netware/ATT drive the array much harder than hplajw."""
+        rates = {
+            name: CATALOG[name].params(duration_s=1.0, address_space_sectors=SPACE).approximate_iops
+            for name in workload_names()
+        }
+        assert rates["netware"] > 4 * rates["hplajw"]
+        assert rates["ATT"] > 4 * rates["hplajw"]
+        assert rates["AS400-1"] > rates["AS400-4"]
+
+    def test_heavy_workloads_are_write_heavy(self):
+        assert CATALOG["netware"].write_fraction >= 0.8
+        assert CATALOG["cello-news"].write_fraction >= 0.75
+
+    def test_same_seed_same_trace_across_calls(self):
+        a = make_trace("ATT", duration_s=5.0, address_space_sectors=SPACE, seed=9)
+        b = make_trace("ATT", duration_s=5.0, address_space_sectors=SPACE, seed=9)
+        assert len(a) == len(b)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_different_workloads_different_streams(self):
+        a = make_trace("AS400-2", duration_s=5.0, address_space_sectors=SPACE, seed=9)
+        b = make_trace("AS400-3", duration_s=5.0, address_space_sectors=SPACE, seed=9)
+        assert [r.time_s for r in a] != [r.time_s for r in b]
