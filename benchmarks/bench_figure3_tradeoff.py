@@ -9,7 +9,7 @@ availability loss, ending near RAID 0 performance at roughly half the
 availability.
 """
 
-from conftest import BENCH_DURATION_S, BENCH_SEED, run_once
+from conftest import BENCH_DURATION_S, BENCH_JOBS, BENCH_SEED, bench_cache_dir, run_once
 
 from repro.harness import (
     DEFAULT_MTTDL_TARGETS,
@@ -25,7 +25,14 @@ def compute():
     workloads = workload_names()
     ladder = policy_ladder(targets=DEFAULT_MTTDL_TARGETS)
     labels = [entry.label for entry in ladder]
-    grid = run_policy_grid(workloads, ladder, duration_s=BENCH_DURATION_S, seed=BENCH_SEED)
+    grid = run_policy_grid(
+        workloads,
+        ladder,
+        jobs=BENCH_JOBS,
+        cache_dir=bench_cache_dir(),
+        duration_s=BENCH_DURATION_S,
+        seed=BENCH_SEED,
+    )
     points = tradeoff_curve(grid, workloads, labels)
     return points
 

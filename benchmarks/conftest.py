@@ -12,12 +12,28 @@ what factor — so they double as regression tests for the reproduction.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 #: One simulated duration for all trace-driven benches, long enough for
 #: dozens of burst/idle cycles on every catalog workload.
 BENCH_DURATION_S = 60.0
 BENCH_SEED = 1
+
+#: Worker processes for grid-shaped benches (Figures 3/4).  Defaults to
+#: serial so timing numbers stay comparable; export AFRAID_BENCH_JOBS=N
+#: to fan cells out over the parallel sweep engine.
+BENCH_JOBS = int(os.environ.get("AFRAID_BENCH_JOBS", "1"))
+
+
+def bench_cache_dir() -> str | None:
+    """Result-cache directory for grid benches (off unless exported).
+
+    Export AFRAID_BENCH_CACHE=.repro-cache to make figure reruns
+    simulate only the cells whose code or config changed.
+    """
+    return os.environ.get("AFRAID_BENCH_CACHE") or None
 
 
 @pytest.fixture()

@@ -102,6 +102,7 @@ class ByteBudget:
         self.sim = sim
         self.capacity_bytes = capacity_bytes
         self.name = name
+        self._grant_name = f"{name}.grant"
         self._in_use = 0
         self._waiters: collections.deque[tuple[int, Event]] = collections.deque()
 
@@ -126,7 +127,7 @@ class ByteBudget:
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
         amount = self.clamp(nbytes)
-        grant = Event(self.sim, name=f"{self.name}.grant({amount})")
+        grant = Event(self.sim, name=self._grant_name)
         if not self._waiters and self._in_use + amount <= self.capacity_bytes:
             self._in_use += amount
             grant.succeed(amount)

@@ -105,6 +105,13 @@ class DiskArray:
         self.params = params if params is not None else ReliabilityParams()
         self.functional = functional
         self.name = name
+        # Hot-path event/process labels, formatted once (per-request
+        # f-strings showed up in sweep profiles).
+        self._ev_done = f"{name}.done"
+        self._ev_service = f"{name}.service"
+        self._ev_r5w = f"{name}.r5w"
+        self._ev_rebuild = f"{name}.rebuild"
+        self._ev_commit = f"{name}.commit"
         self.cache_hit_latency_s = cache_hit_latency_s
         if write_policy not in ("writethrough", "writeback"):
             raise ValueError(f"write_policy must be writethrough|writeback, got {write_policy!r}")
@@ -214,7 +221,7 @@ class DiskArray:
             raise ValueError("request was already submitted")
         request.submit_time = self.sim.now
         self.detector.activity_started()
-        done = self.sim.event(name=f"{self.name}.done")
+        done = self.sim.event(name=self._ev_done)
         self._host_queue.push((request, done), request.offset_sectors)
         if not self._host_pumping:
             self._host_pumping = True
@@ -245,7 +252,7 @@ class DiskArray:
                 yield self.slots.acquire()
                 (request, done), position = self._host_queue.pop(self._clook_position)
                 self._clook_position = position
-                self.sim.process(self._service(request, done), name=f"{self.name}.service")
+                self.sim.process(self._service(request, done), name=self._ev_service)
         finally:
             self._host_pumping = False
 
@@ -464,7 +471,7 @@ class DiskArray:
     def _write_raid5(self, request: ArrayRequest, runs_by_stripe: dict[int, list[ExtentRun]]):
         """RAID 5 semantics: parity leaves this write consistent."""
         stripe_procs = [
-            self.sim.process(self._write_raid5_stripe(stripe, runs), name=f"{self.name}.r5w")
+            self.sim.process(self._write_raid5_stripe(stripe, runs), name=self._ev_r5w)
             for stripe, runs in runs_by_stripe.items()
         ]
         yield AllOf(self.sim, stripe_procs)
@@ -653,7 +660,7 @@ class DiskArray:
             return
         if not self.marks.is_marked(stripe):
             return  # already clean
-        barrier = self.sim.event(name=f"{self.name}.rebuild.{stripe}")
+        barrier = self.sim.event(name=self._ev_rebuild)
         self._rebuilding[stripe] = barrier
         try:
             unit_sectors = self.layout.stripe_unit_sectors
@@ -692,7 +699,7 @@ class DiskArray:
         if self._degraded_disk is not None:
             raise RuntimeError("cannot commit while degraded: rebuild the failed disk first")
         stripes = list(self.layout.stripes_touched(offset_sectors, nsectors))
-        done = self.sim.event(name=f"{self.name}.commit")
+        done = self.sim.event(name=self._ev_commit)
 
         def committer():
             for stripe in stripes:
@@ -702,7 +709,7 @@ class DiskArray:
                     yield from self._scrub_stripe(stripe)
             return len(stripes)
 
-        proc = self.sim.process(committer(), name=f"{self.name}.committer")
+        proc = self.sim.process(committer(), name=self._ev_commit)
         proc.add_callback(lambda event: done.succeed(event.value) if event.ok else done.fail(event.exception))
         return done
 
@@ -731,7 +738,7 @@ class DiskArray:
             return
         if not self.marks.is_marked(stripe, sub_unit):
             return
-        barrier = self.sim.event(name=f"{self.name}.rebuild.{stripe}.{sub_unit}")
+        barrier = self.sim.event(name=self._ev_rebuild)
         self._rebuilding[stripe] = barrier
         try:
             start, nsectors = self._sub_unit_extent(sub_unit)

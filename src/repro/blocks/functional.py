@@ -24,6 +24,18 @@ class DataLostError(Exception):
     """The requested data is unrecoverable (failed disk + stale parity)."""
 
 
+def xor_reduce(buffers: list[np.ndarray]) -> np.ndarray:
+    """Xor equal-length uint8 buffers into a fresh array in one C pass.
+
+    ``np.bitwise_xor.reduce`` over a stacked matrix replaces the
+    Python-level accumulate loop the parity paths used to run — one
+    vectorised reduction instead of one temporary copy per stripe unit.
+    """
+    if len(buffers) == 1:
+        return buffers[0].copy()
+    return np.bitwise_xor.reduce(np.stack(buffers), axis=0)
+
+
 class FunctionalArray:
     """Real-bytes left-symmetric RAID 5 with optionally deferred parity."""
 
@@ -67,12 +79,14 @@ class FunctionalArray:
             run_bytes = run.nsectors * self.sector_bytes
             new_data = buffer[offset : offset + run_bytes]
             if update_parity and run.stripe not in self._dirty:
-                old_data = self.store.read(run.disk, run.disk_lba, run.nsectors)
+                old_data = self.store.read_view(run.disk, run.disk_lba, run.nsectors)
                 parity_unit = self.layout.parity_unit(run.stripe)
                 in_unit = run.disk_lba - parity_unit.disk_lba  # offset within the stripe unit
                 parity_lba = parity_unit.disk_lba + in_unit
-                old_parity = self.store.read(parity_unit.disk, parity_lba, run.nsectors)
-                self.store.write(parity_unit.disk, parity_lba, old_parity ^ old_data ^ new_data)
+                old_parity = self.store.read_view(parity_unit.disk, parity_lba, run.nsectors)
+                new_parity = np.bitwise_xor(old_parity, old_data)  # fresh buffer, views intact
+                new_parity ^= new_data
+                self.store.write(parity_unit.disk, parity_lba, new_parity)
                 self.store.write(run.disk, run.disk_lba, new_data)
             else:
                 # AFRAID write, or a RAID 5 write to an already-dirty stripe
@@ -105,16 +119,17 @@ class FunctionalArray:
         parity_unit = self.layout.parity_unit(run.stripe)
         in_unit = run.disk_lba - parity_unit.disk_lba
         try:
-            result = self.store.read(
-                parity_unit.disk, parity_unit.disk_lba + in_unit, run.nsectors
+            surviving = [
+                self.store.read_view(parity_unit.disk, parity_unit.disk_lba + in_unit, run.nsectors)
+            ]
+            surviving.extend(
+                self.store.read_view(unit.disk, unit.disk_lba + in_unit, run.nsectors)
+                for unit in self.layout.data_units(run.stripe)
+                if unit.disk != run.disk
             )
-            for unit in self.layout.data_units(run.stripe):
-                if unit.disk == run.disk:
-                    continue
-                result ^= self.store.read(unit.disk, unit.disk_lba + in_unit, run.nsectors)
         except StoreDiskFailedError as exc:
             raise DataLostError(f"multiple failures cover stripe {run.stripe}") from exc
-        return result
+        return xor_reduce(surviving)
 
     # -- parity maintenance ---------------------------------------------------------------
 
@@ -126,9 +141,12 @@ class FunctionalArray:
         """
         parity_unit = self.layout.parity_unit(stripe)
         nsectors = self.layout.stripe_unit_sectors
-        parity = np.zeros(nsectors * self.sector_bytes, dtype=np.uint8)
-        for unit in self.layout.data_units(stripe):
-            parity ^= self.store.read(unit.disk, unit.disk_lba, nsectors)
+        parity = xor_reduce(
+            [
+                self.store.read_view(unit.disk, unit.disk_lba, nsectors)
+                for unit in self.layout.data_units(stripe)
+            ]
+        )
         self.store.write(parity_unit.disk, parity_unit.disk_lba, parity)
         self._dirty.discard(stripe)
 
@@ -145,10 +163,13 @@ class FunctionalArray:
         """True if on-disk parity equals the xor of the stripe's data."""
         parity_unit = self.layout.parity_unit(stripe)
         nsectors = self.layout.stripe_unit_sectors
-        expected = np.zeros(nsectors * self.sector_bytes, dtype=np.uint8)
-        for unit in self.layout.data_units(stripe):
-            expected ^= self.store.read(unit.disk, unit.disk_lba, nsectors)
-        actual = self.store.read(parity_unit.disk, parity_unit.disk_lba, nsectors)
+        expected = xor_reduce(
+            [
+                self.store.read_view(unit.disk, unit.disk_lba, nsectors)
+                for unit in self.layout.data_units(stripe)
+            ]
+        )
+        actual = self.store.read_view(parity_unit.disk, parity_unit.disk_lba, nsectors)
         return bool(np.array_equal(expected, actual))
 
     # -- failure accounting ----------------------------------------------------------------

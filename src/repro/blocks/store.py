@@ -64,6 +64,19 @@ class BlockStore:
         end = start + nsectors * self.sector_bytes
         return self._surfaces[disk][start:end].copy()
 
+    def read_view(self, disk: int, lba: int, nsectors: int) -> np.ndarray:
+        """Zero-copy view of ``nsectors`` starting at ``lba`` on ``disk``.
+
+        For read-only consumers (the xor/parity paths): callers must not
+        mutate the result and must not hold it across a write to the same
+        extent.  Use :meth:`read` when in doubt.
+        """
+        self._check_extent(disk, lba, nsectors)
+        if self._failed[disk]:
+            raise StoreDiskFailedError(f"disk {disk} has failed")
+        start = lba * self.sector_bytes
+        return self._surfaces[disk][start : start + nsectors * self.sector_bytes]
+
     def write(self, disk: int, lba: int, data: np.ndarray | bytes) -> None:
         """Write ``data`` (a whole number of sectors) at ``lba`` on ``disk``."""
         buffer = np.frombuffer(bytes(data), dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else data

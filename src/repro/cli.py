@@ -5,6 +5,7 @@ Installed as ``afraid-sim``::
     afraid-sim workloads                     # list the trace catalog
     afraid-sim run cello-usr --policy afraid --duration 30
     afraid-sim compare ATT --duration 20     # RAID 0 / AFRAID / RAID 5
+    afraid-sim sweep --jobs 4                # Figure 3/4 grid, in parallel
     afraid-sim availability --fraction 0.05  # Section 3 calculator
 """
 
@@ -21,7 +22,7 @@ from repro.availability import (
     combine_mttdl,
     raid5_mttdl_catastrophic,
 )
-from repro.harness import format_quantity, format_table, run_experiment
+from repro.harness import DEFAULT_CACHE_DIR, format_quantity, format_table, run_experiment
 from repro.policy import (
     AlwaysRaid5Policy,
     BaselineAfraidPolicy,
@@ -124,6 +125,76 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.harness import (
+        DEFAULT_MTTDL_TARGETS,
+        ladder_specs,
+        run_cells,
+        tradeoff_curve,
+    )
+
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    workloads = args.workloads or workload_names()
+    for workload in workloads:
+        if workload not in CATALOG:
+            raise SystemExit(f"unknown workload {workload!r}; choose from {workload_names()}")
+    targets = args.targets if args.targets else list(DEFAULT_MTTDL_TARGETS)
+    specs = ladder_specs(workloads, targets, duration_s=args.duration, seed=args.seed)
+    labels = []
+    for spec in specs:
+        if spec.policy.label not in labels:
+            labels.append(spec.policy.label)
+    cache_dir = None if args.no_cache else args.cache_dir
+    outcome = run_cells(specs, jobs=args.jobs, cache_dir=cache_dir)
+    points = tradeoff_curve(outcome.results, workloads, labels)
+
+    if args.json:
+        import json
+
+        payload = {
+            "workloads": list(workloads),
+            "cells": {f"{w}/{p}": r.to_dict() for (w, p), r in sorted(outcome.results.items())},
+            "tradeoff": [
+                {
+                    "policy": point.label,
+                    "relative_performance": point.relative_performance,
+                    "relative_availability": point.relative_availability,
+                }
+                for point in points
+            ],
+            "simulated": outcome.simulated,
+            "cached": outcome.cached,
+            "wall_s": outcome.wall_s,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    rows = [
+        [
+            point.label,
+            f"{point.relative_performance:.2f}",
+            f"{point.relative_availability:.2f}",
+        ]
+        for point in points
+    ]
+    print(
+        format_table(
+            ["policy", "rel. perf", "rel. avail"],
+            rows,
+            title=(
+                f"{len(specs)} cells over {len(workloads)} workloads "
+                f"({args.duration:g}s, seed {args.seed}); both axes relative to RAID 5"
+            ),
+        )
+    )
+    print(
+        f"\n{outcome.simulated} simulated, {outcome.cached} from cache, "
+        f"{outcome.wall_s:.1f}s wall-clock with --jobs {args.jobs}"
+    )
+    return 0
+
+
 def cmd_availability(args: argparse.Namespace) -> int:
     params = TABLE_1
     raid5 = raid5_mttdl_catastrophic(args.ndisks, params.mttf_disk_h, params.mttr_h)
@@ -176,6 +247,29 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_parser.add_argument("--seed", type=int, default=42)
     analyze_parser.add_argument("--gap", type=float, default=0.1, help="burst-splitting gap (s)")
     analyze_parser.set_defaults(handler=cmd_analyze)
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="run the Figure 3/4 policy-ladder grid via the parallel sweep engine"
+    )
+    sweep_parser.add_argument(
+        "workloads", nargs="*", help="workload names (default: the full catalog)"
+    )
+    sweep_parser.add_argument(
+        "--targets", type=float, nargs="+", default=None, help="MTTDL_x targets in hours"
+    )
+    sweep_parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    sweep_parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    sweep_parser.add_argument(
+        "--no-cache", action="store_true", help="always re-simulate, never touch the cache"
+    )
+    sweep_parser.add_argument("--duration", type=float, default=30.0)
+    sweep_parser.add_argument("--seed", type=int, default=42)
+    sweep_parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    sweep_parser.set_defaults(handler=cmd_sweep)
 
     avail_parser = commands.add_parser("availability", help="Section 3 analytic calculator")
     avail_parser.add_argument("--ndisks", type=int, default=5)

@@ -238,7 +238,7 @@ class MechanicalDisk:
                 overhead=self.controller_overhead_s, seek=0.0,
                 rotational_latency=0.0, transfer=0.0,
             )
-            done = self.sim.event(name=f"{self.name}.cached_read@{io.lba}")
+            done = self.sim.event(name="cached_read")
             self.sim.timeout(breakdown.total).add_callback(
                 lambda _event: self._complete(done, breakdown)
             )
@@ -271,7 +271,7 @@ class MechanicalDisk:
         else:
             self._invalidate_segments(io)
 
-        done = self.sim.event(name=f"{self.name}.{io.kind.value}@{io.lba}")
+        done = self.sim.event(name=io.kind.value)
         if io.kind is IoKind.WRITE and self.immediate_report:
             # Immediate reporting: the host sees completion as soon as
             # the data is in the drive buffer; the mechanism stays busy

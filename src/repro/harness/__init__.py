@@ -9,6 +9,16 @@ derived MTTDL / MDLR figures.
 from repro.harness.experiment import ExperimentResult, run_experiment
 from repro.harness.figures import ascii_bars, ascii_scatter, ascii_series
 from repro.harness.replay import gather, replay_trace
+from repro.harness.runner import (
+    DEFAULT_CACHE_DIR,
+    CellSpec,
+    PolicySpec,
+    ResultCache,
+    SweepOutcome,
+    cache_key,
+    ladder_specs,
+    run_cells,
+)
 from repro.harness.sweeps import (
     DEFAULT_MTTDL_TARGETS,
     PolicyLadderEntry,
@@ -19,17 +29,25 @@ from repro.harness.sweeps import (
 from repro.harness.tables import format_quantity, format_table
 
 __all__ = [
+    "DEFAULT_CACHE_DIR",
     "DEFAULT_MTTDL_TARGETS",
+    "CellSpec",
     "ExperimentResult",
     "PolicyLadderEntry",
+    "PolicySpec",
+    "ResultCache",
+    "SweepOutcome",
     "ascii_bars",
     "ascii_scatter",
     "ascii_series",
+    "cache_key",
     "format_quantity",
     "format_table",
     "gather",
+    "ladder_specs",
     "policy_ladder",
     "replay_trace",
+    "run_cells",
     "run_experiment",
     "run_policy_grid",
     "tradeoff_curve",

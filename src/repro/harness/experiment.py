@@ -17,7 +17,7 @@ from repro.availability import (
 )
 from repro.disk import hp_c3325
 from repro.harness.replay import replay_trace
-from repro.metrics import Summary
+from repro.metrics import PerfCounters, Summary
 from repro.policy import ParityPolicy
 from repro.sim import Simulator
 from repro.traces import Trace, make_trace
@@ -135,34 +135,43 @@ def run_experiment(
     idle_threshold_s: float = 0.100,
     params: ReliabilityParams = TABLE_1,
     extra_settle_s: float = 0.0,
+    counters: PerfCounters | None = None,
 ) -> ExperimentResult:
     """Run one (workload, policy) experiment from a clean simulator.
 
     ``workload`` is a catalog name (a trace is generated to fit the
     array's data capacity) or a pre-built :class:`Trace`.  ``policy`` must
-    be a fresh instance — policies carry per-run state.
+    be a fresh instance — policies carry per-run state.  Pass a
+    :class:`~repro.metrics.PerfCounters` to observe where the run spent
+    wall-clock and how much kernel work it did.
     """
+    if counters is None:
+        counters = PerfCounters()  # throwaway: keeps the body branch-free
     sim = Simulator()
-    array = build_array(
-        sim,
-        policy,
-        ndisks=ndisks,
-        stripe_unit_sectors=stripe_unit_sectors,
-        disk_factory=disk_factory,
-        idle_threshold_s=idle_threshold_s,
-        params=params,
-        name=policy.describe(),
-    )
-    if isinstance(workload, Trace):
-        trace = workload
-    else:
-        trace = make_trace(
-            workload,
-            duration_s=duration_s,
-            address_space_sectors=array.layout.total_data_sectors,
-            seed=seed,
+    with counters.phase("setup"):
+        array = build_array(
+            sim,
+            policy,
+            ndisks=ndisks,
+            stripe_unit_sectors=stripe_unit_sectors,
+            disk_factory=disk_factory,
+            idle_threshold_s=idle_threshold_s,
+            params=params,
+            name=policy.describe(),
         )
-    outcome = replay_trace(sim, array, trace, extra_settle_s=extra_settle_s)
+        if isinstance(workload, Trace):
+            trace = workload
+        else:
+            trace = make_trace(
+                workload,
+                duration_s=duration_s,
+                address_space_sectors=array.layout.total_data_sectors,
+                seed=seed,
+            )
+    with counters.phase("replay"):
+        outcome = replay_trace(sim, array, trace, extra_settle_s=extra_settle_s)
+    counters.count("events_dispatched", sim.events_dispatched)
+    counters.count("ios_serviced", array.stats.reads_completed + array.stats.writes_completed)
     if outcome.failures:
         raise RuntimeError(
             f"{len(outcome.failures)} requests failed during a fault-free run: "
@@ -170,12 +179,13 @@ def run_experiment(
         )
 
     tracker = array.lag_tracker
-    mttdl_disk, mdlr_unprot, mdlr_disk, mttdl_overall, mdlr_overall = derive_availability(
-        ndisks=array.ndisks,
-        unprotected_fraction=tracker.unprotected_fraction,
-        mean_parity_lag_bytes=tracker.mean_parity_lag_bytes,
-        params=params,
-    )
+    with counters.phase("reduce"):
+        mttdl_disk, mdlr_unprot, mdlr_disk, mttdl_overall, mdlr_overall = derive_availability(
+            ndisks=array.ndisks,
+            unprotected_fraction=tracker.unprotected_fraction,
+            mean_parity_lag_bytes=tracker.mean_parity_lag_bytes,
+            params=params,
+        )
     return ExperimentResult(
         workload=trace.name,
         policy=policy.describe(),

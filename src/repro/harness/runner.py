@@ -1,0 +1,329 @@
+"""Parallel sweep engine with a content-addressed on-disk result cache.
+
+Every headline figure is a grid of independent (workload, policy, seed)
+cells, each a fresh simulator — embarrassingly parallel.  This module
+fans cells out over :class:`concurrent.futures.ProcessPoolExecutor` and
+memoises finished cells on disk, keyed by a hash of everything that can
+change the answer: the cell's full configuration plus a fingerprint of
+the installed ``repro`` source tree.  Re-running a sweep after an edit
+re-simulates only what the edit could have affected; re-running with no
+edits is pure cache reads.
+
+Cells are described by :class:`CellSpec` — plain data, picklable, and
+hashable into a cache key — rather than by policy *instances* (policies
+carry per-run state and closures don't cross process boundaries).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import time
+import typing
+
+from repro.array.factory import PAPER_NDISKS, PAPER_STRIPE_UNIT_SECTORS
+from repro.availability import ReliabilityParams, TABLE_1
+from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.metrics import PerfCounters, Summary
+from repro.policy import (
+    AlwaysRaid5Policy,
+    BaselineAfraidPolicy,
+    MttdlTargetPolicy,
+    NeverScrubPolicy,
+    ParityPolicy,
+)
+
+#: Bump when the cached payload layout (not the results) changes shape.
+CACHE_SCHEMA = 1
+
+#: Default cache location (gitignored).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+# -- cell specification -----------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicySpec:
+    """A picklable, hashable description of a parity policy.
+
+    ``kind`` is one of ``raid5`` / ``afraid`` / ``raid0`` / ``mttdl``;
+    ``mttdl`` additionally needs ``mttdl_target`` (hours).
+    """
+
+    kind: str
+    mttdl_target: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("raid5", "afraid", "raid0", "mttdl"):
+            raise ValueError(f"unknown policy kind {self.kind!r}")
+        if self.kind == "mttdl" and self.mttdl_target is None:
+            raise ValueError("mttdl policy needs mttdl_target")
+
+    def build(self, params: ReliabilityParams = TABLE_1) -> ParityPolicy:
+        """A fresh policy instance (policies carry per-run state)."""
+        if self.kind == "raid5":
+            return AlwaysRaid5Policy()
+        if self.kind == "afraid":
+            return BaselineAfraidPolicy()
+        if self.kind == "raid0":
+            return NeverScrubPolicy()
+        return MttdlTargetPolicy(self.mttdl_target, params=params)
+
+    @property
+    def label(self) -> str:
+        """The ladder label used in figures and grid keys."""
+        if self.kind == "mttdl":
+            return f"MTTDL_{self.mttdl_target:.0e}"
+        return self.kind
+
+
+@dataclasses.dataclass(frozen=True)
+class CellSpec:
+    """One experiment cell: everything :func:`run_experiment` needs, as data.
+
+    The spec deliberately covers only the picklable subset of
+    ``run_experiment``'s signature — cells always use the default disk
+    model.  Two equal specs (plus equal code) produce identical results,
+    which is what makes the cache sound.
+    """
+
+    workload: str
+    policy: PolicySpec
+    duration_s: float = 40.0
+    seed: int = 42
+    ndisks: int = PAPER_NDISKS
+    stripe_unit_sectors: int = PAPER_STRIPE_UNIT_SECTORS
+    idle_threshold_s: float = 0.100
+    extra_settle_s: float = 0.0
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """The (workload, policy label) grid key."""
+        return (self.workload, self.policy.label)
+
+    def to_config(self) -> dict:
+        """The flat, JSON-stable dict hashed into the cache key."""
+        config = dataclasses.asdict(self)
+        config["policy"] = dataclasses.asdict(self.policy)
+        return config
+
+
+# -- cache keys -------------------------------------------------------------------
+
+
+def code_fingerprint(refresh: bool = False) -> str:
+    """A hash of every ``repro`` source file, so code edits invalidate results.
+
+    Computed once per process; ``refresh=True`` forces a rescan (tests).
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None or refresh:
+        package_root = pathlib.Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(path.read_bytes())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+_FINGERPRINT: str | None = None
+
+
+def cache_key(spec: CellSpec) -> str:
+    """Content address of one cell: config + schema + code fingerprint."""
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "code": code_fingerprint(),
+        "cell": spec.to_config(),
+    }
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode()).hexdigest()
+
+
+# -- result (de)serialisation -----------------------------------------------------
+
+
+def result_to_payload(result: ExperimentResult) -> dict:
+    """A JSON-shaped dict that round-trips through :func:`result_from_payload`.
+
+    Infinities become the string ``"inf"`` so the files are strict JSON.
+    """
+
+    def encode(value):
+        if isinstance(value, float) and value == float("inf"):
+            return "inf"
+        if isinstance(value, dict):
+            return {key: encode(item) for key, item in value.items()}
+        return value
+
+    return {key: encode(value) for key, value in dataclasses.asdict(result).items()}
+
+
+def result_from_payload(payload: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from a cached payload."""
+
+    def revive(value):
+        if value == "inf":
+            return float("inf")
+        if isinstance(value, dict):
+            return {key: revive(item) for key, item in value.items()}
+        return value
+
+    data = {key: revive(value) for key, value in payload.items()}
+    data["io_time"] = Summary(**data["io_time"])
+    data["params"] = ReliabilityParams(**data["params"])
+    return ExperimentResult(**data)
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` result files.
+
+    Corrupt or unreadable entries are treated as misses — a sweep must
+    never crash because a cache file was truncated mid-write (entries are
+    written via a temp file + rename to keep that window small).
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike) -> None:
+        self.root = pathlib.Path(cache_dir)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> ExperimentResult | None:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            return result_from_payload(payload)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupted / stale-schema entry: drop it and recompute.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+
+    def store(self, key: str, result: ExperimentResult) -> None:
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(result_to_payload(result)))
+        tmp.replace(path)
+
+
+# -- execution --------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class SweepOutcome:
+    """A finished sweep: the grid plus where each cell came from."""
+
+    results: dict[tuple[str, str], ExperimentResult]
+    simulated: int
+    cached: int
+    wall_s: float
+
+    def __getitem__(self, key: tuple[str, str]) -> ExperimentResult:
+        return self.results[key]
+
+
+def run_cell(spec: CellSpec) -> ExperimentResult:
+    """Simulate one cell (the process-pool work function)."""
+    return run_experiment(
+        spec.workload,
+        spec.policy.build(),
+        duration_s=spec.duration_s,
+        seed=spec.seed,
+        ndisks=spec.ndisks,
+        stripe_unit_sectors=spec.stripe_unit_sectors,
+        idle_threshold_s=spec.idle_threshold_s,
+        extra_settle_s=spec.extra_settle_s,
+    )
+
+
+def run_cells(
+    specs: typing.Sequence[CellSpec],
+    jobs: int = 1,
+    cache_dir: str | os.PathLike | None = None,
+    counters: PerfCounters | None = None,
+) -> SweepOutcome:
+    """Run every cell, in parallel when ``jobs > 1``, through the cache.
+
+    Results are keyed by ``(workload, policy label)``.  ``jobs`` counts
+    worker processes; cells already in the cache never reach a worker, so
+    a warm rerun is pure I/O.  Cell order never affects results — each
+    cell is a fresh simulator with its own explicitly-seeded RNG.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    started = time.perf_counter()
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    results: dict[tuple[str, str], ExperimentResult] = {}
+    pending: list[tuple[CellSpec, str | None]] = []
+
+    for spec in specs:
+        key = cache_key(spec) if cache is not None else None
+        hit = cache.load(key) if cache is not None else None
+        if hit is not None:
+            results[spec.key] = hit
+        else:
+            pending.append((spec, key))
+
+    cached = len(results)
+    if counters is not None:
+        counters.count("cells_cached", cached)
+
+    if pending:
+        if jobs == 1:
+            computed = [run_cell(spec) for spec, _key in pending]
+        else:
+            with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+                computed = list(pool.map(run_cell, [spec for spec, _key in pending]))
+        for (spec, key), result in zip(pending, computed):
+            results[spec.key] = result
+            if cache is not None and key is not None:
+                cache.store(key, result)
+
+    if counters is not None:
+        counters.count("cells_simulated", len(pending))
+        counters.count("ios_serviced", sum(r.reads + r.writes for r in results.values()))
+    return SweepOutcome(
+        results=results,
+        simulated=len(pending),
+        cached=cached,
+        wall_s=time.perf_counter() - started,
+    )
+
+
+def ladder_specs(
+    workloads: typing.Sequence[str],
+    targets: typing.Sequence[float],
+    include_raid5: bool = True,
+    include_raid0: bool = True,
+    **cell_kwargs,
+) -> list[CellSpec]:
+    """The full (workload × policy ladder) grid as cell specs.
+
+    Mirrors :func:`repro.harness.sweeps.policy_ladder`'s ordering: RAID 5,
+    MTTDL_x targets tight to loose, baseline AFRAID, RAID 0.
+    """
+    policies: list[PolicySpec] = []
+    if include_raid5:
+        policies.append(PolicySpec("raid5"))
+    for target in sorted(targets, reverse=True):
+        policies.append(PolicySpec("mttdl", mttdl_target=target))
+    policies.append(PolicySpec("afraid"))
+    if include_raid0:
+        policies.append(PolicySpec("raid0"))
+    return [
+        CellSpec(workload=workload, policy=policy, **cell_kwargs)
+        for workload in workloads
+        for policy in policies
+    ]

@@ -7,6 +7,7 @@ import typing
 
 from repro.availability import ReliabilityParams, TABLE_1
 from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.runner import CellSpec, PolicySpec, run_cells
 from repro.metrics import geometric_mean
 from repro.policy import (
     AlwaysRaid5Policy,
@@ -26,10 +27,16 @@ DEFAULT_MTTDL_TARGETS: tuple[float, ...] = (1.0e9, 1.0e8, 3.0e7, 1.0e7, 3.0e6, 1
 
 @dataclasses.dataclass(frozen=True)
 class PolicyLadderEntry:
-    """A labelled policy constructor (policies are stateful: one per run)."""
+    """A labelled policy constructor (policies are stateful: one per run).
+
+    ``spec`` is the picklable description of the same policy; entries that
+    carry one can run through the parallel sweep engine.  Custom entries
+    built around arbitrary factories leave it ``None`` and run serially.
+    """
 
     label: str
     factory: typing.Callable[[], ParityPolicy]
+    spec: PolicySpec | None = None
 
 
 def policy_ladder(
@@ -45,26 +52,57 @@ def policy_ladder(
     """
     ladder: list[PolicyLadderEntry] = []
     if include_raid5:
-        ladder.append(PolicyLadderEntry("raid5", AlwaysRaid5Policy))
+        ladder.append(PolicyLadderEntry("raid5", AlwaysRaid5Policy, PolicySpec("raid5")))
     for target in sorted(targets, reverse=True):
         ladder.append(
             PolicyLadderEntry(
                 f"MTTDL_{target:.0e}",
                 lambda target=target: MttdlTargetPolicy(target, params=params),
+                # The spec only captures the target; non-default params
+                # would make the cell unrepresentable, so skip it then.
+                PolicySpec("mttdl", mttdl_target=target) if params is TABLE_1 else None,
             )
         )
-    ladder.append(PolicyLadderEntry("afraid", BaselineAfraidPolicy))
+    ladder.append(PolicyLadderEntry("afraid", BaselineAfraidPolicy, PolicySpec("afraid")))
     if include_raid0:
-        ladder.append(PolicyLadderEntry("raid0", NeverScrubPolicy))
+        ladder.append(PolicyLadderEntry("raid0", NeverScrubPolicy, PolicySpec("raid0")))
     return ladder
+
+
+#: run_experiment kwargs a CellSpec can represent (everything else forces
+#: the serial path: e.g. a custom disk_factory can't cross a process).
+_CELL_KWARGS = frozenset(
+    {"duration_s", "seed", "ndisks", "stripe_unit_sectors", "idle_threshold_s", "extra_settle_s"}
+)
 
 
 def run_policy_grid(
     workloads: typing.Sequence[str],
     ladder: typing.Sequence[PolicyLadderEntry],
+    jobs: int = 1,
+    cache_dir: str | None = None,
     **experiment_kwargs,
 ) -> dict[tuple[str, str], ExperimentResult]:
-    """Run every (workload, policy) cell; keys are (workload, label)."""
+    """Run every (workload, policy) cell; keys are (workload, label).
+
+    With ``jobs > 1`` or a ``cache_dir``, cells go through the parallel
+    sweep engine (:mod:`repro.harness.runner`) — results are bit-identical
+    to the serial path because every cell is an isolated simulator with
+    explicit seeding.  Entries without a :class:`PolicySpec`, or kwargs a
+    :class:`CellSpec` can't carry, fall back to the in-process loop.
+    """
+    engine_eligible = (
+        (jobs > 1 or cache_dir is not None)
+        and all(entry.spec is not None for entry in ladder)
+        and set(experiment_kwargs) <= _CELL_KWARGS
+    )
+    if engine_eligible:
+        specs = [
+            CellSpec(workload=workload, policy=entry.spec, **experiment_kwargs)
+            for workload in workloads
+            for entry in ladder
+        ]
+        return run_cells(specs, jobs=jobs, cache_dir=cache_dir).results
     grid: dict[tuple[str, str], ExperimentResult] = {}
     for workload in workloads:
         for entry in ladder:

@@ -1,13 +1,18 @@
-"""Summary statistics for experiment results.
+"""Summary statistics for experiment results, plus lightweight perf hooks.
 
 The paper reports mean I/O times per trace and *geometric* means across
 traces (the right mean for ratios — §4.2's "geometric mean of 4.1 times").
+:class:`PerfCounters` is the harness's own instrumentation: named counts
+(events dispatched, IOs serviced, cells simulated) and wall-clock per
+phase, so a speedup claim is observable rather than asserted.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import math
+import time
 import typing
 
 
@@ -72,3 +77,64 @@ def ratio_summary(numerators: typing.Sequence[float], denominators: typing.Seque
     if len(numerators) != len(denominators):
         raise ValueError("ratio series must have equal length")
     return geometric_mean([n / d for n, d in zip(numerators, denominators)])
+
+
+class PerfCounters:
+    """Named counters and per-phase wall-clock accumulators.
+
+    Deliberately minimal: a plain dict of integer counts and a dict of
+    float seconds.  The hot paths this instruments (the kernel run loop,
+    the sweep engine) pay nothing unless a caller passes an instance in.
+
+    Example
+    -------
+    >>> counters = PerfCounters()
+    >>> counters.count("events_dispatched", 12)
+    >>> with counters.phase("replay"):
+    ...     pass
+    >>> counters.counts["events_dispatched"]
+    12
+    """
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+        self.timings_s: dict[str, float] = {}
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the ``name`` counter."""
+        self.counts[name] = self.counts.get(name, 0) + amount
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of wall-clock under phase ``name``."""
+        self.timings_s[name] = self.timings_s.get(name, 0.0) + seconds
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> typing.Iterator[None]:
+        """Time a ``with`` block into ``timings_s[name]`` (re-entrant safe)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - started)
+
+    def merge(self, other: "PerfCounters") -> None:
+        """Fold another instance's totals into this one (cross-process)."""
+        for name, amount in other.counts.items():
+            self.count(name, amount)
+        for name, seconds in other.timings_s.items():
+            self.add_time(name, seconds)
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly copy of all totals."""
+        return {"counts": dict(self.counts), "timings_s": dict(self.timings_s)}
+
+    def rows(self) -> list[list[str]]:
+        """(name, value) rows for table rendering, counters then phases."""
+        rows = [[name, str(value)] for name, value in sorted(self.counts.items())]
+        rows.extend(
+            [f"{name} (s)", f"{seconds:.3f}"] for name, seconds in sorted(self.timings_s.items())
+        )
+        return rows
+
+    def __repr__(self) -> str:
+        return f"<PerfCounters {self.counts!r} {self.timings_s!r}>"

@@ -45,6 +45,8 @@ class DiskDriver:
         self.disk = disk
         self.scheduler: IoScheduler = scheduler if scheduler is not None else FcfsScheduler()
         self.name = name or f"driver({disk.name})"
+        self._ev_done = f"{self.name}.done"
+        self._ev_pump = f"{self.name}.pump"
         self.stats = DriverStats()
         self._pumping = False
 
@@ -64,12 +66,12 @@ class DiskDriver:
         The event's value is the :class:`~repro.disk.ServiceBreakdown`; it
         fails with :class:`DiskFailedError` if the disk dies first.
         """
-        completion = self.sim.event(name=f"{self.name}.done@{io.lba}")
+        completion = self.sim.event(name=self._ev_done)
         self.stats.submitted += 1
         self.scheduler.push((io, completion, self.sim.now), io.lba)
         if not self._pumping:
             self._pumping = True
-            self.sim.process(self._pump(), name=f"{self.name}.pump")
+            self.sim.process(self._pump(), name=self._ev_pump)
         return completion
 
     def _pump(self):

@@ -9,6 +9,7 @@ Processes wait on events by yielding them.
 from __future__ import annotations
 
 import typing
+from heapq import heappush as _heappush
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.core import Simulator
@@ -90,10 +91,17 @@ class Event:
 
     def succeed(self, value: typing.Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise RuntimeError(f"{self!r} already triggered")
+        if self._scheduled:
+            raise RuntimeError(f"{self!r} scheduled twice")
         self._value = value
-        self.sim._schedule_event(self)
+        # Scheduling is inlined (this is the hottest kernel path: every
+        # disk completion, resource grant, and process step lands here).
+        sim = self.sim
+        self._scheduled = True
+        sim._sequence += 1
+        _heappush(sim._queue, (sim._now, sim._sequence, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -106,8 +114,13 @@ class Event:
             raise RuntimeError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
+        if self._scheduled:
+            raise RuntimeError(f"{self!r} scheduled twice")
         self._exception = exception
-        self.sim._schedule_event(self)
+        sim = self.sim
+        self._scheduled = True
+        sim._sequence += 1
+        _heappush(sim._queue, (sim._now, sim._sequence, self))
         return self
 
     # -- callback plumbing ----------------------------------------------------
@@ -138,17 +151,57 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` simulated seconds after creation."""
+    """An event that fires ``delay`` simulated seconds after creation.
+
+    Construction is the single hottest allocation in the kernel (every
+    simulated wait is one), so ``__init__`` writes the slots directly and
+    pushes onto the heap itself instead of chaining through
+    ``Event.__init__`` and ``Simulator._schedule_event``.  The display
+    name is computed lazily in ``__repr__`` — formatting it eagerly used
+    to dominate timeout-heavy workloads.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: typing.Any = None, name: str = "") -> None:
         if delay < 0:
             raise ValueError(f"timeout delay must be >= 0, got {delay}")
-        super().__init__(sim, name=name or f"timeout({delay:g})")
-        self.delay = delay
+        self.sim = sim
+        self.name = name
+        self.callbacks = []
         self._value = value
-        sim._schedule_event(self, delay=delay)
+        self._exception = None
+        self.delay = delay
+        # defused / _scheduled / _handled slots stay unset: a timeout is
+        # born triggered, so succeed()/fail() raise before reading
+        # _scheduled, and the failure paths that read defused/_handled
+        # are unreachable (_exception is always None).  Skipping three
+        # writes is measurable at millions of timeouts per sweep.
+        sim._sequence += 1
+        _heappush(sim._queue, (sim._now + delay, sim._sequence, self))
+
+    def __repr__(self) -> str:
+        state = "processed" if self.callbacks is None else "pending"
+        label = f" {self.name!r}" if self.name else f" ({self.delay:g}s)"
+        return f"<{type(self).__name__}{label} {state}>"
+
+    @classmethod
+    def _unscheduled(cls, sim: "Simulator", delay: float, value: typing.Any = None) -> "Timeout":
+        """Build a timeout without pushing it onto the heap.
+
+        For :meth:`Simulator.timeouts`, which appends a whole batch and
+        re-heapifies once.  The caller owns getting the entry queued.
+        """
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay}")
+        timeout = cls.__new__(cls)
+        timeout.sim = sim
+        timeout.name = ""
+        timeout.callbacks = []
+        timeout._value = value
+        timeout._exception = None
+        timeout.delay = delay
+        return timeout
 
 
 class _Condition(Event):

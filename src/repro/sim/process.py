@@ -53,8 +53,8 @@ class Process(Event):
         self._generator = generator
         self._waiting_on: Event | None = None
         # Kick off the generator via an immediately-firing bootstrap event.
-        bootstrap = Event(sim, name=f"{self.name}.start")
-        bootstrap.add_callback(self._resume)
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
         self._waiting_on = bootstrap
         bootstrap.succeed()
 
@@ -102,23 +102,35 @@ class Process(Event):
                 pass
 
     def _resume(self, event: Event) -> None:
-        """Callback invoked when the awaited event fires."""
+        """Callback invoked when the awaited event fires.
+
+        This is the per-hop path of every process — the success branch
+        runs the generator and re-arms the next wait inline rather than
+        fanning out through helper methods (one resume used to cost four
+        nested calls; on long process chains that overhead dominated).
+        """
         if event is not self._waiting_on:
             return  # stale wakeup from a detached event
         self._waiting_on = None
-        if event.ok:
-            self._step_send(event._value)
-        else:
-            assert event.exception is not None
-            self._step_throw(event.exception)
-
-    def _step_send(self, value: typing.Any) -> None:
+        if event._exception is not None:
+            self._step_throw(event._exception)
+            return
         try:
-            target = self._generator.send(value)
+            target = self._generator.send(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
+            return
         except BaseException as exc:
             self._crash(exc)
+            return
+        # Inline _wait_on's happy path: yielded a live event of our sim.
+        if isinstance(target, Event) and target.sim is self.sim:
+            self._waiting_on = target
+            callbacks = target.callbacks
+            if callbacks is not None:
+                callbacks.append(self._resume)
+            else:
+                self._resume(target)  # already processed: resume immediately
         else:
             self._wait_on(target)
 

@@ -31,6 +31,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._grant_name = f"{name}.grant"
         self._in_use = 0
         self._waiters: collections.deque[Event] = collections.deque()
 
@@ -51,7 +52,7 @@ class Resource:
 
     def acquire(self) -> Event:
         """Return an event that fires once a slot is held by the caller."""
-        grant = Event(self.sim, name=f"{self.name}.grant")
+        grant = Event(self.sim, name=self._grant_name)
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1
             grant.succeed()

@@ -1,0 +1,170 @@
+"""The parallel sweep engine: cache behaviour, parallel determinism."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.harness import run_policy_grid, policy_ladder
+from repro.harness.runner import (
+    CellSpec,
+    PolicySpec,
+    ResultCache,
+    cache_key,
+    code_fingerprint,
+    ladder_specs,
+    run_cell,
+    run_cells,
+)
+from repro.metrics import PerfCounters
+
+#: Short enough to keep the whole module fast, long enough for real I/O.
+QUICK = dict(duration_s=2.0, seed=11)
+
+
+def quick_specs(workloads=("hplajw",), kinds=("afraid", "raid0")):
+    return [
+        CellSpec(workload=workload, policy=PolicySpec(kind), **QUICK)
+        for workload in workloads
+        for kind in kinds
+    ]
+
+
+class TestPolicySpec:
+    def test_builds_each_kind(self):
+        for kind in ("raid5", "afraid", "raid0"):
+            assert PolicySpec(kind).build() is not PolicySpec(kind).build()
+        policy = PolicySpec("mttdl", mttdl_target=1e7).build()
+        assert "MTTDL" in policy.describe() or "mttdl" in policy.describe().lower()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            PolicySpec("raid99")
+
+    def test_mttdl_requires_target(self):
+        with pytest.raises(ValueError):
+            PolicySpec("mttdl")
+
+    def test_labels_match_ladder_labels(self):
+        ladder = policy_ladder(targets=(1e7, 1e6))
+        for entry in ladder:
+            assert entry.spec is not None
+            assert entry.spec.label == entry.label
+
+
+class TestCacheKey:
+    def test_stable_for_equal_specs(self):
+        a = CellSpec(workload="hplajw", policy=PolicySpec("afraid"), **QUICK)
+        b = CellSpec(workload="hplajw", policy=PolicySpec("afraid"), **QUICK)
+        assert cache_key(a) == cache_key(b)
+
+    def test_changes_with_array_config(self):
+        base = CellSpec(workload="hplajw", policy=PolicySpec("afraid"), **QUICK)
+        assert cache_key(base) != cache_key(dataclasses.replace(base, ndisks=7))
+        assert cache_key(base) != cache_key(dataclasses.replace(base, duration_s=3.0))
+        assert cache_key(base) != cache_key(dataclasses.replace(base, seed=12))
+
+    def test_changes_with_policy_params(self):
+        base = CellSpec(
+            workload="hplajw", policy=PolicySpec("mttdl", mttdl_target=1e7), **QUICK
+        )
+        other = dataclasses.replace(base, policy=PolicySpec("mttdl", mttdl_target=1e6))
+        assert cache_key(base) != cache_key(other)
+
+    def test_code_fingerprint_is_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        specs = quick_specs()
+        cold = run_cells(specs, cache_dir=tmp_path)
+        assert (cold.simulated, cold.cached) == (len(specs), 0)
+        warm = run_cells(specs, cache_dir=tmp_path)
+        assert (warm.simulated, warm.cached) == (0, len(specs))
+        for key in cold.results:
+            assert warm.results[key].to_dict() == cold.results[key].to_dict()
+
+    def test_round_trip_preserves_every_field(self, tmp_path):
+        spec = quick_specs(kinds=("raid0",))[0]  # raid0: has infinite MTTDL fields
+        direct = run_cell(spec)
+        run_cells([spec], cache_dir=tmp_path)
+        revived = run_cells([spec], cache_dir=tmp_path).results[spec.key]
+        assert revived == direct
+
+    def test_config_change_is_a_miss(self, tmp_path):
+        specs = quick_specs()
+        run_cells(specs, cache_dir=tmp_path)
+        changed = [dataclasses.replace(spec, seed=99) for spec in specs]
+        outcome = run_cells(changed, cache_dir=tmp_path)
+        assert (outcome.simulated, outcome.cached) == (len(specs), 0)
+
+    def test_corrupted_entry_recomputes_without_crashing(self, tmp_path):
+        specs = quick_specs(kinds=("afraid",))
+        cold = run_cells(specs, cache_dir=tmp_path)
+        entries = list(tmp_path.glob("*.json"))
+        assert len(entries) == 1
+        entries[0].write_text("{ not json !!!")
+        recovered = run_cells(specs, cache_dir=tmp_path)
+        assert (recovered.simulated, recovered.cached) == (1, 0)
+        assert recovered.results == cold.results or (
+            recovered.results[specs[0].key].to_dict() == cold.results[specs[0].key].to_dict()
+        )
+        # And the recomputed result was re-cached, replacing the junk.
+        assert run_cells(specs, cache_dir=tmp_path).cached == 1
+
+    def test_wrong_shape_entry_is_also_tolerated(self, tmp_path):
+        specs = quick_specs(kinds=("afraid",))
+        run_cells(specs, cache_dir=tmp_path)
+        entry = next(tmp_path.glob("*.json"))
+        entry.write_text(json.dumps({"valid": "json", "wrong": "shape"}))
+        assert run_cells(specs, cache_dir=tmp_path).simulated == 1
+
+    def test_cacheless_run_never_writes(self, tmp_path):
+        run_cells(quick_specs(), cache_dir=None)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_load_returns_none_for_unknown_key(self, tmp_path):
+        assert ResultCache(tmp_path).load("0" * 64) is None
+
+
+class TestParallelDeterminism:
+    def test_jobs_1_and_jobs_4_are_identical(self, tmp_path):
+        """The acceptance bar: parallel fan-out must not change results.
+
+        Every cell runs a fresh Simulator with explicitly-seeded RNG, so
+        worker count and scheduling order are invisible to the output.
+        """
+        specs = ladder_specs(["hplajw", "ATT"], targets=[1e7], **QUICK)
+        serial = run_cells(specs, jobs=1)
+        parallel = run_cells(specs, jobs=4)
+        assert serial.results.keys() == parallel.results.keys()
+        for key in serial.results:
+            assert serial.results[key] == parallel.results[key], key
+
+    def test_grid_through_engine_matches_legacy_serial_path(self):
+        workloads = ["hplajw"]
+        ladder = policy_ladder(targets=(1e7,))
+        legacy = run_policy_grid(workloads, ladder, **QUICK)
+        engine = run_policy_grid(workloads, ladder, jobs=2, **QUICK)
+        assert legacy.keys() == engine.keys()
+        for key in legacy:
+            assert legacy[key].to_dict() == engine[key].to_dict(), key
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_cells(quick_specs(), jobs=0)
+
+
+class TestCounters:
+    def test_sweep_counts_cells_and_ios(self, tmp_path):
+        counters = PerfCounters()
+        specs = quick_specs()
+        run_cells(specs, cache_dir=tmp_path, counters=counters)
+        assert counters.counts["cells_simulated"] == len(specs)
+        assert counters.counts["cells_cached"] == 0
+        assert counters.counts["ios_serviced"] > 0
+        warm = PerfCounters()
+        run_cells(specs, cache_dir=tmp_path, counters=warm)
+        assert warm.counts["cells_cached"] == len(specs)
+        assert warm.counts["cells_simulated"] == 0

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.metrics import Summary, geometric_mean, percentile, ratio_summary
+from repro.metrics import PerfCounters, Summary, geometric_mean, percentile, ratio_summary
 
 
 class TestSummary:
@@ -86,3 +86,51 @@ class TestRatioSummary:
     def test_length_mismatch(self):
         with pytest.raises(ValueError):
             ratio_summary([1.0], [1.0, 2.0])
+
+
+class TestPerfCounters:
+    def test_counts_accumulate(self):
+        counters = PerfCounters()
+        counters.count("events")
+        counters.count("events", 9)
+        assert counters.counts["events"] == 10
+
+    def test_phase_times_accumulate(self):
+        counters = PerfCounters()
+        with counters.phase("replay"):
+            pass
+        with counters.phase("replay"):
+            pass
+        assert counters.timings_s["replay"] >= 0.0
+        assert set(counters.timings_s) == {"replay"}
+
+    def test_phase_records_even_on_exception(self):
+        counters = PerfCounters()
+        with pytest.raises(RuntimeError):
+            with counters.phase("boom"):
+                raise RuntimeError()
+        assert "boom" in counters.timings_s
+
+    def test_merge(self):
+        a, b = PerfCounters(), PerfCounters()
+        a.count("cells", 2)
+        b.count("cells", 3)
+        b.add_time("replay", 1.5)
+        a.merge(b)
+        assert a.counts["cells"] == 5
+        assert a.timings_s["replay"] == pytest.approx(1.5)
+
+    def test_snapshot_is_a_copy(self):
+        counters = PerfCounters()
+        counters.count("x")
+        snap = counters.snapshot()
+        snap["counts"]["x"] = 99
+        assert counters.counts["x"] == 1
+
+    def test_rows_render(self):
+        counters = PerfCounters()
+        counters.count("ios", 7)
+        counters.add_time("replay", 0.25)
+        rows = counters.rows()
+        assert ["ios", "7"] in rows
+        assert ["replay (s)", "0.250"] in rows
