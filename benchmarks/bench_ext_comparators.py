@@ -14,7 +14,7 @@ from conftest import BENCH_SEED, run_once
 
 from repro.array import build_array
 from repro.array.request import ArrayRequest
-from repro.disk import IoKind, hp_c3325
+from repro.disk import hp_c3325
 from repro.ext.parity_logging import ParityLogConfig, ParityLoggingArray
 from repro.ext.raid6_afraid import DeferralMode, Raid6AfraidArray
 from repro.harness import format_table

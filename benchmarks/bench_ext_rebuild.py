@@ -8,7 +8,6 @@ then verify degraded-mode read service stays available (at a
 reconstruction premium) during the window.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.array import ArrayRequest, build_array

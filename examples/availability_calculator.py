@@ -39,7 +39,7 @@ def main():
     print("\nSection 3.1 — mean time to first data loss:")
     raid5 = raid5_mttdl_catastrophic(ndisks, params.mttf_disk_h, params.mttr_h)
     print(f"  eq.(1) 5-disk RAID 5 MTTDL = {raid5:.2e} h = {raid5 / HOURS_PER_YEAR:,.0f} years")
-    print(f"  (the paper: '~4.10^9 hours, or about 475,000 years')")
+    print("  (the paper: '~4.10^9 hours, or about 475,000 years')")
 
     print("\nSection 3.2 — mean data loss rate:")
     catastrophic = mdlr_raid_catastrophic(ndisks, params.disk_bytes, raid5)

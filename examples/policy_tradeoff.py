@@ -17,7 +17,6 @@ from repro.harness import format_table, policy_ladder, run_policy_grid, tradeoff
 def ascii_curve(points, width=60, height=12):
     """Plot relative performance (x) vs relative availability (y)."""
     xs = [point.relative_performance for point in points]
-    ys = [point.relative_availability for point in points]
     x_max = max(xs) * 1.05
     grid = [[" "] * (width + 1) for _ in range(height + 1)]
     for point in points:

@@ -37,6 +37,7 @@ from repro.sim import AllOf, Event, Resource, Simulator
 
 if typing.TYPE_CHECKING:  # pragma: no cover - optional functional twin
     from repro.blocks import FunctionalArray
+    from repro.obs import HistogramSet, Tracer
 
 
 @dataclasses.dataclass
@@ -143,6 +144,10 @@ class DiskArray:
         self.nvram_dirty_tracker = ParityLagTracker(start_time=sim.now)
         self._nvram_dirty_bytes = 0
         self.stats = ArrayStats()
+        #: Optional observability sinks (see :meth:`attach_observability`).
+        #: ``None`` keeps every instrumentation site to a single check.
+        self.tracer: "Tracer | None" = None
+        self.hists: "HistogramSet | None" = None
 
         # The paper's host driver uses C-LOOK; any IoScheduler works here
         # (the scheduler-comparison ablation swaps in FCFS / SSTF / LOOK).
@@ -157,6 +162,46 @@ class DiskArray:
 
         self.detector.on_idle.append(self._on_idle)
         policy.attach(self)
+
+    # -- observability ----------------------------------------------------------------
+
+    def attach_observability(
+        self,
+        tracer: "Tracer | None" = None,
+        histograms: "HistogramSet | None" = None,
+    ) -> None:
+        """Attach a tracer and/or per-class latency histograms.
+
+        The tracer is propagated to the back-end drivers (per-disk command
+        spans) and to the policy (decision instants).  Passing ``None``
+        for either sink detaches it.
+        """
+        self.tracer = tracer
+        self.hists = histograms
+        for driver in self.drivers:
+            driver.tracer = tracer
+        self.policy.tracer = tracer
+
+    def _observe_client(self, request: ArrayRequest) -> None:
+        """Record one completed client request into the attached sinks."""
+        if self.hists is not None:
+            if request.is_write:
+                request_class = "client_write"
+            elif self._degraded_disk is not None:
+                request_class = "degraded_read"
+            else:
+                request_class = "client_read"
+            self.hists.record(request_class, request.io_time)
+        if self.tracer is not None:
+            self.tracer.complete(
+                "write" if request.is_write else "read",
+                start_s=request.submit_time,
+                duration_s=request.io_time,
+                track="client",
+                category="client",
+                offset=request.offset_sectors,
+                nsectors=request.nsectors,
+            )
 
     # -- ArrayView protocol (what policies see) -------------------------------------
 
@@ -284,6 +329,8 @@ class DiskArray:
         else:
             self.stats.reads_completed += 1
         self.stats.io_times.append(request.io_time)
+        if self.hists is not None or self.tracer is not None:
+            self._observe_client(request)
         done.succeed(request)
 
     # -- degraded-mode state (used by repro.ext.rebuild) -----------------------------------------------
@@ -379,6 +426,8 @@ class DiskArray:
         request.complete_time = self.sim.now
         self.stats.writes_completed += 1
         self.stats.io_times.append(request.io_time)
+        if self.hists is not None or self.tracer is not None:
+            self._observe_client(request)
         done.succeed(request)
         try:
             yield from self._perform_write(request)
@@ -662,6 +711,7 @@ class DiskArray:
             return  # already clean
         barrier = self.sim.event(name=self._ev_rebuild)
         self._rebuilding[stripe] = barrier
+        started = self.sim.now
         try:
             unit_sectors = self.layout.stripe_unit_sectors
             reads = []
@@ -679,11 +729,24 @@ class DiskArray:
             self.marks.clear_stripe(stripe)
             self._lag_changed()
             self.stats.stripes_scrubbed += 1
+            if self.hists is not None or self.tracer is not None:
+                self._observe_scrub("scrub_stripe", started, stripe)
             if self.functional is not None:
                 self.functional.scrub_stripe(stripe)
         finally:
             del self._rebuilding[stripe]
             barrier.succeed()
+
+    def _observe_scrub(self, name: str, started: float, stripe: int) -> None:
+        """Record one finished parity rebuild into the attached sinks."""
+        duration = self.sim.now - started
+        if self.hists is not None:
+            self.hists.record("scrub", duration)
+        if self.tracer is not None:
+            self.tracer.complete(
+                name, start_s=started, duration_s=duration,
+                track="scrubber", category="scrub", stripe=stripe,
+            )
 
     # -- paritypoints (§5 / [Cormen93]) -------------------------------------------------------------------
 
@@ -700,6 +763,7 @@ class DiskArray:
             raise RuntimeError("cannot commit while degraded: rebuild the failed disk first")
         stripes = list(self.layout.stripes_touched(offset_sectors, nsectors))
         done = self.sim.event(name=self._ev_commit)
+        started = self.sim.now
 
         def committer():
             for stripe in stripes:
@@ -707,6 +771,11 @@ class DiskArray:
                     yield self._rebuilding[stripe]  # scrubber already on it
                 if self.marks.is_marked(stripe):
                     yield from self._scrub_stripe(stripe)
+            if self.tracer is not None:
+                self.tracer.complete(
+                    "commit", start_s=started, duration_s=self.sim.now - started,
+                    track="scrubber", category="commit", stripes=len(stripes),
+                )
             return len(stripes)
 
         proc = self.sim.process(committer(), name=self._ev_commit)
@@ -728,6 +797,11 @@ class DiskArray:
             for sub_unit in range(self.marks.bits_per_stripe):
                 self.marks.mark(stripe, sub_unit)
         self._lag_changed()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "nvram_recovery", track="faults", category="fault",
+                stripes=self.layout.nstripes,
+            )
         self.request_scrub(force=True)
 
     def _scrub_sub_unit(self, stripe: int, sub_unit: int):
@@ -740,6 +814,7 @@ class DiskArray:
             return
         barrier = self.sim.event(name=self._ev_rebuild)
         self._rebuilding[stripe] = barrier
+        started = self.sim.now
         try:
             start, nsectors = self._sub_unit_extent(sub_unit)
             unit_base = stripe * self.layout.stripe_unit_sectors
@@ -759,6 +834,8 @@ class DiskArray:
             self.stats.scrub_parity_writes += 1
             self.marks.clear(stripe, sub_unit)
             self._lag_changed()
+            if self.hists is not None or self.tracer is not None:
+                self._observe_scrub("scrub_sub_unit", started, stripe)
             if not self.marks.is_marked(stripe):
                 self.stats.stripes_scrubbed += 1
                 if self.functional is not None:
@@ -771,7 +848,11 @@ class DiskArray:
 
     def _lag_changed(self) -> None:
         if not self._finished:
-            self.lag_tracker.record(self.sim.now, self.parity_lag_bytes)
+            lag = self.parity_lag_bytes
+            self.lag_tracker.record(self.sim.now, lag)
+            if self.tracer is not None:
+                self.tracer.counter("dirty_stripes", float(len(self.marks.marked_stripes)))
+                self.tracer.counter("parity_lag_bytes", lag)
 
     def __repr__(self) -> str:
         return (

@@ -7,6 +7,8 @@ Installed as ``afraid-sim``::
     afraid-sim compare ATT --duration 20     # RAID 0 / AFRAID / RAID 5
     afraid-sim sweep --jobs 4                # Figure 3/4 grid, in parallel
     afraid-sim availability --fraction 0.05  # Section 3 calculator
+    afraid-sim trace snake --policy afraid --out trace.json  # Perfetto trace
+    afraid-sim report snake --policy afraid  # per-class latency percentiles
 """
 
 from __future__ import annotations
@@ -23,6 +25,8 @@ from repro.availability import (
     raid5_mttdl_catastrophic,
 )
 from repro.harness import DEFAULT_CACHE_DIR, format_quantity, format_table, run_experiment
+from repro.metrics import PerfCounters
+from repro.obs import HistogramSet
 from repro.policy import (
     AlwaysRaid5Policy,
     BaselineAfraidPolicy,
@@ -71,16 +75,40 @@ def cmd_workloads(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_workload(name: str, duration_s: float, seed: int):
+    """A catalog name passes through; anything else synthesises a generic
+    bursty trace under that name (with a note), so ad-hoc labels work."""
+    if name in CATALOG:
+        return name
+    from repro.traces import make_trace
+
+    print(
+        f"note: {name!r} is not in the workload catalog; "
+        "synthesising a generic bursty workload under that name",
+        file=sys.stderr,
+    )
+    return make_trace(name, duration_s=duration_s, seed=seed, allow_generic=True)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     policy = _make_policy(args.policy, args.mttdl_target)
-    result = run_experiment(args.workload, policy, duration_s=args.duration, seed=args.seed)
+    counters = PerfCounters() if args.stats else None
+    result = run_experiment(
+        args.workload, policy, duration_s=args.duration, seed=args.seed, counters=counters
+    )
     if args.json:
         import json
 
-        print(json.dumps(result.to_dict(), indent=2))
+        payload = result.to_dict()
+        if counters is not None:
+            payload["perf"] = counters.snapshot()
+        print(json.dumps(payload, indent=2))
         return 0
     title = f"{args.workload} under {policy.describe()} ({args.duration:g}s, seed {args.seed})"
     print(format_table(["metric", "value"], _result_rows(result), title=title))
+    if counters is not None:
+        print()
+        print(format_table(["counter", "value"], counters.rows(), title="perf counters"))
     return 0
 
 
@@ -146,7 +174,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if spec.policy.label not in labels:
             labels.append(spec.policy.label)
     cache_dir = None if args.no_cache else args.cache_dir
-    outcome = run_cells(specs, jobs=args.jobs, cache_dir=cache_dir)
+    counters = PerfCounters() if args.stats else None
+    outcome = run_cells(specs, jobs=args.jobs, cache_dir=cache_dir, counters=counters)
     points = tradeoff_curve(outcome.results, workloads, labels)
 
     if args.json:
@@ -167,6 +196,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "cached": outcome.cached,
             "wall_s": outcome.wall_s,
         }
+        if counters is not None:
+            payload["perf"] = counters.snapshot()
         print(json.dumps(payload, indent=2))
         return 0
 
@@ -192,6 +223,83 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"\n{outcome.simulated} simulated, {outcome.cached} from cache, "
         f"{outcome.wall_s:.1f}s wall-clock with --jobs {args.jobs}"
     )
+    if counters is not None:
+        print()
+        print(format_table(["counter", "value"], counters.rows(), title="perf counters"))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import PeriodicSampler, Tracer, attach_array_probes
+
+    policy = _make_policy(args.policy, args.mttdl_target)
+    tracer = Tracer(max_records=args.max_records)
+    workload = _resolve_workload(args.workload, args.duration, args.seed)
+
+    def instrument(sim, array) -> None:
+        if args.kernel:
+            tracer.attach_kernel(sim)
+        sampler = PeriodicSampler(sim, period_s=args.sample_period, tracer=tracer)
+        attach_array_probes(sampler, array)
+        sampler.start()
+
+    result = run_experiment(
+        workload,
+        policy,
+        duration_s=args.duration,
+        seed=args.seed,
+        tracer=tracer,
+        on_array=instrument,
+    )
+    tracer.write_chrome(args.out)
+    if args.jsonl:
+        tracer.write_jsonl(args.jsonl)
+    if args.hist_out:
+        with open(args.hist_out, "w") as handle:
+            json.dump(
+                {
+                    "workload": result.workload,
+                    "policy": result.policy,
+                    "histograms": result.latency_hists,
+                },
+                handle,
+                indent=2,
+            )
+
+    hists = result.histogram_set()
+    assert hists is not None  # run_experiment always collects
+    title = f"{result.workload} under {result.policy} ({args.duration:g}s, seed {args.seed})"
+    print(format_table(HistogramSet.table_header(), hists.rows(), title=title))
+    dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+    print(f"\n{len(tracer)} trace records{dropped} -> {args.out}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    if args.from_file is not None:
+        import json
+
+        with open(args.from_file) as handle:
+            payload = json.load(handle)
+        hists = HistogramSet.from_payload(payload.get("histograms", payload))
+        title = f"latency percentiles from {args.from_file}"
+    else:
+        if args.workload is None:
+            raise SystemExit("report needs a workload name or --from FILE")
+        policy = _make_policy(args.policy, args.mttdl_target)
+        workload = _resolve_workload(args.workload, args.duration, args.seed)
+        result = run_experiment(workload, policy, duration_s=args.duration, seed=args.seed)
+        hists = result.histogram_set()
+        assert hists is not None
+        title = f"{result.workload} under {result.policy} ({args.duration:g}s, seed {args.seed})"
+    rows = hists.rows()
+    if not rows:
+        print("no latencies recorded")
+        return 0
+    print(format_table(HistogramSet.table_header(), rows, title=title))
     return 0
 
 
@@ -233,6 +341,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--duration", type=float, default=30.0, help="trace duration (simulated s)")
     run_parser.add_argument("--seed", type=int, default=42)
     run_parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    run_parser.add_argument(
+        "--stats", action="store_true", help="also print simulator perf counters"
+    )
     run_parser.set_defaults(handler=cmd_run)
 
     compare_parser = commands.add_parser("compare", help="RAID 0 vs AFRAID vs RAID 5 on one workload")
@@ -269,7 +380,50 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--duration", type=float, default=30.0)
     sweep_parser.add_argument("--seed", type=int, default=42)
     sweep_parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    sweep_parser.add_argument(
+        "--stats", action="store_true", help="also print sweep perf counters"
+    )
     sweep_parser.set_defaults(handler=cmd_sweep)
+
+    trace_parser = commands.add_parser(
+        "trace", help="run one workload and export a Perfetto-loadable trace"
+    )
+    trace_parser.add_argument(
+        "workload", help="catalog name (unknown names synthesise a generic workload)"
+    )
+    trace_parser.add_argument("--policy", default="afraid", choices=["afraid", "raid5", "raid0", "mttdl"])
+    trace_parser.add_argument("--mttdl-target", type=float, default=None, help="hours, for --policy mttdl")
+    trace_parser.add_argument("--duration", type=float, default=30.0, help="trace duration (simulated s)")
+    trace_parser.add_argument("--seed", type=int, default=42)
+    trace_parser.add_argument("--out", default="trace.json", help="Chrome trace-event JSON output path")
+    trace_parser.add_argument("--jsonl", default=None, help="also write raw records as JSON lines")
+    trace_parser.add_argument("--hist-out", default=None, help="write latency histograms as JSON")
+    trace_parser.add_argument(
+        "--sample-period", type=float, default=0.010, help="sampler period (simulated s)"
+    )
+    trace_parser.add_argument(
+        "--max-records", type=int, default=1_000_000, help="tracer memory bound (records)"
+    )
+    trace_parser.add_argument(
+        "--kernel", action="store_true", help="also record per-event kernel dispatch instants (verbose)"
+    )
+    trace_parser.set_defaults(handler=cmd_trace)
+
+    report_parser = commands.add_parser(
+        "report", help="per-request-class latency percentile table"
+    )
+    report_parser.add_argument(
+        "workload", nargs="?", default=None, help="catalog name (or use --from)"
+    )
+    report_parser.add_argument("--policy", default="afraid", choices=["afraid", "raid5", "raid0", "mttdl"])
+    report_parser.add_argument("--mttdl-target", type=float, default=None, help="hours, for --policy mttdl")
+    report_parser.add_argument("--duration", type=float, default=30.0)
+    report_parser.add_argument("--seed", type=int, default=42)
+    report_parser.add_argument(
+        "--from", dest="from_file", default=None, metavar="FILE",
+        help="report from a histogram JSON written by `trace --hist-out`",
+    )
+    report_parser.set_defaults(handler=cmd_report)
 
     avail_parser = commands.add_parser("availability", help="Section 3 analytic calculator")
     avail_parser.add_argument("--ndisks", type=int, default=5)

@@ -67,18 +67,24 @@ class SeekModel:
             raise ValueError(f"need a realistic cylinder count, got {cylinders}")
         max_distance = cylinders - 1
         third = max_distance / 3.0
-        crossover = max(2, int(max_distance * crossover_fraction))
-        if crossover >= third:
-            crossover = max(2, int(third / 2))
         # √ branch through (1, single) and (third, average):
         b = (average_s - single_cylinder_s) / (math.sqrt(third) - 1.0)
         a = single_cylinder_s - b
         # linear branch through (third, average) and (max, full):
         e = (full_stroke_s - average_s) / (max_distance - third)
         c = full_stroke_s - e * max_distance
-        # Note the branches are anchored at `third`, not `crossover`; using
-        # the √ branch until `crossover` keeps short seeks fast, and the two
-        # branches are close in between for realistic datasheet numbers.
+        # Both branches are anchored at (third, average), and because √ is
+        # concave they meet exactly once more below it.  Switch at that
+        # lower meeting point: the √ branch is the lower (faster) one only
+        # up to there, so the piecewise curve stays continuous and
+        # monotone.  A fixed-fraction switch point would put a step into
+        # the curve; the fraction survives only as the fallback for
+        # degenerate fits whose branches never cross below `third`.
+        crossover = max(2, min(int(max_distance * crossover_fraction), int(third)))
+        for d in range(2, int(third) + 1):
+            if a + b * math.sqrt(d) >= c + e * d:
+                crossover = d
+                break
         return cls(a=a, b=b, c=c, e=e, crossover=crossover)
 
     def mean_seek_time(self, cylinders: int, samples: int = 2048) -> float:

@@ -13,11 +13,15 @@ foreground traffic between stripes ([Muntz90, Holland92] style).
 from __future__ import annotations
 
 import dataclasses
+import typing
 
 from repro.array.controller import DiskArray
 from repro.disk import DiskIO, IoKind, MechanicalDisk
 from repro.sched import DiskDriver, FcfsScheduler
 from repro.sim import AllOf, Event, Simulator
+
+if typing.TYPE_CHECKING:  # pragma: no cover - optional observability
+    from repro.obs import HistogramSet, Tracer
 
 
 @dataclasses.dataclass
@@ -42,6 +46,11 @@ class RebuildManager:
         #: sweep that competes with the foreground).
         self.yield_to_foreground = yield_to_foreground
         self.stats = RebuildStats()
+        # Inherit the array's observability sinks (if any were attached):
+        # per-stripe rebuild latencies land in the "rebuild" class and the
+        # sweep shows up as spans on a "rebuild" track.
+        self.tracer: "Tracer | None" = array.tracer
+        self.hists: "HistogramSet | None" = array.hists
 
     def fail_and_rebuild(self, disk_index: int, spare: MechanicalDisk) -> Event:
         """Kill member ``disk_index`` and rebuild it onto ``spare``.
@@ -59,6 +68,11 @@ class RebuildManager:
         if array.functional is not None:
             array.functional.fail_disk(disk_index)
         array.enter_degraded(disk_index)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "disk_failed", track="rebuild", category="fault",
+                disk=disk_index, dirty_stripes=array.dirty_stripe_count,
+            )
         done = self.sim.event(name=f"{array.name}.rebuilt")
         self.sim.process(self._rebuild(disk_index, spare, done), name=f"{array.name}.rebuild")
         return done
@@ -74,6 +88,7 @@ class RebuildManager:
                 while not array.detector.is_idle:
                     # Re-check shortly after the array drains.
                     yield self.sim.timeout(array.detector.threshold_s)
+            stripe_started = self.sim.now
             # Read every surviving unit of the stripe (data + parity live
             # on the survivors; the lost unit is their xor).
             reads = []
@@ -88,6 +103,14 @@ class RebuildManager:
             yield AllOf(self.sim, reads)
             yield spare_driver.submit(DiskIO(IoKind.WRITE, stripe * unit_sectors, unit_sectors))
             self.stats.stripes_rebuilt += 1
+            if self.hists is not None:
+                self.hists.record("rebuild", self.sim.now - stripe_started)
+            if self.tracer is not None:
+                self.tracer.complete(
+                    "rebuild_stripe", start_s=stripe_started,
+                    duration_s=self.sim.now - stripe_started,
+                    track="rebuild", category="rebuild", stripe=stripe,
+                )
 
         # Install the spare as the new member.
         array.disks[disk_index] = spare
@@ -100,6 +123,13 @@ class RebuildManager:
             # array is whole again, let the scrubber drain it.
             array.request_scrub(force=True)
         self.stats.finished_at = self.sim.now
+        if self.tracer is not None:
+            self.tracer.complete(
+                "rebuild", start_s=self.stats.started_at,
+                duration_s=self.stats.duration_s,
+                track="rebuild", category="rebuild",
+                disk=disk_index, stripes=self.stats.stripes_rebuilt,
+            )
         done.succeed(self.stats)
 
     def _rebuild_functional(self, disk_index: int) -> None:

@@ -15,9 +15,13 @@ just predicted by the formulas — letting tests check formula against fact.
 from __future__ import annotations
 
 import dataclasses
+import typing
 
 from repro.array.controller import DiskArray
 from repro.sim import Simulator
+
+if typing.TYPE_CHECKING:  # pragma: no cover - optional observability
+    from repro.obs import Tracer
 
 
 @dataclasses.dataclass(frozen=True)
@@ -42,6 +46,9 @@ class FaultInjector:
         self.sim = sim
         self.array = array
         self.reports: list[DiskFailureReport] = []
+        #: Optional fault-event tracer; inherits whatever the array has at
+        #: construction time, overridable afterwards.
+        self.tracer: "Tracer | None" = array.tracer
 
     def fail_disk_at(self, disk: int, at_time: float) -> None:
         """Kill member ``disk`` at simulated time ``at_time``.
@@ -71,6 +78,11 @@ class FaultInjector:
                     lost_data_bytes=lost,
                 )
             )
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "disk_failure", track="faults", category="fault",
+                    disk=disk, dirty=dirty, lag_bytes=lag, lost_bytes=lost,
+                )
 
         self.sim.timeout(at_time - self.sim.now, name=f"fail.d{disk}").add_callback(strike)
 
@@ -85,6 +97,11 @@ class FaultInjector:
 
         def strike(_event) -> None:
             self.array.marks.fail()
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "nvram_failure", track="faults", category="fault",
+                    auto_recover=auto_recover,
+                )
             if auto_recover:
                 self.array.recover_mark_memory()
 

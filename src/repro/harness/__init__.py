@@ -17,6 +17,7 @@ from repro.harness.runner import (
     SweepOutcome,
     cache_key,
     ladder_specs,
+    merged_histograms,
     run_cells,
 )
 from repro.harness.sweeps import (
@@ -45,6 +46,7 @@ __all__ = [
     "format_table",
     "gather",
     "ladder_specs",
+    "merged_histograms",
     "policy_ladder",
     "replay_trace",
     "run_cells",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import typing
 
 from repro.array.factory import PAPER_NDISKS, PAPER_STRIPE_UNIT_SECTORS, build_array
 from repro.availability import (
@@ -18,9 +19,14 @@ from repro.availability import (
 from repro.disk import hp_c3325
 from repro.harness.replay import replay_trace
 from repro.metrics import PerfCounters, Summary
+from repro.obs import HistogramSet
 from repro.policy import ParityPolicy
 from repro.sim import Simulator
 from repro.traces import Trace, make_trace
+
+if typing.TYPE_CHECKING:  # pragma: no cover - optional observability
+    from repro.array.controller import DiskArray
+    from repro.obs import Tracer
 
 
 @dataclasses.dataclass(frozen=True)
@@ -49,6 +55,16 @@ class ExperimentResult:
     mdlr_disk_bytes_per_h: float
     mttdl_overall_h: float
     mdlr_overall_bytes_per_h: float
+    #: Per-request-class latency histograms (``HistogramSet.to_payload``
+    #: form, so results stay picklable and JSON-safe).  ``None`` only for
+    #: results revived from pre-observability cache payloads.
+    latency_hists: dict | None = None
+
+    def histogram_set(self) -> HistogramSet | None:
+        """The latency histograms revived into a mergeable object."""
+        if self.latency_hists is None:
+            return None
+        return HistogramSet.from_payload(self.latency_hists)
 
     @property
     def mean_io_time_ms(self) -> float:
@@ -56,6 +72,8 @@ class ExperimentResult:
 
     def speedup_over(self, other: "ExperimentResult") -> float:
         """How much faster this run's mean I/O time is than ``other``'s."""
+        if self.io_time.count == 0 or other.io_time.count == 0:
+            raise ValueError("speedup undefined: one of the runs completed no requests")
         return other.io_time.mean / self.io_time.mean
 
     def availability_ratio_to(self, other: "ExperimentResult") -> float:
@@ -136,6 +154,9 @@ def run_experiment(
     params: ReliabilityParams = TABLE_1,
     extra_settle_s: float = 0.0,
     counters: PerfCounters | None = None,
+    tracer: "Tracer | None" = None,
+    histograms: HistogramSet | None = None,
+    on_array: "typing.Callable[[Simulator, DiskArray], None] | None" = None,
 ) -> ExperimentResult:
     """Run one (workload, policy) experiment from a clean simulator.
 
@@ -144,10 +165,21 @@ def run_experiment(
     be a fresh instance — policies carry per-run state.  Pass a
     :class:`~repro.metrics.PerfCounters` to observe where the run spent
     wall-clock and how much kernel work it did.
+
+    Observability: per-class latency histograms are always collected (they
+    are O(1) per request and land in ``ExperimentResult.latency_hists``);
+    pass ``histograms`` to record into an existing set instead.  Pass a
+    :class:`~repro.obs.Tracer` to capture structured spans, and ``on_array``
+    to hook the built array before replay starts (e.g. to attach a
+    :class:`~repro.obs.PeriodicSampler` or a fault injector).
     """
     if counters is None:
         counters = PerfCounters()  # throwaway: keeps the body branch-free
+    if histograms is None:
+        histograms = HistogramSet()
     sim = Simulator()
+    if tracer is not None:
+        tracer.bind(sim)
     with counters.phase("setup"):
         array = build_array(
             sim,
@@ -159,6 +191,9 @@ def run_experiment(
             params=params,
             name=policy.describe(),
         )
+        array.attach_observability(tracer=tracer, histograms=histograms)
+        if on_array is not None:
+            on_array(sim, array)
         if isinstance(workload, Trace):
             trace = workload
         else:
@@ -206,4 +241,5 @@ def run_experiment(
         mdlr_disk_bytes_per_h=mdlr_disk,
         mttdl_overall_h=mttdl_overall,
         mdlr_overall_bytes_per_h=mdlr_overall,
+        latency_hists=histograms.to_payload(),
     )

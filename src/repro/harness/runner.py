@@ -29,6 +29,7 @@ from repro.array.factory import PAPER_NDISKS, PAPER_STRIPE_UNIT_SECTORS
 from repro.availability import ReliabilityParams, TABLE_1
 from repro.harness.experiment import ExperimentResult, run_experiment
 from repro.metrics import PerfCounters, Summary
+from repro.obs import HistogramSet
 from repro.policy import (
     AlwaysRaid5Policy,
     BaselineAfraidPolicy,
@@ -38,7 +39,8 @@ from repro.policy import (
 )
 
 #: Bump when the cached payload layout (not the results) changes shape.
-CACHE_SCHEMA = 1
+#: 2: results grew per-class latency histograms (``latency_hists``).
+CACHE_SCHEMA = 2
 
 #: Default cache location (gitignored).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -300,6 +302,23 @@ def run_cells(
         cached=cached,
         wall_s=time.perf_counter() - started,
     )
+
+
+def merged_histograms(results: typing.Iterable[ExperimentResult]) -> HistogramSet:
+    """Merge every result's latency histograms into one set.
+
+    Merging is *exact*: bucket counts add elementwise, so the percentiles
+    of the merged set equal those of a single-process run over the same
+    cells — the property that makes ``jobs=4`` results trustworthy.
+    Results without histograms (pre-observability cache entries) are
+    skipped.
+    """
+    merged = HistogramSet()
+    for result in results:
+        hists = result.histogram_set()
+        if hists is not None:
+            merged.merge(hists)
+    return merged
 
 
 def ladder_specs(

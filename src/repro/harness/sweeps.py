@@ -136,6 +136,10 @@ def tradeoff_curve(
     modest: the disk-related exposure is diluted by a bound the array
     could never exceed anyway.
     """
+    if not workloads:
+        raise ValueError("tradeoff_curve needs at least one workload")
+    if not labels:
+        raise ValueError("tradeoff_curve needs at least one policy label")
     points = []
     for label in labels:
         speedups = []
@@ -143,6 +147,12 @@ def tradeoff_curve(
         for workload in workloads:
             this = grid[(workload, label)]
             base = grid[(workload, baseline_label)]
+            if this.io_time.count == 0 or base.io_time.count == 0:
+                empty = label if this.io_time.count == 0 else baseline_label
+                raise ValueError(
+                    f"cell ({workload!r}, {empty!r}) completed no requests; "
+                    "latency ratios are undefined for an empty run"
+                )
             speedups.append(base.io_time.mean / this.io_time.mean)
             availability_ratios.append(this.mttdl_overall_h / base.mttdl_overall_h)
         points.append(

@@ -16,7 +16,6 @@ the canonical RAID 5 layout and the one the paper uses.
 
 from __future__ import annotations
 
-import typing
 
 from repro.layout.base import ExtentRun, StripeUnit, UnitKind, check_layout_args
 

@@ -29,7 +29,10 @@ class Summary:
 
     @classmethod
     def of(cls, values: typing.Sequence[float]) -> "Summary":
-        if not values:
+        """Summarise a sample; an empty one yields the all-zero, count-0
+        summary rather than raising (``len()`` rather than truthiness, so
+        numpy arrays work too)."""
+        if len(values) == 0:
             return cls(count=0, mean=0.0, median=0.0, p95=0.0, minimum=0.0, maximum=0.0)
         ordered = sorted(values)
         return cls(
@@ -44,7 +47,7 @@ class Summary:
 
 def percentile(values: typing.Sequence[float], q: float, presorted: bool = False) -> float:
     """Linear-interpolated percentile, q in [0, 100]."""
-    if not values:
+    if len(values) == 0:
         raise ValueError("percentile of empty sample")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"q must be in [0, 100], got {q}")
@@ -62,7 +65,7 @@ def percentile(values: typing.Sequence[float], q: float, presorted: bool = False
 
 def geometric_mean(values: typing.Sequence[float]) -> float:
     """The geometric mean; every value must be positive."""
-    if not values:
+    if len(values) == 0:
         raise ValueError("geometric mean of empty sample")
     total = 0.0
     for value in values:

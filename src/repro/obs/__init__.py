@@ -1,0 +1,35 @@
+"""Observability: structured tracing, latency histograms, time-series sampling.
+
+The third pillar next to :mod:`repro.sim` and :mod:`repro.harness`.  The
+paper's claims are distributions over time — small-write latency CDFs,
+parity-lag exposure while stripes sit unredundant, scrubber behaviour in
+idle periods — and this package makes every simulated request observable
+at that granularity:
+
+* :class:`Tracer` — bounded-memory span/instant/counter records,
+  exported as Chrome trace-event JSON (Perfetto-loadable) or JSONL;
+* :class:`LatencyHistogram` / :class:`HistogramSet` — O(1) recording,
+  percentile queries, and *exact* merging across sweep workers, keyed by
+  request class (client read/write, degraded read, scrub, rebuild);
+* :class:`PeriodicSampler` — simulated-time sampling of queue depth,
+  dirty stripes, parity lag, and per-disk utilisation.
+
+Everything is opt-in: components carry a ``tracer`` attribute that is
+``None`` by default, and every instrumentation site costs one ``is not
+None`` check when disabled.
+"""
+
+from repro.obs.hist import REQUEST_CLASSES, HistogramSet, LatencyHistogram
+from repro.obs.samplers import PeriodicSampler, SampleSeries, attach_array_probes
+from repro.obs.tracer import SpanToken, Tracer
+
+__all__ = [
+    "REQUEST_CLASSES",
+    "HistogramSet",
+    "LatencyHistogram",
+    "PeriodicSampler",
+    "SampleSeries",
+    "SpanToken",
+    "Tracer",
+    "attach_array_probes",
+]

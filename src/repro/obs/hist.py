@@ -1,0 +1,311 @@
+"""Log-bucketed, mergeable latency histograms (HDR-histogram style).
+
+The paper argues from *distributions*, not means — Figure 1 is a CDF of
+small-write response times, and §4.2's headline is how the tail moves.
+:class:`LatencyHistogram` records a latency in O(1) (one ``log`` and one
+dict increment), answers percentile queries from the bucket counts, and
+— crucially for the parallel sweep engine — merges *exactly*: merging
+two histograms yields the same bucket counts (hence the same percentile
+answers) as recording the combined stream into one histogram.  That is
+what lets per-worker histograms from a ``ProcessPoolExecutor`` sweep be
+folded together in the parent with no loss.
+
+Buckets are geometric: ``buckets_per_decade`` buckets per factor of 10,
+so a bucket spans a ratio of 10^(1/24) ≈ 1.10 at the default resolution
+and a percentile answer (the bucket's geometric midpoint) is within ~5 %
+of the true value.  Counts are kept sparse (a dict), so a wide dynamic
+range costs nothing.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+#: The request classes the array instrumentation records into.
+REQUEST_CLASSES: tuple[str, ...] = (
+    "client_read",
+    "client_write",
+    "degraded_read",
+    "scrub",
+    "rebuild",
+)
+
+
+class LatencyHistogram:
+    """Latencies in seconds, geometrically bucketed, exactly mergeable."""
+
+    __slots__ = (
+        "min_latency_s",
+        "buckets_per_decade",
+        "_scale",
+        "counts",
+        "count",
+        "sum_s",
+        "min_s",
+        "max_s",
+    )
+
+    def __init__(self, min_latency_s: float = 1e-6, buckets_per_decade: int = 24) -> None:
+        if min_latency_s <= 0:
+            raise ValueError(f"min_latency_s must be > 0, got {min_latency_s}")
+        if buckets_per_decade < 1:
+            raise ValueError(f"buckets_per_decade must be >= 1, got {buckets_per_decade}")
+        self.min_latency_s = min_latency_s
+        self.buckets_per_decade = buckets_per_decade
+        self._scale = buckets_per_decade / math.log(10.0)
+        self.counts: dict[int, int] = {}
+        self.count = 0
+        self.sum_s = 0.0
+        self.min_s = math.inf
+        self.max_s = -math.inf
+
+    # -- recording -----------------------------------------------------------------
+
+    def _bucket(self, latency_s: float) -> int:
+        if latency_s <= self.min_latency_s:
+            return 0
+        return int(math.log(latency_s / self.min_latency_s) * self._scale) + 1
+
+    def record(self, latency_s: float) -> None:
+        """Record one latency.  O(1); values below ``min_latency_s`` clamp
+        into bucket 0 (they still contribute exactly to count/sum/min/max)."""
+        bucket = self._bucket(latency_s)
+        self.counts[bucket] = self.counts.get(bucket, 0) + 1
+        self.count += 1
+        self.sum_s += latency_s
+        if latency_s < self.min_s:
+            self.min_s = latency_s
+        if latency_s > self.max_s:
+            self.max_s = latency_s
+
+    # -- bucket geometry -----------------------------------------------------------
+
+    def bucket_bounds(self, bucket: int) -> tuple[float, float]:
+        """The (low, high] latency range bucket ``bucket`` covers."""
+        if bucket == 0:
+            return (0.0, self.min_latency_s)
+        low = self.min_latency_s * math.exp((bucket - 1) / self._scale)
+        high = self.min_latency_s * math.exp(bucket / self._scale)
+        return (low, high)
+
+    def _representative(self, bucket: int) -> float:
+        low, high = self.bucket_bounds(bucket)
+        if bucket == 0:
+            return high
+        return math.sqrt(low * high)  # geometric midpoint
+
+    # -- queries ---------------------------------------------------------------------
+
+    @property
+    def mean_s(self) -> float:
+        return self.sum_s / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The latency at percentile ``q`` (0..100), from bucket counts.
+
+        Deterministic in the bucket counts alone, so merged histograms
+        answer identically to one built from the combined stream.  Empty
+        histograms answer 0.0.  Answers are clamped to the exact observed
+        [min, max] (HDR style), so q=0/q=100 are exact.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        if q == 0.0:
+            return self.min_s
+        if q == 100.0:
+            return self.max_s
+        target = max(1, math.ceil(self.count * q / 100.0))
+        seen = 0
+        for bucket in sorted(self.counts):
+            seen += self.counts[bucket]
+            if seen >= target:
+                answer = self._representative(bucket)
+                return min(max(answer, self.min_s), self.max_s)
+        return self.max_s  # unreachable: counts sum to self.count
+
+    # -- merging ---------------------------------------------------------------------
+
+    def compatible_with(self, other: "LatencyHistogram") -> bool:
+        return (
+            self.min_latency_s == other.min_latency_s
+            and self.buckets_per_decade == other.buckets_per_decade
+        )
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other`` into this histogram.
+
+        Bucket counts add elementwise, so every percentile query gives
+        exactly the answer the combined stream would (``sum_s`` may differ
+        from sequential recording by float rounding only).
+        """
+        if not self.compatible_with(other):
+            raise ValueError(
+                "cannot merge: bucket layouts differ "
+                f"({self.min_latency_s}/{self.buckets_per_decade} vs "
+                f"{other.min_latency_s}/{other.buckets_per_decade})"
+            )
+        for bucket, n in other.counts.items():
+            self.counts[bucket] = self.counts.get(bucket, 0) + n
+        self.count += other.count
+        self.sum_s += other.sum_s
+        if other.count:
+            self.min_s = min(self.min_s, other.min_s)
+            self.max_s = max(self.max_s, other.max_s)
+
+    def __eq__(self, other: object) -> bool:
+        """Equality of everything a percentile query can observe."""
+        if not isinstance(other, LatencyHistogram):
+            return NotImplemented
+        return (
+            self.compatible_with(other)
+            and self.count == other.count
+            and self.counts == other.counts
+            and (self.count == 0 or (self.min_s == other.min_s and self.max_s == other.max_s))
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - dict-key use unsupported
+        raise TypeError("LatencyHistogram is mutable and unhashable")
+
+    # -- (de)serialisation --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A strict-JSON payload (no infinities; empty min/max are None)."""
+        return {
+            "min_latency_s": self.min_latency_s,
+            "buckets_per_decade": self.buckets_per_decade,
+            "count": self.count,
+            "sum_s": self.sum_s,
+            "min_s": self.min_s if self.count else None,
+            "max_s": self.max_s if self.count else None,
+            "counts": {str(bucket): n for bucket, n in sorted(self.counts.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LatencyHistogram":
+        hist = cls(
+            min_latency_s=payload["min_latency_s"],
+            buckets_per_decade=payload["buckets_per_decade"],
+        )
+        hist.counts = {int(bucket): n for bucket, n in payload["counts"].items()}
+        hist.count = payload["count"]
+        hist.sum_s = payload["sum_s"]
+        if hist.count:
+            hist.min_s = payload["min_s"]
+            hist.max_s = payload["max_s"]
+        return hist
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return "<LatencyHistogram empty>"
+        return (
+            f"<LatencyHistogram n={self.count} mean={self.mean_s * 1e3:.3f}ms "
+            f"p95={self.percentile(95) * 1e3:.3f}ms max={self.max_s * 1e3:.3f}ms>"
+        )
+
+
+class HistogramSet:
+    """Latency histograms keyed by request class.
+
+    The standard classes are :data:`REQUEST_CLASSES`; recording into an
+    unknown class creates its histogram on demand (extensions add their
+    own).  All histograms share one bucket layout so the set merges.
+    """
+
+    def __init__(self, min_latency_s: float = 1e-6, buckets_per_decade: int = 24) -> None:
+        self.min_latency_s = min_latency_s
+        self.buckets_per_decade = buckets_per_decade
+        self.hists: dict[str, LatencyHistogram] = {
+            name: LatencyHistogram(min_latency_s, buckets_per_decade)
+            for name in REQUEST_CLASSES
+        }
+
+    def record(self, request_class: str, latency_s: float) -> None:
+        hist = self.hists.get(request_class)
+        if hist is None:
+            hist = LatencyHistogram(self.min_latency_s, self.buckets_per_decade)
+            self.hists[request_class] = hist
+        hist.record(latency_s)
+
+    def get(self, request_class: str) -> LatencyHistogram:
+        return self.hists[request_class]
+
+    @property
+    def total_count(self) -> int:
+        return sum(hist.count for hist in self.hists.values())
+
+    def merge(self, other: "HistogramSet") -> None:
+        for name, hist in other.hists.items():
+            mine = self.hists.get(name)
+            if mine is None:
+                mine = LatencyHistogram(self.min_latency_s, self.buckets_per_decade)
+                self.hists[name] = mine
+            mine.merge(hist)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HistogramSet):
+            return NotImplemented
+        mine = {name: hist for name, hist in self.hists.items() if hist.count}
+        theirs = {name: hist for name, hist in other.hists.items() if hist.count}
+        return mine == theirs
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # -- (de)serialisation --------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-shaped; classes that recorded nothing are omitted."""
+        return {
+            "min_latency_s": self.min_latency_s,
+            "buckets_per_decade": self.buckets_per_decade,
+            "classes": {
+                name: hist.to_dict() for name, hist in self.hists.items() if hist.count
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "HistogramSet":
+        hists = cls(
+            min_latency_s=payload["min_latency_s"],
+            buckets_per_decade=payload["buckets_per_decade"],
+        )
+        for name, data in payload["classes"].items():
+            hists.hists[name] = LatencyHistogram.from_dict(data)
+        return hists
+
+    # -- rendering -----------------------------------------------------------------------
+
+    PERCENTILES: typing.ClassVar[tuple[float, ...]] = (50.0, 90.0, 95.0, 99.0)
+
+    def rows(self) -> list[list[str]]:
+        """Per-class percentile rows (ms) for ``format_table``."""
+        rows = []
+        for name, hist in self.hists.items():
+            if not hist.count:
+                continue
+            rows.append(
+                [
+                    name,
+                    str(hist.count),
+                    f"{hist.mean_s * 1e3:.2f}",
+                    *[f"{hist.percentile(q) * 1e3:.2f}" for q in self.PERCENTILES],
+                    f"{hist.max_s * 1e3:.2f}",
+                ]
+            )
+        return rows
+
+    @classmethod
+    def table_header(cls) -> list[str]:
+        return [
+            "class",
+            "count",
+            "mean (ms)",
+            *[f"p{q:g} (ms)" for q in cls.PERCENTILES],
+            "max (ms)",
+        ]
+
+    def __repr__(self) -> str:
+        active = {name: hist.count for name, hist in self.hists.items() if hist.count}
+        return f"<HistogramSet {active!r}>"

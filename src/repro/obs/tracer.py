@@ -1,0 +1,301 @@
+"""Bounded-memory structured tracing for simulated runs.
+
+A :class:`Tracer` collects three record kinds, all stamped with simulated
+time:
+
+* **spans** — named intervals on a *track* (client requests, scrub
+  passes, individual disk commands);
+* **instants** — point events (fault injections, policy decisions);
+* **counters** — sampled numeric series (dirty stripes, parity lag).
+
+Records live in one bounded list; once ``max_records`` is reached new
+records are dropped and counted (``dropped``), so tracing a pathological
+run can never exhaust memory.  Export targets:
+
+* :meth:`chrome_trace` / :meth:`write_chrome` — the Chrome trace-event
+  JSON format, loadable in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``.  Tracks become named threads; counters become
+  counter tracks.
+* :meth:`write_jsonl` — one self-describing JSON object per line, for
+  ad-hoc analysis with standard tools.
+
+The tracer is *pull*-attached: components hold an optional ``tracer``
+attribute, ``None`` by default, and every instrumentation site is gated
+on a single ``is not None`` check — the same near-free pattern as the
+kernel's own :meth:`~repro.sim.Simulator.set_trace` hook.
+:meth:`attach_kernel` installs the tracer on that kernel hook too, turning
+every event dispatch into an instant record (high volume; the record
+bound is the safety net).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim import Simulator
+
+# Record layouts (plain tuples, kept small — a trace can hold millions):
+#   ("X", start_s, duration_s, name, track, category, args_or_None)
+#   ("i", time_s, name, track, category, args_or_None)
+#   ("C", time_s, name, value)
+_SPAN = "X"
+_INSTANT = "i"
+_COUNTER = "C"
+
+
+class SpanToken(typing.NamedTuple):
+    """An open span, returned by :meth:`Tracer.begin`."""
+
+    start_s: float
+    name: str
+    track: str
+    category: str
+    args: dict | None
+
+
+class Tracer:
+    """Collects trace records against a simulator clock."""
+
+    def __init__(self, sim: "Simulator | None" = None, max_records: int = 1_000_000) -> None:
+        if max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
+        self.sim = sim
+        self.max_records = max_records
+        self.records: list[tuple] = []
+        self.dropped = 0
+        self._kernel_hooked: "Simulator | None" = None
+
+    def bind(self, sim: "Simulator") -> None:
+        """Set (or replace) the simulator whose clock stamps records."""
+        self.sim = sim
+
+    @property
+    def now(self) -> float:
+        if self.sim is None:
+            raise RuntimeError("tracer is not bound to a simulator")
+        return self.sim.now
+
+    # -- recording ------------------------------------------------------------------
+
+    def _append(self, record: tuple) -> None:
+        if len(self.records) < self.max_records:
+            self.records.append(record)
+        else:
+            self.dropped += 1
+
+    def begin(
+        self, name: str, track: str = "main", category: str = "", **args
+    ) -> SpanToken:
+        """Open a span; close it with :meth:`end`.  Nothing is recorded
+        until the span ends (open spans cost no record slot)."""
+        return SpanToken(self.now, name, track, category, args or None)
+
+    def end(self, token: SpanToken) -> None:
+        """Close a span opened by :meth:`begin`."""
+        self._append(
+            (_SPAN, token.start_s, self.now - token.start_s, token.name, token.track,
+             token.category, token.args)
+        )
+
+    @contextlib.contextmanager
+    def span(self, name: str, track: str = "main", category: str = "", **args):
+        """``with tracer.span(...):`` — records the block as one span.
+
+        Safe inside simulation process generators: the block stays open
+        across ``yield`` suspensions and closes at simulated exit time.
+        """
+        token = self.begin(name, track, category, **args)
+        try:
+            yield token
+        finally:
+            self.end(token)
+
+    def complete(
+        self,
+        name: str,
+        start_s: float,
+        duration_s: float,
+        track: str = "main",
+        category: str = "",
+        **args,
+    ) -> None:
+        """Record a span retroactively from known timestamps (the cheapest
+        form for hot paths that already track their own times)."""
+        self._append((_SPAN, start_s, duration_s, name, track, category, args or None))
+
+    def instant(self, name: str, track: str = "main", category: str = "", **args) -> None:
+        """Record a point event."""
+        self._append((_INSTANT, self.now, name, track, category, args or None))
+
+    def counter(self, name: str, value: float) -> None:
+        """Record one sample of the numeric series ``name``."""
+        self._append((_COUNTER, self.now, name, value))
+
+    # -- kernel attachment -------------------------------------------------------------
+
+    def attach_kernel(self, sim: "Simulator | None" = None) -> None:
+        """Record every kernel event dispatch as an instant (category
+        ``kernel``).  High-volume; bounded by ``max_records``."""
+        target = sim if sim is not None else self.sim
+        if target is None:
+            raise RuntimeError("no simulator to attach to")
+        self.bind(target)
+
+        def hook(when: float, event) -> None:
+            self._append((_INSTANT, when, event.name or type(event).__name__,
+                          "kernel", "kernel", None))
+
+        target.set_trace(hook)
+        self._kernel_hooked = target
+
+    def detach_kernel(self) -> None:
+        """Remove the kernel dispatch hook installed by :meth:`attach_kernel`."""
+        if self._kernel_hooked is not None:
+            self._kernel_hooked.set_trace(None)
+            self._kernel_hooked = None
+
+    # -- introspection ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def counter_series(self, name: str) -> list[tuple[float, float]]:
+        """All (time_s, value) samples of counter ``name``, in order."""
+        return [(r[1], r[3]) for r in self.records if r[0] == _COUNTER and r[2] == name]
+
+    def spans_on(self, track: str) -> list[tuple]:
+        """All span records on ``track``, in completion order."""
+        return [r for r in self.records if r[0] == _SPAN and r[4] == track]
+
+    def instants_named(self, name: str) -> list[tuple]:
+        """All instant records called ``name``, in order."""
+        return [r for r in self.records if r[0] == _INSTANT and r[2] == name]
+
+    # -- export ----------------------------------------------------------------------------
+
+    #: Chrome trace timestamps are microseconds.
+    _US = 1e6
+
+    def chrome_trace(self) -> dict:
+        """The trace as a Chrome trace-event JSON object.
+
+        Spans become complete ("X") events, instants "i" events, counters
+        "C" events; each track becomes a named thread of process 1 so
+        Perfetto shows them as labelled rows.
+        """
+        events: list[dict] = []
+        tids: dict[str, int] = {}
+
+        def tid_of(track: str) -> int:
+            tid = tids.get(track)
+            if tid is None:
+                tid = len(tids) + 1
+                tids[track] = tid
+                events.append(
+                    {
+                        "ph": "M",
+                        "name": "thread_name",
+                        "pid": 1,
+                        "tid": tid,
+                        "args": {"name": track},
+                    }
+                )
+            return tid
+
+        for record in self.records:
+            kind = record[0]
+            if kind == _SPAN:
+                _, start_s, duration_s, name, track, category, args = record
+                event = {
+                    "ph": "X",
+                    "name": name,
+                    "cat": category or "span",
+                    "pid": 1,
+                    "tid": tid_of(track),
+                    "ts": start_s * self._US,
+                    "dur": duration_s * self._US,
+                }
+                if args:
+                    event["args"] = args
+                events.append(event)
+            elif kind == _INSTANT:
+                _, time_s, name, track, category, args = record
+                event = {
+                    "ph": "i",
+                    "s": "t",  # thread-scoped instant
+                    "name": name,
+                    "cat": category or "instant",
+                    "pid": 1,
+                    "tid": tid_of(track),
+                    "ts": time_s * self._US,
+                }
+                if args:
+                    event["args"] = args
+                events.append(event)
+            else:  # _COUNTER
+                _, time_s, name, value = record
+                events.append(
+                    {
+                        "ph": "C",
+                        "name": name,
+                        "cat": "counter",
+                        "pid": 1,
+                        "ts": time_s * self._US,
+                        "args": {"value": value},
+                    }
+                )
+        payload = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"source": "repro.obs", "dropped_records": self.dropped},
+        }
+        return payload
+
+    def write_chrome(self, path) -> None:
+        """Write :meth:`chrome_trace` JSON to ``path``."""
+        with open(path, "w") as handle:
+            json.dump(self.chrome_trace(), handle)
+
+    def write_jsonl(self, path) -> None:
+        """Write one JSON object per record to ``path``.
+
+        Objects carry a ``kind`` of ``span`` / ``instant`` / ``counter``
+        and explicit field names — grep/jq-friendly.
+        """
+        with open(path, "w") as handle:
+            for record in self.records:
+                kind = record[0]
+                if kind == _SPAN:
+                    _, start_s, duration_s, name, track, category, args = record
+                    obj = {
+                        "kind": "span",
+                        "name": name,
+                        "track": track,
+                        "cat": category,
+                        "start_s": start_s,
+                        "duration_s": duration_s,
+                    }
+                    if args:
+                        obj["args"] = args
+                elif kind == _INSTANT:
+                    _, time_s, name, track, category, args = record
+                    obj = {
+                        "kind": "instant",
+                        "name": name,
+                        "track": track,
+                        "cat": category,
+                        "time_s": time_s,
+                    }
+                    if args:
+                        obj["args"] = args
+                else:
+                    _, time_s, name, value = record
+                    obj = {"kind": "counter", "name": name, "time_s": time_s, "value": value}
+                handle.write(json.dumps(obj))
+                handle.write("\n")
+
+    def __repr__(self) -> str:
+        return f"<Tracer {len(self.records)} records, {self.dropped} dropped>"

@@ -21,6 +21,9 @@ import typing
 
 from repro.availability import ReliabilityParams, afraid_mttdl
 
+if typing.TYPE_CHECKING:  # pragma: no cover - optional observability
+    from repro.obs import Tracer
+
 
 class WriteMode(enum.Enum):
     """How a client write maintains (or defers) parity."""
@@ -62,6 +65,9 @@ class ParityPolicy:
 
     def __init__(self) -> None:
         self.array: ArrayView | None = None
+        #: Optional decision tracer, set by the controller's
+        #: ``attach_observability``; ``None`` costs one check per decision.
+        self.tracer: "Tracer | None" = None
 
     def attach(self, array: ArrayView) -> None:
         """Bind the policy to its array (called once by the controller)."""
@@ -151,6 +157,12 @@ class DirtyStripeThresholdPolicy(ParityPolicy):
     def on_stripes_marked(self) -> None:
         assert self.array is not None
         if self.array.dirty_stripe_count > self.max_dirty_stripes:
+            if not self._forcing and self.tracer is not None:
+                self.tracer.instant(
+                    "policy.force_scrub", track="policy", category="policy",
+                    dirty=self.array.dirty_stripe_count,
+                    threshold=self.max_dirty_stripes,
+                )
             self._forcing = True
             self.array.request_scrub(force=True)
         else:
@@ -191,6 +203,7 @@ class MttdlTargetPolicy(DirtyStripeThresholdPolicy):
         #: below its target, and usually far exceeded it" (§4.3).
         self.safety_factor = safety_factor
         self.params = params if params is not None else ReliabilityParams()
+        self._raid5_mode = False  # last decision, for transition instants
 
     def achieved_mttdl_h(self) -> float:
         """Disk-related MTTDL achieved so far, per eq. (2c)."""
@@ -208,9 +221,24 @@ class MttdlTargetPolicy(DirtyStripeThresholdPolicy):
 
     def write_mode(self, stripes: typing.Sequence[int] = ()) -> WriteMode:
         if self.meeting_target():
+            if self._raid5_mode:
+                self._raid5_mode = False
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "policy.resume_afraid", track="policy", category="policy",
+                        achieved_mttdl_h=self.achieved_mttdl_h(),
+                    )
             return WriteMode.AFRAID
         # Goal missed: revert to RAID 5 and drain the pending parity debt.
         assert self.array is not None
+        if not self._raid5_mode:
+            self._raid5_mode = True
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "policy.revert_raid5", track="policy", category="policy",
+                    achieved_mttdl_h=self.achieved_mttdl_h(),
+                    target_h=self.target_h,
+                )
         self.array.request_scrub(force=True)
         return WriteMode.RAID5
 

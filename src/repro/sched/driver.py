@@ -10,10 +10,14 @@ and in-flight commands fail with :class:`~repro.disk.DiskFailedError`.
 from __future__ import annotations
 
 import dataclasses
+import typing
 
 from repro.disk import DiskFailedError, DiskIO, MechanicalDisk
 from repro.sched.queues import FcfsScheduler, IoScheduler
 from repro.sim import Event, Simulator
+
+if typing.TYPE_CHECKING:  # pragma: no cover - optional observability
+    from repro.obs import Tracer
 
 
 @dataclasses.dataclass
@@ -49,6 +53,9 @@ class DiskDriver:
         self._ev_pump = f"{self.name}.pump"
         self.stats = DriverStats()
         self._pumping = False
+        #: Optional span-per-command tracer; ``None`` (the default) keeps
+        #: the pump's disabled path to one attribute load per command.
+        self.tracer: "Tracer | None" = None
 
     @property
     def queued(self) -> int:
@@ -80,13 +87,27 @@ class DiskDriver:
                 head = self.disk.geometry.physical_to_lba(self.disk.current_cylinder, 0, 0)
                 (io, completion, submit_time), _position = self.scheduler.pop(head)
                 self.stats.queue_time += self.sim.now - submit_time
+                tracer = self.tracer
+                issued = self.sim.now if tracer is not None else 0.0
                 try:
                     breakdown = yield self.disk.execute(io)
                 except DiskFailedError as exc:
                     self.stats.failed += 1
+                    if tracer is not None:
+                        tracer.instant(
+                            "io_failed", track=self.name, category="disk",
+                            lba=io.lba, nsectors=io.nsectors,
+                        )
                     completion.fail(exc)
                 else:
                     self.stats.completed += 1
+                    if tracer is not None:
+                        tracer.complete(
+                            io.kind.value, start_s=issued,
+                            duration_s=self.sim.now - issued,
+                            track=self.name, category="disk",
+                            lba=io.lba, nsectors=io.nsectors,
+                        )
                     completion.succeed(breakdown)
                     # With immediate reporting, completion fires before the
                     # media write finishes; wait out the mechanism before

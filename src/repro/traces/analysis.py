@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.metrics import Summary, percentile
+from repro.metrics import Summary
 from repro.traces.records import Trace
 
 

@@ -19,7 +19,6 @@ the fewest idle periods and most write traffic).
 from __future__ import annotations
 
 import dataclasses
-import typing
 
 from repro.traces.records import Trace
 from repro.traces.synthetic import BurstyWorkloadGenerator, BurstyWorkloadParams
@@ -179,20 +178,41 @@ def workload_names() -> list[str]:
     return list(CATALOG)
 
 
+#: The spec used (renamed) for workload names outside the catalog when a
+#: caller opts into ``make_trace(..., allow_generic=True)``: a middle-of-
+#: the-road bursty server, close to the catalog's median knobs.
+GENERIC_SPEC = WorkloadSpec(
+    name="generic",
+    description="generic bursty server workload (catalog fallback)",
+    write_fraction=0.60,
+    requests_per_burst_mean=20,
+    within_burst_gap_s=0.008,
+    idle_gap_mean_s=3.0,
+    idle_gap_sigma=1.4,
+)
+
+
 def make_trace(
     name: str,
     duration_s: float = 60.0,
     address_space_sectors: int = PAPER_ADDRESS_SPACE_SECTORS,
     seed: int = 42,
+    allow_generic: bool = False,
 ) -> Trace:
     """Generate the named workload's trace.
 
     The seed is combined with the workload name so different workloads
-    never share a random stream even with the same seed argument.
+    never share a random stream even with the same seed argument.  With
+    ``allow_generic``, a name outside the catalog yields
+    :data:`GENERIC_SPEC` renamed to ``name`` (still seeded by the name)
+    instead of raising.
     """
     if name not in CATALOG:
-        raise KeyError(f"unknown workload {name!r}; choose from {workload_names()}")
-    spec = CATALOG[name]
+        if not allow_generic:
+            raise KeyError(f"unknown workload {name!r}; choose from {workload_names()}")
+        spec = dataclasses.replace(GENERIC_SPEC, name=name)
+    else:
+        spec = CATALOG[name]
     params = spec.params(duration_s, address_space_sectors)
     derived_seed = (hash_name(name) * 1_000_003 + seed) % 2**63
     return BurstyWorkloadGenerator(params, seed=derived_seed).generate()

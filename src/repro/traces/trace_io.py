@@ -19,7 +19,6 @@ from __future__ import annotations
 import csv
 import pathlib
 import struct
-import typing
 
 from repro.disk import IoKind
 from repro.traces.records import Trace, TraceRecord

@@ -7,7 +7,6 @@ from repro.array.request import ArrayRequest
 from repro.disk import IoKind
 from repro.policy import (
     AlwaysRaid5Policy,
-    BaselineAfraidPolicy,
     DirtyStripeThresholdPolicy,
     EagerScrubPolicy,
     NeverScrubPolicy,

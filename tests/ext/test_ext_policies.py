@@ -12,7 +12,7 @@ from repro.ext.policies import (
     RegionPolicy,
     RegionRedundancy,
 )
-from repro.sim import AllOf, Simulator
+from repro.sim import Simulator
 
 
 def write(offset, nsectors=4):

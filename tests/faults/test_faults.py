@@ -6,6 +6,7 @@ from repro.array import toy_array
 from repro.array.request import ArrayRequest
 from repro.disk import IoKind
 from repro.faults import FaultInjector, predicted_loss_bytes
+from repro.nvram import MarkMemoryFailedError
 from repro.policy import AlwaysRaid5Policy, NeverScrubPolicy
 from repro.sim import Simulator
 
@@ -92,3 +93,45 @@ class TestMarkMemoryFailure:
         sim.run(until=120.0)
         assert array.dirty_stripe_count == 0
         assert array.stats.stripes_scrubbed == array.layout.nstripes
+
+    def test_without_auto_recover_marks_stay_dead(self):
+        """``auto_recover=False`` models an NVRAM loss nobody repairs:
+        every subsequent marking-memory access raises."""
+        sim = Simulator()
+        array = toy_array(sim, ndisks=3, stripe_unit_sectors=4, with_functional=False)
+        injector = FaultInjector(sim, array)
+        injector.fail_mark_memory_at(at_time=1.0, auto_recover=False)
+        sim.run(until=1.0 + 1e-6)
+        assert array.marks.failed
+        with pytest.raises(MarkMemoryFailedError):
+            array.marks.mark(0)
+        with pytest.raises(MarkMemoryFailedError):
+            array.marks.count()
+
+    def test_write_during_dead_mark_memory_fails_the_request(self):
+        sim = Simulator()
+        array = toy_array(sim, ndisks=3, stripe_unit_sectors=4, with_functional=False)
+        injector = FaultInjector(sim, array)
+        injector.fail_mark_memory_at(at_time=1.0, auto_recover=False)
+        sim.run(until=1.0 + 1e-6)
+        done = array.submit(write(0, 4))
+        with pytest.raises(MarkMemoryFailedError):
+            sim.run_until_triggered(done)
+
+    def test_recover_restores_service(self):
+        sim = Simulator()
+        array = toy_array(sim, ndisks=3, stripe_unit_sectors=4, with_functional=False)
+        injector = FaultInjector(sim, array)
+        injector.fail_mark_memory_at(at_time=1.0, auto_recover=False)
+        sim.run(until=1.0 + 1e-6)
+        array.recover_mark_memory()
+        assert not array.marks.failed
+        sim.run_until_triggered(array.submit(write(0, 4)))
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator()
+        array = toy_array(sim, ndisks=3, stripe_unit_sectors=4, with_functional=False)
+        injector = FaultInjector(sim, array)
+        sim.run(until=2.0)
+        with pytest.raises(ValueError):
+            injector.fail_mark_memory_at(at_time=1.0)

@@ -15,7 +15,7 @@ from repro.harness import (
     run_policy_grid,
     tradeoff_curve,
 )
-from repro.policy import AlwaysRaid5Policy, BaselineAfraidPolicy, NeverScrubPolicy
+from repro.policy import AlwaysRaid5Policy, BaselineAfraidPolicy
 from repro.sim import Simulator
 from repro.traces import Trace, TraceRecord
 

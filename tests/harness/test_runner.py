@@ -5,7 +5,7 @@ import json
 
 import pytest
 
-from repro.harness import run_policy_grid, policy_ladder
+from repro.harness import merged_histograms, run_policy_grid, policy_ladder
 from repro.harness.runner import (
     CellSpec,
     PolicySpec,
@@ -168,3 +168,34 @@ class TestCounters:
         run_cells(specs, cache_dir=tmp_path, counters=warm)
         assert warm.counts["cells_cached"] == len(specs)
         assert warm.counts["cells_simulated"] == 0
+
+
+class TestHistogramsThroughTheEngine:
+    def test_merged_histograms_identical_across_worker_counts(self):
+        """Per-worker histograms merged in the parent must equal the
+        serial run's — merge is exact, so worker count is invisible."""
+        specs = ladder_specs(["hplajw", "ATT"], targets=[1e7], **QUICK)
+        serial = merged_histograms(run_cells(specs, jobs=1).results.values())
+        parallel = merged_histograms(run_cells(specs, jobs=4).results.values())
+        assert serial == parallel
+        assert serial.total_count > 0
+        for q in (50, 90, 95, 99):
+            assert serial.get("client_read").percentile(q) == parallel.get(
+                "client_read"
+            ).percentile(q)
+
+    def test_cache_round_trip_preserves_histograms(self, tmp_path):
+        spec = quick_specs(kinds=("afraid",))[0]
+        direct = run_cell(spec)
+        run_cells([spec], cache_dir=tmp_path)
+        revived = run_cells([spec], cache_dir=tmp_path).results[spec.key]
+        assert revived.latency_hists == direct.latency_hists
+        assert revived.histogram_set() == direct.histogram_set()
+        assert revived.histogram_set().get("client_write").count == direct.writes
+
+    def test_merged_histograms_skips_payloadless_results(self):
+        spec = quick_specs(kinds=("afraid",))[0]
+        result = run_cell(spec)
+        legacy = dataclasses.replace(result, latency_hists=None)
+        merged = merged_histograms([result, legacy])
+        assert merged == merged_histograms([result])

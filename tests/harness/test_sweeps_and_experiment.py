@@ -61,12 +61,13 @@ class TestPolicyLadder:
 
 
 class StubResult:
-    def __init__(self, mean_io, mttdl_overall, mttdl_disk=1e6):
+    def __init__(self, mean_io, mttdl_overall, mttdl_disk=1e6, count=100):
         class IoTime:
-            def __init__(self, mean):
+            def __init__(self, mean, count):
                 self.mean = mean
+                self.count = count
 
-        self.io_time = IoTime(mean_io)
+        self.io_time = IoTime(mean_io, count)
         self.mttdl_overall_h = mttdl_overall
         self.mttdl_disk_h = mttdl_disk
 
@@ -92,3 +93,70 @@ class TestTradeoffCurve:
         }
         points = tradeoff_curve(grid, ["a", "b"], ["x"])
         assert points[0].relative_performance == pytest.approx(2.0)  # sqrt(1*4)
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ValueError, match="at least one workload"):
+            tradeoff_curve({}, [], ["raid5"])
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            tradeoff_curve({}, ["w"], [])
+
+    def test_empty_cell_named_in_error(self):
+        grid = {
+            ("w", "raid5"): StubResult(0.100, 2.0e6),
+            ("w", "afraid"): StubResult(0.0, 1.0e6, count=0),
+        }
+        with pytest.raises(ValueError, match="afraid.*completed no requests"):
+            tradeoff_curve(grid, ["w"], ["raid5", "afraid"])
+
+    def test_empty_baseline_named_in_error(self):
+        grid = {
+            ("w", "raid5"): StubResult(0.0, 2.0e6, count=0),
+            ("w", "afraid"): StubResult(0.025, 1.0e6),
+        }
+        with pytest.raises(ValueError, match="completed no requests"):
+            tradeoff_curve(grid, ["w"], ["afraid"])
+
+
+class TestSpeedupGuard:
+    @staticmethod
+    def result(io_times):
+        from repro.availability import TABLE_1
+        from repro.harness.experiment import ExperimentResult
+        from repro.metrics import Summary
+
+        return ExperimentResult(
+            workload="w",
+            policy="p",
+            ndisks=5,
+            nrequests=len(io_times),
+            reads=0,
+            writes=len(io_times),
+            io_time=Summary.of(io_times),
+            horizon_s=1.0,
+            stripes_scrubbed=0,
+            dirty_at_end=0,
+            unprotected_fraction=0.0,
+            mean_parity_lag_bytes=0.0,
+            peak_parity_lag_bytes=0.0,
+            params=TABLE_1,
+            mttdl_disk_h=1e6,
+            mdlr_unprotected_bytes_per_h=0.0,
+            mdlr_disk_bytes_per_h=0.0,
+            mttdl_overall_h=1e6,
+            mdlr_overall_bytes_per_h=0.0,
+        )
+
+    def test_speedup_over_empty_run_rejected(self):
+        full = self.result([0.01, 0.02])
+        empty = self.result([])
+        with pytest.raises(ValueError, match="completed no requests"):
+            full.speedup_over(empty)
+        with pytest.raises(ValueError, match="completed no requests"):
+            empty.speedup_over(full)
+
+    def test_speedup_between_real_runs(self):
+        fast = self.result([0.01, 0.01])
+        slow = self.result([0.04, 0.04])
+        assert fast.speedup_over(slow) == pytest.approx(4.0)

@@ -109,6 +109,88 @@ class TestIdleDetector:
         assert periods[0] == pytest.approx(1.0)  # initial idle span
         assert periods[1] == pytest.approx(2.0)
 
+    def test_busy_idle_busy_race_rearms_cleanly(self, sim):
+        """The generation counter must survive a busy→idle→busy flip that
+        happens while an earlier declaration timer is still pending."""
+        detector = IdleDetector(sim, threshold_s=0.1)
+        fired = []
+        detector.on_idle.append(lambda: fired.append(round(sim.now, 6)))
+
+        def client():
+            yield sim.timeout(0.05)
+            detector.activity_started()  # cancels the initial arm (due 0.10)
+            yield sim.timeout(0.01)
+            detector.activity_ended()  # re-arms: declaration due 0.16
+            yield sim.timeout(0.04)
+            detector.activity_started()  # 0.10: cancels the 0.16 declaration
+            yield sim.timeout(0.02)
+            detector.activity_ended()  # 0.12: re-arms, due 0.22
+
+        sim.process(client())
+        sim.run(until=1.0)
+        assert fired == [pytest.approx(0.22)]
+
+    def test_stale_timer_does_not_fire_while_busy(self, sim):
+        """An armed declaration whose due time lands inside a later busy
+        period stays cancelled even after the system goes idle again."""
+        detector = IdleDetector(sim, threshold_s=0.1)
+        fired = []
+        detector.on_idle.append(lambda: fired.append(round(sim.now, 6)))
+
+        def client():
+            yield sim.timeout(0.05)
+            detector.activity_started()
+            yield sim.timeout(0.3)  # the 0.10 timer expires mid-busy
+            detector.activity_ended()
+
+        sim.process(client())
+        sim.run(until=1.0)
+        assert fired == [pytest.approx(0.45)]
+        assert detector.observed_idle_periods == [pytest.approx(0.05)]
+
+    def test_instantaneous_busy_period_records_no_idle_span(self, sim):
+        detector = IdleDetector(sim, threshold_s=0.1)
+
+        def client():
+            yield sim.timeout(0.2)
+            detector.activity_started()
+            detector.activity_ended()  # same timestamp: zero-length busy
+            detector.activity_started()
+            detector.activity_ended()
+
+        sim.process(client())
+        sim.run(until=1.0)
+        # The 0.2 s initial idle span is recorded once; the zero-length
+        # idle gaps between the two instantaneous bursts are not.
+        assert detector.observed_idle_periods == [pytest.approx(0.2)]
+
+    def test_on_busy_fires_only_on_zero_to_one_transition(self, sim):
+        detector = IdleDetector(sim, threshold_s=0.1)
+        busy_at = []
+        detector.on_busy.append(lambda: busy_at.append(sim.now))
+
+        def client():
+            yield sim.timeout(0.01)
+            detector.activity_started()
+            detector.activity_started()  # already busy: no second callback
+            detector.activity_started()
+            yield sim.timeout(0.01)
+            detector.activity_ended()
+            detector.activity_ended()
+            detector.activity_ended()
+
+        sim.process(client())
+        sim.run(until=1.0)
+        assert busy_at == [pytest.approx(0.01)]
+        assert detector.is_idle
+
+    def test_unbalanced_end_after_real_activity_raises(self, sim):
+        detector = IdleDetector(sim, threshold_s=0.1)
+        detector.activity_started()
+        detector.activity_ended()
+        with pytest.raises(RuntimeError):
+            detector.activity_ended()
+
 
 class TestPredictor:
     def test_converges_to_constant_periods(self, sim):

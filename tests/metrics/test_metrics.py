@@ -1,6 +1,7 @@
 """Tests for summary statistics."""
 
-import math
+
+import numpy as np
 
 import pytest
 from hypothesis import given, settings
@@ -134,3 +135,33 @@ class TestPerfCounters:
         rows = counters.rows()
         assert ["ios", "7"] in rows
         assert ["replay (s)", "0.250"] in rows
+
+
+class TestNumpyInputs:
+    """The original footgun: ``if not values`` raises on numpy arrays
+    ("truth value of an array is ambiguous") and silently treats a
+    0-d/empty array wrong.  Everything must take ``len()``-style inputs."""
+
+    def test_summary_of_empty_array(self):
+        summary = Summary.of(np.array([]))
+        assert summary.count == 0
+        assert summary.mean == 0.0
+        assert summary.maximum == 0.0
+
+    def test_summary_of_array_matches_list(self):
+        values = [0.004, 0.001, 0.009]
+        assert Summary.of(np.array(values)) == Summary.of(values)
+
+    def test_percentile_empty_array_rejected(self):
+        with pytest.raises(ValueError, match="empty sample"):
+            percentile(np.array([]), 50.0)
+
+    def test_percentile_of_array(self):
+        assert percentile(np.array([1.0, 3.0]), 50.0) == pytest.approx(2.0)
+
+    def test_geometric_mean_empty_array_rejected(self):
+        with pytest.raises(ValueError, match="empty sample"):
+            geometric_mean(np.array([]))
+
+    def test_geometric_mean_of_array(self):
+        assert geometric_mean(np.array([2.0, 8.0])) == pytest.approx(4.0)

@@ -1,0 +1,176 @@
+"""Tests for the mergeable latency histograms."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import REQUEST_CLASSES, HistogramSet, LatencyHistogram
+
+#: Latencies spanning the full simulated range: sub-µs to minutes.
+latencies = st.floats(min_value=1e-8, max_value=100.0, allow_nan=False, allow_infinity=False)
+
+
+class TestRecording:
+    def test_count_sum_min_max(self):
+        hist = LatencyHistogram()
+        for value in (0.001, 0.010, 0.002):
+            hist.record(value)
+        assert hist.count == 3
+        assert hist.sum_s == pytest.approx(0.013)
+        assert hist.min_s == 0.001
+        assert hist.max_s == 0.010
+        assert hist.mean_s == pytest.approx(0.013 / 3)
+
+    def test_below_minimum_clamps_into_bucket_zero(self):
+        hist = LatencyHistogram(min_latency_s=1e-6)
+        hist.record(1e-9)
+        assert hist.counts == {0: 1}
+        assert hist.min_s == 1e-9  # exact extremes survive the clamp
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_latency_s=0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets_per_decade=0)
+
+    def test_bucket_bounds_tile_the_axis(self):
+        hist = LatencyHistogram()
+        for bucket in range(0, 50):
+            low, high = hist.bucket_bounds(bucket)
+            assert low < high
+            next_low, _ = hist.bucket_bounds(bucket + 1)
+            assert next_low == pytest.approx(high)
+
+
+class TestPercentiles:
+    def test_empty_answers_zero(self):
+        assert LatencyHistogram().percentile(95) == 0.0
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(101)
+
+    def test_extremes_are_exact(self):
+        hist = LatencyHistogram()
+        for value in (0.0013, 0.0200, 0.0007, 0.0500):
+            hist.record(value)
+        assert hist.percentile(0) == 0.0007
+        assert hist.percentile(100) == 0.0500
+
+    @given(st.lists(latencies, min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_within_bucket_resolution_of_truth(self, values):
+        hist = LatencyHistogram()
+        for value in values:
+            hist.record(value)
+        # One bucket spans a ratio of 10^(1/24); the geometric-midpoint
+        # answer is within half a bucket of some observed value's bucket.
+        ratio = 10 ** (1 / 24)
+        answer = hist.percentile(50)
+        ordered = sorted(values)
+        true = ordered[max(0, math.ceil(len(ordered) * 0.5) - 1)]
+        low = min(true / ratio, hist.min_s)
+        high = max(true * ratio, 0.0)
+        assert low <= answer <= max(high, hist.max_s)
+
+
+class TestMerge:
+    @given(st.lists(latencies, min_size=0, max_size=200), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_merge_is_exact(self, values, data):
+        """The load-bearing property: merging per-worker histograms gives
+        the same bucket counts — hence identical percentile answers — as
+        recording the combined stream into one histogram."""
+        cut = data.draw(st.integers(min_value=0, max_value=len(values)))
+        left, right = LatencyHistogram(), LatencyHistogram()
+        combined = LatencyHistogram()
+        for value in values[:cut]:
+            left.record(value)
+        for value in values[cut:]:
+            right.record(value)
+        for value in values:
+            combined.record(value)
+        left.merge(right)
+        assert left == combined
+        for q in (0, 25, 50, 90, 95, 99, 100):
+            assert left.percentile(q) == combined.percentile(q)
+
+    def test_merge_empty_is_identity(self):
+        hist = LatencyHistogram()
+        hist.record(0.004)
+        before = hist.to_dict()
+        hist.merge(LatencyHistogram())
+        assert hist.to_dict() == before
+
+    def test_layout_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets_per_decade=24).merge(
+                LatencyHistogram(buckets_per_decade=12)
+            )
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(LatencyHistogram())
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        hist = LatencyHistogram()
+        for value in (0.0013, 0.0200, 0.0007):
+            hist.record(value)
+        revived = LatencyHistogram.from_dict(hist.to_dict())
+        assert revived == hist
+        assert revived.sum_s == hist.sum_s
+
+    def test_payload_is_strict_json(self):
+        empty = LatencyHistogram()
+        text = json.dumps(empty.to_dict(), allow_nan=False)  # no inf/nan
+        assert json.loads(text)["min_s"] is None
+
+    def test_json_round_trip_preserves_equality(self):
+        hist = LatencyHistogram()
+        hist.record(0.0042)
+        revived = LatencyHistogram.from_dict(json.loads(json.dumps(hist.to_dict())))
+        assert revived == hist
+
+
+class TestHistogramSet:
+    def test_standard_classes_present(self):
+        hists = HistogramSet()
+        for name in REQUEST_CLASSES:
+            assert hists.get(name).count == 0
+
+    def test_unknown_class_created_on_demand(self):
+        hists = HistogramSet()
+        hists.record("my_extension", 0.001)
+        assert hists.get("my_extension").count == 1
+        assert hists.total_count == 1
+
+    def test_merge_and_equality_ignore_empty_classes(self):
+        a, b = HistogramSet(), HistogramSet()
+        a.record("client_read", 0.002)
+        b.record("client_read", 0.002)
+        b.record("scrub", 0.0)  # b has an extra class... with a record
+        assert a != b
+        b2 = HistogramSet()
+        b2.record("client_read", 0.002)
+        assert a == b2  # empty classes don't matter
+
+    def test_payload_round_trip(self):
+        hists = HistogramSet()
+        hists.record("client_write", 0.003)
+        hists.record("scrub", 0.030)
+        payload = json.loads(json.dumps(hists.to_payload()))
+        assert "client_read" not in payload["classes"]  # empty ones omitted
+        assert HistogramSet.from_payload(payload) == hists
+
+    def test_rows_and_header_align(self):
+        hists = HistogramSet()
+        hists.record("client_read", 0.005)
+        header = HistogramSet.table_header()
+        rows = hists.rows()
+        assert len(rows) == 1
+        assert len(rows[0]) == len(header)

@@ -1,0 +1,122 @@
+"""Tests for periodic time-series sampling."""
+
+import pytest
+
+from repro.array import toy_array
+from repro.array.request import ArrayRequest
+from repro.disk import IoKind
+from repro.obs import PeriodicSampler, Tracer, attach_array_probes
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestSampler:
+    def test_samples_every_period_until_horizon(self, sim):
+        sampler = PeriodicSampler(sim, period_s=0.010)
+        sampler.add_probe("clock", lambda: sim.now)
+        sampler.start(until=0.1)
+        sim.run()
+        series = sampler.series["clock"]
+        assert len(series) == 11  # t = 0.00 .. 0.10 inclusive
+        assert series.times_s[0] == 0.0
+        assert series.times_s[-1] == pytest.approx(0.10)
+
+    def test_stop_ends_sampling(self, sim):
+        sampler = PeriodicSampler(sim, period_s=0.010)
+        sampler.add_probe("one", lambda: 1.0)
+        sampler.start()
+
+        def stopper():
+            yield sim.timeout(0.035)
+            sampler.stop()
+
+        sim.process(stopper())
+        sim.run()
+        assert len(sampler.series["one"]) == 4
+
+    def test_failing_probe_is_dropped_not_fatal(self, sim):
+        sampler = PeriodicSampler(sim, period_s=0.010)
+
+        def bad():
+            raise RuntimeError("hardware gone")
+
+        sampler.add_probe("bad", bad)
+        sampler.add_probe("good", lambda: 1.0)
+        sampler.start(until=0.05)
+        sim.run()
+        assert len(sampler.series["good"]) == 6
+        assert len(sampler.series["bad"]) == 0
+        assert sampler.dropped == 6
+
+    def test_mirrors_into_tracer_counters(self, sim):
+        tracer = Tracer(sim)
+        sampler = PeriodicSampler(sim, period_s=0.010, tracer=tracer)
+        sampler.add_probe("depth", lambda: 2.0)
+        sampler.start(until=0.02)
+        sim.run()
+        times = [t for t, _ in tracer.counter_series("depth")]
+        values = [v for _, v in tracer.counter_series("depth")]
+        assert times == [pytest.approx(t) for t in (0.0, 0.01, 0.02)]
+        assert values == [2.0, 2.0, 2.0]
+
+    def test_series_memory_bound(self, sim):
+        sampler = PeriodicSampler(sim, period_s=0.010, max_samples_per_series=3)
+        sampler.add_probe("one", lambda: 1.0)
+        sampler.start(until=0.1)
+        sim.run()
+        assert len(sampler.series["one"]) == 3
+        assert sampler.dropped == 8
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicSampler(sim, period_s=0.0)
+        sampler = PeriodicSampler(sim)
+        sampler.add_probe("x", lambda: 0.0)
+        with pytest.raises(ValueError):
+            sampler.add_probe("x", lambda: 1.0)
+        sampler.start(until=0.01)
+        with pytest.raises(RuntimeError):
+            sampler.start()
+
+    def test_to_dict_shape(self, sim):
+        sampler = PeriodicSampler(sim, period_s=0.010)
+        sampler.add_probe("one", lambda: 1.0)
+        sampler.start(until=0.01)
+        sim.run()
+        payload = sampler.to_dict()
+        assert payload["period_s"] == 0.010
+        assert payload["series"]["one"]["values"] == [1.0, 1.0]
+
+
+class TestArrayProbes:
+    def test_standard_probes_observe_real_activity(self, sim):
+        array = toy_array(sim, with_functional=False)
+        sampler = PeriodicSampler(sim, period_s=0.005)
+        attach_array_probes(sampler, array)
+        sampler.start(until=0.5)
+
+        def client():
+            for i in range(5):
+                yield array.submit(ArrayRequest(IoKind.WRITE, i * 16, 4))
+
+        sim.process(client())
+        sim.run()
+
+        assert sampler.series["outstanding_requests"].peak >= 1.0
+        assert sampler.series["dirty_stripes"].peak >= 1.0
+        assert sampler.series["parity_lag_bytes"].peak > 0.0
+        utilisations = [
+            sampler.series[f"disk{i}_utilisation"] for i in range(array.ndisks)
+        ]
+        assert any(series.peak > 0.0 for series in utilisations)
+        assert all(series.peak <= 1.0 for series in utilisations)
+
+    def test_probe_count_matches_array_width(self, sim):
+        array = toy_array(sim, ndisks=3, with_functional=False)
+        sampler = PeriodicSampler(sim)
+        attach_array_probes(sampler, array)
+        assert len(sampler.probes) == 4 + 3

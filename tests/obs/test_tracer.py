@@ -1,0 +1,153 @@
+"""Tests for the structured tracer and its Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestRecording:
+    def test_unbound_tracer_cannot_stamp(self):
+        with pytest.raises(RuntimeError):
+            Tracer().instant("x")
+
+    def test_span_records_simulated_interval(self, sim):
+        tracer = Tracer(sim)
+
+        def proc():
+            with tracer.span("work", track="t", category="c", detail=1):
+                yield sim.timeout(0.25)
+
+        sim.process(proc())
+        sim.run()
+        (record,) = tracer.spans_on("t")
+        kind, start_s, duration_s, name, track, category, args = record
+        assert (kind, name, track, category) == ("X", "work", "t", "c")
+        assert start_s == 0.0
+        assert duration_s == pytest.approx(0.25)
+        assert args == {"detail": 1}
+
+    def test_begin_end_without_context_manager(self, sim):
+        tracer = Tracer(sim)
+        token = tracer.begin("op")
+        tracer.end(token)
+        assert len(tracer) == 1
+
+    def test_complete_is_retroactive(self, sim):
+        tracer = Tracer(sim)
+        tracer.complete("old", start_s=1.0, duration_s=0.5, track="t")
+        (record,) = tracer.spans_on("t")
+        assert record[1] == 1.0 and record[2] == 0.5
+
+    def test_instants_and_counters(self, sim):
+        tracer = Tracer(sim)
+
+        def proc():
+            tracer.instant("fault", track="f", disk=3)
+            tracer.counter("lag", 10.0)
+            yield sim.timeout(0.1)
+            tracer.counter("lag", 20.0)
+
+        sim.process(proc())
+        sim.run()
+        (instant,) = tracer.instants_named("fault")
+        assert instant[5] == {"disk": 3}
+        assert tracer.counter_series("lag") == [(0.0, 10.0), (pytest.approx(0.1), 20.0)]
+
+    def test_bounded_memory_drops_and_counts(self, sim):
+        tracer = Tracer(sim, max_records=2)
+        for _ in range(5):
+            tracer.counter("x", 1.0)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_max_records_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(max_records=0)
+
+
+class TestKernelHook:
+    def test_attach_records_dispatches(self, sim):
+        tracer = Tracer()
+        tracer.attach_kernel(sim)
+
+        def proc():
+            yield sim.timeout(0.1)
+
+        sim.process(proc())
+        sim.run()
+        kernel = [r for r in tracer.records if r[3] == "kernel"]
+        assert kernel  # every dispatch became an instant
+
+    def test_detach_stops_recording(self, sim):
+        tracer = Tracer()
+        tracer.attach_kernel(sim)
+        tracer.detach_kernel()
+
+        def proc():
+            yield sim.timeout(0.1)
+
+        sim.process(proc())
+        sim.run()
+        assert len(tracer) == 0
+
+    def test_attach_without_simulator_rejected(self):
+        with pytest.raises(RuntimeError):
+            Tracer().attach_kernel()
+
+
+class TestChromeExport:
+    def build(self, sim):
+        tracer = Tracer(sim)
+
+        def proc():
+            with tracer.span("op", track="alpha"):
+                yield sim.timeout(0.010)
+            tracer.instant("tick", track="beta")
+            tracer.counter("depth", 4.0)
+
+        sim.process(proc())
+        sim.run()
+        return tracer
+
+    def test_event_shapes_and_microsecond_timestamps(self, sim):
+        payload = self.build(sim).chrome_trace()
+        events = payload["traceEvents"]
+        by_phase = {}
+        for event in events:
+            by_phase.setdefault(event["ph"], []).append(event)
+        (span,) = by_phase["X"]
+        assert span["dur"] == pytest.approx(10_000)  # 10 ms in µs
+        (instant,) = by_phase["i"]
+        assert instant["s"] == "t"
+        (counter,) = by_phase["C"]
+        assert counter["args"] == {"value": 4.0}
+        thread_names = {m["args"]["name"] for m in by_phase["M"]}
+        assert {"alpha", "beta"} <= thread_names
+
+    def test_tracks_get_distinct_tids(self, sim):
+        events = self.build(sim).chrome_trace()["traceEvents"]
+        tids = {e["tid"] for e in events if e["ph"] == "M"}
+        assert len(tids) == len([e for e in events if e["ph"] == "M"])
+
+    def test_write_chrome_is_loadable_json(self, sim, tmp_path):
+        path = tmp_path / "trace.json"
+        self.build(sim).write_chrome(path)
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"]
+        assert payload["otherData"]["dropped_records"] == 0
+
+    def test_write_jsonl_one_object_per_record(self, sim, tmp_path):
+        tracer = self.build(sim)
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == len(tracer)
+        assert {line["kind"] for line in lines} == {"span", "instant", "counter"}

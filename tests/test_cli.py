@@ -82,3 +82,95 @@ class TestAvailability:
         main(["availability", "--fraction", "0.0"])
         out = capsys.readouterr().out
         assert "4.2e+09 h" in out
+
+
+class TestStatsFlag:
+    def test_run_stats_table(self, capsys):
+        assert main(["run", "hplajw", "--duration", "5", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "perf counters" in out
+        assert "events_dispatched" in out
+
+    def test_run_stats_json(self, capsys):
+        import json
+
+        assert main(["run", "hplajw", "--duration", "5", "--json", "--stats"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["perf"]["counts"]["events_dispatched"] > 0
+
+    def test_sweep_stats(self, capsys, tmp_path):
+        assert main(["sweep", "hplajw", "--targets", "1e7",
+                     "--duration", "2", "--cache-dir", str(tmp_path), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "perf counters" in out
+        assert "cells_simulated" in out
+
+
+class TestTrace:
+    def test_trace_writes_loadable_chrome_json(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "hplajw", "--duration", "5", "--seed", "3",
+                     "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        events = payload["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        names = {e["name"] for e in spans}
+        assert "read" in names or "write" in names
+        assert "scrub_stripe" in names
+        counters = {e["name"] for e in events if e["ph"] == "C"}
+        assert "dirty_stripes" in counters
+        assert "parity_lag_bytes" in counters
+        out = capsys.readouterr().out
+        assert "ui.perfetto.dev" in out
+
+    def test_trace_jsonl_and_histogram_export(self, tmp_path, capsys):
+        import json
+
+        hist_path = tmp_path / "hists.json"
+        jsonl_path = tmp_path / "trace.jsonl"
+        assert main(["trace", "hplajw", "--duration", "5",
+                     "--out", str(tmp_path / "t.json"),
+                     "--jsonl", str(jsonl_path),
+                     "--hist-out", str(hist_path)]) == 0
+        payload = json.loads(hist_path.read_text())
+        assert payload["workload"] == "hplajw"
+        assert "client_write" in payload["histograms"]["classes"]
+        first = json.loads(jsonl_path.read_text().splitlines()[0])
+        assert first["kind"] in ("span", "instant", "counter")
+
+    def test_unknown_workload_falls_back_to_generic(self, tmp_path, capsys):
+        assert main(["trace", "uncompressed", "--duration", "2",
+                     "--out", str(tmp_path / "t.json")]) == 0
+        err = capsys.readouterr().err
+        assert "generic" in err
+
+    def test_percentile_table_printed(self, tmp_path, capsys):
+        assert main(["trace", "hplajw", "--duration", "5",
+                     "--out", str(tmp_path / "t.json")]) == 0
+        out = capsys.readouterr().out
+        assert "p95" in out
+        assert "client_write" in out
+
+
+class TestReport:
+    def test_report_runs_workload(self, capsys):
+        assert main(["report", "hplajw", "--duration", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "p99" in out
+        assert "client_read" in out
+
+    def test_report_from_exported_histograms(self, tmp_path, capsys):
+        hist_path = tmp_path / "hists.json"
+        assert main(["trace", "hplajw", "--duration", "5",
+                     "--out", str(tmp_path / "t.json"),
+                     "--hist-out", str(hist_path)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--from", str(hist_path)]) == 0
+        out = capsys.readouterr().out
+        assert "client_write" in out
+
+    def test_report_needs_a_source(self):
+        with pytest.raises(SystemExit):
+            main(["report"])

@@ -8,7 +8,6 @@ import pathlib
 import runpy
 import sys
 
-import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
@@ -75,5 +74,17 @@ def test_every_example_is_covered():
         "availability_calculator.py",
         "raid6_exploration.py",
         "fit_your_workload.py",
+        "observability_demo.py",
     }
     assert shipped == covered
+
+
+def test_observability_demo(monkeypatch, capsys, tmp_path):
+    out_file = tmp_path / "demo_trace.json"
+    out = run_example(
+        monkeypatch, capsys, "observability_demo.py", ["hplajw", "6", str(out_file)]
+    )
+    assert "per-class latency percentiles" in out
+    assert "client_write" in out
+    assert "parity debt over time" in out
+    assert out_file.exists()
