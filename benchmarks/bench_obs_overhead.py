@@ -12,6 +12,9 @@ as part of the bench smoke.
 
 import time
 
+from repro.array import toy_array
+from repro.array.controller import DiskArray
+from repro.array.request import ArrayRequest
 from repro.disk import DiskIO, IoKind, toy_disk
 from repro.sched import DiskDriver
 from repro.sim import AllOf, Simulator
@@ -82,5 +85,88 @@ def test_disabled_tracer_overhead_is_under_three_percent():
           f"(stock {stock * 1e3:.1f} ms vs control {control * 1e3:.1f} ms)")
     assert ratio < MAX_OVERHEAD_RATIO, (
         f"disabled observability path costs {ratio:.3f}x "
+        f"(allowed < {MAX_OVERHEAD_RATIO}x)"
+    )
+
+
+# -- registry / exposure-monitor branches on the array write path ----------------------
+
+N_WRITES = 900
+
+
+class UninstrumentedArray(DiskArray):
+    """The pre-exposure write path and lag bookkeeping, as the control.
+
+    Identical to the stock methods with the ``self.exposure`` branches
+    deleted outright (the tracer branch stays: it belongs to the test
+    above).  Timing this against a stock array whose ``exposure`` is
+    ``None`` isolates what the exposure/registry hooks cost when disabled.
+    """
+
+    def _write_afraid(self, request, runs_by_stripe):
+        newly_marked = False
+        for stripe, runs in runs_by_stripe.items():
+            for run in runs:
+                for sub_unit in self._sub_units_of(run):
+                    newly_marked |= self.marks.mark(stripe, sub_unit)
+        if newly_marked:
+            self._lag_changed()
+        events = []
+        for runs in runs_by_stripe.values():
+            for run in runs:
+                events.append(
+                    self.drivers[run.disk].submit(
+                        DiskIO(IoKind.WRITE, run.disk_lba, run.nsectors)
+                    )
+                )
+                self.stats.foreground_data_writes += 1
+        yield AllOf(self.sim, events)
+        if self.functional is not None:
+            self.functional.write(
+                request.offset_sectors, self._payload(request), update_parity=False
+            )
+        self.policy.on_stripes_marked()
+
+    def _lag_changed(self):
+        if not self._finished:
+            lag = self.parity_lag_bytes
+            self.lag_tracker.record(self.sim.now, lag)
+            if self.tracer is not None:
+                self.tracer.counter("dirty_stripes", float(len(self.marks.marked_stripes)))
+                self.tracer.counter("parity_lag_bytes", lag)
+
+
+def write_storm(control: bool):
+    sim = Simulator()
+    array = toy_array(sim, with_functional=False)
+    if control:
+        array.__class__ = UninstrumentedArray
+    limit = array.layout.total_data_sectors - 8
+    for i in range(N_WRITES):
+        sim.run_until_triggered(
+            array.submit(ArrayRequest(IoKind.WRITE, (i * 37) % limit, 8))
+        )
+    assert array.stats.writes_completed == N_WRITES
+
+
+def best_of_storm(control: bool, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        write_storm(control)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_exposure_registry_overhead_is_under_three_percent():
+    write_storm(control=True)
+    write_storm(control=False)
+    control = best_of_storm(control=True)
+    stock = best_of_storm(control=False)
+    ratio = stock / control
+    print(f"\ndisabled registry/exposure overhead: {ratio:.4f}x "
+          f"(stock {stock * 1e3:.1f} ms vs control {control * 1e3:.1f} ms)")
+    assert ratio < MAX_OVERHEAD_RATIO, (
+        f"disabled exposure/registry path costs {ratio:.3f}x "
         f"(allowed < {MAX_OVERHEAD_RATIO}x)"
     )

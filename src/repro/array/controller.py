@@ -37,7 +37,7 @@ from repro.sim import AllOf, Event, Resource, Simulator
 
 if typing.TYPE_CHECKING:  # pragma: no cover - optional functional twin
     from repro.blocks import FunctionalArray
-    from repro.obs import HistogramSet, Tracer
+    from repro.obs import ExposureMonitor, HistogramSet, MetricsRegistry, Tracer
 
 
 @dataclasses.dataclass
@@ -148,6 +148,8 @@ class DiskArray:
         #: ``None`` keeps every instrumentation site to a single check.
         self.tracer: "Tracer | None" = None
         self.hists: "HistogramSet | None" = None
+        self.registry: "MetricsRegistry | None" = None
+        self.exposure: "ExposureMonitor | None" = None
 
         # The paper's host driver uses C-LOOK; any IoScheduler works here
         # (the scheduler-comparison ablation swaps in FCFS / SSTF / LOOK).
@@ -169,18 +171,33 @@ class DiskArray:
         self,
         tracer: "Tracer | None" = None,
         histograms: "HistogramSet | None" = None,
+        registry: "MetricsRegistry | None" = None,
+        exposure: "ExposureMonitor | None" = None,
     ) -> None:
-        """Attach a tracer and/or per-class latency histograms.
+        """Attach a tracer, latency histograms, and/or exposure telemetry.
 
         The tracer is propagated to the back-end drivers (per-disk command
-        spans) and to the policy (decision instants).  Passing ``None``
-        for either sink detaches it.
+        spans) and to the policy (decision instants); the registry goes to
+        the policy too (mode-switch counters).  A ``registry`` without an
+        ``exposure`` monitor gets a default :class:`~repro.obs.ExposureMonitor`
+        (window and reliability parameters from :attr:`params`), since the
+        registry's availability gauges are its publications.  Passing
+        ``None`` for a sink detaches it.
         """
         self.tracer = tracer
         self.hists = histograms
+        if registry is not None and exposure is None:
+            from repro.obs.exposure import ExposureMonitor
+
+            exposure = ExposureMonitor(params=self.params)
+        self.registry = registry
+        self.exposure = exposure
+        if exposure is not None:
+            exposure.attach(self, registry)
         for driver in self.drivers:
             driver.tracer = tracer
         self.policy.tracer = tracer
+        self.policy.registry = registry
 
     def _observe_client(self, request: ArrayRequest) -> None:
         """Record one completed client request into the attached sinks."""
@@ -230,6 +247,8 @@ class DiskArray:
     def request_scrub(self, force: bool = False) -> None:
         """Ask for background parity rebuilding (``force``: even if busy)."""
         if force:
+            if not self._force_scrub and self.exposure is not None:
+                self.exposure.forced_scrub()
             self._force_scrub = True
         self._ensure_scrubber()
 
@@ -279,6 +298,8 @@ class DiskArray:
             self._finished = True
             self.lag_tracker.finish(self.sim.now)
             self.nvram_dirty_tracker.finish(self.sim.now)
+            if self.exposure is not None:
+                self.exposure.finish(self.sim.now)
 
     def drain(self) -> Event:
         """An event that fires once no client work is queued or in flight."""
@@ -471,7 +492,10 @@ class DiskArray:
     def _write_afraid(self, request: ArrayRequest, runs_by_stripe: dict[int, list[ExtentRun]]):
         """The AFRAID write: mark first, then one data write per run."""
         newly_marked = False
+        exposure = self.exposure
         for stripe, runs in runs_by_stripe.items():
+            if exposure is not None:
+                exposure.stripe_dirtied(stripe, self.sim.now)
             for run in runs:
                 for sub_unit in self._sub_units_of(run):
                     newly_marked |= self.marks.mark(stripe, sub_unit)
@@ -599,6 +623,8 @@ class DiskArray:
         if was_dirty:
             self.marks.clear_stripe(stripe)
             self._lag_changed()
+            if self.exposure is not None:
+                self.exposure.stripe_cleaned(stripe, self.sim.now, cause="write")
 
     def _write_degraded(self, request: ArrayRequest, runs_by_stripe: dict[int, list[ExtentRun]]):
         """Writes while a member disk is missing.
@@ -644,6 +670,8 @@ class DiskArray:
             if self.marks.is_marked(stripe) and parity.disk != failed:
                 self.marks.clear_stripe(stripe)
                 self._lag_changed()
+                if self.exposure is not None:
+                    self.exposure.stripe_cleaned(stripe, self.sim.now, cause="write")
 
     def _submit_data_writes(self, runs: list[ExtentRun]) -> list[Event]:
         events = []
@@ -728,6 +756,8 @@ class DiskArray:
             self.stats.scrub_parity_writes += 1
             self.marks.clear_stripe(stripe)
             self._lag_changed()
+            if self.exposure is not None:
+                self.exposure.stripe_cleaned(stripe, self.sim.now, cause="scrub")
             self.stats.stripes_scrubbed += 1
             if self.hists is not None or self.tracer is not None:
                 self._observe_scrub("scrub_stripe", started, stripe)
@@ -796,6 +826,10 @@ class DiskArray:
         for stripe in range(self.layout.nstripes):
             for sub_unit in range(self.marks.bits_per_stripe):
                 self.marks.mark(stripe, sub_unit)
+        if self.exposure is not None:
+            now = self.sim.now
+            for stripe in range(self.layout.nstripes):
+                self.exposure.stripe_dirtied(stripe, now)
         self._lag_changed()
         if self.tracer is not None:
             self.tracer.instant(
@@ -837,6 +871,8 @@ class DiskArray:
             if self.hists is not None or self.tracer is not None:
                 self._observe_scrub("scrub_sub_unit", started, stripe)
             if not self.marks.is_marked(stripe):
+                if self.exposure is not None:
+                    self.exposure.stripe_cleaned(stripe, self.sim.now, cause="scrub")
                 self.stats.stripes_scrubbed += 1
                 if self.functional is not None:
                     self.functional.scrub_stripe(stripe)
@@ -850,6 +886,10 @@ class DiskArray:
         if not self._finished:
             lag = self.parity_lag_bytes
             self.lag_tracker.record(self.sim.now, lag)
+            if self.exposure is not None:
+                self.exposure.on_lag_change(
+                    self.sim.now, lag, len(self.marks.marked_stripes), self.marks.count
+                )
             if self.tracer is not None:
                 self.tracer.counter("dirty_stripes", float(len(self.marks.marked_stripes)))
                 self.tracer.counter("parity_lag_bytes", lag)

@@ -95,8 +95,12 @@ class ParityLagTracker:
         """Tunprot/Ttotal as of ``now`` without mutating the tracker.
 
         The MTTDL_x policy polls this continuously to decide whether the
-        availability target is still being met.
+        availability target is still being met.  After :meth:`finish` the
+        fraction is frozen — the window is closed, so later ``now`` values
+        must not keep extending (or double-counting) the open segment.
         """
+        if self._finished_at is not None and now >= self._finished_at:
+            return self.unprotected_fraction
         if now < self._last_time:
             raise ValueError("time went backwards")
         total = now - self._start

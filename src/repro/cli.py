@@ -9,6 +9,7 @@ Installed as ``afraid-sim``::
     afraid-sim availability --fraction 0.05  # Section 3 calculator
     afraid-sim trace snake --policy afraid --out trace.json  # Perfetto trace
     afraid-sim report snake --policy afraid  # per-class latency percentiles
+    afraid-sim exposure cello-usr --slo "parity_lag_bytes < 5e6"  # live telemetry
 """
 
 from __future__ import annotations
@@ -26,7 +27,14 @@ from repro.availability import (
 )
 from repro.harness import DEFAULT_CACHE_DIR, format_quantity, format_table, run_experiment
 from repro.metrics import PerfCounters
-from repro.obs import HistogramSet
+from repro.obs import (
+    ExposureMonitor,
+    HistogramSet,
+    MetricsRegistry,
+    SloEngine,
+    SloRule,
+    start_exposure_poller,
+)
 from repro.policy import (
     AlwaysRaid5Policy,
     BaselineAfraidPolicy,
@@ -90,22 +98,108 @@ def _resolve_workload(name: str, duration_s: float, seed: int):
     return make_trace(name, duration_s=duration_s, seed=seed, allow_generic=True)
 
 
+def _parse_slo_rules(texts) -> list[SloRule]:
+    """``--slo`` strings to rules; a bad rule is a usage error, not a crash."""
+    try:
+        return [SloRule.parse(text) for text in texts or ()]
+    except ValueError as exc:
+        raise SystemExit(f"--slo: {exc}") from None
+
+
+def _run_with_slo(
+    workload,
+    policy: ParityPolicy,
+    duration_s: float,
+    seed: int,
+    rules: list[SloRule],
+    window_s: float = 5.0,
+    period_s: float = 0.050,
+    counters: PerfCounters | None = None,
+):
+    """One experiment with live exposure telemetry and SLO evaluation.
+
+    Returns (result, registry, engine, snapshotter) — the registry holds
+    the final metric values, the engine the breach/recovery history.
+    """
+    from repro.obs import RegistrySnapshotter
+
+    registry = MetricsRegistry()
+    monitor = ExposureMonitor(window_s=window_s, params=TABLE_1)
+    engine = SloEngine(rules)
+    snapshotter = RegistrySnapshotter(registry)
+
+    def instrument(sim, array) -> None:
+        start_exposure_poller(
+            sim,
+            monitor,
+            period_s=period_s,
+            engine=engine,
+            snapshotter=snapshotter,
+            until=duration_s,
+        )
+
+    result = run_experiment(
+        workload,
+        policy,
+        duration_s=duration_s,
+        seed=seed,
+        counters=counters,
+        registry=registry,
+        exposure=monitor,
+        on_array=instrument,
+    )
+    engine.finish(result.horizon_s)
+    return result, registry, engine, snapshotter
+
+
+def _slo_report(engine: SloEngine) -> str:
+    """The SLO summary table plus the breach/recovery timeline."""
+    lines = [format_table(SloEngine.table_header(), engine.summary_rows(), title="SLOs")]
+    if engine.events:
+        lines.append("")
+        for event in engine.events:
+            lines.append(
+                f"  {event.time_s:10.3f}s  {event.kind.upper():9}  "
+                f"{event.rule.describe()}  (value {format_quantity(event.value)})"
+            )
+    return "\n".join(lines)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     policy = _make_policy(args.policy, args.mttdl_target)
     counters = PerfCounters() if args.stats else None
-    result = run_experiment(
-        args.workload, policy, duration_s=args.duration, seed=args.seed, counters=counters
-    )
+    rules = _parse_slo_rules(getattr(args, "slo", None))
+    engine = None
+    if rules:
+        result, _registry, engine, _snaps = _run_with_slo(
+            args.workload, policy, args.duration, args.seed, rules, counters=counters
+        )
+    else:
+        result = run_experiment(
+            args.workload, policy, duration_s=args.duration, seed=args.seed, counters=counters
+        )
     if args.json:
         import json
 
         payload = result.to_dict()
         if counters is not None:
             payload["perf"] = counters.snapshot()
+        if engine is not None:
+            payload["slo"] = {
+                "rules": [rule.describe() for rule in rules],
+                "breached": engine.any_breached_ever,
+                "events": [
+                    {"time_s": e.time_s, "kind": e.kind, "rule": e.rule.describe()}
+                    for e in engine.events
+                ],
+            }
         print(json.dumps(payload, indent=2))
         return 0
     title = f"{args.workload} under {policy.describe()} ({args.duration:g}s, seed {args.seed})"
     print(format_table(["metric", "value"], _result_rows(result), title=title))
+    if engine is not None:
+        print()
+        print(_slo_report(engine))
     if counters is not None:
         print()
         print(format_table(["counter", "value"], counters.rows(), title="perf counters"))
@@ -115,29 +209,44 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     results = {}
+    rules = _parse_slo_rules(getattr(args, "slo", None))
+    engines = {}
     for name in ("raid0", "afraid", "raid5"):
-        results[name] = run_experiment(
-            args.workload, _make_policy(name, None), duration_s=args.duration, seed=args.seed
-        )
+        if rules:
+            results[name], _reg, engines[name], _snaps = _run_with_slo(
+                args.workload, _make_policy(name, None), args.duration, args.seed, rules
+            )
+        else:
+            results[name] = run_experiment(
+                args.workload, _make_policy(name, None), duration_s=args.duration, seed=args.seed
+            )
     raid5_mean = results["raid5"].io_time.mean
+    header = ["model", "mean I/O (ms)", "vs RAID5", "unprot time", "disk MTTDL (h)"]
+    if rules:
+        header.append("SLO breaches")
     for name in ("raid0", "afraid", "raid5"):
         result = results[name]
-        rows.append(
-            [
-                name,
-                f"{result.mean_io_time_ms:.2f}",
-                f"{raid5_mean / result.io_time.mean:.2f}x",
-                f"{result.unprotected_fraction:.1%}",
-                format_quantity(result.mttdl_disk_h),
-            ]
-        )
+        row = [
+            name,
+            f"{result.mean_io_time_ms:.2f}",
+            f"{raid5_mean / result.io_time.mean:.2f}x",
+            f"{result.unprotected_fraction:.1%}",
+            format_quantity(result.mttdl_disk_h),
+        ]
+        if rules:
+            row.append(str(sum(engines[name].breach_count(rule) for rule in rules)))
+        rows.append(row)
     print(
         format_table(
-            ["model", "mean I/O (ms)", "vs RAID5", "unprot time", "disk MTTDL (h)"],
+            header,
             rows,
             title=f"{args.workload}, {args.duration:g}s, seed {args.seed}",
         )
     )
+    if rules:
+        for name in ("raid0", "afraid", "raid5"):
+            print(f"\n{name}:")
+            print(_slo_report(engines[name]))
     return 0
 
 
@@ -282,9 +391,25 @@ def cmd_report(args: argparse.Namespace) -> int:
     if args.from_file is not None:
         import json
 
-        with open(args.from_file) as handle:
-            payload = json.load(handle)
-        hists = HistogramSet.from_payload(payload.get("histograms", payload))
+        expected = (
+            "expected JSON with keys min_latency_s, buckets_per_decade, classes "
+            "as written by `afraid-sim trace --hist-out FILE`"
+        )
+        try:
+            with open(args.from_file) as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            raise SystemExit(f"--from: {args.from_file}: no such file; {expected}") from None
+        except json.JSONDecodeError as exc:
+            raise SystemExit(
+                f"--from: {args.from_file}: not valid JSON ({exc}); {expected}"
+            ) from None
+        try:
+            hists = HistogramSet.from_payload(payload.get("histograms", payload))
+        except (KeyError, TypeError, AttributeError):
+            raise SystemExit(
+                f"--from: {args.from_file}: JSON has the wrong shape; {expected}"
+            ) from None
         title = f"latency percentiles from {args.from_file}"
     else:
         if args.workload is None:
@@ -309,6 +434,27 @@ def cmd_availability(args: argparse.Namespace) -> int:
     afraid = afraid_mttdl(args.ndisks, params.mttf_disk_h, params.mttr_h, args.fraction)
     overall = combine_mttdl(afraid, CONSERVATIVE_SUPPORT.mttdl_h)
     lifetime_h = args.years * 24 * 365.25
+    p_loss = loss_probability(overall, lifetime_h)
+    if args.format == "json":
+        import json
+
+        def jsonable(value):
+            if isinstance(value, float) and value == float("inf"):
+                return "inf"
+            return value
+
+        payload = {
+            "ndisks": args.ndisks,
+            "unprotected_fraction": args.fraction,
+            "years": args.years,
+            "raid5_mttdl_h": raid5,
+            "afraid_mttdl_h": afraid,
+            "support_mttdl_h": CONSERVATIVE_SUPPORT.mttdl_h,
+            "overall_mttdl_h": overall,
+            "loss_probability": p_loss,
+        }
+        print(json.dumps({key: jsonable(value) for key, value in payload.items()}, indent=2))
+        return 0
     rows = [
         ["RAID 5 disk MTTDL (eq. 1)", format_quantity(raid5, " h")],
         [f"AFRAID disk MTTDL @ {args.fraction:.1%} exposure", format_quantity(afraid, " h")],
@@ -320,6 +466,114 @@ def cmd_availability(args: argparse.Namespace) -> int:
         ],
     ]
     print(format_table(["quantity", "value"], rows, title=f"{args.ndisks}-disk array"))
+    return 0
+
+
+def cmd_exposure(args: argparse.Namespace) -> int:
+    """Live redundancy-exposure telemetry for one run.
+
+    Runs the workload with a :class:`~repro.obs.MetricsRegistry` attached,
+    a periodic poller refreshing the windowed achieved-MTTDL/MDLR
+    estimators, and (optionally) SLO rules evaluated at every tick.  The
+    final registry state can be exported in Prometheus text exposition
+    format (``--prom``) and the full sampled time series as JSON lines
+    (``--jsonl``).
+    """
+    policy = _make_policy(args.policy, args.mttdl_target)
+    rules = _parse_slo_rules(args.slo)
+    workload = _resolve_workload(args.workload, args.duration, args.seed)
+    result, registry, engine, snapshotter = _run_with_slo(
+        workload,
+        policy,
+        args.duration,
+        args.seed,
+        rules,
+        window_s=args.window,
+        period_s=args.period,
+    )
+    exposure_hists = result.exposure_histogram_set()
+
+    analytic_mttdl = afraid_mttdl(
+        result.ndisks, result.params.mttf_disk_h, result.params.mttr_h,
+        result.unprotected_fraction,
+    )
+
+    if args.prom:
+        from repro.obs import write_prometheus
+
+        write_prometheus(registry, args.prom)
+    if args.jsonl:
+        snapshotter.write_jsonl(args.jsonl)
+
+    if args.json:
+        import json
+
+        def jsonable(value):
+            if isinstance(value, float) and value == float("inf"):
+                return "inf"
+            return value
+
+        payload = {
+            "result": result.to_dict(),
+            "metrics": {k: jsonable(v) for k, v in registry.snapshot().items()},
+            "slo": {
+                "rules": [rule.describe() for rule in rules],
+                "breached": engine.any_breached_ever,
+                "events": [
+                    {"time_s": e.time_s, "kind": e.kind, "rule": e.rule.describe()}
+                    for e in engine.events
+                ],
+            },
+            "snapshots": len(snapshotter.snaps),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        title = (
+            f"{result.workload} under {result.policy} "
+            f"({args.duration:g}s, seed {args.seed}, window {args.window:g}s)"
+        )
+        metric_rows = [
+            [name, format_quantity(value)]
+            for name, value in sorted(registry.snapshot().items())
+        ]
+        print(format_table(["metric", "value"], metric_rows, title=title))
+        print()
+        print(
+            format_table(
+                ["quantity", "windowed", "whole-run analytic"],
+                [
+                    [
+                        "achieved MTTDL",
+                        format_quantity(registry.value("windowed_mttdl_h", float("inf")), " h"),
+                        format_quantity(analytic_mttdl, " h"),
+                    ],
+                    [
+                        "unprotected fraction",
+                        f"{registry.value('windowed_unprotected_fraction', 0.0):.2%}",
+                        f"{result.unprotected_fraction:.2%}",
+                    ],
+                ],
+                title="windowed estimators vs eq. (2c)",
+            )
+        )
+        if exposure_hists is not None and exposure_hists.rows():
+            print()
+            print(
+                format_table(
+                    HistogramSet.table_header(),
+                    exposure_hists.rows(),
+                    title="dirty-stripe dwell times",
+                )
+            )
+        if rules:
+            print()
+            print(_slo_report(engine))
+        if args.prom:
+            print(f"\nPrometheus metrics -> {args.prom}")
+        if args.jsonl:
+            print(f"{len(snapshotter.snaps)} registry snapshots -> {args.jsonl}")
+    if args.fail_on_breach and engine.any_breached_ever:
+        return 1
     return 0
 
 
@@ -344,12 +598,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--stats", action="store_true", help="also print simulator perf counters"
     )
+    run_parser.add_argument(
+        "--slo", action="append", default=None, metavar="RULE",
+        help='SLO rule like "parity_lag_bytes < 5e6"; repeatable',
+    )
     run_parser.set_defaults(handler=cmd_run)
 
     compare_parser = commands.add_parser("compare", help="RAID 0 vs AFRAID vs RAID 5 on one workload")
     compare_parser.add_argument("workload", choices=workload_names())
     compare_parser.add_argument("--duration", type=float, default=20.0)
     compare_parser.add_argument("--seed", type=int, default=42)
+    compare_parser.add_argument(
+        "--slo", action="append", default=None, metavar="RULE",
+        help='SLO rule like "parity_lag_bytes < 5e6"; repeatable, checked per model',
+    )
     compare_parser.set_defaults(handler=cmd_compare)
 
     analyze_parser = commands.add_parser("analyze", help="characterise a workload (catalog name or trace CSV)")
@@ -429,7 +691,45 @@ def build_parser() -> argparse.ArgumentParser:
     avail_parser.add_argument("--ndisks", type=int, default=5)
     avail_parser.add_argument("--fraction", type=float, default=0.05, help="unprotected-time fraction")
     avail_parser.add_argument("--years", type=float, default=3.0)
+    avail_parser.add_argument(
+        "--format", choices=["table", "json"], default="table", help="output format"
+    )
     avail_parser.set_defaults(handler=cmd_availability)
+
+    exposure_parser = commands.add_parser(
+        "exposure", help="live redundancy-exposure telemetry, SLO checks, and metric export"
+    )
+    exposure_parser.add_argument(
+        "workload", help="catalog name (unknown names synthesise a generic workload)"
+    )
+    exposure_parser.add_argument("--policy", default="afraid", choices=["afraid", "raid5", "raid0", "mttdl"])
+    exposure_parser.add_argument("--mttdl-target", type=float, default=None, help="hours, for --policy mttdl")
+    exposure_parser.add_argument("--duration", type=float, default=30.0, help="trace duration (simulated s)")
+    exposure_parser.add_argument("--seed", type=int, default=42)
+    exposure_parser.add_argument(
+        "--window", type=float, default=5.0, help="estimator sliding window (simulated s)"
+    )
+    exposure_parser.add_argument(
+        "--period", type=float, default=0.050, help="poller/snapshot period (simulated s)"
+    )
+    exposure_parser.add_argument(
+        "--slo", action="append", default=None, metavar="RULE",
+        help='SLO rule like "parity_lag_bytes < 5e6"; repeatable',
+    )
+    exposure_parser.add_argument(
+        "--prom", default=None, metavar="FILE",
+        help="write final registry state in Prometheus text exposition format",
+    )
+    exposure_parser.add_argument(
+        "--jsonl", default=None, metavar="FILE",
+        help="write the sampled registry time series as JSON lines",
+    )
+    exposure_parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    exposure_parser.add_argument(
+        "--fail-on-breach", action="store_true",
+        help="exit 1 if any SLO rule was ever breached",
+    )
+    exposure_parser.set_defaults(handler=cmd_exposure)
     return parser
 
 

@@ -21,7 +21,7 @@ from repro.sched import DiskDriver, FcfsScheduler
 from repro.sim import AllOf, Event, Simulator
 
 if typing.TYPE_CHECKING:  # pragma: no cover - optional observability
-    from repro.obs import HistogramSet, Tracer
+    from repro.obs import HistogramSet, MetricsRegistry, Tracer
 
 
 @dataclasses.dataclass
@@ -51,6 +51,7 @@ class RebuildManager:
         # sweep shows up as spans on a "rebuild" track.
         self.tracer: "Tracer | None" = array.tracer
         self.hists: "HistogramSet | None" = array.hists
+        self.registry: "MetricsRegistry | None" = array.registry
 
     def fail_and_rebuild(self, disk_index: int, spare: MechanicalDisk) -> Event:
         """Kill member ``disk_index`` and rebuild it onto ``spare``.
@@ -103,6 +104,10 @@ class RebuildManager:
             yield AllOf(self.sim, reads)
             yield spare_driver.submit(DiskIO(IoKind.WRITE, stripe * unit_sectors, unit_sectors))
             self.stats.stripes_rebuilt += 1
+            if self.registry is not None:
+                self.registry.counter(
+                    "rebuild_stripes_total", "stripes regenerated onto a spare"
+                ).inc()
             if self.hists is not None:
                 self.hists.record("rebuild", self.sim.now - stripe_started)
             if self.tracer is not None:

@@ -21,7 +21,7 @@ from repro.array.controller import DiskArray
 from repro.sim import Simulator
 
 if typing.TYPE_CHECKING:  # pragma: no cover - optional observability
-    from repro.obs import Tracer
+    from repro.obs import MetricsRegistry, Tracer
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,9 +46,10 @@ class FaultInjector:
         self.sim = sim
         self.array = array
         self.reports: list[DiskFailureReport] = []
-        #: Optional fault-event tracer; inherits whatever the array has at
-        #: construction time, overridable afterwards.
+        #: Optional fault-event tracer and metrics registry; both inherit
+        #: whatever the array has at construction time, overridable after.
         self.tracer: "Tracer | None" = array.tracer
+        self.registry: "MetricsRegistry | None" = array.registry
 
     def fail_disk_at(self, disk: int, at_time: float) -> None:
         """Kill member ``disk`` at simulated time ``at_time``.
@@ -83,6 +84,10 @@ class FaultInjector:
                     "disk_failure", track="faults", category="fault",
                     disk=disk, dirty=dirty, lag_bytes=lag, lost_bytes=lost,
                 )
+            if self.registry is not None:
+                self.registry.counter(
+                    "disk_failures_total", "injected member-disk failures"
+                ).inc()
 
         self.sim.timeout(at_time - self.sim.now, name=f"fail.d{disk}").add_callback(strike)
 
@@ -102,6 +107,10 @@ class FaultInjector:
                     "nvram_failure", track="faults", category="fault",
                     auto_recover=auto_recover,
                 )
+            if self.registry is not None:
+                self.registry.counter(
+                    "nvram_failures_total", "injected marking-memory failures"
+                ).inc()
             if auto_recover:
                 self.array.recover_mark_memory()
 

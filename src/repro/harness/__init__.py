@@ -17,6 +17,7 @@ from repro.harness.runner import (
     SweepOutcome,
     cache_key,
     ladder_specs,
+    merged_exposure_histograms,
     merged_histograms,
     run_cells,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "format_table",
     "gather",
     "ladder_specs",
+    "merged_exposure_histograms",
     "merged_histograms",
     "policy_ladder",
     "replay_trace",

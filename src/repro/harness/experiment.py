@@ -19,14 +19,14 @@ from repro.availability import (
 from repro.disk import hp_c3325
 from repro.harness.replay import replay_trace
 from repro.metrics import PerfCounters, Summary
-from repro.obs import HistogramSet
+from repro.obs import ExposureMonitor, HistogramSet
 from repro.policy import ParityPolicy
 from repro.sim import Simulator
 from repro.traces import Trace, make_trace
 
 if typing.TYPE_CHECKING:  # pragma: no cover - optional observability
     from repro.array.controller import DiskArray
-    from repro.obs import Tracer
+    from repro.obs import MetricsRegistry, Tracer
 
 
 @dataclasses.dataclass(frozen=True)
@@ -59,12 +59,23 @@ class ExperimentResult:
     #: form, so results stay picklable and JSON-safe).  ``None`` only for
     #: results revived from pre-observability cache payloads.
     latency_hists: dict | None = None
+    #: Per-stripe dirty-dwell histograms from the run's
+    #: :class:`~repro.obs.ExposureMonitor` (same payload form; classes
+    #: ``dirty_dwell`` plus ``dirty_dwell_<cause>``).  ``None`` only for
+    #: results revived from pre-exposure cache payloads.
+    exposure_hists: dict | None = None
 
     def histogram_set(self) -> HistogramSet | None:
         """The latency histograms revived into a mergeable object."""
         if self.latency_hists is None:
             return None
         return HistogramSet.from_payload(self.latency_hists)
+
+    def exposure_histogram_set(self) -> HistogramSet | None:
+        """The dirty-dwell histograms revived into a mergeable object."""
+        if self.exposure_hists is None:
+            return None
+        return HistogramSet.from_payload(self.exposure_hists)
 
     @property
     def mean_io_time_ms(self) -> float:
@@ -156,6 +167,9 @@ def run_experiment(
     counters: PerfCounters | None = None,
     tracer: "Tracer | None" = None,
     histograms: HistogramSet | None = None,
+    registry: "MetricsRegistry | None" = None,
+    exposure: "ExposureMonitor | None" = None,
+    exposure_window_s: float = 5.0,
     on_array: "typing.Callable[[Simulator, DiskArray], None] | None" = None,
 ) -> ExperimentResult:
     """Run one (workload, policy) experiment from a clean simulator.
@@ -168,15 +182,23 @@ def run_experiment(
 
     Observability: per-class latency histograms are always collected (they
     are O(1) per request and land in ``ExperimentResult.latency_hists``);
-    pass ``histograms`` to record into an existing set instead.  Pass a
-    :class:`~repro.obs.Tracer` to capture structured spans, and ``on_array``
-    to hook the built array before replay starts (e.g. to attach a
-    :class:`~repro.obs.PeriodicSampler` or a fault injector).
+    pass ``histograms`` to record into an existing set instead.  An
+    :class:`~repro.obs.ExposureMonitor` is likewise always attached (its
+    dirty-dwell histograms land in ``ExperimentResult.exposure_hists``);
+    pass ``exposure`` to use a pre-configured one, ``registry`` to have
+    the run publish live gauges/counters into a
+    :class:`~repro.obs.MetricsRegistry`.  Pass a :class:`~repro.obs.Tracer`
+    to capture structured spans, and ``on_array`` to hook the built array
+    before replay starts (e.g. to attach a
+    :class:`~repro.obs.PeriodicSampler`, an SLO poller, or a fault
+    injector).
     """
     if counters is None:
         counters = PerfCounters()  # throwaway: keeps the body branch-free
     if histograms is None:
         histograms = HistogramSet()
+    if exposure is None:
+        exposure = ExposureMonitor(window_s=exposure_window_s, params=params)
     sim = Simulator()
     if tracer is not None:
         tracer.bind(sim)
@@ -191,7 +213,9 @@ def run_experiment(
             params=params,
             name=policy.describe(),
         )
-        array.attach_observability(tracer=tracer, histograms=histograms)
+        array.attach_observability(
+            tracer=tracer, histograms=histograms, registry=registry, exposure=exposure
+        )
         if on_array is not None:
             on_array(sim, array)
         if isinstance(workload, Trace):
@@ -242,4 +266,5 @@ def run_experiment(
         mttdl_overall_h=mttdl_overall,
         mdlr_overall_bytes_per_h=mdlr_overall,
         latency_hists=histograms.to_payload(),
+        exposure_hists=exposure.hists.to_payload(),
     )

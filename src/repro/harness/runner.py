@@ -40,7 +40,8 @@ from repro.policy import (
 
 #: Bump when the cached payload layout (not the results) changes shape.
 #: 2: results grew per-class latency histograms (``latency_hists``).
-CACHE_SCHEMA = 2
+#: 3: results grew dirty-dwell exposure histograms (``exposure_hists``).
+CACHE_SCHEMA = 3
 
 #: Default cache location (gitignored).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -316,6 +317,22 @@ def merged_histograms(results: typing.Iterable[ExperimentResult]) -> HistogramSe
     merged = HistogramSet()
     for result in results:
         hists = result.histogram_set()
+        if hists is not None:
+            merged.merge(hists)
+    return merged
+
+
+def merged_exposure_histograms(results: typing.Iterable[ExperimentResult]) -> HistogramSet:
+    """Merge every result's dirty-dwell exposure histograms into one set.
+
+    Same exact-merge guarantee as :func:`merged_histograms`, applied to
+    the ``dirty_dwell*`` classes the per-worker
+    :class:`~repro.obs.ExposureMonitor` recorded.  Results without
+    exposure histograms (pre-exposure cache entries) are skipped.
+    """
+    merged = HistogramSet()
+    for result in results:
+        hists = result.exposure_histogram_set()
         if hists is not None:
             merged.merge(hists)
     return merged

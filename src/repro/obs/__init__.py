@@ -12,24 +12,67 @@ at that granularity:
   percentile queries, and *exact* merging across sweep workers, keyed by
   request class (client read/write, degraded read, scrub, rebuild);
 * :class:`PeriodicSampler` — simulated-time sampling of queue depth,
-  dirty stripes, parity lag, and per-disk utilisation.
+  dirty stripes, parity lag, and per-disk utilisation;
+* :class:`MetricsRegistry` — named gauges/counters/histograms the sim
+  actors publish their live state into;
+* :class:`ExposureMonitor` / :class:`WindowedExposureEstimator` — the
+  availability side of the story: windowed *achieved* MTTDL/MDLR and
+  per-stripe dirty-dwell distributions, computed online from the
+  controller's dirty-stripe events;
+* :class:`SloEngine` / :class:`SloRule` — declarative thresholds on
+  registry metrics, with breach/recovery instants on the tracer;
+* :func:`prometheus_text` / :class:`RegistrySnapshotter` — Prometheus
+  text-exposition and JSONL exports of the registry.
 
-Everything is opt-in: components carry a ``tracer`` attribute that is
-``None`` by default, and every instrumentation site costs one ``is not
-None`` check when disabled.
+Everything is opt-in: components carry ``tracer`` and ``registry``
+attributes that are ``None`` by default, and every instrumentation site
+costs one ``is not None`` check when disabled.
 """
 
+from repro.obs.exposure import (
+    ExposureMonitor,
+    WindowedExposureEstimator,
+    lag_integral,
+    start_exposure_poller,
+    unprotected_time,
+)
+from repro.obs.export import (
+    RegistrySnapshotter,
+    parse_prometheus_text,
+    prometheus_text,
+    read_jsonl_snapshots,
+    write_prometheus,
+)
 from repro.obs.hist import REQUEST_CLASSES, HistogramSet, LatencyHistogram
+from repro.obs.registry import Counter, Gauge, HistogramMetric, MetricsRegistry
 from repro.obs.samplers import PeriodicSampler, SampleSeries, attach_array_probes
+from repro.obs.slo import SloEngine, SloEvent, SloRule
 from repro.obs.tracer import SpanToken, Tracer
 
 __all__ = [
     "REQUEST_CLASSES",
+    "Counter",
+    "ExposureMonitor",
+    "Gauge",
+    "HistogramMetric",
     "HistogramSet",
     "LatencyHistogram",
+    "MetricsRegistry",
     "PeriodicSampler",
+    "RegistrySnapshotter",
     "SampleSeries",
+    "SloEngine",
+    "SloEvent",
+    "SloRule",
     "SpanToken",
     "Tracer",
+    "WindowedExposureEstimator",
     "attach_array_probes",
+    "lag_integral",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "read_jsonl_snapshots",
+    "start_exposure_poller",
+    "unprotected_time",
+    "write_prometheus",
 ]

@@ -1,0 +1,207 @@
+"""Exporters: Prometheus text exposition and JSONL registry snapshots.
+
+Two serialisations of a :class:`~repro.obs.registry.MetricsRegistry`:
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` comments, cumulative ``_bucket{le="..."}``
+  histogram series with a ``+Inf`` bucket, ``_sum`` and ``_count``), so a
+  finished run's exposure state drops straight into any Prometheus /
+  Grafana tooling as a node-exporter-style textfile.
+  :func:`parse_prometheus_text` is the matching reader; round-tripping
+  through it is pinned by test.
+* :class:`RegistrySnapshotter` — appends timestamped flat snapshots
+  during the run (driven by the exposure poller) and writes them as
+  JSONL, one object per sample, giving the full *trajectory* rather than
+  the final state.  Infinities are encoded as the string ``"inf"`` (the
+  same convention as the result cache) so the output is strict JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import typing
+
+from repro.obs.registry import Counter, Gauge, HistogramMetric, MetricsRegistry
+
+
+def _format_value(value: float) -> str:
+    """A Prometheus sample value; ``repr`` round-trips floats exactly."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Serialise ``registry`` in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(f"{metric.name} {_format_value(metric.value)}")
+        elif isinstance(metric, HistogramMetric):
+            hist = metric.hist
+            cumulative = 0
+            for bucket in sorted(hist.counts):
+                cumulative += hist.counts[bucket]
+                _, high = hist.bucket_bounds(bucket)
+                lines.append(
+                    f'{metric.name}_bucket{{le="{_format_value(high)}"}} {cumulative}'
+                )
+            lines.append(f'{metric.name}_bucket{{le="+Inf"}} {hist.count}')
+            lines.append(f"{metric.name}_sum {_format_value(hist.sum_s)}")
+            lines.append(f"{metric.name}_count {hist.count}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_prometheus(registry: MetricsRegistry, path) -> None:
+    """Write :func:`prometheus_text` to ``path`` (a textfile-collector file)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_text(registry))
+
+
+# -- parsing (the round-trip check) ----------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse Prometheus text exposition into plain dicts.
+
+    Returns ``{"types": {name: kind}, "help": {name: text}, "samples":
+    {name: value}, "histograms": {name: {"buckets": {le: count}, "sum":
+    float, "count": int}}}`` — scalar metrics land in ``samples``,
+    histogram series are folded into ``histograms``.
+    """
+    types: dict[str, str] = {}
+    helps: dict[str, str] = {}
+    samples: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+
+    def hist_entry(name: str) -> dict:
+        return histograms.setdefault(name, {"buckets": {}, "sum": 0.0, "count": 0})
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            helps[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            types[name] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: cannot parse sample {line!r}")
+        name = match.group("name")
+        value = _parse_value(match.group("value"))
+        labels = match.group("labels")
+        if name.endswith("_bucket") and labels is not None:
+            le_match = re.search(r'le="([^"]*)"', labels)
+            if le_match is None:
+                raise ValueError(f"line {lineno}: histogram bucket without le label")
+            base = name[: -len("_bucket")]
+            hist_entry(base)["buckets"][le_match.group(1)] = int(value)
+        elif name.endswith("_sum") and name[: -len("_sum")] in types and (
+            types.get(name[: -len("_sum")]) == "histogram"
+        ):
+            hist_entry(name[: -len("_sum")])["sum"] = value
+        elif name.endswith("_count") and types.get(name[: -len("_count")]) == "histogram":
+            hist_entry(name[: -len("_count")])["count"] = int(value)
+        else:
+            samples[name] = value
+    return {"types": types, "help": helps, "samples": samples, "histograms": histograms}
+
+
+# -- JSONL snapshot trajectory ---------------------------------------------------------
+
+
+def _json_safe(value: float) -> float | str:
+    """Strict-JSON encoding: infinities become the string ``"inf"``."""
+    if value == math.inf:
+        return "inf"
+    if value == -math.inf:
+        return "-inf"
+    return value
+
+
+class RegistrySnapshotter:
+    """Timestamped flat registry snapshots, exported as JSONL."""
+
+    def __init__(self, registry: MetricsRegistry, max_snaps: int = 1_000_000) -> None:
+        self.registry = registry
+        self.max_snaps = max_snaps
+        self.snaps: list[dict] = []
+        self.dropped = 0
+
+    def snap(self, time_s: float) -> None:
+        """Record the registry's current scalar view at ``time_s``."""
+        if len(self.snaps) >= self.max_snaps:
+            self.dropped += 1
+            return
+        self.snaps.append({"time_s": time_s, **self.registry.snapshot()})
+
+    def series(self, name: str) -> tuple[list[float], list[float]]:
+        """The (times, values) trajectory of one metric across the snaps."""
+        times: list[float] = []
+        values: list[float] = []
+        for snap in self.snaps:
+            if name in snap:
+                times.append(snap["time_s"])
+                values.append(snap[name])
+        return times, values
+
+    def write_jsonl(self, path) -> None:
+        """One JSON object per snapshot, strict JSON (inf → ``"inf"``)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for snap in self.snaps:
+                safe = {key: _json_safe(value) for key, value in snap.items()}
+                handle.write(json.dumps(safe) + "\n")
+
+    def __repr__(self) -> str:
+        return f"<RegistrySnapshotter {len(self.snaps)} snaps, {self.dropped} dropped>"
+
+
+def read_jsonl_snapshots(path) -> list[dict]:
+    """Read a :meth:`RegistrySnapshotter.write_jsonl` file back (inf revived)."""
+    snaps = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            snap = json.loads(line)
+            for key, value in snap.items():
+                if value == "inf":
+                    snap[key] = math.inf
+                elif value == "-inf":
+                    snap[key] = -math.inf
+            snaps.append(snap)
+    return snaps

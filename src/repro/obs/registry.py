@@ -1,0 +1,209 @@
+"""A central registry of named metrics the simulated actors publish into.
+
+The controller, scrubber, rebuild manager, fault injector, and policies
+each expose what they are doing as named **gauges** (instantaneous
+values: dirty stripes, parity-lag bytes, scrub backlog), **counters**
+(monotonic totals: forced scrubs, mode switches, rebuilt stripes), and
+**histograms** (distributions: per-stripe dirty-dwell seconds, wrapping
+the exactly-mergeable :class:`~repro.obs.hist.LatencyHistogram`).
+
+The registry is the read side of the availability story: where the
+:class:`~repro.obs.Tracer` answers "what happened, in order", the
+registry answers "what is the exposure *right now*" — which is what the
+SLO engine polls and the Prometheus/JSONL exporters serialise.
+
+Attachment follows the tracer's pattern: components hold an optional
+``registry`` attribute, ``None`` by default, and every publication site
+is gated on one ``is not None`` check, so the disabled path stays
+near-free (``benchmarks/bench_obs_overhead.py`` asserts it).
+
+Metric accessors are *get-or-create*: ``registry.counter("x")`` returns
+the existing counter or makes one, so publishers don't need a separate
+declaration step — but asking for an existing name as a different metric
+type is an error (one name, one meaning).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.obs.hist import LatencyHistogram
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value:g}>"
+
+
+class Gauge:
+    """An instantaneous value that can move either way."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value:g}>"
+
+
+class HistogramMetric:
+    """A named distribution, backed by a :class:`LatencyHistogram`.
+
+    The backing histogram can be shared (pass ``hist=``) so a
+    distribution that already lives elsewhere — e.g. the exposure
+    monitor's dirty-dwell histogram — is exported without double
+    recording.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "hist")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        hist: LatencyHistogram | None = None,
+        min_value: float = 1e-6,
+        buckets_per_decade: int = 24,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.hist = hist if hist is not None else LatencyHistogram(min_value, buckets_per_decade)
+
+    def observe(self, value: float) -> None:
+        self.hist.record(value)
+
+    @property
+    def value(self) -> float:
+        """Scalar view: the observation count (what ``snapshot`` reports)."""
+        return float(self.hist.count)
+
+    def __repr__(self) -> str:
+        return f"<HistogramMetric {self.name} n={self.hist.count}>"
+
+
+Metric = typing.Union[Counter, Gauge, HistogramMetric]
+
+
+class MetricsRegistry:
+    """Named metrics, in registration order."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    # -- get-or-create accessors ------------------------------------------------------
+
+    def _lookup(self, name: str, kind: type) -> Metric | None:
+        metric = self._metrics.get(name)
+        if metric is None:
+            return None
+        if not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a {kind.__name__.lower()}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._lookup(name, Counter)
+        if metric is None:
+            metric = Counter(name, help)
+            self._metrics[name] = metric
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._lookup(name, Gauge)
+        if metric is None:
+            metric = Gauge(name, help)
+            self._metrics[name] = metric
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        hist: LatencyHistogram | None = None,
+        min_value: float = 1e-6,
+        buckets_per_decade: int = 24,
+    ) -> HistogramMetric:
+        metric = self._lookup(name, HistogramMetric)
+        if metric is None:
+            metric = HistogramMetric(
+                name, help, hist=hist, min_value=min_value, buckets_per_decade=buckets_per_decade
+            )
+            self._metrics[name] = metric
+        return metric
+
+    # -- queries ---------------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> Metric:
+        """The metric object called ``name`` (KeyError if unknown)."""
+        return self._metrics[name]
+
+    def value(self, name: str, default: float | None = None) -> float | None:
+        """The scalar value of ``name``, or ``default`` when unregistered.
+
+        This is what the SLO engine evaluates rules against: a rule naming
+        a metric that nothing has published yet is simply not evaluable.
+        """
+        metric = self._metrics.get(name)
+        return metric.value if metric is not None else default
+
+    def metrics(self) -> list[Metric]:
+        """All metrics, in registration order."""
+        return list(self._metrics.values())
+
+    def names(self) -> list[str]:
+        return list(self._metrics)
+
+    def snapshot(self) -> dict[str, float]:
+        """A flat ``{name: value}`` view of every metric.
+
+        Histograms contribute ``<name>_count`` and ``<name>_sum`` so the
+        snapshot stays scalar (the full bucket layout is the exporters'
+        job, not the snapshot's).
+        """
+        out: dict[str, float] = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, HistogramMetric):
+                out[f"{name}_count"] = float(metric.hist.count)
+                out[f"{name}_sum"] = metric.hist.sum_s
+            else:
+                out[name] = metric.value
+        return out
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry {len(self._metrics)} metrics>"

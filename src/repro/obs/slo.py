@@ -1,0 +1,196 @@
+"""Declarative availability SLOs evaluated against the metrics registry.
+
+A rule is one comparison on one registry metric — the same shape as the
+predicate the MTTDL_x policy enforces internally:
+
+    parity_lag_bytes < 5e6
+    achieved_mttdl_h > 200000
+    dirty_stripes <= 20
+
+The :class:`SloEngine` evaluates its rules on a clock (the exposure
+poller's), tracks which are currently breached, accounts breach time, and
+— when given a :class:`~repro.obs.Tracer` — emits ``slo.breach`` /
+``slo.recovery`` instants on an ``slo`` track, so breach episodes line up
+against the write bursts that caused them in the trace viewer.
+
+A rule whose metric nothing has published yet is simply skipped: rules
+may name gauges (e.g. ``windowed_mttdl_h``) that only exist once the
+poller first fires.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import typing
+
+from repro.obs.registry import MetricsRegistry
+
+if typing.TYPE_CHECKING:  # pragma: no cover - optional observability
+    from repro.obs.tracer import Tracer
+
+#: Comparison operators a rule may use, longest first so the parser
+#: never splits ``<=`` into ``<`` + garbage.
+_OPS: dict[str, typing.Callable[[float, float], bool]] = {
+    "<=": lambda value, threshold: value <= threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "<": lambda value, threshold: value < threshold,
+    ">": lambda value, threshold: value > threshold,
+}
+
+_RULE_RE = re.compile(
+    r"^\s*(?P<metric>[A-Za-z_][A-Za-z0-9_]*)\s*"
+    r"(?P<op><=|>=|<|>)\s*"
+    r"(?P<threshold>[^\s<>]+)\s*$"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class SloRule:
+    """One objective: ``metric op threshold`` must hold."""
+
+    metric: str
+    op: str
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown operator {self.op!r} (use <, <=, >, >=)")
+
+    @classmethod
+    def parse(cls, text: str) -> "SloRule":
+        """Parse ``"metric < threshold"`` (as given to ``--slo``)."""
+        match = _RULE_RE.match(text)
+        if match is None:
+            raise ValueError(
+                f"cannot parse SLO rule {text!r}: expected 'metric_name < threshold', "
+                "with one of < <= > >= and a numeric threshold"
+            )
+        try:
+            threshold = float(match.group("threshold"))
+        except ValueError:
+            raise ValueError(
+                f"cannot parse SLO rule {text!r}: threshold "
+                f"{match.group('threshold')!r} is not a number"
+            ) from None
+        return cls(metric=match.group("metric"), op=match.group("op"), threshold=threshold)
+
+    def ok(self, value: float) -> bool:
+        """Does ``value`` satisfy the objective?"""
+        return _OPS[self.op](value, self.threshold)
+
+    def describe(self) -> str:
+        return f"{self.metric} {self.op} {self.threshold:g}"
+
+
+@dataclasses.dataclass(frozen=True)
+class SloEvent:
+    """A rule crossing its threshold, in either direction."""
+
+    time_s: float
+    rule: SloRule
+    kind: str  # "breach" | "recovery"
+    value: float
+
+
+class SloEngine:
+    """Evaluates a set of rules over time and keeps breach accounting."""
+
+    def __init__(self, rules: typing.Sequence[SloRule], tracer: "Tracer | None" = None) -> None:
+        self.rules = list(rules)
+        self.tracer = tracer
+        self.events: list[SloEvent] = []
+        self._breached_since: dict[SloRule, float] = {}
+        self._breach_time: dict[SloRule, float] = {rule: 0.0 for rule in self.rules}
+        self._breach_count: dict[SloRule, int] = {rule: 0 for rule in self.rules}
+        self._evaluations = 0
+        self._finished = False
+
+    def evaluate(self, now: float, registry: MetricsRegistry) -> list[SloEvent]:
+        """Check every rule against the registry; return new crossings."""
+        if self._finished:
+            raise RuntimeError("engine already finished")
+        self._evaluations += 1
+        crossings: list[SloEvent] = []
+        for rule in self.rules:
+            value = registry.value(rule.metric)
+            if value is None:
+                continue  # metric not published yet
+            breached = not rule.ok(value)
+            was_breached = rule in self._breached_since
+            if breached and not was_breached:
+                self._breached_since[rule] = now
+                self._breach_count[rule] += 1
+                crossings.append(SloEvent(now, rule, "breach", value))
+            elif not breached and was_breached:
+                since = self._breached_since.pop(rule)
+                self._breach_time[rule] += now - since
+                crossings.append(SloEvent(now, rule, "recovery", value))
+        if crossings:
+            self.events.extend(crossings)
+            if self.tracer is not None:
+                for event in crossings:
+                    self.tracer.instant(
+                        f"slo.{event.kind}",
+                        track="slo",
+                        category="slo",
+                        rule=event.rule.describe(),
+                        value=event.value,
+                    )
+        return crossings
+
+    def finish(self, now: float) -> None:
+        """Close open breach episodes at the horizon."""
+        if self._finished:
+            raise RuntimeError("engine already finished")
+        self._finished = True
+        for rule, since in self._breached_since.items():
+            self._breach_time[rule] += now - since
+
+    # -- accounting -------------------------------------------------------------------
+
+    def is_breached(self, rule: SloRule) -> bool:
+        return rule in self._breached_since
+
+    def breach_time_s(self, rule: SloRule, now: float | None = None) -> float:
+        """Total seconds ``rule`` has spent breached (open episode included
+        when ``now`` is given)."""
+        total = self._breach_time[rule]
+        since = self._breached_since.get(rule)
+        if since is not None and now is not None:
+            total += now - since
+        return total
+
+    def breach_count(self, rule: SloRule) -> int:
+        return self._breach_count[rule]
+
+    @property
+    def any_breached_ever(self) -> bool:
+        return any(count > 0 for count in self._breach_count.values())
+
+    def summary_rows(self) -> list[list[str]]:
+        """Per-rule rows (rule, status, breaches, breach seconds) for tables."""
+        rows = []
+        for rule in self.rules:
+            status = "BREACHED" if self.is_breached(rule) else (
+                "met" if self._breach_count[rule] == 0 else "recovered"
+            )
+            rows.append(
+                [
+                    rule.describe(),
+                    status,
+                    str(self._breach_count[rule]),
+                    f"{self._breach_time[rule]:.3f}",
+                ]
+            )
+        return rows
+
+    @classmethod
+    def table_header(cls) -> list[str]:
+        return ["rule", "status", "breaches", "breached (s)"]
+
+    def __repr__(self) -> str:
+        return (
+            f"<SloEngine {len(self.rules)} rules, {len(self.events)} events, "
+            f"{len(self._breached_since)} currently breached>"
+        )

@@ -22,7 +22,7 @@ import typing
 from repro.availability import ReliabilityParams, afraid_mttdl
 
 if typing.TYPE_CHECKING:  # pragma: no cover - optional observability
-    from repro.obs import Tracer
+    from repro.obs import MetricsRegistry, Tracer
 
 
 class WriteMode(enum.Enum):
@@ -68,6 +68,9 @@ class ParityPolicy:
         #: Optional decision tracer, set by the controller's
         #: ``attach_observability``; ``None`` costs one check per decision.
         self.tracer: "Tracer | None" = None
+        #: Optional metrics registry (same attachment path); policies
+        #: publish decision counters (e.g. ``mode_switches_total``) into it.
+        self.registry: "MetricsRegistry | None" = None
 
     def attach(self, array: ArrayView) -> None:
         """Bind the policy to its array (called once by the controller)."""
@@ -206,8 +209,19 @@ class MttdlTargetPolicy(DirtyStripeThresholdPolicy):
         self._raid5_mode = False  # last decision, for transition instants
 
     def achieved_mttdl_h(self) -> float:
-        """Disk-related MTTDL achieved so far, per eq. (2c)."""
+        """Disk-related MTTDL achieved so far, per eq. (2c).
+
+        When the array has an :class:`~repro.obs.ExposureMonitor`, the
+        value comes from it (which also refreshes the registry's
+        ``achieved_mttdl_h`` gauge) — the policy reads the same live
+        metric it exports rather than recomputing ad hoc.  The monitor
+        evaluates the identical equation on the identical whole-run
+        snapshot, so decisions don't depend on whether telemetry is on.
+        """
         assert self.array is not None
+        exposure = getattr(self.array, "exposure", None)
+        if exposure is not None:
+            return exposure.achieved_mttdl_h(params=self.params)
         fraction = self.array.unprotected_fraction_so_far()
         return afraid_mttdl(
             ndisks=self.array.ndisks,
@@ -223,6 +237,7 @@ class MttdlTargetPolicy(DirtyStripeThresholdPolicy):
         if self.meeting_target():
             if self._raid5_mode:
                 self._raid5_mode = False
+                self._mode_switched()
                 if self.tracer is not None:
                     self.tracer.instant(
                         "policy.resume_afraid", track="policy", category="policy",
@@ -233,6 +248,7 @@ class MttdlTargetPolicy(DirtyStripeThresholdPolicy):
         assert self.array is not None
         if not self._raid5_mode:
             self._raid5_mode = True
+            self._mode_switched()
             if self.tracer is not None:
                 self.tracer.instant(
                     "policy.revert_raid5", track="policy", category="policy",
@@ -241,6 +257,12 @@ class MttdlTargetPolicy(DirtyStripeThresholdPolicy):
                 )
         self.array.request_scrub(force=True)
         return WriteMode.RAID5
+
+    def _mode_switched(self) -> None:
+        if self.registry is not None:
+            self.registry.counter(
+                "mode_switches_total", "AFRAID/RAID 5 write-mode transitions"
+            ).inc()
 
     def scrub_despite_load(self) -> bool:
         return self._forcing or not self.meeting_target()

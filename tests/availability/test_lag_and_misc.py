@@ -101,6 +101,86 @@ class TestParityLagTracker:
         assert 0.0 <= tracker.mean_parity_lag_bytes <= tracker.peak_parity_lag_bytes + 1e-9
         assert 0.0 <= tracker.unprotected_fraction <= 1.0
 
+    def test_identical_timestamps_last_value_wins(self):
+        """Several records at the same instant contribute no time — only
+        the last value carries forward into the next segment."""
+        tracker = ParityLagTracker()
+        tracker.record(1.0, 100.0)
+        tracker.record(1.0, 300.0)
+        tracker.record(1.0, 200.0)
+        tracker.finish(2.0)
+        # [0,1): lag 0; [1,2): lag 200 (the last same-instant record).
+        assert tracker.mean_parity_lag_bytes == pytest.approx(100.0)
+        assert tracker.unprotected_fraction == pytest.approx(0.5)
+        assert tracker.peak_parity_lag_bytes == 300.0  # peaks still observed
+
+    def test_zero_duration_run(self):
+        tracker = ParityLagTracker()
+        tracker.record(0.0, 100.0)
+        tracker.finish(0.0)
+        assert tracker.total_time == 0.0
+        assert tracker.mean_parity_lag_bytes == 0.0
+        assert tracker.unprotected_fraction == 0.0
+
+    def test_snapshot_after_finish_is_frozen(self):
+        """Polling past the horizon must not extend the closed window."""
+        tracker = ParityLagTracker()
+        tracker.record(0.0, 100.0)  # unprotected the whole run
+        tracker.finish(10.0)
+        final = tracker.unprotected_fraction
+        assert final == pytest.approx(1.0)
+        assert tracker.snapshot_unprotected_fraction(10.0) == pytest.approx(final)
+        assert tracker.snapshot_unprotected_fraction(1000.0) == pytest.approx(final)
+
+    def test_snapshot_at_finish_instant_matches_final(self):
+        tracker = ParityLagTracker()
+        tracker.record(0.0, 50.0)
+        tracker.record(4.0, 0.0)
+        tracker.finish(8.0)
+        assert tracker.snapshot_unprotected_fraction(8.0) == pytest.approx(
+            tracker.unprotected_fraction
+        )
+
+
+class TestWindowedIntegralsPartition:
+    """The exposure estimator's clipped integrals partition the run."""
+
+    @given(
+        changes=st.lists(
+            st.tuples(
+                st.floats(min_value=0.001, max_value=5.0),  # dt
+                st.floats(min_value=0.0, max_value=1e6),  # new lag
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        nwindows=st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_window_integrals_sum_to_whole_run(self, changes, nwindows):
+        from repro.obs.exposure import lag_integral, unprotected_time
+
+        tracker = ParityLagTracker()
+        transitions = [(0.0, 0.0)]
+        time = 0.0
+        for dt, lag in changes:
+            time += dt
+            tracker.record(time, lag)
+            transitions.append((time, lag))
+        horizon = time + 1.0
+        tracker.finish(horizon)
+
+        edges = [horizon * i / nwindows for i in range(nwindows + 1)]
+        split_integral = sum(
+            lag_integral(transitions, a, b) for a, b in zip(edges, edges[1:])
+        )
+        split_unprot = sum(
+            unprotected_time(transitions, a, b) for a, b in zip(edges, edges[1:])
+        )
+        whole = tracker.mean_parity_lag_bytes * tracker.total_time
+        assert split_integral == pytest.approx(whole, rel=1e-9, abs=1e-6)
+        assert split_unprot == pytest.approx(tracker.unprotected_time, rel=1e-9, abs=1e-9)
+
 
 class TestLifetime:
     def test_probability_monotone_in_lifetime(self):

@@ -5,7 +5,12 @@ import json
 
 import pytest
 
-from repro.harness import merged_histograms, run_policy_grid, policy_ladder
+from repro.harness import (
+    merged_exposure_histograms,
+    merged_histograms,
+    run_policy_grid,
+    policy_ladder,
+)
 from repro.harness.runner import (
     CellSpec,
     PolicySpec,
@@ -199,3 +204,33 @@ class TestHistogramsThroughTheEngine:
         legacy = dataclasses.replace(result, latency_hists=None)
         merged = merged_histograms([result, legacy])
         assert merged == merged_histograms([result])
+
+
+class TestExposureHistogramsThroughTheEngine:
+    def test_merged_exposure_histograms_identical_across_worker_counts(self):
+        """Acceptance: --jobs 4 merged exposure histograms equal serial
+        exactly — the same exact-merge bar latency histograms meet."""
+        specs = ladder_specs(["hplajw", "ATT"], targets=[1e7], **QUICK)
+        serial = merged_exposure_histograms(run_cells(specs, jobs=1).results.values())
+        parallel = merged_exposure_histograms(run_cells(specs, jobs=4).results.values())
+        assert serial == parallel
+        assert serial.total_count > 0  # AFRAID-family cells record dwells
+        for q in (50, 90, 95, 99):
+            assert serial.get("dirty_dwell").percentile(q) == parallel.get(
+                "dirty_dwell"
+            ).percentile(q)
+
+    def test_cache_round_trip_preserves_exposure_histograms(self, tmp_path):
+        spec = quick_specs(kinds=("afraid",))[0]
+        direct = run_cell(spec)
+        run_cells([spec], cache_dir=tmp_path)
+        revived = run_cells([spec], cache_dir=tmp_path).results[spec.key]
+        assert revived.exposure_hists == direct.exposure_hists
+        assert revived.exposure_histogram_set() == direct.exposure_histogram_set()
+
+    def test_merged_exposure_histograms_skips_payloadless_results(self):
+        spec = quick_specs(kinds=("afraid",))[0]
+        result = run_cell(spec)
+        legacy = dataclasses.replace(result, exposure_hists=None)
+        merged = merged_exposure_histograms([result, legacy])
+        assert merged == merged_exposure_histograms([result])

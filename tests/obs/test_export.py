@@ -1,0 +1,104 @@
+"""Tests for the Prometheus text exporter and JSONL snapshot trajectory."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    RegistrySnapshotter,
+    parse_prometheus_text,
+    prometheus_text,
+    read_jsonl_snapshots,
+    write_prometheus,
+)
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("forced_scrubs_total", "scrubs forced despite load").inc(3)
+    registry.gauge("parity_lag_bytes", "unredundant bytes").set(65536.5)
+    registry.gauge("windowed_mttdl_h").set(math.inf)
+    hist = registry.histogram("stripe_dirty_dwell_seconds", "dwell distribution")
+    for value in (0.001, 0.010, 0.010, 0.250, 3.0):
+        hist.observe(value)
+    return registry
+
+
+class TestPrometheusRoundTrip:
+    def test_scalar_samples_round_trip(self):
+        registry = _sample_registry()
+        parsed = parse_prometheus_text(prometheus_text(registry))
+        assert parsed["types"]["forced_scrubs_total"] == "counter"
+        assert parsed["types"]["parity_lag_bytes"] == "gauge"
+        assert parsed["samples"]["forced_scrubs_total"] == 3
+        assert parsed["samples"]["parity_lag_bytes"] == 65536.5  # repr() exact
+        assert parsed["samples"]["windowed_mttdl_h"] == math.inf
+        assert parsed["help"]["parity_lag_bytes"] == "unredundant bytes"
+
+    def test_histogram_round_trips(self):
+        registry = _sample_registry()
+        parsed = parse_prometheus_text(prometheus_text(registry))
+        hist = parsed["histograms"]["stripe_dirty_dwell_seconds"]
+        assert hist["count"] == 5
+        assert hist["sum"] == pytest.approx(3.271)
+        assert hist["buckets"]["+Inf"] == 5
+        # Bucket series is cumulative and monotone non-decreasing.
+        finite = [
+            count for le, count in sorted(
+                hist["buckets"].items(),
+                key=lambda kv: math.inf if kv[0] == "+Inf" else float(kv[0]),
+            )
+        ]
+        assert finite == sorted(finite)
+        assert finite[-1] == 5
+
+    def test_empty_histogram_still_exports(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty_seconds")
+        parsed = parse_prometheus_text(prometheus_text(registry))
+        hist = parsed["histograms"]["empty_seconds"]
+        assert hist["count"] == 0
+        assert hist["buckets"] == {"+Inf": 0}
+
+    def test_write_prometheus_file(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus(_sample_registry(), path)
+        parsed = parse_prometheus_text(path.read_text())
+        assert parsed["samples"]["forced_scrubs_total"] == 3
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is not { a sample\n")
+
+
+class TestRegistrySnapshotter:
+    def test_series_extraction(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        snaps = RegistrySnapshotter(registry)
+        for t, value in ((0.0, 1), (0.1, 2), (0.2, 3)):
+            gauge.set(value)
+            snaps.snap(t)
+        times, values = snaps.series("depth")
+        assert times == [0.0, 0.1, 0.2]
+        assert values == [1.0, 2.0, 3.0]
+
+    def test_jsonl_round_trip_with_infinity(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.gauge("mttdl_h").set(math.inf)
+        registry.counter("events_total").inc()
+        snaps = RegistrySnapshotter(registry)
+        snaps.snap(0.5)
+        path = tmp_path / "snaps.jsonl"
+        snaps.write_jsonl(path)
+        revived = read_jsonl_snapshots(path)
+        assert revived == [{"time_s": 0.5, "mttdl_h": math.inf, "events_total": 1.0}]
+
+    def test_memory_bound(self):
+        registry = MetricsRegistry()
+        snaps = RegistrySnapshotter(registry, max_snaps=2)
+        for t in (0.0, 0.1, 0.2, 0.3):
+            snaps.snap(t)
+        assert len(snaps.snaps) == 2
+        assert snaps.dropped == 2

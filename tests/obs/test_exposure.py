@@ -1,0 +1,208 @@
+"""Tests for the windowed exposure estimator and the exposure monitor."""
+
+import pytest
+
+from repro.availability import TABLE_1, ParityLagTracker, afraid_mttdl
+from repro.obs import (
+    ExposureMonitor,
+    MetricsRegistry,
+    RegistrySnapshotter,
+    SloEngine,
+    SloRule,
+    WindowedExposureEstimator,
+    start_exposure_poller,
+)
+from repro.obs.exposure import DWELL_CLASS
+from repro.sim import Simulator
+
+
+class _StubArray:
+    """The minimal surface the monitor touches: ndisks + the lag tracker."""
+
+    def __init__(self, ndisks: int = 5) -> None:
+        self.ndisks = ndisks
+        self.lag_tracker = ParityLagTracker()
+        self.now = 0.0
+
+
+class TestWindowedExposureEstimator:
+    def test_hand_computed_window(self):
+        est = WindowedExposureEstimator(window_s=2.0)
+        est.record(0.5, 100.0)
+        est.record(1.0, 0.0)
+        est.record(3.0, 50.0)
+        # Window [2, 4]: lag 0 on [2, 3), lag 50 on [3, 4].
+        assert est.unprotected_fraction(4.0) == pytest.approx(0.5)
+        assert est.mean_lag_bytes(4.0) == pytest.approx(25.0)
+
+    def test_early_window_matches_whole_run(self):
+        """Before window_s has elapsed, answers equal the whole-run tracker."""
+        est = WindowedExposureEstimator(window_s=100.0)
+        tracker = ParityLagTracker()
+        for time, lag in ((0.5, 10.0), (1.0, 0.0), (2.0, 30.0), (2.5, 0.0)):
+            est.record(time, lag)
+            tracker.record(time, lag)
+        now = 4.0
+        assert est.unprotected_fraction(now) == pytest.approx(
+            tracker.snapshot_unprotected_fraction(now)
+        )
+
+    def test_backwards_time_rejected(self):
+        est = WindowedExposureEstimator(window_s=1.0)
+        est.record(2.0, 5.0)
+        with pytest.raises(ValueError):
+            est.record(1.0, 0.0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedExposureEstimator(window_s=0.0)
+
+    def test_trim_keeps_the_boundary_lag(self):
+        """Old events are dropped, but the lag in force at the window start
+        must survive (one event at/before the boundary is retained)."""
+        est = WindowedExposureEstimator(window_s=1.0)
+        est.record(0.0, 100.0)
+        for i in range(1, 50):
+            est.record(float(i), 100.0 + i)  # distinct values, all positive
+        assert est.unprotected_fraction(50.0) == pytest.approx(1.0)
+        assert len(est._events) < 10  # deque actually trimmed
+
+    def test_zero_width_window(self):
+        est = WindowedExposureEstimator(window_s=5.0)
+        assert est.unprotected_fraction(0.0) == 0.0
+        assert est.mean_lag_bytes(0.0) == 0.0
+
+
+class TestExposureMonitor:
+    def test_dwell_recording_by_cause(self):
+        monitor = ExposureMonitor()
+        monitor.stripe_dirtied(7, 1.0)
+        monitor.stripe_dirtied(7, 1.5)  # idempotent: first dirtied time wins
+        monitor.stripe_cleaned(7, 3.0, cause="scrub")
+        monitor.stripe_cleaned(7, 4.0)  # already clean: ignored
+        assert monitor.hists.get(DWELL_CLASS).count == 1
+        assert monitor.hists.get(f"{DWELL_CLASS}_scrub").count == 1
+        assert monitor.open_dwells == 0
+
+    def test_open_dwells_are_censored_not_recorded(self):
+        monitor = ExposureMonitor()
+        monitor.stripe_dirtied(1, 0.0)
+        monitor.finish(10.0)
+        assert monitor.open_dwells == 1
+        assert monitor.hists.get(DWELL_CLASS).count == 0
+
+    def test_gauges_follow_lag_changes(self):
+        registry = MetricsRegistry()
+        monitor = ExposureMonitor()
+        monitor.attach(_StubArray(), registry)
+        monitor.on_lag_change(1.0, 4096.0, dirty_stripes=2, backlog_marks=3)
+        assert registry.value("parity_lag_bytes") == 4096.0
+        assert registry.value("dirty_stripes") == 2.0
+        assert registry.value("scrub_backlog_marks") == 3.0
+
+    def test_counters(self):
+        registry = MetricsRegistry()
+        monitor = ExposureMonitor()
+        monitor.attach(_StubArray(), registry)
+        monitor.forced_scrub()
+        monitor.stripe_dirtied(0, 0.0)
+        monitor.stripe_cleaned(0, 1.0, cause="scrub")
+        monitor.stripe_dirtied(1, 0.0)
+        monitor.stripe_cleaned(1, 1.0, cause="write")  # not a scrub
+        assert registry.value("forced_scrubs_total") == 1.0
+        assert registry.value("stripes_scrubbed_total") == 1.0
+
+    def test_registry_histogram_shares_dwell_storage(self):
+        registry = MetricsRegistry()
+        monitor = ExposureMonitor()
+        monitor.attach(_StubArray(), registry)
+        monitor.stripe_dirtied(0, 0.0)
+        monitor.stripe_cleaned(0, 0.5)
+        metric = registry.get("stripe_dirty_dwell_seconds")
+        assert metric.hist is monitor.hists.get(DWELL_CLASS)
+        assert metric.value == 1.0
+
+    def test_works_without_registry(self):
+        monitor = ExposureMonitor()
+        monitor.on_lag_change(1.0, 100.0, dirty_stripes=1, backlog_marks=1)
+        monitor.forced_scrub()
+        monitor.stripe_dirtied(0, 0.0)
+        monitor.stripe_cleaned(0, 2.0)
+        assert monitor.windowed_unprotected_fraction(2.0) > 0
+
+    def test_achieved_mttdl_matches_analytic_and_refreshes_gauge(self):
+        registry = MetricsRegistry()
+        array = _StubArray()
+        monitor = ExposureMonitor(params=TABLE_1)
+        monitor.attach(array, registry)
+        array.lag_tracker.record(0.0, 1e6)
+        array.lag_tracker.record(5.0, 0.0)
+        value = monitor.achieved_mttdl_h(now=10.0)
+        expected = afraid_mttdl(
+            array.ndisks, TABLE_1.mttf_disk_h, TABLE_1.mttr_h,
+            array.lag_tracker.snapshot_unprotected_fraction(10.0),
+        )
+        assert value == expected
+        assert registry.value("achieved_mttdl_h") == expected
+
+    def test_windowed_mttdl_convergence_on_stationary_load(self):
+        """Acceptance: on a stationary workload the windowed achieved MTTDL
+        converges to eq. (2c) fed the whole-run measured fraction (<10%)."""
+        array = _StubArray()
+        # Deliberately not a whole number of duty-cycle periods: the window
+        # clips a period at its edge, so this is a genuine convergence bound
+        # rather than an exact-alignment identity.
+        monitor = ExposureMonitor(window_s=9.7, params=TABLE_1)
+        monitor.attach(array)
+        tracker = ParityLagTracker()
+        # Stationary duty cycle: dirty (lag 1 MB) 0.3 s out of every 1.0 s.
+        for period in range(60):
+            start = float(period)
+            for time, lag in ((start, 1e6), (start + 0.3, 0.0)):
+                monitor.on_lag_change(time, lag, dirty_stripes=1, backlog_marks=1)
+                tracker.record(time, lag)
+        now = 60.0
+        tracker.finish(now)
+        windowed = monitor.windowed_mttdl_h(now)
+        analytic = afraid_mttdl(
+            array.ndisks, TABLE_1.mttf_disk_h, TABLE_1.mttr_h,
+            tracker.unprotected_fraction,
+        )
+        assert windowed == pytest.approx(analytic, rel=0.10)
+        # And the window fraction itself sits near the true duty cycle.
+        assert monitor.windowed_unprotected_fraction(now) == pytest.approx(0.3, rel=0.10)
+
+
+class TestExposurePoller:
+    def test_polls_publish_slo_and_snapshots(self):
+        sim = Simulator()
+        registry = MetricsRegistry()
+        array = _StubArray()
+        monitor = ExposureMonitor(window_s=1.0, params=TABLE_1)
+        monitor.attach(array, registry)
+        engine = SloEngine([SloRule.parse("parity_lag_bytes < 50")])
+        snaps = RegistrySnapshotter(registry)
+        start_exposure_poller(
+            sim, monitor, period_s=0.010, engine=engine, snapshotter=snaps, until=0.1
+        )
+
+        def load():
+            yield sim.timeout(0.035)
+            monitor.on_lag_change(sim.now, 100.0, dirty_stripes=1, backlog_marks=1)
+            array.lag_tracker.record(sim.now, 100.0)
+            yield sim.timeout(0.030)
+            monitor.on_lag_change(sim.now, 0.0, dirty_stripes=0, backlog_marks=0)
+            array.lag_tracker.record(sim.now, 0.0)
+
+        sim.process(load())
+        sim.run()
+        assert len(snaps.snaps) == 11  # t = 0.00 .. 0.10 inclusive
+        assert engine.any_breached_ever
+        kinds = [e.kind for e in engine.events]
+        assert kinds == ["breach", "recovery"]
+        times, values = snaps.series("windowed_unprotected_fraction")
+        assert max(values) > 0  # the poller refreshed the derived gauges
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            start_exposure_poller(Simulator(), ExposureMonitor(), period_s=0.0)

@@ -1,0 +1,95 @@
+"""Tests for the central metrics registry."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, HistogramMetric, MetricsRegistry
+from repro.obs.hist import LatencyHistogram
+
+
+class TestCounter:
+    def test_monotonic(self):
+        counter = Counter("total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("total").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(3)
+        assert gauge.value == 4.0
+
+
+class TestHistogramMetric:
+    def test_observe_and_scalar_value(self):
+        metric = HistogramMetric("latency")
+        metric.observe(0.010)
+        metric.observe(0.020)
+        assert metric.value == 2.0
+        assert metric.hist.count == 2
+
+    def test_shared_backing_histogram(self):
+        """Sharing a histogram exports it without double recording."""
+        shared = LatencyHistogram()
+        shared.record(0.5)
+        metric = HistogramMetric("dwell", hist=shared)
+        assert metric.hist is shared
+        assert metric.value == 1.0
+        shared.record(0.6)
+        assert metric.value == 2.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", "first")
+        b = registry.counter("x", "ignored on re-get")
+        assert a is b
+        assert a.help == "first"
+
+    def test_kind_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_contains_len_names_order(self):
+        registry = MetricsRegistry()
+        registry.gauge("b")
+        registry.counter("a")
+        assert "b" in registry and "a" in registry and "c" not in registry
+        assert len(registry) == 2
+        assert registry.names() == ["b", "a"]  # registration order, not sorted
+        assert [m.name for m in registry.metrics()] == ["b", "a"]
+
+    def test_value_with_default(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(7)
+        assert registry.value("depth") == 7.0
+        assert registry.value("missing") is None
+        assert registry.value("missing", 0.0) == 0.0
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            MetricsRegistry().get("nope")
+
+    def test_snapshot_flattens_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total").inc(3)
+        hist = registry.histogram("dwell_seconds")
+        hist.observe(1.0)
+        hist.observe(2.0)
+        snap = registry.snapshot()
+        assert snap["events_total"] == 3.0
+        assert snap["dwell_seconds_count"] == 2.0
+        assert snap["dwell_seconds_sum"] == pytest.approx(3.0)
+        assert "dwell_seconds" not in snap

@@ -1,0 +1,126 @@
+"""Tests for declarative SLO rules and the breach-tracking engine."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, SloEngine, SloRule
+
+
+class TestSloRuleParse:
+    @pytest.mark.parametrize(
+        "text,metric,op,threshold",
+        [
+            ("parity_lag_bytes < 5e6", "parity_lag_bytes", "<", 5e6),
+            ("achieved_mttdl_h > 200000", "achieved_mttdl_h", ">", 200000.0),
+            ("dirty_stripes <= 20", "dirty_stripes", "<=", 20.0),
+            ("windowed_unprotected_fraction>=0.1", "windowed_unprotected_fraction", ">=", 0.1),
+        ],
+    )
+    def test_valid_rules(self, text, metric, op, threshold):
+        rule = SloRule.parse(text)
+        assert rule.metric == metric
+        assert rule.op == op
+        assert rule.threshold == threshold
+
+    @pytest.mark.parametrize(
+        "text", ["", "no operator here", "x == 5", "x < banana", "< 5", "x <"]
+    )
+    def test_invalid_rules(self, text):
+        with pytest.raises(ValueError):
+            SloRule.parse(text)
+
+    def test_ok_semantics(self):
+        rule = SloRule.parse("lag < 10")
+        assert rule.ok(9.9)
+        assert not rule.ok(10.0)
+        assert SloRule.parse("mttdl >= 5").ok(5.0)
+
+    def test_describe_round_trips(self):
+        rule = SloRule.parse("parity_lag_bytes <= 5e6")
+        assert SloRule.parse(rule.describe()) == rule
+
+
+class _FakeTracer:
+    def __init__(self):
+        self.instants = []
+
+    def instant(self, name, **kwargs):
+        self.instants.append((name, kwargs))
+
+
+class TestSloEngine:
+    def test_breach_and_recovery_accounting(self):
+        registry = MetricsRegistry()
+        lag = registry.gauge("lag")
+        rule = SloRule.parse("lag < 100")
+        engine = SloEngine([rule])
+
+        lag.set(50)
+        assert engine.evaluate(0.0, registry) == []
+        lag.set(150)
+        events = engine.evaluate(1.0, registry)
+        assert [e.kind for e in events] == ["breach"]
+        assert engine.is_breached(rule)
+        lag.set(80)
+        events = engine.evaluate(3.0, registry)
+        assert [e.kind for e in events] == ["recovery"]
+        assert not engine.is_breached(rule)
+        assert engine.breach_count(rule) == 1
+        assert engine.breach_time_s(rule) == pytest.approx(2.0)
+        assert engine.any_breached_ever
+
+    def test_unpublished_metric_is_skipped(self):
+        engine = SloEngine([SloRule.parse("nothing_yet < 1")])
+        assert engine.evaluate(0.0, MetricsRegistry()) == []
+        assert not engine.any_breached_ever
+
+    def test_finish_closes_open_episode(self):
+        registry = MetricsRegistry()
+        registry.gauge("lag").set(200)
+        rule = SloRule.parse("lag < 100")
+        engine = SloEngine([rule])
+        engine.evaluate(1.0, registry)
+        engine.finish(5.0)
+        assert engine.breach_time_s(rule) == pytest.approx(4.0)
+        with pytest.raises(RuntimeError):
+            engine.evaluate(6.0, registry)
+        with pytest.raises(RuntimeError):
+            engine.finish(6.0)
+
+    def test_open_episode_counts_with_now(self):
+        registry = MetricsRegistry()
+        registry.gauge("lag").set(200)
+        rule = SloRule.parse("lag < 100")
+        engine = SloEngine([rule])
+        engine.evaluate(1.0, registry)
+        assert engine.breach_time_s(rule, now=3.0) == pytest.approx(2.0)
+
+    def test_tracer_instants_emitted(self):
+        registry = MetricsRegistry()
+        lag = registry.gauge("lag")
+        tracer = _FakeTracer()
+        engine = SloEngine([SloRule.parse("lag < 100")], tracer=tracer)
+        lag.set(150)
+        engine.evaluate(1.0, registry)
+        lag.set(50)
+        engine.evaluate(2.0, registry)
+        names = [name for name, _ in tracer.instants]
+        assert names == ["slo.breach", "slo.recovery"]
+        assert all(kwargs["track"] == "slo" for _, kwargs in tracer.instants)
+
+    def test_summary_rows_statuses(self):
+        registry = MetricsRegistry()
+        registry.gauge("a").set(1)
+        registry.gauge("b").set(1)
+        registry.gauge("c").set(1)
+        rules = [SloRule.parse("a < 10"), SloRule.parse("b < 0.5"), SloRule.parse("c < 0.5")]
+        engine = SloEngine(rules)
+        engine.evaluate(0.0, registry)  # b and c breach
+        registry.gauge("c").set(0.1)
+        engine.evaluate(1.0, registry)  # c recovers
+        rows = engine.summary_rows()
+        assert len(rows) == 3
+        assert all(len(row) == len(SloEngine.table_header()) for row in rows)
+        statuses = {row[0].split()[0]: row[1] for row in rows}
+        assert statuses["a"] == "met"
+        assert statuses["b"] == "BREACHED"
+        assert statuses["c"] == "recovered"

@@ -75,6 +75,7 @@ def test_every_example_is_covered():
         "raid6_exploration.py",
         "fit_your_workload.py",
         "observability_demo.py",
+        "exposure_demo.py",
     }
     assert shipped == covered
 
@@ -88,3 +89,23 @@ def test_observability_demo(monkeypatch, capsys, tmp_path):
     assert "client_write" in out
     assert "parity debt over time" in out
     assert out_file.exists()
+
+
+def test_exposure_demo(monkeypatch, capsys, tmp_path):
+    prom = tmp_path / "metrics.prom"
+    jsonl = tmp_path / "snaps.jsonl"
+    out = run_example(
+        monkeypatch, capsys, "exposure_demo.py",
+        ["hplajw", "6", str(prom), str(jsonl)],
+    )
+    assert "final registry state" in out
+    assert "windowed_mttdl_h" in out
+    assert "SLO breach/recovery timeline" in out
+    assert "achieved MTTDL" in out
+    assert prom.exists() and jsonl.exists()
+
+    from repro.obs import parse_prometheus_text, read_jsonl_snapshots
+
+    parsed = parse_prometheus_text(prom.read_text())
+    assert "parity_lag_bytes" in parsed["samples"]
+    assert len(read_jsonl_snapshots(jsonl)) > 0
