@@ -1,0 +1,182 @@
+"""End-to-end trace-replay macro-benchmark (and its regression gate).
+
+The kernel micro-benches (`bench_kernel_throughput.py`) time the event
+loop in isolation; a whole-trace replay spends most of its wall-clock
+*above* the kernel — in the layout mapper, the mechanical-disk timing
+model, and the controller write paths.  This bench measures that full
+data plane: it synthesises the paper-trace mix once, then replays it
+end-to-end (array construction + open-loop replay) through RAID 0,
+AFRAID, and RAID 5.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_trace_replay.py            # full mix
+    PYTHONPATH=src python benchmarks/bench_trace_replay.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_trace_replay.py \
+        --json replay-timings.json --check BENCH_replay.json          # gate
+
+``--check`` compares the measured end-to-end total against the
+``after_s`` entries of a committed baseline (``BENCH_replay.json``) and
+exits non-zero on a > ``--tolerance`` (default 25%) wall-clock
+regression, so the fast path cannot silently rot.
+
+Timings are best-of-N wall-clock seconds (``time.perf_counter``) after
+one warm-up replay; the replayed work is deterministic, so best-of-N
+isolates scheduler noise rather than hiding variance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.array.factory import build_array
+from repro.harness.replay import replay_trace
+from repro.policy import AlwaysRaid5Policy, BaselineAfraidPolicy, NeverScrubPolicy
+from repro.sim import Simulator
+from repro.traces import make_trace
+
+#: The trace mix: one light interactive workload, one bursty
+#: news/timesharing mix, and the write-heavy database workload the paper
+#: calls out as having the fewest idle periods (§4.4).
+MIX_WORKLOADS = ("cello-usr", "snake", "ATT")
+POLICIES = ("raid0", "afraid", "raid5")
+
+_POLICY_FACTORIES = {
+    "raid0": NeverScrubPolicy,
+    "afraid": BaselineAfraidPolicy,
+    "raid5": AlwaysRaid5Policy,
+}
+
+#: Address space of the paper's 5-disk array (set once so trace synthesis
+#: does not need an array built first).
+_ADDRESS_SPACE_SECTORS = None
+
+
+def _address_space_sectors() -> int:
+    global _ADDRESS_SPACE_SECTORS
+    if _ADDRESS_SPACE_SECTORS is None:
+        sim = Simulator()
+        array = build_array(sim, BaselineAfraidPolicy())
+        _ADDRESS_SPACE_SECTORS = array.layout.total_data_sectors
+    return _ADDRESS_SPACE_SECTORS
+
+
+def make_mix(duration_s: float, seed: int):
+    """Synthesise the paper-trace mix once (not part of the timed region)."""
+    return {
+        name: make_trace(
+            name,
+            duration_s=duration_s,
+            address_space_sectors=_address_space_sectors(),
+            seed=seed,
+        )
+        for name in MIX_WORKLOADS
+    }
+
+
+def replay_once(policy_name: str, traces) -> int:
+    """One timed unit: build a fresh array per trace and replay end-to-end."""
+    completed = 0
+    for trace in traces.values():
+        sim = Simulator()
+        array = build_array(sim, _POLICY_FACTORIES[policy_name]())
+        outcome = replay_trace(sim, array, trace)
+        if outcome.failures:
+            raise RuntimeError(f"{len(outcome.failures)} requests failed during the bench")
+        completed += array.stats.completed
+    return completed
+
+
+def run_bench(duration_s: float, seed: int, best_of: int) -> dict:
+    """Best-of-N end-to-end replay timings, per policy and total."""
+    traces = make_mix(duration_s, seed)
+    nrequests = {name: len(trace.records) for name, trace in traces.items()}
+    timings: dict[str, float] = {}
+    completed = 0
+    for policy_name in POLICIES:
+        replay_once(policy_name, traces)  # warm-up (imports, allocator)
+        best = float("inf")
+        for _ in range(best_of):
+            start = time.perf_counter()
+            completed = replay_once(policy_name, traces)
+            best = min(best, time.perf_counter() - start)
+        timings[policy_name] = best
+        print(
+            f"  {policy_name:7} best of {best_of}: {best:8.4f} s "
+            f"({completed} requests serviced)",
+            flush=True,
+        )
+    timings["end_to_end"] = sum(timings[name] for name in POLICIES)
+    return {
+        "duration_s": duration_s,
+        "seed": seed,
+        "best_of": best_of,
+        "workloads": list(MIX_WORKLOADS),
+        "trace_requests": nrequests,
+        "timings_s": timings,
+    }
+
+
+def check_against_baseline(report: dict, baseline_path: str, tolerance: float) -> int:
+    """Exit status for the regression gate: 0 pass, 1 regression."""
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    reference = baseline.get("after_s", {})
+    measured = report["timings_s"]
+    status = 0
+    for key in ("end_to_end",):
+        if key not in reference:
+            print(f"check: baseline has no {key!r} entry; skipping", file=sys.stderr)
+            continue
+        # The baseline was measured at the full-mix duration; scale the
+        # allowance when the gate runs the smoke-sized mix instead.
+        scale = report["duration_s"] / baseline.get("duration_s", report["duration_s"])
+        allowed = reference[key] * scale * (1.0 + tolerance)
+        verdict = "ok" if measured[key] <= allowed else "REGRESSION"
+        print(
+            f"check: {key}: measured {measured[key]:.4f} s vs allowed "
+            f"{allowed:.4f} s ({reference[key]:.4f} s baseline x {scale:.2f} "
+            f"duration scale + {tolerance:.0%}) -> {verdict}"
+        )
+        if measured[key] > allowed:
+            status = 1
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--duration", type=float, default=120.0, help="trace duration (sim s)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--best-of", type=int, default=5)
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run: 30 sim-s traces, best-of-2"
+    )
+    parser.add_argument("--json", metavar="PATH", help="write the timing report as JSON")
+    parser.add_argument(
+        "--check", metavar="BASELINE", help="compare against a committed BENCH_replay.json"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25, help="allowed fractional regression for --check"
+    )
+    args = parser.parse_args(argv)
+    duration = 30.0 if args.smoke else args.duration
+    best_of = 2 if args.smoke else args.best_of
+
+    print(f"trace-replay macro-benchmark: {', '.join(MIX_WORKLOADS)} @ {duration:g} sim-s")
+    report = run_bench(duration, args.seed, best_of)
+    print(f"  end-to-end total: {report['timings_s']['end_to_end']:.4f} s")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {args.json}")
+    if args.check:
+        return check_against_baseline(report, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

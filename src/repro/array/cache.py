@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import collections
 import dataclasses
+from heapq import heappush as _heappush
 
 from repro.sim import Event, Simulator
 
@@ -127,12 +128,25 @@ class ByteBudget:
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
         amount = self.clamp(nbytes)
-        grant = Event(self.sim, name=self._grant_name)
         if not self._waiters and self._in_use + amount <= self.capacity_bytes:
+            # Uncontended fast path (construction + succeed fused): one
+            # reservation per client write makes this hot during replay.
             self._in_use += amount
-            grant.succeed(amount)
-        else:
-            self._waiters.append((amount, grant))
+            sim = self.sim
+            grant = Event.__new__(Event)
+            grant.sim = sim
+            grant.name = self._grant_name
+            grant.callbacks = []
+            grant.defused = False
+            grant._value = amount
+            grant._exception = None
+            grant._scheduled = True
+            grant._handled = False
+            sim._sequence += 1
+            _heappush(sim._queue, (sim._now, sim._sequence, grant))
+            return grant
+        grant = Event(self.sim, name=self._grant_name)
+        self._waiters.append((amount, grant))
         return grant
 
     def release(self, nbytes: int) -> None:

@@ -19,7 +19,6 @@ Faithful to the paper's §4.1 configuration:
 
 from __future__ import annotations
 
-import collections
 import dataclasses
 import typing
 
@@ -34,6 +33,7 @@ from repro.nvram import MarkMemory
 from repro.policy import ParityPolicy, WriteMode
 from repro.sched import ClookScheduler, DiskDriver, FcfsScheduler
 from repro.sim import AllOf, Event, Resource, Simulator
+from repro.sim.events import _PENDING
 
 if typing.TYPE_CHECKING:  # pragma: no cover - optional functional twin
     from repro.blocks import FunctionalArray
@@ -157,6 +157,12 @@ class DiskArray:
         self._host_pumping = False
         self._clook_position = 0
         self._rebuilding: dict[int, Event] = {}
+        #: All-zero write payloads by byte length: replay traces carry no
+        #: data, so the functional store sees the same zero buffer per
+        #: request size instead of a fresh ``bytes`` allocation per write.
+        #: Request sizes are bounded by the staging budget, so the cache
+        #: stays small.
+        self._zero_payloads: dict[int, bytes] = {}
         self._scrub_running = False
         self._force_scrub = False
         self._finished = False
@@ -232,7 +238,7 @@ class DiskArray:
 
     @property
     def dirty_stripe_count(self) -> int:
-        return len(self.marks.marked_stripes)
+        return self.marks.marked_stripe_count
 
     @property
     def is_idle(self) -> bool:
@@ -283,13 +289,24 @@ class DiskArray:
             )
         if request.submit_time is not None:
             raise ValueError("request was already submitted")
-        request.submit_time = self.sim.now
+        sim = self.sim
+        request.submit_time = sim._now
         self.detector.activity_started()
-        done = self.sim.event(name=self._ev_done)
+        # Event() inlined: one completion per client request, hot at
+        # whole-trace replay scale.
+        done = Event.__new__(Event)
+        done.sim = sim
+        done.name = self._ev_done
+        done.callbacks = []
+        done.defused = False
+        done._value = _PENDING
+        done._exception = None
+        done._scheduled = False
+        done._handled = False
         self._host_queue.push((request, done), request.offset_sectors)
         if not self._host_pumping:
             self._host_pumping = True
-            self.sim.process(self._host_pump(), name=f"{self.name}.host_pump")
+            sim.process(self._host_pump(), name=f"{self.name}.host_pump")
         return done
 
     def finalize(self) -> None:
@@ -380,15 +397,26 @@ class DiskArray:
         if self.read_cache.lookup(request.offset_sectors, request.nsectors):
             yield self.sim.timeout(self.cache_hit_latency_s)
         else:
-            events = []
-            for run in self.layout.map_extent(request.offset_sectors, request.nsectors):
-                if run.disk == self._degraded_disk:
-                    events.extend(self._submit_degraded_read(run))
-                else:
-                    events.append(
-                        self.drivers[run.disk].submit(DiskIO(IoKind.READ, run.disk_lba, run.nsectors))
-                    )
-                    self.stats.foreground_data_reads += 1
+            runs = self.layout.map_extent(request.offset_sectors, request.nsectors)
+            drivers = self.drivers
+            if self._degraded_disk is None:
+                # Fault-free fast path: the degraded-disk comparison and
+                # stats increment leave the per-run loop.
+                events = [
+                    drivers[run.disk].submit(DiskIO(IoKind.READ, run.disk_lba, run.nsectors))
+                    for run in runs
+                ]
+                self.stats.foreground_data_reads += len(events)
+            else:
+                events = []
+                for run in runs:
+                    if run.disk == self._degraded_disk:
+                        events.extend(self._submit_degraded_read(run))
+                    else:
+                        events.append(
+                            drivers[run.disk].submit(DiskIO(IoKind.READ, run.disk_lba, run.nsectors))
+                        )
+                        self.stats.foreground_data_reads += 1
             yield AllOf(self.sim, events)
             self.read_cache.insert(request.offset_sectors, request.nsectors)
         if self.functional is not None:
@@ -479,35 +507,57 @@ class DiskArray:
                 yield from self._write_raid5(request, runs_by_stripe)
 
     def _group_runs(self, request: ArrayRequest) -> dict[int, list[ExtentRun]]:
-        grouped: dict[int, list[ExtentRun]] = collections.defaultdict(list)
+        grouped: dict[int, list[ExtentRun]] = {}
         for run in self.layout.map_extent(request.offset_sectors, request.nsectors):
-            grouped[run.stripe].append(run)
-        return dict(grouped)
+            bucket = grouped.get(run.stripe)
+            if bucket is None:
+                grouped[run.stripe] = [run]
+            else:
+                bucket.append(run)
+        return grouped
 
     def _payload(self, request: ArrayRequest) -> bytes:
         if request.data is not None:
             return request.data
-        return bytes(request.nsectors * self.sector_bytes)
+        nbytes = request.nsectors * self.sector_bytes
+        payload = self._zero_payloads.get(nbytes)
+        if payload is None:
+            payload = self._zero_payloads[nbytes] = bytes(nbytes)
+        return payload
 
     def _write_afraid(self, request: ArrayRequest, runs_by_stripe: dict[int, list[ExtentRun]]):
         """The AFRAID write: mark first, then one data write per run."""
         newly_marked = False
         exposure = self.exposure
-        for stripe, runs in runs_by_stripe.items():
-            if exposure is not None:
-                exposure.stripe_dirtied(stripe, self.sim.now)
-            for run in runs:
-                for sub_unit in self._sub_units_of(run):
-                    newly_marked |= self.marks.mark(stripe, sub_unit)
+        marks = self.marks
+        now = self.sim.now
+        if marks.bits_per_stripe == 1:
+            # The common configuration: one mark per stripe, so each run
+            # hits sub-unit 0 and the per-run span arithmetic is skipped.
+            for stripe, runs in runs_by_stripe.items():
+                if exposure is not None:
+                    exposure.stripe_dirtied(stripe, now)
+                for _run in runs:
+                    newly_marked |= marks.mark(stripe, 0)
+        else:
+            for stripe, runs in runs_by_stripe.items():
+                if exposure is not None:
+                    exposure.stripe_dirtied(stripe, now)
+                for run in runs:
+                    for sub_unit in self._sub_units_of(run):
+                        newly_marked |= marks.mark(stripe, sub_unit)
         if newly_marked:
             self._lag_changed()
         events = []
+        drivers = self.drivers
+        submitted = 0
         for runs in runs_by_stripe.values():
             for run in runs:
                 events.append(
-                    self.drivers[run.disk].submit(DiskIO(IoKind.WRITE, run.disk_lba, run.nsectors))
+                    drivers[run.disk].submit(DiskIO(IoKind.WRITE, run.disk_lba, run.nsectors))
                 )
-                self.stats.foreground_data_writes += 1
+                submitted += 1
+        self.stats.foreground_data_writes += submitted
         yield AllOf(self.sim, events)
         if self.functional is not None:
             self.functional.write(
@@ -674,12 +724,12 @@ class DiskArray:
                     self.exposure.stripe_cleaned(stripe, self.sim.now, cause="write")
 
     def _submit_data_writes(self, runs: list[ExtentRun]) -> list[Event]:
-        events = []
-        for run in runs:
-            events.append(
-                self.drivers[run.disk].submit(DiskIO(IoKind.WRITE, run.disk_lba, run.nsectors))
-            )
-            self.stats.foreground_data_writes += 1
+        drivers = self.drivers
+        events = [
+            drivers[run.disk].submit(DiskIO(IoKind.WRITE, run.disk_lba, run.nsectors))
+            for run in runs
+        ]
+        self.stats.foreground_data_writes += len(events)
         return events
 
     # -- background parity scrubbing --------------------------------------------------------------------
@@ -888,10 +938,10 @@ class DiskArray:
             self.lag_tracker.record(self.sim.now, lag)
             if self.exposure is not None:
                 self.exposure.on_lag_change(
-                    self.sim.now, lag, len(self.marks.marked_stripes), self.marks.count
+                    self.sim.now, lag, self.marks.marked_stripe_count, self.marks.count
                 )
             if self.tracer is not None:
-                self.tracer.counter("dirty_stripes", float(len(self.marks.marked_stripes)))
+                self.tracer.counter("dirty_stripes", float(self.marks.marked_stripe_count))
                 self.tracer.counter("parity_lag_bytes", lag)
 
     def __repr__(self) -> str:

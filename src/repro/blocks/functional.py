@@ -106,7 +106,9 @@ class FunctionalArray:
         pieces: list[np.ndarray] = []
         for run in self.layout.map_extent(logical_sector, nsectors):
             try:
-                pieces.append(self.store.read(run.disk, run.disk_lba, run.nsectors))
+                # Views, not copies: each piece is serialised by tobytes()
+                # below with no intervening store writes.
+                pieces.append(self.store.read_view(run.disk, run.disk_lba, run.nsectors))
             except StoreDiskFailedError:
                 pieces.append(self._reconstruct_run(run))
         return b"".join(piece.tobytes() for piece in pieces)

@@ -10,6 +10,7 @@ Installed as ``afraid-sim``::
     afraid-sim trace snake --policy afraid --out trace.json  # Perfetto trace
     afraid-sim report snake --policy afraid  # per-class latency percentiles
     afraid-sim exposure cello-usr --slo "parity_lag_bytes < 5e6"  # live telemetry
+    afraid-sim profile cello-usr --policy raid5 --top 15  # hot-path table
 """
 
 from __future__ import annotations
@@ -259,6 +260,24 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         trace = make_trace(args.workload, duration_s=args.duration, seed=args.seed)
     report = analyze(trace, gap_threshold_s=args.gap)
     print(format_table(["property", "value"], report.rows(), title=f"trace: {report.name}"))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.perf import dump_pstats, format_hot_path, profile_call
+
+    policy = _make_policy(args.policy, args.mttdl_target)
+    result, profile = profile_call(
+        run_experiment, args.workload, policy, duration_s=args.duration, seed=args.seed
+    )
+    print(
+        f"profile: {args.workload} under {policy.describe()} "
+        f"({args.duration:g}s, seed {args.seed}, {result.nrequests} requests)"
+    )
+    print(format_hot_path(profile, top=args.top, sort=args.sort))
+    if args.dump:
+        dump_pstats(profile, args.dump)
+        print(f"wrote pstats dump to {args.dump}")
     return 0
 
 
@@ -620,6 +639,27 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_parser.add_argument("--seed", type=int, default=42)
     analyze_parser.add_argument("--gap", type=float, default=0.1, help="burst-splitting gap (s)")
     analyze_parser.set_defaults(handler=cmd_analyze)
+
+    profile_parser = commands.add_parser(
+        "profile", help="cProfile one replay and print the hot-path table"
+    )
+    profile_parser.add_argument("workload", choices=workload_names())
+    profile_parser.add_argument(
+        "--policy", default="afraid", choices=["afraid", "raid5", "raid0", "mttdl"]
+    )
+    profile_parser.add_argument(
+        "--mttdl-target", type=float, default=None, help="hours, for --policy mttdl"
+    )
+    profile_parser.add_argument("--duration", type=float, default=10.0)
+    profile_parser.add_argument("--seed", type=int, default=42)
+    profile_parser.add_argument("--top", type=int, default=20, help="rows in the hot-path table")
+    profile_parser.add_argument(
+        "--sort", default="cumulative", choices=["cumulative", "tottime"]
+    )
+    profile_parser.add_argument(
+        "--dump", metavar="PATH", default=None, help="also write a raw pstats dump"
+    )
+    profile_parser.set_defaults(handler=cmd_profile)
 
     sweep_parser = commands.add_parser(
         "sweep", help="run the Figure 3/4 policy-ladder grid via the parallel sweep engine"

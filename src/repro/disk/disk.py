@@ -13,6 +13,8 @@ from __future__ import annotations
 import dataclasses
 import enum
 import typing
+from bisect import bisect_right as _bisect_right
+from heapq import heappush as _heappush
 
 from repro.disk.geometry import DiskGeometry
 from repro.disk.seek import SeekModel
@@ -30,38 +32,86 @@ class DiskFailedError(Exception):
     """An I/O was issued to (or in flight on) a failed disk."""
 
 
-@dataclasses.dataclass(frozen=True)
 class DiskIO:
-    """One physical disk access: ``nsectors`` starting at ``lba``."""
+    """One physical disk access: ``nsectors`` starting at ``lba``.
 
-    kind: IoKind
-    lba: int
-    nsectors: int
-    tag: typing.Any = None
+    A plain ``__slots__`` class rather than a frozen dataclass: the
+    controller creates one per physical command (millions per replay) and
+    the dataclass ``__init__``/``__post_init__`` machinery was measurable.
+    Value semantics (eq/hash/repr) are preserved.
+    """
 
-    def __post_init__(self) -> None:
-        if self.lba < 0:
-            raise ValueError(f"lba must be >= 0, got {self.lba}")
-        if self.nsectors < 1:
-            raise ValueError(f"nsectors must be >= 1, got {self.nsectors}")
+    __slots__ = ("kind", "lba", "nsectors", "tag")
+
+    def __init__(self, kind: IoKind, lba: int, nsectors: int, tag: typing.Any = None) -> None:
+        if lba < 0:
+            raise ValueError(f"lba must be >= 0, got {lba}")
+        if nsectors < 1:
+            raise ValueError(f"nsectors must be >= 1, got {nsectors}")
+        self.kind = kind
+        self.lba = lba
+        self.nsectors = nsectors
+        self.tag = tag
 
     @property
     def last_lba(self) -> int:
         return self.lba + self.nsectors - 1
 
+    def __repr__(self) -> str:
+        return (
+            f"DiskIO(kind={self.kind!r}, lba={self.lba!r}, "
+            f"nsectors={self.nsectors!r}, tag={self.tag!r})"
+        )
 
-@dataclasses.dataclass(frozen=True)
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiskIO):
+            return NotImplemented
+        return (
+            self.kind is other.kind
+            and self.lba == other.lba
+            and self.nsectors == other.nsectors
+            and self.tag == other.tag
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.lba, self.nsectors, self.tag))
+
+
 class ServiceBreakdown:
     """Where the time of one disk access went."""
 
-    overhead: float
-    seek: float
-    rotational_latency: float
-    transfer: float
+    __slots__ = ("overhead", "seek", "rotational_latency", "transfer")
+
+    def __init__(
+        self, overhead: float, seek: float, rotational_latency: float, transfer: float
+    ) -> None:
+        self.overhead = overhead
+        self.seek = seek
+        self.rotational_latency = rotational_latency
+        self.transfer = transfer
 
     @property
     def total(self) -> float:
         return self.overhead + self.seek + self.rotational_latency + self.transfer
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceBreakdown(overhead={self.overhead!r}, seek={self.seek!r}, "
+            f"rotational_latency={self.rotational_latency!r}, transfer={self.transfer!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ServiceBreakdown):
+            return NotImplemented
+        return (
+            self.overhead == other.overhead
+            and self.seek == other.seek
+            and self.rotational_latency == other.rotational_latency
+            and self.transfer == other.transfer
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.overhead, self.seek, self.rotational_latency, self.transfer))
 
 
 @dataclasses.dataclass
@@ -125,11 +175,19 @@ class MechanicalDisk:
         self.immediate_report = immediate_report
         self.readahead_segments = readahead_segments
         self.name = name
+        # Seek time by cylinder distance, tabulated once: the seek curve is
+        # a pure function of distance and the hot path pays a sqrt plus
+        # branchy float math per I/O without it.  ~4k floats per geometry.
+        self._seek_table = [seek_model.seek_time(d) for d in range(geometry.cylinders)]
         self.stats = DiskStats()
         self._current_cylinder = 0
         self._current_head = 0
         self._busy_until = 0.0
         self._failed = False
+        #: The queued completion event of the command in flight (if any);
+        #: ``fail()`` converts it so waiters see the failure at the
+        #: scheduled completion time.
+        self._inflight: Event | None = None
         # Read-ahead cache: LRU list of (first_lba, last_lba) segments,
         # newest last.  A segment is the tail of a track the drive kept
         # streaming after a host read finished.
@@ -156,8 +214,19 @@ class MechanicalDisk:
         return self._current_cylinder
 
     def fail(self) -> None:
-        """Mark the disk failed: all subsequent accesses error."""
+        """Mark the disk failed: all subsequent accesses error.
+
+        A command in flight fails too: its (already queued) completion
+        event is converted to a failure, which waiters observe at the
+        originally scheduled completion time — exactly when the old
+        completion-time status check would have reported it.
+        """
         self._failed = True
+        inflight = self._inflight
+        if inflight is not None:
+            self._inflight = None
+            if inflight.callbacks is not None:  # not yet dispatched
+                inflight._exception = DiskFailedError(f"{self.name} failed mid-flight")
 
     def repair(self) -> None:
         """Return a failed disk to service (contents are NOT restored)."""
@@ -171,45 +240,97 @@ class MechanicalDisk:
 
     # -- timing ---------------------------------------------------------------------
 
-    def compute_service(self, io: DiskIO, start_time: float) -> ServiceBreakdown:
-        """Compute the full service-time breakdown, without side effects."""
-        segments = list(self.geometry.track_segments(io.lba, io.nsectors))
-        first_addr = segments[0][0]
-        seek = self.seek_model.seek_time(abs(first_addr.cylinder - self._current_cylinder))
-        if seek == 0.0 and first_addr.head != self._current_head:
+    def _service_parts(
+        self, lba: int, nsectors: int, start_time: float
+    ) -> tuple[float, float, float, int, int]:
+        """One flat pass over the access: (seek, rotational latency,
+        transfer, last cylinder, last head), with no side effects.
+
+        This is :meth:`compute_service` with the per-segment
+        :class:`~repro.disk.geometry.PhysicalAddress` objects and repeated
+        attribute loads stripped out; the floating-point operations and
+        their order are *identical*, so results are bit-equal — the golden
+        replay gate depends on that.
+        """
+        geometry = self.geometry
+        if 0 <= lba and 1 <= nsectors and lba + nsectors <= geometry.total_sectors:
+            # Decode the start position inline; when the whole access fits
+            # in one track run (the common case for trace-replay I/O sizes)
+            # skip iter_segments' per-segment list/tuple construction.
+            zone_first_lba = geometry._zone_first_lba
+            index = _bisect_right(zone_first_lba, lba) - 1
+            spt = geometry.zones[index].sectors_per_track
+            offset = lba - zone_first_lba[index]
+            sectors_per_cylinder = geometry.heads * spt
+            cylinder = geometry._zone_first_cyl[index] + offset // sectors_per_cylinder
+            within = offset % sectors_per_cylinder
+            head = within // spt
+            sector = within % spt
+            if spt - sector >= nsectors:
+                distance = cylinder - self._current_cylinder
+                if distance < 0:
+                    distance = -distance
+                seek = self._seek_table[distance]
+                if seek == 0.0 and head != self._current_head:
+                    seek = self.head_switch_s
+                rotation_period = self.rotation_period
+                clock = start_time + self.controller_overhead_s + seek
+                sector_period = rotation_period / spt
+                target_fraction = sector / spt
+                now_fraction = (clock / rotation_period + self.spindle_phase) % 1.0
+                rotational_latency = ((target_fraction - now_fraction) % 1.0) * rotation_period
+                return seek, rotational_latency, nsectors * sector_period, cylinder, head
+        segments = geometry.iter_segments(lba, nsectors)
+        cylinder, head, sector, spt, run = segments[0]
+        distance = cylinder - self._current_cylinder
+        if distance < 0:
+            distance = -distance
+        seek = self._seek_table[distance]
+        if seek == 0.0 and head != self._current_head:
             seek = self.head_switch_s  # pure head switch, no arm motion
+        rotation_period = self.rotation_period
+        head_switch_s = self.head_switch_s
         clock = start_time + self.controller_overhead_s + seek
 
-        rotational_latency = 0.0
+        # First segment: rotational wait to the target sector, then media.
+        sector_period = rotation_period / spt
+        target_fraction = sector / spt
+        now_fraction = (clock / rotation_period + self.spindle_phase) % 1.0
+        rotational_latency = ((target_fraction - now_fraction) % 1.0) * rotation_period
+        clock += rotational_latency
         transfer = 0.0
-        previous_cylinder = first_addr.cylinder
-        for index, (addr, run) in enumerate(segments):
-            sector_period = self.rotation_period / addr.sectors_per_track
-            if index == 0:
-                target_fraction = addr.sector / addr.sectors_per_track
-                now_fraction = self.rotational_fraction(clock)
-                wait = ((target_fraction - now_fraction) % 1.0) * self.rotation_period
-                rotational_latency += wait
-                clock += wait
-            else:
-                skew = (
-                    self.geometry.cylinder_skew
-                    if addr.cylinder != previous_cylinder
-                    else self.geometry.track_skew
-                )
+        run_time = run * sector_period
+        transfer += run_time
+        clock += run_time
+
+        if len(segments) > 1:
+            cylinder_skew = self.geometry.cylinder_skew
+            track_skew = self.geometry.track_skew
+            previous_cylinder = cylinder
+            for index in range(1, len(segments)):
+                cylinder, head, sector, spt, run = segments[index]
+                sector_period = rotation_period / spt
+                skew = cylinder_skew if cylinder != previous_cylinder else track_skew
                 skew_time = skew * sector_period
-                if self.head_switch_s <= skew_time:
+                if head_switch_s <= skew_time:
                     switch_cost = skew_time
                 else:
                     # Skew too small to hide the switch: we miss the first
                     # sector and pay a full extra revolution.
-                    switch_cost = skew_time + self.rotation_period
+                    switch_cost = skew_time + rotation_period
                 transfer += switch_cost
                 clock += switch_cost
-            run_time = run * sector_period
-            transfer += run_time
-            clock += run_time
-            previous_cylinder = addr.cylinder
+                run_time = run * sector_period
+                transfer += run_time
+                clock += run_time
+                previous_cylinder = cylinder
+        return seek, rotational_latency, transfer, cylinder, head
+
+    def compute_service(self, io: DiskIO, start_time: float) -> ServiceBreakdown:
+        """Compute the full service-time breakdown, without side effects."""
+        seek, rotational_latency, transfer, _cyl, _head = self._service_parts(
+            io.lba, io.nsectors, start_time
+        )
         return ServiceBreakdown(
             overhead=self.controller_overhead_s,
             seek=seek,
@@ -217,16 +338,23 @@ class MechanicalDisk:
             transfer=transfer,
         )
 
-    def execute(self, io: DiskIO) -> Event:
+    def execute(self, io: DiskIO, into: Event | None = None) -> Event:
         """Service ``io`` now; returns an event firing at completion.
 
         The caller (a back-end driver) must not overlap commands.
+
+        ``into`` lets the caller supply the completion event (the driver
+        passes its own per-command event, eliminating a relay event and a
+        dispatch per disk I/O).  The supplied event is triggered from the
+        same timeout callback the relay used to be, so same-instant
+        dispatch order is unchanged.
         """
         if self._failed:
-            failure = self.sim.event(name=f"{self.name}.failed_io")
+            failure = into if into is not None else self.sim.event(name=f"{self.name}.failed_io")
             failure.fail(DiskFailedError(f"{self.name} has failed"))
             return failure
-        if self.busy:
+        now = self.sim._now
+        if now < self._busy_until:
             raise RuntimeError(f"{self.name} is busy until t={self._busy_until:.6f}")
 
         if io.kind is IoKind.READ and self._readahead_hit(io):
@@ -238,49 +366,62 @@ class MechanicalDisk:
                 overhead=self.controller_overhead_s, seek=0.0,
                 rotational_latency=0.0, transfer=0.0,
             )
-            done = self.sim.event(name="cached_read")
-            self.sim.timeout(breakdown.total).add_callback(
-                lambda _event: self._complete(done, breakdown)
-            )
-            return done
+            done = into if into is not None else self.sim.event(name="cached_read")
+            return self._schedule_completion(done, breakdown, breakdown.total)
 
-        breakdown = self.compute_service(io, self.sim.now)
+        seek, rotational_latency, transfer, last_cylinder, last_head = self._service_parts(
+            io.lba, io.nsectors, now
+        )
+        overhead = self.controller_overhead_s
+        # Same addition order as ServiceBreakdown.total.
+        total = overhead + seek + rotational_latency + transfer
+        breakdown = ServiceBreakdown(
+            overhead=overhead,
+            seek=seek,
+            rotational_latency=rotational_latency,
+            transfer=transfer,
+        )
         # Update mechanical state to the end of the access.
-        last_addr, last_run = None, 0
-        for last_addr, last_run in self.geometry.track_segments(io.lba, io.nsectors):
-            pass
-        assert last_addr is not None
-        self._current_cylinder = last_addr.cylinder
-        self._current_head = last_addr.head
-        self._busy_until = self.sim.now + breakdown.total
+        self._current_cylinder = last_cylinder
+        self._current_head = last_head
+        self._busy_until = now + total
 
         stats = self.stats
+        stats.busy_time += total
+        stats.seek_time += seek
+        stats.rotational_latency += rotational_latency
+        stats.transfer_time += transfer
         if io.kind is IoKind.READ:
             stats.reads += 1
             stats.sectors_read += io.nsectors
+            self._record_readahead(io)
+            report_after = total
         else:
             stats.writes += 1
             stats.sectors_written += io.nsectors
-        stats.busy_time += breakdown.total
-        stats.seek_time += breakdown.seek
-        stats.rotational_latency += breakdown.rotational_latency
-        stats.transfer_time += breakdown.transfer
-
-        if io.kind is IoKind.READ:
-            self._record_readahead(io)
-        else:
             self._invalidate_segments(io)
-
-        done = self.sim.event(name=io.kind.value)
-        if io.kind is IoKind.WRITE and self.immediate_report:
             # Immediate reporting: the host sees completion as soon as
             # the data is in the drive buffer; the mechanism stays busy
             # until the media write really finishes.
-            report_after = self.controller_overhead_s
-        else:
-            report_after = breakdown.total
-        completion = self.sim.timeout(report_after)
-        completion.add_callback(lambda _event: self._complete(done, breakdown))
+            report_after = overhead if self.immediate_report else total
+
+        done = into if into is not None else self.sim.event(name=io.kind.value)
+        return self._schedule_completion(done, breakdown, report_after)
+
+    def _schedule_completion(self, done: Event, breakdown: ServiceBreakdown, after: float) -> Event:
+        """Queue ``done`` to fire with ``breakdown`` in ``after`` seconds.
+
+        The event is triggered and pushed directly — the relay timeout
+        whose callback used to trigger it added an extra event + dispatch
+        per disk I/O.  Waiters still observe completion (or a mid-flight
+        failure, see :meth:`fail`) at the same simulated instant.
+        """
+        done._value = breakdown
+        done._scheduled = True
+        sim = self.sim
+        sim._sequence += 1
+        _heappush(sim._queue, (sim._now + after, sim._sequence, done))
+        self._inflight = done
         return done
 
     # -- drive-level caches ----------------------------------------------------------
@@ -300,8 +441,15 @@ class MechanicalDisk:
         track; remember that tail (plus the read itself) as a segment."""
         if not self.readahead_segments:
             return
-        addr = self.geometry.lba_to_physical(io.last_lba)
-        track_end = io.last_lba + (addr.sectors_per_track - 1 - addr.sector)
+        # Integer-only decode of the last LBA's in-track sector; avoids
+        # lba_to_physical's PhysicalAddress construction per media read.
+        geometry = self.geometry
+        zone_first_lba = geometry._zone_first_lba
+        last_lba = io.lba + io.nsectors - 1
+        index = _bisect_right(zone_first_lba, last_lba) - 1
+        spt = geometry.zones[index].sectors_per_track
+        sector = (last_lba - zone_first_lba[index]) % (geometry.heads * spt) % spt
+        track_end = last_lba + (spt - 1 - sector)
         self._segments.append((io.lba, track_end))
         while len(self._segments) > self.readahead_segments:
             self._segments.pop(0)
@@ -315,12 +463,6 @@ class MechanicalDisk:
             for first, last in self._segments
             if last < io.lba or first > io.last_lba
         ]
-
-    def _complete(self, done: Event, breakdown: ServiceBreakdown) -> None:
-        if self._failed:
-            done.fail(DiskFailedError(f"{self.name} failed mid-flight"))
-        else:
-            done.succeed(breakdown)
 
     # -- derived figures ----------------------------------------------------------
 

@@ -145,6 +145,56 @@ class DiskGeometry:
 
     # -- track iteration ------------------------------------------------------------
 
+    def iter_segments(self, lba: int, nsectors: int) -> list[tuple[int, int, int, int, int]]:
+        """Split ``[lba, lba + nsectors)`` into flat per-track segments.
+
+        Returns ``(cylinder, head, sector, sectors_per_track, run)`` tuples
+        in order.  This is the allocation-lean core of
+        :meth:`track_segments`: one zone lookup at entry, then the position
+        is advanced track by track arithmetically instead of re-decoding
+        every segment's LBA through :meth:`lba_to_physical`.  The
+        service-time model calls this once per disk I/O, which made the
+        repeated bisect + :class:`PhysicalAddress` construction one of the
+        largest line items in whole-trace profiles.
+        """
+        if nsectors < 1:
+            raise ValueError(f"nsectors must be >= 1, got {nsectors}")
+        if lba < 0 or lba + nsectors > self.total_sectors:
+            raise ValueError("access extends past end of disk")
+        zone_first_lba = self._zone_first_lba
+        index = bisect.bisect_right(zone_first_lba, lba) - 1
+        zone = self.zones[index]
+        spt = zone.sectors_per_track
+        heads = self.heads
+        offset = lba - zone_first_lba[index]
+        sectors_per_cylinder = heads * spt
+        cylinder = self._zone_first_cyl[index] + offset // sectors_per_cylinder
+        within = offset % sectors_per_cylinder
+        head = within // spt
+        sector = within % spt
+        zone_end_cyl = self._zone_first_cyl[index] + zone.cylinders
+        remaining = nsectors
+        segments: list[tuple[int, int, int, int, int]] = []
+        append = segments.append
+        while True:
+            run = spt - sector
+            if run > remaining:
+                run = remaining
+            append((cylinder, head, sector, spt, run))
+            remaining -= run
+            if not remaining:
+                return segments
+            sector = 0
+            head += 1
+            if head == heads:
+                head = 0
+                cylinder += 1
+                if cylinder == zone_end_cyl:
+                    index += 1
+                    zone = self.zones[index]
+                    spt = zone.sectors_per_track
+                    zone_end_cyl += zone.cylinders
+
     def track_segments(self, lba: int, nsectors: int):
         """Split ``[lba, lba + nsectors)`` into per-track runs.
 
@@ -152,18 +202,8 @@ class DiskGeometry:
         order, so transfer-time computation can account for each head or
         cylinder switch along a long sequential access.
         """
-        if nsectors < 1:
-            raise ValueError(f"nsectors must be >= 1, got {nsectors}")
-        if lba + nsectors > self.total_sectors:
-            raise ValueError("access extends past end of disk")
-        remaining = nsectors
-        position = lba
-        while remaining > 0:
-            addr = self.lba_to_physical(position)
-            run = min(remaining, addr.sectors_per_track - addr.sector)
-            yield addr, run
-            position += run
-            remaining -= run
+        for cylinder, head, sector, spt, run in self.iter_segments(lba, nsectors):
+            yield PhysicalAddress(cylinder, head, sector, spt), run
 
     def __repr__(self) -> str:
         return (

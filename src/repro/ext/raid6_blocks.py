@@ -93,9 +93,13 @@ class Raid6FunctionalArray:
             self._rebuild_q(stripe)
 
     def _data_units(self, stripe: int) -> list[np.ndarray]:
+        # Zero-copy views: every consumer (xor folds, GF256.syndromes,
+        # array_equal) reads them without mutating, and the only store
+        # write while they are alive targets a parity unit, which never
+        # overlaps a data unit.
         nsectors = self.layout.stripe_unit_sectors
         return [
-            self.store.read(unit.disk, unit.disk_lba, nsectors)
+            self.store.read_view(unit.disk, unit.disk_lba, nsectors)
             for unit in self.layout.data_units(stripe)
         ]
 
@@ -125,7 +129,7 @@ class Raid6FunctionalArray:
         pieces = []
         for run in self.layout.map_extent(logical_sector, nsectors):
             try:
-                piece = self.store.read(run.disk, run.disk_lba, run.nsectors)
+                piece = self.store.read_view(run.disk, run.disk_lba, run.nsectors)
             except StoreDiskFailedError:
                 unit = self._recover_unit(run.stripe, run.unit_index)
                 in_unit = run.disk_lba - run.stripe * self.layout.stripe_unit_sectors
@@ -142,7 +146,7 @@ class Raid6FunctionalArray:
         for unit in self.layout.data_units(stripe):
             try:
                 survivors.append(
-                    (unit.unit_index, self.store.read(unit.disk, unit.disk_lba, nsectors))
+                    (unit.unit_index, self.store.read_view(unit.disk, unit.disk_lba, nsectors))
                 )
             except StoreDiskFailedError:
                 lost_indices.append(unit.unit_index)
@@ -181,7 +185,8 @@ class Raid6FunctionalArray:
             return None
         unit = self.layout.parity_q_unit(stripe) if use_q else self.layout.parity_unit(stripe)
         try:
-            return self.store.read(unit.disk, unit.disk_lba, self.layout.stripe_unit_sectors)
+            # A view is enough: recovery copies before folding survivors in.
+            return self.store.read_view(unit.disk, unit.disk_lba, self.layout.stripe_unit_sectors)
         except StoreDiskFailedError:
             return None
 
@@ -194,6 +199,6 @@ class Raid6FunctionalArray:
         parity = self.layout.parity_unit(stripe)
         q_unit = self.layout.parity_q_unit(stripe)
         nsectors = self.layout.stripe_unit_sectors
-        actual_p = self.store.read(parity.disk, parity.disk_lba, nsectors)
-        actual_q = self.store.read(q_unit.disk, q_unit.disk_lba, nsectors)
+        actual_p = self.store.read_view(parity.disk, parity.disk_lba, nsectors)
+        actual_q = self.store.read_view(q_unit.disk, q_unit.disk_lba, nsectors)
         return bool(np.array_equal(expected_p, actual_p)), bool(np.array_equal(expected_q, actual_q))

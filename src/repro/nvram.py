@@ -33,6 +33,10 @@ class MarkMemory:
         self.bits_per_stripe = bits_per_stripe
         # dict used as an insertion-ordered set of (stripe, sub_unit).
         self._marks: dict[tuple[int, int], None] = {}
+        # Secondary index: stripe -> insertion-ordered set of marked
+        # sub-units.  Keeps the per-write queries (is this stripe dirty?
+        # clear its marks) O(marks of that stripe) instead of O(all marks).
+        self._per_stripe: dict[int, dict[int, None]] = {}
         self._failed = False
 
     # -- marking -------------------------------------------------------------------
@@ -45,6 +49,11 @@ class MarkMemory:
         if key in self._marks:
             return False
         self._marks[key] = None
+        subs = self._per_stripe.get(stripe)
+        if subs is None:
+            self._per_stripe[stripe] = {sub_unit: None}
+        else:
+            subs[sub_unit] = None
         return True
 
     def clear(self, stripe: int, sub_unit: int = 0) -> bool:
@@ -54,16 +63,23 @@ class MarkMemory:
         key = (stripe, sub_unit)
         if key in self._marks:
             del self._marks[key]
+            subs = self._per_stripe[stripe]
+            del subs[sub_unit]
+            if not subs:
+                del self._per_stripe[stripe]
             return True
         return False
 
     def clear_stripe(self, stripe: int) -> int:
         """Clear every sub-unit mark of ``stripe``; returns how many."""
         self._check_alive()
-        keys = [key for key in self._marks if key[0] == stripe]
-        for key in keys:
-            del self._marks[key]
-        return len(keys)
+        subs = self._per_stripe.pop(stripe, None)
+        if subs is None:
+            return 0
+        marks = self._marks
+        for sub_unit in subs:
+            del marks[(stripe, sub_unit)]
+        return len(subs)
 
     # -- queries ----------------------------------------------------------------------
 
@@ -72,7 +88,7 @@ class MarkMemory:
         self._check_alive()
         if sub_unit is not None:
             return (stripe, sub_unit) in self._marks
-        return any(key[0] == stripe for key in self._marks)
+        return stripe in self._per_stripe
 
     @property
     def count(self) -> int:
@@ -89,6 +105,12 @@ class MarkMemory:
             seen.setdefault(stripe)
         return list(seen)
 
+    @property
+    def marked_stripe_count(self) -> int:
+        """``len(marked_stripes)`` without building the list."""
+        self._check_alive()
+        return len(self._per_stripe)
+
     def oldest(self) -> tuple[int, int] | None:
         """The longest-standing (stripe, sub_unit) mark, or None."""
         self._check_alive()
@@ -102,7 +124,8 @@ class MarkMemory:
     def marks_of(self, stripe: int) -> list[int]:
         """Sub-units of ``stripe`` currently marked, oldest first."""
         self._check_alive()
-        return [sub for s, sub in self._marks if s == stripe]
+        subs = self._per_stripe.get(stripe)
+        return [] if subs is None else list(subs)
 
     # -- sizing (the paper's cost argument) ----------------------------------------------
 
@@ -126,11 +149,13 @@ class MarkMemory:
         """
         self._failed = True
         self._marks.clear()
+        self._per_stripe.clear()
 
     def recover(self) -> None:
         """Bring a replacement marking memory online (all marks clear)."""
         self._failed = False
         self._marks.clear()
+        self._per_stripe.clear()
 
     # -- helpers -------------------------------------------------------------------------
 

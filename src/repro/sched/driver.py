@@ -15,6 +15,7 @@ import typing
 from repro.disk import DiskFailedError, DiskIO, MechanicalDisk
 from repro.sched.queues import FcfsScheduler, IoScheduler
 from repro.sim import Event, Simulator
+from repro.sim.events import _PENDING
 
 if typing.TYPE_CHECKING:  # pragma: no cover - optional observability
     from repro.obs import Tracer
@@ -73,46 +74,72 @@ class DiskDriver:
         The event's value is the :class:`~repro.disk.ServiceBreakdown`; it
         fails with :class:`DiskFailedError` if the disk dies first.
         """
-        completion = self.sim.event(name=self._ev_done)
+        # Event() inlined: one completion per disk command, and the
+        # constructor call was measurable at replay scale.
+        sim = self.sim
+        completion = Event.__new__(Event)
+        completion.sim = sim
+        completion.name = self._ev_done
+        completion.callbacks = []
+        completion.defused = False
+        completion._value = _PENDING
+        completion._exception = None
+        completion._scheduled = False
+        completion._handled = False
         self.stats.submitted += 1
-        self.scheduler.push((io, completion, self.sim.now), io.lba)
+        self.scheduler.push((io, completion, sim._now), io.lba)
         if not self._pumping:
             self._pumping = True
-            self.sim.process(self._pump(), name=self._ev_pump)
+            sim.process(self._pump(), name=self._ev_pump)
         return completion
 
     def _pump(self):
+        sim = self.sim
+        disk = self.disk
+        scheduler = self.scheduler
+        stats = self.stats
+        geometry = disk.geometry
+        # FCFS (the paper's back end) ignores the head position; skip the
+        # cylinder → LBA conversion per command unless the discipline
+        # actually seeks by position.
+        uses_position = scheduler.uses_position
         try:
-            while self.scheduler:
-                head = self.disk.geometry.physical_to_lba(self.disk.current_cylinder, 0, 0)
-                (io, completion, submit_time), _position = self.scheduler.pop(head)
-                self.stats.queue_time += self.sim.now - submit_time
+            while scheduler:
+                head = (
+                    geometry.physical_to_lba(disk.current_cylinder, 0, 0)
+                    if uses_position
+                    else 0
+                )
+                (io, completion, submit_time), _position = scheduler.pop(head)
+                stats.queue_time += sim._now - submit_time
                 tracer = self.tracer
-                issued = self.sim.now if tracer is not None else 0.0
+                issued = sim.now if tracer is not None else 0.0
                 try:
-                    breakdown = yield self.disk.execute(io)
-                except DiskFailedError as exc:
-                    self.stats.failed += 1
+                    # The disk triggers ``completion`` directly (no relay
+                    # event): the pump waits on the same event it hands to
+                    # the submitter.
+                    yield disk.execute(io, completion)
+                except DiskFailedError:
+                    # ``completion`` was already failed by the disk.
+                    stats.failed += 1
                     if tracer is not None:
                         tracer.instant(
                             "io_failed", track=self.name, category="disk",
                             lba=io.lba, nsectors=io.nsectors,
                         )
-                    completion.fail(exc)
                 else:
-                    self.stats.completed += 1
+                    stats.completed += 1
                     if tracer is not None:
                         tracer.complete(
                             io.kind.value, start_s=issued,
-                            duration_s=self.sim.now - issued,
+                            duration_s=sim.now - issued,
                             track=self.name, category="disk",
                             lba=io.lba, nsectors=io.nsectors,
                         )
-                    completion.succeed(breakdown)
                     # With immediate reporting, completion fires before the
                     # media write finishes; wait out the mechanism before
                     # issuing the next command.
-                    while self.disk.busy:
-                        yield self.sim.timeout(self.disk.busy_until - self.sim.now)
+                    while disk._busy_until > sim._now:
+                        yield sim.timeout(disk._busy_until - sim._now)
         finally:
             self._pumping = False

@@ -20,6 +20,12 @@ T = typing.TypeVar("T")
 class IoScheduler(abc.ABC, typing.Generic[T]):
     """Interface shared by all queue disciplines."""
 
+    #: Whether :meth:`pop` actually consults ``head_position``.  Callers
+    #: that must *compute* the head position (e.g. the device driver
+    #: mapping its disk's cylinder back to an LBA) can skip that work for
+    #: order-insensitive disciplines like FCFS.
+    uses_position: bool = True
+
     @abc.abstractmethod
     def push(self, item: T, position: int) -> None:
         """Enqueue ``item`` keyed at ``position``."""
@@ -42,6 +48,8 @@ class FcfsScheduler(IoScheduler[T]):
     This is the paper's back-end discipline inside the array.
     """
 
+    uses_position = False
+
     def __init__(self) -> None:
         self._queue: collections.deque[tuple[T, int]] = collections.deque()
 
@@ -55,6 +63,10 @@ class FcfsScheduler(IoScheduler[T]):
 
     def __len__(self) -> int:
         return len(self._queue)
+
+    def __bool__(self) -> bool:
+        # Checked once per pumped command; skip the __len__ indirection.
+        return bool(self._queue)
 
 
 class _SortedQueue(typing.Generic[T]):

@@ -4,9 +4,15 @@ from __future__ import annotations
 
 import heapq
 import typing
+from sys import getrefcount as _getrefcount
 
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process, ProcessGenerator
+
+#: Upper bound on the per-simulator timeout freelist.  Replay workloads
+#: keep only a handful of timeouts in flight at once; the cap just stops a
+#: pathological burst from pinning memory.
+_TIMEOUT_POOL_MAX = 256
 
 
 class Simulator:
@@ -32,6 +38,10 @@ class Simulator:
         self._queue: list[tuple[float, int, Event]] = []
         self._sequence = 0
         self._trace: typing.Callable[[float, Event], None] | None = None
+        #: Recycled Timeout objects (see the run loop): every disk I/O is
+        #: at least one timeout, and reusing the object skips the
+        #: allocator on the kernel's hottest construction path.
+        self._timeout_pool: list[Timeout] = []
 
     # -- clock ----------------------------------------------------------------
 
@@ -48,6 +58,20 @@ class Simulator:
 
     def timeout(self, delay: float, value: typing.Any = None, name: str = "") -> Timeout:
         """Create an event that fires ``delay`` seconds from now."""
+        pool = self._timeout_pool
+        if pool and not name:
+            if delay < 0:
+                raise ValueError(f"timeout delay must be >= 0, got {delay}")
+            # Reuse a recycled timeout: the run loop only pools timeouts it
+            # proved unreferenced, so resetting the live slots is safe.
+            timeout = pool.pop()
+            timeout.callbacks = []
+            timeout._value = value
+            timeout._exception = None
+            timeout.delay = delay
+            self._sequence += 1
+            heapq.heappush(self._queue, (self._now + delay, self._sequence, timeout))
+            return timeout
         return Timeout(self, delay, value=value, name=name)
 
     def timeouts(self, delays: typing.Iterable[float], value: typing.Any = None) -> list[Timeout]:
@@ -129,6 +153,7 @@ class Simulator:
             # innermost cycle; method-call and attribute overhead here is
             # measurable on every experiment.
             heappop = heapq.heappop
+            pool = self._timeout_pool
             while queue:
                 when, _seq, event = heappop(queue)
                 self._now = when
@@ -143,6 +168,18 @@ class Simulator:
                         callback(event)
                 elif event._exception is not None and not event.defused:
                     raise event._exception
+                # Recycle dispatched timeouts nobody holds a reference to
+                # (refcount 2 = the local + the getrefcount argument).
+                # Exact-type + unnamed keeps subclasses and user-labelled
+                # timeouts out of the pool.
+                if (
+                    type(event) is Timeout
+                    and _getrefcount(event) == 2
+                    and not event.name
+                    and len(pool) < _TIMEOUT_POOL_MAX
+                ):
+                    event._value = None
+                    pool.append(event)
             return
         while queue and queue[0][0] <= until:
             self.step()
@@ -155,6 +192,7 @@ class Simulator:
         """
         queue = self._queue
         heappop = heapq.heappop
+        pool = self._timeout_pool
         # ``processed`` implies ``triggered``, so waiting for the callback
         # list to clear covers both; the loop dispatches inline (cf. run()).
         while event.callbacks is not None:
@@ -173,6 +211,15 @@ class Simulator:
                     callback(next_event)
             elif next_event._exception is not None and not next_event.defused:
                 raise next_event._exception
+            # Recycle unreferenced timeouts (see run() for the invariant).
+            if (
+                type(next_event) is Timeout
+                and _getrefcount(next_event) == 2
+                and not next_event.name
+                and len(pool) < _TIMEOUT_POOL_MAX
+            ):
+                next_event._value = None
+                pool.append(next_event)
         return event.value
 
     # -- debugging ---------------------------------------------------------------

@@ -10,6 +10,8 @@ can wait on each other.
 from __future__ import annotations
 
 import typing
+from heapq import heappush as _heappush
+from types import GeneratorType
 
 from repro.sim.events import Event
 
@@ -47,16 +49,32 @@ class Process(Event):
     __slots__ = ("_generator", "_waiting_on")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "") -> None:
-        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+        # Plain generators (the overwhelmingly common case) skip the two
+        # hasattr probes; duck-typed generator-likes still pass.
+        if type(generator) is not GeneratorType and (
+            not hasattr(generator, "send") or not hasattr(generator, "throw")
+        ):
             raise TypeError(f"process body must be a generator, got {type(generator).__name__}")
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self._generator = generator
-        self._waiting_on: Event | None = None
         # Kick off the generator via an immediately-firing bootstrap event.
-        bootstrap = Event(sim)
-        bootstrap.callbacks.append(self._resume)
-        self._waiting_on = bootstrap
-        bootstrap.succeed()
+        # Constructed + triggered inline (Event.__init__ and succeed()
+        # fused): one bootstrap per process spawn, and replay-heavy
+        # workloads spawn a process per queue pump / client request.  The
+        # heap operation matches Event.succeed() exactly, so dispatch
+        # order is unchanged.
+        bootstrap = Event.__new__(Event)
+        bootstrap.sim = sim
+        bootstrap.name = ""
+        bootstrap.callbacks = [self._resume]
+        bootstrap.defused = False
+        bootstrap._value = None
+        bootstrap._exception = None
+        bootstrap._scheduled = True
+        bootstrap._handled = False
+        self._waiting_on: Event | None = bootstrap
+        sim._sequence += 1
+        _heappush(sim._queue, (sim._now, sim._sequence, bootstrap))
 
     @property
     def is_alive(self) -> bool:
@@ -118,7 +136,18 @@ class Process(Event):
         try:
             target = self._generator.send(event._value)
         except StopIteration as stop:
-            self.succeed(stop.value)
+            # With listeners attached, trigger normally so they are
+            # dispatched.  Without any (fire-and-forget pumps and
+            # per-request service processes — the common case), mark the
+            # process event processed directly: dispatching an event with
+            # zero callbacks is a no-op, and a late add_callback on a
+            # processed event already runs immediately, so skipping the
+            # schedule + dispatch changes no observable ordering.
+            if self.callbacks:
+                self.succeed(stop.value)
+            else:
+                self._value = stop.value
+                self.callbacks = None
             return
         except BaseException as exc:
             self._crash(exc)
@@ -138,7 +167,11 @@ class Process(Event):
         try:
             target = self._generator.throw(exc)
         except StopIteration as stop:
-            self.succeed(stop.value)
+            if self.callbacks:  # see _resume: listener-free finish shortcut
+                self.succeed(stop.value)
+            else:
+                self._value = stop.value
+                self.callbacks = None
         except BaseException as raised:
             if raised is exc:
                 # The process did not handle the exception: fail the process

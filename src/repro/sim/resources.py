@@ -8,6 +8,7 @@ number of physical disks).
 from __future__ import annotations
 
 import collections
+from heapq import heappush as _heappush
 
 from repro.sim.core import Simulator
 from repro.sim.events import Event
@@ -52,12 +53,25 @@ class Resource:
 
     def acquire(self) -> Event:
         """Return an event that fires once a slot is held by the caller."""
-        grant = Event(self.sim, name=self._grant_name)
         if self._in_use < self.capacity and not self._waiters:
+            # Uncontended fast path (construction + succeed fused): one
+            # grant per client request makes this hot during replay.
             self._in_use += 1
-            grant.succeed()
-        else:
-            self._waiters.append(grant)
+            sim = self.sim
+            grant = Event.__new__(Event)
+            grant.sim = sim
+            grant.name = self._grant_name
+            grant.callbacks = []
+            grant.defused = False
+            grant._value = None
+            grant._exception = None
+            grant._scheduled = True
+            grant._handled = False
+            sim._sequence += 1
+            _heappush(sim._queue, (sim._now, sim._sequence, grant))
+            return grant
+        grant = Event(self.sim, name=self._grant_name)
+        self._waiters.append(grant)
         return grant
 
     def release(self) -> None:

@@ -1,0 +1,73 @@
+"""Property tests for the RAID 5 extent mapper.
+
+The fast-path work leans on ``map_extent`` caching and on the controller
+re-deriving per-stripe groupings from its runs, so these pin the mapper's
+contract over the whole parameter space rather than a few worked examples:
+runs tile the logical extent exactly, never overlap on disk, and agree
+with the inverse map ``logical_of``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout import Raid5Layout
+from repro.layout.base import UnitKind
+
+
+@st.composite
+def layout_and_extent(draw):
+    ndisks = draw(st.integers(min_value=3, max_value=8))
+    unit = draw(st.integers(min_value=1, max_value=64))
+    nstripes = draw(st.integers(min_value=1, max_value=40))
+    slack = draw(st.integers(min_value=0, max_value=unit - 1))
+    layout = Raid5Layout(ndisks, unit, nstripes * unit + slack)
+    total = layout.total_data_sectors
+    start = draw(st.integers(min_value=0, max_value=total - 1))
+    nsectors = draw(st.integers(min_value=1, max_value=total - start))
+    return layout, start, nsectors
+
+
+@settings(max_examples=300, deadline=None)
+@given(layout_and_extent())
+def test_runs_tile_the_extent_exactly(case):
+    layout, start, nsectors = case
+    runs = layout.map_extent(start, nsectors)
+    assert sum(run.nsectors for run in runs) == nsectors
+    position = start
+    for run in runs:
+        assert run.logical_sector == position
+        assert run.nsectors >= 1
+        # A run never crosses a stripe-unit boundary.
+        offset_in_unit = run.disk_lba - run.stripe * layout.stripe_unit_sectors
+        assert 0 <= offset_in_unit
+        assert offset_in_unit + run.nsectors <= layout.stripe_unit_sectors
+        position += run.nsectors
+    assert position == start + nsectors
+
+
+@settings(max_examples=300, deadline=None)
+@given(layout_and_extent())
+def test_runs_are_disjoint_on_disk(case):
+    layout, start, nsectors = case
+    runs = layout.map_extent(start, nsectors)
+    extents = sorted((run.disk, run.disk_lba, run.disk_lba + run.nsectors) for run in runs)
+    for (disk_a, _lo_a, hi_a), (disk_b, lo_b, _hi_b) in zip(extents, extents[1:]):
+        assert disk_a != disk_b or hi_a <= lo_b
+
+
+@settings(max_examples=300, deadline=None)
+@given(layout_and_extent())
+def test_runs_round_trip_through_logical_of(case):
+    layout, start, nsectors = case
+    unit_sectors = layout.stripe_unit_sectors
+    for run in layout.map_extent(start, nsectors):
+        unit = layout.logical_of(run.disk, run.disk_lba)
+        assert unit.kind is UnitKind.DATA
+        assert unit.stripe == run.stripe
+        assert unit.unit_index == run.unit_index
+        assert unit.disk == run.disk
+        offset_in_unit = run.disk_lba - unit.disk_lba
+        logical = layout.logical_sector_of_unit(run.stripe, run.unit_index) + offset_in_unit
+        assert logical == run.logical_sector
+        # And sector-level agreement with the forward map.
+        assert layout.locate(run.logical_sector).disk == run.disk

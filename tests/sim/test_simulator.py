@@ -160,5 +160,24 @@ class TestEventsDispatched:
 
         sim.process(hopper())
         sim.run()
-        # Bootstrap event + two timeouts + the process completion event.
+        # Bootstrap event + two timeouts.  The process completion event is
+        # elided when nothing listens for it (dispatching it would be a
+        # no-op), so it does not count.
+        assert sim.events_dispatched == 3
+
+    def test_counts_awaited_process_completion(self):
+        sim = Simulator()
+
+        def hopper():
+            yield sim.timeout(1.0)
+
+        def waiter(proc):
+            yield proc
+
+        proc = sim.process(hopper())
+        sim.process(waiter(proc))
+        sim.run()
+        # Two bootstraps + one timeout + hopper's completion event (it has
+        # a listener, so it is scheduled and dispatched).  The waiter's own
+        # completion is listener-free and elided.
         assert sim.events_dispatched == 4

@@ -71,6 +71,29 @@ class TestAnalyze:
         assert "capture" in out
 
 
+class TestProfile:
+    def test_hot_path_table(self, capsys):
+        assert main(["profile", "hplajw", "--duration", "3", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "profile: hplajw under afraid" in out
+        assert "sorted by cumulative" in out
+        assert "run_experiment" in out
+        # top 5 rows plus the two header lines and the summary line
+        assert len(out.strip().splitlines()) == 8
+
+    def test_pstats_dump(self, tmp_path, capsys):
+        dump = tmp_path / "replay.pstats"
+        assert main([
+            "profile", "hplajw", "--duration", "2", "--sort", "tottime",
+            "--dump", str(dump),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sorted by tottime" in out
+        import pstats
+
+        assert pstats.Stats(str(dump)).total_calls > 0
+
+
 class TestAvailability:
     def test_calculator(self, capsys):
         assert main(["availability", "--fraction", "0.1", "--years", "3"]) == 0
