@@ -25,11 +25,11 @@ import typing
 from repro.array.cache import ByteBudget, ReadCache
 from repro.array.request import ArrayRequest
 from repro.availability import ParityLagTracker, ReliabilityParams
-from repro.disk import DiskIO, IoKind, MechanicalDisk
+from repro.disk import DiskFailedError, DiskIO, IoKind, LatentSectorError, MechanicalDisk
 from repro.idle import IdleDetector
 from repro.layout import Raid5Layout
 from repro.layout.base import ExtentRun
-from repro.nvram import MarkMemory
+from repro.nvram import MarkMemory, sub_unit_extent, sub_units_overlapping
 from repro.policy import ParityPolicy, WriteMode
 from repro.sched import ClookScheduler, DiskDriver, FcfsScheduler
 from repro.sim import AllOf, Event, Resource, Simulator
@@ -167,6 +167,9 @@ class DiskArray:
         self._force_scrub = False
         self._finished = False
         self._degraded_disk: int | None = None
+        #: Latent sectors rewritten by the scrubber (kept off ArrayStats:
+        #: the golden-replay fixtures compare that dataclass field-exact).
+        self.latent_sectors_repaired = 0
 
         self.detector.on_idle.append(self._on_idle)
         policy.attach(self)
@@ -208,10 +211,10 @@ class DiskArray:
     def _observe_client(self, request: ArrayRequest) -> None:
         """Record one completed client request into the attached sinks."""
         if self.hists is not None:
-            if request.is_write:
+            if self._degraded_disk is not None:
+                request_class = "degraded_write" if request.is_write else "degraded_read"
+            elif request.is_write:
                 request_class = "client_write"
-            elif self._degraded_disk is not None:
-                request_class = "degraded_read"
             else:
                 request_class = "client_read"
             self.hists.record(request_class, request.io_time)
@@ -577,19 +580,13 @@ class DiskArray:
             return range(0, 1)
         unit_sectors = self.layout.stripe_unit_sectors
         start_in_unit = run.disk_lba - run.stripe * unit_sectors
-        end_in_unit = start_in_unit + run.nsectors - 1
-        span = unit_sectors / bits
-        first = min(int(start_in_unit / span), bits - 1)
-        last = min(int(end_in_unit / span), bits - 1)
-        return range(first, last + 1)
+        return sub_units_overlapping(start_in_unit, run.nsectors, unit_sectors, bits)
 
     def _sub_unit_extent(self, sub_unit: int) -> tuple[int, int]:
         """(start sector within the unit, sector count) of one sub-unit."""
-        bits = self.marks.bits_per_stripe
-        unit_sectors = self.layout.stripe_unit_sectors
-        start = sub_unit * unit_sectors // bits
-        end = (sub_unit + 1) * unit_sectors // bits
-        return start, max(1, end - start)
+        return sub_unit_extent(
+            sub_unit, self.layout.stripe_unit_sectors, self.marks.bits_per_stripe
+        )
 
     def _write_raid5(self, request: ArrayRequest, runs_by_stripe: dict[int, list[ExtentRun]]):
         """RAID 5 semantics: parity leaves this write consistent."""
@@ -722,6 +719,10 @@ class DiskArray:
                 self._lag_changed()
                 if self.exposure is not None:
                     self.exposure.stripe_cleaned(stripe, self.sim.now, cause="write")
+        if self.functional is not None:
+            self.functional.write_degraded(
+                request.offset_sectors, self._payload(request), failed
+            )
 
     def _submit_data_writes(self, runs: list[ExtentRun]) -> list[Event]:
         drivers = self.drivers
@@ -766,10 +767,16 @@ class DiskArray:
                 if target is None:
                     break  # only policy-excluded (e.g. RAID 0 region) debt left
                 stripe, sub_unit = target
-                if self.marks.bits_per_stripe == 1:
-                    yield from self._scrub_stripe(stripe)
-                else:
-                    yield from self._scrub_sub_unit(stripe, sub_unit)
+                try:
+                    if self.marks.bits_per_stripe == 1:
+                        yield from self._scrub_stripe(stripe)
+                    else:
+                        yield from self._scrub_sub_unit(stripe, sub_unit)
+                except DiskFailedError:
+                    # A member died with scrub I/O in flight; the array is
+                    # degraded now, so stop — the rebuild manager (not the
+                    # scrubber) restores redundancy.
+                    break
         finally:
             self._scrub_running = False
             if self._next_scrub_target() is None:
@@ -792,18 +799,39 @@ class DiskArray:
         started = self.sim.now
         try:
             unit_sectors = self.layout.stripe_unit_sectors
-            reads = []
-            for unit in self.layout.data_units(stripe):
-                reads.append(
-                    self.drivers[unit.disk].submit(DiskIO(IoKind.READ, unit.disk_lba, unit_sectors))
-                )
-                self.stats.scrub_data_reads += 1
-            yield AllOf(self.sim, reads)
+            attempts = 0
+            while True:
+                reads = []
+                for unit in self.layout.data_units(stripe):
+                    reads.append(
+                        self.drivers[unit.disk].submit(
+                            DiskIO(IoKind.READ, unit.disk_lba, unit_sectors)
+                        )
+                    )
+                    self.stats.scrub_data_reads += 1
+                try:
+                    yield AllOf(self.sim, reads)
+                except LatentSectorError:
+                    attempts += 1
+                    if attempts > 3:
+                        raise
+                    yield from self._repair_latent_extent(
+                        stripe * unit_sectors, unit_sectors
+                    )
+                    continue
+                break
+            if self._degraded_disk is not None:
+                # A member died while we were reading: the stripe cannot
+                # be made redundant any more.  Leave the mark set (it is
+                # what the loss accounting is based on) and give up.
+                return
             parity = self.layout.parity_unit(stripe)
             yield self.drivers[parity.disk].submit(
                 DiskIO(IoKind.WRITE, parity.disk_lba, unit_sectors)
             )
             self.stats.scrub_parity_writes += 1
+            if self._degraded_disk is not None:
+                return  # died during the parity write: same story
             self.marks.clear_stripe(stripe)
             self._lag_changed()
             if self.exposure is not None:
@@ -816,6 +844,37 @@ class DiskArray:
         finally:
             del self._rebuilding[stripe]
             barrier.succeed()
+
+    def _repair_latent_extent(self, base_lba: int, nsectors: int):
+        """Rewrite latent sectors any member reports in [base_lba, +nsectors).
+
+        A write over a latent sector heals it (the drive remaps); content
+        comes from parity reconstruction — possible exactly when the rows
+        are clean, which the scrubber is about to make true anyway.
+        """
+        writes = []
+        repaired = 0
+        for index, disk in enumerate(self.disks):
+            if disk.failed:
+                continue
+            bad = disk.latent_errors_within(base_lba, nsectors)
+            if not bad:
+                continue
+            for lba in bad:
+                writes.append(self.drivers[index].submit(DiskIO(IoKind.WRITE, lba, 1)))
+            repaired += len(bad)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "latent_repair", track="faults", category="fault",
+                    disk=index, sectors=len(bad),
+                )
+        if writes:
+            yield AllOf(self.sim, writes)
+        self.latent_sectors_repaired += repaired
+        if repaired and self.registry is not None:
+            self.registry.counter(
+                "latent_sectors_repaired_total", "latent sectors healed by rewrite"
+            ).inc(repaired)
 
     def _observe_scrub(self, name: str, started: float, stripe: int) -> None:
         """Record one finished parity rebuild into the attached sinks."""
@@ -888,6 +947,27 @@ class DiskArray:
             )
         self.request_scrub(force=True)
 
+    def recovery_scan(self) -> None:
+        """§3.1 restart recovery: drain whatever marks survived the crash.
+
+        NVRAM marks persist across a power loss, so a restarted array
+        knows exactly which stripes are unredundant; this forces the
+        scrubber over them regardless of idleness (paper: "the system must
+        wait only a few seconds before full performance is available" —
+        redundancy, not correctness, is what the scan restores).
+        """
+        if self.tracer is not None:
+            self.tracer.instant(
+                "recovery_scan", track="faults", category="fault",
+                stripes=self.marks.marked_stripe_count, marks=self.marks.count,
+            )
+        if self.registry is not None:
+            self.registry.counter(
+                "recovery_scans_total", "crash-restart recovery scans"
+            ).inc()
+        if self.marks.count:
+            self.request_scrub(force=True)
+
     def _scrub_sub_unit(self, stripe: int, sub_unit: int):
         """Rebuild one horizontal slice of a stripe's parity (§5: M bits
         per stripe ⇒ rebuilds read only 1/M of each unit)."""
@@ -902,30 +982,44 @@ class DiskArray:
         try:
             start, nsectors = self._sub_unit_extent(sub_unit)
             unit_base = stripe * self.layout.stripe_unit_sectors
-            reads = []
-            for unit in self.layout.data_units(stripe):
-                reads.append(
-                    self.drivers[unit.disk].submit(
-                        DiskIO(IoKind.READ, unit_base + start, nsectors)
+            attempts = 0
+            while True:
+                reads = []
+                for unit in self.layout.data_units(stripe):
+                    reads.append(
+                        self.drivers[unit.disk].submit(
+                            DiskIO(IoKind.READ, unit_base + start, nsectors)
+                        )
                     )
-                )
-                self.stats.scrub_data_reads += 1
-            yield AllOf(self.sim, reads)
+                    self.stats.scrub_data_reads += 1
+                try:
+                    yield AllOf(self.sim, reads)
+                except LatentSectorError:
+                    attempts += 1
+                    if attempts > 3:
+                        raise
+                    yield from self._repair_latent_extent(unit_base + start, nsectors)
+                    continue
+                break
+            if self._degraded_disk is not None:
+                return  # a member died mid-read: mark stays, scrub aborts
             parity = self.layout.parity_unit(stripe)
             yield self.drivers[parity.disk].submit(
                 DiskIO(IoKind.WRITE, unit_base + start, nsectors)
             )
             self.stats.scrub_parity_writes += 1
+            if self._degraded_disk is not None:
+                return  # died during the parity write: same story
             self.marks.clear(stripe, sub_unit)
             self._lag_changed()
             if self.hists is not None or self.tracer is not None:
                 self._observe_scrub("scrub_sub_unit", started, stripe)
+            if self.functional is not None:
+                self.functional.scrub_sub_unit(stripe, sub_unit)
             if not self.marks.is_marked(stripe):
                 if self.exposure is not None:
                     self.exposure.stripe_cleaned(stripe, self.sim.now, cause="scrub")
                 self.stats.stripes_scrubbed += 1
-                if self.functional is not None:
-                    self.functional.scrub_stripe(stripe)
         finally:
             del self._rebuilding[stripe]
             barrier.succeed()

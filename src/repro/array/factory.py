@@ -52,7 +52,11 @@ def build_array(
     if with_functional:
         usable = min(disk.geometry.total_sectors for disk in disks)
         layout = Raid5Layout(ndisks, stripe_unit_sectors, usable)
-        functional = FunctionalArray(layout, sector_bytes=disks[0].geometry.sector_bytes)
+        functional = FunctionalArray(
+            layout,
+            sector_bytes=disks[0].geometry.sector_bytes,
+            sub_units=bits_per_stripe,
+        )
     return DiskArray(
         sim=sim,
         disks=disks,

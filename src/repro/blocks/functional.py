@@ -10,6 +10,12 @@ availability analysis assumes are all checkable here:
 * with one failed disk, each *dirty* stripe loses exactly the one stripe
   unit that lived on the failed disk (no loss if that unit was parity) —
   the quantity eq. (4)'s MDLR_unprotected integrates.
+
+With ``sub_units = M > 1`` (the §5 refinement) parity staleness is
+tracked per horizontal *slice* of the stripe, so a small write dirties
+only 1/M of the stripe and a failure loses only the dirty slices of the
+failed unit — the sub-unit-aware ground truth the eq.-(4) prediction is
+checked against.
 """
 
 from __future__ import annotations
@@ -17,7 +23,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.blocks.store import BlockStore, StoreDiskFailedError
+from repro.layout.base import ExtentRun
 from repro.layout.raid5 import Raid5Layout
+from repro.nvram import sub_unit_extent, sub_units_overlapping
 
 
 class DataLostError(Exception):
@@ -39,25 +47,75 @@ def xor_reduce(buffers: list[np.ndarray]) -> np.ndarray:
 class FunctionalArray:
     """Real-bytes left-symmetric RAID 5 with optionally deferred parity."""
 
-    def __init__(self, layout: Raid5Layout, sector_bytes: int = 512) -> None:
+    def __init__(
+        self, layout: Raid5Layout, sector_bytes: int = 512, sub_units: int = 1
+    ) -> None:
+        if sub_units < 1:
+            raise ValueError(f"need >= 1 sub-unit, got {sub_units}")
         self.layout = layout
         self.sector_bytes = sector_bytes
+        self.sub_units = sub_units
         striped_sectors = layout.nstripes * layout.stripe_unit_sectors
         self.store = BlockStore(layout.ndisks, striped_sectors, sector_bytes)
-        self._dirty: set[int] = set()
+        #: stripe -> set of dirty (stale-parity) sub-units.
+        self._dirty: dict[int, set[int]] = {}
 
     # -- dirty-stripe (parity lag) bookkeeping ------------------------------------
 
     @property
     def dirty_stripes(self) -> frozenset[int]:
-        """Stripes whose on-disk parity is stale (the NVRAM mark set)."""
+        """Stripes with any stale-parity slice (the NVRAM mark set)."""
         return frozenset(self._dirty)
+
+    @property
+    def dirty_mark_count(self) -> int:
+        """Total dirty (stripe, sub-unit) marks across the array."""
+        return sum(len(subs) for subs in self._dirty.values())
+
+    def dirty_sub_units(self, stripe: int) -> frozenset[int]:
+        """The stale-parity sub-units of ``stripe`` (empty when clean)."""
+        return frozenset(self._dirty.get(stripe, ()))
 
     @property
     def parity_lag_bytes(self) -> int:
         """Unredundant non-parity data right now: the paper's *parity lag*."""
         unit_bytes = self.layout.stripe_unit_sectors * self.sector_bytes
-        return len(self._dirty) * self.layout.data_units_per_stripe * unit_bytes
+        per_stripe = self.layout.data_units_per_stripe * unit_bytes
+        if self.sub_units == 1:
+            return len(self._dirty) * per_stripe
+        lag = 0
+        data_units = self.layout.data_units_per_stripe
+        for subs in self._dirty.values():
+            for sub_unit in subs:
+                _start, count = self._extent(sub_unit)
+                lag += data_units * count * self.sector_bytes
+        return lag
+
+    def _extent(self, sub_unit: int) -> tuple[int, int]:
+        return sub_unit_extent(sub_unit, self.layout.stripe_unit_sectors, self.sub_units)
+
+    def _run_sub_units(self, run: ExtentRun) -> range:
+        start_in_unit = run.disk_lba - run.stripe * self.layout.stripe_unit_sectors
+        return sub_units_overlapping(
+            start_in_unit, run.nsectors, self.layout.stripe_unit_sectors, self.sub_units
+        )
+
+    def _run_touches_dirty(self, run: ExtentRun) -> bool:
+        subs = self._dirty.get(run.stripe)
+        if subs is None:
+            return False
+        if self.sub_units == 1:
+            return True
+        return any(sub_unit in subs for sub_unit in self._run_sub_units(run))
+
+    def _mark_run(self, run: ExtentRun) -> None:
+        subs = self._dirty.get(run.stripe)
+        if subs is None:
+            subs = self._dirty[run.stripe] = set()
+        if self.sub_units == 1:
+            subs.add(0)
+        else:
+            subs.update(self._run_sub_units(run))
 
     # -- writes ----------------------------------------------------------------------
 
@@ -67,8 +125,8 @@ class FunctionalArray:
         ``update_parity=True`` is RAID 5 semantics: parity is updated via
         the read-modify-write identity (new parity = old parity ⊕ old data
         ⊕ new data) and the stripe stays clean.  ``update_parity=False`` is
-        the AFRAID write: data lands, parity goes stale, the stripe is
-        marked dirty.
+        the AFRAID write: data lands, parity goes stale, the touched
+        sub-units are marked dirty.
         """
         buffer = np.frombuffer(bytes(data), dtype=np.uint8)
         if buffer.size % self.sector_bytes != 0:
@@ -78,7 +136,7 @@ class FunctionalArray:
         for run in self.layout.map_extent(logical_sector, nsectors):
             run_bytes = run.nsectors * self.sector_bytes
             new_data = buffer[offset : offset + run_bytes]
-            if update_parity and run.stripe not in self._dirty:
+            if update_parity and not self._run_touches_dirty(run):
                 old_data = self.store.read_view(run.disk, run.disk_lba, run.nsectors)
                 parity_unit = self.layout.parity_unit(run.stripe)
                 in_unit = run.disk_lba - parity_unit.disk_lba  # offset within the stripe unit
@@ -89,11 +147,59 @@ class FunctionalArray:
                 self.store.write(parity_unit.disk, parity_lba, new_parity)
                 self.store.write(run.disk, run.disk_lba, new_data)
             else:
-                # AFRAID write, or a RAID 5 write to an already-dirty stripe
+                # AFRAID write, or a RAID 5 write over already-stale rows
                 # (parity is stale anyway; only a scrub can fix it).
                 self.store.write(run.disk, run.disk_lba, new_data)
-                self._dirty.add(run.stripe)
+                self._mark_run(run)
             offset += run_bytes
+
+    def write_degraded(self, logical_sector: int, data: bytes, failed_disk: int) -> None:
+        """Write with member ``failed_disk`` missing, keeping parity live.
+
+        Mirrors the controller's degraded write: parity must absorb the
+        write immediately (there is no disk to defer to).  For each stripe
+        whose parity unit survives, the failed member's implied contents
+        are reconstructed through parity (dirty slices are gone and come
+        back zero-filled), the new data is overlaid — runs destined for
+        the failed disk exist only through parity — and fresh parity is
+        written, leaving the stripe clean.  When the parity unit itself
+        lived on the failed disk, the surviving data units absorb the
+        write directly and staleness is unchanged (nothing to update).
+        """
+        buffer = np.frombuffer(bytes(data), dtype=np.uint8)
+        if buffer.size % self.sector_bytes != 0:
+            raise ValueError("write must be a whole number of sectors")
+        nsectors = buffer.size // self.sector_bytes
+        unit_sectors = self.layout.stripe_unit_sectors
+        sector_bytes = self.sector_bytes
+        grouped: dict[int, list[tuple[ExtentRun, np.ndarray]]] = {}
+        offset = 0
+        for run in self.layout.map_extent(logical_sector, nsectors):
+            run_bytes = run.nsectors * sector_bytes
+            grouped.setdefault(run.stripe, []).append((run, buffer[offset : offset + run_bytes]))
+            offset += run_bytes
+        for stripe, runs in grouped.items():
+            parity_unit = self.layout.parity_unit(stripe)
+            if parity_unit.disk == failed_disk:
+                # No live parity to maintain; all data units survive.
+                for run, new_data in runs:
+                    self.store.write(run.disk, run.disk_lba, new_data)
+                continue
+            implied = self.reconstruct_data_unit(stripe, failed_disk)
+            for run, new_data in runs:
+                if run.disk == failed_disk:
+                    start = (run.disk_lba - stripe * unit_sectors) * sector_bytes
+                    implied[start : start + new_data.size] = new_data
+                else:
+                    self.store.write(run.disk, run.disk_lba, new_data)
+            parts = [
+                implied
+                if unit.disk == failed_disk
+                else self.store.read_view(unit.disk, unit.disk_lba, unit_sectors)
+                for unit in self.layout.data_units(stripe)
+            ]
+            self.store.write(parity_unit.disk, parity_unit.disk_lba, xor_reduce(parts))
+            self._dirty.pop(stripe, None)
 
     # -- reads -------------------------------------------------------------------------
 
@@ -101,7 +207,7 @@ class FunctionalArray:
         """Read ``nsectors``; reconstructs through a single failed disk.
 
         Raises :class:`DataLostError` where reconstruction is impossible
-        (the stripe was dirty, or more than one disk is gone).
+        (the rows overlapped a dirty slice, or more than one disk is gone).
         """
         pieces: list[np.ndarray] = []
         for run in self.layout.map_extent(logical_sector, nsectors):
@@ -113,8 +219,8 @@ class FunctionalArray:
                 pieces.append(self._reconstruct_run(run))
         return b"".join(piece.tobytes() for piece in pieces)
 
-    def _reconstruct_run(self, run) -> np.ndarray:
-        if run.stripe in self._dirty:
+    def _reconstruct_run(self, run: ExtentRun) -> np.ndarray:
+        if self._run_touches_dirty(run):
             raise DataLostError(
                 f"stripe {run.stripe} was unredundant when disk {run.disk} failed"
             )
@@ -133,10 +239,41 @@ class FunctionalArray:
             raise DataLostError(f"multiple failures cover stripe {run.stripe}") from exc
         return xor_reduce(surviving)
 
+    def reconstruct_data_unit(self, stripe: int, failed_disk: int) -> np.ndarray:
+        """Best-effort bytes of the failed member's data unit in ``stripe``.
+
+        Rows under clean sub-units reconstruct exactly through parity;
+        rows under dirty sub-units were unredundant when the disk died
+        (the loss :meth:`lost_data_bytes` counts) and come back zero-filled.
+        """
+        parity_unit = self.layout.parity_unit(stripe)
+        if parity_unit.disk == failed_disk:
+            raise ValueError(f"disk {failed_disk} holds parity in stripe {stripe}, not data")
+        unit_sectors = self.layout.stripe_unit_sectors
+        sector_bytes = self.sector_bytes
+        implied = np.zeros(unit_sectors * sector_bytes, dtype=np.uint8)
+        dirty = self._dirty.get(stripe, ())
+        survivors = [
+            unit for unit in self.layout.data_units(stripe) if unit.disk != failed_disk
+        ]
+        for sub_unit in range(self.sub_units):
+            if sub_unit in dirty:
+                continue
+            start, count = self._extent(sub_unit)
+            rows = [
+                self.store.read_view(parity_unit.disk, parity_unit.disk_lba + start, count)
+            ]
+            rows.extend(
+                self.store.read_view(unit.disk, unit.disk_lba + start, count)
+                for unit in survivors
+            )
+            implied[start * sector_bytes : (start + count) * sector_bytes] = xor_reduce(rows)
+        return implied
+
     # -- parity maintenance ---------------------------------------------------------------
 
     def scrub_stripe(self, stripe: int) -> None:
-        """Rebuild parity for ``stripe`` from its data units; clear its mark.
+        """Rebuild parity for ``stripe`` from its data units; clear its marks.
 
         This is the AFRAID background parity update: read every data unit,
         xor them, overwrite the parity unit.
@@ -150,7 +287,24 @@ class FunctionalArray:
             ]
         )
         self.store.write(parity_unit.disk, parity_unit.disk_lba, parity)
-        self._dirty.discard(stripe)
+        self._dirty.pop(stripe, None)
+
+    def scrub_sub_unit(self, stripe: int, sub_unit: int) -> None:
+        """Rebuild one horizontal parity slice of ``stripe`` (§5)."""
+        parity_unit = self.layout.parity_unit(stripe)
+        start, count = self._extent(sub_unit)
+        parity = xor_reduce(
+            [
+                self.store.read_view(unit.disk, unit.disk_lba + start, count)
+                for unit in self.layout.data_units(stripe)
+            ]
+        )
+        self.store.write(parity_unit.disk, parity_unit.disk_lba + start, parity)
+        subs = self._dirty.get(stripe)
+        if subs is not None:
+            subs.discard(sub_unit)
+            if not subs:
+                del self._dirty[stripe]
 
     def scrub_all(self) -> int:
         """Scrub every dirty stripe (the mark-memory-failure recovery path:
@@ -183,15 +337,23 @@ class FunctionalArray:
     def lost_data_bytes(self, failed_disk: int) -> int:
         """Bytes of *data* (not parity) unrecoverable after ``failed_disk`` died.
 
-        Exactly the paper's single-disk-failure loss: one stripe unit per
-        dirty stripe — unless the failed disk held that stripe's parity
-        unit, in which case nothing is lost (§3.2).
+        Exactly the paper's single-disk-failure loss: the dirty slices of
+        the one stripe unit per dirty stripe that lived on the failed
+        disk — unless that unit was parity, in which case nothing is lost
+        (§3.2).  With ``sub_units == 1`` a dirty stripe loses the whole
+        unit; with M > 1 only the marked horizontal slices.
         """
         unit_bytes = self.layout.stripe_unit_sectors * self.sector_bytes
         lost = 0
-        for stripe in self._dirty:
-            if self.layout.parity_disk(stripe) != failed_disk:
+        for stripe, subs in self._dirty.items():
+            if self.layout.parity_disk(stripe) == failed_disk:
+                continue
+            if self.sub_units == 1:
                 lost += unit_bytes
+            else:
+                for sub_unit in subs:
+                    _start, count = self._extent(sub_unit)
+                    lost += count * self.sector_bytes
         return lost
 
     def __repr__(self) -> str:

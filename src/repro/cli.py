@@ -596,6 +596,84 @@ def cmd_exposure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Run a deterministic fault campaign (or a multi-seed suite).
+
+    The default spec exercises every fault type lightly; ``--campaign``
+    loads a JSON :class:`~repro.faults.CampaignSpec` instead.  Reports
+    are byte-stable for a given (spec, seed) — rerunning and diffing is
+    the determinism check CI performs.
+    """
+    import json
+
+    from repro.faults import CampaignSpec
+    from repro.harness import run_campaign_suite, write_campaign_reports
+
+    if args.campaign:
+        try:
+            spec = CampaignSpec.from_file(args.campaign)
+        except FileNotFoundError:
+            raise SystemExit(f"--campaign: {args.campaign}: no such file") from None
+        except (ValueError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"--campaign: {args.campaign}: {exc}") from None
+    else:
+        spec = CampaignSpec(
+            disk_failures=1.0, nvram_losses=0.5, latent_errors=1.0, crashes=0.5
+        )
+    seeds = list(range(args.seeds)) if args.seeds else [args.seed]
+    outcome = run_campaign_suite(spec, seeds)
+
+    if args.out:
+        paths = write_campaign_reports(outcome, args.out)
+        if not args.json:
+            print(f"{len(paths)} report file(s) -> {args.out}")
+    if args.json:
+        if len(outcome.reports) == 1:
+            print(outcome.reports[0].to_json(), end="")
+        else:
+            print(outcome.to_json(), end="")
+    else:
+        rows = []
+        for report in outcome.reports:
+            summary = report.payload["summary"]
+            rows.append(
+                [
+                    str(report.seed),
+                    str(summary["segments"]),
+                    str(summary["disk_failures"]),
+                    format_quantity(float(summary["predicted_loss_bytes"]), " B"),
+                    format_quantity(float(summary["actual_loss_bytes"]), " B"),
+                    str(summary["latent_sectors_repaired"]),
+                    str(summary["spares_used"]),
+                    "ok" if report.ok else f"{len(report.violations)} VIOLATIONS",
+                ]
+            )
+        print(
+            format_table(
+                [
+                    "seed", "segments", "failures", "predicted loss",
+                    "actual loss", "LSE repairs", "spares", "invariants",
+                ],
+                rows,
+                title=(
+                    f"fault campaign: {spec.workload} under {spec.policy} "
+                    f"({spec.duration_s:g}s, {len(seeds)} seed(s))"
+                ),
+            )
+        )
+        if not outcome.ok:
+            for report in outcome.reports:
+                for violation in report.violations:
+                    print(
+                        f"seed {report.seed}: {violation['name']} "
+                        f"at t={violation['time_s']:.3f}: "
+                        f"{json.dumps(violation['detail'], sort_keys=True)}"
+                    )
+    if args.fail_on_invariant and not outcome.ok:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="afraid-sim",
@@ -770,6 +848,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 if any SLO rule was ever breached",
     )
     exposure_parser.set_defaults(handler=cmd_exposure)
+
+    faults_parser = commands.add_parser(
+        "faults",
+        help="run a seeded fault campaign with crash-recovery invariant checks",
+    )
+    faults_parser.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
+    faults_parser.add_argument(
+        "--seeds", type=int, default=0, metavar="K",
+        help="run seeds 0..K-1 as a suite instead of a single --seed",
+    )
+    faults_parser.add_argument(
+        "--campaign", default=None, metavar="SPEC.json",
+        help="JSON campaign spec (defaults to a light all-fault-types campaign)",
+    )
+    faults_parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write per-seed JSON reports (plus suite.json) into DIR",
+    )
+    faults_parser.add_argument("--json", action="store_true", help="print the report as JSON")
+    faults_parser.add_argument(
+        "--fail-on-invariant", action="store_true",
+        help="exit 1 if any loss invariant was violated",
+    )
+    faults_parser.set_defaults(handler=cmd_faults)
     return parser
 
 

@@ -17,7 +17,15 @@ The :func:`~repro.disk.models.hp_c3325` factory instantiates the HP C3325
 2 GB 5400 RPM drive the paper's arrays are built from.
 """
 
-from repro.disk.disk import DiskFailedError, DiskIO, DiskStats, IoKind, MechanicalDisk, ServiceBreakdown
+from repro.disk.disk import (
+    DiskFailedError,
+    DiskIO,
+    DiskStats,
+    IoKind,
+    LatentSectorError,
+    MechanicalDisk,
+    ServiceBreakdown,
+)
 from repro.disk.geometry import DiskGeometry, Zone
 from repro.disk.models import c3325_geometry, c3325_seek_model, hp_c3325, toy_disk
 from repro.disk.seek import SeekModel
@@ -28,6 +36,7 @@ __all__ = [
     "DiskIO",
     "DiskStats",
     "IoKind",
+    "LatentSectorError",
     "MechanicalDisk",
     "SeekModel",
     "ServiceBreakdown",

@@ -32,6 +32,21 @@ class DiskFailedError(Exception):
     """An I/O was issued to (or in flight on) a failed disk."""
 
 
+class LatentSectorError(Exception):
+    """A read touched a latent (media-defect) sector.
+
+    Unlike a whole-disk failure the drive stays in service: the read
+    fails after a full mechanical attempt, and a *write* covering the
+    sector heals it (the drive remaps it to a spare), which is how the
+    array's scrub/rebuild machinery repairs latent errors it discovers.
+    """
+
+    def __init__(self, disk_name: str, lbas: list[int]) -> None:
+        super().__init__(f"{disk_name}: unreadable sector(s) {lbas}")
+        self.disk_name = disk_name
+        self.lbas = lbas
+
+
 class DiskIO:
     """One physical disk access: ``nsectors`` starting at ``lba``.
 
@@ -192,6 +207,9 @@ class MechanicalDisk:
         # newest last.  A segment is the tail of a track the drive kept
         # streaming after a host read finished.
         self._segments: list[tuple[int, int]] = []
+        #: Latent (unreadable) sectors; empty on the fault-free path so
+        #: the per-I/O check is a single falsy test.
+        self._latent_errors: set[int] = set()
 
     # -- state -------------------------------------------------------------------
 
@@ -231,6 +249,30 @@ class MechanicalDisk:
     def repair(self) -> None:
         """Return a failed disk to service (contents are NOT restored)."""
         self._failed = False
+
+    # -- latent sector errors --------------------------------------------------------
+
+    def inject_latent_error(self, lba: int) -> None:
+        """Make sector ``lba`` unreadable until something writes over it."""
+        if not 0 <= lba < self.geometry.total_sectors:
+            raise ValueError(f"lba {lba} outside {self.name} ({self.geometry.total_sectors} sectors)")
+        self._latent_errors.add(lba)
+
+    @property
+    def latent_error_count(self) -> int:
+        return len(self._latent_errors)
+
+    @property
+    def latent_error_lbas(self) -> list[int]:
+        """The currently-unreadable sectors, ascending."""
+        return sorted(self._latent_errors)
+
+    def latent_errors_within(self, lba: int, nsectors: int) -> list[int]:
+        """Latent sectors inside [lba, lba + nsectors), ascending."""
+        if not self._latent_errors:
+            return []
+        last = lba + nsectors - 1
+        return sorted(bad for bad in self._latent_errors if lba <= bad <= last)
 
     # -- rotational position -------------------------------------------------------
 
@@ -357,7 +399,16 @@ class MechanicalDisk:
         if now < self._busy_until:
             raise RuntimeError(f"{self.name} is busy until t={self._busy_until:.6f}")
 
-        if io.kind is IoKind.READ and self._readahead_hit(io):
+        bad_lbas: list[int] | None = None
+        if self._latent_errors:
+            if io.kind is IoKind.WRITE:
+                # Writing over a latent sector heals it (drive remap).
+                for lba in self.latent_errors_within(io.lba, io.nsectors):
+                    self._latent_errors.discard(lba)
+            else:
+                bad_lbas = self.latent_errors_within(io.lba, io.nsectors) or None
+
+        if io.kind is IoKind.READ and bad_lbas is None and self._readahead_hit(io):
             # Served from the drive's segment buffer: overhead only.
             self.stats.reads += 1
             self.stats.sectors_read += io.nsectors
@@ -394,7 +445,8 @@ class MechanicalDisk:
         if io.kind is IoKind.READ:
             stats.reads += 1
             stats.sectors_read += io.nsectors
-            self._record_readahead(io)
+            if bad_lbas is None:
+                self._record_readahead(io)
             report_after = total
         else:
             stats.writes += 1
@@ -406,7 +458,12 @@ class MechanicalDisk:
             report_after = overhead if self.immediate_report else total
 
         done = into if into is not None else self.sim.event(name=io.kind.value)
-        return self._schedule_completion(done, breakdown, report_after)
+        done = self._schedule_completion(done, breakdown, report_after)
+        if bad_lbas is not None:
+            # The mechanism made the full attempt (timing and stats above
+            # are real); the completion reports the media error instead.
+            done._exception = LatentSectorError(self.name, bad_lbas)
+        return done
 
     def _schedule_completion(self, done: Event, breakdown: ServiceBreakdown, after: float) -> Event:
         """Queue ``done`` to fire with ``breakdown`` in ``after`` seconds.

@@ -16,7 +16,7 @@ import dataclasses
 import typing
 
 from repro.array.controller import DiskArray
-from repro.disk import DiskIO, IoKind, MechanicalDisk
+from repro.disk import DiskIO, IoKind, LatentSectorError, MechanicalDisk
 from repro.sched import DiskDriver, FcfsScheduler
 from repro.sim import AllOf, Event, Simulator
 
@@ -74,6 +74,23 @@ class RebuildManager:
                 "disk_failed", track="rebuild", category="fault",
                 disk=disk_index, dirty_stripes=array.dirty_stripe_count,
             )
+        return self.rebuild_onto(disk_index, spare)
+
+    def rebuild_onto(self, disk_index: int, spare: MechanicalDisk) -> Event:
+        """Rebuild an *already failed*, degraded member onto ``spare``.
+
+        The half of :meth:`fail_and_rebuild` after the failure itself —
+        what a repair technician (or the fault-campaign engine, some
+        repair delay after an injected failure) triggers.  Returns an
+        event that fires when the array is whole again.
+        """
+        array = self.array
+        if array.degraded_disk != disk_index:
+            raise ValueError(
+                f"array is degraded on {array.degraded_disk}, not disk {disk_index}"
+            )
+        if spare.geometry.total_sectors < array.layout.disk_sectors:
+            raise ValueError("spare is smaller than the failed member")
         done = self.sim.event(name=f"{array.name}.rebuilt")
         self.sim.process(self._rebuild(disk_index, spare, done), name=f"{array.name}.rebuild")
         return done
@@ -91,17 +108,31 @@ class RebuildManager:
                     yield self.sim.timeout(array.detector.threshold_s)
             stripe_started = self.sim.now
             # Read every surviving unit of the stripe (data + parity live
-            # on the survivors; the lost unit is their xor).
-            reads = []
-            for member in range(array.ndisks):
-                if member == disk_index:
-                    continue
-                reads.append(
-                    array.drivers[member].submit(
-                        DiskIO(IoKind.READ, stripe * unit_sectors, unit_sectors)
+            # on the survivors; the lost unit is their xor).  A latent
+            # sector error on a survivor is repaired in place (rewrite)
+            # and the stripe retried, scrubber-style.
+            attempts = 0
+            while True:
+                reads = []
+                for member in range(array.ndisks):
+                    if member == disk_index:
+                        continue
+                    reads.append(
+                        array.drivers[member].submit(
+                            DiskIO(IoKind.READ, stripe * unit_sectors, unit_sectors)
+                        )
                     )
-                )
-            yield AllOf(self.sim, reads)
+                try:
+                    yield AllOf(self.sim, reads)
+                except LatentSectorError:
+                    attempts += 1
+                    if attempts > 3:
+                        raise
+                    yield from array._repair_latent_extent(
+                        stripe * unit_sectors, unit_sectors
+                    )
+                    continue
+                break
             yield spare_driver.submit(DiskIO(IoKind.WRITE, stripe * unit_sectors, unit_sectors))
             self.stats.stripes_rebuilt += 1
             if self.registry is not None:
@@ -140,32 +171,30 @@ class RebuildManager:
     def _rebuild_functional(self, disk_index: int) -> None:
         """Regenerate the replaced disk's bytes in the functional twin.
 
-        Clean stripes reconstruct their lost unit exactly (while the
-        failed disk is still marked failed, so reads take the parity
-        path); stripes that were dirty at failure time lost that unit for
-        good — it comes back zero-filled and parity is recomputed, so the
-        twin stays internally consistent for later failures.
+        Clean rows reconstruct the lost unit exactly through parity —
+        sub-unit aware, so a partially dirty stripe still recovers its
+        clean slices; rows under dirty marks lost that unit for good and
+        come back zero-filled, with parity recomputed so the twin stays
+        internally consistent for later failures.
         """
         functional = self.array.functional
         assert functional is not None
         layout = functional.layout
-        nsectors = layout.stripe_unit_sectors
+        unit_sectors = layout.stripe_unit_sectors
 
         # Phase 1: reconstruct what parity can express, before replacing.
-        recovered: dict[int, bytes] = {}  # disk_lba -> unit contents
+        recovered: dict[int, object] = {}  # disk_lba -> unit contents
         needs_parity_rebuild: list[int] = []
         for stripe in range(layout.nstripes):
-            if stripe in functional.dirty_stripes:
-                needs_parity_rebuild.append(stripe)  # lost unit unrecoverable
-                continue
             parity = layout.parity_unit(stripe)
             if parity.disk == disk_index:
                 needs_parity_rebuild.append(stripe)  # only parity was lost
                 continue
-            for unit in layout.data_units(stripe):
-                if unit.disk == disk_index:
-                    logical = layout.logical_sector_of_unit(stripe, unit.unit_index)
-                    recovered[unit.disk_lba] = functional.read(logical, nsectors)
+            if functional.dirty_sub_units(stripe):
+                needs_parity_rebuild.append(stripe)  # dirty slices zero-fill
+            recovered[stripe * unit_sectors] = functional.reconstruct_data_unit(
+                stripe, disk_index
+            )
 
         # Phase 2: install the fresh disk and write everything back.
         functional.store.replace(disk_index)

@@ -1,0 +1,47 @@
+"""Fault injection, seeded fault campaigns, and loss-invariant checking.
+
+``repro.faults`` grew from a single injector module into a subsystem:
+
+* :mod:`repro.faults.injector` — point faults (disk deaths, NVRAM loss,
+  latent sector errors) against a live array, plus the eq.-(4) loss
+  predictor;
+* :mod:`repro.faults.invariants` — the paper's §3 loss claims as
+  machine-checked assertions against the functional twin;
+* :mod:`repro.faults.campaign` — deterministic seeded campaigns that
+  compose the two with crash/power-loss segmentation, spare-pool
+  repairs, and byte-stable JSON reports.
+"""
+
+from repro.faults.campaign import (
+    CampaignReport,
+    CampaignSpec,
+    FaultCampaign,
+    FaultEvent,
+    run_campaign,
+)
+from repro.faults.injector import (
+    DiskFailureReport,
+    FaultInjector,
+    SkippedStrike,
+    predicted_loss_bytes,
+)
+from repro.faults.invariants import (
+    InvariantChecker,
+    InvariantResult,
+    InvariantViolation,
+)
+
+__all__ = [
+    "CampaignReport",
+    "CampaignSpec",
+    "DiskFailureReport",
+    "FaultCampaign",
+    "FaultEvent",
+    "FaultInjector",
+    "InvariantChecker",
+    "InvariantResult",
+    "InvariantViolation",
+    "SkippedStrike",
+    "predicted_loss_bytes",
+    "run_campaign",
+]

@@ -1,0 +1,228 @@
+"""Fault injection: disk deaths, marking-memory loss, latent sectors.
+
+These exercise the failure modes §3 analyses:
+
+* a **single disk failure** while stripes are dirty loses exactly the
+  dirty slices of one stripe unit per dirty stripe (unless the lost unit
+  was parity);
+* a **marking-memory failure** forces a conservative whole-array parity
+  rebuild (§3.1);
+* a **latent sector error** makes one sector unreadable until the
+  scrubber (or any write) heals it by rewriting.
+
+Injectors operate on arrays built with a functional twin
+(``with_functional=True``), so losses are measured in actual bytes, not
+just predicted by the formulas — letting tests check formula against fact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.array.controller import DiskArray
+from repro.nvram import sub_unit_extent
+from repro.sim import Simulator
+
+if typing.TYPE_CHECKING:  # pragma: no cover - optional observability
+    from repro.obs import MetricsRegistry, Tracer
+
+
+@dataclasses.dataclass(frozen=True)
+class DiskFailureReport:
+    """What a single injected disk failure cost."""
+
+    disk: int
+    at_time: float
+    dirty_stripes_at_failure: int
+    parity_lag_bytes_at_failure: float
+    lost_data_bytes: int
+    #: The eq.-(4) prediction captured from the NVRAM marks in the same
+    #: instant, before the twin was destroyed — what the invariant
+    #: checker compares ``lost_data_bytes`` against.
+    predicted_loss_bytes: int = 0
+
+    @property
+    def any_loss(self) -> bool:
+        return self.lost_data_bytes > 0
+
+
+@dataclasses.dataclass(frozen=True)
+class SkippedStrike:
+    """A disk-failure injection that found no healthy target."""
+
+    disk: int
+    at_time: float
+    reason: str
+
+
+class FaultInjector:
+    """Schedules failures against one array."""
+
+    def __init__(self, sim: Simulator, array: DiskArray) -> None:
+        self.sim = sim
+        self.array = array
+        self.reports: list[DiskFailureReport] = []
+        self.skipped: list[SkippedStrike] = []
+        #: Optional fault-event tracer and metrics registry; both inherit
+        #: whatever the array has at construction time, overridable after.
+        self.tracer: "Tracer | None" = array.tracer
+        self.registry: "MetricsRegistry | None" = array.registry
+
+    def fail_disk_at(self, disk: int, at_time: float) -> None:
+        """Kill member ``disk`` at simulated time ``at_time``.
+
+        The mechanical disk starts erroring, the array drops into
+        degraded mode (reads reconstruct through parity, exactly as after
+        :meth:`repro.ext.rebuild.RebuildManager.fail_and_rebuild`), and,
+        if a functional twin is attached, its contents are destroyed; a
+        loss report with the matching eq.-(4) prediction is recorded.
+
+        A strike against an already-failed member — or while the array is
+        already degraded, where a second failure would not be survivable
+        and double-destroying the twin would fabricate a second loss
+        report — is a no-op recorded in :attr:`skipped` with a traced
+        warning.
+        """
+        if not 0 <= disk < self.array.ndisks:
+            raise ValueError(f"disk {disk} out of range")
+        if at_time < self.sim.now:
+            raise ValueError("cannot schedule a failure in the past")
+
+        def strike(_event) -> None:
+            array = self.array
+            if array.disks[disk].failed or array.degraded_disk is not None:
+                reason = (
+                    f"disk {disk} already failed"
+                    if array.disks[disk].failed
+                    else f"array already degraded on disk {array.degraded_disk}"
+                )
+                self.skipped.append(SkippedStrike(disk=disk, at_time=self.sim.now, reason=reason))
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "disk_failure_skipped", track="faults", category="fault",
+                        disk=disk, reason=reason,
+                    )
+                if self.registry is not None:
+                    self.registry.counter(
+                        "disk_failures_skipped_total",
+                        "disk-failure injections dropped on an unhealthy target",
+                    ).inc()
+                return
+            predicted = predicted_loss_bytes(array, disk)
+            array.disks[disk].fail()
+            dirty = array.dirty_stripe_count
+            lag = array.parity_lag_bytes
+            lost = 0
+            if array.functional is not None:
+                lost = array.functional.lost_data_bytes(disk)
+                array.functional.fail_disk(disk)
+            array.enter_degraded(disk)
+            self.reports.append(
+                DiskFailureReport(
+                    disk=disk,
+                    at_time=self.sim.now,
+                    dirty_stripes_at_failure=dirty,
+                    parity_lag_bytes_at_failure=lag,
+                    lost_data_bytes=lost,
+                    predicted_loss_bytes=predicted,
+                )
+            )
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "disk_failure", track="faults", category="fault",
+                    disk=disk, dirty=dirty, lag_bytes=lag, lost_bytes=lost,
+                )
+            if self.registry is not None:
+                self.registry.counter(
+                    "disk_failures_total", "injected member-disk failures"
+                ).inc()
+
+        self.sim.timeout(at_time - self.sim.now, name=f"fail.d{disk}").add_callback(strike)
+
+    def fail_mark_memory_at(self, at_time: float, auto_recover: bool = True) -> None:
+        """Lose the NVRAM marks at ``at_time``.
+
+        With ``auto_recover`` the array immediately starts the §3.1
+        recovery: mark everything, rebuild parity array-wide.
+        """
+        if at_time < self.sim.now:
+            raise ValueError("cannot schedule a failure in the past")
+
+        def strike(_event) -> None:
+            self.array.marks.fail()
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "nvram_failure", track="faults", category="fault",
+                    auto_recover=auto_recover,
+                )
+            if self.registry is not None:
+                self.registry.counter(
+                    "nvram_failures_total", "injected marking-memory failures"
+                ).inc()
+            if auto_recover:
+                self.array.recover_mark_memory()
+
+        self.sim.timeout(at_time - self.sim.now, name="fail.nvram").add_callback(strike)
+
+    def inject_latent_error_at(self, disk: int, lba: int, at_time: float) -> None:
+        """Flip sector ``lba`` of member ``disk`` unreadable at ``at_time``.
+
+        A no-op (with a traced warning) if the member has already failed
+        outright by then — a dead disk has no individually bad sectors.
+        """
+        if not 0 <= disk < self.array.ndisks:
+            raise ValueError(f"disk {disk} out of range")
+        if at_time < self.sim.now:
+            raise ValueError("cannot schedule a failure in the past")
+
+        def strike(_event) -> None:
+            target = self.array.disks[disk]
+            if target.failed:
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "latent_error_skipped", track="faults", category="fault",
+                        disk=disk, lba=lba,
+                    )
+                return
+            target.inject_latent_error(lba)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "latent_error", track="faults", category="fault",
+                    disk=disk, lba=lba,
+                )
+            if self.registry is not None:
+                self.registry.counter(
+                    "latent_errors_total", "injected latent sector errors"
+                ).inc()
+
+        self.sim.timeout(at_time - self.sim.now, name=f"lse.d{disk}").add_callback(strike)
+
+
+def predicted_loss_bytes(array: DiskArray, failed_disk: int) -> int:
+    """Eq.-(4)-style prediction of loss for a failure of ``failed_disk`` now.
+
+    Per NVRAM mark whose stripe's parity does *not* live on the failed
+    disk: the marked slice of one stripe unit.  With one bit per stripe
+    that is a whole stripe unit per dirty stripe (the paper's headline
+    rate); with ``bits_per_stripe = M > 1`` each mark contributes only
+    its 1/M horizontal slice.  Compare with
+    :class:`DiskFailureReport.lost_data_bytes` (the functional twin's
+    ground truth).
+    """
+    layout = array.layout
+    bits = array.marks.bits_per_stripe
+    if bits == 1:
+        return array.unit_bytes * sum(
+            1
+            for stripe in array.marks.marked_stripes
+            if layout.parity_disk(stripe) != failed_disk
+        )
+    unit_sectors = layout.stripe_unit_sectors
+    sector_bytes = array.sector_bytes
+    lost = 0
+    for stripe, sub_unit in array.marks.marks_in_order():
+        if layout.parity_disk(stripe) != failed_disk:
+            _start, count = sub_unit_extent(sub_unit, unit_sectors, bits)
+            lost += count * sector_bytes
+    return lost

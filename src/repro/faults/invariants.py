@@ -1,0 +1,162 @@
+"""Machine-checked loss invariants: the paper's §3 claims as assertions.
+
+After every injected fault event the campaign engine asks this checker
+to compare what the array *says* (NVRAM marks, the eq.-(4) prediction)
+with what the functional twin *proves* (actual unrecoverable bytes):
+
+* ``disk_failure_loss``: actual lost bytes equal the sub-unit-aware
+  prediction captured in the same instant — or are bounded above by it
+  while the marks are deliberately conservative (after an NVRAM loss or
+  a rebuild, when marked stripes may in fact be consistent);
+* ``zero_loss_when_clean``: no dirty stripes at failure time ⇒ zero loss;
+* ``nvram_remark``: a marking-memory loss re-marks the *whole* array
+  (§3.1's conservative recovery);
+* ``marks_cover_twin``: every stale-parity slice the twin knows about is
+  marked in NVRAM (marks may over-approximate, never under-approximate);
+* ``recovery_complete`` / ``parity_audit``: after recovery drains, no
+  marks remain and every clean stripe's parity xor-checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.array.controller import DiskArray
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import DiskFailureReport
+
+
+class InvariantViolation(AssertionError):
+    """A checked invariant did not hold."""
+
+
+@dataclasses.dataclass(frozen=True)
+class InvariantResult:
+    """One evaluated invariant."""
+
+    name: str
+    ok: bool
+    time_s: float
+    detail: dict
+
+    def as_payload(self) -> dict:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "time_s": self.time_s,
+            "detail": self.detail,
+        }
+
+
+class InvariantChecker:
+    """Evaluates the loss invariants against one array + twin."""
+
+    def __init__(self, array: DiskArray, fail_fast: bool = False) -> None:
+        if array.functional is None:
+            raise ValueError("invariant checking needs an array with a functional twin")
+        self.array = array
+        self.fail_fast = fail_fast
+        self.results: list[InvariantResult] = []
+
+    @property
+    def violations(self) -> list[InvariantResult]:
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def _record(self, name: str, ok: bool, **detail) -> InvariantResult:
+        result = InvariantResult(name=name, ok=bool(ok), time_s=self.array.sim.now, detail=detail)
+        self.results.append(result)
+        if not ok and self.fail_fast:
+            raise InvariantViolation(f"{name} at t={result.time_s:.6f}: {detail}")
+        return result
+
+    # -- per-event checks ---------------------------------------------------------
+
+    def check_disk_failure(
+        self, report: "DiskFailureReport", conservative: bool = False
+    ) -> None:
+        """Actual loss equals (or, conservatively, is bounded by) prediction."""
+        predicted = report.predicted_loss_bytes
+        actual = report.lost_data_bytes
+        if conservative:
+            # The marks over-approximate (post-NVRAM-loss remark, or
+            # post-rebuild debt the scrubber has not drained): the
+            # prediction is an upper bound, not an equality.
+            ok = actual <= predicted
+        else:
+            ok = actual == predicted
+        self._record(
+            "disk_failure_loss", ok,
+            disk=report.disk, predicted_bytes=predicted, actual_bytes=actual,
+            conservative=conservative,
+        )
+        if report.dirty_stripes_at_failure == 0:
+            self._record(
+                "zero_loss_when_clean", actual == 0,
+                disk=report.disk, actual_bytes=actual,
+            )
+
+    def check_nvram_remark(self) -> None:
+        """§3.1: after losing the marks, *everything* must be marked."""
+        marks = self.array.marks
+        expected = marks.nstripes * marks.bits_per_stripe
+        self._record(
+            "nvram_remark", marks.count == expected,
+            marks=marks.count, expected=expected,
+        )
+
+    def check_marks_cover_twin(self) -> None:
+        """NVRAM marks must be a superset of the twin's stale slices."""
+        functional = self.array.functional
+        marks = self.array.marks
+        uncovered = 0
+        for stripe in functional.dirty_stripes:
+            for sub_unit in functional.dirty_sub_units(stripe):
+                if not marks.is_marked(stripe, sub_unit):
+                    uncovered += 1
+        self._record("marks_cover_twin", uncovered == 0, uncovered=uncovered)
+
+    def check_latent_detected(self, disk: int, lba: int, detected: bool) -> None:
+        """A read touching a latent sector must surface the media error."""
+        self._record("latent_error_detected", detected, disk=disk, lba=lba)
+
+    def check_latent_repair(
+        self, disk: int, lba: int, healed: bool, stripe: int, recoverable: bool
+    ) -> None:
+        """A rewrite must heal the sector (content is exact iff the rows
+        were clean — a dirty row's content is the AFRAID exposure)."""
+        self._record(
+            "latent_error_healed", healed,
+            disk=disk, lba=lba, stripe=stripe, recoverable=recoverable,
+        )
+
+    # -- whole-array checks -------------------------------------------------------
+
+    def check_recovery_complete(self) -> None:
+        """After a recovery scan drains: no parity debt left anywhere."""
+        marks = self.array.marks
+        self._record("recovery_complete", marks.count == 0, marks=marks.count)
+
+    def check_parity_audit(self) -> bool:
+        """Every twin-clean stripe's parity must xor-check exactly.
+
+        Only meaningful while no member of the twin's store is failed
+        (reads of a failed member raise); returns False without recording
+        anything when the audit cannot run.
+        """
+        functional = self.array.functional
+        if functional.store.failed_disks:
+            return False
+        bad = 0
+        for stripe in range(functional.layout.nstripes):
+            if functional.dirty_sub_units(stripe):
+                continue
+            if not functional.parity_consistent(stripe):
+                bad += 1
+        self._record("parity_audit", bad == 0, inconsistent_clean_stripes=bad)
+        return True

@@ -6,6 +6,11 @@ to the paper's metrics — mean I/O time, parity-lag statistics, and the
 derived MTTDL / MDLR figures.
 """
 
+from repro.harness.campaign import (
+    CampaignSuiteOutcome,
+    run_campaign_suite,
+    write_campaign_reports,
+)
 from repro.harness.experiment import ExperimentResult, run_experiment
 from repro.harness.figures import ascii_bars, ascii_scatter, ascii_series
 from repro.harness.replay import gather, replay_trace
@@ -33,6 +38,7 @@ from repro.harness.tables import format_quantity, format_table
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "DEFAULT_MTTDL_TARGETS",
+    "CampaignSuiteOutcome",
     "CellSpec",
     "ExperimentResult",
     "PolicyLadderEntry",
@@ -51,8 +57,10 @@ __all__ = [
     "merged_histograms",
     "policy_ladder",
     "replay_trace",
+    "run_campaign_suite",
     "run_cells",
     "run_experiment",
     "run_policy_grid",
     "tradeoff_curve",
+    "write_campaign_reports",
 ]

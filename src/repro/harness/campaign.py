@@ -1,0 +1,80 @@
+"""Multi-seed fault-campaign suites with per-seed JSON reports.
+
+The chaos-smoke CI job (and ``afraid-sim faults --seeds K``) drives this:
+run the same :class:`~repro.faults.CampaignSpec` under many seeds, collect
+every report, and write one byte-stable JSON file per seed plus a suite
+summary — rerunning the same (spec, seeds) must reproduce the files
+byte-for-byte, which CI checks with ``cmp``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+from repro.faults import CampaignReport, CampaignSpec, run_campaign
+
+
+@dataclasses.dataclass
+class CampaignSuiteOutcome:
+    """Every report a multi-seed campaign suite produced."""
+
+    spec: CampaignSpec
+    reports: list[CampaignReport]
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.reports)
+
+    @property
+    def failing_seeds(self) -> list[int]:
+        return [report.seed for report in self.reports if not report.ok]
+
+    def summary_payload(self) -> dict:
+        """The suite roll-up (written as ``suite.json`` next to the seeds)."""
+        totals = {
+            "disk_failures": 0,
+            "skipped_strikes": 0,
+            "predicted_loss_bytes": 0,
+            "actual_loss_bytes": 0,
+            "latent_sectors_repaired": 0,
+            "spares_used": 0,
+        }
+        for report in self.reports:
+            summary = report.payload["summary"]
+            for key in totals:
+                totals[key] += summary[key]
+        return {
+            "spec": self.spec.to_dict(),
+            "seeds": [report.seed for report in self.reports],
+            "ok": self.ok,
+            "failing_seeds": self.failing_seeds,
+            "totals": totals,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.summary_payload(), indent=2, sort_keys=True) + "\n"
+
+
+def run_campaign_suite(spec: CampaignSpec, seeds: list[int]) -> CampaignSuiteOutcome:
+    """Run ``spec`` once per seed (sequentially: campaigns are cheap and
+    determinism reviews are easier without any scheduling jitter)."""
+    return CampaignSuiteOutcome(
+        spec=spec, reports=[run_campaign(spec, seed) for seed in seeds]
+    )
+
+
+def write_campaign_reports(outcome: CampaignSuiteOutcome, directory) -> list[pathlib.Path]:
+    """Write ``seed-NNN.json`` per report plus ``suite.json``; returns paths."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[pathlib.Path] = []
+    for report in outcome.reports:
+        path = directory / f"seed-{report.seed:03d}.json"
+        path.write_text(report.to_json(), encoding="utf-8")
+        written.append(path)
+    suite = directory / "suite.json"
+    suite.write_text(outcome.to_json(), encoding="utf-8")
+    written.append(suite)
+    return written

@@ -16,6 +16,41 @@ per GB stored, matching the paper's figure (:meth:`MarkMemory.size_bits`).
 
 from __future__ import annotations
 
+import typing
+
+
+def sub_unit_extent(sub_unit: int, unit_sectors: int, bits: int) -> tuple[int, int]:
+    """(start sector within the unit, sector count) of one marking sub-unit.
+
+    Sub-units divide the stripe-unit *height* (§5): with M bits per
+    stripe, bit k covers rows [k·U/M, (k+1)·U/M) of every unit in the
+    stripe.  Integer arithmetic so consecutive extents tile the unit
+    exactly; the companion :func:`sub_unit_of` uses the same boundaries.
+    """
+    start = sub_unit * unit_sectors // bits
+    end = (sub_unit + 1) * unit_sectors // bits
+    return start, max(1, end - start)
+
+
+def sub_unit_of(row: int, unit_sectors: int, bits: int) -> int:
+    """The marking sub-unit covering ``row`` (a sector offset within a unit).
+
+    Exact inverse of the :func:`sub_unit_extent` tiling: the smallest k
+    with ``(k+1)·U//M > row``, clamped for the degenerate M > U case.
+    """
+    return min(((row + 1) * bits - 1) // unit_sectors, bits - 1)
+
+
+def sub_units_overlapping(
+    start_row: int, nsectors: int, unit_sectors: int, bits: int
+) -> range:
+    """The sub-units a row span [start_row, start_row + nsectors) touches."""
+    if bits == 1:
+        return range(0, 1)
+    first = sub_unit_of(start_row, unit_sectors, bits)
+    last = sub_unit_of(start_row + nsectors - 1, unit_sectors, bits)
+    return range(first, last + 1)
+
 
 class MarkMemoryFailedError(Exception):
     """The marking memory was accessed after failing."""
@@ -126,6 +161,19 @@ class MarkMemory:
         self._check_alive()
         subs = self._per_stripe.get(stripe)
         return [] if subs is None else list(subs)
+
+    # -- persistence (crash simulation) ----------------------------------------------
+
+    def snapshot(self) -> list[tuple[int, int]]:
+        """All (stripe, sub_unit) marks, oldest first — NVRAM survives a
+        power loss, so a crash-restart restores exactly this list."""
+        self._check_alive()
+        return list(self._marks)
+
+    def restore(self, marks: typing.Iterable[tuple[int, int]]) -> None:
+        """Re-apply a :meth:`snapshot` (insertion order preserved)."""
+        for stripe, sub_unit in marks:
+            self.mark(stripe, sub_unit)
 
     # -- sizing (the paper's cost argument) ----------------------------------------------
 

@@ -27,6 +27,7 @@ REQUEST_CLASSES: tuple[str, ...] = (
     "client_read",
     "client_write",
     "degraded_read",
+    "degraded_write",
     "scrub",
     "rebuild",
 )

@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.disk import DiskFailedError, DiskIO, MechanicalDisk
+from repro.disk import DiskFailedError, DiskIO, LatentSectorError, MechanicalDisk
 from repro.sched.queues import FcfsScheduler, IoScheduler
 from repro.sim import Event, Simulator
 from repro.sim.events import _PENDING
@@ -119,8 +119,11 @@ class DiskDriver:
                     # event): the pump waits on the same event it hands to
                     # the submitter.
                     yield disk.execute(io, completion)
-                except DiskFailedError:
-                    # ``completion`` was already failed by the disk.
+                except (DiskFailedError, LatentSectorError):
+                    # ``completion`` was already failed by the disk.  A
+                    # latent sector error fails only this command — the
+                    # mechanism made the full (timed) attempt and the
+                    # drive keeps serving the queue.
                     stats.failed += 1
                     if tracer is not None:
                         tracer.instant(

@@ -1,0 +1,121 @@
+"""Sub-unit (§5 bits_per_stripe > 1) semantics of the functional twin."""
+
+import pytest
+
+from repro.blocks import DataLostError, FunctionalArray
+from repro.layout import Raid5Layout
+
+SECTOR = 32
+
+
+def make_array(ndisks=5, unit=8, disk_sectors=80, sub_units=4):
+    layout = Raid5Layout(ndisks=ndisks, stripe_unit_sectors=unit, disk_sectors=disk_sectors)
+    return FunctionalArray(layout, sector_bytes=SECTOR, sub_units=sub_units)
+
+
+def payload(nsectors, seed=1):
+    return bytes((seed * 37 + i) % 256 for i in range(nsectors * SECTOR))
+
+
+class TestSubUnitDirtyTracking:
+    def test_small_write_dirties_one_sub_unit(self):
+        array = make_array()
+        array.write(0, payload(1), update_parity=False)
+        assert array.dirty_stripes == frozenset({0})
+        assert array.dirty_sub_units(0) == frozenset({0})
+
+    def test_write_at_unit_end_dirties_last_sub_unit(self):
+        array = make_array()
+        array.write(7, payload(1), update_parity=False)  # last sector of unit 0
+        assert array.dirty_sub_units(0) == frozenset({3})
+
+    def test_spanning_write_dirties_multiple_sub_units(self):
+        array = make_array()
+        array.write(0, payload(8), update_parity=False)  # a whole unit
+        assert array.dirty_sub_units(0) == frozenset({0, 1, 2, 3})
+
+    def test_parity_lag_scales_with_sub_units(self):
+        array = make_array()
+        array.write(0, payload(1), update_parity=False)
+        one_slice = array.parity_lag_bytes
+        array.write(2, payload(1), update_parity=False)  # second sub-unit
+        assert array.parity_lag_bytes == 2 * one_slice
+
+
+class TestSubUnitScrub:
+    def test_scrub_sub_unit_clears_only_its_slice(self):
+        array = make_array()
+        array.write(0, payload(8), update_parity=False)
+        array.scrub_sub_unit(0, 1)
+        assert array.dirty_sub_units(0) == frozenset({0, 2, 3})
+        for sub in (0, 2, 3):
+            array.scrub_sub_unit(0, sub)
+        assert array.dirty_stripes == frozenset()
+        assert array.parity_consistent(0)
+
+    def test_scrubbed_stripe_survives_failure(self):
+        array = make_array()
+        array.write(0, payload(8), update_parity=False)
+        for sub in range(4):
+            array.scrub_sub_unit(0, sub)
+        data_disk = array.layout.data_units(0)[0].disk
+        array.fail_disk(data_disk)
+        assert array.read(0, 8) == payload(8)
+
+
+class TestSubUnitLoss:
+    def test_lost_bytes_counts_only_dirty_slices(self):
+        array = make_array()
+        array.write(0, payload(1), update_parity=False)  # one sub-unit dirty
+        unit_bytes = array.layout.stripe_unit_sectors * SECTOR
+        data_disk = array.layout.data_units(0)[0].disk
+        lost = array.lost_data_bytes(data_disk)
+        assert 0 < lost < unit_bytes
+        assert lost == 2 * SECTOR  # ceil(8/4) = 2 sectors per slice
+
+    def test_parity_disk_failure_loses_nothing(self):
+        array = make_array()
+        array.write(0, payload(1), update_parity=False)
+        parity_disk = array.layout.parity_disk(0)
+        assert array.lost_data_bytes(parity_disk) == 0
+
+    def test_clean_slices_recoverable_after_failure(self):
+        array = make_array()
+        full = payload(8, seed=3)
+        array.write(0, full)  # parity kept fresh
+        array.write(0, payload(2, seed=5), update_parity=False)  # dirty sub 0
+        data_disk = array.layout.data_units(0)[0].disk
+        recovered = array.reconstruct_data_unit(0, data_disk)
+        # Sub-unit 0 (sectors 0-1) zero-filled, rest reconstructed.
+        assert bytes(recovered[: 2 * SECTOR]) == b"\x00" * 2 * SECTOR
+        assert bytes(recovered[2 * SECTOR :]) == full[2 * SECTOR :]
+
+    def test_dirty_read_after_failure_raises(self):
+        array = make_array()
+        array.write(0, payload(2), update_parity=False)
+        data_disk = array.layout.data_units(0)[0].disk
+        array.fail_disk(data_disk)
+        with pytest.raises(DataLostError):
+            array.read(0, 2)
+
+
+class TestDegradedWrites:
+    def test_degraded_write_refreshes_parity_and_clears_dirt(self):
+        array = make_array()
+        array.write(0, payload(8, seed=2), update_parity=False)
+        failed = array.layout.data_units(0)[1].disk  # survivor holds our data
+        array.fail_disk(failed)
+        # A degraded full-stripe write reconstructs the failed unit and
+        # writes fresh parity: the stripe ends consistent.
+        stripe_sectors = array.layout.stripe_data_sectors
+        array.write_degraded(0, payload(stripe_sectors, seed=9), failed)
+        assert array.dirty_sub_units(0) == frozenset()
+
+    def test_degraded_write_to_parity_failed_stripe_keeps_dirt(self):
+        array = make_array()
+        array.write(0, payload(2), update_parity=False)
+        parity_disk = array.layout.parity_disk(0)
+        array.fail_disk(parity_disk)
+        array.write_degraded(0, payload(2, seed=4), parity_disk)
+        # No parity to refresh: staleness bookkeeping is untouched.
+        assert array.dirty_sub_units(0) == frozenset({0})

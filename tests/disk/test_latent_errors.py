@@ -1,0 +1,114 @@
+"""Latent sector errors on the mechanical disk and their repair paths."""
+
+import pytest
+
+from repro.array import toy_array
+from repro.array.request import ArrayRequest
+from repro.disk import DiskIO, IoKind, LatentSectorError, toy_disk
+from repro.policy import NeverScrubPolicy
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestDiskLevel:
+    def test_read_of_latent_sector_fails_with_media_error(self, sim):
+        disk = toy_disk(sim)
+        disk.inject_latent_error(100)
+        done = disk.execute(DiskIO(IoKind.READ, 96, 8))
+        with pytest.raises(LatentSectorError) as excinfo:
+            sim.run_until_triggered(done)
+        assert excinfo.value.lbas == [100]
+        assert excinfo.value.disk_name == disk.name
+
+    def test_read_elsewhere_is_unaffected(self, sim):
+        disk = toy_disk(sim)
+        disk.inject_latent_error(100)
+        done = disk.execute(DiskIO(IoKind.READ, 0, 8))
+        sim.run_until_triggered(done)  # no exception
+
+    def test_failed_read_takes_full_mechanical_time(self, sim):
+        clean = toy_disk(sim)
+        done = clean.execute(DiskIO(IoKind.READ, 96, 8))
+        breakdown = sim.run_until_triggered(done)
+        healthy_time = breakdown.total
+
+        sim2 = Simulator()
+        sick = toy_disk(sim2)
+        sick.inject_latent_error(100)
+        done = sick.execute(DiskIO(IoKind.READ, 96, 8))
+        with pytest.raises(LatentSectorError):
+            sim2.run_until_triggered(done)
+        # The drive made the full attempt before reporting the error.
+        assert sim2.now == pytest.approx(healthy_time)
+
+    def test_write_heals_the_sector(self, sim):
+        disk = toy_disk(sim)
+        disk.inject_latent_error(100)
+        done = disk.execute(DiskIO(IoKind.WRITE, 96, 8))
+        sim.run_until_triggered(done)
+        assert disk.latent_error_count == 0
+        done = disk.execute(DiskIO(IoKind.READ, 96, 8))
+        sim.run_until_triggered(done)  # readable again
+
+    def test_injection_validates_lba(self, sim):
+        disk = toy_disk(sim)
+        with pytest.raises(ValueError):
+            disk.inject_latent_error(disk.geometry.total_sectors)
+
+    def test_latent_errors_within(self, sim):
+        disk = toy_disk(sim)
+        disk.inject_latent_error(10)
+        disk.inject_latent_error(20)
+        assert disk.latent_errors_within(0, 15) == [10]
+        assert disk.latent_errors_within(0, 32) == [10, 20]
+        assert disk.latent_errors_within(11, 5) == []
+
+    def test_failed_lse_read_does_not_populate_readahead(self, sim):
+        disk = toy_disk(sim)
+        disk.inject_latent_error(100)
+        done = disk.execute(DiskIO(IoKind.READ, 96, 8))
+        with pytest.raises(LatentSectorError):
+            sim.run_until_triggered(done)
+        # A readahead hit would serve the bad sector from cache; the
+        # failed read must not have recorded a segment.
+        assert not disk._segments
+
+
+class TestScrubRepair:
+    def test_scrubber_repairs_latent_sector_and_completes(self):
+        sim = Simulator()
+        array = toy_array(sim)  # baseline AFRAID: scrubs when idle
+        stride = array.layout.stripe_data_sectors
+        done = array.submit(ArrayRequest(IoKind.WRITE, 0, 4))
+        sim.run_until_triggered(done)
+        assert array.marks.count == 1
+        # Plant a media error inside the dirty stripe on a data disk the
+        # scrubber must read.
+        victim = array.layout.data_units(0)[0]
+        array.disks[victim.disk].inject_latent_error(victim.disk_lba + 1)
+        sim.run(until=sim.now + 5.0)  # idle: the scrubber kicks in
+        assert array.marks.count == 0
+        assert array.latent_sectors_repaired == 1
+        assert array.disks[victim.disk].latent_error_count == 0
+
+    def test_repair_counter_stays_zero_without_errors(self):
+        sim = Simulator()
+        array = toy_array(sim)
+        done = array.submit(ArrayRequest(IoKind.WRITE, 0, 4))
+        sim.run_until_triggered(done)
+        sim.run(until=sim.now + 5.0)
+        assert array.latent_sectors_repaired == 0
+
+    def test_client_read_surfaces_media_error(self):
+        sim = Simulator()
+        array = toy_array(sim, policy=NeverScrubPolicy())
+        unit = array.layout.data_units(0)[0]
+        array.disks[unit.disk].inject_latent_error(unit.disk_lba)
+        logical = array.layout.logical_sector_of_unit(0, unit.unit_index)
+        done = array.submit(ArrayRequest(IoKind.READ, logical, 1))
+        with pytest.raises(LatentSectorError):
+            sim.run_until_triggered(done)

@@ -1,0 +1,167 @@
+"""Degraded-mode fault handling: the injector must actually degrade the
+array, second strikes are no-ops, and degraded traffic is classified."""
+
+from repro.array import toy_array
+from repro.array.request import ArrayRequest
+from repro.disk import IoKind, toy_disk
+from repro.ext.rebuild import RebuildManager
+from repro.faults import FaultInjector, predicted_loss_bytes
+from repro.obs import HistogramSet
+from repro.policy import AlwaysRaid5Policy, NeverScrubPolicy
+from repro.sim import Simulator
+
+
+def write(offset, nsectors):
+    return ArrayRequest(IoKind.WRITE, offset, nsectors)
+
+
+def read(offset, nsectors):
+    return ArrayRequest(IoKind.READ, offset, nsectors)
+
+
+class TestInjectorEntersDegraded:
+    def test_fail_disk_at_enters_degraded_mode(self):
+        sim = Simulator()
+        array = toy_array(sim, policy=AlwaysRaid5Policy())
+        injector = FaultInjector(sim, array)
+        injector.fail_disk_at(disk=2, at_time=1.0)
+        sim.run(until=2.0)
+        assert array.degraded_disk == 2
+
+    def test_traffic_survives_across_injected_failure(self):
+        """Regression: reads after the strike must reconstruct through
+        parity instead of dying on the failed member."""
+        sim = Simulator()
+        array = toy_array(sim, policy=AlwaysRaid5Policy())
+        injector = FaultInjector(sim, array)
+        # Lay down data everywhere first.
+        for stripe in range(4):
+            offset = stripe * array.layout.stripe_data_sectors
+            request = write(offset, array.layout.stripe_data_sectors)
+            sim.run_until_triggered(array.submit(request))
+        injector.fail_disk_at(disk=1, at_time=sim.now + 0.5)
+        sim.run(until=sim.now + 1.0)
+        assert array.degraded_disk == 1
+        # Every sector is still readable, including those on the dead disk.
+        for stripe in range(4):
+            offset = stripe * array.layout.stripe_data_sectors
+            request = read(offset, array.layout.stripe_data_sectors)
+            done = array.submit(request)
+            sim.run_until_triggered(done)
+            assert request.complete_time is not None
+
+    def test_degraded_writes_complete(self):
+        sim = Simulator()
+        array = toy_array(sim, policy=AlwaysRaid5Policy())
+        injector = FaultInjector(sim, array)
+        injector.fail_disk_at(disk=0, at_time=0.5)
+        sim.run(until=1.0)
+        done = array.submit(write(0, 8))
+        sim.run_until_triggered(done)
+
+
+class TestSecondStrikeIsNoOp:
+    def test_striking_failed_disk_again_is_skipped(self):
+        sim = Simulator()
+        array = toy_array(sim)
+        injector = FaultInjector(sim, array)
+        injector.fail_disk_at(disk=1, at_time=1.0)
+        injector.fail_disk_at(disk=1, at_time=2.0)
+        sim.run(until=3.0)
+        assert len(injector.reports) == 1
+        assert len(injector.skipped) == 1
+        assert injector.skipped[0].disk == 1
+        assert "failed" in injector.skipped[0].reason
+
+    def test_striking_other_disk_while_degraded_is_skipped(self):
+        sim = Simulator()
+        array = toy_array(sim)
+        injector = FaultInjector(sim, array)
+        injector.fail_disk_at(disk=1, at_time=1.0)
+        injector.fail_disk_at(disk=3, at_time=2.0)
+        sim.run(until=3.0)
+        assert len(injector.reports) == 1
+        assert injector.reports[0].disk == 1
+        assert len(injector.skipped) == 1
+        assert "degraded" in injector.skipped[0].reason
+        # The second target was never actually killed.
+        assert not array.disks[3].failed
+
+
+class TestDegradedRequestClasses:
+    def test_degraded_classes_appear_during_failure_window(self):
+        sim = Simulator()
+        array = toy_array(sim, policy=AlwaysRaid5Policy())
+        hists = HistogramSet()
+        array.attach_observability(histograms=hists)
+        injector = FaultInjector(sim, array)
+        sim.run_until_triggered(array.submit(write(0, 8)))
+        sim.run_until_triggered(array.submit(read(0, 8)))
+        assert hists.get("client_write").count == 1
+        assert hists.get("client_read").count == 1
+        assert hists.get("degraded_read").count == 0
+        assert hists.get("degraded_write").count == 0
+        injector.fail_disk_at(disk=1, at_time=sim.now + 0.5)
+        sim.run(until=sim.now + 1.0)
+        sim.run_until_triggered(array.submit(write(0, 8)))
+        sim.run_until_triggered(array.submit(read(0, 8)))
+        assert hists.get("degraded_write").count == 1
+        assert hists.get("degraded_read").count == 1
+        # Client classes did not absorb the degraded traffic.
+        assert hists.get("client_write").count == 1
+        assert hists.get("client_read").count == 1
+
+    def test_rebuild_restores_fast_path_classification(self):
+        sim = Simulator()
+        array = toy_array(sim, policy=AlwaysRaid5Policy())
+        hists = HistogramSet()
+        array.attach_observability(histograms=hists)
+        manager = RebuildManager(sim, array, yield_to_foreground=False)
+        spare = toy_disk(sim, name="spare")
+        done = manager.fail_and_rebuild(1, spare)
+        sim.run_until_triggered(done)
+        assert array.degraded_disk is None
+        sim.run_until_triggered(array.submit(read(0, 8)))
+        sim.run_until_triggered(array.submit(write(0, 8)))
+        assert hists.get("client_read").count == 1
+        assert hists.get("client_write").count == 1
+        assert hists.get("degraded_read").count == 0
+        assert hists.get("degraded_write").count == 0
+
+
+class TestSubUnitPrediction:
+    def test_prediction_matches_twin_loss_with_sub_unit_marks(self):
+        """Satellite: with bits_per_stripe > 1 the prediction must count
+        only the marked slices, matching the twin's ground truth."""
+        sim = Simulator()
+        array = toy_array(sim, policy=NeverScrubPolicy(), bits_per_stripe=4)
+        # Small writes dirty only one sub-unit of their stripe.
+        for stripe in range(6):
+            offset = stripe * array.layout.stripe_data_sectors
+            sim.run_until_triggered(array.submit(write(offset, 2)))
+        assert array.marks.count == 6
+        for disk in range(array.ndisks):
+            predicted = predicted_loss_bytes(array, disk)
+            actual = array.functional.lost_data_bytes(disk)
+            assert predicted == actual
+            # Sub-unit marks predict a fraction of the whole-unit figure.
+            assert predicted < 6 * array.unit_bytes
+
+    def test_whole_unit_prediction_unchanged_with_one_bit(self):
+        sim = Simulator()
+        array = toy_array(sim, policy=NeverScrubPolicy())
+        for stripe in range(4):
+            offset = stripe * array.layout.stripe_data_sectors
+            sim.run_until_triggered(array.submit(write(offset, 2)))
+        for disk in range(array.ndisks):
+            assert predicted_loss_bytes(array, disk) == array.functional.lost_data_bytes(disk)
+
+    def test_report_carries_prediction(self):
+        sim = Simulator()
+        array = toy_array(sim, policy=NeverScrubPolicy(), bits_per_stripe=2)
+        injector = FaultInjector(sim, array)
+        sim.run_until_triggered(array.submit(write(0, 2)))
+        injector.fail_disk_at(disk=0, at_time=sim.now + 0.5)
+        sim.run(until=sim.now + 1.0)
+        report = injector.reports[0]
+        assert report.predicted_loss_bytes == report.lost_data_bytes
