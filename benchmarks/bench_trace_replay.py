@@ -121,10 +121,26 @@ def run_bench(duration_s: float, seed: int, best_of: int) -> dict:
 
 
 def check_against_baseline(report: dict, baseline_path: str, tolerance: float) -> int:
-    """Exit status for the regression gate: 0 pass, 1 regression."""
+    """Exit status for the regression gate: 0 pass, 1 regression.
+
+    The committed baseline carries a ``trajectory`` array — one entry per
+    fast-path PR, oldest first, each with the ``after_s`` timings measured
+    on that PR's tree (always against the same seed measurement, on one
+    machine, interleaved to cancel load drift).  The gate compares against
+    the **latest** entry, so each PR ratchets the allowance down; files
+    from before the trajectory format (a bare top-level ``after_s``) still
+    work.
+    """
     with open(baseline_path, encoding="utf-8") as handle:
         baseline = json.load(handle)
-    reference = baseline.get("after_s", {})
+    trajectory = baseline.get("trajectory")
+    if trajectory:
+        latest = trajectory[-1]
+        reference = latest.get("after_s", {})
+        baseline = {**baseline, **{k: latest[k] for k in ("duration_s",) if k in latest}}
+        print(f"check: gating against trajectory entry {latest.get('pr', '?')!r}")
+    else:
+        reference = baseline.get("after_s", {})
     measured = report["timings_s"]
     status = 0
     for key in ("end_to_end",):

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import collections
 import dataclasses
-from heapq import heappush as _heappush
 
 from repro.sim import Event, Simulator
 
@@ -143,7 +142,7 @@ class ByteBudget:
             grant._scheduled = True
             grant._handled = False
             sim._sequence += 1
-            _heappush(sim._queue, (sim._now, sim._sequence, grant))
+            sim._bucket.append(grant)
             return grant
         grant = Event(self.sim, name=self._grant_name)
         self._waiters.append((amount, grant))

@@ -155,6 +155,8 @@ class DiskArray:
         # (the scheduler-comparison ablation swaps in FCFS / SSTF / LOOK).
         self._host_queue = host_scheduler if host_scheduler is not None else ClookScheduler()
         self._host_pumping = False
+        #: Callback-pump state: the pending slot grant (None between runs).
+        self._host_wait: Event | None = None
         self._clook_position = 0
         self._rebuilding: dict[int, Event] = {}
         #: All-zero write payloads by byte length: replay traces carry no
@@ -309,7 +311,22 @@ class DiskArray:
         self._host_queue.push((request, done), request.offset_sectors)
         if not self._host_pumping:
             self._host_pumping = True
-            sim.process(self._host_pump(), name=f"{self.name}.host_pump")
+            # Callback pump: replicates the old generator pump's
+            # bootstrap event exactly (pre-triggered, one callback, at
+            # (now, seq)), so same-instant dispatch order is unchanged;
+            # each slot wait is a plain callback instead of a generator
+            # frame suspension.
+            kick = Event.__new__(Event)
+            kick.sim = sim
+            kick.name = ""
+            kick.callbacks = [self._host_step]
+            kick.defused = False
+            kick._value = None
+            kick._exception = None
+            kick._scheduled = True
+            kick._handled = False
+            sim._sequence += 1
+            sim._bucket.append(kick)
         return done
 
     def finalize(self) -> None:
@@ -332,14 +349,31 @@ class DiskArray:
 
     # -- host-side dispatch --------------------------------------------------------------------
 
-    def _host_pump(self):
-        try:
-            while self._host_queue:
-                yield self.slots.acquire()
-                (request, done), position = self._host_queue.pop(self._clook_position)
-                self._clook_position = position
+    def _host_step(self, event: Event) -> None:
+        """One host-pump step: dispatch on a granted slot, re-arm or park.
+
+        The loop ``while queue: yield acquire(); pop; spawn _service`` of
+        the old generator pump, unrolled into callbacks: a slot grant pops
+        the C-LOOK queue and spawns the service call, then the next
+        acquisition is armed at the same cascade position the generator
+        re-armed its yield.  Write-through arrays (the paper's §4.1
+        configuration) run the callback service machine; write-back keeps
+        the generator (its early-ack/background-flush split needs the
+        exception plumbing of a real process).
+        """
+        if event is self._host_wait:
+            self._host_wait = None
+            (request, done), position = self._host_queue.pop(self._clook_position)
+            self._clook_position = position
+            if self.write_policy == "writethrough":
+                _ServiceCall(self, request, done).start()
+            else:
                 self.sim.process(self._service(request, done), name=self._ev_service)
-        finally:
+        if self._host_queue:
+            grant = self.slots.acquire()
+            grant.callbacks.append(self._host_step)
+            self._host_wait = grant
+        else:
             self._host_pumping = False
 
     def _service(self, request: ArrayRequest, done: Event):
@@ -1043,3 +1077,493 @@ class DiskArray:
             f"<DiskArray {self.name!r} {self.ndisks} disks, policy={self.policy.describe()}, "
             f"{self.dirty_stripe_count} dirty stripes>"
         )
+
+
+class _Tail:
+    """Drive a generator to exhaustion with ``Process._resume`` hop semantics.
+
+    Lets the callback service machine delegate its cold paths (degraded
+    writes) to the existing generator implementations with an event
+    pattern identical to the old ``yield from``: the first ``send`` runs
+    inline at the delegation point, each yielded event gets one callback
+    at the position the process would have re-armed, an already-processed
+    event resumes synchronously, and exhaustion calls ``on_done`` exactly
+    where the enclosing generator would have continued.
+    """
+
+    __slots__ = ("generator", "on_done")
+
+    def __init__(self, generator, on_done) -> None:
+        self.generator = generator
+        self.on_done = on_done
+
+    def start(self) -> None:
+        self._advance(None, None)
+
+    def _advance(self, value, exc) -> None:
+        generator = self.generator
+        while True:
+            try:
+                if exc is not None:
+                    target = generator.throw(exc)
+                else:
+                    target = generator.send(value)
+            except StopIteration:
+                self.on_done(None)
+                return
+            except BaseException as raised:
+                self.on_done(raised)
+                return
+            callbacks = target.callbacks
+            if callbacks is not None:
+                callbacks.append(self._fired)
+                return
+            # Already processed: resume immediately (Process._resume parity).
+            if target._exception is not None:
+                value, exc = None, target._exception
+            else:
+                value, exc = target._value, None
+
+    def _fired(self, event: Event) -> None:
+        if event._exception is not None:
+            self._advance(None, event._exception)
+        else:
+            self._advance(event._value, None)
+
+
+class _StripeWrite:
+    """One RAID 5 stripe write as a callback machine.
+
+    Replaces the per-stripe ``_write_raid5_stripe`` process: ``event``
+    stands in for the process event (created at the same position, same
+    name, triggered with the same listener-aware shortcut on finish), and
+    the body runs at the bootstrap kick's dispatch — never at
+    construction — so every driver submission keeps its sequence number.
+    The statement bodies below are those of ``_write_raid5_stripe``
+    verbatim; each ``yield AllOf`` became ``callbacks.append``.
+    """
+
+    __slots__ = ("array", "stripe", "runs", "event", "was_dirty", "parity", "span")
+
+    def __init__(self, array: DiskArray, stripe: int, runs: list[ExtentRun]) -> None:
+        self.array = array
+        self.stripe = stripe
+        self.runs = runs
+        sim = array.sim
+        self.event = Event(sim, name=array._ev_r5w)
+        kick = Event.__new__(Event)
+        kick.sim = sim
+        kick.name = ""
+        kick.callbacks = [self._start]
+        kick.defused = False
+        kick._value = None
+        kick._exception = None
+        kick._scheduled = True
+        kick._handled = False
+        sim._sequence += 1
+        sim._bucket.append(kick)
+
+    def _start(self, _kick: Event) -> None:
+        array = self.array
+        stripe = self.stripe
+        runs = self.runs
+        try:
+            layout = array.layout
+            unit_sectors = layout.stripe_unit_sectors
+            covered = sum(run.nsectors for run in runs)
+            full_stripe = covered == layout.stripe_data_sectors
+            parity = layout.parity_unit(stripe)
+            self.parity = parity
+            self.was_dirty = array.marks.is_marked(stripe)
+
+            if full_stripe:
+                writes = array._submit_data_writes(runs)
+                writes.append(
+                    array.drivers[parity.disk].submit(
+                        DiskIO(IoKind.WRITE, parity.disk_lba, unit_sectors)
+                    )
+                )
+                array.stats.foreground_parity_writes += 1
+                self.span = None
+                AllOf(array.sim, writes).callbacks.append(self._writes_done)
+            elif self.was_dirty:
+                covered_units = {
+                    run.unit_index for run in runs if run.nsectors == unit_sectors
+                }
+                reads = []
+                for unit in layout.data_units(stripe):
+                    if unit.unit_index in covered_units:
+                        continue
+                    reads.append(
+                        array.drivers[unit.disk].submit(
+                            DiskIO(IoKind.READ, unit.disk_lba, unit_sectors)
+                        )
+                    )
+                    array.stats.reconstruct_reads += 1
+                self.span = None
+                if reads:
+                    AllOf(array.sim, reads).callbacks.append(self._prereads_done)
+                else:
+                    self._submit_writes()
+            else:
+                lo = min(run.disk_lba - stripe * unit_sectors for run in runs)
+                hi = max(run.disk_lba - stripe * unit_sectors + run.nsectors for run in runs)
+                self.span = (parity.disk_lba + lo, hi - lo)
+                reads = []
+                for run in runs:
+                    reads.append(
+                        array.drivers[run.disk].submit(
+                            DiskIO(IoKind.READ, run.disk_lba, run.nsectors)
+                        )
+                    )
+                    array.stats.preread_ios += 1
+                reads.append(
+                    array.drivers[parity.disk].submit(
+                        DiskIO(IoKind.READ, self.span[0], self.span[1])
+                    )
+                )
+                array.stats.preread_ios += 1
+                AllOf(array.sim, reads).callbacks.append(self._prereads_done)
+        except BaseException as exc:
+            self.event.fail(exc)
+
+    def _prereads_done(self, event: Event) -> None:
+        if event._exception is not None:
+            self.event.fail(event._exception)
+            return
+        self._submit_writes()
+
+    def _submit_writes(self) -> None:
+        array = self.array
+        try:
+            writes = array._submit_data_writes(self.runs)
+            if self.span is not None:
+                parity_lba, parity_span = self.span
+                writes.append(
+                    array.drivers[self.parity.disk].submit(
+                        DiskIO(IoKind.WRITE, parity_lba, parity_span)
+                    )
+                )
+            else:
+                writes.append(
+                    array.drivers[self.parity.disk].submit(
+                        DiskIO(
+                            IoKind.WRITE,
+                            self.parity.disk_lba,
+                            array.layout.stripe_unit_sectors,
+                        )
+                    )
+                )
+            array.stats.foreground_parity_writes += 1
+            AllOf(array.sim, writes).callbacks.append(self._writes_done)
+        except BaseException as exc:
+            self.event.fail(exc)
+
+    def _writes_done(self, event: Event) -> None:
+        if event._exception is not None:
+            self.event.fail(event._exception)
+            return
+        array = self.array
+        try:
+            if self.was_dirty:
+                stripe = self.stripe
+                array.marks.clear_stripe(stripe)
+                array._lag_changed()
+                if array.exposure is not None:
+                    array.exposure.stripe_cleaned(stripe, array.sim.now, cause="write")
+        except BaseException as exc:
+            self.event.fail(exc)
+            return
+        # StopIteration: trigger like Process._resume — schedule only when
+        # someone is listening (the enclosing AllOf always is).
+        done = self.event
+        if done.callbacks:
+            done.succeed(None)
+        else:
+            done._value = None
+            done.callbacks = None
+
+
+class _ServiceCall:
+    """One client request through a write-through array, as callbacks.
+
+    The unrolled form of the ``_service`` process tree: same statement
+    bodies, with every ``yield`` replaced by one callback registration at
+    the identical cascade position (so all (time, seq) tie-breaks match
+    the generator, event for event).  The hot paths — reads, AFRAID and
+    RAID 5 writes — are inline; degraded-mode writes delegate to the
+    generator implementation through :class:`_Tail`.  Write-back arrays
+    do not use this class at all (see ``_host_step``).
+    """
+
+    __slots__ = (
+        "array", "request", "done", "nbytes",
+        "runs_by_stripe", "stripe_list", "stripe_index",
+    )
+
+    def __init__(self, array: DiskArray, request: ArrayRequest, done: Event) -> None:
+        self.array = array
+        self.request = request
+        self.done = done
+
+    def start(self) -> None:
+        """Arm the bootstrap kick; the body runs at its dispatch, exactly
+        where the process generator's first statements used to run."""
+        sim = self.array.sim
+        kick = Event.__new__(Event)
+        kick.sim = sim
+        kick.name = ""
+        kick.callbacks = [self._start]
+        kick.defused = False
+        kick._value = None
+        kick._exception = None
+        kick._scheduled = True
+        kick._handled = False
+        sim._sequence += 1
+        sim._bucket.append(kick)
+
+    def _start(self, _kick: Event) -> None:
+        array = self.array
+        request = self.request
+        request.dispatch_time = array.sim._now
+        try:
+            if request.is_write:
+                self._start_write()
+            else:
+                self._start_read()
+        except BaseException as exc:
+            self._finish(exc)
+
+    # -- reads (the _service_read body) --------------------------------------
+
+    def _start_read(self) -> None:
+        array = self.array
+        request = self.request
+        if array.read_cache.lookup(request.offset_sectors, request.nsectors):
+            timeout = array.sim.timeout(array.cache_hit_latency_s)
+            timeout.callbacks.append(self._read_hit_done)
+            return
+        runs = array.layout.map_extent(request.offset_sectors, request.nsectors)
+        drivers = array.drivers
+        if array._degraded_disk is None:
+            events = [
+                drivers[run.disk].submit(DiskIO(IoKind.READ, run.disk_lba, run.nsectors))
+                for run in runs
+            ]
+            array.stats.foreground_data_reads += len(events)
+        else:
+            events = []
+            for run in runs:
+                if run.disk == array._degraded_disk:
+                    events.extend(array._submit_degraded_read(run))
+                else:
+                    events.append(
+                        drivers[run.disk].submit(
+                            DiskIO(IoKind.READ, run.disk_lba, run.nsectors)
+                        )
+                    )
+                    array.stats.foreground_data_reads += 1
+        AllOf(array.sim, events).callbacks.append(self._read_miss_done)
+
+    def _read_hit_done(self, _timeout: Event) -> None:
+        array = self.array
+        request = self.request
+        try:
+            if array.functional is not None:
+                request.result_data = array.functional.read(
+                    request.offset_sectors, request.nsectors
+                )
+        except BaseException as exc:
+            self._finish(exc)
+            return
+        self._finish(None)
+
+    def _read_miss_done(self, event: Event) -> None:
+        if event._exception is not None:
+            self._finish(event._exception)
+            return
+        array = self.array
+        request = self.request
+        try:
+            array.read_cache.insert(request.offset_sectors, request.nsectors)
+            if array.functional is not None:
+                request.result_data = array.functional.read(
+                    request.offset_sectors, request.nsectors
+                )
+        except BaseException as exc:
+            self._finish(exc)
+            return
+        self._finish(None)
+
+    # -- writes (the _service_write / _perform_write bodies) ------------------
+
+    def _start_write(self) -> None:
+        array = self.array
+        self.nbytes = self.request.nsectors * array.sector_bytes
+        # reserve() failures propagate to _finish WITHOUT a release — the
+        # generator's try/finally starts after the reserve yield.
+        array.staging.reserve(self.nbytes).callbacks.append(self._staged)
+
+    def _staged(self, _grant: Event) -> None:
+        array = self.array
+        try:
+            runs_by_stripe = array._group_runs(self.request)
+            self.runs_by_stripe = runs_by_stripe
+            self.stripe_list = list(runs_by_stripe)
+            self.stripe_index = 0
+            if array._rebuilding and self._park_on_barrier():
+                return
+            self._dispatch_mode()
+        except BaseException as exc:
+            self._write_finish(exc)
+
+    def _park_on_barrier(self) -> bool:
+        """Arm a callback on the first in-flight rebuild among our stripes."""
+        rebuilding = self.array._rebuilding
+        stripes = self.stripe_list
+        index = self.stripe_index
+        while index < len(stripes):
+            barrier = rebuilding.get(stripes[index])
+            if barrier is not None:
+                # Re-check the same stripe after the barrier fires — the
+                # generator's `while stripe in rebuilding` does too.
+                self.stripe_index = index
+                barrier.callbacks.append(self._barrier_fired)
+                return True
+            index += 1
+        return False
+
+    def _barrier_fired(self, _event: Event) -> None:
+        try:
+            if self._park_on_barrier():
+                return
+            self._dispatch_mode()
+        except BaseException as exc:
+            self._write_finish(exc)
+
+    def _dispatch_mode(self) -> None:
+        array = self.array
+        if array._degraded_disk is not None:
+            _Tail(
+                array._write_degraded(self.request, self.runs_by_stripe),
+                self._write_finish,
+            ).start()
+            return
+        mode = array.policy.write_mode(tuple(self.runs_by_stripe))
+        if mode is WriteMode.AFRAID:
+            self._write_afraid()
+        else:
+            self._write_raid5()
+
+    def _write_afraid(self) -> None:
+        array = self.array
+        runs_by_stripe = self.runs_by_stripe
+        newly_marked = False
+        exposure = array.exposure
+        marks = array.marks
+        now = array.sim.now
+        if marks.bits_per_stripe == 1:
+            for stripe, runs in runs_by_stripe.items():
+                if exposure is not None:
+                    exposure.stripe_dirtied(stripe, now)
+                for _run in runs:
+                    newly_marked |= marks.mark(stripe, 0)
+        else:
+            for stripe, runs in runs_by_stripe.items():
+                if exposure is not None:
+                    exposure.stripe_dirtied(stripe, now)
+                for run in runs:
+                    for sub_unit in array._sub_units_of(run):
+                        newly_marked |= marks.mark(stripe, sub_unit)
+        if newly_marked:
+            array._lag_changed()
+        events = []
+        drivers = array.drivers
+        submitted = 0
+        for runs in runs_by_stripe.values():
+            for run in runs:
+                events.append(
+                    drivers[run.disk].submit(
+                        DiskIO(IoKind.WRITE, run.disk_lba, run.nsectors)
+                    )
+                )
+                submitted += 1
+        array.stats.foreground_data_writes += submitted
+        AllOf(array.sim, events).callbacks.append(self._afraid_done)
+
+    def _afraid_done(self, event: Event) -> None:
+        if event._exception is not None:
+            self._write_finish(event._exception)
+            return
+        array = self.array
+        try:
+            if array.functional is not None:
+                array.functional.write(
+                    self.request.offset_sectors,
+                    array._payload(self.request),
+                    update_parity=False,
+                )
+            array.policy.on_stripes_marked()
+        except BaseException as exc:
+            self._write_finish(exc)
+            return
+        self._write_finish(None)
+
+    def _write_raid5(self) -> None:
+        array = self.array
+        stripe_events = [
+            _StripeWrite(array, stripe, runs).event
+            for stripe, runs in self.runs_by_stripe.items()
+        ]
+        AllOf(array.sim, stripe_events).callbacks.append(self._raid5_done)
+
+    def _raid5_done(self, event: Event) -> None:
+        if event._exception is not None:
+            self._write_finish(event._exception)
+            return
+        array = self.array
+        request = self.request
+        try:
+            if array.functional is not None:
+                array.functional.write(
+                    request.offset_sectors, array._payload(request), update_parity=False
+                )
+                for stripe in self.runs_by_stripe:
+                    array.functional.scrub_stripe(stripe)
+        except BaseException as exc:
+            self._write_finish(exc)
+            return
+        self._write_finish(None)
+
+    def _write_finish(self, exc: BaseException | None) -> None:
+        array = self.array
+        request = self.request
+        array.staging.release(self.nbytes)
+        if exc is None:
+            try:
+                array.read_cache.insert(request.offset_sectors, request.nsectors)
+            except BaseException as raised:
+                exc = raised
+        self._finish(exc)
+
+    # -- the _service epilogue ------------------------------------------------
+
+    def _finish(self, exc: BaseException | None) -> None:
+        array = self.array
+        array.slots.release()
+        array.detector.activity_ended()
+        done = self.done
+        if exc is not None:
+            done.fail(exc)
+            return
+        request = self.request
+        request.complete_time = array.sim._now
+        stats = array.stats
+        if request.is_write:
+            stats.writes_completed += 1
+        else:
+            stats.reads_completed += 1
+        stats.io_times.append(request.io_time)
+        if array.hists is not None or array.tracer is not None:
+            array._observe_client(request)
+        done.succeed(request)

@@ -596,6 +596,40 @@ def cmd_exposure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.harness.sharding import run_sharded_replay
+
+    result, digest = run_sharded_replay(
+        args.workload,
+        policy=args.policy,
+        duration_s=args.duration,
+        seed=args.seed,
+        shards=args.shards,
+        workers=args.workers,
+    )
+    if args.digest:
+        print(digest)
+        return 0
+    outcome = result.outcome
+    io_times = outcome.io_times
+    mean_ms = (sum(io_times) / len(io_times) * 1e3) if io_times else 0.0
+    rows = [
+        ["requests", str(len(outcome.requests))],
+        ["shards", str(args.shards)],
+        ["mean I/O time", f"{mean_ms:.2f} ms"],
+        ["unprotected time", f"{result.parity_lag[0]:.1%}"],
+        ["stripes scrubbed", str(result.stats.stripes_scrubbed)],
+        ["horizon", f"{outcome.horizon_s:g} s"],
+        ["digest", digest],
+    ]
+    title = (
+        f"{args.workload} under {args.policy} "
+        f"({args.duration:g}s, seed {args.seed}, {args.shards} shard(s))"
+    )
+    print(format_table(["metric", "value"], rows, title=title))
+    return 0
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
     """Run a deterministic fault campaign (or a multi-seed suite).
 
@@ -848,6 +882,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 if any SLO rule was ever breached",
     )
     exposure_parser.set_defaults(handler=cmd_exposure)
+
+    replay_parser = commands.add_parser(
+        "replay",
+        help="time-sliced (sharded) trace replay with deterministic handoff",
+    )
+    replay_parser.add_argument("workload", choices=workload_names())
+    replay_parser.add_argument(
+        "--policy", default="afraid", choices=["afraid", "raid5", "raid0"]
+    )
+    replay_parser.add_argument("--duration", type=float, default=30.0, help="trace duration (simulated s)")
+    replay_parser.add_argument("--seed", type=int, default=42)
+    replay_parser.add_argument(
+        "--shards", type=int, default=1,
+        help="number of consecutive time slices (results are byte-identical for any value)",
+    )
+    replay_parser.add_argument(
+        "--workers", type=int, default=0,
+        help="run shard steps in a process pool of this size (0 = in-process)",
+    )
+    replay_parser.add_argument(
+        "--digest", action="store_true",
+        help="print only the result fingerprint (for determinism checks)",
+    )
+    replay_parser.set_defaults(handler=cmd_replay)
 
     faults_parser = commands.add_parser(
         "faults",

@@ -28,6 +28,11 @@ class IoKind(enum.Enum):
     WRITE = "write"
 
 
+#: Seek tables keyed by (curve coefficients, cylinder count), shared by
+#: every :class:`MechanicalDisk` built from equal parameters.
+_SEEK_TABLE_CACHE: dict[tuple, list[float]] = {}
+
+
 class DiskFailedError(Exception):
     """An I/O was issued to (or in flight on) a failed disk."""
 
@@ -193,7 +198,27 @@ class MechanicalDisk:
         # Seek time by cylinder distance, tabulated once: the seek curve is
         # a pure function of distance and the hot path pays a sqrt plus
         # branchy float math per I/O without it.  ~4k floats per geometry.
-        self._seek_table = [seek_model.seek_time(d) for d in range(geometry.cylinders)]
+        # The table is shared across instances with identical curve
+        # parameters (arrays build dozens of identical drives; tabulating
+        # per drive was measurable in replay setup).  Subclassed seek
+        # models fall back to a private table — their coefficients do not
+        # determine their behaviour.
+        if type(seek_model) is SeekModel:
+            key = (
+                seek_model.a,
+                seek_model.b,
+                seek_model.c,
+                seek_model.e,
+                seek_model.crossover,
+                geometry.cylinders,
+            )
+            table = _SEEK_TABLE_CACHE.get(key)
+            if table is None:
+                table = [seek_model.seek_time(d) for d in range(geometry.cylinders)]
+                _SEEK_TABLE_CACHE[key] = table
+            self._seek_table = table
+        else:
+            self._seek_table = [seek_model.seek_time(d) for d in range(geometry.cylinders)]
         self.stats = DiskStats()
         self._current_cylinder = 0
         self._current_head = 0
@@ -408,7 +433,10 @@ class MechanicalDisk:
             else:
                 bad_lbas = self.latent_errors_within(io.lba, io.nsectors) or None
 
-        if io.kind is IoKind.READ and bad_lbas is None and self._readahead_hit(io):
+        # `self._segments and` elides the _readahead_hit call when no
+        # segments are buffered (always, with read-ahead disabled): a hit
+        # needs a live segment regardless of the configured segment count.
+        if io.kind is IoKind.READ and bad_lbas is None and self._segments and self._readahead_hit(io):
             # Served from the drive's segment buffer: overhead only.
             self.stats.reads += 1
             self.stats.sectors_read += io.nsectors
@@ -445,13 +473,14 @@ class MechanicalDisk:
         if io.kind is IoKind.READ:
             stats.reads += 1
             stats.sectors_read += io.nsectors
-            if bad_lbas is None:
+            if bad_lbas is None and self.readahead_segments:
                 self._record_readahead(io)
             report_after = total
         else:
             stats.writes += 1
             stats.sectors_written += io.nsectors
-            self._invalidate_segments(io)
+            if self._segments:
+                self._invalidate_segments(io)
             # Immediate reporting: the host sees completion as soon as
             # the data is in the drive buffer; the mechanism stays busy
             # until the media write really finishes.
@@ -477,7 +506,11 @@ class MechanicalDisk:
         done._scheduled = True
         sim = self.sim
         sim._sequence += 1
-        _heappush(sim._queue, (sim._now + after, sim._sequence, done))
+        when = sim._now + after
+        if when > sim._now:
+            _heappush(sim._queue, (when, sim._sequence, done))
+        else:
+            sim._bucket.append(done)
         self._inflight = done
         return done
 

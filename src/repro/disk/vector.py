@@ -1,0 +1,163 @@
+"""Vectorised disk-service timing for runs of queued FCFS commands.
+
+When the back-end driver finds several commands queued at once (a drain
+run), their service times are a pure function of the disk state at the
+start of the run: FCFS issues them back to back, each starting at the
+previous completion instant.  This module precomputes the whole run —
+the per-command *independent* quantities (zone decode, seek-distance
+lookup, rotational target fraction, media transfer) as numpy array ops,
+and the clock-coupled rotational-latency chain as a tight scalar loop
+whose floating-point operations replicate
+:meth:`~repro.disk.disk.MechanicalDisk._service_parts` *in the same
+order*, so every returned float is bit-identical to what sequential
+scalar execution would produce.  The golden replay gate depends on that.
+
+Commands that do not fit the single-track fast path (multi-track
+accesses, zone-boundary crossers) are computed by calling the exact
+scalar ``_service_parts`` at their position in the chain — correctness
+never depends on the vector decode covering every shape.
+
+numpy is optional: without it (or for short runs, where array-op
+overhead exceeds the win) the same chain runs entirely through the
+scalar path, producing identical results.
+"""
+
+from __future__ import annotations
+
+import typing
+
+try:  # pragma: no cover - exercised implicitly by the import machinery
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain bakes numpy in
+    _np = None
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.disk.disk import DiskIO, MechanicalDisk
+    from repro.disk.geometry import DiskGeometry
+
+#: Minimum run length before the numpy decode pays for its call overhead;
+#: shorter runs use the scalar chain (identical results either way).
+VECTOR_MIN = 8
+
+#: Per-geometry int64 views of the zone tables, keyed by id().  The
+#: geometry object itself is pinned in the value so the id stays valid.
+_GEOMETRY_ARRAYS: dict[int, tuple] = {}
+
+
+def _geometry_arrays(geometry: "DiskGeometry") -> tuple:
+    key = id(geometry)
+    cached = _GEOMETRY_ARRAYS.get(key)
+    if cached is None or cached[0] is not geometry:
+        cached = (
+            geometry,
+            _np.asarray(geometry._zone_first_lba, dtype=_np.int64),
+            _np.asarray(geometry._zone_first_cyl, dtype=_np.int64),
+            _np.asarray([zone.sectors_per_track for zone in geometry.zones], dtype=_np.int64),
+        )
+        _GEOMETRY_ARRAYS[key] = cached
+    return cached
+
+
+def _vector_decode(disk: "MechanicalDisk", ios: "list[DiskIO]"):
+    """Array-op decode of the per-command independent quantities.
+
+    Returns ``(ok, cyl, head, target_fraction, transfer)`` as plain
+    Python lists (``tolist()`` converts float64 elements to bit-equal
+    Python floats).  ``ok[i]`` is the single-track fast-path condition of
+    ``_service_parts``; entries failing it are computed scalar later.
+    """
+    geometry = disk.geometry
+    _geo, zone_first_lba, zone_first_cyl, zone_spt = _geometry_arrays(geometry)
+    lba = _np.array([io.lba for io in ios], dtype=_np.int64)
+    nsectors = _np.array([io.nsectors for io in ios], dtype=_np.int64)
+    index = _np.searchsorted(zone_first_lba, lba, side="right") - 1
+    spt = zone_spt[index]
+    offset = lba - zone_first_lba[index]
+    sectors_per_cylinder = geometry.heads * spt
+    cylinder = zone_first_cyl[index] + offset // sectors_per_cylinder
+    within = offset % sectors_per_cylinder
+    head = within // spt
+    sector = within % spt
+    # Single-track fast path + in-bounds (DiskIO guarantees lba >= 0 and
+    # nsectors >= 1), exactly the guard in _service_parts.
+    ok = (spt - sector >= nsectors) & (lba + nsectors <= geometry.total_sectors)
+    # int64/int64 and int64*float64 match CPython's int/int and int*float
+    # bit for bit while the integers are exact in float64 (they are:
+    # sectors-per-track and transfer lengths are tiny).
+    sector_period = disk.rotation_period / spt
+    target_fraction = sector / spt
+    transfer = nsectors * sector_period
+    return (
+        ok.tolist(),
+        cylinder.tolist(),
+        head.tolist(),
+        target_fraction.tolist(),
+        transfer.tolist(),
+    )
+
+
+def batch_service_parts(
+    disk: "MechanicalDisk", ios: "list[DiskIO]", start_time: float
+) -> list[tuple[float, float, float, int, int, float]]:
+    """Timing for ``ios`` issued back to back from the current disk state.
+
+    Returns one ``(seek, rotational_latency, transfer, end_cylinder,
+    end_head, total)`` tuple per command, where command ``i + 1`` starts
+    at command ``i``'s completion instant — bit-identical to calling
+    ``execute`` sequentially.  No disk state is modified: the caller
+    applies state and stats progressively as the simulated instants are
+    actually reached, so mid-run observers (and mid-run fallback to the
+    scalar path) see exactly the sequential world.
+    """
+    overhead = disk.controller_overhead_s
+    rotation_period = disk.rotation_period
+    head_switch_s = disk.head_switch_s
+    phase = disk.spindle_phase
+    seek_table = disk._seek_table
+    vec = None
+    if _np is not None and len(ios) >= VECTOR_MIN:
+        ok, v_cyl, v_head, v_target, v_transfer = _vector_decode(disk, ios)
+        vec = True
+    orig_cylinder = disk._current_cylinder
+    orig_head = disk._current_head
+    current_cylinder = orig_cylinder
+    current_head = orig_head
+    start = start_time
+    results = []
+    try:
+        for i, io in enumerate(ios):
+            if vec is not None and ok[i]:
+                cylinder = v_cyl[i]
+                head = v_head[i]
+                distance = cylinder - current_cylinder
+                if distance < 0:
+                    distance = -distance
+                seek = seek_table[distance]
+                if seek == 0.0 and head != current_head:
+                    seek = head_switch_s
+                # Same op order as _service_parts' single-track branch.
+                clock = start + overhead + seek
+                now_fraction = (clock / rotation_period + phase) % 1.0
+                rotational_latency = ((v_target[i] - now_fraction) % 1.0) * rotation_period
+                transfer = v_transfer[i]
+            else:
+                # Exact scalar path at this chain position: _service_parts
+                # reads the head position from the disk, so lend it the
+                # chain state for the call (restored in the finally).
+                disk._current_cylinder = current_cylinder
+                disk._current_head = current_head
+                seek, rotational_latency, transfer, cylinder, head = disk._service_parts(
+                    io.lba, io.nsectors, start
+                )
+            # Same addition order as execute() / ServiceBreakdown.total.
+            total = overhead + seek + rotational_latency + transfer
+            results.append((seek, rotational_latency, transfer, cylinder, head, total))
+            current_cylinder = cylinder
+            current_head = head
+            # The next command is issued at this completion's dispatch,
+            # whose heap key is exactly now + total.
+            start = start + total
+    finally:
+        disk._current_cylinder = orig_cylinder
+        disk._current_head = orig_head
+    return results

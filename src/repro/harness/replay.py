@@ -45,6 +45,86 @@ def gather(sim: Simulator, events: list[Event]) -> Event:
     return done
 
 
+class _Feeder:
+    """The open-loop arrival pump, as a callback state machine.
+
+    Replicates the old generator feeder event-for-event: one bootstrap
+    event (matching the ``Process`` bootstrap), one pooled timeout per
+    inter-arrival gap created at the *wake* position of the previous gap
+    (so its sequence number — and therefore every same-instant tie-break
+    against in-flight completions — is unchanged), and a listener-free
+    finish that never schedules an event (matching the process-finish
+    elision in ``Process._resume``).
+    """
+
+    __slots__ = ("sim", "array", "records", "index", "requests", "completions", "done")
+
+    def __init__(self, sim, array, records, requests, completions) -> None:
+        self.sim = sim
+        self.array = array
+        self.records = records
+        self.index = 0
+        self.requests = requests
+        self.completions = completions
+        #: Triggers when the last record has been submitted.  Completed by
+        #: hand exactly the way a listener-free process finishes: value
+        #: set, callbacks cleared, nothing scheduled.
+        self.done = Event(sim, name="trace_feeder")
+
+    def start(self) -> Event:
+        sim = self.sim
+        kick = Event.__new__(Event)
+        kick.sim = sim
+        kick.name = ""
+        kick.callbacks = [self._fire]
+        kick.defused = False
+        kick._value = None
+        kick._exception = None
+        kick._scheduled = True
+        kick._handled = False
+        sim._sequence += 1
+        sim._bucket.append(kick)
+        return self.done
+
+    def _fire(self, _event: Event) -> None:
+        sim = self.sim
+        array = self.array
+        records = self.records
+        requests = self.requests
+        completions = self.completions
+        index = self.index
+        total = len(records)
+        while index < total:
+            record = records[index]
+            if record.time_s > sim._now:
+                timeout = sim.timeout(record.time_s - sim._now)
+                timeout.callbacks.append(self._fire)
+                self.index = index
+                return
+            request = ArrayRequest(
+                kind=record.kind,
+                offset_sectors=record.offset_sectors,
+                nsectors=record.nsectors,
+                sync=record.sync,
+            )
+            requests.append(request)
+            completion = array.submit(request)
+            # Defuse now: under fault injection a request can fail before
+            # the gather attaches, and the failure belongs to us.
+            completion.defused = True
+            completions.append(completion)
+            index += 1
+        self.index = index
+        done = self.done
+        done._value = None
+        done.callbacks = None
+
+
+def _run_feeder(sim, array, trace, requests, completions) -> Event:
+    """Start the arrival pump; returns the event firing at the last submit."""
+    return _Feeder(sim, array, list(trace), requests, completions).start()
+
+
 @dataclasses.dataclass
 class ReplayOutcome:
     """Everything a replay produced."""
@@ -79,25 +159,8 @@ def replay_trace(
     requests: list[ArrayRequest] = []
     completions: list[Event] = []
 
-    def feeder():
-        for record in trace:
-            if record.time_s > sim.now:
-                yield sim.timeout(record.time_s - sim.now)
-            request = ArrayRequest(
-                kind=record.kind,
-                offset_sectors=record.offset_sectors,
-                nsectors=record.nsectors,
-                sync=record.sync,
-            )
-            requests.append(request)
-            completion = array.submit(request)
-            # Defuse now: under fault injection a request can fail before
-            # the gather below attaches, and the failure belongs to us.
-            completion.defused = True
-            completions.append(completion)
-
-    feeder_proc = sim.process(feeder(), name="trace_feeder")
-    sim.run_until_triggered(feeder_proc)
+    feeder_done = _run_feeder(sim, array, trace, requests, completions)
+    sim.run_until_triggered(feeder_done)
     outcomes = sim.run_until_triggered(gather(sim, completions))
     failures = [value for ok, value in outcomes if not ok]
 

@@ -1,0 +1,389 @@
+"""Time-sliced trace replay with deterministic shard handoff.
+
+A long trace is replayed as consecutive time slices ("shards"); the
+complete simulation state at each slice boundary — disk head positions,
+NVRAM mark memory, parity-lag integrals, caches, the event kernel itself
+— is serialised and handed to the next shard, which resumes bit-exactly
+where the previous one stopped.  The handoff payload is a pickle, so a
+shard can run in a different worker process than its predecessor
+(``submit`` below plugs into the sweep pool of :mod:`repro.harness.runner`).
+
+Correctness contract: the sharded replay is **byte-identical** to
+:func:`repro.harness.replay.replay_trace` on the same inputs, for any
+shard count.  Three properties make that hold:
+
+* **Quiescent cuts.**  A shard may only end when the simulator is
+  completely empty — no heap entries, no current-instant bucket — and
+  strictly before the next shard's first effective arrival.  Everything
+  the drain dispatched (completions, idle declarations, scrub passes) is
+  exactly what the unsharded run would have dispatched before that
+  arrival, in the same order.  If the drain overruns the next arrival
+  (e.g. the ATT trace's scarce idle windows), the cut is invalid and the
+  slice is *extended* — in the limit a trace with no usable gap
+  degenerates to one shard, which is trivially identical.
+* **Arrival-chain replication.**  The open-loop feeder realises record
+  ``k`` at ``A_k = A_{k-1} + (t_k - A_{k-1})`` — floating-point addition
+  is not associative, so a resumed shard must not recompute the arrival
+  from its own restore time.  The handoff carries ``last_arrival_s`` and
+  the resumed feeder's first timer is scheduled at that exact chained
+  instant (and with the same sequence-number budget: one timer, no
+  bootstrap kick), so every later ``(time, seq)`` tie-break is unchanged.
+* **Snapshot fidelity.**  The pickle round-trip preserves value state
+  bit-for-bit (floats, dict/deque order, the pending-value sentinel —
+  see ``_PendingType.__reduce__`` in :mod:`repro.sim.events`).  At a
+  quiescent cut no generator frames are live, so the graph contains no
+  unpicklable objects.
+
+Sharding assumes a healthy run (no fault injection mid-trace) and no
+attached observability sinks holding OS handles; ``replay_digest``
+fingerprints the observable results for N-vs-1 determinism checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import pickle
+import struct
+import typing
+from heapq import heappush as _heappush
+
+from repro.array.controller import DiskArray
+from repro.harness.replay import ReplayOutcome, _Feeder, gather
+from repro.sim import Event, Simulator
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.traces import Trace
+
+
+@dataclasses.dataclass
+class ShardReplayResult:
+    """Everything a sharded replay reports, as plain picklable values.
+
+    The final shard may stop at the measurement horizon with background
+    machinery (the scrub generator) suspended mid-flight, so the live
+    simulator cannot cross the process boundary back to the caller —
+    the counters, latency stream, and parity-lag integrals can.
+    """
+
+    outcome: ReplayOutcome
+    stats: typing.Any  # repro.array.controller.ArrayStats
+    disk_stats: list  # repro.disk.disk.DiskStats per member, in order
+    #: (unprotected_fraction, mean_lag_bytes, peak_lag_bytes, total_time)
+    parity_lag: tuple[float, float, float, float]
+
+    @classmethod
+    def from_array(cls, array: DiskArray, outcome: ReplayOutcome) -> "ShardReplayResult":
+        tracker = array.lag_tracker
+        return cls(
+            outcome=outcome,
+            stats=array.stats,
+            disk_stats=[disk.stats for disk in array.disks],
+            parity_lag=(
+                tracker.unprotected_fraction,
+                tracker.mean_parity_lag_bytes,
+                tracker.peak_parity_lag_bytes,
+                tracker.total_time,
+            ),
+        )
+
+
+@dataclasses.dataclass
+class ShardHandoff:
+    """Boundary state between consecutive shards."""
+
+    #: Pickle of ``(sim, array, requests, completions)`` at quiescence.
+    payload: bytes
+    #: Records consumed from the slice this shard was given (≥ the
+    #: tentative count when an invalid cut forced an extension).
+    consumed: int
+    #: Effective arrival instant of the last submitted record (the
+    #: feeder's float chain value, not the nominal record timestamp).
+    last_arrival_s: float
+    #: Simulated time at the quiescent cut.
+    cut_time_s: float
+
+
+def _snapshot(sim, array, requests, completions) -> bytes:
+    return pickle.dumps(
+        (sim, array, requests, completions), protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def _arm_feeder(sim, array, records, requests, completions, first_shard, last_arrival_s):
+    """Start the slice's feeder; returns its done event.
+
+    The first shard boots exactly like :func:`replay_trace` (bootstrap
+    kick, one sequence number).  A resumed shard instead schedules the
+    inter-arrival timer the unsharded feeder would have armed at the
+    previous record's wake: same chained fire time, same single sequence
+    number, no kick.
+    """
+    feeder = _Feeder(sim, array, records, requests, completions)
+    if first_shard:
+        return feeder.start()
+    target = last_arrival_s + (records[0].time_s - last_arrival_s)
+    timer = Event.__new__(Event)
+    timer.sim = sim
+    timer.name = ""
+    timer.callbacks = [feeder._fire]
+    timer.defused = False
+    timer._value = None
+    timer._exception = None
+    timer._scheduled = True
+    timer._handled = False
+    sim._sequence += 1
+    if target > sim._now:
+        _heappush(sim._queue, (target, sim._sequence, timer))
+    else:
+        sim._bucket.append(timer)
+    return feeder.done
+
+
+def advance_shard(
+    payload: bytes,
+    remaining: list,
+    tentative: int,
+    first_shard: bool,
+    last_arrival_s: float,
+) -> ShardHandoff | None:
+    """Replay a prefix of ``remaining`` records and cut at quiescence.
+
+    ``tentative`` is the requested slice length; the actual cut extends
+    past it whenever draining to quiescence would overrun the next
+    arrival (the validity condition above).  Runs from — and, on an
+    invalid cut, retries from — the ``payload`` snapshot, so the final
+    attempt is the only one that leaves a trace in the returned state.
+
+    Returns ``None`` when the extension consumes every remaining record
+    without finding a valid cut — i.e. from this start there is no
+    quiescent gap at all.  The caller must then fold the whole tail into
+    the final shard: a cut may only land *between* arrivals, never past
+    the trace's end, because the closing flow (:func:`finish_shard`)
+    clamps at the measurement horizon whereas a quiescence drain would
+    run trailing background work (the AFRAID scrub) to exhaustion —
+    beyond what the horizon admits.
+    """
+    total = len(remaining)
+    stop = tentative
+    if stop >= total:
+        return None
+    while True:
+        sim, array, requests, completions = pickle.loads(payload)
+        done = _arm_feeder(
+            sim, array, remaining[:stop], requests, completions, first_shard, last_arrival_s
+        )
+        sim.run_until_triggered(done)
+        arrival = sim._now
+        sim.run()  # drain to complete quiescence
+        target = arrival + (remaining[stop].time_s - arrival)
+        if sim._now < target:
+            return ShardHandoff(
+                _snapshot(sim, array, requests, completions), stop, arrival, sim._now
+            )
+        # The tail (idle declaration, scrub pass) ran past the next
+        # arrival: the unsharded run would have interleaved them.  Extend
+        # the slice beyond everything the drain overlapped and retry.
+        extended = stop + 1
+        while extended < total and remaining[extended].time_s <= sim._now:
+            extended += 1
+        if extended >= total:
+            return None
+        stop = extended
+
+
+def finish_shard(
+    payload: bytes,
+    remaining: list,
+    first_shard: bool,
+    last_arrival_s: float,
+    duration_s: float,
+    extra_settle_s: float,
+    finalize: bool,
+) -> bytes:
+    """Replay the final slice and close the books like ``replay_trace``.
+
+    Returns a pickle of the :class:`ShardReplayResult`.
+    """
+    sim, array, requests, completions = pickle.loads(payload)
+    if remaining:
+        done = _arm_feeder(
+            sim, array, remaining, requests, completions, first_shard, last_arrival_s
+        )
+        sim.run_until_triggered(done)
+    outcomes = sim.run_until_triggered(gather(sim, completions))
+    failures = [value for ok, value in outcomes if not ok]
+    horizon = max(duration_s, sim.now) + extra_settle_s
+    sim.run(until=horizon)
+    if finalize:
+        array.finalize()
+    outcome = ReplayOutcome(requests=requests, failures=failures, horizon_s=horizon)
+    result = ShardReplayResult.from_array(array, outcome)
+    return pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def replay_trace_sharded(
+    sim: Simulator,
+    array: DiskArray,
+    trace: "Trace",
+    shards: int = 1,
+    extra_settle_s: float = 0.0,
+    finalize: bool = True,
+    submit: typing.Callable[..., typing.Any] | None = None,
+) -> ShardReplayResult:
+    """Replay ``trace`` in ``shards`` consecutive time slices.
+
+    ``sim``/``array`` must be freshly built (nothing scheduled, nothing
+    submitted).  ``submit(fn, *args)`` runs one shard step and returns its
+    result — pass a pool adapter (e.g. ``lambda fn, *a:
+    pool.submit(fn, *a).result()``) to execute each shard in a worker
+    process; the default runs in-process.  Either way the handoff is the
+    same pickled payload, so the in-process mode exercises (and proves)
+    snapshot fidelity too.
+
+    Returns the :class:`ShardReplayResult` — byte-identical (see
+    :func:`replay_digest`) to ``replay_trace`` on the same inputs for any
+    ``shards`` ≥ 1.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if submit is None:
+        def submit(fn, *args):
+            return fn(*args)
+    records = list(trace)
+    payload = _snapshot(sim, array, [], [])
+    duration_s = trace.duration_s
+
+    # Tentative cut indices at equal time slices of the nominal duration.
+    cuts: list[int] = []
+    total = len(records)
+    for i in range(1, shards):
+        t = duration_s * i / shards
+        index = 0
+        while index < total and records[index].time_s < t:
+            index += 1
+        if 0 < index < total:
+            cuts.append(index)
+    cuts = sorted(set(cuts))
+
+    start = 0
+    first_shard = True
+    last_arrival = 0.0
+    for cut in cuts:
+        if cut <= start:  # an earlier extension already covered this cut
+            continue
+        handoff = submit(
+            advance_shard, payload, records[start:], cut - start, first_shard, last_arrival
+        )
+        if handoff is None:
+            # No quiescent gap anywhere past this point; the rest of the
+            # trace runs as one final shard.
+            break
+        payload = handoff.payload
+        start += handoff.consumed
+        last_arrival = handoff.last_arrival_s
+        first_shard = False
+    final_payload = submit(
+        finish_shard,
+        payload,
+        records[start:],
+        first_shard,
+        last_arrival,
+        duration_s,
+        extra_settle_s,
+        finalize,
+    )
+    return pickle.loads(final_payload)
+
+
+#: Policies a sharded replay can be parameterised with by name (the
+#: spec-string surface used by the CLI and CI determinism checks; the
+#: registry idiom matches repro.faults.campaign).
+_POLICIES: dict[str, type] = {}
+
+
+def _policy_registry() -> dict[str, type]:
+    if not _POLICIES:
+        from repro.policy import (
+            AlwaysRaid5Policy,
+            BaselineAfraidPolicy,
+            NeverScrubPolicy,
+        )
+
+        _POLICIES.update(
+            afraid=BaselineAfraidPolicy, raid5=AlwaysRaid5Policy, raid0=NeverScrubPolicy
+        )
+    return _POLICIES
+
+
+def run_sharded_replay(
+    workload: str,
+    policy: str = "afraid",
+    duration_s: float = 30.0,
+    seed: int = 42,
+    shards: int = 1,
+    workers: int = 0,
+) -> tuple[ShardReplayResult, str]:
+    """Build a fresh paper-configuration array and replay ``workload`` sharded.
+
+    ``workers > 0`` runs each shard step in a process pool (the handoff
+    travels through real pickled IPC); ``workers == 0`` runs in-process,
+    still pickling between shards.  Returns the result and its
+    :func:`replay_digest` fingerprint — byte-identical for every
+    ``(shards, workers)`` combination.
+    """
+    from repro.array.factory import build_array
+    from repro.traces.catalog import make_trace
+
+    policy_cls = _policy_registry().get(policy)
+    if policy_cls is None:
+        raise ValueError(
+            f"unknown policy {policy!r}; choose from {sorted(_policy_registry())}"
+        )
+    sim = Simulator()
+    array = build_array(sim, policy_cls())
+    trace = make_trace(
+        workload,
+        duration_s=duration_s,
+        seed=seed,
+        address_space_sectors=array.layout.total_data_sectors,
+    )
+    if workers > 0:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            result = replay_trace_sharded(
+                sim, array, trace, shards=shards,
+                submit=lambda fn, *fnargs: pool.submit(fn, *fnargs).result(),
+            )
+    else:
+        result = replay_trace_sharded(sim, array, trace, shards=shards)
+    return result, replay_digest(result)
+
+
+def replay_digest(result: ShardReplayResult) -> str:
+    """Order-sensitive fingerprint of a replay's observable results.
+
+    Covers the per-request latency stream (exact doubles, in completion
+    order), every controller counter, each member disk's mechanical
+    integrals, the parity-lag integrals, and the horizon — the same
+    surface the golden-replay gate asserts on.  Equal digests mean the
+    runs were byte-identical as far as any consumer can tell.
+    """
+    digest = hashlib.sha256()
+    stats = dataclasses.asdict(result.stats)
+    io_times = stats.pop("io_times")
+    digest.update(struct.pack(f"<{len(io_times)}d", *io_times))
+    for key in sorted(stats):
+        digest.update(f"{key}={stats[key]};".encode())
+    for d in result.disk_stats:
+        digest.update(
+            struct.pack(
+                "<4d4q",
+                d.busy_time, d.seek_time, d.rotational_latency, d.transfer_time,
+                d.reads, d.writes, d.sectors_read, d.sectors_written,
+            )
+        )
+    digest.update(struct.pack("<4d", *result.parity_lag))
+    digest.update(struct.pack("<d", result.outcome.horizon_s))
+    return digest.hexdigest()

@@ -19,6 +19,24 @@ import typing
 from repro.sim import Simulator
 
 
+class _IdleDeclaration:
+    """Pending idle declaration: calls ``_declare`` with its generation.
+
+    A named class instead of a lambda so an armed detector (every freshly
+    built array has one) survives the snapshot pickling done by
+    :mod:`repro.harness.sharding`.
+    """
+
+    __slots__ = ("detector", "generation")
+
+    def __init__(self, detector: "IdleDetector", generation: int) -> None:
+        self.detector = detector
+        self.generation = generation
+
+    def __call__(self, _event) -> None:
+        self.detector._declare(self.generation)
+
+
 class IdleDetector:
     """Timer-based idleness detection over an activity count.
 
@@ -106,9 +124,8 @@ class IdleDetector:
     # -- internals ----------------------------------------------------------------------------
 
     def _arm(self) -> None:
-        generation = self._generation
         check = self.sim.timeout(self.threshold_s, name="idle.check")
-        check.add_callback(lambda _event: self._declare(generation))
+        check.add_callback(_IdleDeclaration(self, self._generation))
 
     def _declare(self, generation: int) -> None:
         if generation != self._generation or self._outstanding != 0:

@@ -11,8 +11,12 @@ from __future__ import annotations
 
 import dataclasses
 import typing
+from collections import deque
+from heapq import heappush as _heappush
 
 from repro.disk import DiskFailedError, DiskIO, LatentSectorError, MechanicalDisk
+from repro.disk.disk import IoKind, ServiceBreakdown
+from repro.disk.vector import VECTOR_MIN, batch_service_parts
 from repro.sched.queues import FcfsScheduler, IoScheduler
 from repro.sim import Event, Simulator
 from repro.sim.events import _PENDING
@@ -57,11 +61,24 @@ class DiskDriver:
         #: Optional span-per-command tracer; ``None`` (the default) keeps
         #: the pump's disabled path to one attribute load per command.
         self.tracer: "Tracer | None" = None
+        #: Callback-pump state: the event the pump is parked on (an
+        #: in-service completion or a media busy-wait timeout).
+        self._wait: Event | None = None
+        self._wait_is_completion = False
+        #: Precomputed drain run: ``(io, completion, submit_time, parts)``
+        #: entries popped from the scheduler whose service timings were
+        #: computed in one vectorised pass (see repro.disk.vector).  Still
+        #: logically queued — issued one per completion wake.
+        self._batch: deque = deque()
 
     @property
     def queued(self) -> int:
-        """Commands waiting in the driver queue (excludes the one in service)."""
-        return len(self.scheduler)
+        """Commands waiting in the driver queue (excludes the one in service).
+
+        Counts the precomputed batch too: those commands are still queued
+        as far as any observer (telemetry samplers) is concerned.
+        """
+        return len(self.scheduler) + len(self._batch)
 
     @property
     def busy(self) -> bool:
@@ -90,8 +107,182 @@ class DiskDriver:
         self.scheduler.push((io, completion, sim._now), io.lba)
         if not self._pumping:
             self._pumping = True
-            sim.process(self._pump(), name=self._ev_pump)
+            if self.tracer is not None:
+                sim.process(self._pump(), name=self._ev_pump)
+            else:
+                # Callback pump (the default): the drain runs as plain
+                # callbacks instead of a generator process — no frame
+                # suspension per command, and the first drain step runs
+                # synchronously (no bootstrap kick event: the drain's
+                # first action either issues this very command or parks
+                # on a busy-wait timeout, neither of which interleaves
+                # with other same-instant events).
+                self._step(None)
         return completion
+
+    def _step(self, event: Event) -> None:
+        """One callback-pump step: settle what we were parked on, then drain.
+
+        Mirrors :meth:`_pump` hop for hop — each ``yield`` there is a
+        ``callbacks.append(self._step); return`` here, at the same cascade
+        position, so the event pattern (and therefore every (time, seq)
+        tie-break) is identical.
+        """
+        sim = self.sim
+        disk = self.disk
+        stats = self.stats
+        wait = self._wait
+        if wait is not None:
+            if event is not wait:
+                return  # stale wakeup (defensive; should not occur)
+            self._wait = None
+            if self._wait_is_completion:
+                if event._exception is None:
+                    stats.completed += 1
+                else:
+                    # The disk already failed the completion (whole-disk
+                    # or latent-sector error); the command is accounted
+                    # and the drive keeps serving the queue.
+                    stats.failed += 1
+        # With immediate reporting the completion fires at the buffer
+        # ack; wait out the mechanism before issuing the next command.
+        if disk._busy_until > sim._now:
+            timeout = sim.timeout(disk._busy_until - sim._now)
+            timeout.callbacks.append(self._step)
+            self._wait = timeout
+            self._wait_is_completion = False
+            return
+        scheduler = self.scheduler
+        batch = self._batch
+        if not scheduler and not batch:
+            # Nothing queued (the common completion wake): stop pumping.
+            self._pumping = False
+            return
+        if batch:
+            if disk._failed or disk._latent_errors:
+                # A mid-run fault invalidates the precomputed chain (the
+                # timings assumed a healthy disk).  Hand the tail back to
+                # the queue front — reverse pop order restores FCFS — and
+                # drain through the exact scalar path below.
+                while batch:
+                    io, completion, submit_time, _part = batch.pop()
+                    scheduler.push_front((io, completion, submit_time), io.lba)
+            else:
+                self._issue_precomputed(*batch.popleft())
+                return
+        elif (
+            type(scheduler) is FcfsScheduler
+            and not disk.immediate_report
+            and disk.readahead_segments == 0
+            and not disk._failed
+            and not disk._latent_errors
+        ):
+            # Fast lanes: eligibility pins down the execute() success
+            # path exactly — no drive cache (readahead off), report at
+            # media completion (immediate_report off), healthy disk — so
+            # service timings are a pure function of the state right now
+            # and the generic drain's per-command branches are dead.
+            queue = scheduler._queue
+            depth = len(queue)
+            if depth >= VECTOR_MIN:
+                # Vectorised: every queued command will be issued back to
+                # back under FCFS; precompute the whole run's timings in
+                # one pass (repro.disk.vector) and issue from the batch
+                # one completion wake at a time.
+                entries = [queue.popleft()[0] for _ in range(depth)]
+                parts = batch_service_parts(disk, [entry[0] for entry in entries], sim._now)
+                batch.extend(
+                    (entry[0], entry[1], entry[2], part)
+                    for entry, part in zip(entries, parts)
+                )
+                self._issue_precomputed(*batch.popleft())
+                return
+            # Scalar fused: shallow queues (light traces rarely go deeper
+            # than 4) skip the array-op and batch bookkeeping — one exact
+            # _service_parts call, issued directly.
+            io, completion, submit_time = queue.popleft()[0]
+            seek, rotational_latency, transfer, cylinder, head = disk._service_parts(
+                io.lba, io.nsectors, sim._now
+            )
+            # Same addition order as execute() / ServiceBreakdown.total.
+            total = disk.controller_overhead_s + seek + rotational_latency + transfer
+            self._issue_precomputed(
+                io, completion, submit_time,
+                (seek, rotational_latency, transfer, cylinder, head, total),
+            )
+            return
+        geometry = disk.geometry
+        uses_position = scheduler.uses_position
+        while scheduler:
+            head = (
+                geometry.physical_to_lba(disk.current_cylinder, 0, 0)
+                if uses_position
+                else 0
+            )
+            (io, completion, submit_time), _position = scheduler.pop(head)
+            stats.queue_time += sim._now - submit_time
+            try:
+                disk.execute(io, completion)
+            except (DiskFailedError, LatentSectorError):
+                stats.failed += 1
+                continue
+            except BaseException:
+                self._pumping = False
+                raise
+            completion.callbacks.append(self._step)
+            self._wait = completion
+            self._wait_is_completion = True
+            return
+        self._pumping = False
+
+    def _issue_precomputed(self, io, completion, submit_time, part) -> None:
+        """Issue one batch command, replaying ``MechanicalDisk.execute``.
+
+        ``part`` is the precomputed ``(seek, rotational_latency, transfer,
+        cylinder, head, total)`` from :func:`batch_service_parts`.  Every
+        state/stats mutation below mirrors the execute() success path in
+        the same order; the batch eligibility guard (healthy disk, no
+        read-ahead, no immediate reporting) guarantees execute() would
+        have taken exactly this path with exactly these floats.
+        """
+        sim = self.sim
+        disk = self.disk
+        now = sim._now
+        self.stats.queue_time += now - submit_time
+        seek, rotational_latency, transfer, cylinder, head, total = part
+        disk._current_cylinder = cylinder
+        disk._current_head = head
+        when = now + total
+        disk._busy_until = when
+        stats = disk.stats
+        stats.busy_time += total
+        stats.seek_time += seek
+        stats.rotational_latency += rotational_latency
+        stats.transfer_time += transfer
+        if io.kind is IoKind.READ:
+            stats.reads += 1
+            stats.sectors_read += io.nsectors
+        else:
+            stats.writes += 1
+            stats.sectors_written += io.nsectors
+        # _schedule_completion inlined; report_after == total for reads
+        # and for writes without immediate reporting (the guard).
+        completion._value = ServiceBreakdown(
+            overhead=disk.controller_overhead_s,
+            seek=seek,
+            rotational_latency=rotational_latency,
+            transfer=transfer,
+        )
+        completion._scheduled = True
+        sim._sequence += 1
+        if when > now:
+            _heappush(sim._queue, (when, sim._sequence, completion))
+        else:
+            sim._bucket.append(completion)
+        disk._inflight = completion
+        completion.callbacks.append(self._step)
+        self._wait = completion
+        self._wait_is_completion = True
 
     def _pump(self):
         sim = self.sim

@@ -61,6 +61,15 @@ class FcfsScheduler(IoScheduler[T]):
             raise IndexError("pop from empty scheduler")
         return self._queue.popleft()
 
+    def push_front(self, item: T, position: int) -> None:
+        """Return ``item`` to the head of the queue (undo a pop).
+
+        Used by the device driver to hand back a prefetched batch when a
+        mid-run fault invalidates its precomputed timings: items pushed
+        front in reverse pop order restore the exact FCFS order.
+        """
+        self._queue.appendleft((item, position))
+
     def __len__(self) -> int:
         return len(self._queue)
 

@@ -1,0 +1,180 @@
+"""A calendar-style event queue: current-instant bucket + heap fallback.
+
+Classic calendar queues [Brown88] bucket events by time so that insert and
+pop are amortised O(1) instead of the binary heap's O(log n).  A
+discrete-event *simulation* kernel has one overwhelmingly dominant insert
+pattern: events scheduled for the **current instant** (event cascades —
+completions triggering callbacks triggering more same-instant events).
+This implementation therefore keeps exactly one calendar bucket — the
+bucket for *now* — as a FIFO deque (O(1) append/popleft, no sift), and
+falls back to a binary heap for everything in the sparse future horizon,
+where per-event O(log n) is paid only by the minority of entries that
+actually cross time.
+
+Ordering contract (identical to a pure ``(time, seq)`` heap):
+
+* every entry receives a monotonically increasing sequence number at
+  schedule time;
+* entries pop in ``(time, seq)`` order — i.e. time order, with FIFO
+  tie-break for equal times.
+
+Why the split preserves that order exactly: an entry lands in the bucket
+only when it is scheduled *at* the current clock reading, and the clock
+never moves backwards, so every heap entry whose time equals the current
+instant was scheduled while the clock was still earlier — hence carries a
+**smaller** sequence number than every bucket entry.  The pop rule
+(drain heap entries due now before bucket entries, then the bucket in
+FIFO order, then advance time via the heap) is therefore exactly
+``(time, seq)`` order without storing or comparing sequence numbers for
+the bucket at all.
+
+:class:`repro.sim.core.Simulator` embeds this discipline inline (its run
+loop is the hottest cycle in the tree); this standalone class is the
+reference implementation the property tests exercise, and is usable
+anywhere an order-preserving scheduler is needed.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
+
+
+class CalendarQueue:
+    """An order-preserving scheduler: ``push(when, item)`` / ``pop()``.
+
+    ``pop`` returns ``(when, item)`` pairs in ``(when, schedule-order)``
+    order and advances the internal clock to ``when``.  Pushing an entry
+    earlier than the current clock raises ``ValueError`` (time never runs
+    backwards in a simulation).
+
+    ``cancel`` is lazy: the entry is marked dead and skipped at pop time,
+    which keeps cancellation O(1) without disturbing heap order.
+    """
+
+    __slots__ = ("_now", "_heap", "_bucket", "_sequence", "_live")
+
+    #: Slot index of the liveness flag inside an entry.
+    _ALIVE = 3
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        #: Future entries: ``[when, seq, item, alive]`` lists, heap-ordered.
+        self._heap: list[list] = []
+        #: Entries due at exactly ``_now``, FIFO.
+        self._bucket: deque[list] = deque()
+        self._sequence = 0
+        self._live = 0
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Clock reading: the time of the most recently popped entry."""
+        return self._now
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def peek(self) -> float:
+        """Time of the next live entry, or ``+inf`` when empty."""
+        self._vacuum()
+        if self._bucket:
+            # A live bucket entry is due now unless a heap entry at the
+            # same instant predates it — either way the next time is now.
+            return self._now
+        if self._heap:
+            return self._heap[0][0]
+        return float("inf")
+
+    # -- scheduling -----------------------------------------------------------
+
+    def push(self, when: float, item: typing.Any) -> list:
+        """Schedule ``item`` at time ``when``; returns a cancellation token."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule into the past: {when} < {self._now}")
+        self._sequence += 1
+        entry = [when, self._sequence, item, True]
+        if when > self._now:
+            _heappush(self._heap, entry)
+        else:
+            self._bucket.append(entry)
+        self._live += 1
+        return entry
+
+    def bulk_push(self, pairs: typing.Iterable[tuple[float, typing.Any]]) -> list[list]:
+        """Schedule many entries, restoring heap order in one pass.
+
+        Current-instant entries still go to the bucket — appending them to
+        the heap would hand them sequence numbers *larger* than existing
+        bucket entries while the pop rule drains due heap entries first,
+        inverting FIFO order for simultaneous timestamps.  (This is the
+        bulk-path ordering bug the regression tests pin down.)
+        """
+        now = self._now
+        heap = self._heap
+        bucket = self._bucket
+        entries = []
+        grew_heap = False
+        for when, item in pairs:
+            if when < now:
+                raise ValueError(f"cannot schedule into the past: {when} < {now}")
+            self._sequence += 1
+            entry = [when, self._sequence, item, True]
+            if when > now:
+                heap.append(entry)
+                grew_heap = True
+            else:
+                bucket.append(entry)
+            self._live += 1
+            entries.append(entry)
+        if grew_heap:
+            _heapify(heap)
+        return entries
+
+    def cancel(self, token: list) -> bool:
+        """Cancel a scheduled entry; returns False if already popped/dead."""
+        if token[self._ALIVE]:
+            token[self._ALIVE] = False
+            self._live -= 1
+            return True
+        return False
+
+    # -- popping --------------------------------------------------------------
+
+    def _vacuum(self) -> None:
+        """Drop dead entries from the front of both structures."""
+        bucket = self._bucket
+        while bucket and not bucket[0][3]:
+            bucket.popleft()
+        heap = self._heap
+        while heap and not heap[0][3]:
+            _heappop(heap)
+
+    def pop(self) -> tuple[float, typing.Any]:
+        """Remove and return the next ``(when, item)``; advances the clock."""
+        while True:
+            bucket = self._bucket
+            heap = self._heap
+            if bucket:
+                # Heap entries due at the current instant were scheduled
+                # before the clock reached it: they precede the bucket.
+                if heap and heap[0][0] <= self._now:
+                    entry = _heappop(heap)
+                else:
+                    entry = bucket.popleft()
+            elif heap:
+                entry = _heappop(heap)
+            else:
+                raise IndexError("pop from an empty CalendarQueue")
+            if entry[3]:
+                # Retire the token: a popped entry must read as dead, or
+                # a later cancel() on it would corrupt the live count.
+                entry[3] = False
+                self._now = entry[0]
+                self._live -= 1
+                return entry[0], entry[2]

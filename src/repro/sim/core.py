@@ -1,9 +1,48 @@
-"""The simulator: event heap, clock, and run loop."""
+"""The simulator: calendar event queue, clock, and run loop.
+
+Event-queue discipline
+----------------------
+The kernel uses the bucket-calendar discipline of
+:class:`repro.sim.calendar.CalendarQueue`, embedded inline (the run loop
+is the hottest cycle in the tree, so the queue lives as two plain
+attributes rather than behind method calls):
+
+* ``_bucket`` — a FIFO deque of events scheduled for the **current
+  instant** (event cascades: completions triggering callbacks triggering
+  more same-instant events).  Append/popleft are O(1) with no sift.
+* ``_queue`` — a binary heap of ``(time, seq, event)`` for events in the
+  future horizon, where O(log n) is paid only by entries that actually
+  cross time.
+
+Ordering invariant (everything below depends on it):
+
+1. Every scheduled event receives a monotonically increasing sequence
+   number (``_sequence``), and events must dispatch in ``(time, seq)``
+   order — time order with FIFO tie-break for simultaneous events.
+2. An event lands in the bucket only when scheduled *at* the current
+   clock reading; the clock never moves backwards.  Hence every heap
+   entry whose time equals the current instant was scheduled while the
+   clock was still earlier and carries a *smaller* sequence number than
+   every bucket entry.
+3. The pop rule — heap entries due now first, then the bucket FIFO, then
+   advance time via the heap — is therefore exactly ``(time, seq)``
+   order without storing sequence numbers for bucket entries at all.
+
+Corollary for **bulk scheduling** (:meth:`Simulator.timeouts`): a batch
+entry with zero delay must go to the bucket, not the heap.  Appending it
+to the heap would give it a sequence number larger than existing bucket
+entries while the pop rule drains due heap entries first — inverting
+FIFO order for simultaneous timestamps.  The bulk path also must not
+publish any entry until the whole batch has validated: a half-applied
+batch that bumped ``_sequence`` for some entries and then raised would
+let later schedules reuse sequence numbers, breaking invariant 1.
+"""
 
 from __future__ import annotations
 
 import heapq
 import typing
+from collections import deque
 from sys import getrefcount as _getrefcount
 
 from repro.sim.events import Event, Timeout
@@ -35,7 +74,10 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
+        #: Future events, heap-ordered (see the module docstring).
         self._queue: list[tuple[float, int, Event]] = []
+        #: Events due at exactly ``_now``, FIFO (see the module docstring).
+        self._bucket: deque[Event] = deque()
         self._sequence = 0
         self._trace: typing.Callable[[float, Event], None] | None = None
         #: Recycled Timeout objects (see the run loop): every disk I/O is
@@ -70,7 +112,11 @@ class Simulator:
             timeout._exception = None
             timeout.delay = delay
             self._sequence += 1
-            heapq.heappush(self._queue, (self._now + delay, self._sequence, timeout))
+            when = self._now + delay
+            if when > self._now:
+                heapq.heappush(self._queue, (when, self._sequence, timeout))
+            else:
+                self._bucket.append(timeout)
             return timeout
         return Timeout(self, delay, value=value, name=name)
 
@@ -80,18 +126,31 @@ class Simulator:
         Per-timeout ``heappush`` costs O(log n) each; a batch appends every
         entry and re-heapifies once (O(n + k)), which wins for large k —
         e.g. pre-scheduling a whole scrub or arrival schedule.
+
+        The batch is validated *before* anything is published: sequence
+        numbers are only consumed once every delay has been checked, so a
+        bad delay leaves the simulator untouched (see the module
+        docstring's bulk-scheduling corollary).  Zero-delay entries go to
+        the current-instant bucket, preserving FIFO order against events
+        already scheduled for now.
         """
+        batch = [Timeout._unscheduled(self, delay, value) for delay in delays]
         queue = self._queue
+        bucket = self._bucket
         now = self._now
         sequence = self._sequence
-        batch: list[Timeout] = []
-        for delay in delays:
-            timeout = Timeout._unscheduled(self, delay, value)
+        grew_heap = False
+        for timeout in batch:
             sequence += 1
-            queue.append((now + delay, sequence, timeout))
-            batch.append(timeout)
+            when = now + timeout.delay
+            if when > now:
+                queue.append((when, sequence, timeout))
+                grew_heap = True
+            else:
+                bucket.append(timeout)
         self._sequence = sequence
-        heapq.heapify(queue)
+        if grew_heap:
+            heapq.heapify(queue)
         return batch
 
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
@@ -105,12 +164,18 @@ class Simulator:
             raise RuntimeError(f"{event!r} scheduled twice")
         event._scheduled = True
         self._sequence += 1
-        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        when = self._now + delay
+        if when > self._now:
+            heapq.heappush(self._queue, (when, self._sequence, event))
+        else:
+            self._bucket.append(event)
 
     # -- run loop ---------------------------------------------------------------
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
+        if self._bucket:
+            return self._now
         return self._queue[0][0] if self._queue else float("inf")
 
     @property
@@ -120,14 +185,27 @@ class Simulator:
         Every scheduled event receives a sequence number and is dispatched
         exactly once, so this costs nothing to maintain.
         """
-        return self._sequence - len(self._queue)
+        return self._sequence - len(self._queue) - len(self._bucket)
+
+    def _pop_next(self) -> Event:
+        """Remove the next event in (time, seq) order; advances the clock."""
+        bucket = self._bucket
+        queue = self._queue
+        if bucket:
+            # Heap entries due at the current instant were scheduled
+            # before the clock reached it: they precede the bucket.
+            if queue and queue[0][0] <= self._now:
+                return heapq.heappop(queue)[2]
+            return bucket.popleft()
+        when, _seq, event = heapq.heappop(queue)
+        self._now = when
+        return event
 
     def step(self) -> None:
         """Dispatch the single next event."""
-        when, _seq, event = heapq.heappop(self._queue)
-        self._now = when
+        event = self._pop_next()
         if self._trace is not None:
-            self._trace(when, event)
+            self._trace(self._now, event)
         event._dispatch()
         if event._exception is not None and not event.defused and not event._handled:
             # An event failed and nothing is positioned to handle it (any
@@ -147,18 +225,30 @@ class Simulator:
         if until is not None and until < self._now:
             raise ValueError(f"cannot run backwards: now={self._now}, until={until}")
         queue = self._queue
+        bucket = self._bucket
         if until is None:
             # The common case — drain to empty, no horizon — dispatches
             # inline with everything in locals.  This loop is the kernel's
             # innermost cycle; method-call and attribute overhead here is
             # measurable on every experiment.
             heappop = heapq.heappop
+            popleft = bucket.popleft
             pool = self._timeout_pool
-            while queue:
-                when, _seq, event = heappop(queue)
-                self._now = when
+            while True:
+                if bucket:
+                    # Same-instant heap entries predate all bucket entries
+                    # (see the module docstring's ordering invariant).
+                    if queue and queue[0][0] <= self._now:
+                        event = heappop(queue)[2]
+                    else:
+                        event = popleft()
+                elif queue:
+                    when, _seq, event = heappop(queue)
+                    self._now = when
+                else:
+                    break
                 if self._trace is not None:
-                    self._trace(when, event)
+                    self._trace(self._now, event)
                 # Event._dispatch, inlined (saves a call per event):
                 callbacks = event.callbacks
                 event.callbacks = None
@@ -181,7 +271,7 @@ class Simulator:
                     event._value = None
                     pool.append(event)
             return
-        while queue and queue[0][0] <= until:
+        while bucket or (queue and queue[0][0] <= until):
             self.step()
         self._now = until
 
@@ -191,17 +281,25 @@ class Simulator:
         Raises ``RuntimeError`` if the queue drains or ``limit`` passes first.
         """
         queue = self._queue
+        bucket = self._bucket
         heappop = heapq.heappop
+        popleft = bucket.popleft
         pool = self._timeout_pool
         # ``processed`` implies ``triggered``, so waiting for the callback
         # list to clear covers both; the loop dispatches inline (cf. run()).
         while event.callbacks is not None:
-            if not queue or queue[0][0] > limit:
+            if bucket:
+                if queue and queue[0][0] <= self._now:
+                    next_event = heappop(queue)[2]
+                else:
+                    next_event = popleft()
+            elif queue and queue[0][0] <= limit:
+                when, _seq, next_event = heappop(queue)
+                self._now = when
+            else:
                 raise RuntimeError(f"simulation ended before {event!r} triggered")
-            when, _seq, next_event = heappop(queue)
-            self._now = when
             if self._trace is not None:
-                self._trace(when, next_event)
+                self._trace(self._now, next_event)
             # Event._dispatch, inlined (saves a call per event):
             callbacks = next_event.callbacks
             next_event.callbacks = None

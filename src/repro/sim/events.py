@@ -15,7 +15,32 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.core import Simulator
 
 # Sentinel distinguishing "no value yet" from a legitimate None value.
-_PENDING = object()
+class _PendingType:
+    """Sentinel type for "no value yet".
+
+    Identity-compared everywhere (``value is _PENDING``), so it must
+    survive pickling: snapshot/restore handoff (see
+    :mod:`repro.harness.sharding`) round-trips whole simulators, and a
+    plain ``object()`` would come back as a *different* object, silently
+    turning pending events into triggered ones.  ``__reduce__`` pins the
+    unpickled result to the module singleton.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<pending>"
+
+    def __reduce__(self):
+        return (_restore_pending, ())
+
+
+_PENDING = _PendingType()
+
+
+def _restore_pending() -> "_PendingType":
+    """Unpickle hook: there is exactly one pending sentinel."""
+    return _PENDING
 
 
 class EventFailed(Exception):
@@ -98,10 +123,13 @@ class Event:
         self._value = value
         # Scheduling is inlined (this is the hottest kernel path: every
         # disk completion, resource grant, and process step lands here).
+        # Triggering always happens *now*, so the event goes straight to
+        # the current-instant bucket — O(1), no heap sift (see the
+        # ordering invariant in repro.sim.core).
         sim = self.sim
         self._scheduled = True
         sim._sequence += 1
-        _heappush(sim._queue, (sim._now, sim._sequence, self))
+        sim._bucket.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -120,7 +148,7 @@ class Event:
         sim = self.sim
         self._scheduled = True
         sim._sequence += 1
-        _heappush(sim._queue, (sim._now, sim._sequence, self))
+        sim._bucket.append(self)
         return self
 
     # -- callback plumbing ----------------------------------------------------
@@ -178,7 +206,11 @@ class Timeout(Event):
         # are unreachable (_exception is always None).  Skipping three
         # writes is measurable at millions of timeouts per sweep.
         sim._sequence += 1
-        _heappush(sim._queue, (sim._now + delay, sim._sequence, self))
+        when = sim._now + delay
+        if when > sim._now:
+            _heappush(sim._queue, (when, sim._sequence, self))
+        else:
+            sim._bucket.append(self)
 
     def __repr__(self) -> str:
         state = "processed" if self.callbacks is None else "pending"

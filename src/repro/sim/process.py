@@ -10,7 +10,6 @@ can wait on each other.
 from __future__ import annotations
 
 import typing
-from heapq import heappush as _heappush
 from types import GeneratorType
 
 from repro.sim.events import Event
@@ -74,7 +73,7 @@ class Process(Event):
         bootstrap._handled = False
         self._waiting_on: Event | None = bootstrap
         sim._sequence += 1
-        _heappush(sim._queue, (sim._now, sim._sequence, bootstrap))
+        sim._bucket.append(bootstrap)
 
     @property
     def is_alive(self) -> bool:

@@ -8,7 +8,6 @@ number of physical disks).
 from __future__ import annotations
 
 import collections
-from heapq import heappush as _heappush
 
 from repro.sim.core import Simulator
 from repro.sim.events import Event
@@ -68,7 +67,7 @@ class Resource:
             grant._scheduled = True
             grant._handled = False
             sim._sequence += 1
-            _heappush(sim._queue, (sim._now, sim._sequence, grant))
+            sim._bucket.append(grant)
             return grant
         grant = Event(self.sim, name=self._grant_name)
         self._waiters.append(grant)

@@ -1,0 +1,158 @@
+"""Vectorised disk-service kernel: bit-exact against the scalar chain.
+
+``batch_service_parts`` (repro.disk.vector) promises every float it
+returns is **bit-identical** to issuing the same commands one at a time
+through ``_service_parts`` — the golden-replay gate rests on that.  These
+tests grind randomized command runs through both paths and compare with
+``==`` on raw floats (no tolerance), plus pin the fallback triggers.
+"""
+
+import random
+
+import pytest
+
+from repro.disk import DiskIO, IoKind, hp_c3325, toy_disk
+from repro.disk import vector
+from repro.disk.vector import VECTOR_MIN, batch_service_parts
+from repro.sim import Simulator
+
+
+def _scalar_chain(disk, ios, start_time):
+    """Reference: the sequential scalar walk batch_service_parts replays."""
+    orig = (disk._current_cylinder, disk._current_head)
+    start = start_time
+    results = []
+    try:
+        for io in ios:
+            seek, rot, transfer, cylinder, head = disk._service_parts(
+                io.lba, io.nsectors, start
+            )
+            total = disk.controller_overhead_s + seek + rot + transfer
+            results.append((seek, rot, transfer, cylinder, head, total))
+            disk._current_cylinder = cylinder
+            disk._current_head = head
+            start = start + total
+    finally:
+        disk._current_cylinder, disk._current_head = orig
+    return results
+
+
+def _reorder(scalar_parts):
+    """Match batch_service_parts' tuple layout (cylinder/head after transfer)."""
+    return [(s, r, t, c, h, tot) for s, r, t, c, h, tot in scalar_parts]
+
+
+def _random_run(disk, rng, k, single_track_only):
+    geometry = disk.geometry
+    ios = []
+    while len(ios) < k:
+        lba = rng.randrange(geometry.total_sectors - 64)
+        nsectors = rng.choice([1, 2, 4, 8, 16])
+        if single_track_only:
+            # Keep within one track so the numpy decode covers it.
+            _zone, spt, _cyl, _head, sector = _decode(geometry, lba)
+            if spt - sector < nsectors:
+                continue
+        kind = IoKind.READ if rng.random() < 0.5 else IoKind.WRITE
+        ios.append(DiskIO(kind, lba, nsectors))
+    return ios
+
+
+def _decode(geometry, lba):
+    zone_index = 0
+    for index, first in enumerate(geometry._zone_first_lba):
+        if lba >= first:
+            zone_index = index
+    first_lba = geometry._zone_first_lba[zone_index]
+    spt = geometry.zones[zone_index].sectors_per_track
+    offset = lba - first_lba
+    per_cyl = geometry.heads * spt
+    cylinder = geometry._zone_first_cyl[zone_index] + offset // per_cyl
+    within = offset % per_cyl
+    return zone_index, spt, cylinder, within // spt, within % spt
+
+
+@pytest.fixture(params=["hp_c3325", "toy"])
+def disk(request):
+    sim = Simulator()
+    if request.param == "hp_c3325":
+        return hp_c3325(sim)
+    return toy_disk(sim)
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_vectorised_run_matches_scalar_chain(self, disk, seed):
+        rng = random.Random(seed)
+        k = rng.randrange(VECTOR_MIN, 4 * VECTOR_MIN)
+        ios = _random_run(disk, rng, k, single_track_only=True)
+        start = rng.random() * 50.0
+        got = batch_service_parts(disk, ios, start)
+        want = _reorder(_scalar_chain(disk, ios, start))
+        assert got == want  # exact float equality, element by element
+
+    @pytest.mark.parametrize("seed", range(6, 10))
+    def test_mixed_runs_with_fallback_commands(self, disk, seed):
+        # Multi-track and zone-crossing commands force the per-command
+        # scalar fallback mid-chain; the chain must stay exact around them.
+        rng = random.Random(seed)
+        ios = _random_run(disk, rng, 3 * VECTOR_MIN, single_track_only=False)
+        got = batch_service_parts(disk, ios, 7.25)
+        want = _reorder(_scalar_chain(disk, ios, 7.25))
+        assert got == want
+
+    def test_nonzero_head_position_start(self, disk):
+        rng = random.Random(99)
+        warm = _random_run(disk, rng, 1, single_track_only=False)[0]
+        _, _, _, cylinder, head = disk._service_parts(warm.lba, warm.nsectors, 0.0)
+        disk._current_cylinder = cylinder
+        disk._current_head = head
+        ios = _random_run(disk, rng, VECTOR_MIN, single_track_only=True)
+        assert batch_service_parts(disk, ios, 3.5) == _reorder(
+            _scalar_chain(disk, ios, 3.5)
+        )
+
+    def test_disk_state_not_mutated(self, disk):
+        rng = random.Random(5)
+        disk._current_cylinder, disk._current_head = 17, 1
+        ios = _random_run(disk, rng, 2 * VECTOR_MIN, single_track_only=False)
+        before = (disk._current_cylinder, disk._current_head)
+        batch_service_parts(disk, ios, 1.0)
+        assert (disk._current_cylinder, disk._current_head) == before
+
+
+class TestFallbackTriggers:
+    def test_short_runs_skip_the_decode(self, disk, monkeypatch):
+        calls = []
+        real = vector._vector_decode
+        monkeypatch.setattr(
+            vector, "_vector_decode", lambda *args: calls.append(1) or real(*args)
+        )
+        rng = random.Random(1)
+        short = _random_run(disk, rng, VECTOR_MIN - 1, single_track_only=True)
+        batch_service_parts(disk, short, 0.0)
+        assert calls == []  # below the threshold: pure scalar chain
+        long = _random_run(disk, rng, VECTOR_MIN, single_track_only=True)
+        batch_service_parts(disk, long, 0.0)
+        assert calls == [1]
+
+    def test_without_numpy_results_identical(self, disk, monkeypatch):
+        rng = random.Random(2)
+        ios = _random_run(disk, rng, 2 * VECTOR_MIN, single_track_only=False)
+        with_numpy = batch_service_parts(disk, ios, 4.0)
+        monkeypatch.setattr(vector, "_np", None)
+        without = batch_service_parts(disk, ios, 4.0)
+        assert with_numpy == without
+
+    def test_multitrack_command_uses_exact_scalar(self, disk):
+        # A command spanning a whole cylinder can never take the numpy
+        # lane; alone past the threshold it must still be exact.
+        geometry = disk.geometry
+        spt = geometry.zones[0].sectors_per_track
+        big = DiskIO(IoKind.WRITE, 0, spt * geometry.heads + 3)
+        ios = [big] + _random_run(
+            disk, random.Random(3), 2 * VECTOR_MIN, single_track_only=True
+        )
+        assert batch_service_parts(disk, ios, 0.5) == _reorder(
+            _scalar_chain(disk, ios, 0.5)
+        )

@@ -1,0 +1,132 @@
+"""Regression tests for ``Simulator.timeouts`` (the bulk scheduling path).
+
+The bulk path appends a whole batch and re-heapifies once instead of
+paying per-entry ``heappush``.  Three properties pinned here were each
+broken (or nearly broken) at some point:
+
+* zero-delay entries must land in the current-instant *bucket* — putting
+  them in the heap hands them sequence numbers larger than existing
+  bucket entries while the pop rule drains due heap entries first,
+  inverting FIFO for simultaneous timestamps;
+* sequence numbers must stay monotonic with singleton scheduling across
+  interleaved batches, including after a partial drain;
+* a bad delay anywhere in the batch must leave the simulator completely
+  untouched — no sequence numbers consumed, nothing scheduled.
+"""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def _record(log, label):
+    return lambda event: log.append(label)
+
+
+class TestZeroDelayBucketFifo:
+    def test_zero_delay_batch_respects_existing_bucket_order(self):
+        # An already-triggered (bucketed) event must dispatch before
+        # zero-delay bulk timeouts created after it.
+        sim = Simulator()
+        log = []
+        first = sim.event(name="pre-existing")
+        first.succeed()
+        first.add_callback(_record(log, "pre-existing"))
+        for index, timeout in enumerate(sim.timeouts([0.0, 0.0, 0.0])):
+            timeout.add_callback(_record(log, f"bulk-{index}"))
+        sim.run()
+        assert log == ["pre-existing", "bulk-0", "bulk-1", "bulk-2"]
+
+    def test_mixed_batch_splits_bucket_and_heap(self):
+        sim = Simulator()
+        log = []
+        labels = ["now-a", "future", "now-b"]
+        for label, timeout in zip(labels, sim.timeouts([0.0, 1.0, 0.0])):
+            timeout.add_callback(_record(log, label))
+        sim.run()
+        assert log == ["now-a", "now-b", "future"]
+        assert sim.now == 1.0
+
+    def test_bulk_zero_delay_vs_singleton_equivalent_order(self):
+        def run(bulk):
+            sim = Simulator()
+            log = []
+            if bulk:
+                batch = sim.timeouts([0.0, 0.0])
+            else:
+                batch = [sim.timeout(0.0), sim.timeout(0.0)]
+            for index, timeout in enumerate(batch):
+                timeout.add_callback(_record(log, index))
+            late = sim.timeout(0.0)
+            late.add_callback(_record(log, "late"))
+            sim.run()
+            return log
+
+        assert run(bulk=True) == run(bulk=False)
+
+
+class TestSequenceMonotonicity:
+    def test_batches_interleave_with_singletons_in_creation_order(self):
+        # Same fire time everywhere: dispatch order is exactly creation
+        # order only if batch sequence numbers continue the global counter.
+        sim = Simulator()
+        log = []
+        sim.timeout(2.0).add_callback(_record(log, "single-early"))
+        for index, timeout in enumerate(sim.timeouts([2.0, 2.0])):
+            timeout.add_callback(_record(log, f"batch1-{index}"))
+        sim.timeout(2.0).add_callback(_record(log, "single-mid"))
+        for index, timeout in enumerate(sim.timeouts([2.0, 2.0])):
+            timeout.add_callback(_record(log, f"batch2-{index}"))
+        sim.run()
+        assert log == [
+            "single-early", "batch1-0", "batch1-1",
+            "single-mid", "batch2-0", "batch2-1",
+        ]
+
+    def test_monotonic_across_partial_drain(self):
+        # Regression: the bulk path once published sequence numbers from a
+        # stale snapshot of the counter; after draining part of the heap a
+        # later batch could collide with (or precede) singles created
+        # after it.
+        sim = Simulator()
+        log = []
+        for index, timeout in enumerate(sim.timeouts([1.0, 3.0])):
+            timeout.add_callback(_record(log, f"first-{index}"))
+        sim.run(until=2.0)  # drains the 1.0 entry only
+        assert log == ["first-0"]
+        sim.timeout(1.0).add_callback(_record(log, "single"))  # fires at 3.0
+        for index, timeout in enumerate(sim.timeouts([1.0, 1.0])):
+            timeout.add_callback(_record(log, f"second-{index}"))
+        sim.run()
+        assert log == [
+            "first-0", "first-1", "single", "second-0", "second-1",
+        ]
+
+
+class TestExceptionSafety:
+    def test_bad_delay_consumes_nothing(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="timeout delay must be >= 0"):
+            sim.timeouts([1.0, 2.0, -0.5, 3.0])
+        # Nothing was published: the next singleton fires alone, and a
+        # full run leaves the clock where that singleton put it.
+        log = []
+        sim.timeout(1.0).add_callback(_record(log, "only"))
+        sim.run()
+        assert log == ["only"]
+        assert sim.now == 1.0
+
+    def test_bad_delay_preserves_sequence_alignment(self):
+        # The failed batch must not have consumed sequence numbers: two
+        # same-time events created around the failure still dispatch in
+        # creation order (they would anyway), and crucially the failed
+        # call leaves no orphaned heap entries to fire later.
+        sim = Simulator()
+        log = []
+        sim.timeout(1.0).add_callback(_record(log, "before"))
+        with pytest.raises(ValueError):
+            sim.timeouts([0.0, float("-inf")])
+        sim.timeout(1.0).add_callback(_record(log, "after"))
+        sim.run()
+        assert log == ["before", "after"]
+        assert sim.now == 1.0
