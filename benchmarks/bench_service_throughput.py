@@ -1,0 +1,222 @@
+"""Serve-daemon throughput benchmark: warm-cache latency under fan-in.
+
+The serve daemon's contract is that previously-computed cells are
+answered from the content-addressed cache *in the submitting thread* —
+no queue, no dispatcher, no worker pool.  This bench measures that
+warm path end-to-end through real HTTP: it starts a daemon on an
+ephemeral port, warms the cache with one simulated job, then fires
+``--requests`` concurrent cached-cell submissions from ``--threads``
+client threads and reports the latency distribution and sustained
+request rate.  A second phase probes the backpressure path: a burst of
+*cold* submissions against a small ``--queue-limit`` must draw explicit
+429 rejections, never unbounded queueing.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py \
+        --smoke --json service-timings.json --p99-limit 0.5     # CI gate
+
+``--p99-limit`` exits non-zero when the warm-cache p99 exceeds the bound
+(seconds), so cache-path regressions cannot land silently.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import threading
+import time
+
+from repro.service import JobManager, ServiceClient, ServiceError, ServiceServer
+
+WORKLOAD = "hplajw"
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of an unsorted sample list."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def warm_payload(args) -> dict:
+    return {
+        "cells": [{"workload": WORKLOAD, "policy": "afraid"}],
+        "duration_s": args.duration,
+        "seed": args.seed,
+    }
+
+
+def run_warm_phase(client: ServiceClient, args) -> dict:
+    """Fire the concurrent cached-cell fan-in and collect latencies."""
+    latencies: list[float] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+    start_gate = threading.Event()
+    payload = warm_payload(args)
+    per_thread = args.requests // args.threads
+    remainder = args.requests - per_thread * args.threads
+
+    def hammer(extra: int) -> None:
+        start_gate.wait()
+        mine = []
+        for _ in range(per_thread + extra):
+            begin = time.perf_counter()
+            try:
+                snapshot = client.submit_with_backoff(payload)
+            except ServiceError as exc:  # pragma: no cover - failure reporting
+                with lock:
+                    errors.append(str(exc))
+                continue
+            elapsed = time.perf_counter() - begin
+            if snapshot["state"] != "done" or snapshot["cells_cached"] != 1:
+                with lock:
+                    errors.append(f"warm request was not a cache hit: {snapshot}")
+                continue
+            mine.append(elapsed)
+        with lock:
+            latencies.extend(mine)
+
+    threads = [
+        threading.Thread(target=hammer, args=(1 if i < remainder else 0,))
+        for i in range(args.threads)
+    ]
+    for thread in threads:
+        thread.start()
+    started = time.perf_counter()
+    start_gate.set()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - started
+
+    if errors:
+        raise SystemExit(f"warm phase failed ({len(errors)} errors): {errors[0]}")
+    return {
+        "requests": len(latencies),
+        "threads": args.threads,
+        "wall_s": wall_s,
+        "rps": len(latencies) / wall_s if wall_s > 0 else float("inf"),
+        "p50_s": percentile(latencies, 50),
+        "p95_s": percentile(latencies, 95),
+        "p99_s": percentile(latencies, 99),
+        "max_s": max(latencies),
+    }
+
+
+def run_backpressure_probe(client: ServiceClient, args) -> dict:
+    """Burst cold submissions at a bounded queue; count explicit 429s."""
+    accepted: list[str] = []
+    rejected = 0
+    for seed in range(args.probe_submissions):
+        payload = {
+            "cells": [{"workload": WORKLOAD, "policy": "afraid"}],
+            "duration_s": args.duration,
+            "seed": args.seed + 1 + seed,  # distinct seeds: guaranteed cold
+        }
+        try:
+            accepted.append(client.submit(payload)["id"])
+        except ServiceError as exc:
+            if exc.status != 429:
+                raise
+            rejected += 1
+    for job_id in accepted:
+        client.cancel(job_id)
+    return {
+        "submissions": args.probe_submissions,
+        "accepted": len(accepted),
+        "rejected_429": rejected,
+        "queue_limit": args.queue_limit,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=1000,
+                        help="concurrent warm-cache submissions (default 1000)")
+    parser.add_argument("--threads", type=int, default=32,
+                        help="client threads issuing them (default 32)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="daemon worker processes (default 2)")
+    parser.add_argument("--queue-limit", type=int, default=8,
+                        help="daemon admission bound for the 429 probe")
+    parser.add_argument("--probe-submissions", type=int, default=32,
+                        help="cold submissions in the backpressure burst")
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="simulated seconds per cell (warm-up cost only)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache directory (default: a fresh temp dir)")
+    parser.add_argument("--json", dest="json_out", default=None,
+                        help="write the report as JSON to this path")
+    parser.add_argument("--p99-limit", type=float, default=None,
+                        help="exit 1 if warm p99 exceeds this many seconds")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI sizing: fewer threads, shorter warm-up")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.threads = min(args.threads, 16)
+        args.duration = min(args.duration, 2.0)
+
+    if args.cache_dir is None:
+        import tempfile
+
+        args.cache_dir = tempfile.mkdtemp(prefix="afraid-bench-cache-")
+
+    manager = JobManager(
+        jobs=args.jobs, cache_dir=args.cache_dir, queue_limit=args.queue_limit
+    )
+    server = ServiceServer(("127.0.0.1", 0), manager)
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+    client = ServiceClient(server.url, timeout=60.0)
+
+    try:
+        print(f"daemon on {server.url}: warming the cache "
+              f"({WORKLOAD}/afraid, {args.duration:g} simulated s)")
+        warm_id = client.submit(warm_payload(args))["id"]
+        final = client.wait(warm_id, timeout=600.0)
+        if final["state"] != "done":
+            raise SystemExit(f"warm-up job ended {final['state']}")
+
+        print(f"firing {args.requests} warm requests from {args.threads} threads")
+        warm = run_warm_phase(client, args)
+        probe = run_backpressure_probe(client, args)
+    finally:
+        server.shutdown()
+        server.server_close()
+        manager.shutdown(drain=False)
+        server_thread.join(5.0)
+
+    report = {"warm": warm, "backpressure": probe}
+    print(f"service throughput: {warm['requests']} warm requests, "
+          f"{warm['threads']} client threads")
+    print(f"  warm latency: p50 {warm['p50_s'] * 1e3:.2f} ms  "
+          f"p95 {warm['p95_s'] * 1e3:.2f} ms  "
+          f"p99 {warm['p99_s'] * 1e3:.2f} ms  "
+          f"max {warm['max_s'] * 1e3:.2f} ms")
+    print(f"  sustained: {warm['rps']:.0f} req/s over {warm['wall_s']:.2f} s")
+    print(f"  backpressure: {probe['rejected_429']}/{probe['submissions']} cold "
+          f"submissions drew 429 at queue_limit {probe['queue_limit']}")
+
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"  wrote {args.json_out}")
+
+    if probe["rejected_429"] == 0:
+        print("FAIL: the cold burst never hit backpressure; "
+              "queue bound is not being enforced", file=sys.stderr)
+        return 1
+    if args.p99_limit is not None and warm["p99_s"] > args.p99_limit:
+        print(f"FAIL: warm p99 {warm['p99_s']:.3f} s exceeds the "
+              f"--p99-limit bound {args.p99_limit:g} s", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

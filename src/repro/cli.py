@@ -11,6 +11,9 @@ Installed as ``afraid-sim``::
     afraid-sim report snake --policy afraid  # per-class latency percentiles
     afraid-sim exposure cello-usr --slo "parity_lag_bytes < 5e6"  # live telemetry
     afraid-sim profile cello-usr --policy raid5 --top 15  # hot-path table
+    afraid-sim serve --port 8642 --jobs 4   # simulation-as-a-service daemon
+    afraid-sim submit hplajw --url http://127.0.0.1:8642 --wait  # client
+    afraid-sim status --url http://127.0.0.1:8642  # job table
 """
 
 from __future__ import annotations
@@ -284,6 +287,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.harness import (
         DEFAULT_MTTDL_TARGETS,
+        ResultCache,
+        SweepInterrupted,
         ladder_specs,
         run_cells,
         tradeoff_curve,
@@ -303,7 +308,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             labels.append(spec.policy.label)
     cache_dir = None if args.no_cache else args.cache_dir
     counters = PerfCounters() if args.stats else None
-    outcome = run_cells(specs, jobs=args.jobs, cache_dir=cache_dir, counters=counters)
+    try:
+        outcome = run_cells(specs, jobs=args.jobs, cache_dir=cache_dir, counters=counters)
+    except SweepInterrupted as interrupted:
+        print(
+            f"\ninterrupted: {interrupted.completed}/{interrupted.total} cells "
+            "completed (finished cells are cached; rerun to resume)",
+            file=sys.stderr,
+        )
+        return 130
+    if cache_dir is not None and args.cache_max_bytes is not None:
+        removed, freed = ResultCache(cache_dir).prune(args.cache_max_bytes)
+        if removed and not args.json:
+            print(
+                f"cache pruned: {removed} entries, {freed / 1024:.0f} KB freed",
+                file=sys.stderr,
+            )
     points = tradeoff_curve(outcome.results, workloads, labels)
 
     if args.json:
@@ -708,10 +728,155 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation-as-a-service daemon until SIGTERM/SIGINT."""
+    from repro.service import JobManager, run_server
+
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.queue_limit < 1:
+        raise SystemExit(f"--queue-limit must be >= 1, got {args.queue_limit}")
+    manager = JobManager(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        queue_limit=args.queue_limit,
+        max_attempts=args.max_attempts,
+        cache_max_bytes=args.cache_max_bytes,
+    )
+
+    def banner(server) -> None:
+        host, port = server.server_address[:2]
+        print(
+            f"afraid-sim serve: listening on http://{host}:{port} "
+            f"({args.jobs} worker(s), queue limit {args.queue_limit} cells)"
+        )
+        print("endpoints: POST /jobs  GET /jobs[/<id>[/events|/result]]  "
+              "GET /healthz  GET /metrics")
+
+    run_server(
+        manager,
+        host=args.host,
+        port=args.port,
+        quiet=not args.verbose,
+        on_ready=banner,
+    )
+    print("drained; bye")
+    return 0
+
+
+def _submit_payload(args: argparse.Namespace) -> dict:
+    payload: dict = {"duration_s": args.duration, "seed": args.seed}
+    if args.policy:
+        payload["cells"] = [
+            {"workload": workload, "policy": policy}
+            for workload in args.workloads
+            for policy in args.policy
+        ]
+    else:
+        payload["workloads"] = list(args.workloads)
+        if args.targets:
+            payload["targets"] = args.targets
+    return payload
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a job to a running daemon; optionally wait / stream events."""
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        snapshot = client.submit_with_backoff(_submit_payload(args))
+    except ServiceError as exc:
+        raise SystemExit(f"submit failed: {exc}") from None
+    except OSError as exc:
+        raise SystemExit(f"cannot reach {args.url}: {exc}") from None
+    job_id = snapshot["id"]
+    if args.stream:
+        for event in client.stream_events(job_id):
+            print(json.dumps(event), flush=True)
+        snapshot = client.job(job_id)
+    elif args.wait:
+        snapshot = client.wait(job_id, timeout=args.timeout)
+    if args.json and not args.stream:
+        print(json.dumps(snapshot, indent=2))
+    elif not args.stream:
+        print(
+            f"{job_id}: {snapshot['state']} "
+            f"({snapshot['cells_completed']}/{snapshot['cells_total']} cells, "
+            f"{snapshot['cells_cached']} cached)"
+        )
+    if snapshot["state"] == "failed":
+        print(f"{job_id} failed: {snapshot.get('error')}", file=sys.stderr)
+        return 3
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Show one job (or the whole job table) of a running daemon."""
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        if args.job_id:
+            payload = client.result(args.job_id) if args.result else client.job(args.job_id)
+            if args.json or args.result:
+                print(json.dumps(payload, indent=2))
+            else:
+                print(
+                    f"{payload['id']}: {payload['state']} "
+                    f"({payload['cells_completed']}/{payload['cells_total']} cells, "
+                    f"{payload['cells_cached']} cached, "
+                    f"{payload['cells_retried']} retried)"
+                )
+            return 0
+        jobs = client.jobs()
+        health = client.health()
+    except ServiceError as exc:
+        raise SystemExit(f"status failed: {exc}") from None
+    except OSError as exc:
+        raise SystemExit(f"cannot reach {args.url}: {exc}") from None
+    if args.json:
+        print(json.dumps({"health": health, "jobs": jobs}, indent=2))
+        return 0
+    rows = [
+        [
+            job["id"], job["state"],
+            f"{job['cells_completed']}/{job['cells_total']}",
+            str(job["cells_cached"]), str(job["cells_retried"]),
+        ]
+        for job in jobs
+    ]
+    title = (
+        f"{args.url}: {health['status']}, {health['jobs_active']} active job(s), "
+        f"{health['pending_cells']}/{health['queue_limit']} cells pending"
+    )
+    print(format_table(["job", "state", "cells", "cached", "retried"], rows, title=title))
+    return 0
+
+
+def _package_version() -> str:
+    """The installed distribution version, falling back to the source tree."""
+    try:
+        from importlib import metadata
+
+        return metadata.version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="afraid-sim",
         description="AFRAID (USENIX 1996) reproduction: trace-driven array simulation",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -790,6 +955,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--no-cache", action="store_true", help="always re-simulate, never touch the cache"
+    )
+    sweep_parser.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="N",
+        help="after the sweep, evict oldest cache entries until the cache fits N bytes",
     )
     sweep_parser.add_argument("--duration", type=float, default=30.0)
     sweep_parser.add_argument("--seed", type=int, default=42)
@@ -930,12 +1099,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 if any loss invariant was violated",
     )
     faults_parser.set_defaults(handler=cmd_faults)
+
+    serve_parser = commands.add_parser(
+        "serve", help="run the simulation-as-a-service daemon (HTTP/JSON API)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8642)
+    serve_parser.add_argument("--jobs", type=int, default=2, help="worker processes")
+    serve_parser.add_argument(
+        "--queue-limit", type=int, default=1024, metavar="CELLS",
+        help="max admitted-but-unfinished cells before submissions get 429",
+    )
+    serve_parser.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="pool submissions per cell before a crashing cell fails the job",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    serve_parser.add_argument(
+        "--no-cache", action="store_true", help="simulate every cell, never touch the cache"
+    )
+    serve_parser.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="N",
+        help="bound on-disk cache growth: prune oldest entries past N bytes",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
+    serve_parser.set_defaults(handler=cmd_serve)
+
+    submit_parser = commands.add_parser(
+        "submit", help="submit a job to a running serve daemon"
+    )
+    submit_parser.add_argument(
+        "workloads", nargs="+", help="workload names (the ladder grid, like sweep)"
+    )
+    submit_parser.add_argument(
+        "--url", default="http://127.0.0.1:8642", help="daemon base URL"
+    )
+    submit_parser.add_argument(
+        "--targets", type=float, nargs="+", default=None, help="MTTDL_x targets in hours"
+    )
+    submit_parser.add_argument(
+        "--policy", action="append", default=None, metavar="KIND",
+        help="submit explicit (workload x policy) cells instead of the full ladder; repeatable",
+    )
+    submit_parser.add_argument("--duration", type=float, default=30.0)
+    submit_parser.add_argument("--seed", type=int, default=42)
+    submit_parser.add_argument(
+        "--wait", action="store_true", help="block until the job is terminal"
+    )
+    submit_parser.add_argument(
+        "--stream", action="store_true",
+        help="stream the job's NDJSON events to stdout until it finishes",
+    )
+    submit_parser.add_argument("--timeout", type=float, default=600.0)
+    submit_parser.add_argument("--json", action="store_true", help="print the job snapshot as JSON")
+    submit_parser.set_defaults(handler=cmd_submit)
+
+    status_parser = commands.add_parser(
+        "status", help="job table (or one job) of a running serve daemon"
+    )
+    status_parser.add_argument("job_id", nargs="?", default=None)
+    status_parser.add_argument(
+        "--url", default="http://127.0.0.1:8642", help="daemon base URL"
+    )
+    status_parser.add_argument(
+        "--result", action="store_true",
+        help="with a job id: print the job's full per-cell result payload",
+    )
+    status_parser.add_argument("--timeout", type=float, default=30.0)
+    status_parser.add_argument("--json", action="store_true", help="machine-readable output")
+    status_parser.set_defaults(handler=cmd_status)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; silence the stack trace.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -16,9 +16,12 @@ from repro.harness.figures import ascii_bars, ascii_scatter, ascii_series
 from repro.harness.replay import gather, replay_trace
 from repro.harness.runner import (
     DEFAULT_CACHE_DIR,
+    CellExecutor,
+    CellOutcome,
     CellSpec,
     PolicySpec,
     ResultCache,
+    SweepInterrupted,
     SweepOutcome,
     cache_key,
     ladder_specs,
@@ -39,11 +42,14 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "DEFAULT_MTTDL_TARGETS",
     "CampaignSuiteOutcome",
+    "CellExecutor",
+    "CellOutcome",
     "CellSpec",
     "ExperimentResult",
     "PolicyLadderEntry",
     "PolicySpec",
     "ResultCache",
+    "SweepInterrupted",
     "SweepOutcome",
     "ascii_bars",
     "ascii_scatter",

@@ -16,12 +16,14 @@ carry per-run state and closures don't cross process boundaries).
 
 from __future__ import annotations
 
+import collections
 import concurrent.futures
 import dataclasses
 import hashlib
 import json
 import os
 import pathlib
+import threading
 import time
 import typing
 
@@ -220,8 +222,334 @@ class ResultCache:
         tmp.write_text(json.dumps(result_to_payload(result)))
         tmp.replace(path)
 
+    def size_bytes(self) -> int:
+        """Total on-disk size of every cache entry."""
+        total = 0
+        for path in self.root.glob("*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def prune(self, max_bytes: int) -> tuple[int, int]:
+        """Evict oldest entries (by mtime) until the cache fits ``max_bytes``.
+
+        Returns ``(entries_removed, bytes_freed)``.  Entries that vanish
+        concurrently (another process pruning, or a store racing) are
+        simply skipped — pruning is advisory, never load-bearing.
+        """
+        entries = []
+        for path in self.root.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _mtime, size, _path in entries)
+        removed = freed = 0
+        for _mtime, size, path in sorted(entries):
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            freed += size
+        return removed, freed
+
 
 # -- execution --------------------------------------------------------------------
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """Ctrl-C landed mid-sweep; pending cells were cancelled cleanly.
+
+    Subclasses :class:`KeyboardInterrupt` so callers that don't care still
+    unwind the usual way, while the CLI can report how far the sweep got
+    instead of dumping a traceback.  Cells completed before the interrupt
+    were already written through to the cache, so a rerun resumes there.
+    """
+
+    def __init__(self, completed: int, total: int) -> None:
+        super().__init__(f"interrupted after {completed}/{total} cells")
+        self.completed = completed
+        self.total = total
+
+
+@dataclasses.dataclass
+class CellOutcome:
+    """What :class:`CellExecutor` hands the per-cell callback.
+
+    Exactly one of ``result`` / ``error`` is set.  ``attempts`` counts
+    pool submissions (> 1 means the cell survived a worker crash);
+    ``from_cache`` marks cells answered by the content-addressed cache
+    without ever reaching a worker.
+    """
+
+    spec: CellSpec
+    result: ExperimentResult | None = None
+    error: str | None = None
+    from_cache: bool = False
+    attempts: int = 0
+
+
+class _CellTicket:
+    """One submitted cell's handle: cancellation flag + retry count."""
+
+    __slots__ = ("spec", "key", "callback", "attempts", "cancelled")
+
+    def __init__(self, spec: CellSpec, key: str | None, callback) -> None:
+        self.spec = spec
+        self.key = key
+        self.callback = callback
+        self.attempts = 0
+        self.cancelled = False
+
+
+class CellExecutor:
+    """A persistent worker pool executing cells one callback at a time.
+
+    This is ``run_cells``'s engine, factored out so long-lived callers
+    (the ``afraid-sim serve`` job manager) can drive cells incrementally:
+    submit whenever work arrives, observe each completion the moment it
+    happens, and keep the pool warm across submissions instead of paying
+    process startup per sweep.
+
+    Guarantees:
+
+    * **Cache write-through** — a finished cell is persisted before its
+      callback fires, so identical future cells are cache hits.
+    * **Crash-safe requeue** — a worker dying mid-cell (``os._exit``,
+      OOM-kill, segfault) breaks the whole ``ProcessPoolExecutor``; the
+      executor rebuilds the pool and resubmits every in-flight cell, up
+      to ``max_attempts`` tries each, before reporting failure.
+    * **Ordinary exceptions stay fatal** — a cell that *raises* is
+      deterministic (fresh simulator, explicit seed) and would fail again,
+      so it is reported immediately rather than retried.
+
+    Callbacks run on the dispatcher thread; keep them short.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        cell_fn: typing.Callable[[CellSpec], ExperimentResult] | None = None,
+        max_attempts: int = 3,
+        on_worker_restart: typing.Callable[[], None] | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.jobs = jobs
+        self.cache = cache
+        self.cell_fn = cell_fn if cell_fn is not None else run_cell
+        self.max_attempts = max_attempts
+        self.on_worker_restart = on_worker_restart
+        self.worker_restarts = 0
+        self._queue: collections.deque[_CellTicket] = collections.deque()
+        self._wake = threading.Condition()
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+        self._thread: threading.Thread | None = None
+        self._stopping = False
+        self._discard = False
+        self._inflight_count = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "CellExecutor":
+        """Start the dispatcher thread (idempotent); returns self."""
+        with self._wake:
+            if self._thread is None:
+                self._stopping = False
+                self._thread = threading.Thread(
+                    target=self._dispatch_loop, name="cell-executor", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def shutdown(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the dispatcher.
+
+        ``drain=True`` finishes every queued and in-flight cell first
+        (callbacks included); ``drain=False`` discards the queue and
+        abandons in-flight work without waiting for it.
+        """
+        with self._wake:
+            self._stopping = True
+            self._discard = not drain
+            if self._discard:
+                for ticket in self._queue:
+                    ticket.cancelled = True
+                self._queue.clear()
+            self._wake.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+        pool = self._pool
+        if pool is not None:
+            pool.shutdown(wait=drain, cancel_futures=not drain)
+            self._pool = None
+
+    # -- submission --------------------------------------------------------------
+
+    def probe_cache(self, spec: CellSpec) -> tuple[str | None, ExperimentResult | None]:
+        """The cell's cache key and its cached result, if any."""
+        if self.cache is None:
+            return None, None
+        key = cache_key(spec)
+        return key, self.cache.load(key)
+
+    def submit(
+        self,
+        spec: CellSpec,
+        callback: typing.Callable[[CellOutcome], None],
+        key: str | None = None,
+        probe_cache: bool = True,
+    ) -> _CellTicket:
+        """Queue one cell; ``callback`` fires exactly once with its outcome.
+
+        When ``probe_cache`` is true and the cell is already cached, the
+        callback fires synchronously on the *calling* thread with
+        ``from_cache=True`` — the warm path never touches the queue, the
+        dispatcher, or the worker pool.
+        """
+        if probe_cache and self.cache is not None:
+            if key is None:
+                key = cache_key(spec)
+            hit = self.cache.load(key)
+            if hit is not None:
+                ticket = _CellTicket(spec, key, callback)
+                callback(CellOutcome(spec=spec, result=hit, from_cache=True))
+                return ticket
+        ticket = _CellTicket(spec, key, callback)
+        with self._wake:
+            if self._stopping:
+                raise RuntimeError("CellExecutor is shut down")
+            self._queue.append(ticket)
+            self._wake.notify_all()
+        return ticket
+
+    def cancel(self, ticket: _CellTicket) -> None:
+        """Drop a queued cell; an already-running cell finishes silently."""
+        ticket.cancelled = True
+
+    @property
+    def queue_depth(self) -> int:
+        """Cells waiting for a worker (in-flight cells not included)."""
+        return len(self._queue)
+
+    @property
+    def inflight(self) -> int:
+        """Cells currently running on a worker."""
+        return self._inflight_count
+
+    # -- dispatcher --------------------------------------------------------------
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def _restart_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+            self.worker_restarts += 1
+            if self.on_worker_restart is not None:
+                self.on_worker_restart()
+
+    def _finish(self, ticket: _CellTicket, outcome: CellOutcome) -> None:
+        if outcome.result is not None and self.cache is not None and ticket.key is not None:
+            self.cache.store(ticket.key, outcome.result)
+        if not ticket.cancelled:
+            ticket.callback(outcome)
+
+    def _dispatch_loop(self) -> None:
+        inflight: dict[concurrent.futures.Future, _CellTicket] = {}
+        while True:
+            with self._wake:
+                while not self._stopping and not self._queue and not inflight:
+                    self._wake.wait()
+                if self._stopping and self._discard:
+                    # Abandon in-flight work: tickets are cancelled so their
+                    # callbacks never fire; the workers' current cells finish
+                    # in the background and are discarded.
+                    for ticket in inflight.values():
+                        ticket.cancelled = True
+                    break
+                if self._stopping and not inflight and not self._queue:
+                    break
+                while self._queue and len(inflight) < self.jobs:
+                    ticket = self._queue.popleft()
+                    if ticket.cancelled:
+                        continue
+                    ticket.attempts += 1
+                    try:
+                        future = self._ensure_pool().submit(self.cell_fn, ticket.spec)
+                    except concurrent.futures.BrokenExecutor:
+                        self._restart_pool()
+                        ticket.attempts -= 1
+                        self._queue.appendleft(ticket)
+                        continue
+                    inflight[future] = ticket
+                self._inflight_count = len(inflight)
+            if not inflight:
+                continue
+            done, _not_done = concurrent.futures.wait(
+                inflight, timeout=0.5, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            requeue: list[_CellTicket] = []
+            for future in done:
+                ticket = inflight.pop(future)
+                try:
+                    result = future.result()
+                except concurrent.futures.BrokenExecutor:
+                    # The worker died (os._exit / kill / segfault): the pool
+                    # is unusable and every sibling future will fail the same
+                    # way as it drains through `done` on later iterations.
+                    self._restart_pool()
+                    if ticket.cancelled:
+                        continue
+                    if ticket.attempts >= self.max_attempts:
+                        self._finish(
+                            ticket,
+                            CellOutcome(
+                                spec=ticket.spec,
+                                error=(
+                                    f"worker crashed {ticket.attempts} times running "
+                                    f"{ticket.spec.key}"
+                                ),
+                                attempts=ticket.attempts,
+                            ),
+                        )
+                    else:
+                        requeue.append(ticket)
+                except Exception as exc:
+                    self._finish(
+                        ticket,
+                        CellOutcome(
+                            spec=ticket.spec,
+                            error=f"{type(exc).__name__}: {exc}",
+                            attempts=ticket.attempts,
+                        ),
+                    )
+                else:
+                    self._finish(
+                        ticket,
+                        CellOutcome(spec=ticket.spec, result=result, attempts=ticket.attempts),
+                    )
+            with self._wake:
+                self._inflight_count = len(inflight)
+                if requeue and not self._discard:
+                    self._queue.extendleft(reversed(requeue))
+                self._wake.notify_all()
+        with self._wake:
+            self._thread = None
 
 
 @dataclasses.dataclass
@@ -284,15 +612,45 @@ def run_cells(
         counters.count("cells_cached", cached)
 
     if pending:
+        completed = 0
         if jobs == 1:
-            computed = [run_cell(spec) for spec, _key in pending]
+            try:
+                for spec, key in pending:
+                    result = run_cell(spec)
+                    results[spec.key] = result
+                    if cache is not None and key is not None:
+                        cache.store(key, result)
+                    completed += 1
+            except KeyboardInterrupt:
+                raise SweepInterrupted(cached + completed, len(specs)) from None
         else:
-            with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-                computed = list(pool.map(run_cell, [spec for spec, _key in pending]))
-        for (spec, key), result in zip(pending, computed):
-            results[spec.key] = result
-            if cache is not None and key is not None:
-                cache.store(key, result)
+            executor = CellExecutor(jobs=jobs, cache=cache).start()
+            outcomes: list[CellOutcome] = []
+            done = threading.Event()
+
+            def collect(outcome: CellOutcome) -> None:
+                outcomes.append(outcome)
+                if len(outcomes) == len(pending):
+                    done.set()
+
+            try:
+                for spec, key in pending:
+                    executor.submit(spec, collect, key=key, probe_cache=False)
+                while not done.wait(0.2):
+                    pass
+            except KeyboardInterrupt:
+                executor.shutdown(drain=False)
+                raise SweepInterrupted(cached + len(outcomes), len(specs)) from None
+            executor.shutdown(drain=True)
+            for outcome in outcomes:
+                if outcome.error is not None:
+                    raise RuntimeError(
+                        f"cell {outcome.spec.key} failed: {outcome.error}"
+                    )
+            # Completion order is nondeterministic; key the grid in spec order.
+            by_spec = {id(outcome.spec): outcome.result for outcome in outcomes}
+            for spec, _key in pending:
+                results[spec.key] = by_spec[id(spec)]
 
     if counters is not None:
         counters.count("cells_simulated", len(pending))

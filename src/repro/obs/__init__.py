@@ -46,6 +46,7 @@ from repro.obs.export import (
 from repro.obs.hist import REQUEST_CLASSES, HistogramSet, LatencyHistogram
 from repro.obs.registry import Counter, Gauge, HistogramMetric, MetricsRegistry
 from repro.obs.samplers import PeriodicSampler, SampleSeries, attach_array_probes
+from repro.obs.service import ServiceMetrics
 from repro.obs.slo import SloEngine, SloEvent, SloRule
 from repro.obs.tracer import SpanToken, Tracer
 
@@ -61,6 +62,7 @@ __all__ = [
     "PeriodicSampler",
     "RegistrySnapshotter",
     "SampleSeries",
+    "ServiceMetrics",
     "SloEngine",
     "SloEvent",
     "SloRule",

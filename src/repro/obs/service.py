@@ -1,0 +1,87 @@
+"""Service-level metrics for the ``afraid-sim serve`` daemon.
+
+The serve daemon is an actor like any simulated component, and it
+publishes its live state the same way: named metrics in a
+:class:`~repro.obs.registry.MetricsRegistry`, exported over ``GET
+/metrics`` in Prometheus text exposition via
+:func:`~repro.obs.export.prometheus_text`.
+
+:class:`ServiceMetrics` owns the canonical metric names so the job
+manager, the HTTP server, and the throughput benchmark all agree on
+them:
+
+* gauges — ``service_queue_depth`` (cells waiting for a worker),
+  ``service_jobs_in_flight``, ``service_cells_in_flight``,
+  ``service_cache_hit_ratio`` (lifetime hits / lookups);
+* counters — ``service_jobs_submitted`` / ``_completed`` / ``_failed``
+  / ``_cancelled`` / ``_rejected`` (429 backpressure),
+  ``service_cells_completed``, ``service_cache_hits`` / ``_misses``,
+  ``service_worker_restarts`` (pool rebuilds after a worker death),
+  ``service_cell_retries`` (cells requeued by a crash);
+* histogram — ``service_cell_latency_seconds`` (submit-to-completion
+  wall time per cell, cache hits included).
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+
+
+class ServiceMetrics:
+    """The serve daemon's registry metrics, under one namespace."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self.queue_depth = reg.gauge(
+            "service_queue_depth", "cells waiting for a worker process"
+        )
+        self.jobs_in_flight = reg.gauge(
+            "service_jobs_in_flight", "jobs submitted but not yet terminal"
+        )
+        self.cells_in_flight = reg.gauge(
+            "service_cells_in_flight", "cells currently running on a worker"
+        )
+        self.cache_hit_ratio = reg.gauge(
+            "service_cache_hit_ratio", "lifetime cache hits / cache lookups"
+        )
+        self.jobs_submitted = reg.counter(
+            "service_jobs_submitted", "jobs accepted over the API"
+        )
+        self.jobs_completed = reg.counter(
+            "service_jobs_completed", "jobs that reached DONE"
+        )
+        self.jobs_failed = reg.counter("service_jobs_failed", "jobs that reached FAILED")
+        self.jobs_cancelled = reg.counter(
+            "service_jobs_cancelled", "jobs cancelled by the client or a drain"
+        )
+        self.jobs_rejected = reg.counter(
+            "service_jobs_rejected", "submissions refused by queue backpressure (429)"
+        )
+        self.cells_completed = reg.counter(
+            "service_cells_completed", "cells finished (simulated or cached)"
+        )
+        self.cache_hits = reg.counter(
+            "service_cache_hits", "cells answered from the content-addressed cache"
+        )
+        self.cache_misses = reg.counter(
+            "service_cache_misses", "cells that had to be simulated"
+        )
+        self.worker_restarts = reg.counter(
+            "service_worker_restarts", "worker-pool rebuilds after a worker death"
+        )
+        self.cell_retries = reg.counter(
+            "service_cell_retries", "cells requeued because a worker crashed mid-cell"
+        )
+        self.cell_latency = reg.histogram(
+            "service_cell_latency_seconds", "submit-to-completion wall time per cell"
+        )
+
+    def record_lookup(self, hit: bool) -> None:
+        """One cache probe; keeps the hit-ratio gauge current."""
+        (self.cache_hits if hit else self.cache_misses).inc()
+        lookups = self.cache_hits.value + self.cache_misses.value
+        self.cache_hit_ratio.set(self.cache_hits.value / lookups)
+
+    def __repr__(self) -> str:
+        return f"<ServiceMetrics registry={self.registry!r}>"

@@ -1,0 +1,76 @@
+"""Simulation-as-a-service: the ``afraid-sim serve`` daemon.
+
+The PR 1 sweep substrate (process-pool fan-out + content-addressed
+result cache) turned into a long-lived front end: clients submit
+simulation/sweep jobs over a local HTTP/JSON API, the
+:class:`JobManager` fans cells out across a persistent worker pool,
+streams per-cell progress back as NDJSON, answers previously-computed
+cells from cache in microseconds, and survives worker crashes by
+rebuilding the pool and requeueing the cells that were in flight.
+
+Layers:
+
+* :mod:`repro.service.protocol` — payload validation (the CellSpec /
+  PolicySpec vocabulary over JSON);
+* :mod:`repro.service.manager` — job tracking, bounded admission
+  (429 backpressure), crash-tolerant execution, event logs;
+* :mod:`repro.service.server` — the stdlib ThreadingHTTPServer front
+  end (jobs, NDJSON event streams, /healthz, Prometheus /metrics);
+* :mod:`repro.service.client` — the urllib client the CLI, tests, and
+  the throughput benchmark share.
+
+Quick start::
+
+    from repro.service import JobManager, ServiceServer
+
+    manager = JobManager(jobs=4, cache_dir=".repro-cache")
+    server = ServiceServer(("127.0.0.1", 8642), manager)
+    server.serve_forever()          # afraid-sim serve does exactly this
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.manager import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobManager,
+    QueueFull,
+    ServiceClosed,
+)
+from repro.service.protocol import (
+    ProtocolError,
+    cell_label,
+    parse_cell,
+    parse_job_payload,
+    parse_policy,
+    spec_to_payload,
+)
+from repro.service.server import ServiceHandler, ServiceServer, run_server
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "TERMINAL_STATES",
+    "Job",
+    "JobManager",
+    "ProtocolError",
+    "QueueFull",
+    "ServiceClient",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceHandler",
+    "ServiceServer",
+    "cell_label",
+    "parse_cell",
+    "parse_job_payload",
+    "parse_policy",
+    "run_server",
+    "spec_to_payload",
+]

@@ -1,0 +1,137 @@
+"""A small stdlib client for the ``afraid-sim serve`` API.
+
+Used by the ``afraid-sim submit`` / ``status`` subcommands, the service
+tests, and the throughput benchmark — anything that talks to the daemon
+goes through this one urllib wrapper, so retry/backoff behaviour under
+429 backpressure lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import typing
+import urllib.error
+import urllib.request
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response; carries the HTTP status and decoded body."""
+
+    def __init__(self, status: int, message: str, payload: dict | None = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload or {}
+
+
+def _revive(value):
+    if value == "inf":
+        return float("inf")
+    if value == "-inf":
+        return float("-inf")
+    if isinstance(value, dict):
+        return {key: _revive(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_revive(item) for item in value]
+    return value
+
+
+class ServiceClient:
+    """One daemon, addressed by base URL (e.g. ``http://127.0.0.1:8642``)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return _revive(json.loads(response.read()))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                decoded = _revive(json.loads(raw))
+            except (json.JSONDecodeError, ValueError):
+                decoded = {"error": raw.decode("utf-8", "replace")}
+            raise ServiceError(
+                exc.code, decoded.get("error", exc.reason), decoded
+            ) from None
+
+    # -- endpoints ----------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        request = urllib.request.Request(f"{self.base_url}/metrics")
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return response.read().decode("utf-8")
+
+    def submit(self, payload: dict) -> dict:
+        """POST one job payload; returns the job snapshot (202)."""
+        return self._request("POST", "/jobs", payload)
+
+    def submit_with_backoff(
+        self,
+        payload: dict,
+        retries: int = 20,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 1.0,
+    ) -> dict:
+        """Submit, honouring 429 backpressure with capped exponential backoff."""
+        delay = backoff_s
+        for attempt in range(retries):
+            try:
+                return self.submit(payload)
+            except ServiceError as exc:
+                if exc.status != 429 or attempt == retries - 1:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, max_backoff_s)
+        raise AssertionError("unreachable")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 300.0, poll_s: float = 0.05) -> dict:
+        """Poll until the job is terminal; returns the final snapshot."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["state"] in ("done", "failed", "cancelled"):
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {snapshot['state']} after {timeout}s")
+            time.sleep(poll_s)
+
+    def stream_events(
+        self, job_id: str, since: int = 0, follow: bool = True
+    ) -> typing.Iterator[dict]:
+        """Yield the job's NDJSON events as dicts; ends when the job does."""
+        follow_flag = "1" if follow else "0"
+        request = urllib.request.Request(
+            f"{self.base_url}/jobs/{job_id}/events?since={since}&follow={follow_flag}"
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield _revive(json.loads(line))

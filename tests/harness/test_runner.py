@@ -2,6 +2,8 @@
 
 import dataclasses
 import json
+import os
+import time
 
 import pytest
 
@@ -12,9 +14,11 @@ from repro.harness import (
     policy_ladder,
 )
 from repro.harness.runner import (
+    CellExecutor,
     CellSpec,
     PolicySpec,
     ResultCache,
+    SweepInterrupted,
     cache_key,
     code_fingerprint,
     ladder_specs,
@@ -131,6 +135,141 @@ class TestResultCache:
 
     def test_load_returns_none_for_unknown_key(self, tmp_path):
         assert ResultCache(tmp_path).load("0" * 64) is None
+
+
+def _entry(cache, name, size, mtime):
+    path = cache.root / (name * 64 + ".json")
+    path.write_text("x" * size)
+    os.utime(path, (mtime, mtime))
+    return path
+
+
+class TestCachePrune:
+    def test_size_bytes_sums_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _entry(cache, "a", 100, 1000)
+        _entry(cache, "b", 250, 2000)
+        assert cache.size_bytes() == 350
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        oldest = _entry(cache, "a", 400, 1000)
+        middle = _entry(cache, "b", 400, 2000)
+        newest = _entry(cache, "c", 400, 3000)
+        removed, freed = cache.prune(900)
+        assert (removed, freed) == (1, 400)
+        assert not oldest.exists()
+        assert middle.exists() and newest.exists()
+        assert cache.size_bytes() == 800
+
+    def test_prune_under_limit_is_a_no_op(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _entry(cache, "a", 100, 1000)
+        assert cache.prune(1 << 20) == (0, 0)
+        assert cache.size_bytes() == 100
+
+    def test_prune_to_zero_clears_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _entry(cache, "a", 100, 1000)
+        _entry(cache, "b", 100, 2000)
+        assert cache.prune(0) == (2, 200)
+        assert cache.size_bytes() == 0
+
+    def test_pruned_sweep_cache_recomputes_cleanly(self, tmp_path):
+        specs = quick_specs(kinds=("afraid",))
+        run_cells(specs, cache_dir=tmp_path)
+        ResultCache(tmp_path).prune(0)
+        assert run_cells(specs, cache_dir=tmp_path).simulated == 1
+
+
+class TestSweepInterrupted:
+    def test_serial_interrupt_reports_progress_and_keeps_cache(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.harness.runner as runner_mod
+
+        specs = quick_specs(kinds=("afraid", "raid0", "raid5"))
+        calls = []
+        real = run_cell
+
+        def interrupt_on_second(spec):
+            calls.append(spec)
+            if len(calls) == 2:
+                raise KeyboardInterrupt
+            return real(spec)
+
+        monkeypatch.setattr(runner_mod, "run_cell", interrupt_on_second)
+        with pytest.raises(SweepInterrupted) as excinfo:
+            run_cells(specs, jobs=1, cache_dir=tmp_path)
+        assert (excinfo.value.completed, excinfo.value.total) == (1, 3)
+        # It is still a KeyboardInterrupt for callers that do not care.
+        assert isinstance(excinfo.value, KeyboardInterrupt)
+        # The finished cell was cached, so a rerun resumes there.
+        monkeypatch.setattr(runner_mod, "run_cell", real)
+        resumed = run_cells(specs, jobs=1, cache_dir=tmp_path)
+        assert resumed.cached == 1
+        assert resumed.simulated == 2
+
+    def test_interrupt_counts_prior_cache_hits(self, tmp_path, monkeypatch):
+        import repro.harness.runner as runner_mod
+
+        specs = quick_specs(kinds=("afraid", "raid0"))
+        run_cells(specs[:1], cache_dir=tmp_path)
+
+        def interrupt(spec):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(runner_mod, "run_cell", interrupt)
+        with pytest.raises(SweepInterrupted) as excinfo:
+            run_cells(specs, jobs=1, cache_dir=tmp_path)
+        assert (excinfo.value.completed, excinfo.value.total) == (1, 2)
+
+
+class TestCellExecutor:
+    def test_callbacks_fire_once_per_cell_and_write_through(self, tmp_path):
+        specs = quick_specs()
+        cache = ResultCache(tmp_path)
+        executor = CellExecutor(jobs=2, cache=cache).start()
+        outcomes = []
+        try:
+            for spec in specs:
+                executor.submit(spec, outcomes.append)
+            deadline = time.monotonic() + 120
+            while len(outcomes) < len(specs):
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+        finally:
+            executor.shutdown(drain=True)
+        assert sorted(o.spec.key for o in outcomes) == sorted(s.key for s in specs)
+        assert all(o.error is None and o.attempts == 1 for o in outcomes)
+        for spec in specs:
+            assert cache.load(cache_key(spec)) is not None
+
+    def test_warm_submit_completes_synchronously(self, tmp_path):
+        spec = quick_specs(kinds=("afraid",))[0]
+        run_cells([spec], cache_dir=tmp_path)
+        executor = CellExecutor(jobs=1, cache=ResultCache(tmp_path)).start()
+        outcomes = []
+        try:
+            executor.submit(spec, outcomes.append)
+            # No waiting: the hit was delivered on the calling thread.
+            assert len(outcomes) == 1
+            assert outcomes[0].from_cache
+            assert executor.queue_depth == 0
+        finally:
+            executor.shutdown(drain=True)
+
+    def test_submit_after_shutdown_is_an_error(self, tmp_path):
+        executor = CellExecutor(jobs=1).start()
+        executor.shutdown(drain=True)
+        with pytest.raises(RuntimeError):
+            executor.submit(quick_specs()[0], lambda outcome: None)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            CellExecutor(jobs=0)
+        with pytest.raises(ValueError):
+            CellExecutor(max_attempts=0)
 
 
 class TestParallelDeterminism:

@@ -6,6 +6,64 @@ from repro.cli import main
 from repro.traces import make_trace, write_trace_csv
 
 
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "afraid-sim" in out
+        assert repro.__version__ in out
+
+
+class TestServiceParsers:
+    """The serve/submit/status subcommands parse; end-to-end coverage
+    lives in tests/service/ and the CI service smoke job."""
+
+    def test_serve_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert (args.host, args.port) == ("127.0.0.1", 8642)
+        assert (args.jobs, args.queue_limit) == (2, 1024)
+
+    def test_submit_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["submit", "hplajw", "--wait"])
+        assert args.workloads == ["hplajw"]
+        assert args.url == "http://127.0.0.1:8642"
+        assert args.wait
+
+    def test_status_accepts_optional_job_id(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["status"]).job_id is None
+        assert parser.parse_args(["status", "job-000001"]).job_id == "job-000001"
+
+    def test_serve_rejects_bad_jobs(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--jobs", "0"])
+
+
+class TestSweepCacheCap:
+    def test_cache_max_bytes_prunes_after_sweep(self, tmp_path, capsys):
+        assert main(["sweep", "hplajw", "--targets", "1e7", "--duration", "2",
+                     "--cache-dir", str(tmp_path), "--cache-max-bytes", "1"]) == 0
+        err = capsys.readouterr().err
+        assert "cache pruned" in err
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_generous_cap_keeps_entries(self, tmp_path, capsys):
+        assert main(["sweep", "hplajw", "--targets", "1e7", "--duration", "2",
+                     "--cache-dir", str(tmp_path),
+                     "--cache-max-bytes", str(1 << 30)]) == 0
+        assert len(list(tmp_path.glob("*.json"))) > 0
+
+
 class TestWorkloads:
     def test_lists_all_ten(self, capsys):
         assert main(["workloads"]) == 0

@@ -76,6 +76,7 @@ def test_every_example_is_covered():
         "fit_your_workload.py",
         "observability_demo.py",
         "exposure_demo.py",
+        "service_demo.py",
     }
     assert shipped == covered
 
@@ -89,6 +90,19 @@ def test_observability_demo(monkeypatch, capsys, tmp_path):
     assert "client_write" in out
     assert "parity debt over time" in out
     assert out_file.exists()
+
+
+def test_service_demo(monkeypatch, capsys, tmp_path):
+    out = run_example(
+        monkeypatch, capsys, "service_demo.py",
+        ["hplajw", "2", str(tmp_path / "cache")],
+    )
+    assert "daemon listening on http://127.0.0.1:" in out
+    assert "[job_completed]" in out
+    assert "MISMATCH" not in out
+    assert "served == local sweep: identical" in out
+    assert "state='done' in the 202 response" in out
+    assert "drained; bye" in out
 
 
 def test_exposure_demo(monkeypatch, capsys, tmp_path):
