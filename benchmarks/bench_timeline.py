@@ -1,0 +1,75 @@
+"""Timeline throughput: recording and exporting must stay cheap.
+
+The nemesis loop records every fault, breach, rebuild span, and latency
+window into one :class:`~repro.obs.timeline.Timeline`; a 60 s CI soak
+produces a few hundred events, but the structure must stay sound at
+campaign-fleet scale.  This bench records 100k correlated events and
+exports them, asserting throughput floors loose enough for CI noise but
+tight enough to catch an accidental O(n^2) (e.g. re-scanning the event
+list per record).
+
+Run explicitly with ``pytest benchmarks/bench_timeline.py``; CI runs it
+as part of the bench smoke.
+"""
+
+import time
+
+from repro.obs import Timeline
+
+N_EVENTS = 100_000
+
+#: Floors in events/second — an order of magnitude under what a dev
+#: laptop measures, so only a complexity regression can trip them.
+MIN_RECORD_RATE = 100_000
+MIN_EXPORT_RATE = 20_000
+
+
+def build_timeline(n: int) -> Timeline:
+    """n correlated events: fault episodes with a rebuild span each."""
+    timeline = Timeline(max_events=n + 8)
+    open_inject = None
+    for i in range(n):
+        t = i * 1e-3
+        step, disk = i % 4, (i // 4) % 5
+        if step == 0:
+            open_inject = timeline.fault_injected(t, "disk_failure", disk=disk)
+        elif step == 1:
+            timeline.rebuild_started(t, disk=disk, cause=open_inject)
+        elif step == 2:
+            timeline.rebuild_finished(t, disk=disk, stripes=64)
+        else:
+            timeline.fault_cleared(t, open_inject, resolution="rebuilt")
+    return timeline
+
+
+def test_record_rate():
+    start = time.perf_counter()
+    timeline = build_timeline(N_EVENTS)
+    elapsed = time.perf_counter() - start
+    rate = len(timeline) / elapsed
+    print(f"\ntimeline record: {rate / 1e6:.2f} M events/s ({elapsed * 1e3:.0f} ms)")
+    assert len(timeline) == N_EVENTS
+    assert rate > MIN_RECORD_RATE
+
+
+def test_jsonl_export_rate():
+    timeline = build_timeline(N_EVENTS)
+    start = time.perf_counter()
+    text = timeline.to_jsonl()
+    elapsed = time.perf_counter() - start
+    rate = len(timeline) / elapsed
+    print(f"\ntimeline to_jsonl: {rate / 1e6:.2f} M events/s "
+          f"({len(text) / 1e6:.1f} MB in {elapsed * 1e3:.0f} ms)")
+    assert rate > MIN_EXPORT_RATE
+
+
+def test_invariant_check_rate():
+    timeline = build_timeline(N_EVENTS)
+    start = time.perf_counter()
+    problems = timeline.check_invariants()
+    elapsed = time.perf_counter() - start
+    rate = len(timeline) / elapsed
+    print(f"\ntimeline check_invariants: {rate / 1e6:.2f} M events/s "
+          f"({elapsed * 1e3:.0f} ms)")
+    assert problems == []
+    assert rate > MIN_EXPORT_RATE

@@ -11,6 +11,7 @@ Installed as ``afraid-sim``::
     afraid-sim report snake --policy afraid  # per-class latency percentiles
     afraid-sim exposure cello-usr --slo "parity_lag_bytes < 5e6"  # live telemetry
     afraid-sim profile cello-usr --policy raid5 --top 15  # hot-path table
+    afraid-sim nemesis --duration 60 --report nemesis-run  # SLO-gated chaos
     afraid-sim serve --port 8642 --jobs 4   # simulation-as-a-service daemon
     afraid-sim submit hplajw --url http://127.0.0.1:8642 --wait  # client
     afraid-sim status --url http://127.0.0.1:8642  # job table
@@ -426,30 +427,74 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _hists_from_event_log(text: str, path: str, expected: str) -> HistogramSet:
+    """Cell-latency histograms from a service NDJSON event log.
+
+    Accepts the stream ``GET /jobs/<id>/events`` (or ``GET /timeline``
+    filtered to job events) produces: one JSON object per line with an
+    ``event`` key.  ``cell_completed`` events contribute their
+    ``latency_s`` under their cell label.
+    """
+    import json
+
+    hists = HistogramSet()
+    hists.hists.clear()  # only the classes the log actually names
+    events = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            raise SystemExit(
+                f"--from: {path}: line {lineno} is not valid JSON; {expected}"
+            ) from None
+        if not isinstance(entry, dict) or ("event" not in entry and "kind" not in entry):
+            raise SystemExit(
+                f"--from: {path}: line {lineno} is not a service event "
+                f"(no 'event' key); {expected}"
+            )
+        events += 1
+        if entry.get("event") == "cell_completed" and "latency_s" in entry:
+            hists.record(str(entry.get("cell", "cell")), float(entry["latency_s"]))
+    if not events:
+        raise SystemExit(f"--from: {path}: no events in file; {expected}")
+    return hists
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     if args.from_file is not None:
         import json
 
         expected = (
-            "expected JSON with keys min_latency_s, buckets_per_decade, classes "
-            "as written by `afraid-sim trace --hist-out FILE`"
+            "accepted formats: histogram JSON with keys min_latency_s, "
+            "buckets_per_decade, classes as written by `afraid-sim trace "
+            "--hist-out FILE`, or a service NDJSON event log as streamed by "
+            "`GET /jobs/<id>/events`"
         )
         try:
             with open(args.from_file) as handle:
-                payload = json.load(handle)
+                text = handle.read()
         except FileNotFoundError:
             raise SystemExit(f"--from: {args.from_file}: no such file; {expected}") from None
-        except json.JSONDecodeError as exc:
-            raise SystemExit(
-                f"--from: {args.from_file}: not valid JSON ({exc}); {expected}"
-            ) from None
         try:
-            hists = HistogramSet.from_payload(payload.get("histograms", payload))
-        except (KeyError, TypeError, AttributeError):
-            raise SystemExit(
-                f"--from: {args.from_file}: JSON has the wrong shape; {expected}"
-            ) from None
-        title = f"latency percentiles from {args.from_file}"
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            payload = None
+        if payload is None or (isinstance(payload, dict) and "event" in payload):
+            # Not a single JSON document (or a single event line): treat
+            # it as an NDJSON service event log.
+            hists = _hists_from_event_log(text, args.from_file, expected)
+            title = f"cell latencies from service event log {args.from_file}"
+        else:
+            try:
+                hists = HistogramSet.from_payload(payload.get("histograms", payload))
+            except (KeyError, TypeError, AttributeError):
+                raise SystemExit(
+                    f"--from: {args.from_file}: JSON has the wrong shape; {expected}"
+                ) from None
+            title = f"latency percentiles from {args.from_file}"
     else:
         if args.workload is None:
             raise SystemExit("report needs a workload name or --from FILE")
@@ -724,6 +769,95 @@ def cmd_faults(args: argparse.Namespace) -> int:
                         f"{json.dumps(violation['detail'], sort_keys=True)}"
                     )
     if args.fail_on_invariant and not outcome.ok:
+        return 1
+    return 0
+
+
+#: Gate rules a nemesis run uses when no ``--slo`` is given: both are
+#: provably fault-caused (a member death, a §3.1 remark flood) and both
+#: genuinely recover (spare rebuild, scrub drain), so a default run
+#: exhibits the full breach → hold → recovery → resume cycle.
+DEFAULT_NEMESIS_SLOS = ("degraded_disks < 1", "scrub_backlog_marks <= 64")
+
+
+def cmd_nemesis(args: argparse.Namespace) -> int:
+    """Continuous chaos against live traffic, SLO-gated, fully correlated.
+
+    Draws faults from the campaign distributions while the workload runs,
+    holds injections while an exposure SLO is breached, and merges every
+    stream — faults, breaches, rebuilds, exposure samples, latency
+    windows, hold/resume decisions — into one correlated timeline.
+    ``--report DIR`` writes the artefacts (timeline JSONL, Chrome trace,
+    Prometheus text, markdown incident report, JSON summary), all
+    byte-stable for a given (spec, seed).
+    """
+    import json
+
+    from repro.faults.nemesis import NemesisSpec
+    from repro.harness.nemesis import run_nemesis, write_nemesis_report
+
+    rules = _parse_slo_rules(args.slo)
+    if not rules:
+        rules = [SloRule.parse(text) for text in DEFAULT_NEMESIS_SLOS]
+    try:
+        spec = NemesisSpec(
+            workload=args.workload,
+            duration_s=args.duration,
+            ndisks=args.ndisks,
+            policy=args.policy,
+            disk_model=args.disk_model,
+            disk_failures=args.disk_failures,
+            nvram_losses=args.nvram_losses,
+            latent_errors=args.latent_errors,
+            spare_pool=args.spares,
+            repair_delay_s=args.repair_delay,
+            period_s=args.period,
+            sample_period_s=args.sample_period,
+            mttdl_floor_h=args.mttdl_floor,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    outcome = run_nemesis(spec, seed=args.seed, rules=rules, window_s=args.window)
+
+    if args.report:
+        paths = write_nemesis_report(outcome, args.report)
+        if not args.json:
+            print(f"{len(paths)} artefact(s) -> {args.report}")
+    if args.json:
+        print(json.dumps(outcome.summary_payload(), indent=2, sort_keys=True))
+    else:
+        tracker = outcome.loop.tracker
+        rows = [
+            [kind, str(count)] for kind, count in sorted(tracker.counts().items())
+        ] or [["(none)", "0"]]
+        print(
+            format_table(
+                ["fault kind", "injected"],
+                rows,
+                title=(
+                    f"nemesis: {spec.workload} under {spec.policy} "
+                    f"({spec.duration_s:g}s, seed {args.seed})"
+                ),
+            )
+        )
+        print()
+        print(_slo_report(outcome.engine))
+        print()
+        holds = outcome.loop.holds
+        print(
+            f"injection gate: {holds} hold(s), {outcome.loop.resumes} resume(s), "
+            f"{len(outcome.loop.dropped)} fault(s) dropped at the horizon"
+        )
+        open_rows = tracker.inventory_rows(outcome.horizon_s)
+        if open_rows:
+            print(format_table(["id", "kind", "disk", "open (s)"], open_rows, title="still open"))
+        kinds = ", ".join(
+            f"{kind}×{count}" for kind, count in sorted(outcome.timeline.kinds().items())
+        )
+        print(f"timeline: {len(outcome.timeline)} events ({kinds})")
+        for violation in outcome.violations:
+            print(f"INVARIANT VIOLATION: {violation}")
+    if args.fail_on_violation and not outcome.ok:
         return 1
     return 0
 
@@ -1099,6 +1233,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 if any loss invariant was violated",
     )
     faults_parser.set_defaults(handler=cmd_faults)
+
+    nemesis_parser = commands.add_parser(
+        "nemesis",
+        help="continuous SLO-gated chaos with a correlated incident timeline",
+    )
+    nemesis_parser.add_argument(
+        "workload", nargs="?", default="snake", help="catalog workload (default snake)"
+    )
+    nemesis_parser.add_argument(
+        "--duration", type=float, default=30.0, help="injection window, seconds (default 30)"
+    )
+    nemesis_parser.add_argument("--seed", type=int, default=0, help="schedule seed (default 0)")
+    nemesis_parser.add_argument(
+        "--policy", default="afraid", choices=["afraid", "raid5", "raid0"]
+    )
+    nemesis_parser.add_argument("--ndisks", type=int, default=5)
+    nemesis_parser.add_argument("--disk-model", default="toy", choices=["toy", "hp_c3325"])
+    nemesis_parser.add_argument(
+        "--disk-failures", type=float, default=2.0, metavar="N",
+        help="expected member deaths over the run (default 2)",
+    )
+    nemesis_parser.add_argument(
+        "--nvram-losses", type=float, default=1.0, metavar="N",
+        help="expected marking-memory losses (default 1)",
+    )
+    nemesis_parser.add_argument(
+        "--latent-errors", type=float, default=2.0, metavar="N",
+        help="expected latent sector errors (default 2)",
+    )
+    nemesis_parser.add_argument(
+        "--spares", type=int, default=16, help="spare-disk pool (default 16)"
+    )
+    nemesis_parser.add_argument(
+        "--repair-delay", type=float, default=0.5, metavar="S",
+        help="technician delay before a spare rebuild starts (default 0.5)",
+    )
+    nemesis_parser.add_argument(
+        "--period", type=float, default=0.05, metavar="S",
+        help="gate/telemetry tick (default 0.05)",
+    )
+    nemesis_parser.add_argument(
+        "--sample-period", type=float, default=0.5, metavar="S",
+        help="exposure/latency timeline sample period (default 0.5)",
+    )
+    nemesis_parser.add_argument(
+        "--window", type=float, default=2.0, metavar="S",
+        help="sliding exposure window (default 2)",
+    )
+    nemesis_parser.add_argument(
+        "--slo", action="append", metavar="RULE",
+        help=(
+            "gate rule, e.g. 'degraded_disks < 1' (repeatable; defaults to "
+            + " and ".join(repr(text) for text in DEFAULT_NEMESIS_SLOS)
+            + ")"
+        ),
+    )
+    nemesis_parser.add_argument(
+        "--mttdl-floor", type=float, default=None, metavar="HOURS",
+        help="also hold injections while windowed achieved MTTDL is below this",
+    )
+    nemesis_parser.add_argument(
+        "--report", default=None, metavar="DIR",
+        help="write timeline.jsonl, trace.json, metrics.prom, incident.md, summary.json",
+    )
+    nemesis_parser.add_argument("--json", action="store_true", help="print the JSON summary")
+    nemesis_parser.add_argument(
+        "--fail-on-violation", action="store_true",
+        help="exit 1 if the timeline violates a correlation invariant",
+    )
+    nemesis_parser.set_defaults(handler=cmd_nemesis)
 
     serve_parser = commands.add_parser(
         "serve", help="run the simulation-as-a-service daemon (HTTP/JSON API)"

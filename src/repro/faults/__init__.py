@@ -17,7 +17,14 @@ from repro.faults.campaign import (
     CampaignSpec,
     FaultCampaign,
     FaultEvent,
+    draw_fault_schedule,
     run_campaign,
+)
+from repro.faults.nemesis import (
+    ActiveFault,
+    ActiveFaultsTracker,
+    NemesisLoop,
+    NemesisSpec,
 )
 from repro.faults.injector import (
     DiskFailureReport,
@@ -32,6 +39,8 @@ from repro.faults.invariants import (
 )
 
 __all__ = [
+    "ActiveFault",
+    "ActiveFaultsTracker",
     "CampaignReport",
     "CampaignSpec",
     "DiskFailureReport",
@@ -41,7 +50,10 @@ __all__ = [
     "InvariantChecker",
     "InvariantResult",
     "InvariantViolation",
+    "NemesisLoop",
+    "NemesisSpec",
     "SkippedStrike",
+    "draw_fault_schedule",
     "predicted_loss_bytes",
     "run_campaign",
 ]

@@ -26,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import random
+import typing
 
 from repro.array.controller import DiskArray
 from repro.array.factory import build_array
@@ -126,6 +127,57 @@ class FaultEvent:
     lba_fraction: float = 0.0
 
 
+def draw_fault_schedule(
+    rng: random.Random,
+    *,
+    duration_s: float,
+    ndisks: int,
+    disk_failures: float = 0.0,
+    nvram_losses: float = 0.0,
+    latent_errors: float = 0.0,
+    crashes: float = 0.0,
+    crash_points: typing.Sequence[float] = (),
+    max_faults: int = 16,
+) -> tuple[list[FaultEvent], list[float]]:
+    """Draw a seeded fault schedule (shared by campaigns and the nemesis).
+
+    Fault knobs are expected counts over the run (a fractional part is a
+    probability of one more event), drawn at seeded-uniform times in the
+    middle 90 % of the run.  The rng call order is part of the contract:
+    campaign reports are byte-diffed across reruns in CI.
+    """
+
+    def draw_times(expected: float) -> list[float]:
+        count = int(expected)
+        fraction = expected - count
+        if fraction > 0.0 and rng.random() < fraction:
+            count += 1
+        count = min(count, max_faults)
+        return sorted(
+            round(rng.uniform(0.05, 0.95) * duration_s, 6) for _ in range(count)
+        )
+
+    events: list[FaultEvent] = []
+    for time_s in draw_times(disk_failures):
+        events.append(
+            FaultEvent(time_s=time_s, kind="disk_failure", disk=rng.randrange(ndisks))
+        )
+    for time_s in draw_times(nvram_losses):
+        events.append(FaultEvent(time_s=time_s, kind="nvram_loss"))
+    for time_s in draw_times(latent_errors):
+        events.append(
+            FaultEvent(
+                time_s=time_s,
+                kind="latent_error",
+                disk=rng.randrange(ndisks),
+                lba_fraction=rng.random(),
+            )
+        )
+    crash_times = sorted(set(list(crash_points) + draw_times(crashes)))
+    events.sort(key=lambda event: (event.time_s, event.kind, event.disk))
+    return events, crash_times
+
+
 @dataclasses.dataclass
 class CampaignReport:
     """Everything one seeded campaign run produced."""
@@ -174,36 +226,17 @@ class FaultCampaign:
 
     def _draw_schedule(self, rng: random.Random) -> tuple[list[FaultEvent], list[float]]:
         spec = self.spec
-
-        def draw_times(expected: float) -> list[float]:
-            count = int(expected)
-            fraction = expected - count
-            if fraction > 0.0 and rng.random() < fraction:
-                count += 1
-            count = min(count, spec.max_faults)
-            return sorted(
-                round(rng.uniform(0.05, 0.95) * spec.duration_s, 6) for _ in range(count)
-            )
-
-        events: list[FaultEvent] = []
-        for time_s in draw_times(spec.disk_failures):
-            events.append(
-                FaultEvent(time_s=time_s, kind="disk_failure", disk=rng.randrange(spec.ndisks))
-            )
-        for time_s in draw_times(spec.nvram_losses):
-            events.append(FaultEvent(time_s=time_s, kind="nvram_loss"))
-        for time_s in draw_times(spec.latent_errors):
-            events.append(
-                FaultEvent(
-                    time_s=time_s,
-                    kind="latent_error",
-                    disk=rng.randrange(spec.ndisks),
-                    lba_fraction=rng.random(),
-                )
-            )
-        crash_times = sorted(set(list(spec.crash_points) + draw_times(spec.crashes)))
-        events.sort(key=lambda event: (event.time_s, event.kind, event.disk))
-        return events, crash_times
+        return draw_fault_schedule(
+            rng,
+            duration_s=spec.duration_s,
+            ndisks=spec.ndisks,
+            disk_failures=spec.disk_failures,
+            nvram_losses=spec.nvram_losses,
+            latent_errors=spec.latent_errors,
+            crashes=spec.crashes,
+            crash_points=spec.crash_points,
+            max_faults=spec.max_faults,
+        )
 
     # -- the run -------------------------------------------------------------------
 

@@ -13,6 +13,7 @@ from repro.harness.campaign import (
 )
 from repro.harness.experiment import ExperimentResult, run_experiment
 from repro.harness.figures import ascii_bars, ascii_scatter, ascii_series
+from repro.harness.nemesis import NemesisOutcome, run_nemesis, write_nemesis_report
 from repro.harness.replay import gather, replay_trace
 from repro.harness.runner import (
     DEFAULT_CACHE_DIR,
@@ -46,6 +47,7 @@ __all__ = [
     "CellOutcome",
     "CellSpec",
     "ExperimentResult",
+    "NemesisOutcome",
     "PolicyLadderEntry",
     "PolicySpec",
     "ResultCache",
@@ -66,7 +68,9 @@ __all__ = [
     "run_campaign_suite",
     "run_cells",
     "run_experiment",
+    "run_nemesis",
     "run_policy_grid",
     "tradeoff_curve",
     "write_campaign_reports",
+    "write_nemesis_report",
 ]

@@ -48,6 +48,7 @@ from repro.obs.registry import Counter, Gauge, HistogramMetric, MetricsRegistry
 from repro.obs.samplers import PeriodicSampler, SampleSeries, attach_array_probes
 from repro.obs.service import ServiceMetrics
 from repro.obs.slo import SloEngine, SloEvent, SloRule
+from repro.obs.timeline import LatencyWindows, Timeline, TimelineEvent
 from repro.obs.tracer import SpanToken, Tracer
 
 __all__ = [
@@ -58,6 +59,7 @@ __all__ = [
     "HistogramMetric",
     "HistogramSet",
     "LatencyHistogram",
+    "LatencyWindows",
     "MetricsRegistry",
     "PeriodicSampler",
     "RegistrySnapshotter",
@@ -67,6 +69,8 @@ __all__ = [
     "SloEvent",
     "SloRule",
     "SpanToken",
+    "Timeline",
+    "TimelineEvent",
     "Tracer",
     "WindowedExposureEstimator",
     "attach_array_probes",

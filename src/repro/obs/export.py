@@ -39,6 +39,43 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``"``, newline."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value` (the parser's side of the contract)."""
+    out: list[str] = []
+    i = 0
+    n = len(value)
+    while i < n:
+        ch = value[i]
+        if ch == "\\" and i + 1 < n:
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def format_labels(labels: dict[str, str]) -> str:
+    """``{k="v",...}`` with escaped values; an empty dict formats as ``""``."""
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{name}="{escape_label_value(str(value))}"' for name, value in labels.items()
+    )
+    return "{" + body + "}"
+
+
 def prometheus_text(registry: MetricsRegistry) -> str:
     """Serialise ``registry`` in the Prometheus text exposition format."""
     lines: list[str] = []
@@ -72,11 +109,8 @@ def write_prometheus(registry: MetricsRegistry, path) -> None:
 
 # -- parsing (the round-trip check) ----------------------------------------------------
 
-_SAMPLE_RE = re.compile(
-    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
-    r"\s+(?P<value>\S+)$"
-)
+_NAME_RE = re.compile(r"^[A-Za-z_:][A-Za-z0-9_:]*")
+_LABEL_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 
 
 def _parse_value(text: str) -> float:
@@ -87,18 +121,63 @@ def _parse_value(text: str) -> float:
     return float(text)
 
 
+def _scan_labels(text: str, lineno: int) -> tuple[dict[str, str], str]:
+    """Parse ``{k="v",...}`` at the start of ``text``; return (labels, rest).
+
+    A character scanner rather than a regex: label *values* may contain
+    ``}``, ``,`` and escaped quotes, which no ``[^}]*`` blob survives.
+    """
+    assert text[0] == "{"
+    labels: dict[str, str] = {}
+    i = 1
+    while True:
+        while i < len(text) and text[i] in " \t":
+            i += 1
+        if i < len(text) and text[i] == "}":
+            return labels, text[i + 1:]
+        match = _LABEL_NAME_RE.match(text, i)
+        if match is None:
+            raise ValueError(f"line {lineno}: bad label name at {text[i:]!r}")
+        name = match.group(0)
+        i = match.end()
+        if text[i:i + 2] != '="':
+            raise ValueError(f"line {lineno}: expected '=\"' after label {name!r}")
+        i += 2
+        raw: list[str] = []
+        while i < len(text):
+            ch = text[i]
+            if ch == "\\" and i + 1 < len(text):
+                raw.append(text[i:i + 2])
+                i += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            i += 1
+        if i >= len(text):
+            raise ValueError(f"line {lineno}: unterminated label value for {name!r}")
+        labels[name] = unescape_label_value("".join(raw))
+        i += 1  # past the closing quote
+        if i < len(text) and text[i] == ",":
+            i += 1
+
+
 def parse_prometheus_text(text: str) -> dict:
     """Parse Prometheus text exposition into plain dicts.
 
     Returns ``{"types": {name: kind}, "help": {name: text}, "samples":
     {name: value}, "histograms": {name: {"buckets": {le: count}, "sum":
-    float, "count": int}}}`` — scalar metrics land in ``samples``,
-    histogram series are folded into ``histograms``.
+    float, "count": int}}, "labelled": {name: [(labels, value), ...]}}``
+    — scalar metrics land in ``samples``, histogram series are folded
+    into ``histograms``, and any other labelled series (e.g. the
+    timeline's ``timeline_events_total{kind="..."}``) in ``labelled``
+    with their label values unescaped.
     """
     types: dict[str, str] = {}
     helps: dict[str, str] = {}
     samples: dict[str, float] = {}
     histograms: dict[str, dict] = {}
+    labelled: dict[str, list[tuple[dict[str, str], float]]] = {}
 
     def hist_entry(name: str) -> dict:
         return histograms.setdefault(name, {"buckets": {}, "sum": 0.0, "count": 0})
@@ -117,27 +196,40 @@ def parse_prometheus_text(text: str) -> dict:
             continue
         if line.startswith("#"):
             continue
-        match = _SAMPLE_RE.match(line)
+        match = _NAME_RE.match(line)
         if match is None:
             raise ValueError(f"line {lineno}: cannot parse sample {line!r}")
-        name = match.group("name")
-        value = _parse_value(match.group("value"))
-        labels = match.group("labels")
+        name = match.group(0)
+        rest = line[match.end():]
+        labels: dict[str, str] | None = None
+        if rest.startswith("{"):
+            labels, rest = _scan_labels(rest, lineno)
+        parts = rest.split()
+        if len(parts) != 1:
+            raise ValueError(f"line {lineno}: cannot parse sample {line!r}")
+        value = _parse_value(parts[0])
         if name.endswith("_bucket") and labels is not None:
-            le_match = re.search(r'le="([^"]*)"', labels)
-            if le_match is None:
+            if "le" not in labels:
                 raise ValueError(f"line {lineno}: histogram bucket without le label")
             base = name[: -len("_bucket")]
-            hist_entry(base)["buckets"][le_match.group(1)] = int(value)
+            hist_entry(base)["buckets"][labels["le"]] = int(value)
         elif name.endswith("_sum") and name[: -len("_sum")] in types and (
             types.get(name[: -len("_sum")]) == "histogram"
         ):
             hist_entry(name[: -len("_sum")])["sum"] = value
         elif name.endswith("_count") and types.get(name[: -len("_count")]) == "histogram":
             hist_entry(name[: -len("_count")])["count"] = int(value)
+        elif labels:
+            labelled.setdefault(name, []).append((labels, value))
         else:
             samples[name] = value
-    return {"types": types, "help": helps, "samples": samples, "histograms": histograms}
+    return {
+        "types": types,
+        "help": helps,
+        "samples": samples,
+        "histograms": histograms,
+        "labelled": labelled,
+    }
 
 
 # -- JSONL snapshot trajectory ---------------------------------------------------------

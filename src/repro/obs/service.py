@@ -24,6 +24,8 @@ them:
 
 from __future__ import annotations
 
+import threading
+
 from repro.obs.registry import MetricsRegistry
 
 
@@ -76,12 +78,18 @@ class ServiceMetrics:
         self.cell_latency = reg.histogram(
             "service_cell_latency_seconds", "submit-to-completion wall time per cell"
         )
+        # Warm hits complete synchronously in the submitting thread while
+        # cold cells record from the dispatcher thread; the counter incs
+        # and the ratio update must be one atomic step or concurrent
+        # submits lose lookups (float += is not atomic).
+        self._lookup_lock = threading.Lock()
 
     def record_lookup(self, hit: bool) -> None:
         """One cache probe; keeps the hit-ratio gauge current."""
-        (self.cache_hits if hit else self.cache_misses).inc()
-        lookups = self.cache_hits.value + self.cache_misses.value
-        self.cache_hit_ratio.set(self.cache_hits.value / lookups)
+        with self._lookup_lock:
+            (self.cache_hits if hit else self.cache_misses).inc()
+            lookups = self.cache_hits.value + self.cache_misses.value
+            self.cache_hit_ratio.set(self.cache_hits.value / lookups)
 
     def __repr__(self) -> str:
         return f"<ServiceMetrics registry={self.registry!r}>"

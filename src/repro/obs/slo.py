@@ -103,6 +103,8 @@ class SloEngine:
         self._breached_since: dict[SloRule, float] = {}
         self._breach_time: dict[SloRule, float] = {rule: 0.0 for rule in self.rules}
         self._breach_count: dict[SloRule, int] = {rule: 0 for rule in self.rules}
+        self._last_value: dict[SloRule, float] = {}
+        self._open_at_finish: set[SloRule] = set()
         self._evaluations = 0
         self._finished = False
 
@@ -116,6 +118,7 @@ class SloEngine:
             value = registry.value(rule.metric)
             if value is None:
                 continue  # metric not published yet
+            self._last_value[rule] = value
             breached = not rule.ok(value)
             was_breached = rule in self._breached_since
             if breached and not was_breached:
@@ -139,18 +142,52 @@ class SloEngine:
                     )
         return crossings
 
-    def finish(self, now: float) -> None:
-        """Close open breach episodes at the horizon."""
+    def finish(self, now: float) -> list[SloEvent]:
+        """Close open breach episodes at the horizon.
+
+        Every still-open breach gets a ``recovery`` event stamped at
+        ``now`` (so breach dwell computed *from the event stream* is
+        exact at shutdown, not just the internal accounting), and the
+        emitted events are returned for timeline ingestion.  The rules
+        themselves still report ``BREACHED`` in :meth:`summary_rows` —
+        the episode was censored by the horizon, not genuinely recovered.
+        """
         if self._finished:
             raise RuntimeError("engine already finished")
         self._finished = True
-        for rule, since in self._breached_since.items():
+        closings: list[SloEvent] = []
+        for rule, since in sorted(
+            self._breached_since.items(), key=lambda item: self.rules.index(item[0])
+        ):
             self._breach_time[rule] += now - since
+            self._open_at_finish.add(rule)
+            closings.append(
+                SloEvent(now, rule, "recovery", self._last_value.get(rule, float("nan")))
+            )
+        self._breached_since.clear()
+        if closings:
+            self.events.extend(closings)
+            if self.tracer is not None:
+                for event in closings:
+                    self.tracer.instant(
+                        "slo.recovery",
+                        track="slo",
+                        category="slo",
+                        rule=event.rule.describe(),
+                        value=event.value,
+                        at_finish=True,
+                    )
+        return closings
 
     # -- accounting -------------------------------------------------------------------
 
     def is_breached(self, rule: SloRule) -> bool:
-        return rule in self._breached_since
+        return rule in self._breached_since or rule in self._open_at_finish
+
+    @property
+    def any_breached(self) -> bool:
+        """Is any rule breached right now?  (The nemesis gate's question.)"""
+        return bool(self._breached_since)
 
     def breach_time_s(self, rule: SloRule, now: float | None = None) -> float:
         """Total seconds ``rule`` has spent breached (open episode included

@@ -44,6 +44,7 @@ from repro.harness.runner import (
     run_cell,
 )
 from repro.obs.service import ServiceMetrics
+from repro.obs.timeline import Timeline, TimelineEvent
 from repro.service.protocol import ProtocolError, cell_label, parse_job_payload
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
@@ -214,6 +215,12 @@ class JobManager:
             on_worker_restart=self.metrics.worker_restarts.inc,
         ).start()
         self.jobs: dict[str, Job] = {}
+        # The service-wide correlation timeline (GET /timeline): every
+        # job/cell state change on a "service" track, cell and terminal
+        # events cause-linked to their job's submit event.  Wall-clock
+        # stamped — the daemon is not under the sim determinism gate.
+        self.timeline = Timeline()
+        self._timeline_roots: dict[str, TimelineEvent] = {}
         self._lock = threading.Lock()
         self._pending_cells = 0
         self._next_id = 0
@@ -253,6 +260,10 @@ class JobManager:
             self.metrics.jobs_submitted.inc()
             self.metrics.jobs_in_flight.inc()
         job.add_event("submitted", cells=len(specs), cached=len(specs) - misses)
+        self._timeline_roots[job.id] = self.timeline.record(
+            "service.job_submitted", time.time(), track="service",
+            job=job.id, cells=len(specs), cached=len(specs) - misses,
+        )
 
         submitted_at = time.monotonic()
         for index, (spec, (key, hit)) in enumerate(zip(specs, probes)):
@@ -305,6 +316,11 @@ class JobManager:
             job.add_event(
                 "cell_failed", cell=label, attempts=outcome.attempts, error=outcome.error
             )
+            self.timeline.record(
+                "service.cell_failed", time.time(), track="service",
+                cause=self._timeline_roots.get(job.id),
+                job=job.id, cell=label, error=outcome.error,
+            )
             self._fail_job(job, f"cell {label}: {outcome.error}")
             return
 
@@ -338,6 +354,12 @@ class JobManager:
             unprotected_fraction=result.unprotected_fraction,
             metrics=self._metric_snapshot(),
         )
+        self.timeline.record(
+            "service.cell_completed", time.time(), track="service",
+            cause=self._timeline_roots.get(job.id),
+            job=job.id, cell=label, from_cache=outcome.from_cache,
+            latency_s=latency_s,
+        )
 
         finished = False
         with job._cond:
@@ -357,6 +379,12 @@ class JobManager:
                 simulated=job.simulated,
                 wall_s=time.time() - job.created_s,
             )
+            self.timeline.record(
+                "service.job_completed", time.time(), track="service",
+                cause=self._timeline_roots.get(job.id),
+                job=job.id, cells=job.total, cached=job.cached,
+                simulated=job.simulated,
+            )
             self._maybe_prune()
         self._refresh_gauges()
 
@@ -372,6 +400,10 @@ class JobManager:
         self.metrics.jobs_failed.inc()
         self.metrics.jobs_in_flight.dec()
         job.add_event("job_failed", state=FAILED, error=error)
+        self.timeline.record(
+            "service.job_failed", time.time(), track="service",
+            cause=self._timeline_roots.get(job.id), job=job.id, error=error,
+        )
         self._refresh_gauges()
 
     def _abandon_outstanding(self, job: Job) -> None:
@@ -409,6 +441,10 @@ class JobManager:
         self.metrics.jobs_cancelled.inc()
         self.metrics.jobs_in_flight.dec()
         job.add_event("job_cancelled", state=CANCELLED)
+        self.timeline.record(
+            "service.job_cancelled", time.time(), track="service",
+            cause=self._timeline_roots.get(job.id), job=job.id,
+        )
         self._refresh_gauges()
         return job
 

@@ -13,6 +13,8 @@ Endpoints::
     GET    /jobs/<id>/result   per-cell results once terminal (409 before)
     GET    /jobs/<id>/events   NDJSON event stream; ``?since=N`` resumes,
                                ``?follow=0`` returns without blocking
+    GET    /timeline           service-wide correlation timeline as NDJSON
+                               (``?since=N`` filters by event seq)
     DELETE /jobs/<id>          cancel the job's unfinished cells
 
 Backpressure is explicit: a full queue answers ``429`` with a
@@ -127,6 +129,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 200, {"jobs": [job.snapshot() for job in self.manager.list_jobs()]}
             )
             return
+        if path == "/timeline":
+            self._serve_timeline(query)
+            return
         match = _JOB_PATH.match(path)
         if match is None:
             self._error(404, f"no such route: {path}")
@@ -180,6 +185,33 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._error(404, f"no such job: {match.group('id')}")
         else:
             self._reply(200, job.snapshot())
+
+    def _serve_timeline(self, query: str) -> None:
+        """``GET /timeline``: the service-wide correlation timeline, NDJSON.
+
+        One JSON object per event (the same schema the nemesis soak
+        writes as ``timeline.jsonl``); ``?since=N`` returns only events
+        with ``seq >= N`` for incremental polling.
+        """
+        params = dict(
+            part.split("=", 1) for part in query.split("&") if "=" in part
+        )
+        try:
+            since = int(params.get("since", 0))
+        except ValueError:
+            self._error(400, f"bad since={params.get('since')!r}")
+            return
+        lines = [
+            encode_json(payload)
+            for payload in self.manager.timeline.to_payloads()
+            if payload["seq"] >= since
+        ]
+        body = b"".join(lines)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     # -- NDJSON event streaming ---------------------------------------------------
 

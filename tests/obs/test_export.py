@@ -102,3 +102,48 @@ class TestRegistrySnapshotter:
             snaps.snap(t)
         assert len(snaps.snaps) == 2
         assert snaps.dropped == 2
+
+
+class TestLabelEscaping:
+    """Exposition-format label values: backslash, quote, newline escapes."""
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "plain",
+            'with "quotes"',
+            "back\\slash",
+            "multi\nline",
+            '\\"\n mixed \\n literal',
+            "",
+        ],
+    )
+    def test_escape_round_trips(self, raw):
+        from repro.obs.export import escape_label_value, unescape_label_value
+
+        escaped = escape_label_value(raw)
+        assert "\n" not in escaped
+        assert unescape_label_value(escaped) == raw
+
+    def test_labelled_samples_parse_with_special_chars(self):
+        from repro.obs.export import escape_label_value, format_labels
+
+        nasty = 'rule "a\\b"\nline2'
+        text = (
+            "# TYPE breaches_total counter\n"
+            f'breaches_total{{rule="{escape_label_value(nasty)}",kind="slo"}} 2\n'
+            "breaches_total 7\n"
+        )
+        parsed = parse_prometheus_text(text)
+        labelled = parsed["labelled"]["breaches_total"]
+        assert ({"rule": nasty, "kind": "slo"}, 2.0) in labelled
+        # The bare sample still lands in the scalar view.
+        assert parsed["samples"]["breaches_total"] == 7.0
+        # format_labels emits what the parser reads back.
+        assert format_labels({"rule": nasty}) == (
+            f'{{rule="{escape_label_value(nasty)}"}}'
+        )
+
+    def test_unterminated_label_value_rejected(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text('m{rule="never closed} 1\n')

@@ -124,3 +124,39 @@ class TestSloEngine:
         assert statuses["a"] == "met"
         assert statuses["b"] == "BREACHED"
         assert statuses["c"] == "recovered"
+
+
+class TestFinishReturnsClosings:
+    """finish() must *return* the horizon-closing recoveries so callers
+    (the nemesis timeline) can ingest them; regression for the earlier
+    behaviour of only mutating internal accounting."""
+
+    def test_finish_returns_recovery_events(self):
+        registry = MetricsRegistry()
+        registry.gauge("lag").set(200)
+        rule = SloRule.parse("lag < 100")
+        engine = SloEngine([rule])
+        engine.evaluate(1.0, registry)
+        closings = engine.finish(5.0)
+        assert [event.kind for event in closings] == ["recovery"]
+        assert closings[0].time_s == 5.0
+        assert closings[0].rule is rule
+        assert closings[0].value == 200
+        # The event stream now balances: one breach, one recovery.
+        assert [event.kind for event in engine.events] == ["breach", "recovery"]
+
+    def test_finish_with_nothing_open_returns_empty(self):
+        engine = SloEngine([SloRule.parse("lag < 100")])
+        assert engine.finish(1.0) == []
+
+    def test_censored_episode_still_reports_breached(self):
+        registry = MetricsRegistry()
+        registry.gauge("lag").set(200)
+        rule = SloRule.parse("lag < 100")
+        engine = SloEngine([rule])
+        engine.evaluate(1.0, registry)
+        engine.finish(5.0)
+        # The rule shows BREACHED (censored, not recovered) ...
+        assert engine.is_breached(rule)
+        # ... but the live gate question is answered "no open episode".
+        assert not engine.any_breached

@@ -209,3 +209,46 @@ class TestEventStreaming:
                 f"{client.base_url}/jobs/{job_id}/events?since=soon", timeout=10
             )
         assert excinfo.value.code == 400
+
+
+class TestTimelineRoute:
+    def test_timeline_ndjson_tells_the_job_story(self, client):
+        job_id = client.submit(quick_payload())["id"]
+        client.wait(job_id)
+        with urllib.request.urlopen(f"{client.base_url}/timeline", timeout=10) as response:
+            assert response.headers["Content-Type"] == "application/x-ndjson"
+            lines = response.read().decode().strip().split("\n")
+        events = [json.loads(line) for line in lines]
+        kinds = [event["kind"] for event in events]
+        assert "service.job_submitted" in kinds
+        assert "service.cell_completed" in kinds
+        assert "service.job_completed" in kinds
+        # Every non-root event is cause-linked back to its job's submit.
+        root = next(e for e in events if e["kind"] == "service.job_submitted")
+        for event in events:
+            if event["kind"] != "service.job_submitted":
+                assert event["cause"] == root["id"]
+        assert [event["seq"] for event in events] == sorted(e["seq"] for e in events)
+
+    def test_since_filters_by_seq(self, client):
+        client.wait(client.submit(quick_payload())["id"])
+        with urllib.request.urlopen(f"{client.base_url}/timeline", timeout=10) as response:
+            total = len(response.read().decode().strip().split("\n"))
+        with urllib.request.urlopen(
+            f"{client.base_url}/timeline?since=1", timeout=10
+        ) as response:
+            events = [
+                json.loads(line)
+                for line in response.read().decode().strip().split("\n")
+            ]
+        assert len(events) == total - 1
+        assert all(event["seq"] >= 1 for event in events)
+
+    def test_bad_since_400(self, client):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{client.base_url}/timeline?since=banana", timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_empty_timeline_is_empty_body(self, client):
+        with urllib.request.urlopen(f"{client.base_url}/timeline", timeout=10) as response:
+            assert response.read() == b""

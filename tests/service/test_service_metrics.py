@@ -1,0 +1,55 @@
+"""ServiceMetrics: the daemon's registry namespace, under concurrency.
+
+Warm cache hits record from the submitting thread while cold cells
+record from the dispatcher, so ``record_lookup`` races unless the
+counter increment and the ratio update are one atomic step.
+"""
+
+import threading
+
+from repro.obs.service import ServiceMetrics
+
+
+class TestRecordLookup:
+    def test_single_thread_accounting(self):
+        metrics = ServiceMetrics()
+        for hit in (True, True, False, True):
+            metrics.record_lookup(hit)
+        assert metrics.cache_hits.value == 3
+        assert metrics.cache_misses.value == 1
+        assert metrics.cache_hit_ratio.value == 0.75
+
+    def test_concurrent_lookups_lose_nothing(self):
+        metrics = ServiceMetrics()
+        per_thread, threads = 2000, 8
+        start = threading.Barrier(threads)
+
+        def pound(worker: int) -> None:
+            start.wait()
+            for i in range(per_thread):
+                metrics.record_lookup(hit=(worker + i) % 2 == 0)
+
+        workers = [
+            threading.Thread(target=pound, args=(n,)) for n in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        total = threads * per_thread
+        hits = metrics.cache_hits.value
+        misses = metrics.cache_misses.value
+        assert hits + misses == total  # float += under a lock drops nothing
+        assert hits == total / 2
+        assert metrics.cache_hit_ratio.value == hits / total
+
+    def test_shared_registry_reuse(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        metrics = ServiceMetrics(registry)
+        assert metrics.registry is registry
+        metrics.record_lookup(hit=False)
+        assert registry.value("service_cache_misses") == 1
+        assert registry.value("service_cache_hit_ratio") == 0.0

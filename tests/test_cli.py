@@ -383,3 +383,101 @@ class TestExposure:
         assert main(["exposure", "hplajw", "--duration", "2",
                      "--slo", "parity_lag_bytes < 1e12",
                      "--fail-on-breach"]) == 0
+
+
+class TestReportFromEventLog:
+    """``report --from`` also accepts service NDJSON event logs."""
+
+    @staticmethod
+    def _event_log(tmp_path):
+        import json
+
+        lines = [
+            {"event": "submitted", "job": "job-000001"},
+            {"event": "cell_completed", "cell": "hplajw/afraid", "latency_s": 0.012},
+            {"event": "cell_completed", "cell": "hplajw/afraid", "latency_s": 0.034},
+            {"event": "cell_completed", "cell": "hplajw/raid0", "latency_s": 0.002},
+            {"event": "job_completed", "job": "job-000001"},
+        ]
+        path = tmp_path / "events.ndjson"
+        path.write_text("".join(json.dumps(line) + "\n" for line in lines))
+        return path
+
+    def test_report_from_ndjson_event_log(self, tmp_path, capsys):
+        assert main(["report", "--from", str(self._event_log(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "service event log" in out
+        assert "hplajw/afraid" in out
+        assert "hplajw/raid0" in out
+
+    def test_single_event_line_is_treated_as_a_log(self, tmp_path, capsys):
+        path = tmp_path / "one.ndjson"
+        path.write_text('{"event": "cell_completed", "cell": "c", "latency_s": 0.01}\n')
+        assert main(["report", "--from", str(path)]) == 0
+        assert "service event log" in capsys.readouterr().out
+
+    def test_bad_line_names_both_formats(self, tmp_path):
+        path = tmp_path / "mixed.ndjson"
+        path.write_text('{"event": "submitted"}\nnot json at all\n')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["report", "--from", str(path)])
+        message = str(excinfo.value)
+        assert "line 2" in message
+        assert "afraid-sim trace --hist-out" in message
+        assert "GET /jobs/<id>/events" in message
+
+    def test_non_event_lines_fail_clearly(self, tmp_path):
+        path = tmp_path / "noevents.ndjson"
+        path.write_text('{"foo": 1}\n{"bar": 2}\n')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["report", "--from", str(path)])
+        assert "not a service event" in str(excinfo.value)
+
+
+class TestNemesis:
+    QUICK = ["nemesis", "snake", "--duration", "6", "--seed", "3",
+             "--disk-failures", "1", "--nvram-losses", "1", "--latent-errors", "1"]
+
+    def test_defaults_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["nemesis"])
+        assert args.workload == "snake"
+        assert args.duration == 30.0
+        assert args.slo is None  # falls back to DEFAULT_NEMESIS_SLOS
+
+    def test_smoke_prints_tables(self, capsys):
+        assert main(self.QUICK) == 0
+        out = capsys.readouterr().out
+        assert "fault kind" in out
+        assert "injection gate:" in out
+        assert "timeline:" in out
+        assert "INVARIANT VIOLATION" not in out
+
+    def test_json_summary(self, capsys):
+        import json
+
+        assert main([*self.QUICK, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["nemesis"]["seed"] == 3
+        assert payload["invariants"]["ok"] is True
+
+    def test_report_dir_and_fail_on_violation(self, tmp_path, capsys):
+        report = tmp_path / "nemesis-run"
+        assert main([*self.QUICK, "--report", str(report),
+                     "--fail-on-violation"]) == 0
+        for name in ("timeline.jsonl", "trace.json", "metrics.prom",
+                     "incident.md", "summary.json"):
+            assert (report / name).is_file(), name
+        first = (report / "timeline.jsonl").read_bytes()
+        rerun = tmp_path / "nemesis-rerun"
+        assert main([*self.QUICK, "--report", str(rerun)]) == 0
+        assert (rerun / "timeline.jsonl").read_bytes() == first
+
+    def test_bad_spec_fails_clearly(self):
+        with pytest.raises(SystemExit):
+            main(["nemesis", "--duration", "0"])
+
+    def test_custom_slo_rules(self, capsys):
+        assert main([*self.QUICK, "--slo", "degraded_disks < 2"]) == 0
+        assert "degraded_disks < 2" in capsys.readouterr().out

@@ -77,6 +77,7 @@ def test_every_example_is_covered():
         "observability_demo.py",
         "exposure_demo.py",
         "service_demo.py",
+        "nemesis_demo.py",
     }
     assert shipped == covered
 
@@ -123,3 +124,12 @@ def test_exposure_demo(monkeypatch, capsys, tmp_path):
     parsed = parse_prometheus_text(prom.read_text())
     assert "parity_lag_bytes" in parsed["samples"]
     assert len(read_jsonl_snapshots(jsonl)) > 0
+
+
+def test_nemesis_demo(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "nemesis_demo.py", ["8", "3"])
+    assert "faults injected:" in out
+    assert "injection gate:" in out
+    assert "breach of `degraded_disks < 1`" in out
+    assert "0 invariant violation(s)" in out
+    assert "same-seed rerun byte-identical: True" in out
