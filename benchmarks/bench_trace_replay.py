@@ -120,6 +120,62 @@ def run_bench(duration_s: float, seed: int, best_of: int) -> dict:
     }
 
 
+def run_warm_bench(duration_s: float, seed: int, best_of: int, checkpoint_dir: str) -> dict:
+    """Checkpoint-hit replay timings for the same mix (the ``warm_s`` column).
+
+    An untimed cold pass populates the store under ``checkpoint_dir``;
+    the timed passes then replay the identical (workload, policy) grid,
+    which resumes from the stored final results instead of simulating.
+    Trace synthesis stays outside the timed region, exactly as in
+    :func:`run_bench`, so cold and warm time the same work.
+    ``events_simulated`` summed over the timed passes must be zero —
+    anything else means the store missed and the timing is not a warm
+    measurement, so the bench refuses it.
+    """
+    from repro.harness.checkpoint import CheckpointStore
+    from repro.harness.sharding import replay_trace_sharded
+
+    traces = make_mix(duration_s, seed)
+    store = CheckpointStore(checkpoint_dir)
+
+    def replay_grid(policy_name: str) -> int:
+        events = 0
+        for workload, trace in traces.items():
+            sim = Simulator()
+            array = build_array(sim, _POLICY_FACTORIES[policy_name]())
+            scope = store.scope(
+                {
+                    "surface": "bench_trace_replay",
+                    "workload": workload,
+                    "seed": seed,
+                    "duration_s": duration_s,
+                    "policy": policy_name,
+                    "array": "paper-default",
+                }
+            )
+            result = replay_trace_sharded(sim, array, trace, shards=1, checkpoint=scope)
+            events += result.events_simulated
+        return events
+
+    timings: dict[str, float] = {}
+    for policy_name in POLICIES:
+        replay_grid(policy_name)  # cold pass: populate the store (untimed)
+        best = float("inf")
+        for _ in range(best_of):
+            start = time.perf_counter()
+            events = replay_grid(policy_name)
+            best = min(best, time.perf_counter() - start)
+            if events:
+                raise RuntimeError(
+                    f"warm replay of {policy_name} still simulated {events} "
+                    f"events; the checkpoint store missed"
+                )
+        timings[policy_name] = best
+        print(f"  {policy_name:7} warm best of {best_of}: {best:8.4f} s", flush=True)
+    timings["end_to_end"] = sum(timings[name] for name in POLICIES)
+    return timings
+
+
 def check_against_baseline(report: dict, baseline_path: str, tolerance: float) -> int:
     """Exit status for the regression gate: 0 pass, 1 regression.
 
@@ -131,16 +187,48 @@ def check_against_baseline(report: dict, baseline_path: str, tolerance: float) -
     from before the trajectory format (a bare top-level ``after_s``) still
     work.
     """
-    with open(baseline_path, encoding="utf-8") as handle:
-        baseline = json.load(handle)
+    advice = (
+        "re-run the interleaved measurement protocol described in "
+        "docs/PERFORMANCE.md and commit the refreshed BENCH_replay.json"
+    )
+    try:
+        with open(baseline_path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        print(
+            f"check: baseline {baseline_path!r} does not exist, so there is "
+            f"nothing to gate against; {advice}.",
+            file=sys.stderr,
+        )
+        return 2
+    except json.JSONDecodeError as exc:
+        print(
+            f"check: baseline {baseline_path!r} is not valid JSON ({exc}); {advice}.",
+            file=sys.stderr,
+        )
+        return 2
     trajectory = baseline.get("trajectory")
     if trajectory:
         latest = trajectory[-1]
         reference = latest.get("after_s", {})
         baseline = {**baseline, **{k: latest[k] for k in ("duration_s",) if k in latest}}
         print(f"check: gating against trajectory entry {latest.get('pr', '?')!r}")
+    elif trajectory is not None:
+        print(
+            f"check: baseline {baseline_path!r} has an empty 'trajectory' — the "
+            f"gate needs at least one measured entry; {advice}.",
+            file=sys.stderr,
+        )
+        return 2
     else:
         reference = baseline.get("after_s", {})
+        if not reference:
+            print(
+                f"check: baseline {baseline_path!r} has neither a 'trajectory' "
+                f"nor a top-level 'after_s'; {advice}.",
+                file=sys.stderr,
+            )
+            return 2
     measured = report["timings_s"]
     status = 0
     for key in ("end_to_end",):
@@ -177,6 +265,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--tolerance", type=float, default=0.25, help="allowed fractional regression for --check"
     )
+    parser.add_argument(
+        "--warm-checkpoints", metavar="DIR",
+        help="also time checkpoint-hit replays of the mix through a store "
+        "under DIR (the BENCH_replay.json 'warm_s' measurement)",
+    )
     args = parser.parse_args(argv)
     duration = 30.0 if args.smoke else args.duration
     best_of = 2 if args.smoke else args.best_of
@@ -184,6 +277,14 @@ def main(argv: list[str] | None = None) -> int:
     print(f"trace-replay macro-benchmark: {', '.join(MIX_WORKLOADS)} @ {duration:g} sim-s")
     report = run_bench(duration, args.seed, best_of)
     print(f"  end-to-end total: {report['timings_s']['end_to_end']:.4f} s")
+    if args.warm_checkpoints:
+        warm = run_warm_bench(duration, args.seed, best_of, args.warm_checkpoints)
+        report["warm_timings_s"] = warm
+        cold = report["timings_s"]["end_to_end"]
+        print(
+            f"  warm end-to-end total: {warm['end_to_end']:.4f} s "
+            f"({cold / warm['end_to_end']:.1f}x over cold)"
+        )
 
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:

@@ -62,10 +62,22 @@ class ReadCache:
         if self.capacity_lines == 0:
             self.stats.misses += 1
             return False
-        lines = self._lines_of(sector, nsectors)
-        if all(line in self._lines for line in lines):
+        resident = self._lines
+        first = sector // self.line_sectors
+        last = (sector + nsectors - 1) // self.line_sectors
+        if first == last:
+            # Single-line extent: the overwhelmingly common case for
+            # stripe-unit-sized lines.
+            if first in resident:
+                resident.move_to_end(first)
+                self.stats.hits += 1
+                return True
+            self.stats.misses += 1
+            return False
+        lines = range(first, last + 1)
+        if all(line in resident for line in lines):
             for line in lines:
-                self._lines.move_to_end(line)
+                resident.move_to_end(line)
             self.stats.hits += 1
             return True
         self.stats.misses += 1
@@ -75,13 +87,24 @@ class ReadCache:
         """Make the extent resident (LRU evicting as needed)."""
         if self.capacity_lines == 0:
             return
-        for line in self._lines_of(sector, nsectors):
-            if line in self._lines:
-                self._lines.move_to_end(line)
+        resident = self._lines
+        first = sector // self.line_sectors
+        last = (sector + nsectors - 1) // self.line_sectors
+        if first == last:
+            if first in resident:
+                resident.move_to_end(first)
             else:
-                self._lines[line] = None
-                if len(self._lines) > self.capacity_lines:
-                    self._lines.popitem(last=False)
+                resident[first] = None
+                if len(resident) > self.capacity_lines:
+                    resident.popitem(last=False)
+            return
+        for line in range(first, last + 1):
+            if line in resident:
+                resident.move_to_end(line)
+            else:
+                resident[line] = None
+                if len(resident) > self.capacity_lines:
+                    resident.popitem(last=False)
 
     @property
     def resident_lines(self) -> int:

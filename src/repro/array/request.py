@@ -30,6 +30,10 @@ class ArrayRequest:
     dispatch_time: float | None = None  # admitted into the array
     complete_time: float | None = None
     result_data: bytes | None = None  # read payload, when functional
+    #: Precomputed geometry (see :mod:`repro.array.batchplan`), attached
+    #: by the host pump while the request is queued and cleared again at
+    #: completion.  Always optional: ``None`` means the scalar path.
+    plan: typing.Any = None
 
     def __post_init__(self) -> None:
         if self.offset_sectors < 0:

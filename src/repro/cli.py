@@ -310,7 +310,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     cache_dir = None if args.no_cache else args.cache_dir
     counters = PerfCounters() if args.stats else None
     try:
-        outcome = run_cells(specs, jobs=args.jobs, cache_dir=cache_dir, counters=counters)
+        outcome = run_cells(
+            specs,
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            counters=counters,
+            checkpoint_dir=args.checkpoint_dir,
+        )
     except SweepInterrupted as interrupted:
         print(
             f"\ninterrupted: {interrupted.completed}/{interrupted.total} cells "
@@ -662,6 +668,8 @@ def cmd_exposure(args: argparse.Namespace) -> int:
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
     from repro.harness.sharding import run_sharded_replay
 
     result, digest = run_sharded_replay(
@@ -671,7 +679,22 @@ def cmd_replay(args: argparse.Namespace) -> int:
         seed=args.seed,
         shards=args.shards,
         workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_max_bytes=args.checkpoint_max_bytes,
     )
+    if args.report_json:
+        report = {
+            "workload": args.workload,
+            "policy": args.policy,
+            "duration_s": args.duration,
+            "seed": args.seed,
+            "shards": args.shards,
+            "digest": digest,
+            "events_simulated": result.events_simulated,
+            "requests": len(result.outcome.requests),
+        }
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
     if args.digest:
         print(digest)
         return 0
@@ -682,6 +705,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
         ["requests", str(len(outcome.requests))],
         ["shards", str(args.shards)],
         ["mean I/O time", f"{mean_ms:.2f} ms"],
+        ["events simulated", str(result.events_simulated)],
         ["unprotected time", f"{result.parity_lag[0]:.1%}"],
         ["stripes scrubbed", str(result.stats.stripes_scrubbed)],
         ["horizon", f"{outcome.horizon_s:g} s"],
@@ -876,6 +900,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         max_attempts=args.max_attempts,
         cache_max_bytes=args.cache_max_bytes,
+        checkpoint_dir=args.checkpoint_dir,
     )
 
     def banner(server) -> None:
@@ -1094,6 +1119,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-max-bytes", type=int, default=None, metavar="N",
         help="after the sweep, evict oldest cache entries until the cache fits N bytes",
     )
+    sweep_parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="replay checkpoint store: simulated cells resume from the deepest "
+        "stored quiescent cut (composes with the result cache)",
+    )
     sweep_parser.add_argument("--duration", type=float, default=30.0)
     sweep_parser.add_argument("--seed", type=int, default=42)
     sweep_parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
@@ -1201,12 +1231,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of consecutive time slices (results are byte-identical for any value)",
     )
     replay_parser.add_argument(
-        "--workers", type=int, default=0,
-        help="run shard steps in a process pool of this size (0 = in-process)",
+        "--workers", type=int, default=None,
+        help="run shard steps in a process pool of this size "
+        "(0 = in-process; default: min(shards, CPU count) when --shards > 1, "
+        "else in-process)",
     )
     replay_parser.add_argument(
         "--digest", action="store_true",
         help="print only the result fingerprint (for determinism checks)",
+    )
+    replay_parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist quiescent-cut checkpoints (and the final result) in DIR; "
+        "re-runs resume from the deepest matching trace prefix",
+    )
+    replay_parser.add_argument(
+        "--checkpoint-max-bytes", type=int, default=None, metavar="N",
+        help="bound checkpoint-store growth: prune oldest entries past N bytes",
+    )
+    replay_parser.add_argument(
+        "--report-json", default=None, metavar="PATH",
+        help="write digest/events-simulated run metadata as JSON",
     )
     replay_parser.set_defaults(handler=cmd_replay)
 
@@ -1329,6 +1374,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--cache-max-bytes", type=int, default=None, metavar="N",
         help="bound on-disk cache growth: prune oldest entries past N bytes",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="replay checkpoint store: cache-miss cells resume from the deepest "
+        "stored quiescent cut instead of simulating from t=0",
     )
     serve_parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"

@@ -153,6 +153,19 @@ def derive_availability(
     return mttdl_disk, mdlr_unprot, mdlr_disk, mttdl_overall, mdlr_overall
 
 
+def _checkpoint_extras(sim, array) -> dict:
+    """Collected on the final shard of a checkpointed run: everything
+    ``run_experiment`` reads off the live array after ``replay_trace``
+    that is not already in the :class:`ShardReplayResult` counters."""
+    return {
+        "dirty_at_end": array.dirty_stripe_count,
+        "latency_hists": array.hists.to_payload() if array.hists is not None else None,
+        "exposure_hists": (
+            array.exposure.hists.to_payload() if array.exposure is not None else None
+        ),
+    }
+
+
 def run_experiment(
     workload: str | Trace,
     policy: ParityPolicy,
@@ -171,6 +184,8 @@ def run_experiment(
     exposure: "ExposureMonitor | None" = None,
     exposure_window_s: float = 5.0,
     on_array: "typing.Callable[[Simulator, DiskArray], None] | None" = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_shards: int = 4,
 ) -> ExperimentResult:
     """Run one (workload, policy) experiment from a clean simulator.
 
@@ -192,9 +207,30 @@ def run_experiment(
     before replay starts (e.g. to attach a
     :class:`~repro.obs.PeriodicSampler`, an SLO poller, or a fault
     injector).
+
+    ``checkpoint_dir`` names an on-disk
+    :class:`~repro.harness.checkpoint.CheckpointStore`: the replay runs
+    through :func:`~repro.harness.sharding.replay_trace_sharded` (in
+    ``checkpoint_shards`` slices), resumes from the deepest stored
+    quiescent cut matching this cell, and a byte-identical re-run
+    returns the stored result without simulating at all.  The result is
+    bit-identical to the direct path.  Checkpointing is only taken when
+    no live observer is attached (``tracer``/``registry``/``on_array``
+    and caller-owned ``histograms``/``exposure`` must all be ``None``) —
+    the replay then crosses pickle boundaries, so in-place mutation of
+    caller objects cannot be honoured; those runs silently fall back to
+    the direct path.
     """
     if counters is None:
         counters = PerfCounters()  # throwaway: keeps the body branch-free
+    checkpointable = (
+        checkpoint_dir is not None
+        and tracer is None
+        and registry is None
+        and on_array is None
+        and histograms is None
+        and exposure is None
+    )
     if histograms is None:
         histograms = HistogramSet()
     if exposure is None:
@@ -227,6 +263,79 @@ def run_experiment(
                 address_space_sectors=array.layout.total_data_sectors,
                 seed=seed,
             )
+    if checkpointable:
+        from repro.harness.checkpoint import CheckpointStore
+        from repro.harness.sharding import replay_trace_sharded
+
+        scope = CheckpointStore(checkpoint_dir).scope(
+            {
+                "surface": "run_experiment",
+                "workload": trace.name,
+                "seed": seed,
+                "policy": [type(policy).__name__, policy.describe()],
+                "ndisks": ndisks,
+                "stripe_unit_sectors": stripe_unit_sectors,
+                "disk_factory": disk_factory.__name__,
+                "idle_threshold_s": idle_threshold_s,
+                "params": dataclasses.asdict(params),
+                "exposure_window_s": exposure_window_s,
+            }
+        )
+        with counters.phase("replay"):
+            sharded = replay_trace_sharded(
+                sim,
+                array,
+                trace,
+                shards=checkpoint_shards,
+                extra_settle_s=extra_settle_s,
+                checkpoint=scope,
+                extras_fn=_checkpoint_extras,
+            )
+        counters.count("events_dispatched", sharded.events_simulated)
+        counters.count(
+            "ios_serviced", sharded.stats.reads_completed + sharded.stats.writes_completed
+        )
+        outcome = sharded.outcome
+        if outcome.failures:
+            raise RuntimeError(
+                f"{len(outcome.failures)} requests failed during a fault-free run: "
+                f"{outcome.failures[0]!r}"
+            )
+        unprotected, mean_lag, peak_lag, _total = sharded.parity_lag
+        extras = sharded.extras or {}
+        with counters.phase("reduce"):
+            mttdl_disk, mdlr_unprot, mdlr_disk, mttdl_overall, mdlr_overall = (
+                derive_availability(
+                    ndisks=ndisks,
+                    unprotected_fraction=unprotected,
+                    mean_parity_lag_bytes=mean_lag,
+                    params=params,
+                )
+            )
+        return ExperimentResult(
+            workload=trace.name,
+            policy=policy.describe(),
+            ndisks=ndisks,
+            nrequests=len(outcome.requests),
+            reads=sharded.stats.reads_completed,
+            writes=sharded.stats.writes_completed,
+            io_time=Summary.of(outcome.io_times),
+            horizon_s=outcome.horizon_s,
+            stripes_scrubbed=sharded.stats.stripes_scrubbed,
+            dirty_at_end=extras.get("dirty_at_end", 0),
+            unprotected_fraction=unprotected,
+            mean_parity_lag_bytes=mean_lag,
+            peak_parity_lag_bytes=peak_lag,
+            params=params,
+            mttdl_disk_h=mttdl_disk,
+            mdlr_unprotected_bytes_per_h=mdlr_unprot,
+            mdlr_disk_bytes_per_h=mdlr_disk,
+            mttdl_overall_h=mttdl_overall,
+            mdlr_overall_bytes_per_h=mdlr_overall,
+            latency_hists=extras.get("latency_hists"),
+            exposure_hists=extras.get("exposure_hists"),
+        )
+
     with counters.phase("replay"):
         outcome = replay_trace(sim, array, trace, extra_settle_s=extra_settle_s)
     counters.count("events_dispatched", sim.events_dispatched)

@@ -8,7 +8,9 @@ up as queueing delay under bursts — the effect the paper measures.
 from __future__ import annotations
 
 import dataclasses
+import gc
 
+from repro.array.batchplan import warm_extent_cache
 from repro.array.controller import DiskArray
 from repro.array.request import ArrayRequest
 from repro.sim import Event, Simulator
@@ -41,7 +43,20 @@ def gather(sim: Simulator, events: list[Event]) -> Event:
 
     for index, event in enumerate(events):
         event.defused = True  # we are the handler of record
-        event.add_callback(lambda e, i=index: finish(i, e))
+        if event.callbacks is None:
+            # Already settled (the common case: the gather is built after
+            # the feeder finishes).  Collect in place — same result, no
+            # per-event closure or immediate-callback hop.
+            exc = event._exception
+            if exc is None:
+                results[index] = (True, event._value)
+            else:
+                results[index] = (False, exc)
+            remaining -= 1
+        else:
+            event.add_callback(lambda e, i=index: finish(i, e))
+    if remaining == 0 and not done.triggered:
+        done.succeed(results)
     return done
 
 
@@ -57,10 +72,14 @@ class _Feeder:
     elision in ``Process._resume``).
     """
 
-    __slots__ = ("sim", "array", "records", "index", "requests", "completions", "done")
+    __slots__ = (
+        "sim", "array", "records", "index", "requests", "completions", "done", "_fire_cb",
+    )
 
     def __init__(self, sim, array, records, requests, completions) -> None:
         self.sim = sim
+        #: Bound once: appended to every inter-arrival timeout.
+        self._fire_cb = self._fire
         self.array = array
         self.records = records
         self.index = 0
@@ -76,7 +95,7 @@ class _Feeder:
         kick = Event.__new__(Event)
         kick.sim = sim
         kick.name = ""
-        kick.callbacks = [self._fire]
+        kick.callbacks = [self._fire_cb]
         kick.defused = False
         kick._value = None
         kick._exception = None
@@ -98,15 +117,27 @@ class _Feeder:
             record = records[index]
             if record.time_s > sim._now:
                 timeout = sim.timeout(record.time_s - sim._now)
-                timeout.callbacks.append(self._fire)
+                timeout.callbacks.append(self._fire_cb)
                 self.index = index
                 return
-            request = ArrayRequest(
-                kind=record.kind,
-                offset_sectors=record.offset_sectors,
-                nsectors=record.nsectors,
-                sync=record.sync,
-            )
+            # ArrayRequest() inlined: TraceRecord already enforced the
+            # same offset/nsectors bounds __post_init__ would re-check,
+            # and one dataclass construction per record is hot at
+            # whole-trace scale.
+            request = ArrayRequest.__new__(ArrayRequest)
+            request.__dict__ = {
+                "kind": record.kind,
+                "offset_sectors": record.offset_sectors,
+                "nsectors": record.nsectors,
+                "sync": record.sync,
+                "data": None,
+                "tag": None,
+                "submit_time": None,
+                "dispatch_time": None,
+                "complete_time": None,
+                "result_data": None,
+                "plan": None,
+            }
             requests.append(request)
             completion = array.submit(request)
             # Defuse now: under fault injection a request can fail before
@@ -118,11 +149,6 @@ class _Feeder:
         done = self.done
         done._value = None
         done.callbacks = None
-
-
-def _run_feeder(sim, array, trace, requests, completions) -> Event:
-    """Start the arrival pump; returns the event firing at the last submit."""
-    return _Feeder(sim, array, list(trace), requests, completions).start()
 
 
 @dataclasses.dataclass
@@ -159,13 +185,30 @@ def replay_trace(
     requests: list[ArrayRequest] = []
     completions: list[Event] = []
 
-    feeder_done = _run_feeder(sim, array, trace, requests, completions)
-    sim.run_until_triggered(feeder_done)
-    outcomes = sim.run_until_triggered(gather(sim, completions))
-    failures = [value for ok, value in outcomes if not ok]
+    records = list(trace)
+    # The whole arrival schedule is known before the clock starts: batch-map
+    # its geometry once (vectorised) so per-request map_extent is a probe.
+    warm_extent_cache(array.layout, records)
+    # Pause cyclic GC for the bounded duration of the run: a replay
+    # allocates hundreds of thousands of short-lived events that die by
+    # refcount, while everything the young-generation scans keep walking
+    # (requests, completions, the array graph — cyclic through the cached
+    # bound-method callbacks) stays reachable until the outcome is built,
+    # so mid-run collections cost double-digit time and free nothing.
+    paused = gc.isenabled()
+    if paused:
+        gc.disable()
+    try:
+        feeder_done = _Feeder(sim, array, records, requests, completions).start()
+        sim.run_until_triggered(feeder_done)
+        outcomes = sim.run_until_triggered(gather(sim, completions))
+        failures = [value for ok, value in outcomes if not ok]
 
-    horizon = max(trace.duration_s, sim.now) + extra_settle_s
-    sim.run(until=horizon)
+        horizon = max(trace.duration_s, sim.now) + extra_settle_s
+        sim.run(until=horizon)
+    finally:
+        if paused:
+            gc.enable()
     if finalize:
         array.finalize()
     return ReplayOutcome(requests=requests, failures=failures, horizon_s=horizon)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import collections
 import concurrent.futures
 import dataclasses
+import functools
 import hashlib
 import json
 import os
@@ -565,8 +566,18 @@ class SweepOutcome:
         return self.results[key]
 
 
-def run_cell(spec: CellSpec) -> ExperimentResult:
-    """Simulate one cell (the process-pool work function)."""
+def run_cell(spec: CellSpec, checkpoint_dir: str | None = None) -> ExperimentResult:
+    """Simulate one cell (the process-pool work function).
+
+    ``checkpoint_dir`` routes the cell's replay through the incremental
+    checkpoint store (see :mod:`repro.harness.checkpoint`): a re-run or a
+    longer-``duration_s`` variant of an already-simulated cell pays only
+    the un-simulated suffix.  Deliberately *not* part of the cell's cache
+    key — it changes where the work happens, never the result.  Thread it
+    into a :class:`CellExecutor` with
+    ``functools.partial(run_cell, checkpoint_dir=...)`` (picklable, so it
+    crosses the process pool).
+    """
     return run_experiment(
         spec.workload,
         spec.policy.build(),
@@ -576,6 +587,7 @@ def run_cell(spec: CellSpec) -> ExperimentResult:
         stripe_unit_sectors=spec.stripe_unit_sectors,
         idle_threshold_s=spec.idle_threshold_s,
         extra_settle_s=spec.extra_settle_s,
+        checkpoint_dir=checkpoint_dir,
     )
 
 
@@ -584,6 +596,7 @@ def run_cells(
     jobs: int = 1,
     cache_dir: str | os.PathLike | None = None,
     counters: PerfCounters | None = None,
+    checkpoint_dir: str | None = None,
 ) -> SweepOutcome:
     """Run every cell, in parallel when ``jobs > 1``, through the cache.
 
@@ -591,10 +604,19 @@ def run_cells(
     worker processes; cells already in the cache never reach a worker, so
     a warm rerun is pure I/O.  Cell order never affects results — each
     cell is a fresh simulator with its own explicitly-seeded RNG.
+    ``checkpoint_dir`` additionally resumes each simulated cell from the
+    deepest stored replay checkpoint (exact-result cache and incremental
+    checkpoints compose: the cache skips finished cells, the store
+    accelerates the ones that still must run).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     started = time.perf_counter()
+    cell_fn = (
+        run_cell
+        if checkpoint_dir is None
+        else functools.partial(run_cell, checkpoint_dir=os.fspath(checkpoint_dir))
+    )
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     results: dict[tuple[str, str], ExperimentResult] = {}
     pending: list[tuple[CellSpec, str | None]] = []
@@ -616,7 +638,7 @@ def run_cells(
         if jobs == 1:
             try:
                 for spec, key in pending:
-                    result = run_cell(spec)
+                    result = cell_fn(spec)
                     results[spec.key] = result
                     if cache is not None and key is not None:
                         cache.store(key, result)
@@ -624,7 +646,7 @@ def run_cells(
             except KeyboardInterrupt:
                 raise SweepInterrupted(cached + completed, len(specs)) from None
         else:
-            executor = CellExecutor(jobs=jobs, cache=cache).start()
+            executor = CellExecutor(jobs=jobs, cache=cache, cell_fn=cell_fn).start()
             outcomes: list[CellOutcome] = []
             done = threading.Event()
 

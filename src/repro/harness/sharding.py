@@ -41,19 +41,31 @@ fingerprints the observable results for N-vs-1 determinism checks.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
+import gc
 import hashlib
+import os
 import pickle
 import struct
 import typing
 from heapq import heappush as _heappush
 
 from repro.array.controller import DiskArray
+from repro.array.batchplan import warm_extent_cache
 from repro.harness.replay import ReplayOutcome, _Feeder, gather
 from repro.sim import Event, Simulator
 
 if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.checkpoint import CheckpointScope
     from repro.traces import Trace
+
+#: Pickle protocol for every shard handoff and checkpoint payload.
+#: Pinned explicitly (not ``HIGHEST_PROTOCOL``) so payloads written by
+#: one Python version are readable by another, and so the checkpoint
+#: store can name the exact protocol it expects when rejecting entries
+#: from a different repro build (see :mod:`repro.harness.checkpoint`).
+PICKLE_PROTOCOL = 5
 
 
 @dataclasses.dataclass
@@ -71,6 +83,14 @@ class ShardReplayResult:
     disk_stats: list  # repro.disk.disk.DiskStats per member, in order
     #: (unprotected_fraction, mean_lag_bytes, peak_lag_bytes, total_time)
     parity_lag: tuple[float, float, float, float]
+    #: Events dispatched by *this* run (not the whole simulated history):
+    #: a checkpoint-resumed replay reports only its delta, and a full
+    #: store hit reports 0.  Excluded from :func:`replay_digest` — it
+    #: describes the run, not the simulated results.
+    events_simulated: int = 0
+    #: Extra per-run values collected by ``finish_shard``'s ``extras_fn``
+    #: (e.g. histogram payloads for :func:`repro.harness.experiment`).
+    extras: dict | None = None
 
     @classmethod
     def from_array(cls, array: DiskArray, outcome: ReplayOutcome) -> "ShardReplayResult":
@@ -102,11 +122,26 @@ class ShardHandoff:
     last_arrival_s: float
     #: Simulated time at the quiescent cut.
     cut_time_s: float
+    #: Events this shard step dispatched, extension retries included.
+    events: int = 0
+
+
+@contextlib.contextmanager
+def _gc_paused():
+    """Suspend cyclic GC for a bounded replay burst (see replay_trace)."""
+    paused = gc.isenabled()
+    if paused:
+        gc.disable()
+    try:
+        yield
+    finally:
+        if paused:
+            gc.enable()
 
 
 def _snapshot(sim, array, requests, completions) -> bytes:
     return pickle.dumps(
-        (sim, array, requests, completions), protocol=pickle.HIGHEST_PROTOCOL
+        (sim, array, requests, completions), protocol=PICKLE_PROTOCOL
     )
 
 
@@ -119,6 +154,7 @@ def _arm_feeder(sim, array, records, requests, completions, first_shard, last_ar
     previous record's wake: same chained fire time, same single sequence
     number, no kick.
     """
+    warm_extent_cache(array.layout, records)
     feeder = _Feeder(sim, array, records, requests, completions)
     if first_shard:
         return feeder.start()
@@ -168,28 +204,33 @@ def advance_shard(
     stop = tentative
     if stop >= total:
         return None
-    while True:
-        sim, array, requests, completions = pickle.loads(payload)
-        done = _arm_feeder(
-            sim, array, remaining[:stop], requests, completions, first_shard, last_arrival_s
-        )
-        sim.run_until_triggered(done)
-        arrival = sim._now
-        sim.run()  # drain to complete quiescence
-        target = arrival + (remaining[stop].time_s - arrival)
-        if sim._now < target:
-            return ShardHandoff(
-                _snapshot(sim, array, requests, completions), stop, arrival, sim._now
+    events = 0
+    with _gc_paused():
+        while True:
+            sim, array, requests, completions = pickle.loads(payload)
+            base = sim.events_dispatched
+            done = _arm_feeder(
+                sim, array, remaining[:stop], requests, completions, first_shard, last_arrival_s
             )
-        # The tail (idle declaration, scrub pass) ran past the next
-        # arrival: the unsharded run would have interleaved them.  Extend
-        # the slice beyond everything the drain overlapped and retry.
-        extended = stop + 1
-        while extended < total and remaining[extended].time_s <= sim._now:
-            extended += 1
-        if extended >= total:
-            return None
-        stop = extended
+            sim.run_until_triggered(done)
+            arrival = sim._now
+            sim.run()  # drain to complete quiescence
+            events += sim.events_dispatched - base
+            target = arrival + (remaining[stop].time_s - arrival)
+            if sim._now < target:
+                return ShardHandoff(
+                    _snapshot(sim, array, requests, completions), stop, arrival, sim._now,
+                    events,
+                )
+            # The tail (idle declaration, scrub pass) ran past the next
+            # arrival: the unsharded run would have interleaved them.  Extend
+            # the slice beyond everything the drain overlapped and retry.
+            extended = stop + 1
+            while extended < total and remaining[extended].time_s <= sim._now:
+                extended += 1
+            if extended >= total:
+                return None
+            stop = extended
 
 
 def finish_shard(
@@ -200,26 +241,38 @@ def finish_shard(
     duration_s: float,
     extra_settle_s: float,
     finalize: bool,
+    extras_fn: typing.Callable[..., dict] | None = None,
 ) -> bytes:
     """Replay the final slice and close the books like ``replay_trace``.
+
+    ``extras_fn(sim, array)`` — a module-level (picklable) callable —
+    runs after finalisation and its return value lands in
+    ``ShardReplayResult.extras``; callers that need more than the
+    counters (histogram payloads, end-state gauges) collect them here,
+    on whichever side of the process boundary the final shard ran.
 
     Returns a pickle of the :class:`ShardReplayResult`.
     """
     sim, array, requests, completions = pickle.loads(payload)
-    if remaining:
-        done = _arm_feeder(
-            sim, array, remaining, requests, completions, first_shard, last_arrival_s
-        )
-        sim.run_until_triggered(done)
-    outcomes = sim.run_until_triggered(gather(sim, completions))
-    failures = [value for ok, value in outcomes if not ok]
-    horizon = max(duration_s, sim.now) + extra_settle_s
-    sim.run(until=horizon)
+    base = sim.events_dispatched
+    with _gc_paused():
+        if remaining:
+            done = _arm_feeder(
+                sim, array, remaining, requests, completions, first_shard, last_arrival_s
+            )
+            sim.run_until_triggered(done)
+        outcomes = sim.run_until_triggered(gather(sim, completions))
+        failures = [value for ok, value in outcomes if not ok]
+        horizon = max(duration_s, sim.now) + extra_settle_s
+        sim.run(until=horizon)
     if finalize:
         array.finalize()
     outcome = ReplayOutcome(requests=requests, failures=failures, horizon_s=horizon)
     result = ShardReplayResult.from_array(array, outcome)
-    return pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    result.events_simulated = sim.events_dispatched - base
+    if extras_fn is not None:
+        result.extras = extras_fn(sim, array)
+    return pickle.dumps(result, protocol=PICKLE_PROTOCOL)
 
 
 def replay_trace_sharded(
@@ -230,6 +283,8 @@ def replay_trace_sharded(
     extra_settle_s: float = 0.0,
     finalize: bool = True,
     submit: typing.Callable[..., typing.Any] | None = None,
+    checkpoint: "CheckpointScope | None" = None,
+    extras_fn: typing.Callable[..., dict] | None = None,
 ) -> ShardReplayResult:
     """Replay ``trace`` in ``shards`` consecutive time slices.
 
@@ -241,6 +296,15 @@ def replay_trace_sharded(
     same pickled payload, so the in-process mode exercises (and proves)
     snapshot fidelity too.
 
+    ``checkpoint`` — a :class:`repro.harness.checkpoint.CheckpointScope`
+    — turns the replay incremental: the run resumes from the deepest
+    stored quiescent cut whose record prefix matches this trace, every
+    new cut (and the final result) is persisted as it is produced, and a
+    byte-identical re-run returns the stored result without simulating
+    at all.  The returned result is bit-identical to a cold replay for
+    any store state; ``events_simulated`` reports how much simulation
+    this particular run actually paid.
+
     Returns the :class:`ShardReplayResult` — byte-identical (see
     :func:`replay_digest`) to ``replay_trace`` on the same inputs for any
     ``shards`` ≥ 1.
@@ -251,8 +315,14 @@ def replay_trace_sharded(
         def submit(fn, *args):
             return fn(*args)
     records = list(trace)
-    payload = _snapshot(sim, array, [], [])
     duration_s = trace.duration_s
+    if checkpoint is not None:
+        stored = checkpoint.lookup_final(records, duration_s, extra_settle_s, finalize)
+        if stored is not None:
+            result = pickle.loads(stored)
+            result.events_simulated = 0
+            return result
+    payload = _snapshot(sim, array, [], [])
 
     # Tentative cut indices at equal time slices of the nominal duration.
     cuts: list[int] = []
@@ -269,8 +339,16 @@ def replay_trace_sharded(
     start = 0
     first_shard = True
     last_arrival = 0.0
+    events = 0
+    if checkpoint is not None:
+        resumed = checkpoint.lookup_cut(records)
+        if resumed is not None:
+            payload = resumed.payload
+            start = resumed.consumed
+            last_arrival = resumed.last_arrival_s
+            first_shard = False
     for cut in cuts:
-        if cut <= start:  # an earlier extension already covered this cut
+        if cut <= start:  # an earlier extension (or a resume) covered this cut
             continue
         handoff = submit(
             advance_shard, payload, records[start:], cut - start, first_shard, last_arrival
@@ -283,6 +361,9 @@ def replay_trace_sharded(
         start += handoff.consumed
         last_arrival = handoff.last_arrival_s
         first_shard = False
+        events += handoff.events
+        if checkpoint is not None:
+            checkpoint.store_cut(records, start, handoff)
     final_payload = submit(
         finish_shard,
         payload,
@@ -292,8 +373,13 @@ def replay_trace_sharded(
         duration_s,
         extra_settle_s,
         finalize,
+        extras_fn,
     )
-    return pickle.loads(final_payload)
+    if checkpoint is not None:
+        checkpoint.store_final(records, duration_s, extra_settle_s, finalize, final_payload)
+    result = pickle.loads(final_payload)
+    result.events_simulated += events
+    return result
 
 
 #: Policies a sharded replay can be parameterised with by name (the
@@ -322,15 +408,26 @@ def run_sharded_replay(
     duration_s: float = 30.0,
     seed: int = 42,
     shards: int = 1,
-    workers: int = 0,
+    workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_max_bytes: int | None = None,
 ) -> tuple[ShardReplayResult, str]:
     """Build a fresh paper-configuration array and replay ``workload`` sharded.
 
     ``workers > 0`` runs each shard step in a process pool (the handoff
     travels through real pickled IPC); ``workers == 0`` runs in-process,
-    still pickling between shards.  Returns the result and its
-    :func:`replay_digest` fingerprint — byte-identical for every
-    ``(shards, workers)`` combination.
+    still pickling between shards.  ``workers=None`` (the default) picks
+    ``min(shards, os.cpu_count())`` — a multi-shard replay uses the pool
+    automatically — except for the single-shard case, which stays
+    in-process.  Returns the result and its :func:`replay_digest`
+    fingerprint — byte-identical for every ``(shards, workers)``
+    combination.
+
+    ``checkpoint_dir`` names an on-disk :class:`~repro.harness.checkpoint.
+    CheckpointStore`: quiescent cuts and the final result are persisted
+    there and re-runs resume from the deepest matching prefix.
+    ``checkpoint_max_bytes`` prunes the store's oldest entries past that
+    size after the run (mirroring the sweep cache's ``--cache-max-bytes``).
     """
     from repro.array.factory import build_array
     from repro.traces.catalog import make_trace
@@ -340,6 +437,8 @@ def run_sharded_replay(
         raise ValueError(
             f"unknown policy {policy!r}; choose from {sorted(_policy_registry())}"
         )
+    if workers is None:
+        workers = min(shards, os.cpu_count() or 1) if shards > 1 else 0
     sim = Simulator()
     array = build_array(sim, policy_cls())
     trace = make_trace(
@@ -348,6 +447,21 @@ def run_sharded_replay(
         seed=seed,
         address_space_sectors=array.layout.total_data_sectors,
     )
+    scope = None
+    store = None
+    if checkpoint_dir is not None:
+        from repro.harness.checkpoint import CheckpointStore
+
+        store = CheckpointStore(checkpoint_dir)
+        scope = store.scope(
+            {
+                "surface": "run_sharded_replay",
+                "workload": workload,
+                "seed": seed,
+                "policy": policy,
+                "array": "paper-default",
+            }
+        )
     if workers > 0:
         from concurrent.futures import ProcessPoolExecutor
 
@@ -355,9 +469,12 @@ def run_sharded_replay(
             result = replay_trace_sharded(
                 sim, array, trace, shards=shards,
                 submit=lambda fn, *fnargs: pool.submit(fn, *fnargs).result(),
+                checkpoint=scope,
             )
     else:
-        result = replay_trace_sharded(sim, array, trace, shards=shards)
+        result = replay_trace_sharded(sim, array, trace, shards=shards, checkpoint=scope)
+    if store is not None and checkpoint_max_bytes is not None:
+        store.prune(checkpoint_max_bytes)
     return result, replay_digest(result)
 
 

@@ -8,7 +8,6 @@ unit on an array of N+1 disks.
 
 from __future__ import annotations
 
-import dataclasses
 import enum
 
 
@@ -20,34 +19,103 @@ class UnitKind(enum.Enum):
     PARITY_Q = "parity_q"  # second parity of RAID 6
 
 
-@dataclasses.dataclass(frozen=True)
 class StripeUnit:
-    """One stripe unit's physical placement."""
+    """One stripe unit's physical placement.
 
-    stripe: int
-    kind: UnitKind
-    unit_index: int  # data-unit ordinal within the stripe; 0 for parity units
-    disk: int
-    disk_lba: int  # first sector of the unit on that disk
+    A plain ``__slots__`` class rather than a frozen dataclass: layouts
+    build one per stripe unit on every mapping-cache miss, and the frozen
+    dataclass ``__init__`` (one ``object.__setattr__`` per field) was
+    measurable at whole-trace replay scale.  Value semantics (eq/hash/
+    repr) are preserved.
+    """
+
+    __slots__ = ("stripe", "kind", "unit_index", "disk", "disk_lba")
+
+    def __init__(
+        self, stripe: int, kind: UnitKind, unit_index: int, disk: int, disk_lba: int
+    ) -> None:
+        self.stripe = stripe
+        self.kind = kind
+        #: Data-unit ordinal within the stripe; 0 for parity units.
+        self.unit_index = unit_index
+        self.disk = disk
+        #: First sector of the unit on that disk.
+        self.disk_lba = disk_lba
+
+    def _astuple(self) -> tuple:
+        return (self.stripe, self.kind, self.unit_index, self.disk, self.disk_lba)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StripeUnit):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:
+        return (
+            f"StripeUnit(stripe={self.stripe!r}, kind={self.kind!r}, "
+            f"unit_index={self.unit_index!r}, disk={self.disk!r}, "
+            f"disk_lba={self.disk_lba!r})"
+        )
 
 
-@dataclasses.dataclass(frozen=True)
 class ExtentRun:
     """A contiguous piece of a logical extent landing on one disk.
 
     ``logical_sector`` is where this run starts in array-logical space;
     the run never crosses a stripe-unit boundary.
+
+    Like :class:`StripeUnit`, a plain ``__slots__`` class: extent mapping
+    constructs these in bulk (scalar walks and the vectorised batch
+    planner both), and dataclass construction overhead was measurable.
     """
 
-    stripe: int
-    unit_index: int
-    disk: int
-    disk_lba: int  # first sector of the run on the disk
-    nsectors: int
-    logical_sector: int
+    __slots__ = ("stripe", "unit_index", "disk", "disk_lba", "nsectors", "logical_sector")
+
+    def __init__(
+        self,
+        stripe: int,
+        unit_index: int,
+        disk: int,
+        disk_lba: int,
+        nsectors: int,
+        logical_sector: int,
+    ) -> None:
+        self.stripe = stripe
+        self.unit_index = unit_index
+        self.disk = disk
+        #: First sector of the run on the disk.
+        self.disk_lba = disk_lba
+        self.nsectors = nsectors
+        self.logical_sector = logical_sector
+
+    def _astuple(self) -> tuple:
+        return (
+            self.stripe, self.unit_index, self.disk,
+            self.disk_lba, self.nsectors, self.logical_sector,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExtentRun):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:
+        return (
+            f"ExtentRun(stripe={self.stripe!r}, unit_index={self.unit_index!r}, "
+            f"disk={self.disk!r}, disk_lba={self.disk_lba!r}, "
+            f"nsectors={self.nsectors!r}, logical_sector={self.logical_sector!r})"
+        )
 
 
-def check_layout_args(ndisks: int, stripe_unit_sectors: int, disk_sectors: int, min_disks: int) -> None:
+def check_layout_args(
+    ndisks: int, stripe_unit_sectors: int, disk_sectors: int, min_disks: int
+) -> None:
     """Validate common layout constructor arguments."""
     if ndisks < min_disks:
         raise ValueError(f"need >= {min_disks} disks, got {ndisks}")

@@ -64,6 +64,32 @@ class Raid5Layout:
         self._parity_cache: dict[int, StripeUnit] = {}
         self._units_cache: dict[int, tuple[StripeUnit, ...]] = {}
 
+    # -- pickling ---------------------------------------------------------------
+
+    #: Derived memoisation state a snapshot must not carry: it is rebuilt
+    #: on demand (and re-warmed in bulk by the replay harness), and a full
+    #: extent cache multiplies the pickled size of every shard snapshot.
+    _TRANSIENT = (
+        "_extent_cache",
+        "_locate_cache",
+        "_parity_cache",
+        "_units_cache",
+        "_batchplan_disk_table",
+    )
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        for key in self._TRANSIENT:
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._extent_cache = {}
+        self._locate_cache = {}
+        self._parity_cache = {}
+        self._units_cache = {}
+
     # -- per-stripe structure ---------------------------------------------------
 
     def parity_disk(self, stripe: int) -> int:

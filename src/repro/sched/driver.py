@@ -24,6 +24,10 @@ from repro.sim.events import _PENDING
 if typing.TYPE_CHECKING:  # pragma: no cover - optional observability
     from repro.obs import Tracer
 
+# Enum member lookups are LOAD_ATTR chains; one module-level binding keeps
+# the per-command issue path to a single fast local/global load.
+_READ = IoKind.READ
+
 
 @dataclasses.dataclass
 class DriverStats:
@@ -58,6 +62,10 @@ class DiskDriver:
         self._ev_pump = f"{self.name}.pump"
         self.stats = DriverStats()
         self._pumping = False
+        #: The pump callback, bound once: it is appended to every disk
+        #: completion, and each ``self._step`` reference would allocate a
+        #: fresh bound-method object.
+        self._step_cb = self._step
         #: Optional span-per-command tracer; ``None`` (the default) keeps
         #: the pump's disabled path to one attribute load per command.
         self.tracer: "Tracer | None" = None
@@ -104,6 +112,62 @@ class DiskDriver:
         completion._scheduled = False
         completion._handled = False
         self.stats.submitted += 1
+        disk = self.disk
+        if (
+            not self._pumping
+            and self.tracer is None
+            and not self._batch
+            and type(self.scheduler) is FcfsScheduler
+            and not self.scheduler._queue
+            and not disk.immediate_report
+            and disk.readahead_segments == 0
+            and not disk._failed
+            and not disk._latent_errors
+            and disk._busy_until <= sim._now
+        ):
+            # Idle fused lane: the drain this submit would start takes the
+            # scalar fast lane in _step and issues this very command — the
+            # guards here pin down that exact path — so skip the scheduler
+            # round-trip and the drain preamble and issue directly
+            # (_issue_precomputed inlined; queue_time += 0.0 elided: the
+            # accumulator is never -0.0, so the sum is bit-identical).
+            # Same floats, same events, same bookkeeping order.
+            self._pumping = True
+            now = sim._now
+            seek, rotational_latency, transfer, cylinder, head = disk._service_parts(
+                io.lba, io.nsectors, now
+            )
+            overhead = disk.controller_overhead_s
+            total = overhead + seek + rotational_latency + transfer
+            disk._current_cylinder = cylinder
+            disk._current_head = head
+            when = now + total
+            disk._busy_until = when
+            dstats = disk.stats
+            dstats.busy_time += total
+            dstats.seek_time += seek
+            dstats.rotational_latency += rotational_latency
+            dstats.transfer_time += transfer
+            if io.kind is _READ:
+                dstats.reads += 1
+                dstats.sectors_read += io.nsectors
+            else:
+                dstats.writes += 1
+                dstats.sectors_written += io.nsectors
+            completion._value = ServiceBreakdown(
+                overhead, seek, rotational_latency, transfer
+            )
+            completion._scheduled = True
+            sim._sequence += 1
+            if when > now:
+                _heappush(sim._queue, (when, sim._sequence, completion))
+            else:
+                sim._bucket.append(completion)
+            disk._inflight = completion
+            completion.callbacks.append(self._step_cb)
+            self._wait = completion
+            self._wait_is_completion = True
+            return completion
         self.scheduler.push((io, completion, sim._now), io.lba)
         if not self._pumping:
             self._pumping = True
@@ -148,7 +212,7 @@ class DiskDriver:
         # ack; wait out the mechanism before issuing the next command.
         if disk._busy_until > sim._now:
             timeout = sim.timeout(disk._busy_until - sim._now)
-            timeout.callbacks.append(self._step)
+            timeout.callbacks.append(self._step_cb)
             self._wait = timeout
             self._wait_is_completion = False
             return
@@ -199,17 +263,44 @@ class DiskDriver:
                 return
             # Scalar fused: shallow queues (light traces rarely go deeper
             # than 4) skip the array-op and batch bookkeeping — one exact
-            # _service_parts call, issued directly.
+            # _service_parts call, issued directly (_issue_precomputed
+            # inlined; same addition order as execute()).
             io, completion, submit_time = queue.popleft()[0]
+            now = sim._now
             seek, rotational_latency, transfer, cylinder, head = disk._service_parts(
-                io.lba, io.nsectors, sim._now
+                io.lba, io.nsectors, now
             )
-            # Same addition order as execute() / ServiceBreakdown.total.
-            total = disk.controller_overhead_s + seek + rotational_latency + transfer
-            self._issue_precomputed(
-                io, completion, submit_time,
-                (seek, rotational_latency, transfer, cylinder, head, total),
+            overhead = disk.controller_overhead_s
+            total = overhead + seek + rotational_latency + transfer
+            stats.queue_time += now - submit_time
+            disk._current_cylinder = cylinder
+            disk._current_head = head
+            when = now + total
+            disk._busy_until = when
+            dstats = disk.stats
+            dstats.busy_time += total
+            dstats.seek_time += seek
+            dstats.rotational_latency += rotational_latency
+            dstats.transfer_time += transfer
+            if io.kind is _READ:
+                dstats.reads += 1
+                dstats.sectors_read += io.nsectors
+            else:
+                dstats.writes += 1
+                dstats.sectors_written += io.nsectors
+            completion._value = ServiceBreakdown(
+                overhead, seek, rotational_latency, transfer
             )
+            completion._scheduled = True
+            sim._sequence += 1
+            if when > now:
+                _heappush(sim._queue, (when, sim._sequence, completion))
+            else:
+                sim._bucket.append(completion)
+            disk._inflight = completion
+            completion.callbacks.append(self._step_cb)
+            self._wait = completion
+            self._wait_is_completion = True
             return
         geometry = disk.geometry
         uses_position = scheduler.uses_position
@@ -229,7 +320,7 @@ class DiskDriver:
             except BaseException:
                 self._pumping = False
                 raise
-            completion.callbacks.append(self._step)
+            completion.callbacks.append(self._step_cb)
             self._wait = completion
             self._wait_is_completion = True
             return
@@ -259,7 +350,7 @@ class DiskDriver:
         stats.seek_time += seek
         stats.rotational_latency += rotational_latency
         stats.transfer_time += transfer
-        if io.kind is IoKind.READ:
+        if io.kind is _READ:
             stats.reads += 1
             stats.sectors_read += io.nsectors
         else:
@@ -268,10 +359,7 @@ class DiskDriver:
         # _schedule_completion inlined; report_after == total for reads
         # and for writes without immediate reporting (the guard).
         completion._value = ServiceBreakdown(
-            overhead=disk.controller_overhead_s,
-            seek=seek,
-            rotational_latency=rotational_latency,
-            transfer=transfer,
+            disk.controller_overhead_s, seek, rotational_latency, transfer
         )
         completion._scheduled = True
         sim._sequence += 1
@@ -280,7 +368,7 @@ class DiskDriver:
         else:
             sim._bucket.append(completion)
         disk._inflight = completion
-        completion.callbacks.append(self._step)
+        completion.callbacks.append(self._step_cb)
         self._wait = completion
         self._wait_is_completion = True
 

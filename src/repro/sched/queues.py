@@ -106,8 +106,15 @@ class _SortedQueue(typing.Generic[T]):
     def positions(self) -> list[int]:
         return [position for position, _seq, _item in self._entries]
 
+    def items(self) -> list[T]:
+        """Queued items in position order (does not dequeue)."""
+        return [item for _position, _seq, item in self._entries]
+
     def __len__(self) -> int:
         return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
 
 
 class ClookScheduler(IoScheduler[T]):
@@ -130,8 +137,21 @@ class ClookScheduler(IoScheduler[T]):
             index = 0  # wrap around to the lowest position
         return self._sorted.pop_index(index)
 
+    def pending(self) -> list[T]:
+        """Queued items without dequeuing them, in position order.
+
+        The array's batch planner (:mod:`repro.array.batchplan`) reads
+        the backlog through this to plan several requests at once.
+        """
+        return self._sorted.items()
+
     def __len__(self) -> int:
         return len(self._sorted)
+
+    def __bool__(self) -> bool:
+        # Truth-tested several times per pump step; skip the
+        # __len__ → _SortedQueue.__len__ → list.__len__ chain.
+        return bool(self._sorted._entries)
 
 
 class SstfScheduler(IoScheduler[T]):

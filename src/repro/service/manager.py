@@ -30,6 +30,7 @@ which the server streams as NDJSON.
 
 from __future__ import annotations
 
+import functools
 import threading
 import time
 import typing
@@ -202,15 +203,26 @@ class JobManager:
         cell_fn: typing.Callable[[CellSpec], "ExperimentResult"] | None = None,
         registry: "MetricsRegistry | None" = None,
         cache_max_bytes: int | None = None,
+        checkpoint_dir: str | None = None,
     ) -> None:
         self.metrics = ServiceMetrics(registry)
         self.queue_limit = queue_limit
         self.cache_max_bytes = cache_max_bytes
+        self.checkpoint_dir = checkpoint_dir
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        if cell_fn is None:
+            # A warm service restart replays only what the checkpoint
+            # store has not already simulated; partial (ordinary)
+            # functions pickle by reference, so this crosses the pool.
+            cell_fn = (
+                run_cell
+                if checkpoint_dir is None
+                else functools.partial(run_cell, checkpoint_dir=checkpoint_dir)
+            )
         self.executor = CellExecutor(
             jobs=jobs,
             cache=self.cache,
-            cell_fn=cell_fn if cell_fn is not None else run_cell,
+            cell_fn=cell_fn,
             max_attempts=max_attempts,
             on_worker_restart=self.metrics.worker_restarts.inc,
         ).start()

@@ -1,0 +1,131 @@
+"""Batch planner vs the scalar mapping paths.
+
+The planner (:mod:`repro.array.batchplan`) is an optional precomputation:
+every plan it attaches must reproduce the scalar ``map_extent`` /
+``_group_runs`` / mark-loop geometry element for element, and the extent
+prewarm must leave the cache exactly as the scalar walks would have.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.array.batchplan import (
+    MIN_VECTOR_EXTENTS,
+    attach_plans,
+    warm_extent_cache,
+)
+from repro.array.factory import build_array
+from repro.array.request import ArrayRequest, IoKind
+from repro.policy import BaselineAfraidPolicy
+from repro.sim import Simulator
+
+Record = collections.namedtuple("Record", "offset_sectors nsectors")
+
+
+@pytest.fixture
+def array():
+    return build_array(Simulator(), BaselineAfraidPolicy())
+
+
+def _mix_extents(layout, count):
+    """A spread of extents: unit-aligned, straddling, multi-stripe, tail."""
+    unit = layout.stripe_unit_sectors
+    sds = layout.stripe_data_sectors
+    extents = []
+    for index in range(count):
+        offset = (index * 7919) % (layout.total_data_sectors - 4 * sds)
+        nsectors = 1 + (index * 13) % (2 * unit)
+        extents.append((offset, nsectors))
+    extents.append((layout.total_data_sectors - 3, 3))  # address-space tail
+    return extents
+
+
+def test_plans_match_scalar_geometry(array):
+    layout = array.layout
+    requests = [
+        ArrayRequest(
+            IoKind.WRITE if index % 2 else IoKind.READ, offset, nsectors
+        )
+        for index, (offset, nsectors) in enumerate(_mix_extents(layout, 40))
+    ]
+    attach_plans(array, requests)
+    for request in requests:
+        plan = request.plan
+        assert plan is not None
+        scalar_runs = layout.map_extent(request.offset_sectors, request.nsectors)
+        assert plan.runs == scalar_runs
+        # Grouping must mirror _group_runs: insertion order, runs in order.
+        groups = array._group_runs(request)
+        assert list(plan.stripes) == list(groups)
+        assert [(stripe, tuple(runs)) for stripe, runs in groups.items()] == list(
+            plan.by_stripe
+        )
+        if request.is_write:
+            expected_marks = [
+                (run.stripe, sub_unit)
+                for run in scalar_runs
+                for sub_unit in (
+                    array._sub_units_of(run)
+                    if array.marks.bits_per_stripe > 1
+                    else (0,)
+                )
+            ]
+            assert list(plan.mark_targets) == expected_marks
+        else:
+            assert plan.mark_targets == ()
+
+
+def test_warm_fill_matches_scalar_map_extent(array):
+    layout = array.layout
+    extents = _mix_extents(layout, max(64, MIN_VECTOR_EXTENTS))
+    records = [Record(offset, nsectors) for offset, nsectors in extents]
+    filled = warm_extent_cache(layout, records)
+    assert filled == len({(r.offset_sectors, r.nsectors) for r in records})
+    warmed = dict(layout._extent_cache)
+    # A fresh layout mapping the same extents scalar-style must agree.
+    reference = build_array(Simulator(), BaselineAfraidPolicy()).layout
+    for offset, nsectors in extents:
+        assert warmed[(offset, nsectors)] == reference.map_extent(offset, nsectors)
+
+
+def test_warm_is_idempotent_and_skips_known_keys(array):
+    layout = array.layout
+    records = [Record(offset, nsectors) for offset, nsectors in _mix_extents(layout, 32)]
+    first = warm_extent_cache(layout, records)
+    assert first > 0
+    assert warm_extent_cache(layout, records) == 0  # everything already cached
+
+
+def test_warm_skips_out_of_range_extents(array):
+    layout = array.layout
+    total = layout.total_data_sectors
+    records = [Record(total - 1, 8), Record(total + 10, 4)]  # both past the end
+    assert warm_extent_cache(layout, records) == 0
+    assert (total - 1, 8) not in layout._extent_cache
+    with pytest.raises(ValueError):
+        layout.map_extent(total - 1, 8)
+
+
+def test_warm_refuses_cache_overflow(array):
+    layout = array.layout
+    unit = layout.stripe_unit_sectors
+    limit = layout._EXTENT_CACHE_MAX
+    records = [
+        Record((index % (layout.total_data_sectors // unit - 1)) * unit, 1 + index % unit)
+        for index in range(limit + 512)
+    ]
+    distinct = {(r.offset_sectors, r.nsectors) for r in records}
+    if len(distinct) <= limit:  # geometry floor: make the premise explicit
+        pytest.skip("mix does not overflow the cache on this geometry")
+    assert warm_extent_cache(layout, records) == 0
+    assert len(layout._extent_cache) == 0
+
+
+def test_warm_is_a_noop_without_cache_fields(array):
+    class Bare:
+        total_data_sectors = 10_000
+
+    assert warm_extent_cache(Bare(), [Record(0, 8)]) == 0
