@@ -30,6 +30,7 @@ from repro.disk import DiskFailedError, DiskIO, IoKind, LatentSectorError, Mecha
 from repro.idle import IdleDetector
 from repro.layout import Raid5Layout
 from repro.layout.base import ExtentRun
+from repro.layout.organization import ArrayOrganization, get_organization
 from repro.nvram import MarkMemory, sub_unit_extent, sub_units_overlapping
 from repro.policy import ParityPolicy, WriteMode
 from repro.sched import ClookScheduler, DiskDriver, FcfsScheduler
@@ -78,6 +79,27 @@ class ArrayStats:
         )
 
 
+@dataclasses.dataclass(frozen=True)
+class DataLossEvent:
+    """A structured multiple-failure outcome.
+
+    Recorded (instead of raising) when a disk fails while others are
+    already down: mirrored organizations can absorb failures that kill
+    RAID 5, so whether the event is *survivable* depends on the
+    organization's failed-set semantics.  Nemesis and campaign loops log
+    these on their timelines and keep running.
+    """
+
+    time_s: float
+    disk: int
+    failed_disks: tuple[int, ...]
+    organization: str
+    survivable: bool
+    dirty_stripes: int
+    parity_lag_bytes: float
+    reason: str
+
+
 class DiskArray:
     """A RAID 5 / AFRAID / RAID 0 array; the model is chosen by ``policy``."""
 
@@ -98,9 +120,12 @@ class DiskArray:
         bits_per_stripe: int = 1,
         host_scheduler: ClookScheduler | None = None,
         name: str = "array",
+        organization: "str | ArrayOrganization" = "raid5",
     ) -> None:
-        if len(disks) < 3:
-            raise ValueError(f"need >= 3 disks for RAID 5, got {len(disks)}")
+        org = get_organization(organization)
+        org.validate(len(disks))
+        self.organization = org
+        self._mirrored = org.mirrored
         self.sim = sim
         self.disks = list(disks)
         self.policy = policy
@@ -127,8 +152,12 @@ class DiskArray:
 
         self.sector_bytes = disks[0].geometry.sector_bytes
         usable_sectors = min(disk.geometry.total_sectors for disk in disks)
-        self.layout = Raid5Layout(len(disks), stripe_unit_sectors, usable_sectors)
+        self.layout = org.build_layout(len(disks), stripe_unit_sectors, usable_sectors)
         self.unit_bytes = stripe_unit_sectors * self.sector_bytes
+        #: The callback service machine serves write-through parity
+        #: organizations; mirrored organizations take the generator path
+        #: (their copy semantics never ran under the machine's golden gate).
+        self._callback_service = write_policy == "writethrough" and not org.mirrored
 
         self.drivers = [
             DiskDriver(sim, disk, FcfsScheduler(), name=f"{name}.be{index}")
@@ -180,6 +209,11 @@ class DiskArray:
         self._force_scrub = False
         self._finished = False
         self._degraded_disk: int | None = None
+        #: Every currently-failed member, in failure order; the first is
+        #: mirrored in ``_degraded_disk`` (the hot paths test that alone).
+        self._failed_disks: list[int] = []
+        #: Structured outcomes of unsurvivable concurrent failures.
+        self.data_loss_events: list[DataLossEvent] = []
         #: Latent sectors rewritten by the scrubber (kept off ArrayStats:
         #: the golden-replay fixtures compare that dataclass field-exact).
         self.latent_sectors_repaired = 0
@@ -380,13 +414,14 @@ class DiskArray:
             while True:
                 (request, done), position = self._host_queue.pop(self._clook_position)
                 self._clook_position = position
-                if self.write_policy == "writethrough":
+                if self._callback_service:
                     if (
                         request.plan is None
                         and self._plan_dirty >= MIN_VECTOR_EXTENTS
                         and self._host_queue
                         and self._degraded_disk is None
                         and not self._rebuilding
+                        and type(self.layout) is Raid5Layout
                     ):
                         # The driver holds a backlog: plan its geometry as
                         # one batch (see repro.array.batchplan).
@@ -435,7 +470,7 @@ class DiskArray:
                 self._host_wait = grant
                 return
         elif (
-            self.write_policy == "writethrough"
+            self._callback_service
             and len(self._host_queue) == 1
             and self._degraded_disk is None
             and not self._rebuilding
@@ -504,21 +539,85 @@ class DiskArray:
 
     @property
     def degraded_disk(self) -> int | None:
-        """The failed member the array is currently operating without."""
+        """The failed member the array is currently operating without.
+
+        With several concurrent failures this is the *first* still-failed
+        member (the one a rebuild is working on); see :attr:`failed_disks`
+        for the whole set.
+        """
         return self._degraded_disk
 
-    def enter_degraded(self, disk: int) -> None:
-        """Operate without member ``disk``: reads reconstruct through
-        parity, writes take the degraded (reconstruct-style) path."""
+    @property
+    def failed_disks(self) -> tuple[int, ...]:
+        """All currently-failed members, in failure order."""
+        return tuple(self._failed_disks)
+
+    def enter_degraded(self, disk: int) -> "DataLossEvent | None":
+        """Operate without member ``disk``: reads use the redundant copy
+        (parity reconstruction or the mirror partner), writes take the
+        organization's degraded path.
+
+        A failure beyond the first no longer raises: it returns a
+        :class:`DataLossEvent` describing the outcome — survivable for
+        mirrored organizations whose partner copies are intact, a
+        recorded data loss otherwise — so nemesis and campaign loops can
+        log it and keep running.
+        """
         if not 0 <= disk < self.ndisks:
             raise ValueError(f"disk {disk} out of range")
-        if self._degraded_disk is not None:
-            raise RuntimeError("already degraded; double failures lose data")
-        self._degraded_disk = disk
+        if disk in self._failed_disks:
+            return None  # already known failed
+        self._failed_disks.append(disk)
+        if self._degraded_disk is None:
+            self._degraded_disk = disk
+        if len(self._failed_disks) < 2:
+            return None
+        survivable = self.organization.can_absorb(self._failed_disks)
+        event = DataLossEvent(
+            time_s=self.sim.now,
+            disk=disk,
+            failed_disks=tuple(self._failed_disks),
+            organization=self.organization.name,
+            survivable=survivable,
+            dirty_stripes=self.marks.marked_stripe_count,
+            parity_lag_bytes=self.parity_lag_bytes,
+            reason=(
+                "redundant copies cover every failed member"
+                if survivable
+                else "concurrent failures exceed the organization's redundancy"
+            ),
+        )
+        if not survivable:
+            self.data_loss_events.append(event)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "multi_disk_failure", track="faults", category="fault",
+                disk=disk, failed_disks=len(self._failed_disks),
+                survivable=survivable,
+            )
+        if self.registry is not None:
+            self.registry.counter(
+                "multi_disk_failures_total", "disk failures beyond the first concurrent one"
+            ).inc()
+            if not survivable:
+                self.registry.counter(
+                    "data_loss_events_total", "recorded unsurvivable failure combinations"
+                ).inc()
+        return event
 
-    def leave_degraded(self) -> None:
-        """A replacement disk is fully rebuilt: resume normal operation."""
-        self._degraded_disk = None
+    def leave_degraded(self, disk: int | None = None) -> None:
+        """A replacement disk is fully rebuilt: resume normal operation.
+
+        With no argument every failure is considered repaired (the
+        historical single-failure behaviour); passing ``disk`` clears
+        just that member, and ``degraded_disk`` moves to the next
+        still-failed one.
+        """
+        if disk is None:
+            self._failed_disks.clear()
+        elif disk in self._failed_disks:
+            self._failed_disks.remove(disk)
+        self._degraded_disk = self._failed_disks[0] if self._failed_disks else None
 
     # -- reads ---------------------------------------------------------------------------------------
 
@@ -539,8 +638,11 @@ class DiskArray:
             else:
                 events = []
                 for run in runs:
-                    if run.disk == self._degraded_disk:
-                        events.extend(self._submit_degraded_read(run))
+                    if run.disk in self._failed_disks:
+                        if self._mirrored:
+                            events.extend(self._submit_mirror_read(run))
+                        else:
+                            events.extend(self._submit_degraded_read(run))
                     else:
                         events.append(
                             drivers[run.disk].submit(DiskIO(IoKind.READ, run.disk_lba, run.nsectors))
@@ -555,10 +657,10 @@ class DiskArray:
         """Reconstruct a run on the failed disk: read the same extent of
         every surviving data unit plus parity, xor on the fly."""
         stripe = run.stripe
-        in_unit = run.disk_lba - stripe * self.layout.stripe_unit_sectors
+        in_unit = run.disk_lba - self._stripe_base_lba(run)
         events = []
         for unit in self.layout.data_units(stripe):
-            if unit.disk == self._degraded_disk:
+            if unit.disk in self._failed_disks:
                 continue
             events.append(
                 self.drivers[unit.disk].submit(
@@ -567,9 +669,69 @@ class DiskArray:
             )
             self.stats.reconstruct_reads += 1
         parity = self.layout.parity_unit(stripe)
-        if parity.disk != self._degraded_disk:
+        if parity.disk not in self._failed_disks:
             events.append(
                 self.drivers[parity.disk].submit(
+                    DiskIO(IoKind.READ, parity.disk_lba + in_unit, run.nsectors)
+                )
+            )
+            self.stats.reconstruct_reads += 1
+        return events
+
+    def _stripe_base_lba(self, run: ExtentRun) -> int:
+        """The first sector of ``run``'s unit on its disk (offset anchor)."""
+        if self.organization.declustered:
+            return self.layout.unit_lba(run.stripe, run.disk)
+        return run.stripe * self.layout.stripe_unit_sectors
+
+    def _disk_alive(self, disk: int) -> bool:
+        return disk not in self._failed_disks and not self.disks[disk].failed
+
+    def _alive_copy(self, primary: int) -> int | None:
+        """The alive member of ``primary``'s mirror pair, preferring it."""
+        if self._disk_alive(primary):
+            return primary
+        twin = self.layout.mirror_disk(primary)
+        if self._disk_alive(twin):
+            return twin
+        return None
+
+    def _submit_mirror_read(self, run: ExtentRun) -> list[Event]:
+        """Serve a run on a failed member from its mirror partner.
+
+        When the whole pair is down, a parity organization (RAID 1+5)
+        reconstructs through the surviving pairs; a pure mirror has no
+        further redundancy — the loss was recorded at failure time and
+        the read completes without disk work.
+        """
+        twin = self.layout.mirror_disk(run.disk)
+        if self._disk_alive(twin):
+            self.stats.foreground_data_reads += 1
+            return [
+                self.drivers[twin].submit(DiskIO(IoKind.READ, run.disk_lba, run.nsectors))
+            ]
+        if not self.layout.has_parity:
+            return []
+        stripe = run.stripe
+        in_unit = run.disk_lba - stripe * self.layout.stripe_unit_sectors
+        events = []
+        for unit in self.layout.data_units(stripe):
+            if unit.unit_index == run.unit_index:
+                continue
+            disk = self._alive_copy(unit.disk)
+            if disk is None:
+                continue
+            events.append(
+                self.drivers[disk].submit(
+                    DiskIO(IoKind.READ, unit.disk_lba + in_unit, run.nsectors)
+                )
+            )
+            self.stats.reconstruct_reads += 1
+        parity = self.layout.parity_unit(stripe)
+        disk = self._alive_copy(parity.disk)
+        if disk is not None:
+            events.append(
+                self.drivers[disk].submit(
                     DiskIO(IoKind.READ, parity.disk_lba + in_unit, run.nsectors)
                 )
             )
@@ -626,7 +788,9 @@ class DiskArray:
         for stripe in list(runs_by_stripe):
             while stripe in self._rebuilding:
                 yield self._rebuilding[stripe]
-        if self._degraded_disk is not None:
+        if self._mirrored:
+            yield from self._write_mirror(request, runs_by_stripe)
+        elif self._degraded_disk is not None:
             yield from self._write_degraded(request, runs_by_stripe)
         else:
             mode = self.policy.write_mode(tuple(runs_by_stripe))
@@ -705,7 +869,7 @@ class DiskArray:
         if bits == 1:
             return range(0, 1)
         unit_sectors = self.layout.stripe_unit_sectors
-        start_in_unit = run.disk_lba - run.stripe * unit_sectors
+        start_in_unit = run.disk_lba - self._stripe_base_lba(run)
         return sub_units_overlapping(start_in_unit, run.nsectors, unit_sectors, bits)
 
     def _sub_unit_extent(self, sub_unit: int) -> tuple[int, int]:
@@ -771,8 +935,8 @@ class DiskArray:
             # The classic small-update path (Figure 1): read old data and
             # old parity, then write new data and new parity — all in the
             # critical path of the client write.
-            lo = min(run.disk_lba - stripe * unit_sectors for run in runs)
-            hi = max(run.disk_lba - stripe * unit_sectors + run.nsectors for run in runs)
+            lo = min(run.disk_lba - self._stripe_base_lba(run) for run in runs)
+            hi = max(run.disk_lba - self._stripe_base_lba(run) + run.nsectors for run in runs)
             parity_lba = parity.disk_lba + lo
             parity_span = hi - lo
             reads = []
@@ -810,18 +974,18 @@ class DiskArray:
         until the rebuild completes.
         """
         unit_sectors = self.layout.stripe_unit_sectors
-        failed = self._degraded_disk
+        failed = self._failed_disks
         for stripe, runs in runs_by_stripe.items():
             parity = self.layout.parity_unit(stripe)
             reads = []
             for unit in self.layout.data_units(stripe):
-                if unit.disk == failed:
+                if unit.disk in failed:
                     continue
                 reads.append(
                     self.drivers[unit.disk].submit(DiskIO(IoKind.READ, unit.disk_lba, unit_sectors))
                 )
                 self.stats.reconstruct_reads += 1
-            if parity.disk != failed:
+            if parity.disk not in failed:
                 reads.append(
                     self.drivers[parity.disk].submit(
                         DiskIO(IoKind.READ, parity.disk_lba, unit_sectors)
@@ -830,8 +994,8 @@ class DiskArray:
                 self.stats.reconstruct_reads += 1
             if reads:
                 yield AllOf(self.sim, reads)
-            writes = self._submit_data_writes([run for run in runs if run.disk != failed])
-            if parity.disk != failed:
+            writes = self._submit_data_writes([run for run in runs if run.disk not in failed])
+            if parity.disk not in failed:
                 writes.append(
                     self.drivers[parity.disk].submit(
                         DiskIO(IoKind.WRITE, parity.disk_lba, unit_sectors)
@@ -840,14 +1004,14 @@ class DiskArray:
                 self.stats.foreground_parity_writes += 1
             if writes:
                 yield AllOf(self.sim, writes)
-            if self.marks.is_marked(stripe) and parity.disk != failed:
+            if self.marks.is_marked(stripe) and parity.disk not in failed:
                 self.marks.clear_stripe(stripe)
                 self._lag_changed()
                 if self.exposure is not None:
                     self.exposure.stripe_cleaned(stripe, self.sim.now, cause="write")
         if self.functional is not None:
             self.functional.write_degraded(
-                request.offset_sectors, self._payload(request), failed
+                request.offset_sectors, self._payload(request), self._degraded_disk
             )
 
     def _submit_data_writes(self, runs: list[ExtentRun]) -> list[Event]:
@@ -858,6 +1022,176 @@ class DiskArray:
         ]
         self.stats.foreground_data_writes += len(events)
         return events
+
+    # -- mirrored-organization writes ----------------------------------------------------
+
+    def _mark_runs(self, runs_by_stripe: dict[int, list[ExtentRun]]) -> None:
+        """Set the NVRAM marks a deferred (AFRAID-style) write requires."""
+        newly_marked = False
+        exposure = self.exposure
+        marks = self.marks
+        now = self.sim.now
+        if marks.bits_per_stripe == 1:
+            for stripe, runs in runs_by_stripe.items():
+                if exposure is not None:
+                    exposure.stripe_dirtied(stripe, now)
+                for _run in runs:
+                    newly_marked |= marks.mark(stripe, 0)
+        else:
+            for stripe, runs in runs_by_stripe.items():
+                if exposure is not None:
+                    exposure.stripe_dirtied(stripe, now)
+                for run in runs:
+                    for sub_unit in self._sub_units_of(run):
+                        newly_marked |= marks.mark(stripe, sub_unit)
+        if newly_marked:
+            self._lag_changed()
+
+    def _write_mirror(self, request: ArrayRequest, runs_by_stripe: dict[int, list[ExtentRun]]):
+        """Writes on a mirrored organization (RAID 1, 1/0, or 1+5).
+
+        The AFRAID deferral writes only the primary copy and marks the
+        stripe (the scrubber copies primary → mirror in idle time); the
+        synchronous mode writes both copies inline.  RAID 1+5 defers the
+        *parity* instead — both mirror copies of the data always land, so
+        dirty stripes stay mirror-protected.
+        """
+        if self.layout.has_parity:
+            yield from self._write_mirror_raid15(request, runs_by_stripe)
+        else:
+            yield from self._write_mirror_plain(request, runs_by_stripe)
+        if self.functional is not None:
+            self.functional.write(
+                request.offset_sectors, self._payload(request), update_parity=False
+            )
+
+    def _write_mirror_plain(
+        self, request: ArrayRequest, runs_by_stripe: dict[int, list[ExtentRun]]
+    ):
+        """RAID 1 / RAID 1/0 write: deferred or synchronous mirror copy."""
+        mode = self.policy.write_mode(tuple(runs_by_stripe))
+        drivers = self.drivers
+        if mode is WriteMode.AFRAID and not self._failed_disks:
+            # Deferred copy: mark, write primaries only.
+            self._mark_runs(runs_by_stripe)
+            events = []
+            for runs in runs_by_stripe.values():
+                for run in runs:
+                    events.append(
+                        drivers[run.disk].submit(DiskIO(IoKind.WRITE, run.disk_lba, run.nsectors))
+                    )
+            self.stats.foreground_data_writes += len(events)
+            yield AllOf(self.sim, events)
+            self.policy.on_stripes_marked()
+            return
+        # Synchronous (or degraded) mirroring: both alive copies inline.
+        events = []
+        for runs in runs_by_stripe.values():
+            for run in runs:
+                for disk in (run.disk, self.layout.mirror_disk(run.disk)):
+                    if self._disk_alive(disk):
+                        events.append(
+                            drivers[disk].submit(DiskIO(IoKind.WRITE, run.disk_lba, run.nsectors))
+                        )
+                        self.stats.foreground_data_writes += 1
+        if events:
+            yield AllOf(self.sim, events)
+        # A synchronous write to a dirty stripe leaves the rest of the
+        # stripe's mirror copy stale: catch the whole stripe up inline
+        # (the mirrored analogue of the RAID 5 reconstruct-on-dirty path).
+        if not self._failed_disks:
+            for stripe in runs_by_stripe:
+                if self.marks.is_marked(stripe):
+                    yield from self._copy_stripe_inline(stripe)
+
+    def _copy_stripe_inline(self, stripe: int):
+        """Foreground primary → mirror copy of one dirty stripe."""
+        unit_sectors = self.layout.stripe_unit_sectors
+        reads = []
+        for unit in self.layout.data_units(stripe):
+            reads.append(
+                self.drivers[unit.disk].submit(DiskIO(IoKind.READ, unit.disk_lba, unit_sectors))
+            )
+            self.stats.reconstruct_reads += 1
+        yield AllOf(self.sim, reads)
+        writes = []
+        for index in range(self.layout.data_units_per_stripe):
+            mirror = self.layout.mirror_unit(stripe, index)
+            writes.append(
+                self.drivers[mirror.disk].submit(
+                    DiskIO(IoKind.WRITE, mirror.disk_lba, unit_sectors)
+                )
+            )
+            self.stats.foreground_data_writes += 1
+        yield AllOf(self.sim, writes)
+        self.marks.clear_stripe(stripe)
+        self._lag_changed()
+        if self.exposure is not None:
+            self.exposure.stripe_cleaned(stripe, self.sim.now, cause="write")
+
+    def _write_mirror_raid15(
+        self, request: ArrayRequest, runs_by_stripe: dict[int, list[ExtentRun]]
+    ):
+        """RAID 1+5 write: mirror copies inline, parity deferred or inline."""
+        mode = self.policy.write_mode(tuple(runs_by_stripe))
+        drivers = self.drivers
+        unit_sectors = self.layout.stripe_unit_sectors
+        if mode is WriteMode.AFRAID and not self._failed_disks:
+            # Deferred parity: mark, write both copies of every data run.
+            self._mark_runs(runs_by_stripe)
+            events = []
+            for runs in runs_by_stripe.values():
+                for run in runs:
+                    for disk in (run.disk, self.layout.mirror_disk(run.disk)):
+                        events.append(
+                            drivers[disk].submit(DiskIO(IoKind.WRITE, run.disk_lba, run.nsectors))
+                        )
+                        self.stats.foreground_data_writes += 1
+            yield AllOf(self.sim, events)
+            self.policy.on_stripes_marked()
+            return
+        # Synchronous (or degraded): reconstruct-style parity update.
+        for stripe, runs in runs_by_stripe.items():
+            parity = self.layout.parity_unit(stripe)
+            covered_units = {
+                run.unit_index for run in runs if run.nsectors == unit_sectors
+            }
+            reads = []
+            for unit in self.layout.data_units(stripe):
+                if unit.unit_index in covered_units:
+                    continue
+                disk = self._alive_copy(unit.disk)
+                if disk is None:
+                    continue
+                reads.append(
+                    drivers[disk].submit(DiskIO(IoKind.READ, unit.disk_lba, unit_sectors))
+                )
+                self.stats.reconstruct_reads += 1
+            if reads:
+                yield AllOf(self.sim, reads)
+            writes = []
+            for run in runs:
+                for disk in (run.disk, self.layout.mirror_disk(run.disk)):
+                    if self._disk_alive(disk):
+                        writes.append(
+                            drivers[disk].submit(DiskIO(IoKind.WRITE, run.disk_lba, run.nsectors))
+                        )
+                        self.stats.foreground_data_writes += 1
+            for disk in (parity.disk, self.layout.mirror_disk(parity.disk)):
+                if self._disk_alive(disk):
+                    writes.append(
+                        drivers[disk].submit(
+                            DiskIO(IoKind.WRITE, parity.disk_lba, unit_sectors)
+                        )
+                    )
+                    self.stats.foreground_parity_writes += 1
+            if writes:
+                yield AllOf(self.sim, writes)
+            if self.marks.is_marked(stripe) and self._alive_copy(parity.disk) is not None:
+                self.marks.clear_stripe(stripe)
+                self._lag_changed()
+                if self.exposure is not None:
+                    self.exposure.stripe_cleaned(stripe, self.sim.now, cause="write")
 
     # -- background parity scrubbing --------------------------------------------------------------------
 
@@ -894,7 +1228,9 @@ class DiskArray:
                     break  # only policy-excluded (e.g. RAID 0 region) debt left
                 stripe, sub_unit = target
                 try:
-                    if self.marks.bits_per_stripe == 1:
+                    if self._mirrored:
+                        yield from self._scrub_stripe_mirror(stripe, sub_unit)
+                    elif self.marks.bits_per_stripe == 1:
                         yield from self._scrub_stripe(stripe)
                     else:
                         yield from self._scrub_sub_unit(stripe, sub_unit)
@@ -941,8 +1277,14 @@ class DiskArray:
                     attempts += 1
                     if attempts > 3:
                         raise
+                    units = None
+                    if self.organization.declustered:
+                        # Member units live at per-disk offsets, not at the
+                        # common ``stripe * unit`` lba of the rotated layouts.
+                        units = list(self.layout.data_units(stripe))
+                        units.append(self.layout.parity_unit(stripe))
                     yield from self._repair_latent_extent(
-                        stripe * unit_sectors, unit_sectors
+                        stripe * unit_sectors, unit_sectors, units=units
                     )
                     continue
                 break
@@ -971,19 +1313,30 @@ class DiskArray:
             del self._rebuilding[stripe]
             barrier.succeed()
 
-    def _repair_latent_extent(self, base_lba: int, nsectors: int):
+    def _repair_latent_extent(self, base_lba: int, nsectors: int, units=None):
         """Rewrite latent sectors any member reports in [base_lba, +nsectors).
 
         A write over a latent sector heals it (the drive remaps); content
         comes from parity reconstruction — possible exactly when the rows
         are clean, which the scrubber is about to make true anyway.
+
+        With ``units`` (declustered layouts, where stripe members sit at
+        per-disk lbas), scan each unit's own extent instead of one common
+        lba span; ``base_lba`` is then interpreted as an in-unit offset
+        relative to ``stripe * stripe_unit_sectors``.
         """
+        if units is not None:
+            in_unit = base_lba % self.layout.stripe_unit_sectors
+            spans = [(unit.disk, unit.disk_lba + in_unit) for unit in units]
+        else:
+            spans = [(index, base_lba) for index in range(len(self.disks))]
         writes = []
         repaired = 0
-        for index, disk in enumerate(self.disks):
+        for index, span_lba in spans:
+            disk = self.disks[index]
             if disk.failed:
                 continue
-            bad = disk.latent_errors_within(base_lba, nsectors)
+            bad = disk.latent_errors_within(span_lba, nsectors)
             if not bad:
                 continue
             for lba in bad:
@@ -1035,7 +1388,12 @@ class DiskArray:
                 if stripe in self._rebuilding:
                     yield self._rebuilding[stripe]  # scrubber already on it
                 if self.marks.is_marked(stripe):
-                    yield from self._scrub_stripe(stripe)
+                    if self._mirrored:
+                        for sub_unit in range(self.marks.bits_per_stripe):
+                            if self.marks.is_marked(stripe, sub_unit):
+                                yield from self._scrub_stripe_mirror(stripe, sub_unit)
+                    else:
+                        yield from self._scrub_stripe(stripe)
             if self.tracer is not None:
                 self.tracer.complete(
                     "commit", start_s=started, duration_s=self.sim.now - started,
@@ -1114,7 +1472,74 @@ class DiskArray:
                 for unit in self.layout.data_units(stripe):
                     reads.append(
                         self.drivers[unit.disk].submit(
-                            DiskIO(IoKind.READ, unit_base + start, nsectors)
+                            DiskIO(IoKind.READ, unit.disk_lba + start, nsectors)
+                        )
+                    )
+                    self.stats.scrub_data_reads += 1
+                try:
+                    yield AllOf(self.sim, reads)
+                except LatentSectorError:
+                    attempts += 1
+                    if attempts > 3:
+                        raise
+                    units = None
+                    if self.organization.declustered:
+                        units = list(self.layout.data_units(stripe))
+                        units.append(self.layout.parity_unit(stripe))
+                    yield from self._repair_latent_extent(
+                        unit_base + start, nsectors, units=units
+                    )
+                    continue
+                break
+            if self._degraded_disk is not None:
+                return  # a member died mid-read: mark stays, scrub aborts
+            parity = self.layout.parity_unit(stripe)
+            yield self.drivers[parity.disk].submit(
+                DiskIO(IoKind.WRITE, parity.disk_lba + start, nsectors)
+            )
+            self.stats.scrub_parity_writes += 1
+            if self._degraded_disk is not None:
+                return  # died during the parity write: same story
+            self.marks.clear(stripe, sub_unit)
+            self._lag_changed()
+            if self.hists is not None or self.tracer is not None:
+                self._observe_scrub("scrub_sub_unit", started, stripe)
+            if self.functional is not None:
+                self.functional.scrub_sub_unit(stripe, sub_unit)
+            if not self.marks.is_marked(stripe):
+                if self.exposure is not None:
+                    self.exposure.stripe_cleaned(stripe, self.sim.now, cause="scrub")
+                self.stats.stripes_scrubbed += 1
+        finally:
+            del self._rebuilding[stripe]
+            barrier.succeed()
+
+    def _scrub_stripe_mirror(self, stripe: int, sub_unit: int):
+        """Catch up one dirty stripe of a mirrored organization.
+
+        RAID 1 / RAID 1/0: copy the marked slice of each primary unit to
+        its mirror.  RAID 1+5: rebuild parity from the data primaries and
+        write it to both copies of the parity pair.  Covers both the
+        1-bit (whole stripe) and sub-unit marking configurations.
+        """
+        if stripe in self._rebuilding:
+            yield self._rebuilding[stripe]
+            return
+        if not self.marks.is_marked(stripe, sub_unit):
+            return
+        barrier = self.sim.event(name=self._ev_rebuild)
+        self._rebuilding[stripe] = barrier
+        started = self.sim.now
+        try:
+            start, nsectors = self._sub_unit_extent(sub_unit)
+            unit_base = stripe * self.layout.stripe_unit_sectors
+            attempts = 0
+            while True:
+                reads = []
+                for unit in self.layout.data_units(stripe):
+                    reads.append(
+                        self.drivers[unit.disk].submit(
+                            DiskIO(IoKind.READ, unit.disk_lba + start, nsectors)
                         )
                     )
                     self.stats.scrub_data_reads += 1
@@ -1127,21 +1552,37 @@ class DiskArray:
                     yield from self._repair_latent_extent(unit_base + start, nsectors)
                     continue
                 break
-            if self._degraded_disk is not None:
+            if self._failed_disks:
                 return  # a member died mid-read: mark stays, scrub aborts
-            parity = self.layout.parity_unit(stripe)
-            yield self.drivers[parity.disk].submit(
-                DiskIO(IoKind.WRITE, unit_base + start, nsectors)
-            )
-            self.stats.scrub_parity_writes += 1
-            if self._degraded_disk is not None:
-                return  # died during the parity write: same story
-            self.marks.clear(stripe, sub_unit)
+            writes = []
+            if self.layout.has_parity:
+                parity = self.layout.parity_unit(stripe)
+                for disk in (parity.disk, self.layout.mirror_disk(parity.disk)):
+                    writes.append(
+                        self.drivers[disk].submit(
+                            DiskIO(IoKind.WRITE, parity.disk_lba + start, nsectors)
+                        )
+                    )
+                    self.stats.scrub_parity_writes += 1
+            else:
+                for index in range(self.layout.data_units_per_stripe):
+                    mirror = self.layout.mirror_unit(stripe, index)
+                    writes.append(
+                        self.drivers[mirror.disk].submit(
+                            DiskIO(IoKind.WRITE, mirror.disk_lba + start, nsectors)
+                        )
+                    )
+                    self.stats.scrub_parity_writes += 1
+            yield AllOf(self.sim, writes)
+            if self._failed_disks:
+                return  # died during the copy/parity write: same story
+            if self.marks.bits_per_stripe == 1:
+                self.marks.clear_stripe(stripe)
+            else:
+                self.marks.clear(stripe, sub_unit)
             self._lag_changed()
             if self.hists is not None or self.tracer is not None:
-                self._observe_scrub("scrub_sub_unit", started, stripe)
-            if self.functional is not None:
-                self.functional.scrub_sub_unit(stripe, sub_unit)
+                self._observe_scrub("scrub_stripe_mirror", started, stripe)
             if not self.marks.is_marked(stripe):
                 if self.exposure is not None:
                     self.exposure.stripe_cleaned(stripe, self.sim.now, cause="scrub")
@@ -1414,8 +1855,8 @@ class _StripeWrite:
                 else:
                     self._submit_writes()
             else:
-                lo = min(run.disk_lba - stripe * unit_sectors for run in runs)
-                hi = max(run.disk_lba - stripe * unit_sectors + run.nsectors for run in runs)
+                lo = min(run.disk_lba - array._stripe_base_lba(run) for run in runs)
+                hi = max(run.disk_lba - array._stripe_base_lba(run) + run.nsectors for run in runs)
                 self.span = (parity.disk_lba + lo, hi - lo)
                 reads = []
                 for run in runs:
@@ -1580,7 +2021,7 @@ class _ServiceCall:
         else:
             events = []
             for run in runs:
-                if run.disk == array._degraded_disk:
+                if run.disk in array._failed_disks:
                     events.extend(array._submit_degraded_read(run))
                 else:
                     events.append(

@@ -6,7 +6,7 @@ from repro.array.controller import DiskArray
 from repro.availability import ReliabilityParams
 from repro.blocks import FunctionalArray
 from repro.disk import hp_c3325, toy_disk
-from repro.layout import Raid5Layout
+from repro.layout import get_organization
 from repro.policy import AlwaysRaid5Policy, BaselineAfraidPolicy, NeverScrubPolicy, ParityPolicy
 from repro.sim import Simulator
 
@@ -28,6 +28,7 @@ def build_array(
     bits_per_stripe: int = 1,
     spin_synchronised: bool = True,
     name: str = "array",
+    organization: str = "raid5",
     **controller_kwargs,
 ) -> DiskArray:
     """Build an array of ``ndisks`` disks around ``policy``.
@@ -37,8 +38,15 @@ def build_array(
     gives every spindle the same rotational phase; ``False`` staggers the
     phases evenly, the way unsynchronised drives settle in practice.
     ``with_functional=True`` attaches a byte-accurate functional twin so
-    the simulation also moves (and can lose) real data.
+    the simulation also moves (and can lose) real data — available for the
+    rotated-parity organization only; mirrored and declustered ones run
+    without a twin (the twin's offset arithmetic assumes rotated units).
+    ``organization`` picks the redundancy scheme (``raid5``, ``raid5d``,
+    ``raid1``, ``raid10``, ``raid15``); the disk count must satisfy its
+    geometry constraints.
     """
+    org = get_organization(organization)
+    org.validate(ndisks)
     disks = []
     for index in range(ndisks):
         phase = 0.0 if spin_synchronised else (index / ndisks)
@@ -49,9 +57,9 @@ def build_array(
             disk = disk_factory(sim, name=f"{name}.d{index}")
         disks.append(disk)
     functional = None
-    if with_functional:
+    if with_functional and not org.mirrored and not org.declustered:
         usable = min(disk.geometry.total_sectors for disk in disks)
-        layout = Raid5Layout(ndisks, stripe_unit_sectors, usable)
+        layout = org.build_layout(ndisks, stripe_unit_sectors, usable)
         functional = FunctionalArray(
             layout,
             sector_bytes=disks[0].geometry.sector_bytes,
@@ -67,6 +75,7 @@ def build_array(
         idle_threshold_s=idle_threshold_s,
         bits_per_stripe=bits_per_stripe,
         name=name,
+        organization=org,
         **controller_kwargs,
     )
 

@@ -24,9 +24,23 @@ from repro.availability.models import (
     afraid_mttdl_raid_component,
     afraid_mttdl_unprotected,
     combine_mttdl,
+    declustered_mttdl,
+    declustered_mttdl_catastrophic,
+    declustered_mdlr,
+    declustered_rebuild_speedup,
     mdlr_raid_catastrophic,
     mdlr_unprotected,
+    mirror_mdlr,
+    mirror_mttdl,
+    mirror_mttdl_catastrophic,
+    mirror_mttdl_unprotected,
+    organization_mdlr,
+    organization_mttdl,
     raid0_mttdl,
+    raid15_mdlr,
+    raid15_mttdl,
+    raid15_mttdl_catastrophic,
+    raid15_mttdl_unprotected,
     raid5_mttdl_catastrophic,
 )
 from repro.availability.nvram_model import NvramModel, PRESTOSERVE
@@ -51,10 +65,24 @@ __all__ = [
     "afraid_mttdl_raid_component",
     "afraid_mttdl_unprotected",
     "combine_mttdl",
+    "declustered_mdlr",
+    "declustered_mttdl",
+    "declustered_mttdl_catastrophic",
+    "declustered_rebuild_speedup",
     "loss_probability",
     "mdlr_raid_catastrophic",
     "mdlr_unprotected",
+    "mirror_mdlr",
+    "mirror_mttdl",
+    "mirror_mttdl_catastrophic",
+    "mirror_mttdl_unprotected",
     "mttdl_from_loss_probability",
+    "organization_mdlr",
+    "organization_mttdl",
     "raid0_mttdl",
+    "raid15_mdlr",
+    "raid15_mttdl",
+    "raid15_mttdl_catastrophic",
+    "raid15_mttdl_unprotected",
     "raid5_mttdl_catastrophic",
 ]

@@ -150,6 +150,252 @@ def afraid_mdlr(
     return catastrophic + mdlr_unprotected(ndisks, mean_parity_lag_bytes, mttf_disk_h)
 
 
+def _check_pairs(ndisks: int) -> int:
+    if ndisks < 2 or ndisks % 2:
+        raise ValueError(f"a mirrored array needs an even disk count >= 2, got {ndisks}")
+    return ndisks // 2
+
+
+def mirror_mttdl_catastrophic(ndisks: int, mttf_disk_h: float, mttr_h: float) -> float:
+    """MTTDL of a pair-mirrored array (RAID 1 / RAID 1/0) to pair death.
+
+    A pair dies when the surviving member fails during the partner's
+    repair window: ``MTTDLpair = MTTFdisk² / (2·MTTR)`` (Thomasian), and
+    with ``npairs`` independent pairs the rates add:
+    ``MTTDL = MTTFdisk² / (2·npairs·MTTR)``.
+    """
+    npairs = _check_pairs(ndisks)
+    if mttf_disk_h <= 0 or mttr_h <= 0:
+        raise ValueError("mttf and mttr must be positive")
+    return mttf_disk_h**2 / (2.0 * npairs * mttr_h)
+
+
+def mirror_mttdl_unprotected(
+    ndisks: int, mttf_disk_h: float, unprotected_fraction: float
+) -> float:
+    """Deferred-mirror analogue of eq. (2a).
+
+    With the mirror copy deferred, a dirty stripe's only fresh copy is
+    its primary: only a *primary* failure during an unprotected period
+    loses data, and there are ``npairs`` primaries.
+    ``MTTDL = (Ttotal/Tunprot) · MTTFdisk / npairs``.
+    """
+    npairs = _check_pairs(ndisks)
+    if not 0.0 <= unprotected_fraction <= 1.0:
+        raise ValueError(f"unprotected_fraction must be in [0, 1], got {unprotected_fraction}")
+    if unprotected_fraction == 0.0:
+        return float("inf")
+    return (1.0 / unprotected_fraction) * mttf_disk_h / npairs
+
+
+def mirror_mttdl(
+    ndisks: int,
+    mttf_disk_h: float,
+    mttr_h: float,
+    unprotected_fraction: float,
+) -> float:
+    """Overall disk-related MTTDL of a deferred-copy mirrored array.
+
+    Combines the deferred-copy exposure with the pair-death catastrophe
+    exactly as eq. (2c) combines AFRAID's components.
+    """
+    unprot = mirror_mttdl_unprotected(ndisks, mttf_disk_h, unprotected_fraction)
+    pair = afraid_mttdl_raid_component(
+        mirror_mttdl_catastrophic(ndisks, mttf_disk_h, mttr_h), unprotected_fraction
+    )
+    return combine_mttdl(unprot, pair)
+
+
+def mirror_mdlr(
+    ndisks: int,
+    disk_bytes: int,
+    mttf_disk_h: float,
+    mttr_h: float,
+    mean_copy_lag_bytes: float,
+) -> float:
+    """Data-loss rate of a deferred-copy mirrored array.
+
+    Pair death loses one disk's worth of data (the pair stores each byte
+    twice); a primary failure during dirty windows loses that primary's
+    share of the copy lag — the lag spreads over ``npairs`` primaries and
+    primaries fail at ``npairs/MTTF``, so the lag term is simply
+    ``lag / MTTF``.
+    """
+    _check_pairs(ndisks)
+    if disk_bytes < 0:
+        raise ValueError("disk_bytes must be >= 0")
+    if mean_copy_lag_bytes < 0:
+        raise ValueError("copy lag must be >= 0")
+    catastrophic = disk_bytes / mirror_mttdl_catastrophic(ndisks, mttf_disk_h, mttr_h)
+    return catastrophic + mean_copy_lag_bytes / mttf_disk_h
+
+
+def raid15_mttdl_catastrophic(ndisks: int, mttf_disk_h: float, mttr_h: float) -> float:
+    """MTTDL of hybrid RAID 1+5 to a *double pair* death.
+
+    Treat each mirrored pair as a super-disk with
+    ``MTTFpair = MTTFdisk²/(2·MTTR)`` and feed eq. (1) the pair array:
+    parity over ``npairs`` pairs survives one dead pair, so data loss
+    needs a second pair death within the first pair's repair window.
+    """
+    npairs = _check_pairs(ndisks)
+    mttf_pair = mttf_disk_h**2 / (2.0 * mttr_h)
+    return raid5_mttdl_catastrophic(npairs, mttf_pair, mttr_h)
+
+
+def raid15_mttdl_unprotected(
+    ndisks: int, mttf_disk_h: float, mttr_h: float, unprotected_fraction: float
+) -> float:
+    """Deferred-parity exposure of RAID 1+5.
+
+    Dirty stripes keep both mirror copies of their data, so losing dirty
+    data needs a whole *pair* to die during the unprotected window:
+    ``MTTDL = (Ttotal/Tunprot) · MTTFpair / npairs``.
+    """
+    npairs = _check_pairs(ndisks)
+    if not 0.0 <= unprotected_fraction <= 1.0:
+        raise ValueError(f"unprotected_fraction must be in [0, 1], got {unprotected_fraction}")
+    if unprotected_fraction == 0.0:
+        return float("inf")
+    mttf_pair = mttf_disk_h**2 / (2.0 * mttr_h)
+    return (1.0 / unprotected_fraction) * mttf_pair / npairs
+
+
+def raid15_mttdl(
+    ndisks: int,
+    mttf_disk_h: float,
+    mttr_h: float,
+    unprotected_fraction: float,
+) -> float:
+    """Overall disk-related MTTDL of deferred-parity RAID 1+5."""
+    unprot = raid15_mttdl_unprotected(ndisks, mttf_disk_h, mttr_h, unprotected_fraction)
+    raid = afraid_mttdl_raid_component(
+        raid15_mttdl_catastrophic(ndisks, mttf_disk_h, mttr_h), unprotected_fraction
+    )
+    return combine_mttdl(unprot, raid)
+
+
+def raid15_mdlr(
+    ndisks: int,
+    disk_bytes: int,
+    mttf_disk_h: float,
+    mttr_h: float,
+    mean_parity_lag_bytes: float,
+) -> float:
+    """Data-loss rate of deferred-parity RAID 1+5 (pair-level eq. (5))."""
+    npairs = _check_pairs(ndisks)
+    mttf_pair = mttf_disk_h**2 / (2.0 * mttr_h)
+    catastrophic = mdlr_raid_catastrophic(
+        npairs, disk_bytes, raid15_mttdl_catastrophic(ndisks, mttf_disk_h, mttr_h)
+    )
+    return catastrophic + mdlr_unprotected(npairs, mean_parity_lag_bytes, mttf_pair)
+
+
+def declustered_rebuild_speedup(ndisks: int, stripe_width: int) -> float:
+    """Rebuild-time shrink factor of parity declustering.
+
+    Each surviving disk contributes only the ``(k-1)/(n-1)`` fraction of
+    its contents to a rebuild, so repair completes that much sooner.
+    """
+    if not 3 <= stripe_width <= ndisks:
+        raise ValueError(
+            f"stripe width must satisfy 3 <= k <= ndisks, got k={stripe_width} for {ndisks} disks"
+        )
+    return (stripe_width - 1) / (ndisks - 1)
+
+
+def declustered_mttdl_catastrophic(
+    ndisks: int, mttf_disk_h: float, mttr_h: float, stripe_width: int | None = None
+) -> float:
+    """Eq. (1) with the declustered repair window.
+
+    Any second concurrent failure still intersects some stripe of the
+    first (the complete block design covers every disk pair), so the
+    double-failure structure is RAID 5's — but the window shrinks by the
+    rebuild speedup ``(k-1)/(n-1)``.
+    """
+    k = ndisks - 1 if stripe_width is None else stripe_width
+    return raid5_mttdl_catastrophic(
+        ndisks, mttf_disk_h, mttr_h * declustered_rebuild_speedup(ndisks, k)
+    )
+
+
+def declustered_mttdl(
+    ndisks: int,
+    mttf_disk_h: float,
+    mttr_h: float,
+    unprotected_fraction: float,
+    stripe_width: int | None = None,
+) -> float:
+    """Overall disk-related MTTDL of declustered AFRAID (eq. (2c) shape)."""
+    unprot = afraid_mttdl_unprotected(ndisks, mttf_disk_h, unprotected_fraction)
+    raid = afraid_mttdl_raid_component(
+        declustered_mttdl_catastrophic(ndisks, mttf_disk_h, mttr_h, stripe_width),
+        unprotected_fraction,
+    )
+    return combine_mttdl(unprot, raid)
+
+
+def declustered_mdlr(
+    ndisks: int,
+    disk_bytes: int,
+    mttf_disk_h: float,
+    mttr_h: float,
+    mean_parity_lag_bytes: float,
+    stripe_width: int | None = None,
+) -> float:
+    """Eq. (5) with the declustered catastrophe rate."""
+    catastrophic = mdlr_raid_catastrophic(
+        ndisks,
+        disk_bytes,
+        declustered_mttdl_catastrophic(ndisks, mttf_disk_h, mttr_h, stripe_width),
+    )
+    return catastrophic + mdlr_unprotected(ndisks, mean_parity_lag_bytes, mttf_disk_h)
+
+
+def organization_mttdl(
+    organization: str,
+    ndisks: int,
+    mttf_disk_h: float,
+    mttr_h: float,
+    unprotected_fraction: float,
+) -> float:
+    """Disk-related MTTDL of a deferred-update array of any organization.
+
+    ``"raid5"`` reproduces :func:`afraid_mttdl` exactly (the pre-existing
+    default everywhere); the other organizations dispatch to their models.
+    """
+    if organization == "raid5":
+        return afraid_mttdl(ndisks, mttf_disk_h, mttr_h, unprotected_fraction)
+    if organization == "raid5d":
+        return declustered_mttdl(ndisks, mttf_disk_h, mttr_h, unprotected_fraction)
+    if organization in ("raid1", "raid10"):
+        return mirror_mttdl(ndisks, mttf_disk_h, mttr_h, unprotected_fraction)
+    if organization == "raid15":
+        return raid15_mttdl(ndisks, mttf_disk_h, mttr_h, unprotected_fraction)
+    raise ValueError(f"unknown organization {organization!r}")
+
+
+def organization_mdlr(
+    organization: str,
+    ndisks: int,
+    disk_bytes: int,
+    mttf_disk_h: float,
+    mttr_h: float,
+    mean_lag_bytes: float,
+) -> float:
+    """Disk-related MDLR of a deferred-update array of any organization."""
+    if organization == "raid5":
+        return afraid_mdlr(ndisks, disk_bytes, mttf_disk_h, mttr_h, mean_lag_bytes)
+    if organization == "raid5d":
+        return declustered_mdlr(ndisks, disk_bytes, mttf_disk_h, mttr_h, mean_lag_bytes)
+    if organization in ("raid1", "raid10"):
+        return mirror_mdlr(ndisks, disk_bytes, mttf_disk_h, mttr_h, mean_lag_bytes)
+    if organization == "raid15":
+        return raid15_mdlr(ndisks, disk_bytes, mttf_disk_h, mttr_h, mean_lag_bytes)
+    raise ValueError(f"unknown organization {organization!r}")
+
+
 def mdlr_whole_array_loss(
     ndisks: int, disk_bytes: int, mttdl_h: float
 ) -> float:

@@ -64,6 +64,35 @@ def _make_policy(name: str, mttdl_target: float | None) -> ParityPolicy:
     raise SystemExit(f"unknown policy {name!r}")
 
 
+#: Redundancy schemes the CLI can build (see repro.layout.organization).
+ORGANIZATION_CHOICES = ("raid5", "raid5d", "raid1", "raid10", "raid15")
+
+#: Disk counts used when --ndisks is omitted: the paper's 5 for the
+#: RAID 5 family, each mirrored scheme's smallest sensible array.
+_ORGANIZATION_DEFAULT_NDISKS = {
+    "raid5": 5,
+    "raid5d": 5,
+    "raid1": 2,
+    "raid10": 6,
+    "raid15": 6,
+}
+
+
+def _resolve_organization(args: argparse.Namespace) -> tuple[str, int]:
+    """(organization, ndisks) from the common CLI knobs, validated early."""
+    from repro.layout import get_organization
+
+    organization = getattr(args, "organization", "raid5") or "raid5"
+    ndisks = getattr(args, "ndisks", None)
+    if ndisks is None:
+        ndisks = _ORGANIZATION_DEFAULT_NDISKS[organization]
+    try:
+        get_organization(organization).validate(ndisks)
+    except ValueError as exc:
+        raise SystemExit(f"--ndisks: {exc}") from None
+    return organization, ndisks
+
+
 def _result_rows(result) -> list[list[str]]:
     return [
         ["requests", str(result.nrequests)],
@@ -120,6 +149,7 @@ def _run_with_slo(
     window_s: float = 5.0,
     period_s: float = 0.050,
     counters: PerfCounters | None = None,
+    **experiment_kwargs,
 ):
     """One experiment with live exposure telemetry and SLO evaluation.
 
@@ -152,6 +182,7 @@ def _run_with_slo(
         registry=registry,
         exposure=monitor,
         on_array=instrument,
+        **experiment_kwargs,
     )
     engine.finish(result.horizon_s)
     return result, registry, engine, snapshotter
@@ -172,16 +203,19 @@ def _slo_report(engine: SloEngine) -> str:
 
 def cmd_run(args: argparse.Namespace) -> int:
     policy = _make_policy(args.policy, args.mttdl_target)
+    organization, ndisks = _resolve_organization(args)
     counters = PerfCounters() if args.stats else None
     rules = _parse_slo_rules(getattr(args, "slo", None))
     engine = None
     if rules:
         result, _registry, engine, _snaps = _run_with_slo(
-            args.workload, policy, args.duration, args.seed, rules, counters=counters
+            args.workload, policy, args.duration, args.seed, rules, counters=counters,
+            organization=organization, ndisks=ndisks,
         )
     else:
         result = run_experiment(
-            args.workload, policy, duration_s=args.duration, seed=args.seed, counters=counters
+            args.workload, policy, duration_s=args.duration, seed=args.seed,
+            counters=counters, organization=organization, ndisks=ndisks,
         )
     if args.json:
         import json
@@ -201,6 +235,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
         return 0
     title = f"{args.workload} under {policy.describe()} ({args.duration:g}s, seed {args.seed})"
+    if organization != "raid5":
+        title += f" [{organization}, {ndisks} disks]"
     print(format_table(["metric", "value"], _result_rows(result), title=title))
     if engine is not None:
         print()
@@ -214,16 +250,19 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     results = {}
+    organization, ndisks = _resolve_organization(args)
     rules = _parse_slo_rules(getattr(args, "slo", None))
     engines = {}
     for name in ("raid0", "afraid", "raid5"):
         if rules:
             results[name], _reg, engines[name], _snaps = _run_with_slo(
-                args.workload, _make_policy(name, None), args.duration, args.seed, rules
+                args.workload, _make_policy(name, None), args.duration, args.seed, rules,
+                organization=organization, ndisks=ndisks,
             )
         else:
             results[name] = run_experiment(
-                args.workload, _make_policy(name, None), duration_s=args.duration, seed=args.seed
+                args.workload, _make_policy(name, None), duration_s=args.duration,
+                seed=args.seed, organization=organization, ndisks=ndisks,
             )
     raid5_mean = results["raid5"].io_time.mean
     header = ["model", "mean I/O (ms)", "vs RAID5", "unprot time", "disk MTTDL (h)"]
@@ -302,11 +341,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if workload not in CATALOG:
             raise SystemExit(f"unknown workload {workload!r}; choose from {workload_names()}")
     targets = args.targets if args.targets else list(DEFAULT_MTTDL_TARGETS)
-    specs = ladder_specs(workloads, targets, duration_s=args.duration, seed=args.seed)
+    organization, ndisks = _resolve_organization(args)
+    specs = ladder_specs(
+        workloads,
+        targets,
+        duration_s=args.duration,
+        seed=args.seed,
+        organization=organization,
+        ndisks=ndisks,
+    )
     labels = []
     for spec in specs:
-        if spec.policy.label not in labels:
-            labels.append(spec.policy.label)
+        label = spec.key[1]  # policy label, organization-suffixed if non-default
+        if label not in labels:
+            labels.append(label)
     cache_dir = None if args.no_cache else args.cache_dir
     counters = PerfCounters() if args.stats else None
     try:
@@ -331,7 +379,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 f"cache pruned: {removed} entries, {freed / 1024:.0f} KB freed",
                 file=sys.stderr,
             )
-    points = tradeoff_curve(outcome.results, workloads, labels)
+    baseline_label = "raid5" if organization == "raid5" else f"raid5@{organization}"
+    points = tradeoff_curve(outcome.results, workloads, labels, baseline_label=baseline_label)
 
     if args.json:
         import json
@@ -519,10 +568,26 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_availability(args: argparse.Namespace) -> int:
+    from repro.availability import organization_mttdl
+    from repro.layout import get_organization
+
     params = TABLE_1
-    raid5 = raid5_mttdl_catastrophic(args.ndisks, params.mttf_disk_h, params.mttr_h)
-    afraid = afraid_mttdl(args.ndisks, params.mttf_disk_h, params.mttr_h, args.fraction)
-    overall = combine_mttdl(afraid, CONSERVATIVE_SUPPORT.mttdl_h)
+    organization = getattr(args, "organization", "raid5") or "raid5"
+    org = get_organization(organization)
+    ndisks = (
+        args.ndisks if args.ndisks is not None else _ORGANIZATION_DEFAULT_NDISKS[organization]
+    )
+    try:
+        org.validate(ndisks)
+    except ValueError as exc:
+        raise SystemExit(f"--ndisks: {exc}") from None
+    # Zero exposure gives the organization's catastrophic-only MTTDL
+    # (for RAID 5 that is exactly eq. (1)).
+    sync = organization_mttdl(organization, ndisks, params.mttf_disk_h, params.mttr_h, 0.0)
+    deferred = organization_mttdl(
+        organization, ndisks, params.mttf_disk_h, params.mttr_h, args.fraction
+    )
+    overall = combine_mttdl(deferred, CONSERVATIVE_SUPPORT.mttdl_h)
     lifetime_h = args.years * 24 * 365.25
     p_loss = loss_probability(overall, lifetime_h)
     if args.format == "json":
@@ -534,11 +599,14 @@ def cmd_availability(args: argparse.Namespace) -> int:
             return value
 
         payload = {
-            "ndisks": args.ndisks,
+            "ndisks": ndisks,
+            "organization": organization,
             "unprotected_fraction": args.fraction,
             "years": args.years,
-            "raid5_mttdl_h": raid5,
-            "afraid_mttdl_h": afraid,
+            # Historical key names: "raid5" = the catastrophic-only term,
+            # "afraid" = with deferred-update exposure folded in.
+            "raid5_mttdl_h": sync,
+            "afraid_mttdl_h": deferred,
             "support_mttdl_h": CONSERVATIVE_SUPPORT.mttdl_h,
             "overall_mttdl_h": overall,
             "loss_probability": p_loss,
@@ -546,8 +614,11 @@ def cmd_availability(args: argparse.Namespace) -> int:
         print(json.dumps({key: jsonable(value) for key, value in payload.items()}, indent=2))
         return 0
     rows = [
-        ["RAID 5 disk MTTDL (eq. 1)", format_quantity(raid5, " h")],
-        [f"AFRAID disk MTTDL @ {args.fraction:.1%} exposure", format_quantity(afraid, " h")],
+        [f"{org.display} disk MTTDL (catastrophic)", format_quantity(sync, " h")],
+        [
+            f"deferred {org.display} disk MTTDL @ {args.fraction:.1%} exposure",
+            format_quantity(deferred, " h"),
+        ],
         ["support MTTDL (Table 1)", format_quantity(CONSERVATIVE_SUPPORT.mttdl_h, " h")],
         ["overall MTTDL", format_quantity(overall, " h")],
         [
@@ -555,7 +626,13 @@ def cmd_availability(args: argparse.Namespace) -> int:
             f"{loss_probability(overall, lifetime_h):.2%}",
         ],
     ]
-    print(format_table(["quantity", "value"], rows, title=f"{args.ndisks}-disk array"))
+    print(
+        format_table(
+            ["quantity", "value"],
+            rows,
+            title=f"{ndisks}-disk {org.display} array",
+        )
+    )
     return 0
 
 
@@ -740,8 +817,10 @@ def cmd_faults(args: argparse.Namespace) -> int:
         except (ValueError, json.JSONDecodeError) as exc:
             raise SystemExit(f"--campaign: {args.campaign}: {exc}") from None
     else:
+        organization, ndisks = _resolve_organization(args)
         spec = CampaignSpec(
-            disk_failures=1.0, nvram_losses=0.5, latent_errors=1.0, crashes=0.5
+            disk_failures=1.0, nvram_losses=0.5, latent_errors=1.0, crashes=0.5,
+            organization=organization, ndisks=ndisks,
         )
     seeds = list(range(args.seeds)) if args.seeds else [args.seed]
     outcome = run_campaign_suite(spec, seeds)
@@ -823,11 +902,13 @@ def cmd_nemesis(args: argparse.Namespace) -> int:
     rules = _parse_slo_rules(args.slo)
     if not rules:
         rules = [SloRule.parse(text) for text in DEFAULT_NEMESIS_SLOS]
+    organization, ndisks = _resolve_organization(args)
     try:
         spec = NemesisSpec(
             workload=args.workload,
             duration_s=args.duration,
-            ndisks=args.ndisks,
+            ndisks=ndisks,
+            organization=organization,
             policy=args.policy,
             disk_model=args.disk_model,
             disk_failures=args.disk_failures,
@@ -1047,6 +1128,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("workload", choices=workload_names())
     run_parser.add_argument("--policy", default="afraid", choices=["afraid", "raid5", "raid0", "mttdl"])
     run_parser.add_argument("--mttdl-target", type=float, default=None, help="hours, for --policy mttdl")
+    run_parser.add_argument(
+        "--organization", default="raid5", choices=ORGANIZATION_CHOICES,
+        help="redundancy scheme (default: the paper's RAID 5)",
+    )
+    run_parser.add_argument(
+        "--ndisks", type=int, default=None,
+        help="member disks (default: organization-appropriate count)",
+    )
     run_parser.add_argument("--duration", type=float, default=30.0, help="trace duration (simulated s)")
     run_parser.add_argument("--seed", type=int, default=42)
     run_parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
@@ -1061,6 +1150,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare_parser = commands.add_parser("compare", help="RAID 0 vs AFRAID vs RAID 5 on one workload")
     compare_parser.add_argument("workload", choices=workload_names())
+    compare_parser.add_argument(
+        "--organization", default="raid5", choices=ORGANIZATION_CHOICES,
+        help="redundancy scheme the three policies run over",
+    )
+    compare_parser.add_argument(
+        "--ndisks", type=int, default=None,
+        help="member disks (default: organization-appropriate count)",
+    )
     compare_parser.add_argument("--duration", type=float, default=20.0)
     compare_parser.add_argument("--seed", type=int, default=42)
     compare_parser.add_argument(
@@ -1124,6 +1221,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay checkpoint store: simulated cells resume from the deepest "
         "stored quiescent cut (composes with the result cache)",
     )
+    sweep_parser.add_argument(
+        "--organization", default="raid5", choices=ORGANIZATION_CHOICES,
+        help="redundancy scheme every cell runs over",
+    )
+    sweep_parser.add_argument(
+        "--ndisks", type=int, default=None,
+        help="member disks (default: organization-appropriate count)",
+    )
     sweep_parser.add_argument("--duration", type=float, default=30.0)
     sweep_parser.add_argument("--seed", type=int, default=42)
     sweep_parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
@@ -1173,7 +1278,11 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.set_defaults(handler=cmd_report)
 
     avail_parser = commands.add_parser("availability", help="Section 3 analytic calculator")
-    avail_parser.add_argument("--ndisks", type=int, default=5)
+    avail_parser.add_argument("--ndisks", type=int, default=None)
+    avail_parser.add_argument(
+        "--organization", default="raid5", choices=ORGANIZATION_CHOICES,
+        help="redundancy scheme the models describe",
+    )
     avail_parser.add_argument("--fraction", type=float, default=0.05, help="unprotected-time fraction")
     avail_parser.add_argument("--years", type=float, default=3.0)
     avail_parser.add_argument(
@@ -1269,6 +1378,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON campaign spec (defaults to a light all-fault-types campaign)",
     )
     faults_parser.add_argument(
+        "--organization", default="raid5", choices=ORGANIZATION_CHOICES,
+        help="redundancy organization for the default campaign spec "
+        "(ignored with --campaign; default raid5)",
+    )
+    faults_parser.add_argument(
+        "--ndisks", type=int, default=None,
+        help="member disks for the default campaign spec "
+        "(default: the organization's natural size)",
+    )
+    faults_parser.add_argument(
         "--out", default=None, metavar="DIR",
         help="write per-seed JSON reports (plus suite.json) into DIR",
     )
@@ -1293,7 +1412,14 @@ def build_parser() -> argparse.ArgumentParser:
     nemesis_parser.add_argument(
         "--policy", default="afraid", choices=["afraid", "raid5", "raid0"]
     )
-    nemesis_parser.add_argument("--ndisks", type=int, default=5)
+    nemesis_parser.add_argument(
+        "--ndisks", type=int, default=None,
+        help="member disks (default: the organization's natural size)",
+    )
+    nemesis_parser.add_argument(
+        "--organization", default="raid5", choices=ORGANIZATION_CHOICES,
+        help="redundancy organization under chaos (default raid5)",
+    )
     nemesis_parser.add_argument("--disk-model", default="toy", choices=["toy", "hp_c3325"])
     nemesis_parser.add_argument(
         "--disk-failures", type=float, default=2.0, metavar="N",

@@ -85,7 +85,7 @@ class RebuildManager:
         event that fires when the array is whole again.
         """
         array = self.array
-        if array.degraded_disk != disk_index:
+        if disk_index not in array.failed_disks:
             raise ValueError(
                 f"array is degraded on {array.degraded_disk}, not disk {disk_index}"
             )
@@ -101,39 +101,94 @@ class RebuildManager:
         unit_sectors = array.layout.stripe_unit_sectors
         self.stats.started_at = self.sim.now
 
+        organization = array.organization
+        declustered = organization.declustered
+        partner = disk_index ^ 1 if organization.mirrored else None
+
         for stripe in range(array.layout.nstripes):
+            if declustered and disk_index not in array.layout.stripe_members(stripe):
+                continue  # this disk holds no unit of the stripe
             if self.yield_to_foreground:
                 while not array.detector.is_idle:
                     # Re-check shortly after the array drains.
                     yield self.sim.timeout(array.detector.threshold_s)
             stripe_started = self.sim.now
-            # Read every surviving unit of the stripe (data + parity live
-            # on the survivors; the lost unit is their xor).  A latent
-            # sector error on a survivor is repaired in place (rewrite)
-            # and the stripe retried, scrubber-style.
+            # Read enough survivors to regenerate the lost unit: the
+            # mirror partner for mirrored organizations (every other
+            # member via parity if the whole pair died under RAID 1+5),
+            # every surviving stripe member otherwise.  A latent sector
+            # error on a survivor is repaired in place (rewrite) and the
+            # stripe retried, scrubber-style.
             attempts = 0
             while True:
                 reads = []
-                for member in range(array.ndisks):
-                    if member == disk_index:
-                        continue
-                    reads.append(
-                        array.drivers[member].submit(
-                            DiskIO(IoKind.READ, stripe * unit_sectors, unit_sectors)
+                repair_units = None
+                if organization.mirrored:
+                    if not array.disks[partner].failed:
+                        reads.append(
+                            array.drivers[partner].submit(
+                                DiskIO(IoKind.READ, stripe * unit_sectors, unit_sectors)
+                            )
                         )
-                    )
+                    elif array.layout.has_parity:
+                        # Whole pair dead: reconstruct through parity from
+                        # one alive copy of every other pair's unit.
+                        for member in range(array.ndisks):
+                            if member in (disk_index, partner) or member % 2:
+                                continue
+                            source = member if not array.disks[member].failed else member ^ 1
+                            if array.disks[source].failed:
+                                continue  # that pair is gone too; data is lost
+                            reads.append(
+                                array.drivers[source].submit(
+                                    DiskIO(IoKind.READ, stripe * unit_sectors, unit_sectors)
+                                )
+                            )
+                    # RAID 1 / RAID 1/0 with the pair dead: contents are
+                    # unrecoverable (already recorded as a data-loss
+                    # event); the spare comes back zero-filled.
+                elif declustered:
+                    repair_units = list(array.layout.data_units(stripe))
+                    repair_units.append(array.layout.parity_unit(stripe))
+                    for member in array.layout.stripe_members(stripe):
+                        if member == disk_index:
+                            continue
+                        reads.append(
+                            array.drivers[member].submit(
+                                DiskIO(
+                                    IoKind.READ,
+                                    array.layout.unit_lba(stripe, member),
+                                    unit_sectors,
+                                )
+                            )
+                        )
+                else:
+                    for member in range(array.ndisks):
+                        if member == disk_index:
+                            continue
+                        reads.append(
+                            array.drivers[member].submit(
+                                DiskIO(IoKind.READ, stripe * unit_sectors, unit_sectors)
+                            )
+                        )
                 try:
-                    yield AllOf(self.sim, reads)
+                    if reads:
+                        yield AllOf(self.sim, reads)
                 except LatentSectorError:
                     attempts += 1
                     if attempts > 3:
                         raise
                     yield from array._repair_latent_extent(
-                        stripe * unit_sectors, unit_sectors
+                        stripe * unit_sectors, unit_sectors, units=repair_units
                     )
                     continue
                 break
-            yield spare_driver.submit(DiskIO(IoKind.WRITE, stripe * unit_sectors, unit_sectors))
+            target_lba = (
+                array.layout.unit_lba(stripe, disk_index)
+                if declustered
+                else stripe * unit_sectors
+            )
+            yield spare_driver.submit(DiskIO(IoKind.WRITE, target_lba, unit_sectors))
             self.stats.stripes_rebuilt += 1
             if self.registry is not None:
                 self.registry.counter(
@@ -153,7 +208,7 @@ class RebuildManager:
         array.drivers[disk_index] = spare_driver
         if array.functional is not None:
             self._rebuild_functional(disk_index)
-        array.leave_degraded()
+        array.leave_degraded(disk_index)
         if array.marks.count:
             # Parity debt accrued before/during the failure: now that the
             # array is whole again, let the scrubber drain it.

@@ -68,6 +68,7 @@ class CampaignSpec:
     workload: str = "snake"
     duration_s: float = 6.0
     ndisks: int = 5
+    organization: str = "raid5"
     stripe_unit_sectors: int = 8
     bits_per_stripe: int = 1
     policy: str = "afraid"
@@ -92,6 +93,9 @@ class CampaignSpec:
             )
         if self.duration_s <= 0:
             raise ValueError("duration_s must be positive")
+        from repro.layout import get_organization
+
+        get_organization(self.organization).validate(self.ndisks)
         if any(not 0.0 < point < self.duration_s for point in self.crash_points):
             raise ValueError("crash_points must fall strictly inside (0, duration_s)")
 
@@ -218,6 +222,7 @@ class FaultCampaign:
             ndisks=spec.ndisks,
             stripe_unit_sectors=spec.stripe_unit_sectors,
             disk_factory=_DISK_FACTORIES[spec.disk_model],
+            organization=spec.organization,
             with_functional=False,  # the twin is campaign-owned (survives crashes)
             idle_threshold_s=spec.idle_threshold_s,
             bits_per_stripe=spec.bits_per_stripe,
@@ -256,7 +261,7 @@ class FaultCampaign:
         hists = HistogramSet()
         state = {
             "marks": [],  # NVRAM snapshot (non-volatile across crashes)
-            "failed_disk": None,
+            "failed_disks": [],  # mirrored organizations survive several
             "latent": {},  # disk index -> bad LBAs (media defects persist)
             "spares_left": spec.spare_pool,
             "conservative": False,
@@ -275,7 +280,12 @@ class FaultCampaign:
             final = index == nsegments - 1
             sim = Simulator(start_time=seg_start)
             array = self._build_array(sim)
-            if twin is None:
+            organization = array.organization
+            # The functional twin's offset arithmetic assumes rotated
+            # stripe units; mirrored and declustered organizations run
+            # without it (and hence without byte-exact invariant checks).
+            supports_twin = not (organization.mirrored or organization.declustered)
+            if twin is None and supports_twin:
                 twin = FunctionalArray(
                     array.layout,
                     sector_bytes=array.sector_bytes,
@@ -291,17 +301,22 @@ class FaultCampaign:
                     seed=self.seed,
                     allow_generic=True,
                 )
-            checker = InvariantChecker(array)
+            checker = InvariantChecker(array) if supports_twin else None
             injector = FaultInjector(sim, array)
             unit_sectors = array.layout.stripe_unit_sectors
             striped_sectors = array.layout.nstripes * unit_sectors
+            disk_span_sectors = (
+                array.layout.disk_sectors_used
+                if organization.declustered
+                else striped_sectors
+            )
 
             # ---- restore carried state (this is the crash-restart path) ----
             if state["marks"]:
                 array.marks.restore(state["marks"])
-            if state["failed_disk"] is not None:
-                array.disks[state["failed_disk"]].fail()
-                array.enter_degraded(state["failed_disk"])
+            for failed_disk in state["failed_disks"]:
+                array.disks[failed_disk].fail()
+                array.enter_degraded(failed_disk)
             for disk_index, lbas in state["latent"].items():
                 for lba in lbas:
                     array.disks[disk_index].inject_latent_error(lba)
@@ -312,7 +327,7 @@ class FaultCampaign:
 
             def schedule_repair(at_time: float, disk: int) -> None:
                 def repair(_event) -> None:
-                    if array.degraded_disk != disk:
+                    if disk not in array.failed_disks:
                         return
                     if state["spares_left"] <= 0:
                         event_log.append(
@@ -328,7 +343,8 @@ class FaultCampaign:
                         if not rebuild_event.ok:
                             return
                         state["spares_left"] -= 1
-                        state["failed_disk"] = None
+                        if disk in state["failed_disks"]:
+                            state["failed_disks"].remove(disk)
                         if array.marks.count:
                             # The rebuild made every physical stripe
                             # consistent; until the scrubber drains them
@@ -343,7 +359,8 @@ class FaultCampaign:
                                 "marks_left": array.marks.count,
                             }
                         )
-                        checker.check_marks_cover_twin()
+                        if checker is not None:
+                            checker.check_marks_cover_twin()
 
                     rebuilt.add_callback(on_rebuilt)
 
@@ -360,8 +377,10 @@ class FaultCampaign:
                     report = injector.reports[cursor["reports"]]
                     cursor["reports"] += 1
                     all_reports.append(report)
-                    checker.check_disk_failure(report, conservative=state["conservative"])
-                    state["failed_disk"] = report.disk
+                    if checker is not None:
+                        checker.check_disk_failure(report, conservative=state["conservative"])
+                    if report.disk not in state["failed_disks"]:
+                        state["failed_disks"].append(report.disk)
                     event_log.append(
                         {
                             "t": report.at_time,
@@ -389,7 +408,8 @@ class FaultCampaign:
 
             def on_nvram_lost(_event) -> None:
                 state["conservative"] = True
-                checker.check_nvram_remark()
+                if checker is not None:
+                    checker.check_nvram_remark()
                 event_log.append(
                     {"t": sim.now, "kind": "nvram_loss", "remarked": array.marks.count}
                 )
@@ -415,13 +435,19 @@ class FaultCampaign:
                         }
                     )
                     return
-                checker.check_latent_detected(disk, lba, detected)
-                stripe = lba // unit_sectors
-                row = lba - stripe * unit_sectors
-                sub_unit = sub_unit_of(row, unit_sectors, spec.bits_per_stripe)
+                if checker is not None:
+                    checker.check_latent_detected(disk, lba, detected)
                 unit = array.layout.logical_of(disk, lba)
+                stripe = unit.stripe
+                row = lba - unit.disk_lba
+                sub_unit = sub_unit_of(row, unit_sectors, spec.bits_per_stripe)
                 is_parity = unit.kind is UnitKind.PARITY
-                clean = is_parity or sub_unit not in twin.dirty_sub_units(stripe)
+                if twin is not None:
+                    clean = is_parity or sub_unit not in twin.dirty_sub_units(stripe)
+                else:
+                    # No twin: the NVRAM marks are the (conservative)
+                    # dirtiness oracle.
+                    clean = is_parity or not array.marks.is_marked(stripe, sub_unit)
                 # Scrub-style repair: rewrite the sector (its content
                 # reconstructs through parity exactly when the rows are
                 # clean — a dirty row's content is the AFRAID exposure).
@@ -430,7 +456,8 @@ class FaultCampaign:
                 except DiskFailedError:
                     return
                 healed = not array.disks[disk].latent_errors_within(lba, 1)
-                checker.check_latent_repair(disk, lba, healed, stripe, clean)
+                if checker is not None:
+                    checker.check_latent_repair(disk, lba, healed, stripe, clean)
                 event_log.append(
                     {
                         "t": sim.now,
@@ -450,14 +477,15 @@ class FaultCampaign:
                         "t": seg_start,
                         "kind": "restart",
                         "restored_marks": array.marks.count,
-                        "degraded": state["failed_disk"],
+                        "degraded": state["failed_disks"][0] if state["failed_disks"] else None,
                     }
                 )
-                checker.check_marks_cover_twin()
+                if checker is not None:
+                    checker.check_marks_cover_twin()
                 array.recovery_scan()
-                if state["failed_disk"] is not None:
+                for failed_disk in state["failed_disks"]:
                     # The technician's clock restarts with the box.
-                    schedule_repair(seg_start + spec.repair_delay_s, state["failed_disk"])
+                    schedule_repair(seg_start + spec.repair_delay_s, failed_disk)
 
             for event in events:
                 if not seg_start <= event.time_s < seg_end:
@@ -474,7 +502,7 @@ class FaultCampaign:
                     ).add_callback(on_nvram_lost)
                 elif event.kind == "latent_error":
                     lba = min(
-                        int(event.lba_fraction * striped_sectors), striped_sectors - 1
+                        int(event.lba_fraction * disk_span_sectors), disk_span_sectors - 1
                     )
                     injector.inject_latent_error_at(event.disk, lba, event.time_s)
                     sim.timeout(
@@ -552,15 +580,16 @@ class FaultCampaign:
 
             if final:
                 refresh_conservative()
-                checker.check_marks_cover_twin()
-                if array.degraded_disk is None:
-                    checker.check_recovery_complete()
-                    checker.check_parity_audit()
+                if checker is not None:
+                    checker.check_marks_cover_twin()
+                    if array.degraded_disk is None:
+                        checker.check_recovery_complete()
+                        checker.check_parity_audit()
                 array.finalize()
             else:
                 # ---- snapshot state the crash must not destroy ------------
                 state["marks"] = array.marks.snapshot() if not array.marks.failed else []
-                state["failed_disk"] = array.degraded_disk
+                state["failed_disks"] = list(array.failed_disks)
                 state["latent"] = {
                     disk_index: disk.latent_error_lbas
                     for disk_index, disk in enumerate(array.disks)
@@ -568,7 +597,8 @@ class FaultCampaign:
                 }
 
             latent_repaired += array.latent_sectors_repaired
-            invariant_results.extend(checker.results)
+            if checker is not None:
+                invariant_results.extend(checker.results)
 
         # ---- reduce to the report ------------------------------------------
         violations = [result for result in invariant_results if not result.ok]
@@ -582,6 +612,7 @@ class FaultCampaign:
             "spares_used": spec.spare_pool - state["spares_left"],
             "latent_sectors_repaired": latent_repaired,
             "final_degraded_disk": array.degraded_disk,
+            "data_loss_events": len(array.data_loss_events),
             "final_marks": array.marks.count,
             "final_dirty_stripes": 0 if twin is None else len(twin.dirty_stripes),
             "request_classes": {

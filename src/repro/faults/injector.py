@@ -78,11 +78,12 @@ class FaultInjector:
         if a functional twin is attached, its contents are destroyed; a
         loss report with the matching eq.-(4) prediction is recorded.
 
-        A strike against an already-failed member — or while the array is
-        already degraded, where a second failure would not be survivable
-        and double-destroying the twin would fabricate a second loss
-        report — is a no-op recorded in :attr:`skipped` with a traced
-        warning.
+        A strike against an already-failed member — or one the degraded
+        organization could not absorb (a second RAID 5 failure, a mirror
+        pair's partner on RAID 1/0), where destroying more data would
+        fabricate a bogus loss report — is a no-op recorded in
+        :attr:`skipped` with a traced warning.  Organizations that survive
+        several failures (RAID 1/0, RAID 1+5) take the additional strikes.
         """
         if not 0 <= disk < self.array.ndisks:
             raise ValueError(f"disk {disk} out of range")
@@ -91,7 +92,9 @@ class FaultInjector:
 
         def strike(_event) -> None:
             array = self.array
-            if array.disks[disk].failed or array.degraded_disk is not None:
+            already_failed = array.failed_disks
+            survivable = array.organization.can_absorb((*already_failed, disk))
+            if array.disks[disk].failed or (already_failed and not survivable):
                 reason = (
                     f"disk {disk} already failed"
                     if array.disks[disk].failed
@@ -202,27 +205,53 @@ class FaultInjector:
 def predicted_loss_bytes(array: DiskArray, failed_disk: int) -> int:
     """Eq.-(4)-style prediction of loss for a failure of ``failed_disk`` now.
 
-    Per NVRAM mark whose stripe's parity does *not* live on the failed
-    disk: the marked slice of one stripe unit.  With one bit per stripe
-    that is a whole stripe unit per dirty stripe (the paper's headline
-    rate); with ``bits_per_stripe = M > 1`` each mark contributes only
-    its 1/M horizontal slice.  Compare with
+    Per NVRAM mark whose deferred work the failure makes unrecoverable:
+    the marked slice of one stripe unit.  With one bit per stripe that is
+    a whole stripe unit per dirty stripe (the paper's headline rate); with
+    ``bits_per_stripe = M > 1`` each mark contributes only its 1/M
+    horizontal slice.  Compare with
     :class:`DiskFailureReport.lost_data_bytes` (the functional twin's
     ground truth).
+
+    What makes a mark exposed depends on the organization:
+
+    * RAID 5 (rotated or declustered): any mark whose stripe's parity is
+      *not* on the failed disk (for declustered layouts the failed disk
+      must be a member of the stripe at all);
+    * RAID 1 / RAID 1/0 with deferred mirror copy: marks whose stripe
+      keeps a data (primary) unit on the failed disk — the mirror copy
+      is stale, so the slice's fresh content dies with the primary;
+    * RAID 1+5: data is always mirrored inline (only parity defers), so
+      a mark is only exposed when the strike kills a whole pair holding
+      one of the stripe's data units.
     """
     layout = array.layout
+    organization = array.organization
     bits = array.marks.bits_per_stripe
+
+    def mark_exposed(stripe: int) -> bool:
+        if organization.mirrored:
+            if organization.has_parity:
+                partner = layout.mirror_disk(failed_disk)
+                if not array.disks[partner].failed:
+                    return False
+                return layout.parity_disk(stripe) not in (failed_disk, partner)
+            return any(
+                unit.disk == failed_disk for unit in layout.data_units(stripe)
+            )
+        if organization.declustered and failed_disk not in layout.stripe_members(stripe):
+            return False
+        return layout.parity_disk(stripe) != failed_disk
+
     if bits == 1:
         return array.unit_bytes * sum(
-            1
-            for stripe in array.marks.marked_stripes
-            if layout.parity_disk(stripe) != failed_disk
+            1 for stripe in array.marks.marked_stripes if mark_exposed(stripe)
         )
     unit_sectors = layout.stripe_unit_sectors
     sector_bytes = array.sector_bytes
     lost = 0
     for stripe, sub_unit in array.marks.marks_in_order():
-        if layout.parity_disk(stripe) != failed_disk:
+        if mark_exposed(stripe):
             _start, count = sub_unit_extent(sub_unit, unit_sectors, bits)
             lost += count * sector_bytes
     return lost

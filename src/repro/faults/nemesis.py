@@ -74,6 +74,7 @@ class NemesisSpec:
     workload: str = "snake"
     duration_s: float = 30.0
     ndisks: int = 5
+    organization: str = "raid5"
     stripe_unit_sectors: int = 8
     bits_per_stripe: int = 1
     policy: str = "afraid"
@@ -96,6 +97,9 @@ class NemesisSpec:
             raise ValueError(
                 f"disk_model must be one of {sorted(_DISK_FACTORIES)}, got {self.disk_model!r}"
             )
+        from repro.layout import get_organization
+
+        get_organization(self.organization).validate(self.ndisks)
         if self.duration_s <= 0:
             raise ValueError("duration_s must be positive")
         if self.period_s <= 0:
@@ -266,7 +270,7 @@ class NemesisLoop:
         that once the engine is finished evaluation is skipped.
         """
         self.monitor.publish(now)
-        self._degraded_gauge.set(0 if self.array.degraded_disk is None else 1)
+        self._degraded_gauge.set(len(self.array.failed_disks))
         self._open_gauge.set(len(self.tracker.active))
         if not self._engine_done:
             crossings = self.engine.evaluate(now, self.registry)
@@ -350,7 +354,7 @@ class NemesisLoop:
             # The strike may have been skipped (some other member already
             # down) or the disk already repaired; only a live degradation
             # on *this* member is ours to fix.
-            if self.array.degraded_disk != disk:
+            if disk not in self.array.failed_disks:
                 return
             now = self.sim.now
             if self.spares_left <= 0:

@@ -14,6 +14,8 @@ from repro.availability import (
     combine_mttdl,
     mdlr_raid_catastrophic,
     mdlr_unprotected,
+    organization_mdlr,
+    organization_mttdl,
     raid5_mttdl_catastrophic,
 )
 from repro.disk import hp_c3325
@@ -64,6 +66,10 @@ class ExperimentResult:
     #: ``dirty_dwell`` plus ``dirty_dwell_<cause>``).  ``None`` only for
     #: results revived from pre-exposure cache payloads.
     exposure_hists: dict | None = None
+    #: Redundancy scheme the run was built over ("raid5", "raid5d",
+    #: "raid1", "raid10", "raid15"); results revived from caches written
+    #: before the knob existed default to "raid5".
+    organization: str = "raid5"
 
     def histogram_set(self) -> HistogramSet | None:
         """The latency histograms revived into a mergeable object."""
@@ -108,6 +114,7 @@ class ExperimentResult:
         payload = {
             "workload": self.workload,
             "policy": self.policy,
+            "organization": getattr(self, "organization", "raid5"),
             "ndisks": self.ndisks,
             "nrequests": self.nrequests,
             "reads": self.reads,
@@ -136,6 +143,7 @@ def derive_availability(
     unprotected_fraction: float,
     mean_parity_lag_bytes: float,
     params: ReliabilityParams,
+    organization: str = "raid5",
 ) -> tuple[float, float, float, float, float]:
     """Reduce measured exposure to (MTTDL_disk, MDLR_unprot, MDLR_disk,
     MTTDL_overall, MDLR_overall) via eqs. (2c), (4), (5) + support.
@@ -143,11 +151,33 @@ def derive_availability(
     The single eq.-(2c) formula covers all three array models: a RAID 5
     run measures zero exposure (the unprotected term drops out, leaving
     eq. (1)); a never-scrubbed RAID 0 run measures exposure near 1.
+    Other organizations substitute their own catastrophic/unprotected
+    terms (mirrored pairs, hybrid pairs-under-parity, declustered
+    rebuild speedup) via the ``organization_*`` dispatchers.
     """
-    mttdl_disk = afraid_mttdl(ndisks, params.mttf_disk_h, params.mttr_h, unprotected_fraction)
-    raid_mttdl = raid5_mttdl_catastrophic(ndisks, params.mttf_disk_h, params.mttr_h)
-    mdlr_unprot = mdlr_unprotected(ndisks, mean_parity_lag_bytes, params.mttf_disk_h)
-    mdlr_disk = mdlr_raid_catastrophic(ndisks, params.disk_bytes, raid_mttdl) + mdlr_unprot
+    if organization == "raid5":
+        mttdl_disk = afraid_mttdl(
+            ndisks, params.mttf_disk_h, params.mttr_h, unprotected_fraction
+        )
+        raid_mttdl = raid5_mttdl_catastrophic(ndisks, params.mttf_disk_h, params.mttr_h)
+        mdlr_unprot = mdlr_unprotected(ndisks, mean_parity_lag_bytes, params.mttf_disk_h)
+        mdlr_disk = mdlr_raid_catastrophic(ndisks, params.disk_bytes, raid_mttdl) + mdlr_unprot
+    else:
+        mttdl_disk = organization_mttdl(
+            organization, ndisks, params.mttf_disk_h, params.mttr_h, unprotected_fraction
+        )
+        mdlr_disk = organization_mdlr(
+            organization,
+            ndisks,
+            params.disk_bytes,
+            params.mttf_disk_h,
+            params.mttr_h,
+            mean_parity_lag_bytes,
+        )
+        # The deferred-update component alone: total minus the lag-free rate.
+        mdlr_unprot = mdlr_disk - organization_mdlr(
+            organization, ndisks, params.disk_bytes, params.mttf_disk_h, params.mttr_h, 0.0
+        )
     mttdl_overall = combine_mttdl(mttdl_disk, CONSERVATIVE_SUPPORT.mttdl_h)
     mdlr_overall = mdlr_disk + CONSERVATIVE_SUPPORT.mdlr(ndisks, params.disk_bytes)
     return mttdl_disk, mdlr_unprot, mdlr_disk, mttdl_overall, mdlr_overall
@@ -174,6 +204,7 @@ def run_experiment(
     ndisks: int = PAPER_NDISKS,
     stripe_unit_sectors: int = PAPER_STRIPE_UNIT_SECTORS,
     disk_factory=hp_c3325,
+    organization: str = "raid5",
     idle_threshold_s: float = 0.100,
     params: ReliabilityParams = TABLE_1,
     extra_settle_s: float = 0.0,
@@ -245,6 +276,7 @@ def run_experiment(
             ndisks=ndisks,
             stripe_unit_sectors=stripe_unit_sectors,
             disk_factory=disk_factory,
+            organization=organization,
             idle_threshold_s=idle_threshold_s,
             params=params,
             name=policy.describe(),
@@ -279,6 +311,9 @@ def run_experiment(
                 "idle_threshold_s": idle_threshold_s,
                 "params": dataclasses.asdict(params),
                 "exposure_window_s": exposure_window_s,
+                # Added only for non-default organizations so checkpoints
+                # written before the knob existed keep resolving.
+                **({"organization": organization} if organization != "raid5" else {}),
             }
         )
         with counters.phase("replay"):
@@ -310,6 +345,7 @@ def run_experiment(
                     unprotected_fraction=unprotected,
                     mean_parity_lag_bytes=mean_lag,
                     params=params,
+                    organization=organization,
                 )
             )
         return ExperimentResult(
@@ -334,6 +370,7 @@ def run_experiment(
             mdlr_overall_bytes_per_h=mdlr_overall,
             latency_hists=extras.get("latency_hists"),
             exposure_hists=extras.get("exposure_hists"),
+            organization=organization,
         )
 
     with counters.phase("replay"):
@@ -353,6 +390,7 @@ def run_experiment(
             unprotected_fraction=tracker.unprotected_fraction,
             mean_parity_lag_bytes=tracker.mean_parity_lag_bytes,
             params=params,
+            organization=organization,
         )
     return ExperimentResult(
         workload=trace.name,
@@ -376,4 +414,5 @@ def run_experiment(
         mdlr_overall_bytes_per_h=mdlr_overall,
         latency_hists=histograms.to_payload(),
         exposure_hists=exposure.hists.to_payload(),
+        organization=organization,
     )

@@ -114,6 +114,7 @@ def run_nemesis(
         ndisks=spec.ndisks,
         stripe_unit_sectors=spec.stripe_unit_sectors,
         disk_factory=_DISK_FACTORIES[spec.disk_model],
+        organization=spec.organization,
         with_functional=True,
         idle_threshold_s=spec.idle_threshold_s,
         bits_per_stripe=spec.bits_per_stripe,

@@ -106,16 +106,27 @@ class CellSpec:
     stripe_unit_sectors: int = PAPER_STRIPE_UNIT_SECTORS
     idle_threshold_s: float = 0.100
     extra_settle_s: float = 0.0
+    organization: str = "raid5"
 
     @property
     def key(self) -> tuple[str, str]:
-        """The (workload, policy label) grid key."""
+        """The (workload, policy label) grid key.
+
+        Non-default organizations suffix the label so the same policy
+        over different redundancy schemes occupies distinct grid cells.
+        """
+        if self.organization != "raid5":
+            return (self.workload, f"{self.policy.label}@{self.organization}")
         return (self.workload, self.policy.label)
 
     def to_config(self) -> dict:
         """The flat, JSON-stable dict hashed into the cache key."""
         config = dataclasses.asdict(self)
         config["policy"] = dataclasses.asdict(self.policy)
+        if config["organization"] == "raid5":
+            # Keep the default-organization config byte-identical to what
+            # was hashed before the knob existed.
+            del config["organization"]
         return config
 
 
@@ -585,6 +596,7 @@ def run_cell(spec: CellSpec, checkpoint_dir: str | None = None) -> ExperimentRes
         seed=spec.seed,
         ndisks=spec.ndisks,
         stripe_unit_sectors=spec.stripe_unit_sectors,
+        organization=spec.organization,
         idle_threshold_s=spec.idle_threshold_s,
         extra_settle_s=spec.extra_settle_s,
         checkpoint_dir=checkpoint_dir,

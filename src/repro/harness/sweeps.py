@@ -72,7 +72,15 @@ def policy_ladder(
 #: run_experiment kwargs a CellSpec can represent (everything else forces
 #: the serial path: e.g. a custom disk_factory can't cross a process).
 _CELL_KWARGS = frozenset(
-    {"duration_s", "seed", "ndisks", "stripe_unit_sectors", "idle_threshold_s", "extra_settle_s"}
+    {
+        "duration_s",
+        "seed",
+        "ndisks",
+        "stripe_unit_sectors",
+        "idle_threshold_s",
+        "extra_settle_s",
+        "organization",
+    }
 )
 
 
@@ -163,3 +171,82 @@ def tradeoff_curve(
             )
         )
     return points
+
+
+#: Organizations compared by :func:`run_organization_grid`, in the order
+#: they appear on the curve.  RAID 1 is omitted by default: its fixed
+#: 2-disk geometry is not comparable to an N-disk array.
+DEFAULT_ORGANIZATIONS: tuple[str, ...] = ("raid5", "raid5d", "raid10", "raid15")
+
+
+def run_organization_grid(
+    workloads: typing.Sequence[str],
+    organizations: typing.Sequence[str] = DEFAULT_ORGANIZATIONS,
+    ndisks: int = 6,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    **experiment_kwargs,
+) -> dict[tuple[str, str], ExperimentResult]:
+    """Run the baseline AFRAID policy over every (workload, organization).
+
+    The organization analogue of :func:`run_policy_grid`: same workloads,
+    same deferred-update policy, but the redundancy scheme varies — RAID 5
+    against declustered RAID 5, RAID 1/0, and hybrid RAID 1+5.  Keys are
+    ``(workload, organization_name)``.  ``ndisks`` applies to every
+    organization (pick one that satisfies all their geometry constraints;
+    the default 6 does), except organizations that fix their disk count
+    (RAID 1) which use their own.
+    """
+    from repro.layout import get_organization
+
+    def disks_for(name: str) -> int:
+        org = get_organization(name)
+        return org.exact_disks if org.exact_disks is not None else ndisks
+
+    engine_eligible = (jobs > 1 or cache_dir is not None) and set(
+        experiment_kwargs
+    ) <= (_CELL_KWARGS - {"organization", "ndisks"})
+    if engine_eligible:
+        specs = [
+            CellSpec(
+                workload=workload,
+                policy=PolicySpec("afraid"),
+                ndisks=disks_for(organization),
+                organization=organization,
+                **experiment_kwargs,
+            )
+            for workload in workloads
+            for organization in organizations
+        ]
+        results = run_cells(specs, jobs=jobs, cache_dir=cache_dir).results
+        # run_cells keys by (workload, policy label); re-key by organization.
+        return {
+            (spec.workload, spec.organization): results[spec.key]
+            for spec in specs
+        }
+    grid: dict[tuple[str, str], ExperimentResult] = {}
+    for workload in workloads:
+        for organization in organizations:
+            grid[(workload, organization)] = run_experiment(
+                workload,
+                BaselineAfraidPolicy(),
+                ndisks=disks_for(organization),
+                organization=organization,
+                **experiment_kwargs,
+            )
+    return grid
+
+
+def organization_tradeoff_curve(
+    grid: dict[tuple[str, str], ExperimentResult],
+    workloads: typing.Sequence[str],
+    organizations: typing.Sequence[str] = DEFAULT_ORGANIZATIONS,
+    baseline: str = "raid5",
+) -> list[TradeoffPoint]:
+    """Reduce an organization grid to relative perf/availability points.
+
+    Same reduction as :func:`tradeoff_curve` (both axes relative to the
+    baseline organization = 1.0), so the points drop straight onto the
+    Figure 3 axes next to the policy-ladder curve.
+    """
+    return tradeoff_curve(grid, workloads, list(organizations), baseline_label=baseline)

@@ -17,6 +17,7 @@ class UnitKind(enum.Enum):
     DATA = "data"
     PARITY = "parity"
     PARITY_Q = "parity_q"  # second parity of RAID 6
+    MIRROR = "mirror"  # secondary copy of a mirrored unit
 
 
 class StripeUnit:

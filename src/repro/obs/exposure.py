@@ -32,7 +32,7 @@ from __future__ import annotations
 import collections
 import typing
 
-from repro.availability import ReliabilityParams, afraid_mdlr, afraid_mttdl
+from repro.availability import ReliabilityParams, organization_mdlr, organization_mttdl
 from repro.obs.hist import HistogramSet, LatencyHistogram
 from repro.obs.registry import MetricsRegistry
 
@@ -288,12 +288,24 @@ class ExposureMonitor:
             raise RuntimeError("monitor not attached to an array")
         return self.array.ndisks
 
+    def _organization(self) -> str:
+        """The attached array's organization name (for model dispatch).
+
+        Falls back to RAID 5 for array stand-ins that predate the
+        organization attribute (test stubs, pickled snapshots).
+        """
+        if self.array is None:
+            raise RuntimeError("monitor not attached to an array")
+        organization = getattr(self.array, "organization", None)
+        return "raid5" if organization is None else organization.name
+
     def windowed_mttdl_h(
         self, now: float, params: ReliabilityParams | None = None
     ) -> float:
-        """Eq. (2c) evaluated over the sliding window's exposure."""
+        """Eq. (2c) (or the organization's analogue) over the sliding window."""
         params = params if params is not None else self.params
-        return afraid_mttdl(
+        return organization_mttdl(
+            self._organization(),
             ndisks=self._ndisks(),
             mttf_disk_h=params.mttf_disk_h,
             mttr_h=params.mttr_h,
@@ -303,14 +315,15 @@ class ExposureMonitor:
     def windowed_mdlr_bytes_per_h(
         self, now: float, params: ReliabilityParams | None = None
     ) -> float:
-        """Eq. (5) evaluated over the sliding window's mean parity lag."""
+        """Eq. (5) (or the organization's analogue) over the window's mean lag."""
         params = params if params is not None else self.params
-        return afraid_mdlr(
+        return organization_mdlr(
+            self._organization(),
             ndisks=self._ndisks(),
             disk_bytes=params.disk_bytes,
             mttf_disk_h=params.mttf_disk_h,
             mttr_h=params.mttr_h,
-            mean_parity_lag_bytes=self.window.mean_lag_bytes(now),
+            mean_lag_bytes=self.window.mean_lag_bytes(now),
         )
 
     def achieved_mttdl_h(
@@ -328,7 +341,8 @@ class ExposureMonitor:
         if now is None:
             now = self.array.now
         fraction = self.array.lag_tracker.snapshot_unprotected_fraction(now)
-        value = afraid_mttdl(
+        value = organization_mttdl(
+            self._organization(),
             ndisks=self.array.ndisks,
             mttf_disk_h=params.mttf_disk_h,
             mttr_h=params.mttr_h,

@@ -23,15 +23,33 @@ from repro.traces.records import Trace
 from repro.traces.synthetic import BurstyWorkloadParams
 
 
+#: The method-of-moments estimators need at least this many records: the
+#: burst/gap statistics divide by the number of inter-arrival gaps and the
+#: locality estimators divide by the record count, so an empty or
+#: near-empty trace would otherwise surface as a bare ``ZeroDivisionError``
+#: deep inside an estimator.
+MIN_FIT_RECORDS = 4
+
+
 def fit_workload(
     trace: Trace,
     gap_threshold_s: float = 0.1,
     address_space_sectors: int | None = None,
     name: str | None = None,
 ) -> BurstyWorkloadParams:
-    """Estimate generator parameters from ``trace``."""
-    if len(trace) < 4:
-        raise ValueError("need at least 4 requests to fit a workload")
+    """Estimate generator parameters from ``trace``.
+
+    Raises
+    ------
+    ValueError
+        If the trace holds fewer than :data:`MIN_FIT_RECORDS` records
+        (including the empty and single-record cases).
+    """
+    if len(trace) < MIN_FIT_RECORDS:
+        raise ValueError(
+            f"need at least {MIN_FIT_RECORDS} requests to fit a workload, "
+            f"got {len(trace)}"
+        )
     records = list(trace)
     bursts = find_bursts(trace, gap_threshold_s)
 
@@ -90,14 +108,26 @@ def fit_workload(
     )
 
 
+def _top_decile(ordered_counts: list[int]) -> int:
+    """Accesses landing in the densest tenth of blocks (empty-safe).
+
+    ``ordered_counts`` must be sorted descending; an empty list (no
+    records touched any block) contributes zero accesses rather than
+    dividing by — or indexing into — nothing.
+    """
+    if not ordered_counts:
+        return 0
+    top = max(1, len(ordered_counts) // 10)
+    return sum(ordered_counts[:top])
+
+
 def _hotspot_fraction(records) -> float:
     """Share of accesses hitting the densest 10% of touched 4 KB blocks."""
+    if not records:
+        return 0.0
     counts: dict[int, int] = {}
     for record in records:
         block = record.offset_sectors // 8
         counts[block] = counts.get(block, 0) + 1
-    if not counts:
-        return 0.0
     ordered = sorted(counts.values(), reverse=True)
-    top = max(1, len(ordered) // 10)
-    return sum(ordered[:top]) / len(records)
+    return _top_decile(ordered) / len(records)

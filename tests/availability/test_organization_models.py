@@ -1,0 +1,100 @@
+"""Tests for the organization-generic availability models."""
+
+import pytest
+
+from repro.availability import (
+    TABLE_1,
+    afraid_mdlr,
+    afraid_mttdl,
+    declustered_mttdl,
+    declustered_rebuild_speedup,
+    mirror_mttdl,
+    mirror_mttdl_catastrophic,
+    organization_mdlr,
+    organization_mttdl,
+    raid5_mttdl_catastrophic,
+    raid15_mttdl,
+    raid15_mttdl_catastrophic,
+)
+
+MTTF = TABLE_1.mttf_disk_h
+MTTR = TABLE_1.mttr_h
+DISK_BYTES = 2 * 10**9
+
+
+class TestDispatch:
+    def test_raid5_delegates_exactly(self):
+        for fraction in (0.0, 0.25, 1.0):
+            assert organization_mttdl("raid5", 5, MTTF, MTTR, fraction) == afraid_mttdl(
+                5, MTTF, MTTR, fraction
+            )
+        assert organization_mdlr(
+            "raid5", 5, DISK_BYTES, MTTF, MTTR, 1e6
+        ) == afraid_mdlr(5, DISK_BYTES, MTTF, MTTR, 1e6)
+
+    @pytest.mark.parametrize("name", ["raid5", "raid5d", "raid1", "raid10", "raid15"])
+    def test_every_organization_dispatches(self, name):
+        ndisks = {"raid1": 2}.get(name, 6)
+        mttdl = organization_mttdl(name, ndisks, MTTF, MTTR, 0.1)
+        mdlr = organization_mdlr(name, ndisks, DISK_BYTES, MTTF, MTTR, 1e6)
+        assert mttdl > 0 and mdlr > 0
+
+    def test_unknown_organization(self):
+        with pytest.raises(ValueError, match="unknown organization"):
+            organization_mttdl("raid9", 5, MTTF, MTTR, 0.0)
+        with pytest.raises(ValueError, match="unknown organization"):
+            organization_mdlr("raid9", 5, DISK_BYTES, MTTF, MTTR, 0.0)
+
+
+class TestMirrorModels:
+    def test_catastrophic_matches_thomasian_form(self):
+        # MTTDL = MTTF^2 / (2 * npairs * MTTR)
+        assert mirror_mttdl_catastrophic(6, MTTF, MTTR) == pytest.approx(
+            MTTF**2 / (2 * 3 * MTTR)
+        )
+
+    def test_zero_fraction_is_catastrophic_only(self):
+        assert mirror_mttdl(6, MTTF, MTTR, 0.0) == pytest.approx(
+            mirror_mttdl_catastrophic(6, MTTF, MTTR)
+        )
+
+    def test_exposure_degrades_mttdl(self):
+        clean = mirror_mttdl(6, MTTF, MTTR, 0.0)
+        dirty = mirror_mttdl(6, MTTF, MTTR, 0.5)
+        assert dirty < clean
+
+    def test_odd_disk_count_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            mirror_mttdl(5, MTTF, MTTR, 0.1)
+
+
+class TestRaid15Models:
+    def test_catastrophe_needs_two_pair_deaths(self):
+        # Far rarer than a single mirrored pair death.
+        assert raid15_mttdl_catastrophic(6, MTTF, MTTR) > mirror_mttdl_catastrophic(
+            6, MTTF, MTTR
+        )
+
+    def test_deferral_hurts_less_than_plain_mirror(self):
+        # RAID 1+5 keeps dirty data mirrored; only a pair death during
+        # the window loses it, so the same fraction costs far less MTTDL.
+        assert raid15_mttdl(6, MTTF, MTTR, 0.3) > mirror_mttdl(6, MTTF, MTTR, 0.3)
+
+
+class TestDeclusteredModels:
+    def test_speedup_shrinks_repair_window(self):
+        assert declustered_rebuild_speedup(6, 4) == pytest.approx(3 / 5)
+        assert declustered_mttdl(6, MTTF, MTTR, 0.0, stripe_width=4) > afraid_mttdl(
+            6, MTTF, MTTR, 0.0
+        )
+
+    def test_default_width_is_n_minus_one(self):
+        explicit = declustered_mttdl(6, MTTF, MTTR, 0.1, stripe_width=5)
+        assert declustered_mttdl(6, MTTF, MTTR, 0.1) == pytest.approx(explicit)
+
+    def test_catastrophic_only_beats_raid5_by_speedup(self):
+        raid5 = raid5_mttdl_catastrophic(6, MTTF, MTTR)
+        speedup = declustered_rebuild_speedup(6, 4)
+        assert declustered_mttdl(6, MTTF, MTTR, 0.0, stripe_width=4) == pytest.approx(
+            raid5 / speedup
+        )

@@ -52,12 +52,24 @@ class TestDegradedMode:
         assert array.stats.reconstruct_reads > 0
         assert array.stats.foreground_parity_writes >= 0  # parity disk may be the victim
 
-    def test_double_degradation_rejected(self):
+    def test_double_degradation_records_data_loss(self):
+        """A second concurrent failure is a data-loss *outcome*, not a crash.
+
+        Campaign/nemesis runs must keep going after an array dies; the
+        controller records a structured event instead of raising.
+        """
         sim = Simulator()
         array = toy_array(sim, with_functional=False)
-        array.enter_degraded(0)
-        with pytest.raises(RuntimeError):
-            array.enter_degraded(1)
+        assert array.enter_degraded(0) is None
+        event = array.enter_degraded(1)
+        assert event is not None
+        assert not event.survivable  # RAID 5: second failure is fatal
+        assert event.failed_disks == (0, 1)
+        assert array.data_loss_events == [event]
+        assert array.failed_disks == (0, 1)
+        # Re-reporting the same disk is a no-op.
+        assert array.enter_degraded(1) is None
+        assert len(array.data_loss_events) == 1
 
     def test_scrubber_pauses_while_degraded(self):
         sim = Simulator()

@@ -160,3 +160,49 @@ class TestSpeedupGuard:
         fast = self.result([0.01, 0.01])
         slow = self.result([0.04, 0.04])
         assert fast.speedup_over(slow) == pytest.approx(4.0)
+
+
+class TestOrganizationGrid:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        from repro.harness.sweeps import run_organization_grid
+
+        return run_organization_grid(
+            ["ATT"],
+            organizations=("raid5", "raid1", "raid10", "raid5d"),
+            ndisks=6,
+            duration_s=5.0,
+            seed=3,
+        )
+
+    def test_keys_are_workload_organization_pairs(self, grid):
+        assert set(grid) == {
+            ("ATT", "raid5"),
+            ("ATT", "raid1"),
+            ("ATT", "raid10"),
+            ("ATT", "raid5d"),
+        }
+
+    def test_exact_disk_organizations_override_ndisks(self, grid):
+        assert grid[("ATT", "raid1")].ndisks == 2
+        assert grid[("ATT", "raid10")].ndisks == 6
+
+    def test_tradeoff_curve_reduces_grid(self, grid):
+        from repro.harness.sweeps import organization_tradeoff_curve
+
+        points = organization_tradeoff_curve(
+            grid, ["ATT"], organizations=("raid5", "raid1", "raid10", "raid5d")
+        )
+        assert [point.label for point in points] == [
+            "raid5",
+            "raid1",
+            "raid10",
+            "raid5d",
+        ]
+        baseline = points[0]
+        assert baseline.relative_performance == pytest.approx(1.0)
+        assert baseline.relative_availability == pytest.approx(1.0)
+        assert all(
+            point.relative_performance > 0 and point.relative_availability > 0
+            for point in points
+        )

@@ -1,0 +1,90 @@
+"""Analytic-vs-simulated MTTDL convergence for the new organizations.
+
+The acceptance criterion for the organization abstraction: the windowed
+achieved MTTDL the exposure monitor reports must land within 10% of the
+analytic organization model evaluated at the *measured* unprotected
+fraction.  Before the organization dispatch existed the monitor always
+used the RAID 5 formulas, which are off by orders of magnitude for a
+mirrored array — this test pins the plumbing, not just the math.
+"""
+
+import pytest
+
+from repro.array.factory import build_array
+from repro.availability import TABLE_1, organization_mttdl
+from repro.harness.replay import replay_trace
+from repro.obs import ExposureMonitor, HistogramSet, MetricsRegistry
+from repro.policy import BaselineAfraidPolicy
+from repro.sim import Simulator
+from repro.traces import make_trace
+
+
+def _simulate(organization: str, ndisks: int, duration_s: float = 10.0, seed: int = 11):
+    sim = Simulator()
+    array = build_array(
+        sim, BaselineAfraidPolicy(), ndisks=ndisks, organization=organization
+    )
+    monitor = ExposureMonitor(window_s=2 * duration_s, params=TABLE_1)
+    registry = MetricsRegistry()
+    array.attach_observability(
+        histograms=HistogramSet(), registry=registry, exposure=monitor
+    )
+    trace = make_trace(
+        "ATT",
+        duration_s=duration_s,
+        address_space_sectors=array.layout.total_data_sectors,
+        seed=seed,
+    )
+    outcome = replay_trace(sim, array, trace)
+    assert not outcome.failures
+    return sim, array, monitor
+
+
+@pytest.mark.parametrize(
+    "organization,ndisks",
+    [("raid1", 2), ("raid10", 6), ("raid15", 6), ("raid5d", 6)],
+)
+class TestMttdlConvergence:
+    def test_achieved_mttdl_matches_analytic(self, organization, ndisks):
+        sim, array, monitor = _simulate(organization, ndisks)
+        now = sim.now
+        fraction = array.lag_tracker.snapshot_unprotected_fraction(now)
+        assert 0.0 < fraction <= 1.0  # the deferral actually ran exposed
+        analytic = organization_mttdl(
+            organization,
+            ndisks,
+            TABLE_1.mttf_disk_h,
+            TABLE_1.mttr_h,
+            fraction,
+        )
+        assert monitor.achieved_mttdl_h(now) == pytest.approx(analytic, rel=0.10)
+
+    def test_windowed_mttdl_matches_analytic(self, organization, ndisks):
+        sim, array, monitor = _simulate(organization, ndisks)
+        now = sim.now
+        fraction = monitor.windowed_unprotected_fraction(now)
+        assert fraction > 0.0
+        analytic = organization_mttdl(
+            organization,
+            ndisks,
+            TABLE_1.mttf_disk_h,
+            TABLE_1.mttr_h,
+            fraction,
+        )
+        assert monitor.windowed_mttdl_h(now) == pytest.approx(analytic, rel=0.10)
+
+    def test_organization_models_diverge_from_raid5(self, organization, ndisks):
+        """The dispatch matters: the RAID 5 formula is not within 10%."""
+        if organization == "raid5d":
+            # Declustering only shrinks the rebuild window; at the high
+            # unprotected fractions the deferral produces here the
+            # exposure term dominates and the models converge.
+            pytest.skip("raid5d intentionally matches raid5 when exposed")
+        sim, array, monitor = _simulate(organization, ndisks)
+        now = sim.now
+        fraction = array.lag_tracker.snapshot_unprotected_fraction(now)
+        raid5 = organization_mttdl(
+            "raid5", ndisks, TABLE_1.mttf_disk_h, TABLE_1.mttr_h, fraction
+        )
+        achieved = monitor.achieved_mttdl_h(now)
+        assert achieved != pytest.approx(raid5, rel=0.10)

@@ -73,3 +73,63 @@ class TestValidation:
         path.write_bytes(struct.pack("<4sIQ", b"AFRD", 99, 0))
         with pytest.raises(ValueError, match="version"):
             read_trace_binary(path)
+
+
+class TestEdgeRecords:
+    """Edge records: hand-crafted files must fail loudly, not with a
+    struct error deep in the parser, and flags must survive round-trips."""
+
+    def _binary(self, tmp_path, records):
+        from repro.traces.trace_io import _BIN_HEADER, _BIN_RECORD
+
+        path = tmp_path / "edge.bin"
+        payload = _BIN_HEADER.pack(b"AFRD", 1, len(records))
+        for time_s, offset, nsectors, flags in records:
+            payload += _BIN_RECORD.pack(time_s, offset, nsectors, flags, 0)
+        path.write_bytes(payload)
+        return path
+
+    def test_zero_length_io_rejected(self, tmp_path):
+        path = self._binary(tmp_path, [(0.0, 0, 0, 0x1)])
+        with pytest.raises(ValueError, match="nsectors"):
+            read_trace_binary(path)
+
+    def test_zero_length_io_rejected_in_csv(self, tmp_path):
+        path = tmp_path / "zero.csv"
+        path.write_text(
+            "time_s,op,offset_sectors,nsectors,sync\n0.000000,W,0,0,0\n"
+        )
+        from repro.traces import read_trace_csv
+
+        with pytest.raises(ValueError, match="bad record"):
+            read_trace_csv(path)
+
+    def test_sync_flag_preserved_both_formats(self, tmp_path):
+        from repro.disk import IoKind
+        from repro.traces import Trace, TraceRecord, read_trace_csv, write_trace_csv
+
+        records = [
+            TraceRecord(0.0, IoKind.WRITE, 0, 8, sync=True),
+            TraceRecord(0.5, IoKind.WRITE, 8, 8, sync=False),
+            TraceRecord(1.0, IoKind.READ, 16, 8, sync=True),
+        ]
+        trace = Trace("sync", records)
+        bin_path = tmp_path / "sync.bin"
+        csv_path = tmp_path / "sync.csv"
+        write_trace_binary(trace, bin_path)
+        write_trace_csv(trace, csv_path)
+        for loaded in (read_trace_binary(bin_path), read_trace_csv(csv_path)):
+            assert [r.sync for r in loaded] == [True, False, True]
+            assert [r.kind for r in loaded] == [r.kind for r in records]
+
+    def test_non_monotonic_timestamps_rejected(self, tmp_path):
+        path = self._binary(tmp_path, [(1.0, 0, 8, 0x1), (0.5, 8, 8, 0x1)])
+        with pytest.raises(ValueError, match="time-ordered"):
+            read_trace_binary(path)
+
+    def test_truncated_mid_record_names_counts(self, tmp_path):
+        path = self._binary(tmp_path, [(0.0, 0, 8, 0x1), (1.0, 8, 8, 0x3)])
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 5])
+        with pytest.raises(ValueError, match="truncated records"):
+            read_trace_binary(path)

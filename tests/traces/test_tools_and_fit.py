@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro.disk import IoKind
 from repro.traces import BurstyWorkloadGenerator, Trace, TraceRecord, make_trace
 from repro.traces.analysis import analyze, find_bursts
-from repro.traces.fit import fit_workload
+from repro.traces.fit import MIN_FIT_RECORDS, _top_decile, fit_workload
 from repro.traces.tools import clip, merge, remap_addresses, scale_gaps, time_scale
 
 
@@ -94,6 +94,34 @@ class TestFit:
         tiny = Trace("tiny", [TraceRecord(0.0, IoKind.READ, 0, 8)])
         with pytest.raises(ValueError):
             fit_workload(tiny)
+
+    def test_empty_trace_raises_clear_error(self):
+        empty = Trace("empty", [], duration_s=1.0)
+        with pytest.raises(ValueError, match=str(MIN_FIT_RECORDS)):
+            fit_workload(empty)
+
+    def test_single_record_names_minimum_and_count(self):
+        single = Trace("single", [TraceRecord(0.0, IoKind.WRITE, 0, 8)])
+        with pytest.raises(ValueError, match=f"at least {MIN_FIT_RECORDS}.*got 1"):
+            fit_workload(single)
+
+    def test_below_minimum_boundary(self):
+        records = [
+            TraceRecord(i * 0.01, IoKind.WRITE, i * 8, 8)
+            for i in range(MIN_FIT_RECORDS - 1)
+        ]
+        with pytest.raises(ValueError):
+            fit_workload(Trace("three", records))
+        records.append(
+            TraceRecord((MIN_FIT_RECORDS - 1) * 0.01, IoKind.WRITE, 64, 8)
+        )
+        params = fit_workload(Trace("four", records))
+        assert params.write_fraction == 1.0
+
+    def test_top_decile_empty_safe(self):
+        assert _top_decile([]) == 0
+        assert _top_decile([5]) == 5
+        assert _top_decile(sorted(range(20), reverse=True)) == 19 + 18
 
     def test_recovers_basic_statistics(self):
         params = fit_workload(bursty_trace(), gap_threshold_s=0.1)
